@@ -1,0 +1,73 @@
+//! End-to-end S-cuboid construction: counter-based vs inverted-index on
+//! the same query (the core comparison of §5.2), plus dense vs hash
+//! counters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use solap_bench::plans::synthetic_spec;
+use solap_core::cb::CounterMode;
+use solap_core::{Engine, EngineConfig, Strategy};
+use solap_datagen::{generate_synthetic, SyntheticConfig};
+use solap_pattern::PatternKind;
+
+fn db(d: usize) -> solap_eventdb::EventDb {
+    generate_synthetic(&SyntheticConfig {
+        i: 100,
+        l: 20.0,
+        theta: 0.9,
+        d,
+        seed: 42,
+        hierarchy: false,
+    })
+    .unwrap()
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let data = db(2_000);
+    let mut g = c.benchmark_group("construction");
+    g.sample_size(10);
+    for (label, strategy, mode) in [
+        ("cb-hash", Strategy::CounterBased, CounterMode::Hash),
+        ("cb-dense", Strategy::CounterBased, CounterMode::Dense),
+        ("ii", Strategy::InvertedIndex, CounterMode::Auto),
+    ] {
+        g.bench_function(BenchmarkId::new("xy-query", label), |b| {
+            b.iter_with_setup(
+                || {
+                    Engine::with_config(
+                        data.clone(),
+                        EngineConfig {
+                            strategy,
+                            counter_mode: mode,
+                            use_cuboid_repo: false,
+                            ..Default::default()
+                        },
+                    )
+                },
+                |engine| {
+                    let spec = synthetic_spec(engine.db(), PatternKind::Substring, &["X", "Y"], 0)
+                        .unwrap();
+                    engine.execute(&spec).unwrap().cuboid.len()
+                },
+            )
+        });
+    }
+    // The iterative advantage: second query on a warm II engine.
+    g.bench_function("ii-warm-repeat", |b| {
+        let engine = Engine::with_config(
+            data.clone(),
+            EngineConfig {
+                strategy: Strategy::InvertedIndex,
+                use_cuboid_repo: false,
+                ..Default::default()
+            },
+        );
+        let spec = synthetic_spec(engine.db(), PatternKind::Substring, &["X", "Y"], 0).unwrap();
+        engine.execute(&spec).unwrap();
+        b.iter(|| engine.execute(&spec).unwrap().cuboid.len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

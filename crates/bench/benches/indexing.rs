@@ -1,0 +1,101 @@
+//! Inverted-index primitives: BUILDINDEX, list joins, and list- vs
+//! bitmap-encoded intersections (the §6 bitmap optimisation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use solap_datagen::{generate_synthetic, SyntheticConfig};
+use solap_eventdb::{build_sequence_groups, AttrLevel, Pred, SeqQuerySpec, SortKey};
+use solap_index::{build_index, join::join, Bitmap, SetBackend, SidSet};
+use solap_pattern::{PatternKind, PatternTemplate};
+
+fn fixture() -> (solap_eventdb::EventDb, solap_eventdb::SequenceGroups) {
+    let db = generate_synthetic(&SyntheticConfig {
+        i: 60,
+        l: 20.0,
+        theta: 0.9,
+        d: 2_000,
+        seed: 5,
+        hierarchy: false,
+    })
+    .unwrap();
+    let groups = build_sequence_groups(
+        &db,
+        &SeqQuerySpec {
+            filter: Pred::True,
+            cluster_by: vec![AttrLevel::new(0, 0)],
+            sequence_by: vec![SortKey {
+                attr: 1,
+                ascending: true,
+            }],
+            group_by: vec![],
+        },
+    )
+    .unwrap();
+    (db, groups)
+}
+
+fn template(syms: &[&str]) -> PatternTemplate {
+    let mut bindings: Vec<(&str, u32, usize)> = Vec::new();
+    for &s in syms {
+        if !bindings.iter().any(|(n, _, _)| *n == s) {
+            bindings.push((s, 2, 0));
+        }
+    }
+    PatternTemplate::new(PatternKind::Substring, syms, &bindings).unwrap()
+}
+
+fn bench_indexing(c: &mut Criterion) {
+    let (db, groups) = fixture();
+    let mut g = c.benchmark_group("indexing");
+    g.sample_size(10);
+    for backend in [SetBackend::List, SetBackend::Bitmap] {
+        g.bench_function(BenchmarkId::new("build-l2", format!("{backend:?}")), |b| {
+            b.iter(|| {
+                build_index(
+                    &db,
+                    groups.iter_sequences(),
+                    &template(&["X", "Y"]),
+                    backend,
+                )
+                .unwrap()
+                .0
+                .list_count()
+            })
+        });
+    }
+    let (l2, _) = build_index(
+        &db,
+        groups.iter_sequences(),
+        &template(&["X", "Y"]),
+        SetBackend::List,
+    )
+    .unwrap();
+    let txyy = template(&["X", "Y", "Y"]);
+    let (lyy, _) = build_index(
+        &db,
+        groups.iter_sequences(),
+        &template(&["Y", "Y"]),
+        SetBackend::List,
+    )
+    .unwrap();
+    g.bench_function("join-l2-lyy", |b| {
+        b.iter(|| join(&l2, &lyy, txyy.signature(), |c| txyy.is_instantiation(c)).list_count())
+    });
+    // Raw set intersection: sorted lists vs bitmaps.
+    let a_ids: Vec<u32> = (0..20_000).step_by(3).collect();
+    let b_ids: Vec<u32> = (0..20_000).step_by(5).collect();
+    let (la, lb) = (
+        SidSet::from_sorted(a_ids.clone()),
+        SidSet::from_sorted(b_ids.clone()),
+    );
+    let (ba, bb) = (
+        SidSet::Bitmap(a_ids.iter().copied().collect::<Bitmap>()),
+        SidSet::Bitmap(b_ids.iter().copied().collect::<Bitmap>()),
+    );
+    g.bench_function("intersect-lists", |b| b.iter(|| la.intersect(&lb).len()));
+    g.bench_function("intersect-bitmaps", |b| b.iter(|| ba.intersect(&bb).len()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_indexing);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Micro-benchmarks of the pattern matcher: substring vs subsequence
+//! occurrence enumeration and cell assignment under each restriction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use solap_datagen::{generate_synthetic, SyntheticConfig};
+use solap_eventdb::{build_sequence_groups, AttrLevel, Pred, SeqQuerySpec, SortKey};
+use solap_pattern::{CellRestriction, MatchPred, Matcher, PatternKind, PatternTemplate};
+
+fn fixture() -> (solap_eventdb::EventDb, solap_eventdb::SequenceGroups) {
+    let db = generate_synthetic(&SyntheticConfig {
+        i: 50,
+        l: 20.0,
+        theta: 0.9,
+        d: 500,
+        seed: 7,
+        hierarchy: false,
+    })
+    .unwrap();
+    let groups = build_sequence_groups(
+        &db,
+        &SeqQuerySpec {
+            filter: Pred::True,
+            cluster_by: vec![AttrLevel::new(0, 0)],
+            sequence_by: vec![SortKey {
+                attr: 1,
+                ascending: true,
+            }],
+            group_by: vec![],
+        },
+    )
+    .unwrap();
+    (db, groups)
+}
+
+fn template(kind: PatternKind, syms: &[&str]) -> PatternTemplate {
+    let mut bindings: Vec<(&str, u32, usize)> = Vec::new();
+    for &s in syms {
+        if !bindings.iter().any(|(n, _, _)| *n == s) {
+            bindings.push((s, 2, 0));
+        }
+    }
+    PatternTemplate::new(kind, syms, &bindings).unwrap()
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let (db, groups) = fixture();
+    let trivial = MatchPred::True;
+    let mut g = c.benchmark_group("matcher");
+    for (name, kind, syms) in [
+        ("substring-xy", PatternKind::Substring, &["X", "Y"][..]),
+        (
+            "substring-xyyx",
+            PatternKind::Substring,
+            &["X", "Y", "Y", "X"][..],
+        ),
+        ("subsequence-xy", PatternKind::Subsequence, &["X", "Y"][..]),
+    ] {
+        let t = template(kind, syms);
+        let m = Matcher::new(&db, &t, &trivial);
+        g.bench_function(BenchmarkId::new("assignments", name), |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for seq in groups.iter_sequences() {
+                    total += m
+                        .assignments(seq, CellRestriction::LeftMaximalityMatchedGo)
+                        .unwrap()
+                        .len();
+                }
+                total
+            })
+        });
+    }
+    let t = template(PatternKind::Substring, &["X", "Y"]);
+    let m = Matcher::new(&db, &t, &trivial);
+    g.bench_function("all-matched-vs-left-max", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for seq in groups.iter_sequences() {
+                total += m
+                    .assignments(seq, CellRestriction::AllMatchedGo)
+                    .unwrap()
+                    .len();
+            }
+            total
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Iterative-operation costs on a warm engine: APPEND (prefix join),
+//! P-ROLL-UP (list merge), P-DRILL-DOWN (refinement) — §4.2.2's fast paths
+//! against the cold counter-based equivalents.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use solap_bench::plans::synthetic_spec;
+use solap_core::{Engine, EngineConfig, Op, Strategy};
+use solap_datagen::{generate_synthetic, SyntheticConfig};
+use solap_pattern::PatternKind;
+
+fn db() -> solap_eventdb::EventDb {
+    generate_synthetic(&SyntheticConfig {
+        i: 100,
+        l: 20.0,
+        theta: 0.9,
+        d: 2_000,
+        seed: 42,
+        hierarchy: true,
+    })
+    .unwrap()
+}
+
+fn bench_operations(c: &mut Criterion) {
+    let data = db();
+    let symbol = 2u32;
+    let mut g = c.benchmark_group("operations");
+    g.sample_size(10);
+    for (label, strategy) in [
+        ("CB", Strategy::CounterBased),
+        ("II", Strategy::InvertedIndex),
+    ] {
+        for (op_label, op) in [
+            (
+                "append",
+                Op::Append {
+                    symbol: "Z".into(),
+                    attr: symbol,
+                    level: 0,
+                },
+            ),
+            ("p-roll-up", Op::PRollUp { dim: "Y".into() }),
+        ] {
+            g.bench_function(BenchmarkId::new(op_label, label), |b| {
+                b.iter_with_setup(
+                    || {
+                        // Warm engine: the base query has been executed, so
+                        // II has its indices; the op is the measured part.
+                        let engine = Engine::with_config(
+                            data.clone(),
+                            EngineConfig {
+                                strategy,
+                                use_cuboid_repo: false,
+                                ..Default::default()
+                            },
+                        );
+                        let spec =
+                            synthetic_spec(engine.db(), PatternKind::Substring, &["X", "Y"], 0)
+                                .unwrap();
+                        engine.execute(&spec).unwrap();
+                        (engine, spec)
+                    },
+                    |(engine, spec)| engine.execute_op(&spec, &op).unwrap().1.cuboid.len(),
+                )
+            });
+        }
+        // P-DRILL-DOWN from the group level.
+        g.bench_function(BenchmarkId::new("p-drill-down", label), |b| {
+            b.iter_with_setup(
+                || {
+                    let engine = Engine::with_config(
+                        data.clone(),
+                        EngineConfig {
+                            strategy,
+                            use_cuboid_repo: false,
+                            ..Default::default()
+                        },
+                    );
+                    let spec = synthetic_spec(engine.db(), PatternKind::Substring, &["X", "Y"], 1)
+                        .unwrap();
+                    engine.execute(&spec).unwrap();
+                    (engine, spec)
+                },
+                |(engine, spec)| {
+                    engine
+                        .execute_op(&spec, &Op::PDrillDown { dim: "X".into() })
+                        .unwrap()
+                        .1
+                        .cuboid
+                        .len()
+                },
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_operations);
+criterion_main!(benches);

@@ -1,0 +1,309 @@
+//! Experiment plans: data-dependent query sequences expressed as steps.
+//!
+//! The paper's query sets are *iterative*: "a query is obtained from a
+//! previous one by doing a slice followed by an APPEND" (QuerySet A), or a
+//! subcube selection followed by P-DRILL-DOWN / P-ROLL-UP (QuerySet B).
+//! The slice targets depend on the data (the cell with the highest count),
+//! so a plan is a list of [`Step`]s the runner interprets against the
+//! evolving cuboid.
+
+use solap_core::{Op, SCuboidSpec};
+use solap_eventdb::{AttrId, AttrLevel, EventDb, Result, SortKey};
+use solap_pattern::{MatchPred, PatternKind, PatternTemplate};
+
+/// An untimed specification transform computed from the current cuboid.
+#[derive(Debug, Clone)]
+pub enum PreSlice {
+    /// Slice every pattern dimension to the values of the highest cell
+    /// (QuerySet A's "slice operation on the cell with the highest count").
+    TopCellAllDims,
+    /// Slice the first pattern dimension to the value whose subcube has
+    /// the highest total count (QuerySet B's "subcube operation to select
+    /// the subcube with the same X value where its total count is the
+    /// highest").
+    TopSubcube {
+        /// The pattern dimension's symbol name.
+        dim: String,
+    },
+}
+
+/// One step of a plan.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // plans hold a handful of steps
+pub enum Step {
+    /// Execute a fresh specification (timed).
+    Query {
+        /// Step label (e.g. `QA1`).
+        label: String,
+        /// The specification to run.
+        spec: SCuboidSpec,
+    },
+    /// Apply untimed slices, then one timed operation.
+    Op {
+        /// Step label (e.g. `QA2`).
+        label: String,
+        /// Slices applied before the operation (untimed spec transforms).
+        pre: Vec<PreSlice>,
+        /// The timed operation.
+        op: Op,
+    },
+    /// Restore the spec/cuboid snapshot taken after step `index` (untimed;
+    /// lets QB3 branch off QB1).
+    Reset {
+        /// The step to restore (0-based).
+        index: usize,
+    },
+}
+
+/// A full experiment plan.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Plan name (for reports).
+    pub name: String,
+    /// The steps, first of which must be a [`Step::Query`].
+    pub steps: Vec<Step>,
+    /// Optional offline precompute: build the generic size-`m` index over
+    /// `(attr, level)` before timing anything (§5.2 precomputes L2/L3).
+    pub precompute: Option<(AttrId, usize, usize)>,
+}
+
+/// Builds the base spec for synthetic data: `SUBSTRING`/`SUBSEQUENCE`
+/// templates over the `symbol` column at `level`, clustered by `seq-id`,
+/// ordered by `pos`.
+pub fn synthetic_spec(
+    db: &EventDb,
+    kind: PatternKind,
+    symbols: &[&str],
+    level: usize,
+) -> Result<SCuboidSpec> {
+    let attr = db.attr("symbol")?;
+    let mut bindings: Vec<(&str, AttrId, usize)> = Vec::new();
+    for &s in symbols {
+        if !bindings.iter().any(|(n, _, _)| *n == s) {
+            bindings.push((s, attr, level));
+        }
+    }
+    let template = PatternTemplate::new(kind, symbols, &bindings)?;
+    Ok(SCuboidSpec::new(
+        template,
+        vec![AttrLevel::new(db.attr("seq-id")?, 0)],
+        vec![SortKey {
+            attr: db.attr("pos")?,
+            ascending: true,
+        }],
+    ))
+}
+
+/// QuerySet A (§5.2): QA1 = `(X, Y)`; each following query slices the top
+/// cell and APPENDs a fresh symbol — QA2 `(X, Y, Z)` … QA5 `(X, Y, Z, A, B)`
+/// (sizes two through six).
+pub fn query_set_a(db: &EventDb, kind: PatternKind, queries: usize) -> Result<Plan> {
+    let attr = db.attr("symbol")?;
+    let mut steps = vec![Step::Query {
+        label: "QA1".into(),
+        spec: synthetic_spec(db, kind, &["X", "Y"], 0)?,
+    }];
+    let fresh = ["Z", "A", "B", "C", "D", "E"];
+    for i in 1..queries {
+        steps.push(Step::Op {
+            label: format!("QA{}", i + 1),
+            pre: vec![PreSlice::TopCellAllDims],
+            op: Op::Append {
+                symbol: fresh[i - 1].to_owned(),
+                attr,
+                level: 0,
+            },
+        });
+    }
+    Ok(Plan {
+        name: format!("QuerySet A ({:?})", kind),
+        steps,
+        precompute: Some((attr, 0, 2)),
+    })
+}
+
+/// QuerySet B (§5.2): the 3-level hierarchy experiment. QB1 = `(X, Y, Z)`
+/// at the middle (group) level; QB2 = subcube on the hottest X then
+/// P-DRILL-DOWN X to the finest level; QB3 = (from QB1) the same subcube
+/// then P-ROLL-UP Y to the highest level. `L3^(X,Y,Z)` is precomputed.
+pub fn query_set_b(db: &EventDb) -> Result<Plan> {
+    let attr = db.attr("symbol")?;
+    let qb1 = synthetic_spec(db, PatternKind::Substring, &["X", "Y", "Z"], 1)?;
+    Ok(Plan {
+        name: "QuerySet B".into(),
+        steps: vec![
+            Step::Query {
+                label: "QB1".into(),
+                spec: qb1,
+            },
+            Step::Op {
+                label: "QB2".into(),
+                pre: vec![PreSlice::TopSubcube { dim: "X".into() }],
+                op: Op::PDrillDown { dim: "X".into() },
+            },
+            Step::Reset { index: 0 },
+            Step::Op {
+                label: "QB3".into(),
+                pre: vec![PreSlice::TopSubcube { dim: "X".into() }],
+                op: Op::PRollUp { dim: "Y".into() },
+            },
+        ],
+        precompute: Some((attr, 1, 3)),
+    })
+}
+
+/// QuerySet C (§5.2): restricted-symbol templates. QC1 = `(X, Y)`,
+/// QC2 appends `Y` → `(X, Y, Y)`, QC3 appends `X` → `(X, Y, Y, X)` — the
+/// repeated symbols defeat the P-ROLL-UP merge, so QC4's roll-up falls back
+/// to QUERYINDICES.
+pub fn query_set_c(db: &EventDb) -> Result<Plan> {
+    let attr = db.attr("symbol")?;
+    Ok(Plan {
+        name: "QuerySet C (X,Y,Y,X)".into(),
+        steps: vec![
+            Step::Query {
+                label: "QC1".into(),
+                spec: synthetic_spec(db, PatternKind::Substring, &["X", "Y"], 0)?,
+            },
+            Step::Op {
+                label: "QC2".into(),
+                pre: vec![],
+                op: Op::Append {
+                    symbol: "Y".into(),
+                    attr,
+                    level: 0,
+                },
+            },
+            Step::Op {
+                label: "QC3".into(),
+                pre: vec![],
+                op: Op::Append {
+                    symbol: "X".into(),
+                    attr,
+                    level: 0,
+                },
+            },
+            Step::Op {
+                label: "QC4".into(),
+                pre: vec![],
+                op: Op::PRollUp { dim: "Y".into() },
+            },
+        ],
+        precompute: Some((attr, 0, 2)),
+    })
+}
+
+/// The Table 1 exploration on the clickstream: Qa = `(X, Y)` at
+/// page-category; Qb = slice the hottest cell + P-DRILL-DOWN Y to raw
+/// pages; Qc = APPEND Z at the raw level. No precompute — Table 1 charges
+/// Qa with the on-demand index build.
+pub fn clickstream_plan(db: &EventDb) -> Result<Plan> {
+    let page = db.attr("page")?;
+    let session = db.attr("session-id")?;
+    let time = db.attr("request-time")?;
+    let template = PatternTemplate::new(
+        PatternKind::Substring,
+        &["X", "Y"],
+        &[("X", page, 1), ("Y", page, 1)],
+    )?;
+    let qa = SCuboidSpec::new(
+        template,
+        vec![AttrLevel::new(session, 0)],
+        vec![SortKey {
+            attr: time,
+            ascending: true,
+        }],
+    )
+    .with_mpred(MatchPred::True);
+    Ok(Plan {
+        name: "Table 1 (clickstream)".into(),
+        steps: vec![
+            Step::Query {
+                label: "Qa".into(),
+                spec: qa,
+            },
+            Step::Op {
+                label: "Qb".into(),
+                pre: vec![PreSlice::TopCellAllDims],
+                op: Op::PDrillDown { dim: "Y".into() },
+            },
+            Step::Op {
+                label: "Qc".into(),
+                pre: vec![],
+                op: Op::Append {
+                    symbol: "Z".into(),
+                    attr: page,
+                    level: 0,
+                },
+            },
+        ],
+        precompute: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solap_datagen::{generate_synthetic, SyntheticConfig};
+
+    fn db() -> EventDb {
+        generate_synthetic(&SyntheticConfig {
+            i: 20,
+            l: 8.0,
+            theta: 0.9,
+            d: 50,
+            seed: 1,
+            hierarchy: true,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn query_set_a_shapes() {
+        let db = db();
+        let plan = query_set_a(&db, PatternKind::Substring, 5).unwrap();
+        assert_eq!(plan.steps.len(), 5);
+        assert!(matches!(&plan.steps[0], Step::Query { label, .. } if label == "QA1"));
+        assert!(matches!(
+            &plan.steps[4],
+            Step::Op { label, op: Op::Append { symbol, .. }, .. }
+                if label == "QA5" && symbol == "C"
+        ));
+        assert!(plan.precompute.is_some());
+    }
+
+    #[test]
+    fn query_set_b_resets_to_qb1() {
+        let db = db();
+        let plan = query_set_b(&db).unwrap();
+        assert_eq!(plan.steps.len(), 4);
+        assert!(matches!(plan.steps[2], Step::Reset { index: 0 }));
+        assert_eq!(plan.precompute, Some((db.attr("symbol").unwrap(), 1, 3)));
+    }
+
+    #[test]
+    fn query_set_c_ends_with_roll_up() {
+        let db = db();
+        let plan = query_set_c(&db).unwrap();
+        assert!(matches!(
+            plan.steps.last().unwrap(),
+            Step::Op {
+                op: Op::PRollUp { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn synthetic_spec_validates() {
+        let db = db();
+        for (kind, level) in [
+            (PatternKind::Substring, 0),
+            (PatternKind::Substring, 1),
+            (PatternKind::Subsequence, 2),
+        ] {
+            let spec = synthetic_spec(&db, kind, &["X", "Y"], level).unwrap();
+            spec.validate(&db).unwrap();
+        }
+    }
+}

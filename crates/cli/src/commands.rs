@@ -1,0 +1,210 @@
+//! Command-line argument parsing for the REPL: `k=v` option lists and the
+//! `.op` sub-language that maps onto [`solap_core::Op`].
+
+use std::collections::HashMap;
+
+use solap_core::{Op, SCuboidSpec};
+use solap_eventdb::EventDb;
+
+/// A user-facing CLI error (printed, never fatal).
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+/// Parses `key=value` arguments.
+pub fn parse_kv(args: &[&str]) -> Result<HashMap<String, String>, CliError> {
+    let mut out = HashMap::new();
+    for a in args {
+        let (k, v) = a
+            .split_once('=')
+            .ok_or_else(|| CliError(format!("expected key=value, got `{a}`")))?;
+        if k.is_empty() || v.is_empty() {
+            return Err(CliError(format!("expected key=value, got `{a}`")));
+        }
+        out.insert(k.to_owned(), v.to_owned());
+    }
+    Ok(out)
+}
+
+/// Parses a `.op …` invocation into an [`Op`], resolving attribute and
+/// level names (and slice values) against the schema and the current spec.
+pub fn parse_op(
+    db: &EventDb,
+    args: &[&str],
+    current: Option<&SCuboidSpec>,
+) -> Result<Op, CliError> {
+    let usage = || {
+        CliError("usage: .op append|prepend|detail|dehead|prollup|pdrilldown|rollup|drilldown|slice-pattern|slice-group|minsup …".into())
+    };
+    let op = args.first().copied().ok_or_else(usage)?;
+    let arg = |i: usize| -> Result<&str, CliError> {
+        args.get(i)
+            .copied()
+            .ok_or_else(|| CliError(format!("`.op {op}` needs more arguments")))
+    };
+    let attr_level = |attr_name: &str, level_name: &str| -> Result<(u32, usize), CliError> {
+        let attr = db.attr(attr_name).map_err(|e| CliError(e.to_string()))?;
+        let level = db
+            .level_by_name(attr, level_name)
+            .map_err(|e| CliError(e.to_string()))?;
+        Ok((attr, level))
+    };
+    match op {
+        "append" | "prepend" => {
+            let symbol = arg(1)?.to_owned();
+            // If the symbol exists in the current template, reuse its
+            // binding; otherwise ATTR and LEVEL are required.
+            let existing = current.and_then(|s| {
+                s.template
+                    .dims
+                    .iter()
+                    .find(|d| d.name == symbol)
+                    .map(|d| (d.attr, d.level))
+            });
+            let (attr, level) = match (existing, args.len()) {
+                (Some(b), 2) => b,
+                _ => attr_level(arg(2)?, arg(3)?)?,
+            };
+            Ok(if op == "append" {
+                Op::Append {
+                    symbol,
+                    attr,
+                    level,
+                }
+            } else {
+                Op::Prepend {
+                    symbol,
+                    attr,
+                    level,
+                }
+            })
+        }
+        "detail" => Ok(Op::DeTail),
+        "dehead" => Ok(Op::DeHead),
+        "prollup" => Ok(Op::PRollUp {
+            dim: arg(1)?.to_owned(),
+        }),
+        "pdrilldown" => Ok(Op::PDrillDown {
+            dim: arg(1)?.to_owned(),
+        }),
+        "rollup" => {
+            let attr = db.attr(arg(1)?).map_err(|e| CliError(e.to_string()))?;
+            Ok(Op::RollUp { attr })
+        }
+        "drilldown" => {
+            let attr = db.attr(arg(1)?).map_err(|e| CliError(e.to_string()))?;
+            Ok(Op::DrillDown { attr })
+        }
+        "slice-pattern" => {
+            let dim_name = arg(1)?.to_owned();
+            let spec = current.ok_or_else(|| CliError("no current query".into()))?;
+            let dim = spec
+                .template
+                .dims
+                .iter()
+                .find(|d| d.name == dim_name)
+                .ok_or_else(|| CliError(format!("no pattern dimension `{dim_name}`")))?;
+            let value = db
+                .parse_level_value(dim.attr, dim.level, arg(2)?)
+                .map_err(|e| CliError(e.to_string()))?;
+            Ok(Op::SlicePattern {
+                dim: dim_name,
+                value,
+            })
+        }
+        "slice-group" => {
+            let idx: usize = arg(1)?
+                .parse()
+                .map_err(|_| CliError("slice-group needs a dimension index".into()))?;
+            let spec = current.ok_or_else(|| CliError("no current query".into()))?;
+            let al = spec
+                .seq
+                .group_by
+                .get(idx)
+                .ok_or_else(|| CliError(format!("no global dimension #{idx}")))?;
+            let value = db
+                .parse_level_value(al.attr, al.level, arg(2)?)
+                .map_err(|e| CliError(e.to_string()))?;
+            Ok(Op::SliceGlobal { dim: idx, value })
+        }
+        "minsup" => {
+            let v = arg(1)?;
+            if v == "off" {
+                Ok(Op::SetMinSupport(None))
+            } else {
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| CliError("minsup needs a number or `off`".into()))?;
+                Ok(Op::SetMinSupport(Some(n)))
+            }
+        }
+        _ => Err(usage()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solap_eventdb::{ColumnType, EventDbBuilder, Value};
+
+    fn db() -> EventDb {
+        let mut db = EventDbBuilder::new()
+            .dimension("sid", ColumnType::Int)
+            .dimension("location", ColumnType::Str)
+            .build()
+            .unwrap();
+        db.push_row(&[Value::Int(0), Value::from("Pentagon")])
+            .unwrap();
+        db.set_base_level_name(1, "station");
+        db
+    }
+
+    #[test]
+    fn kv_parsing() {
+        let kv = parse_kv(&["a=1", "b=x"]).unwrap();
+        assert_eq!(kv["a"], "1");
+        assert_eq!(kv["b"], "x");
+        assert!(parse_kv(&["oops"]).is_err());
+        assert!(parse_kv(&["=v"]).is_err());
+        assert!(parse_kv(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn op_parsing() {
+        let db = db();
+        assert!(matches!(
+            parse_op(&db, &["append", "Z", "location", "station"], None).unwrap(),
+            Op::Append { .. }
+        ));
+        assert!(matches!(
+            parse_op(&db, &["detail"], None).unwrap(),
+            Op::DeTail
+        ));
+        assert!(matches!(
+            parse_op(&db, &["dehead"], None).unwrap(),
+            Op::DeHead
+        ));
+        assert!(matches!(
+            parse_op(&db, &["prollup", "X"], None).unwrap(),
+            Op::PRollUp { .. }
+        ));
+        assert!(matches!(
+            parse_op(&db, &["rollup", "location"], None).unwrap(),
+            Op::RollUp { .. }
+        ));
+        assert!(matches!(
+            parse_op(&db, &["minsup", "5"], None).unwrap(),
+            Op::SetMinSupport(Some(5))
+        ));
+        assert!(matches!(
+            parse_op(&db, &["minsup", "off"], None).unwrap(),
+            Op::SetMinSupport(None)
+        ));
+        assert!(
+            parse_op(&db, &["append", "Z"], None).is_err(),
+            "new symbol needs a binding"
+        );
+        assert!(parse_op(&db, &["warp"], None).is_err());
+        assert!(parse_op(&db, &[], None).is_err());
+        assert!(parse_op(&db, &["rollup", "bogus"], None).is_err());
+    }
+}

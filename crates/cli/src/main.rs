@@ -1,0 +1,600 @@
+//! `solap` — an interactive S-OLAP REPL.
+//!
+//! The user-interface layer of the prototype architecture (Figure 6):
+//! generate or load data, pose S-cuboid queries in the Figure-3 language,
+//! and navigate with the six S-OLAP operations.
+//!
+//! ```text
+//! $ cargo run -p solap-cli
+//! solap> .gen transit passengers=500 days=7
+//! solap> SELECT COUNT(*) FROM Event
+//!    ...> CLUSTER BY card-id AT individual, time AT day
+//!    ...> SEQUENCE BY time ASCENDING
+//!    ...> CUBOID BY SUBSTRING (X, Y)
+//!    ...>   WITH X AS location AT station, Y AS location AT station
+//!    ...>   LEFT-MAXIMALITY (x1, y1)
+//!    ...>   WITH x1.action = "in" AND y1.action = "out";
+//! solap> .op append Z location station
+//! solap> .op prollup Z
+//! solap> .show 20
+//! ```
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, Write};
+
+use solap_core::cb::CounterMode;
+use solap_core::{Engine, Strategy};
+use solap_datagen::{ClickstreamConfig, SyntheticConfig, TransitConfig};
+use solap_eventdb::EventDb;
+use solap_index::SetBackend;
+
+mod commands;
+
+use commands::{parse_kv, CliError};
+
+struct Repl {
+    engine: Option<Engine>,
+    /// The current spec; re-set by every successful query or operation.
+    current: Option<solap_core::SCuboidSpec>,
+    history: Vec<String>,
+}
+
+impl Repl {
+    fn new() -> Self {
+        Repl {
+            engine: None,
+            current: None,
+            history: Vec::new(),
+        }
+    }
+
+    fn engine(&self) -> Result<&Engine, CliError> {
+        self.engine
+            .as_ref()
+            .ok_or_else(|| CliError("no dataset loaded — try `.gen transit`".into()))
+    }
+
+    fn handle(&mut self, line: &str, out: &mut impl Write) -> io::Result<bool> {
+        let line = line.trim();
+        if line.is_empty() {
+            return Ok(true);
+        }
+        let result = if let Some(rest) = line.strip_prefix('.') {
+            self.command(rest, out)
+        } else {
+            self.query(line, out)
+        };
+        if let Err(CliError(msg)) = result {
+            writeln!(out, "error: {msg}")?;
+        }
+        Ok(!matches!(line, ".quit" | ".exit"))
+    }
+
+    fn command(&mut self, rest: &str, out: &mut impl Write) -> Result<(), CliError> {
+        let mut parts = rest.split_whitespace();
+        let cmd = parts.next().unwrap_or("");
+        let args: Vec<&str> = parts.collect();
+        match cmd {
+            "help" => {
+                write_help(out).map_err(io_err)?;
+            }
+            "quit" | "exit" => {}
+            "gen" => {
+                let kind = args.first().copied().ok_or_else(|| {
+                    CliError("usage: .gen transit|clickstream|synthetic [k=v …]".into())
+                })?;
+                let kv = parse_kv(&args[1..])?;
+                let db = generate(kind, &kv)?;
+                writeln!(out, "generated {} events", db.len()).map_err(io_err)?;
+                self.engine = Some(Engine::new(db));
+                self.current = None;
+            }
+            "schema" => {
+                let engine = self.engine()?;
+                for (i, col) in engine.db().schema().columns().iter().enumerate() {
+                    let levels: Vec<String> = (0..engine.db().level_count(i as u32))
+                        .map(|l| engine.db().level_name(i as u32, l))
+                        .collect();
+                    writeln!(
+                        out,
+                        "  {:<14} {:<6} {:?}  levels: {}",
+                        col.name,
+                        col.ctype.name(),
+                        col.role,
+                        levels.join(" → ")
+                    )
+                    .map_err(io_err)?;
+                }
+            }
+            "strategy" => {
+                let engine = self
+                    .engine
+                    .as_mut()
+                    .ok_or_else(|| CliError("no dataset loaded".into()))?;
+                engine.config_mut().strategy = match args.first().copied() {
+                    Some("cb") => Strategy::CounterBased,
+                    Some("ii") => Strategy::InvertedIndex,
+                    Some("auto") => Strategy::Auto,
+                    other => {
+                        return Err(CliError(format!(
+                            "usage: .strategy cb|ii|auto (got {other:?})"
+                        )))
+                    }
+                };
+            }
+            "backend" => {
+                let engine = self
+                    .engine
+                    .as_mut()
+                    .ok_or_else(|| CliError("no dataset loaded".into()))?;
+                engine.config_mut().backend = match args.first().copied() {
+                    Some("list") => SetBackend::List,
+                    Some("bitmap") => SetBackend::Bitmap,
+                    other => {
+                        return Err(CliError(format!(
+                            "usage: .backend list|bitmap (got {other:?})"
+                        )))
+                    }
+                };
+            }
+            "counters" => {
+                let engine = self
+                    .engine
+                    .as_mut()
+                    .ok_or_else(|| CliError("no dataset loaded".into()))?;
+                engine.config_mut().counter_mode = match args.first().copied() {
+                    Some("hash") => CounterMode::Hash,
+                    Some("dense") => CounterMode::Dense,
+                    Some("auto") => CounterMode::Auto,
+                    other => {
+                        return Err(CliError(format!(
+                            "usage: .counters hash|dense|auto (got {other:?})"
+                        )))
+                    }
+                };
+            }
+            "op" => {
+                let prev = self
+                    .current
+                    .clone()
+                    .ok_or_else(|| CliError("no current query — run one first".into()))?;
+                let (op, spec, result, table) = {
+                    let engine = self.engine()?;
+                    let op = commands::parse_op(engine.db(), &args, Some(&prev))?;
+                    let (spec, result) = engine.execute_op(&prev, &op).map_err(engine_err)?;
+                    let table = result.cuboid.tabulate(engine.db(), 10, true);
+                    (op, spec, result, table)
+                };
+                self.history
+                    .push(format!("{} → {}", op.name(), spec.template.render_head()));
+                writeln!(
+                    out,
+                    "{}: {} cells via {} in {:?} ({} sequences scanned)",
+                    op.name(),
+                    result.cuboid.len(),
+                    result.stats.strategy,
+                    result.stats.elapsed,
+                    result.stats.sequences_scanned
+                )
+                .map_err(io_err)?;
+                write!(out, "{table}").map_err(io_err)?;
+                self.current = Some(spec);
+            }
+            "show" => {
+                let n: usize = args
+                    .first()
+                    .map(|s| s.parse().map_err(|_| CliError("bad row count".into())))
+                    .transpose()?
+                    .unwrap_or(20);
+                let engine = self.engine()?;
+                let spec = self
+                    .current
+                    .as_ref()
+                    .ok_or_else(|| CliError("no current query".into()))?;
+                let result = engine.execute(spec).map_err(engine_err)?;
+                write!(out, "{}", result.cuboid.tabulate(engine.db(), n, true)).map_err(io_err)?;
+            }
+            "spec" => {
+                let engine = self.engine()?;
+                let spec = self
+                    .current
+                    .as_ref()
+                    .ok_or_else(|| CliError("no current query".into()))?;
+                write!(out, "{}", spec.render(engine.db())).map_err(io_err)?;
+            }
+            "stats" => {
+                let engine = self.engine()?;
+                let (sh, sm) = engine.sequence_cache().stats();
+                let (ih, im) = engine.index_store().stats();
+                let (ch, cm) = engine.cuboid_repo().stats();
+                writeln!(
+                    out,
+                    "sequence cache: {} entries, {sh} hits / {sm} misses\n\
+                     index store:    {} indices, {:.1} KiB, {ih} hits / {im} misses\n\
+                     cuboid repo:    {} cuboids, {:.1} KiB, {ch} hits / {cm} misses",
+                    engine.sequence_cache().len(),
+                    engine.index_store().len(),
+                    engine.index_store().total_bytes() as f64 / 1024.0,
+                    engine.cuboid_repo().len(),
+                    engine.cuboid_repo().total_bytes() as f64 / 1024.0,
+                )
+                .map_err(io_err)?;
+            }
+            "save" => {
+                let path = args
+                    .first()
+                    .ok_or_else(|| CliError("usage: .save PATH".into()))?;
+                let engine = self.engine()?;
+                solap_eventdb::persist::save_to_path(engine.db(), path).map_err(engine_err)?;
+                writeln!(out, "saved {} events to {path}", engine.db().len()).map_err(io_err)?;
+            }
+            "load" => {
+                let path = args
+                    .first()
+                    .ok_or_else(|| CliError("usage: .load PATH".into()))?;
+                let db = solap_eventdb::persist::load_from_path(path).map_err(engine_err)?;
+                writeln!(out, "loaded {} events from {path}", db.len()).map_err(io_err)?;
+                self.engine = Some(Engine::new(db));
+                self.current = None;
+            }
+            "history" => {
+                for (i, h) in self.history.iter().enumerate() {
+                    writeln!(out, "  {i:>3}. {h}").map_err(io_err)?;
+                }
+            }
+            other => {
+                return Err(CliError(format!(
+                    "unknown command `.{other}` — try `.help`"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    fn query(&mut self, text: &str, out: &mut impl Write) -> Result<(), CliError> {
+        let text = text.trim_end_matches(';');
+        // Regex-template queries (the §3.2 extension) use `CUBOID BY REGEX`
+        // and run on the counter-based path.
+        if text.to_ascii_uppercase().contains("CUBOID BY REGEX") {
+            return self.regex_query(text, out);
+        }
+        let (spec, result, table) = {
+            let engine = self.engine()?;
+            let spec = solap_query::parse_query(engine.db(), text).map_err(engine_err)?;
+            let result = engine.execute(&spec).map_err(engine_err)?;
+            let table = result.cuboid.tabulate(engine.db(), 15, true);
+            (spec, result, table)
+        };
+        self.history.push(spec.template.render_head());
+        writeln!(
+            out,
+            "{} cells via {} in {:?} ({} sequences scanned, {} KiB of indices built)",
+            result.cuboid.len(),
+            result.stats.strategy,
+            result.stats.elapsed,
+            result.stats.sequences_scanned,
+            result.stats.index_bytes_built / 1024
+        )
+        .map_err(io_err)?;
+        write!(out, "{table}").map_err(io_err)?;
+        self.current = Some(spec);
+        Ok(())
+    }
+}
+
+impl Repl {
+    fn regex_query(&mut self, text: &str, out: &mut impl Write) -> Result<(), CliError> {
+        let (cuboid, table, render, scanned, start) = {
+            let engine = self.engine()?;
+            let q = solap_query::parse_regex_query(engine.db(), text).map_err(engine_err)?;
+            let start = std::time::Instant::now();
+            let groups =
+                solap_eventdb::build_sequence_groups(engine.db(), &q.seq).map_err(engine_err)?;
+            let mut meter = solap_core::stats::ScanMeter::new();
+            let cuboid = solap_core::regexq::regex_cuboid(
+                engine.db(),
+                &groups,
+                &q.template,
+                q.restriction,
+                &mut meter,
+            )
+            .map_err(engine_err)?;
+            let table = cuboid.tabulate(engine.db(), 15, true);
+            (cuboid, table, q.template.render(), meter.count(), start)
+        };
+        self.history.push(format!("REGEX {render}"));
+        writeln!(
+            out,
+            "{} cells via regex/CB in {:?} ({} sequences scanned)",
+            cuboid.len(),
+            start.elapsed(),
+            scanned
+        )
+        .map_err(io_err)?;
+        write!(out, "{table}").map_err(io_err)?;
+        Ok(())
+    }
+}
+
+fn generate(kind: &str, kv: &HashMap<String, String>) -> Result<EventDb, CliError> {
+    let get_usize = |key: &str, default: usize| -> Result<usize, CliError> {
+        match kv.get(key) {
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError(format!("bad integer for {key}: {v}"))),
+            None => Ok(default),
+        }
+    };
+    let get_f64 = |key: &str, default: f64| -> Result<f64, CliError> {
+        match kv.get(key) {
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError(format!("bad number for {key}: {v}"))),
+            None => Ok(default),
+        }
+    };
+    match kind {
+        "transit" => {
+            let cfg = TransitConfig {
+                passengers: get_usize("passengers", 500)?,
+                days: get_usize("days", 7)?,
+                stations: get_usize("stations", 12)?,
+                districts: get_usize("districts", 4)?,
+                round_trip_rate: get_f64("round_trip_rate", 0.45)?,
+                extra_trips: get_f64("extra_trips", 0.8)?,
+                seed: get_usize("seed", 1)? as u64,
+                ..Default::default()
+            };
+            solap_datagen::generate_transit(&cfg).map_err(engine_err)
+        }
+        "clickstream" => {
+            let cfg = ClickstreamConfig {
+                sessions: get_usize("sessions", 20_000)?,
+                seed: get_usize("seed", 2000)? as u64,
+                ..Default::default()
+            };
+            solap_datagen::generate_clickstream(&cfg).map_err(engine_err)
+        }
+        "synthetic" => {
+            let cfg = SyntheticConfig {
+                i: get_usize("i", 100)?,
+                l: get_f64("l", 20.0)?,
+                theta: get_f64("theta", 0.9)?,
+                d: get_usize("d", 10_000)?,
+                seed: get_usize("seed", 1)? as u64,
+                hierarchy: true,
+            };
+            solap_datagen::generate_synthetic(&cfg).map_err(engine_err)
+        }
+        other => Err(CliError(format!(
+            "unknown generator `{other}` — transit|clickstream|synthetic"
+        ))),
+    }
+}
+
+fn write_help(out: &mut impl Write) -> io::Result<()> {
+    out.write_all(
+        b"commands:
+  .gen transit|clickstream|synthetic [k=v ...]   generate a dataset
+  .schema                                        show columns and hierarchies
+  .strategy cb|ii|auto                           pick the construction approach
+  .backend list|bitmap                           pick the inverted-list encoding
+  .counters hash|dense|auto                      pick the CB counter layout
+  .op append SYM [ATTR LEVEL] | prepend SYM [ATTR LEVEL]
+  .op detail | dehead | prollup DIM | pdrilldown DIM
+  .op rollup ATTR | drilldown ATTR
+  .op slice-pattern DIM VALUE | slice-group IDX VALUE | minsup N|off
+  .save PATH | .load PATH                        persist / restore the event db
+  .show [n]        re-tabulate the current cuboid
+  .spec            print the current query text
+  .stats           cache statistics
+  .history         operations applied so far
+  .quit
+anything else is parsed as an S-cuboid query; end it with `;`
+(CUBOID BY REGEX (X, Y+, .*, X) runs regex templates on the CB path)
+(multi-line input: keep typing, the query runs at the `;`)
+",
+    )
+}
+
+fn io_err(e: io::Error) -> CliError {
+    CliError(format!("io error: {e}"))
+}
+
+fn engine_err(e: solap_eventdb::Error) -> CliError {
+    CliError(e.to_string())
+}
+
+fn main() -> io::Result<()> {
+    let stdin = io::stdin();
+    let mut stdout = io::stdout();
+    let mut repl = Repl::new();
+    writeln!(
+        stdout,
+        "S-OLAP — OLAP on sequence data (SIGMOD 2008 reproduction). Type `.help`."
+    )?;
+    let mut buffer = String::new();
+    loop {
+        let prompt = if buffer.is_empty() {
+            "solap> "
+        } else {
+            "   ...> "
+        };
+        write!(stdout, "{prompt}")?;
+        stdout.flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break;
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() && (trimmed.starts_with('.') || trimmed.is_empty()) {
+            if !repl.handle(trimmed, &mut stdout)? {
+                break;
+            }
+            continue;
+        }
+        buffer.push_str(&line);
+        if trimmed.ends_with(';') {
+            let text = std::mem::take(&mut buffer);
+            repl.handle(&text, &mut stdout)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> Repl {
+        let mut repl = Repl::new();
+        let mut out = Vec::new();
+        repl.handle(".gen transit passengers=60 days=3", &mut out)
+            .unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("generated"));
+        repl
+    }
+
+    const QUERY: &str = r#"SELECT COUNT(*) FROM Event
+        CLUSTER BY card-id AT individual, time AT day
+        SEQUENCE BY time ASCENDING
+        CUBOID BY SUBSTRING (X, Y)
+          WITH X AS location AT station, Y AS location AT station
+          LEFT-MAXIMALITY (x1, y1)
+          WITH x1.action = "in" AND y1.action = "out";"#;
+
+    #[test]
+    fn gen_query_and_ops_flow() {
+        let mut repl = setup();
+        let mut out = Vec::new();
+        repl.handle(QUERY, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("cells via"), "{text}");
+        let mut out = Vec::new();
+        repl.handle(".op append Z location station", &mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("APPEND"), "{text}");
+        let mut out = Vec::new();
+        repl.handle(".op detail", &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("DE-TAIL"));
+        let mut out = Vec::new();
+        repl.handle(".history", &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("APPEND") && text.contains("DE-TAIL"));
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let mut repl = Repl::new();
+        let mut out = Vec::new();
+        assert!(repl.handle(".show", &mut out).unwrap());
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .contains("error: no dataset"));
+        let mut repl = setup();
+        let mut out = Vec::new();
+        repl.handle("SELECT BOGUS;", &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("error:"));
+        let mut out = Vec::new();
+        repl.handle(".op prollup Q", &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("error:"));
+    }
+
+    #[test]
+    fn strategy_and_backend_switching() {
+        let mut repl = setup();
+        for cmd in [
+            ".strategy cb",
+            ".strategy ii",
+            ".backend bitmap",
+            ".counters dense",
+        ] {
+            let mut out = Vec::new();
+            repl.handle(cmd, &mut out).unwrap();
+            assert!(out.is_empty(), "{cmd}: {}", String::from_utf8_lossy(&out));
+        }
+        let mut out = Vec::new();
+        repl.handle(".strategy warp", &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("error"));
+    }
+
+    #[test]
+    fn schema_and_stats_commands() {
+        let mut repl = setup();
+        let mut out = Vec::new();
+        repl.handle(".schema", &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("location") && text.contains("district"));
+        let mut out = Vec::new();
+        repl.handle(QUERY, &mut out).unwrap();
+        let mut out = Vec::new();
+        repl.handle(".stats", &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("index store"), "{text}");
+        let mut out = Vec::new();
+        repl.handle(".spec", &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("CUBOID BY"));
+    }
+
+    #[test]
+    fn slice_and_minsup_ops() {
+        let mut repl = setup();
+        let mut out = Vec::new();
+        repl.handle(QUERY, &mut out).unwrap();
+        let mut out = Vec::new();
+        repl.handle(".op slice-pattern X ST000", &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("SLICE-PATTERN"));
+        let mut out = Vec::new();
+        repl.handle(".op minsup 3", &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("MIN-SUPPORT"));
+        let mut out = Vec::new();
+        repl.handle(".op minsup off", &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("MIN-SUPPORT"));
+    }
+
+    #[test]
+    fn regex_queries_run() {
+        let mut repl = setup();
+        let q = r#"SELECT COUNT(*) FROM Event
+            CLUSTER BY card-id AT individual, time AT day
+            SEQUENCE BY time ASCENDING
+            CUBOID BY REGEX (X, Y, .*, Y, X)
+              WITH X AS location AT station, Y AS location AT station
+              LEFT-MAXIMALITY;"#;
+        let mut out = Vec::new();
+        repl.handle(q, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("via regex/CB"), "{text}");
+        let mut out = Vec::new();
+        repl.handle(".history", &mut out).unwrap();
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .contains("REGEX (X, Y, .*, Y, X)"));
+    }
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let mut repl = setup();
+        let path = std::env::temp_dir().join(format!("solap-cli-{}.db", std::process::id()));
+        let path_s = path.to_string_lossy().to_string();
+        let mut out = Vec::new();
+        repl.handle(&format!(".save {path_s}"), &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("saved"));
+        let mut out = Vec::new();
+        repl.handle(&format!(".load {path_s}"), &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("loaded"));
+        std::fs::remove_file(&path).ok();
+        // The loaded engine answers queries.
+        let mut out = Vec::new();
+        repl.handle(QUERY, &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("cells via"));
+    }
+
+    #[test]
+    fn quit_stops_the_loop() {
+        let mut repl = Repl::new();
+        let mut out = Vec::new();
+        assert!(!repl.handle(".quit", &mut out).unwrap());
+    }
+}

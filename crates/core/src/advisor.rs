@@ -1,0 +1,375 @@
+//! The index-materialization advisor — the §4.2.2 open problem:
+//!
+//! "Another interesting question concerns *which* inverted indices should
+//! be materialized offline. A related problem is thus about how to
+//! determine the lists to be built given a set of frequently asked
+//! queries."
+//!
+//! Given a representative workload (a set of S-cuboid specifications with
+//! frequencies) and a byte budget, the advisor chooses which **generic**
+//! indices (`L_m` over an `(attribute, level)` pair) to precompute. The
+//! cost model is the one the engine actually exhibits:
+//!
+//! * a query whose template signature has a cached prefix of length `k`
+//!   skips the base-build scan and joins up from `k` — the benefit of a
+//!   candidate `L_k` is the base-build work it saves, weighted by query
+//!   frequency;
+//! * a longer prefix saves more join rungs, but generic `L_m` size grows
+//!   steeply with `m` (measured by building on a sample);
+//! * benefit is claimed once per `(attr, level)` lane — a cached `L_3`
+//!   subsumes the `L_2` benefit for the same queries (the ladder joins
+//!   from the *largest* prefix).
+//!
+//! The selection is the classic greedy benefit-per-byte loop, which is the
+//! standard first-order answer for view/index selection problems.
+
+use std::collections::HashMap;
+
+use solap_eventdb::{AttrId, EventDb, Result, SequenceGroups};
+use solap_index::{build_index, SetBackend};
+use solap_pattern::{PatternKind, PatternTemplate};
+
+use crate::spec::SCuboidSpec;
+
+/// A candidate generic index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// The attribute the index keys on.
+    pub attr: AttrId,
+    /// The abstraction level.
+    pub level: usize,
+    /// Pattern length `m`.
+    pub m: usize,
+    /// Substring or subsequence.
+    pub kind: PatternKind,
+    /// Estimated bytes (from the sample build, scaled).
+    pub estimated_bytes: usize,
+    /// Estimated benefit (frequency-weighted sequences-scanned saved).
+    pub benefit: f64,
+}
+
+/// The advisor's output: chosen candidates, in pick order.
+#[derive(Debug, Clone, Default)]
+pub struct Advice {
+    /// The picks, highest benefit-per-byte first.
+    pub chosen: Vec<Candidate>,
+    /// Candidates considered but not chosen.
+    pub rejected: Vec<Candidate>,
+    /// Total estimated bytes of the chosen set.
+    pub total_bytes: usize,
+}
+
+/// Workload entry: a query and how often it is expected to run.
+#[derive(Debug, Clone)]
+pub struct WorkloadQuery {
+    /// The query.
+    pub spec: SCuboidSpec,
+    /// Relative frequency (weight).
+    pub frequency: f64,
+}
+
+/// Builds candidate generic indices for a workload: for every `(attr,
+/// level, kind)` lane used by some query template, lengths `2..=max_m`
+/// (capped by the longest template on that lane).
+fn candidates_for(
+    workload: &[WorkloadQuery],
+    max_m: usize,
+) -> Vec<(AttrId, usize, PatternKind, usize)> {
+    let mut lanes: HashMap<(AttrId, usize, PatternKind), usize> = HashMap::new();
+    for q in workload {
+        let t = &q.spec.template;
+        for d in &t.dims {
+            let e = lanes.entry((d.attr, d.level, t.kind)).or_insert(0);
+            *e = (*e).max(t.m());
+        }
+    }
+    let mut out = Vec::new();
+    for ((attr, level, kind), longest) in lanes {
+        for m in 2..=longest.min(max_m) {
+            out.push((attr, level, kind, m));
+        }
+    }
+    out.sort_by_key(|&(a, l, k, m)| (a, l, k == PatternKind::Subsequence, m));
+    out
+}
+
+/// Estimates a candidate's size by building it over a sample of sequences
+/// and scaling linearly (list entries grow linearly with sequence count;
+/// the key space saturates, so linear scaling is a safe over-estimate).
+fn estimate_bytes(
+    db: &EventDb,
+    groups: &SequenceGroups,
+    attr: AttrId,
+    level: usize,
+    kind: PatternKind,
+    m: usize,
+    sample: usize,
+) -> Result<usize> {
+    let names: Vec<String> = (0..m).map(|i| format!("P{i}")).collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let bindings: Vec<(&str, AttrId, usize)> =
+        name_refs.iter().map(|&n| (n, attr, level)).collect();
+    let template = PatternTemplate::new(kind, &name_refs, &bindings)?;
+    let total = groups.total_sequences.max(1);
+    let take = sample.min(total);
+    let seqs = groups.iter_sequences().take(take);
+    let (index, _) = build_index(db, seqs, &template, SetBackend::List)?;
+    Ok(index.heap_bytes() * total / take.max(1))
+}
+
+/// Recommends which generic indices to precompute within `byte_budget`.
+///
+/// `sample` controls how many sequences the size estimation builds over
+/// (small samples are fast and adequate — sizes only gate the greedy
+/// ordering).
+pub fn advise(
+    db: &EventDb,
+    groups: &SequenceGroups,
+    workload: &[WorkloadQuery],
+    byte_budget: usize,
+    sample: usize,
+) -> Result<Advice> {
+    let total_seqs = groups.total_sequences as f64;
+    let mut candidates = Vec::new();
+    for (attr, level, kind, m) in candidates_for(workload, 6) {
+        let estimated_bytes = estimate_bytes(db, groups, attr, level, kind, m, sample)?;
+        // Benefit: every query on this lane with template length ≥ m avoids
+        // the full base-build scan (D sequences) on its first run, and
+        // deeper prefixes save join/verify rungs — approximated as one
+        // D-scan per rung covered.
+        let mut benefit = 0.0;
+        for q in workload {
+            let t = &q.spec.template;
+            let on_lane =
+                t.dims.iter().any(|d| d.attr == attr && d.level == level) && t.kind == kind;
+            if on_lane && t.m() >= m {
+                benefit += q.frequency * total_seqs * (m - 1) as f64;
+            }
+        }
+        candidates.push(Candidate {
+            attr,
+            level,
+            m,
+            kind,
+            estimated_bytes,
+            benefit,
+        });
+    }
+    // Greedy by marginal benefit per byte. A longer index on the same lane
+    // subsumes the shorter ones' benefit, so after picking one, re-derive
+    // marginal benefits: shorter prefixes on the lane become redundant for
+    // the queries the pick covers; longer ones only add their extra rungs.
+    let mut advice = Advice::default();
+    let mut remaining = candidates;
+    let mut picked_per_lane: HashMap<(AttrId, usize, PatternKind), usize> = HashMap::new();
+    loop {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, c) in remaining.iter().enumerate() {
+            let lane = (c.attr, c.level, c.kind);
+            let covered = picked_per_lane.get(&lane).copied().unwrap_or(1);
+            if c.m <= covered {
+                continue; // subsumed
+            }
+            let marginal = c.benefit * ((c.m - covered) as f64 / (c.m - 1) as f64);
+            if c.estimated_bytes + advice.total_bytes > byte_budget {
+                continue;
+            }
+            let score = marginal / (c.estimated_bytes.max(1) as f64);
+            if best.is_none_or(|(_, s)| score > s) {
+                best = Some((i, score));
+            }
+        }
+        let Some((i, _)) = best else { break };
+        let c = remaining.remove(i);
+        picked_per_lane.insert((c.attr, c.level, c.kind), c.m);
+        advice.total_bytes += c.estimated_bytes;
+        advice.chosen.push(c);
+    }
+    advice.rejected = remaining;
+    Ok(advice)
+}
+
+/// Materializes the advice into an engine's index store; returns the bytes
+/// actually built.
+pub fn apply_advice(
+    engine: &crate::engine::Engine,
+    workload: &[WorkloadQuery],
+    advice: &Advice,
+) -> Result<usize> {
+    let mut built = 0;
+    for c in &advice.chosen {
+        // Precompute against every distinct sequence-group spec in the
+        // workload that uses this lane.
+        let mut done = std::collections::HashSet::new();
+        for q in workload {
+            let uses = q
+                .spec
+                .template
+                .dims
+                .iter()
+                .any(|d| d.attr == c.attr && d.level == c.level);
+            if uses && done.insert(q.spec.seq.fingerprint()) {
+                built += engine.precompute_index(&q.spec, c.attr, c.level, c.m)?;
+            }
+        }
+    }
+    Ok(built)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use solap_eventdb::{AttrLevel, SortKey};
+
+    fn db() -> EventDb {
+        solap_datagen_shim::synthetic(40, 10.0, 400)
+    }
+
+    /// A tiny local generator to avoid a dev-dependency cycle with
+    /// solap-datagen (which depends on eventdb only, but keeping core's
+    /// dev-deps lean matters for build times).
+    mod solap_datagen_shim {
+        use solap_eventdb::{ColumnType, EventDb, EventDbBuilder, Value};
+
+        pub fn synthetic(i: usize, l: f64, d: usize) -> EventDb {
+            let mut db = EventDbBuilder::new()
+                .dimension("seq-id", ColumnType::Int)
+                .dimension("pos", ColumnType::Int)
+                .dimension("symbol", ColumnType::Str)
+                .build()
+                .unwrap();
+            let mut state = 123456789u64;
+            let mut rand = move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as usize
+            };
+            for sid in 0..d {
+                let len = 1 + rand() % (2 * l as usize);
+                for pos in 0..len {
+                    let sym = rand() % i;
+                    db.push_row(&[
+                        Value::Int(sid as i64),
+                        Value::Int(pos as i64),
+                        Value::Str(format!("s{sym:02}")),
+                    ])
+                    .unwrap();
+                }
+            }
+            db.set_base_level_name(2, "symbol");
+            db.attach_str_level(2, "group", |name| format!("g{}", &name[1..2]))
+                .unwrap();
+            db
+        }
+    }
+
+    fn spec(_db: &EventDb, syms: &[&str], level: usize) -> SCuboidSpec {
+        let mut bindings: Vec<(&str, u32, usize)> = Vec::new();
+        for &s in syms {
+            if !bindings.iter().any(|(n, _, _)| *n == s) {
+                bindings.push((s, 2, level));
+            }
+        }
+        let t = PatternTemplate::new(PatternKind::Substring, syms, &bindings).unwrap();
+        SCuboidSpec::new(
+            t,
+            vec![AttrLevel::new(0, 0)],
+            vec![SortKey {
+                attr: 1,
+                ascending: true,
+            }],
+        )
+    }
+
+    fn groups(db: &EventDb, s: &SCuboidSpec) -> SequenceGroups {
+        solap_eventdb::build_sequence_groups(db, &s.seq).unwrap()
+    }
+
+    #[test]
+    fn advises_within_budget() {
+        let db = db();
+        let workload = vec![
+            WorkloadQuery {
+                spec: spec(&db, &["X", "Y"], 0),
+                frequency: 10.0,
+            },
+            WorkloadQuery {
+                spec: spec(&db, &["X", "Y", "Z"], 0),
+                frequency: 2.0,
+            },
+            WorkloadQuery {
+                spec: spec(&db, &["X", "Y"], 1),
+                frequency: 1.0,
+            },
+        ];
+        let g = groups(&db, &workload[0].spec);
+        let advice = advise(&db, &g, &workload, 64 << 20, 50).unwrap();
+        assert!(!advice.chosen.is_empty());
+        assert!(advice.total_bytes <= 64 << 20);
+        // The heavily used base-level lane must be covered.
+        assert!(
+            advice.chosen.iter().any(|c| c.level == 0 && c.m >= 2),
+            "{advice:?}"
+        );
+        // Every candidate has a sane size estimate.
+        for c in advice.chosen.iter().chain(&advice.rejected) {
+            assert!(c.estimated_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn tight_budget_prefers_benefit_per_byte() {
+        let db = db();
+        let workload = vec![WorkloadQuery {
+            spec: spec(&db, &["X", "Y", "Z"], 0),
+            frequency: 1.0,
+        }];
+        let g = groups(&db, &workload[0].spec);
+        let generous = advise(&db, &g, &workload, usize::MAX, 50).unwrap();
+        // Unlimited budget: both L2 and L3 lanes end up covered (L3 pick
+        // subsumes L2 or both chosen, depending on marginal order).
+        assert!(generous.chosen.iter().any(|c| c.m >= 2));
+        let l2_size = generous
+            .chosen
+            .iter()
+            .chain(&generous.rejected)
+            .find(|c| c.m == 2)
+            .unwrap()
+            .estimated_bytes;
+        let tight = advise(&db, &g, &workload, l2_size, 50).unwrap();
+        assert!(tight.total_bytes <= l2_size);
+        for c in &tight.chosen {
+            assert_eq!(c.m, 2, "only the small index fits");
+        }
+    }
+
+    #[test]
+    fn zero_budget_chooses_nothing() {
+        let db = db();
+        let workload = vec![WorkloadQuery {
+            spec: spec(&db, &["X", "Y"], 0),
+            frequency: 1.0,
+        }];
+        let g = groups(&db, &workload[0].spec);
+        let advice = advise(&db, &g, &workload, 0, 50).unwrap();
+        assert!(advice.chosen.is_empty());
+        assert!(!advice.rejected.is_empty());
+    }
+
+    #[test]
+    fn applied_advice_makes_first_query_buildfree() {
+        let db = db();
+        let workload = vec![WorkloadQuery {
+            spec: spec(&db, &["X", "Y"], 0),
+            frequency: 1.0,
+        }];
+        let engine = Engine::new(db);
+        let g = engine.sequence_groups(&workload[0].spec).unwrap();
+        let advice = advise(engine.db(), &g, &workload, usize::MAX, 50).unwrap();
+        let built = apply_advice(&engine, &workload, &advice).unwrap();
+        assert!(built > 0);
+        let out = engine.execute(&workload[0].spec).unwrap();
+        assert_eq!(out.stats.indices_built, 0, "precomputed index serves QA1");
+        assert_eq!(out.stats.sequences_scanned, 0);
+    }
+}

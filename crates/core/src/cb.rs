@@ -1,0 +1,535 @@
+//! The counter-based S-cuboid construction approach (§4.2.1, Figure 7).
+//!
+//! Each cell has a counter; the sequences of every group are scanned once
+//! and every cell assignment increments its counter. Simple and single-pass,
+//! but it rescans the **whole dataset on every query** — the weakness the
+//! inverted-index approach targets.
+//!
+//! Two counter layouts are provided: a hash map (always applicable) and a
+//! dense n-dimensional array (the paper's `C[v1, …, vn]`), used when every
+//! pattern dimension has a known finite domain and the cell space is small
+//! enough — the paper notes performance "may degrade when the number of
+//! counters far exceeds the amount of available memory", which the ablation
+//! benchmark reproduces.
+
+use std::collections::HashMap;
+
+use solap_eventdb::{EventDb, LevelValue, Result, SequenceGroups};
+use solap_pattern::{AggFunc, AggState, Matcher};
+
+use crate::cuboid::{CellKey, SCuboid};
+use crate::spec::SCuboidSpec;
+use crate::stats::ScanMeter;
+
+/// Counter layout for the counter-based approach.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CounterMode {
+    /// Choose dense when the cell space is small (≤ `DENSE_CELL_LIMIT`),
+    /// hash otherwise.
+    #[default]
+    Auto,
+    /// Hash-keyed counters.
+    Hash,
+    /// Dense array counters (COUNT only; falls back to hash otherwise).
+    Dense,
+}
+
+/// Largest dense cell space `Auto` will allocate (counters, not bytes).
+pub const DENSE_CELL_LIMIT: usize = 1 << 22;
+
+/// Whether a sequence-group key survives the spec's global slice.
+pub(crate) fn group_selected(spec: &SCuboidSpec, key: &[LevelValue]) -> bool {
+    spec.global_slice.iter().all(|(&g, &v)| key[g] == v)
+}
+
+/// Whether a cell survives the spec's pattern slice. Slice values may live
+/// at a coarser level than the dimension (a slice set before a
+/// P-DRILL-DOWN), in which case the cell value is rolled up before the
+/// comparison.
+pub(crate) fn cell_selected(db: &EventDb, spec: &SCuboidSpec, cell: &[LevelValue]) -> Result<bool> {
+    for (&d, &(level, v)) in &spec.pattern_slice {
+        let dim = &spec.template.dims[d];
+        let at_slice_level = if level == dim.level {
+            cell[d]
+        } else {
+            db.map_up(dim.attr, dim.level, cell[d], level)?
+        };
+        if at_slice_level != v {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Runs the COUNTERBASED procedure over every sequence group, producing the
+/// `(q + n)`-dimensional S-cuboid. `meter` records scanned sequences.
+pub fn counter_based(
+    db: &EventDb,
+    groups: &SequenceGroups,
+    spec: &SCuboidSpec,
+    mode: CounterMode,
+    meter: &mut ScanMeter,
+) -> Result<SCuboid> {
+    let dense_size = dense_cell_space(db, spec);
+    let use_dense = match mode {
+        CounterMode::Hash => false,
+        CounterMode::Dense | CounterMode::Auto => {
+            matches!(spec.agg, AggFunc::Count)
+                && dense_size.is_some_and(|s| s <= DENSE_CELL_LIMIT || mode == CounterMode::Dense)
+        }
+    };
+    let matcher = Matcher::new(db, &spec.template, &spec.mpred);
+    let mut cuboid = SCuboid::new(
+        spec.seq.group_by.clone(),
+        spec.template.dims.clone(),
+        spec.agg,
+    );
+    for group in &groups.groups {
+        if !group_selected(spec, &group.key) {
+            continue;
+        }
+        if use_dense {
+            scan_group_dense(db, spec, &matcher, group, &mut cuboid, meter)?;
+        } else {
+            scan_group_hash(db, spec, &matcher, group, &mut cuboid, meter)?;
+        }
+    }
+    Ok(cuboid)
+}
+
+fn scan_group_hash(
+    db: &EventDb,
+    spec: &SCuboidSpec,
+    matcher: &Matcher<'_>,
+    group: &solap_eventdb::SequenceGroup,
+    cuboid: &mut SCuboid,
+    meter: &mut ScanMeter,
+) -> Result<()> {
+    let mut states: HashMap<Vec<LevelValue>, AggState> = HashMap::new();
+    for seq in &group.sequences {
+        meter.touch(seq.sid);
+        for a in matcher.assignments(seq, spec.restriction)? {
+            if !cell_selected(db, spec, &a.cell)? {
+                continue;
+            }
+            states
+                .entry(a.cell.clone())
+                .or_insert_with(|| AggState::new(spec.agg))
+                .update(db, spec.agg, seq, &a)?;
+        }
+    }
+    for (cell, state) in states {
+        cuboid.cells.insert(
+            CellKey {
+                global: group.key.clone(),
+                pattern: cell,
+            },
+            state.finish(),
+        );
+    }
+    Ok(())
+}
+
+/// Figure 7 literally: initialise a dense `C[v1, …, vn]`, scan, increment.
+fn scan_group_dense(
+    db: &EventDb,
+    spec: &SCuboidSpec,
+    matcher: &Matcher<'_>,
+    group: &solap_eventdb::SequenceGroup,
+    cuboid: &mut SCuboid,
+    meter: &mut ScanMeter,
+) -> Result<()> {
+    let (strides, total) =
+        dense_strides(db, spec).expect("dense mode requires finite pattern domains");
+    let mut counters: Vec<u64> = vec![0; total];
+    for seq in &group.sequences {
+        meter.touch(seq.sid);
+        for a in matcher.assignments(seq, spec.restriction)? {
+            if !cell_selected(db, spec, &a.cell)? {
+                continue;
+            }
+            let idx: usize = a
+                .cell
+                .iter()
+                .zip(&strides)
+                .map(|(&v, &s)| v as usize * s)
+                .sum();
+            counters[idx] += 1;
+        }
+    }
+    let n = spec.template.n();
+    for (idx, &count) in counters.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let mut cell = vec![0u64; n];
+        let mut rest = idx;
+        for d in 0..n {
+            cell[d] = (rest / strides[d]) as u64;
+            rest %= strides[d];
+        }
+        cuboid.cells.insert(
+            CellKey {
+                global: group.key.clone(),
+                pattern: cell,
+            },
+            solap_pattern::AggValue::Count(count),
+        );
+    }
+    Ok(())
+}
+
+/// The dense cell-space size, if every pattern dimension has a finite
+/// domain.
+pub fn dense_cell_space(db: &EventDb, spec: &SCuboidSpec) -> Option<usize> {
+    let mut total: usize = 1;
+    for d in &spec.template.dims {
+        total = total.checked_mul(db.level_domain_size(d.attr, d.level)?)?;
+    }
+    Some(total)
+}
+
+fn dense_strides(db: &EventDb, spec: &SCuboidSpec) -> Option<(Vec<usize>, usize)> {
+    let sizes: Option<Vec<usize>> = spec
+        .template
+        .dims
+        .iter()
+        .map(|d| db.level_domain_size(d.attr, d.level))
+        .collect();
+    let sizes = sizes?;
+    let mut strides = vec![1usize; sizes.len()];
+    for d in (0..sizes.len().saturating_sub(1)).rev() {
+        strides[d] = strides[d + 1] * sizes[d + 1];
+    }
+    let total = sizes.first().map_or(1, |&s0| strides[0] * s0);
+    Some((strides, total))
+}
+
+/// A parallel variant of [`counter_based`] for COUNT queries: the sequences
+/// of each group are scanned by `threads` workers with thread-local hash
+/// counters, merged at the end. Deterministic for COUNT (integer merge is
+/// order-independent). Falls back to the sequential path for other
+/// aggregates.
+pub fn counter_based_parallel(
+    db: &EventDb,
+    groups: &SequenceGroups,
+    spec: &SCuboidSpec,
+    threads: usize,
+    meter: &mut ScanMeter,
+) -> Result<SCuboid> {
+    if !matches!(spec.agg, AggFunc::Count) || threads <= 1 {
+        return counter_based(db, groups, spec, CounterMode::Hash, meter);
+    }
+    let mut cuboid = SCuboid::new(
+        spec.seq.group_by.clone(),
+        spec.template.dims.clone(),
+        spec.agg,
+    );
+    for group in &groups.groups {
+        if !group_selected(spec, &group.key) {
+            continue;
+        }
+        for seq in &group.sequences {
+            meter.touch(seq.sid);
+        }
+        let chunk = group.sequences.len().div_ceil(threads).max(1);
+        let partials: Vec<Result<HashMap<Vec<LevelValue>, u64>>> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = group
+                    .sequences
+                    .chunks(chunk)
+                    .map(|seqs| {
+                        scope.spawn(move |_| -> Result<HashMap<Vec<LevelValue>, u64>> {
+                            let matcher = Matcher::new(db, &spec.template, &spec.mpred);
+                            let mut local: HashMap<Vec<LevelValue>, u64> = HashMap::new();
+                            for seq in seqs {
+                                for a in matcher.assignments(seq, spec.restriction)? {
+                                    if cell_selected(db, spec, &a.cell)? {
+                                        *local.entry(a.cell).or_default() += 1;
+                                    }
+                                }
+                            }
+                            Ok(local)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            })
+            .expect("scope panicked");
+        let mut merged: HashMap<Vec<LevelValue>, u64> = HashMap::new();
+        for p in partials {
+            for (cell, c) in p? {
+                *merged.entry(cell).or_default() += c;
+            }
+        }
+        for (cell, count) in merged {
+            cuboid.cells.insert(
+                CellKey {
+                    global: group.key.clone(),
+                    pattern: cell,
+                },
+                solap_pattern::AggValue::Count(count),
+            );
+        }
+    }
+    Ok(cuboid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SCuboidSpec;
+    use solap_eventdb::{
+        build_sequence_groups, AttrLevel, ColumnType, EventDbBuilder, Pred, SeqQuerySpec, SortKey,
+        Value,
+    };
+    use solap_pattern::{CellRestriction, MatchPred, PatternKind, PatternTemplate};
+
+    /// Figure 8's sequence group as an event db: sid encoded as cluster key.
+    fn fig8_db() -> EventDb {
+        let mut db = EventDbBuilder::new()
+            .dimension("sid", ColumnType::Int)
+            .dimension("pos", ColumnType::Int)
+            .dimension("location", ColumnType::Str)
+            .dimension("action", ColumnType::Str)
+            .build()
+            .unwrap();
+        let seqs: [&[&str]; 4] = [
+            &[
+                "Glenmont", "Pentagon", "Pentagon", "Wheaton", "Wheaton", "Pentagon",
+            ],
+            &["Pentagon", "Wheaton", "Wheaton", "Pentagon"],
+            &["Clarendon", "Pentagon"],
+            &["Wheaton", "Clarendon", "Deanwood", "Wheaton"],
+        ];
+        for (sid, stations) in seqs.iter().enumerate() {
+            for (i, st) in stations.iter().enumerate() {
+                let action = if i % 2 == 0 { "in" } else { "out" };
+                db.push_row(&[
+                    Value::Int(sid as i64),
+                    Value::Int(i as i64),
+                    Value::from(*st),
+                    Value::from(action),
+                ])
+                .unwrap();
+            }
+        }
+        db
+    }
+
+    fn spec_xy(db: &EventDb) -> SCuboidSpec {
+        let t = PatternTemplate::new(
+            PatternKind::Substring,
+            &["X", "Y"],
+            &[("X", 2, 0), ("Y", 2, 0)],
+        )
+        .unwrap();
+        let action = db.attr("action").unwrap();
+        SCuboidSpec::new(
+            t,
+            vec![AttrLevel::new(0, 0)],
+            vec![SortKey {
+                attr: 1,
+                ascending: true,
+            }],
+        )
+        .with_mpred(
+            MatchPred::cmp(0, action, solap_eventdb::CmpOp::Eq, "in").and(MatchPred::cmp(
+                1,
+                action,
+                solap_eventdb::CmpOp::Eq,
+                "out",
+            )),
+        )
+    }
+
+    fn groups(db: &EventDb, spec: &SCuboidSpec) -> SequenceGroups {
+        build_sequence_groups(db, &spec.seq).unwrap()
+    }
+
+    fn station(db: &EventDb, s: &str) -> u64 {
+        db.dict(2).unwrap().lookup(s).unwrap() as u64
+    }
+
+    /// The 2D S-cuboid of Figure 12.
+    #[test]
+    fn q3_matches_figure_12() {
+        let db = fig8_db();
+        let spec = spec_xy(&db);
+        let g = groups(&db, &spec);
+        let mut meter = ScanMeter::new();
+        let c = counter_based(&db, &g, &spec, CounterMode::Hash, &mut meter).unwrap();
+        let expect = [
+            (("Clarendon", "Pentagon"), 1),
+            (("Deanwood", "Wheaton"), 1),
+            (("Glenmont", "Pentagon"), 1),
+            (("Pentagon", "Wheaton"), 2),
+            (("Wheaton", "Clarendon"), 1),
+            (("Wheaton", "Pentagon"), 2),
+        ];
+        assert_eq!(c.len(), expect.len());
+        for ((x, y), n) in expect {
+            assert_eq!(
+                c.get(&[], &[station(&db, x), station(&db, y)])
+                    .and_then(|v| v.as_count()),
+                Some(n),
+                "({x},{y})"
+            );
+        }
+        assert_eq!(meter.count(), 4, "CB scans every sequence");
+    }
+
+    #[test]
+    fn dense_equals_hash() {
+        let db = fig8_db();
+        let spec = spec_xy(&db);
+        let g = groups(&db, &spec);
+        let mut m1 = ScanMeter::new();
+        let h = counter_based(&db, &g, &spec, CounterMode::Hash, &mut m1).unwrap();
+        let mut m2 = ScanMeter::new();
+        let d = counter_based(&db, &g, &spec, CounterMode::Dense, &mut m2).unwrap();
+        assert_eq!(h.cells, d.cells);
+        let mut m3 = ScanMeter::new();
+        let a = counter_based(&db, &g, &spec, CounterMode::Auto, &mut m3).unwrap();
+        assert_eq!(h.cells, a.cells);
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let db = fig8_db();
+        let spec = spec_xy(&db);
+        let g = groups(&db, &spec);
+        let mut m1 = ScanMeter::new();
+        let s = counter_based(&db, &g, &spec, CounterMode::Hash, &mut m1).unwrap();
+        let mut m2 = ScanMeter::new();
+        let p = counter_based_parallel(&db, &g, &spec, 3, &mut m2).unwrap();
+        assert_eq!(s.cells, p.cells);
+        assert_eq!(m1.count(), m2.count());
+    }
+
+    #[test]
+    fn xyyx_finds_the_round_trip() {
+        let db = fig8_db();
+        let t = PatternTemplate::new(
+            PatternKind::Substring,
+            &["X", "Y", "Y", "X"],
+            &[("X", 2, 0), ("Y", 2, 0)],
+        )
+        .unwrap();
+        let action = db.attr("action").unwrap();
+        let spec = SCuboidSpec::new(
+            t,
+            vec![AttrLevel::new(0, 0)],
+            vec![SortKey {
+                attr: 1,
+                ascending: true,
+            }],
+        )
+        .with_mpred(MatchPred::all([
+            MatchPred::cmp(0, action, solap_eventdb::CmpOp::Eq, "in"),
+            MatchPred::cmp(1, action, solap_eventdb::CmpOp::Eq, "out"),
+            MatchPred::cmp(2, action, solap_eventdb::CmpOp::Eq, "in"),
+            MatchPred::cmp(3, action, solap_eventdb::CmpOp::Eq, "out"),
+        ]));
+        let g = groups(&db, &spec);
+        let mut meter = ScanMeter::new();
+        let c = counter_based(&db, &g, &spec, CounterMode::Hash, &mut meter).unwrap();
+        // §4.2.2: only [Pentagon, Wheaton] has count… 2 here because both
+        // s1 and s2 contain the aligned round trip (the paper's Figure 14
+        // count of 1 applies after its predicate verification example; with
+        // the Q1 predicate both s1 and s2 qualify: s1 at positions 2..6 and
+        // s2 at 0..4).
+        assert_eq!(
+            c.get(&[], &[station(&db, "Pentagon"), station(&db, "Wheaton")])
+                .and_then(|v| v.as_count()),
+            Some(2)
+        );
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn pattern_slice_restricts_cells() {
+        let db = fig8_db();
+        let mut spec = spec_xy(&db);
+        spec.pattern_slice.insert(0, (0, station(&db, "Pentagon")));
+        let g = groups(&db, &spec);
+        let mut meter = ScanMeter::new();
+        let c = counter_based(&db, &g, &spec, CounterMode::Hash, &mut meter).unwrap();
+        assert_eq!(c.len(), 1);
+        assert!(c
+            .get(&[], &[station(&db, "Pentagon"), station(&db, "Wheaton")])
+            .is_some());
+    }
+
+    #[test]
+    fn global_slice_skips_groups() {
+        let db = fig8_db();
+        // Group by sid itself so each sequence is its own group.
+        let mut spec = spec_xy(&db);
+        spec.seq.group_by = vec![AttrLevel::new(0, 0)];
+        spec.global_slice.insert(0, 1); // only sid 1
+        let g = groups(&db, &spec);
+        let mut meter = ScanMeter::new();
+        let c = counter_based(&db, &g, &spec, CounterMode::Hash, &mut meter).unwrap();
+        assert_eq!(meter.count(), 1, "only the sliced group is scanned");
+        for (k, _) in c.iter_sorted() {
+            assert_eq!(k.global, vec![1]);
+        }
+    }
+
+    #[test]
+    fn all_matched_go_counts_occurrences() {
+        let db = fig8_db();
+        let mut spec = spec_xy(&db);
+        spec.mpred = MatchPred::True;
+        spec.restriction = CellRestriction::AllMatchedGo;
+        let g = groups(&db, &spec);
+        let mut meter = ScanMeter::new();
+        let c = counter_based(&db, &g, &spec, CounterMode::Hash, &mut meter).unwrap();
+        // s1 ⟨G,P,P,W,W,P⟩ has windows (P,P) ×1, (W,W) ×1, (P,W) ×1, (W,P) ×1, (G,P) ×1.
+        // Totals: every adjacent pair across all 4 sequences = 5+3+1+3 = 12.
+        assert_eq!(c.total_count(), 12);
+    }
+
+    #[test]
+    fn where_filter_respected() {
+        let db = fig8_db();
+        let mut spec = spec_xy(&db);
+        spec.seq.filter = Pred::cmp(0, solap_eventdb::CmpOp::Le, Value::Int(1)); // sids 0 and 1
+        let g = build_sequence_groups(&db, &spec.seq).unwrap();
+        let mut meter = ScanMeter::new();
+        let c = counter_based(&db, &g, &spec, CounterMode::Hash, &mut meter).unwrap();
+        assert_eq!(meter.count(), 2);
+        assert!(c
+            .get(&[], &[station(&db, "Wheaton"), station(&db, "Clarendon")])
+            .is_none());
+    }
+
+    #[test]
+    fn dense_cell_space_depends_on_domains() {
+        let db = fig8_db();
+        let spec = spec_xy(&db);
+        assert_eq!(dense_cell_space(&db, &spec), Some(25)); // 5 stations²
+                                                            // A template over a raw-int dimension has no finite domain.
+        let t = PatternTemplate::new(
+            PatternKind::Substring,
+            &["X", "Y"],
+            &[("X", 1, 0), ("Y", 1, 0)],
+        )
+        .unwrap();
+        let s2 = SCuboidSpec::new(t, vec![AttrLevel::new(0, 0)], vec![]);
+        assert_eq!(dense_cell_space(&db, &s2), None);
+    }
+
+    /// Build a sequence-group set from an arbitrary query spec quickly.
+    #[test]
+    fn seq_spec_shared_with_eventdb() {
+        let db = fig8_db();
+        let spec = spec_xy(&db);
+        let s: &SeqQuerySpec = &spec.seq;
+        assert_eq!(s.cluster_by.len(), 1);
+    }
+}

@@ -1,0 +1,496 @@
+//! The S-OLAP Engine (Figure 6): wires together the sequence cache, the
+//! index store, the cuboid repository and the two construction strategies.
+
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use std::time::Instant;
+
+use solap_eventdb::seqcache::SequenceCache;
+use solap_eventdb::{EventDb, Result, SequenceGroups};
+use solap_index::{IndexStore, SetBackend};
+use solap_pattern::PatternKind;
+
+use crate::cb::{counter_based, CounterMode};
+use crate::cuboid::SCuboid;
+use crate::iceberg::apply_min_support;
+use crate::ii::IiExecutor;
+use crate::ops::{self, Op};
+use crate::repo::CuboidRepo;
+use crate::spec::SCuboidSpec;
+use crate::stats::{ExecStats, ScanMeter};
+
+/// Which S-cuboid construction approach to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// The counter-based approach of §4.2.1 (always rescans).
+    CounterBased,
+    /// The inverted-index approach of §4.2.2.
+    InvertedIndex,
+    /// Inverted indices, except for long subsequence templates whose index
+    /// enumeration would be combinatorial (`m > 3` subsequences fall back
+    /// to counters).
+    #[default]
+    Auto,
+}
+
+/// Engine construction options.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Construction strategy.
+    pub strategy: Strategy,
+    /// Sid-set encoding for inverted lists.
+    pub backend: SetBackend,
+    /// Counter layout for the counter-based path.
+    pub counter_mode: CounterMode,
+    /// Whether the cuboid repository answers repeated queries.
+    pub use_cuboid_repo: bool,
+    /// Worker threads for parallel counter scans (1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            strategy: Strategy::Auto,
+            backend: SetBackend::List,
+            counter_mode: CounterMode::Auto,
+            use_cuboid_repo: true,
+            threads: 1,
+        }
+    }
+}
+
+/// The result of one query: the cuboid plus execution statistics.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// The computed (possibly cached) S-cuboid.
+    pub cuboid: Arc<SCuboid>,
+    /// What it cost.
+    pub stats: ExecStats,
+}
+
+/// The S-OLAP engine.
+pub struct Engine {
+    db: EventDb,
+    config: EngineConfig,
+    seq_cache: SequenceCache,
+    index_store: IndexStore,
+    cuboid_repo: CuboidRepo,
+}
+
+impl Engine {
+    /// Creates an engine with default configuration.
+    pub fn new(db: EventDb) -> Self {
+        Engine::with_config(db, EngineConfig::default())
+    }
+
+    /// Creates an engine with explicit configuration.
+    pub fn with_config(db: EventDb, config: EngineConfig) -> Self {
+        Engine {
+            db,
+            config,
+            seq_cache: SequenceCache::default(),
+            index_store: IndexStore::default(),
+            cuboid_repo: CuboidRepo::default(),
+        }
+    }
+
+    /// The event database.
+    pub fn db(&self) -> &EventDb {
+        &self.db
+    }
+
+    /// Mutable access for loading and incremental update. Mutations bump
+    /// the database version, which transparently invalidates the sequence
+    /// cache, index store keys and cuboid repository entries.
+    pub fn db_mut(&mut self) -> &mut EventDb {
+        &mut self.db
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Mutable configuration (e.g. switching strategy between queries).
+    pub fn config_mut(&mut self) -> &mut EngineConfig {
+        &mut self.config
+    }
+
+    /// The index store (exposed for inspection and experiments).
+    pub fn index_store(&self) -> &IndexStore {
+        &self.index_store
+    }
+
+    /// The cuboid repository (exposed for inspection).
+    pub fn cuboid_repo(&self) -> &CuboidRepo {
+        &self.cuboid_repo
+    }
+
+    /// The sequence cache (exposed for inspection).
+    pub fn sequence_cache(&self) -> &SequenceCache {
+        &self.seq_cache
+    }
+
+    /// The sequence groups for a spec (cached).
+    pub fn sequence_groups(&self, spec: &SCuboidSpec) -> Result<Arc<SequenceGroups>> {
+        self.seq_cache.get_or_build(&self.db, &spec.seq)
+    }
+
+    fn groups_fp(&self, spec: &SCuboidSpec) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        spec.seq.fingerprint().hash(&mut h);
+        self.db.version().hash(&mut h);
+        h.finish()
+    }
+
+    fn effective_strategy(&self, spec: &SCuboidSpec) -> Strategy {
+        match self.config.strategy {
+            Strategy::Auto => {
+                if spec.template.kind == PatternKind::Subsequence && spec.template.m() > 3 {
+                    Strategy::CounterBased
+                } else {
+                    Strategy::InvertedIndex
+                }
+            }
+            s => s,
+        }
+    }
+
+    /// Executes an S-cuboid query.
+    pub fn execute(&self, spec: &SCuboidSpec) -> Result<QueryOutput> {
+        self.execute_with(spec, None)
+    }
+
+    /// Applies an operation to `prev` and executes the transformed query,
+    /// exploiting the operation-specific inverted-index fast paths
+    /// (§4.2.2): P-ROLL-UP merges lists, P-DRILL-DOWN refines them, and
+    /// PREPEND joins on the left. Returns the new spec and its result.
+    pub fn execute_op(&self, prev: &SCuboidSpec, op: &Op) -> Result<(SCuboidSpec, QueryOutput)> {
+        let new_spec = ops::apply(&self.db, prev, op)?;
+        let out = self.execute_with(&new_spec, Some((prev, op)))?;
+        Ok((new_spec, out))
+    }
+
+    fn execute_with(
+        &self,
+        spec: &SCuboidSpec,
+        hint: Option<(&SCuboidSpec, &Op)>,
+    ) -> Result<QueryOutput> {
+        spec.validate(&self.db)?;
+        let start = Instant::now();
+        let fp = spec.fingerprint();
+        if self.config.use_cuboid_repo {
+            if let Some(cached) = self.cuboid_repo.get(fp, self.db.version()) {
+                return Ok(QueryOutput {
+                    cuboid: cached,
+                    stats: ExecStats {
+                        strategy: "cache",
+                        cuboid_cache_hit: true,
+                        elapsed: start.elapsed(),
+                        ..Default::default()
+                    },
+                });
+            }
+        }
+        let groups = self.seq_cache.get_or_build(&self.db, &spec.seq)?;
+        let mut meter = ScanMeter::new();
+        let mut stats = ExecStats::default();
+        let strategy = self.effective_strategy(spec);
+        let mut cuboid = match strategy {
+            Strategy::CounterBased => {
+                stats.strategy = "CB";
+                if self.config.threads > 1 {
+                    crate::cb::counter_based_parallel(
+                        &self.db,
+                        &groups,
+                        spec,
+                        self.config.threads,
+                        &mut meter,
+                    )?
+                } else {
+                    counter_based(
+                        &self.db,
+                        &groups,
+                        spec,
+                        self.config.counter_mode,
+                        &mut meter,
+                    )?
+                }
+            }
+            Strategy::InvertedIndex | Strategy::Auto => {
+                stats.strategy = "II";
+                let ex = IiExecutor::new(
+                    &self.db,
+                    &groups,
+                    self.groups_fp(spec),
+                    &self.index_store,
+                    self.config.backend,
+                );
+                if let Some((prev, op)) = hint {
+                    // Preparation only touches the index store; on any
+                    // refusal the generic QUERYINDICES path takes over.
+                    match op {
+                        Op::PRollUp { .. } => {
+                            ex.prepare_p_roll_up(&prev.template, &spec.template, &mut stats)?;
+                        }
+                        Op::PDrillDown { .. } => {
+                            ex.prepare_p_drill_down(&prev.template, spec, &mut meter, &mut stats)?;
+                        }
+                        Op::Prepend { .. } => {
+                            ex.prepare_prepend(
+                                &prev.template,
+                                &spec.template,
+                                &mut meter,
+                                &mut stats,
+                            )?;
+                        }
+                        _ => {}
+                    }
+                }
+                ex.execute(spec, &mut meter, &mut stats)?
+            }
+        };
+        if let Some(ms) = spec.min_support {
+            apply_min_support(&mut cuboid, ms);
+        }
+        stats.sequences_scanned = meter.count();
+        stats.elapsed = start.elapsed();
+        let cuboid = Arc::new(cuboid);
+        if self.config.use_cuboid_repo {
+            self.cuboid_repo
+                .insert(fp, self.db.version(), Arc::clone(&cuboid));
+        }
+        Ok(QueryOutput { cuboid, stats })
+    }
+
+    /// Precomputes the generic size-`m` inverted index at `(attr, level)`
+    /// for every sequence group of `spec` — the offline precomputation the
+    /// experiments of §5.2 perform before timing queries. Returns the bytes
+    /// built.
+    pub fn precompute_index(
+        &self,
+        spec: &SCuboidSpec,
+        attr: solap_eventdb::AttrId,
+        level: usize,
+        m: usize,
+    ) -> Result<usize> {
+        let groups = self.seq_cache.get_or_build(&self.db, &spec.seq)?;
+        let ex = IiExecutor::new(
+            &self.db,
+            &groups,
+            self.groups_fp(spec),
+            &self.index_store,
+            self.config.backend,
+        );
+        ex.precompute_generic(attr, level, m, spec.template.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solap_eventdb::{AttrLevel, CmpOp, ColumnType, EventDbBuilder, SortKey, Value};
+    use solap_pattern::{MatchPred, PatternTemplate};
+
+    fn fig8_engine(config: EngineConfig) -> Engine {
+        let mut db = EventDbBuilder::new()
+            .dimension("sid", ColumnType::Int)
+            .dimension("pos", ColumnType::Int)
+            .dimension("location", ColumnType::Str)
+            .dimension("action", ColumnType::Str)
+            .build()
+            .unwrap();
+        let seqs: [&[&str]; 4] = [
+            &[
+                "Glenmont", "Pentagon", "Pentagon", "Wheaton", "Wheaton", "Pentagon",
+            ],
+            &["Pentagon", "Wheaton", "Wheaton", "Pentagon"],
+            &["Clarendon", "Pentagon"],
+            &["Wheaton", "Clarendon", "Deanwood", "Wheaton"],
+        ];
+        for (sid, stations) in seqs.iter().enumerate() {
+            for (i, st) in stations.iter().enumerate() {
+                let action = if i % 2 == 0 { "in" } else { "out" };
+                db.push_row(&[
+                    Value::Int(sid as i64),
+                    Value::Int(i as i64),
+                    Value::from(*st),
+                    Value::from(action),
+                ])
+                .unwrap();
+            }
+        }
+        db.set_base_level_name(2, "station");
+        db.attach_str_level(2, "district", |s| {
+            if s == "Pentagon" || s == "Clarendon" {
+                "D10".into()
+            } else {
+                "D20".into()
+            }
+        })
+        .unwrap();
+        Engine::with_config(db, config)
+    }
+
+    fn q3(db: &EventDb) -> SCuboidSpec {
+        let t = PatternTemplate::new(
+            PatternKind::Substring,
+            &["X", "Y"],
+            &[("X", 2, 0), ("Y", 2, 0)],
+        )
+        .unwrap();
+        let action = db.attr("action").unwrap();
+        SCuboidSpec::new(
+            t,
+            vec![AttrLevel::new(0, 0)],
+            vec![SortKey {
+                attr: 1,
+                ascending: true,
+            }],
+        )
+        .with_mpred(
+            MatchPred::cmp(0, action, CmpOp::Eq, "in").and(MatchPred::cmp(
+                1,
+                action,
+                CmpOp::Eq,
+                "out",
+            )),
+        )
+    }
+
+    #[test]
+    fn strategies_agree() {
+        let cb = fig8_engine(EngineConfig {
+            strategy: Strategy::CounterBased,
+            ..Default::default()
+        });
+        let ii = fig8_engine(EngineConfig {
+            strategy: Strategy::InvertedIndex,
+            ..Default::default()
+        });
+        let a = cb.execute(&q3(cb.db())).unwrap();
+        let b = ii.execute(&q3(ii.db())).unwrap();
+        assert_eq!(a.cuboid.cells, b.cuboid.cells);
+        assert_eq!(a.stats.strategy, "CB");
+        assert_eq!(b.stats.strategy, "II");
+        assert_eq!(a.stats.sequences_scanned, 4);
+    }
+
+    #[test]
+    fn cuboid_repo_answers_repeats() {
+        let e = fig8_engine(EngineConfig::default());
+        let spec = q3(e.db());
+        let first = e.execute(&spec).unwrap();
+        assert!(!first.stats.cuboid_cache_hit);
+        let second = e.execute(&spec).unwrap();
+        assert!(second.stats.cuboid_cache_hit);
+        assert_eq!(second.stats.sequences_scanned, 0);
+        assert!(Arc::ptr_eq(&first.cuboid, &second.cuboid));
+    }
+
+    #[test]
+    fn append_then_de_tail_hits_cache() {
+        let e = fig8_engine(EngineConfig::default());
+        let qa = q3(e.db());
+        e.execute(&qa).unwrap();
+        let (qb, _) = e
+            .execute_op(
+                &qa,
+                &Op::Append {
+                    symbol: "Y".into(),
+                    attr: 2,
+                    level: 0,
+                },
+            )
+            .unwrap();
+        let (qc, out) = e.execute_op(&qb, &Op::DeTail).unwrap();
+        assert_eq!(qc.fingerprint(), qa.fingerprint());
+        assert!(
+            out.stats.cuboid_cache_hit,
+            "DE-TAIL restores Qa from the repository"
+        );
+    }
+
+    #[test]
+    fn execute_op_p_roll_up_uses_merge() {
+        let e = fig8_engine(EngineConfig::default());
+        let mut qa = q3(e.db());
+        qa.mpred = MatchPred::True; // merge + pure count ⇒ zero scans
+        e.execute(&qa).unwrap();
+        let (_, out) = e.execute_op(&qa, &Op::PRollUp { dim: "Y".into() }).unwrap();
+        assert_eq!(out.stats.sequences_scanned, 0);
+        // Cross-check against a CB engine at the coarse level.
+        let cb = fig8_engine(EngineConfig {
+            strategy: Strategy::CounterBased,
+            ..Default::default()
+        });
+        let coarse = ops::apply(cb.db(), &qa, &Op::PRollUp { dim: "Y".into() }).unwrap();
+        let expect = cb.execute(&coarse).unwrap();
+        assert_eq!(out.cuboid.cells, expect.cuboid.cells);
+    }
+
+    #[test]
+    fn auto_uses_cb_for_long_subsequences() {
+        let e = fig8_engine(EngineConfig::default());
+        let mut spec = q3(e.db());
+        spec.template = PatternTemplate::new(
+            PatternKind::Subsequence,
+            &["A", "B", "C", "D"],
+            &[("A", 2, 0), ("B", 2, 0), ("C", 2, 0), ("D", 2, 0)],
+        )
+        .unwrap();
+        spec.mpred = MatchPred::True;
+        let out = e.execute(&spec).unwrap();
+        assert_eq!(out.stats.strategy, "CB");
+    }
+
+    #[test]
+    fn min_support_filters_cells() {
+        let e = fig8_engine(EngineConfig::default());
+        let spec = q3(e.db()).with_min_support(2);
+        let out = e.execute(&spec).unwrap();
+        // Figure 12: only (Pentagon,Wheaton) and (Wheaton,Pentagon) have 2.
+        assert_eq!(out.cuboid.len(), 2);
+    }
+
+    #[test]
+    fn mutation_invalidates_repo() {
+        let mut e = fig8_engine(EngineConfig::default());
+        let spec = q3(e.db());
+        e.execute(&spec).unwrap();
+        e.db_mut()
+            .push_row(&[
+                Value::Int(9),
+                Value::Int(0),
+                Value::from("Wheaton"),
+                Value::from("in"),
+            ])
+            .unwrap();
+        let out = e.execute(&spec).unwrap();
+        assert!(!out.stats.cuboid_cache_hit);
+    }
+
+    #[test]
+    fn precompute_reduces_first_query_builds() {
+        let e = fig8_engine(EngineConfig::default());
+        let spec = q3(e.db());
+        let bytes = e.precompute_index(&spec, 2, 0, 2).unwrap();
+        assert!(bytes > 0);
+        let out = e.execute(&spec).unwrap();
+        assert_eq!(out.stats.indices_built, 0);
+    }
+
+    #[test]
+    fn parallel_cb_config() {
+        let e = fig8_engine(EngineConfig {
+            strategy: Strategy::CounterBased,
+            threads: 3,
+            ..Default::default()
+        });
+        let ii = fig8_engine(EngineConfig::default());
+        let a = e.execute(&q3(e.db())).unwrap();
+        let b = ii.execute(&q3(ii.db())).unwrap();
+        assert_eq!(a.cuboid.cells, b.cuboid.cells);
+    }
+}

@@ -1,0 +1,612 @@
+//! The S-OLAP operations (§3.3).
+//!
+//! Six pattern operations — APPEND, PREPEND, DE-TAIL, DE-HEAD,
+//! PATTERN-ROLL-UP and PATTERN-DRILL-DOWN — modify the grouping pattern
+//! and/or the abstraction levels of its dimensions, transforming one
+//! S-cuboid specification into another; the classical operations (roll-up,
+//! drill-down, slice, dice) manipulate the global dimensions. Each operation
+//! is a pure function `spec → spec`; execution (and the inverted-index fast
+//! paths) happens in [`crate::engine::Engine`].
+
+use solap_eventdb::{AttrId, Error, EventDb, LevelValue, Result};
+use solap_pattern::PatternDim;
+
+use crate::spec::SCuboidSpec;
+
+/// An S-OLAP navigation operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// APPEND: add a pattern symbol at the end of the template. Reusing an
+    /// existing symbol name repeats that dimension (as in Q2's third `X`);
+    /// a new name introduces a new pattern dimension.
+    Append {
+        /// Symbol name (existing to repeat a dimension, fresh to add one).
+        symbol: String,
+        /// Attribute bound when the symbol is new.
+        attr: AttrId,
+        /// Abstraction level bound when the symbol is new.
+        level: usize,
+    },
+    /// PREPEND: add a pattern symbol at the front of the template.
+    Prepend {
+        /// Symbol name.
+        symbol: String,
+        /// Attribute bound when the symbol is new.
+        attr: AttrId,
+        /// Abstraction level bound when the symbol is new.
+        level: usize,
+    },
+    /// DE-TAIL: remove the last symbol.
+    DeTail,
+    /// DE-HEAD: remove the first symbol.
+    DeHead,
+    /// P-ROLL-UP: move a pattern dimension one level up its hierarchy.
+    PRollUp {
+        /// The pattern dimension's symbol name.
+        dim: String,
+    },
+    /// P-DRILL-DOWN: move a pattern dimension one level down.
+    PDrillDown {
+        /// The pattern dimension's symbol name.
+        dim: String,
+    },
+    /// Classical roll-up on a global dimension.
+    RollUp {
+        /// The global dimension's attribute.
+        attr: AttrId,
+    },
+    /// Classical drill-down on a global dimension.
+    DrillDown {
+        /// The global dimension's attribute.
+        attr: AttrId,
+    },
+    /// Slice: fix a global dimension to one value.
+    SliceGlobal {
+        /// Index into `SEQUENCE GROUP BY`.
+        dim: usize,
+        /// The fixed value (at the dimension's current level).
+        value: LevelValue,
+    },
+    /// Slice: fix a pattern dimension to one value.
+    SlicePattern {
+        /// The pattern dimension's symbol name.
+        dim: String,
+        /// The fixed value (at the dimension's current level).
+        value: LevelValue,
+    },
+    /// Dice: several simultaneous slices.
+    Dice {
+        /// Global slices as `(group-by index, value)`.
+        global: Vec<(usize, LevelValue)>,
+        /// Pattern slices as `(symbol name, value)`.
+        pattern: Vec<(String, LevelValue)>,
+    },
+    /// Sets (or clears) the iceberg minimum support (§6 extension).
+    SetMinSupport(Option<u64>),
+}
+
+impl Op {
+    /// A short display name for histories and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Append { .. } => "APPEND",
+            Op::Prepend { .. } => "PREPEND",
+            Op::DeTail => "DE-TAIL",
+            Op::DeHead => "DE-HEAD",
+            Op::PRollUp { .. } => "P-ROLL-UP",
+            Op::PDrillDown { .. } => "P-DRILL-DOWN",
+            Op::RollUp { .. } => "ROLL-UP",
+            Op::DrillDown { .. } => "DRILL-DOWN",
+            Op::SliceGlobal { .. } => "SLICE",
+            Op::SlicePattern { .. } => "SLICE-PATTERN",
+            Op::Dice { .. } => "DICE",
+            Op::SetMinSupport(_) => "MIN-SUPPORT",
+        }
+    }
+}
+
+fn dim_index(spec: &SCuboidSpec, name: &str) -> Result<usize> {
+    spec.template
+        .dims
+        .iter()
+        .position(|d| d.name == name)
+        .ok_or_else(|| Error::InvalidOperation(format!("no pattern dimension named `{name}`")))
+}
+
+fn push_symbol(
+    spec: &mut SCuboidSpec,
+    symbol: &str,
+    attr: AttrId,
+    level: usize,
+    front: bool,
+) -> Result<()> {
+    let dim_idx = match spec.template.dims.iter().position(|d| d.name == symbol) {
+        Some(i) => {
+            let d = &spec.template.dims[i];
+            if d.attr != attr || d.level != level {
+                return Err(Error::InvalidOperation(format!(
+                    "symbol `{symbol}` is already bound to a different attribute or level"
+                )));
+            }
+            i
+        }
+        None => {
+            spec.template.dims.push(PatternDim {
+                name: symbol.to_owned(),
+                attr,
+                level,
+            });
+            spec.template.dims.len() - 1
+        }
+    };
+    if front {
+        spec.template.symbols.insert(0, dim_idx);
+        // Placeholder positions all shift up by one.
+        spec.mpred = spec.mpred.remap_positions(&|pos| Some(pos + 1));
+    } else {
+        spec.template.symbols.push(dim_idx);
+    }
+    Ok(())
+}
+
+/// Removes a symbol occurrence; drops its dimension if now unreferenced,
+/// compacting dimension indices and the pattern slice.
+fn drop_symbol(spec: &mut SCuboidSpec, front: bool) -> Result<()> {
+    if spec.template.m() <= 1 {
+        return Err(Error::InvalidOperation(
+            "cannot remove the last remaining pattern symbol".into(),
+        ));
+    }
+    let removed_dim = if front {
+        let d = spec.template.symbols.remove(0);
+        spec.mpred = spec.mpred.remap_positions(&|pos| pos.checked_sub(1));
+        d
+    } else {
+        let d = spec.template.symbols.pop().expect("non-empty");
+        let m = spec.template.m();
+        spec.mpred = spec.mpred.remap_positions(&|pos| (pos < m).then_some(pos));
+        d
+    };
+    if !spec.template.symbols.contains(&removed_dim) {
+        spec.template.dims.remove(removed_dim);
+        for s in &mut spec.template.symbols {
+            if *s > removed_dim {
+                *s -= 1;
+            }
+        }
+        let old_slice = std::mem::take(&mut spec.pattern_slice);
+        for (d, v) in old_slice {
+            match d.cmp(&removed_dim) {
+                std::cmp::Ordering::Less => {
+                    spec.pattern_slice.insert(d, v);
+                }
+                std::cmp::Ordering::Equal => {}
+                std::cmp::Ordering::Greater => {
+                    spec.pattern_slice.insert(d - 1, v);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Applies an operation to a specification, producing the transformed
+/// specification. Pure — no query is executed.
+pub fn apply(db: &EventDb, spec: &SCuboidSpec, op: &Op) -> Result<SCuboidSpec> {
+    let mut out = spec.clone();
+    match op {
+        Op::Append {
+            symbol,
+            attr,
+            level,
+        } => push_symbol(&mut out, symbol, *attr, *level, false)?,
+        Op::Prepend {
+            symbol,
+            attr,
+            level,
+        } => push_symbol(&mut out, symbol, *attr, *level, true)?,
+        Op::DeTail => drop_symbol(&mut out, false)?,
+        Op::DeHead => drop_symbol(&mut out, true)?,
+        Op::PRollUp { dim } => {
+            let i = dim_index(&out, dim)?;
+            let d = &mut out.template.dims[i];
+            if d.level + 1 >= db.level_count(d.attr) {
+                return Err(Error::InvalidOperation(format!(
+                    "`{dim}` is already at the top abstraction level"
+                )));
+            }
+            d.level += 1;
+            let new_level = d.level;
+            let attr = d.attr;
+            // A slice finer than the new level survives by mapping its
+            // value up to the new level; coarser slices are untouched.
+            if let Some((slice_level, v)) = out.pattern_slice.remove(&i) {
+                if slice_level >= new_level {
+                    out.pattern_slice.insert(i, (slice_level, v));
+                } else {
+                    let coarse = db.map_up(attr, slice_level, v, new_level)?;
+                    out.pattern_slice.insert(i, (new_level, coarse));
+                }
+            }
+        }
+        Op::PDrillDown { dim } => {
+            let i = dim_index(&out, dim)?;
+            let d = &mut out.template.dims[i];
+            if d.level == 0 {
+                return Err(Error::InvalidOperation(format!(
+                    "`{dim}` is already at the base abstraction level"
+                )));
+            }
+            d.level -= 1;
+            // A slice set at the coarser level survives as-is: §5.1's Qb
+            // slices (Assortment, Legwear) at the category level, drills Y
+            // down to raw pages, and reports only Legwear's children.
+        }
+        Op::RollUp { attr } => {
+            let i = out
+                .seq
+                .group_by
+                .iter()
+                .position(|al| al.attr == *attr)
+                .ok_or_else(|| {
+                    Error::InvalidOperation("attribute is not a global dimension".into())
+                })?;
+            let al = &mut out.seq.group_by[i];
+            if al.level + 1 >= db.level_count(al.attr) {
+                return Err(Error::InvalidOperation(
+                    "global dimension is already at the top abstraction level".into(),
+                ));
+            }
+            let old_level = al.level;
+            al.level += 1;
+            let (attr, new_level) = (al.attr, al.level);
+            if let Some(v) = out.global_slice.remove(&i) {
+                let coarse = db.map_up(attr, old_level, v, new_level)?;
+                out.global_slice.insert(i, coarse);
+            }
+        }
+        Op::DrillDown { attr } => {
+            let i = out
+                .seq
+                .group_by
+                .iter()
+                .position(|al| al.attr == *attr)
+                .ok_or_else(|| {
+                    Error::InvalidOperation("attribute is not a global dimension".into())
+                })?;
+            let al = &mut out.seq.group_by[i];
+            if al.level == 0 {
+                return Err(Error::InvalidOperation(
+                    "global dimension is already at the base abstraction level".into(),
+                ));
+            }
+            al.level -= 1;
+            out.global_slice.remove(&i);
+        }
+        Op::SliceGlobal { dim, value } => {
+            if *dim >= out.seq.group_by.len() {
+                return Err(Error::InvalidOperation(format!(
+                    "no global dimension #{dim}"
+                )));
+            }
+            out.global_slice.insert(*dim, *value);
+        }
+        Op::SlicePattern { dim, value } => {
+            let i = dim_index(&out, dim)?;
+            let level = out.template.dims[i].level;
+            out.pattern_slice.insert(i, (level, *value));
+        }
+        Op::Dice { global, pattern } => {
+            for &(g, v) in global {
+                if g >= out.seq.group_by.len() {
+                    return Err(Error::InvalidOperation(format!("no global dimension #{g}")));
+                }
+                out.global_slice.insert(g, v);
+            }
+            for (name, v) in pattern {
+                let i = dim_index(&out, name)?;
+                let level = out.template.dims[i].level;
+                out.pattern_slice.insert(i, (level, *v));
+            }
+        }
+        Op::SetMinSupport(ms) => out.min_support = *ms,
+    }
+    out.validate(db)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solap_eventdb::{AttrLevel, CmpOp, ColumnType, EventDbBuilder, SortKey, Value};
+    use solap_pattern::{MatchPred, PatternKind, PatternTemplate};
+
+    fn db() -> EventDb {
+        let mut db = EventDbBuilder::new()
+            .dimension("sid", ColumnType::Int)
+            .dimension("location", ColumnType::Str)
+            .dimension("action", ColumnType::Str)
+            .build()
+            .unwrap();
+        db.push_row(&[Value::Int(0), Value::from("Pentagon"), Value::from("in")])
+            .unwrap();
+        db.push_row(&[Value::Int(0), Value::from("Wheaton"), Value::from("out")])
+            .unwrap();
+        db.set_base_level_name(1, "station");
+        db.attach_str_level(1, "district", |_| "D10".into())
+            .unwrap();
+        db
+    }
+
+    fn base_spec(db: &EventDb) -> SCuboidSpec {
+        let t = PatternTemplate::new(
+            PatternKind::Substring,
+            &["X", "Y"],
+            &[("X", 1, 0), ("Y", 1, 0)],
+        )
+        .unwrap();
+        let action = db.attr("action").unwrap();
+        SCuboidSpec::new(
+            t,
+            vec![AttrLevel::new(0, 0)],
+            vec![SortKey {
+                attr: 0,
+                ascending: true,
+            }],
+        )
+        .with_group_by(vec![AttrLevel::new(1, 0)])
+        .with_mpred(
+            MatchPred::cmp(0, action, CmpOp::Eq, "in").and(MatchPred::cmp(
+                1,
+                action,
+                CmpOp::Eq,
+                "out",
+            )),
+        )
+    }
+
+    #[test]
+    fn append_existing_and_new_symbols() {
+        let db = db();
+        let s = base_spec(&db);
+        // Q1 → Q2 shape: append Y, X, then a new Z.
+        let s = apply(
+            &db,
+            &s,
+            &Op::Append {
+                symbol: "Y".into(),
+                attr: 1,
+                level: 0,
+            },
+        )
+        .unwrap();
+        let s = apply(
+            &db,
+            &s,
+            &Op::Append {
+                symbol: "X".into(),
+                attr: 1,
+                level: 0,
+            },
+        )
+        .unwrap();
+        let s = apply(
+            &db,
+            &s,
+            &Op::Append {
+                symbol: "Z".into(),
+                attr: 1,
+                level: 0,
+            },
+        )
+        .unwrap();
+        assert_eq!(s.template.render_head(), "SUBSTRING (X, Y, Y, X, Z)");
+        assert_eq!(s.template.n(), 3);
+        // Conflicting rebind is rejected.
+        let err = apply(
+            &db,
+            &s,
+            &Op::Append {
+                symbol: "X".into(),
+                attr: 1,
+                level: 1,
+            },
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn de_tail_then_de_head_restores_structure() {
+        let db = db();
+        let s0 = base_spec(&db);
+        let s1 = apply(
+            &db,
+            &s0,
+            &Op::Append {
+                symbol: "Z".into(),
+                attr: 1,
+                level: 0,
+            },
+        )
+        .unwrap();
+        let s2 = apply(&db, &s1, &Op::DeTail).unwrap();
+        assert_eq!(s2.template.signature(), s0.template.signature());
+        assert_eq!(
+            s2.fingerprint(),
+            s0.fingerprint(),
+            "APPEND∘DE-TAIL = identity"
+        );
+        // DE-HEAD drops X and shifts the predicate.
+        let s3 = apply(&db, &s0, &Op::DeHead).unwrap();
+        assert_eq!(s3.template.render_head(), "SUBSTRING (Y)");
+        assert_eq!(s3.mpred.max_pos(), Some(0));
+        // Removing the final symbol fails.
+        assert!(apply(&db, &s3, &Op::DeHead).is_err());
+        assert!(apply(&db, &s3, &Op::DeTail).is_err());
+    }
+
+    #[test]
+    fn de_tail_drops_predicate_on_removed_position() {
+        let db = db();
+        let s = base_spec(&db);
+        let s = apply(&db, &s, &Op::DeTail).unwrap();
+        // The y1 conjunct referenced position 1, which no longer exists.
+        assert_eq!(s.mpred.max_pos(), Some(0));
+        assert_eq!(s.template.m(), 1);
+        assert_eq!(s.template.n(), 1);
+    }
+
+    #[test]
+    fn prepend_shifts_predicate_positions() {
+        let db = db();
+        let s = base_spec(&db);
+        let s = apply(
+            &db,
+            &s,
+            &Op::Prepend {
+                symbol: "Z".into(),
+                attr: 1,
+                level: 0,
+            },
+        )
+        .unwrap();
+        assert_eq!(s.template.render_head(), "SUBSTRING (Z, X, Y)");
+        assert_eq!(s.mpred.max_pos(), Some(2));
+        // Prepending an existing symbol keeps n constant.
+        let s2 = apply(
+            &db,
+            &s,
+            &Op::Prepend {
+                symbol: "Y".into(),
+                attr: 1,
+                level: 0,
+            },
+        )
+        .unwrap();
+        assert_eq!(s2.template.render_head(), "SUBSTRING (Y, Z, X, Y)");
+        assert_eq!(s2.template.n(), 3);
+    }
+
+    #[test]
+    fn p_roll_up_and_drill_down() {
+        let db = db();
+        let s = base_spec(&db);
+        let s = apply(&db, &s, &Op::PRollUp { dim: "Y".into() }).unwrap();
+        assert_eq!(s.template.dims[1].level, 1);
+        // Rolling past the top fails.
+        assert!(apply(&db, &s, &Op::PRollUp { dim: "Y".into() }).is_err());
+        let s = apply(&db, &s, &Op::PDrillDown { dim: "Y".into() }).unwrap();
+        assert_eq!(s.template.dims[1].level, 0);
+        assert!(apply(&db, &s, &Op::PDrillDown { dim: "Y".into() }).is_err());
+        assert!(apply(&db, &s, &Op::PRollUp { dim: "Q".into() }).is_err());
+    }
+
+    #[test]
+    fn p_roll_up_maps_slice_value_up() {
+        let db = db();
+        let pentagon = db.parse_level_value(1, 0, "Pentagon").unwrap();
+        let s = base_spec(&db);
+        let s = apply(
+            &db,
+            &s,
+            &Op::SlicePattern {
+                dim: "X".into(),
+                value: pentagon,
+            },
+        )
+        .unwrap();
+        let s = apply(&db, &s, &Op::PRollUp { dim: "X".into() }).unwrap();
+        let d10 = db.parse_level_value(1, 1, "D10").unwrap();
+        assert_eq!(s.pattern_slice.get(&0), Some(&(1, d10)));
+        // Drill-down keeps the (now coarse) slice: the Qb-of-§5.1 pattern.
+        let s = apply(&db, &s, &Op::PDrillDown { dim: "X".into() }).unwrap();
+        assert_eq!(s.pattern_slice.get(&0), Some(&(1, d10)));
+        assert_eq!(s.template.dims[0].level, 0);
+    }
+
+    #[test]
+    fn global_roll_up_drill_down_and_slice() {
+        let db = db();
+        let s = base_spec(&db);
+        let s = apply(&db, &s, &Op::RollUp { attr: 1 }).unwrap();
+        assert_eq!(s.seq.group_by[0].level, 1);
+        assert!(apply(&db, &s, &Op::RollUp { attr: 1 }).is_err());
+        let s = apply(&db, &s, &Op::DrillDown { attr: 1 }).unwrap();
+        assert_eq!(s.seq.group_by[0].level, 0);
+        assert!(apply(&db, &s, &Op::DrillDown { attr: 1 }).is_err());
+        assert!(apply(&db, &s, &Op::RollUp { attr: 0 }).is_err());
+        let s = apply(&db, &s, &Op::SliceGlobal { dim: 0, value: 7 }).unwrap();
+        assert_eq!(s.global_slice.get(&0), Some(&7));
+        assert!(apply(&db, &s, &Op::SliceGlobal { dim: 3, value: 7 }).is_err());
+    }
+
+    #[test]
+    fn dice_and_min_support() {
+        let db = db();
+        let s = base_spec(&db);
+        let s = apply(
+            &db,
+            &s,
+            &Op::Dice {
+                global: vec![(0, 9)],
+                pattern: vec![("X".into(), 0), ("Y".into(), 1)],
+            },
+        )
+        .unwrap();
+        assert_eq!(s.global_slice.len(), 1);
+        assert_eq!(s.pattern_slice.len(), 2);
+        let s = apply(&db, &s, &Op::SetMinSupport(Some(10))).unwrap();
+        assert_eq!(s.min_support, Some(10));
+        let s = apply(&db, &s, &Op::SetMinSupport(None)).unwrap();
+        assert_eq!(s.min_support, None);
+    }
+
+    #[test]
+    fn de_tail_compacts_pattern_slice_indices() {
+        let db = db();
+        let s = base_spec(&db);
+        // (X, Y, Z) with slices on X and Z.
+        let s = apply(
+            &db,
+            &s,
+            &Op::Append {
+                symbol: "Z".into(),
+                attr: 1,
+                level: 0,
+            },
+        )
+        .unwrap();
+        let s = apply(
+            &db,
+            &s,
+            &Op::SlicePattern {
+                dim: "X".into(),
+                value: 3,
+            },
+        )
+        .unwrap();
+        let s = apply(
+            &db,
+            &s,
+            &Op::SlicePattern {
+                dim: "Z".into(),
+                value: 5,
+            },
+        )
+        .unwrap();
+        // Dropping Z must remove its slice but keep X's.
+        let s = apply(&db, &s, &Op::DeTail).unwrap();
+        assert_eq!(s.pattern_slice.len(), 1);
+        assert_eq!(s.pattern_slice.get(&0), Some(&(0, 3)));
+        // Dropping the head X: dimension indices compact, Y's slice would
+        // move from 1 → 0 (no slice on Y here, so empty).
+        let s = apply(&db, &s, &Op::DeHead).unwrap();
+        assert!(s.pattern_slice.is_empty());
+    }
+
+    #[test]
+    fn op_names() {
+        assert_eq!(Op::DeTail.name(), "DE-TAIL");
+        assert_eq!(Op::PRollUp { dim: "X".into() }.name(), "P-ROLL-UP");
+    }
+}

@@ -1,0 +1,116 @@
+//! The Cuboid Repository (Figure 6): an LRU cache of computed S-cuboids.
+//!
+//! "Given an S-cuboid query, the S-OLAP Engine searches a Cuboid Repository
+//! to see if such an S-cuboid has been previously computed and stored …
+//! (If storage space is limited, the Cuboid Repository could be implemented
+//! as a cache with an appropriate replacement policy such as LRU.)"
+//!
+//! DE-HEAD and DE-TAIL lean on this cache: applying APPEND then DE-TAIL
+//! restores the previous query, whose cuboid is returned outright.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use solap_eventdb::lru::LruCache;
+
+use crate::cuboid::SCuboid;
+
+/// Cache key: spec fingerprint + database version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    spec: u64,
+    db_version: u64,
+}
+
+/// A thread-safe LRU repository of computed cuboids.
+pub struct CuboidRepo {
+    inner: Mutex<LruCache<Key, Arc<SCuboid>>>,
+}
+
+impl CuboidRepo {
+    /// Creates a repository bounded by entry count and approximate bytes.
+    pub fn new(capacity: usize, max_bytes: usize) -> Self {
+        CuboidRepo {
+            inner: Mutex::new(LruCache::with_weight(capacity, max_bytes, |c| {
+                c.heap_bytes()
+            })),
+        }
+    }
+
+    /// Fetches a cached cuboid.
+    pub fn get(&self, spec_fp: u64, db_version: u64) -> Option<Arc<SCuboid>> {
+        self.inner
+            .lock()
+            .get(&Key {
+                spec: spec_fp,
+                db_version,
+            })
+            .cloned()
+    }
+
+    /// Stores a computed cuboid.
+    pub fn insert(&self, spec_fp: u64, db_version: u64, cuboid: Arc<SCuboid>) {
+        self.inner.lock().insert(
+            Key {
+                spec: spec_fp,
+                db_version,
+            },
+            cuboid,
+        );
+    }
+
+    /// Number of cached cuboids.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the repository is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Approximate bytes cached (the "0.3MB of cuboids" of §5.1).
+    pub fn total_bytes(&self) -> usize {
+        self.inner.lock().weight()
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        self.inner.lock().stats()
+    }
+
+    /// Drops everything.
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+    }
+}
+
+impl Default for CuboidRepo {
+    fn default() -> Self {
+        CuboidRepo::new(128, 256 << 20)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solap_pattern::AggFunc;
+
+    fn cuboid() -> Arc<SCuboid> {
+        Arc::new(SCuboid::new(vec![], vec![], AggFunc::Count))
+    }
+
+    #[test]
+    fn roundtrip_and_version_separation() {
+        let repo = CuboidRepo::default();
+        repo.insert(1, 10, cuboid());
+        assert!(repo.get(1, 10).is_some());
+        assert!(repo.get(1, 11).is_none(), "new db version misses");
+        assert!(repo.get(2, 10).is_none(), "different spec misses");
+        assert_eq!(repo.len(), 1);
+        assert_eq!(repo.stats(), (1, 2));
+        repo.clear();
+        assert!(repo.is_empty());
+    }
+}

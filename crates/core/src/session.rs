@@ -1,0 +1,218 @@
+//! Interactive navigation sessions.
+//!
+//! OLAP's power is iterative exploration: a user poses a query, studies the
+//! cuboid, applies an operation, and repeats. A [`Session`] holds the
+//! current specification, executes operations through the engine (so every
+//! fast path and cache is exploited), and keeps the history so `back()`
+//! can retrace steps — the Qa → Qb → Qc explorations of §5 are sessions.
+
+use std::sync::Arc;
+
+use solap_eventdb::Result;
+
+use crate::cuboid::SCuboid;
+use crate::engine::{Engine, QueryOutput};
+use crate::ops::Op;
+use crate::spec::SCuboidSpec;
+use crate::stats::ExecStats;
+
+/// One step of a session's history.
+#[derive(Debug, Clone)]
+pub struct HistoryEntry {
+    /// The operation that produced this step (`None` for the initial
+    /// query).
+    pub op: Option<String>,
+    /// The specification at this step.
+    pub spec: SCuboidSpec,
+    /// The statistics of its execution.
+    pub stats: ExecStats,
+}
+
+/// An interactive S-OLAP exploration session.
+pub struct Session<'e> {
+    engine: &'e Engine,
+    current: SCuboidSpec,
+    cuboid: Arc<SCuboid>,
+    history: Vec<HistoryEntry>,
+}
+
+impl<'e> Session<'e> {
+    /// Starts a session by executing the initial query.
+    pub fn start(engine: &'e Engine, spec: SCuboidSpec) -> Result<Self> {
+        let out = engine.execute(&spec)?;
+        let history = vec![HistoryEntry {
+            op: None,
+            spec: spec.clone(),
+            stats: out.stats.clone(),
+        }];
+        Ok(Session {
+            engine,
+            current: spec,
+            cuboid: out.cuboid,
+            history,
+        })
+    }
+
+    /// The current specification.
+    pub fn spec(&self) -> &SCuboidSpec {
+        &self.current
+    }
+
+    /// The current cuboid.
+    pub fn cuboid(&self) -> &Arc<SCuboid> {
+        &self.cuboid
+    }
+
+    /// The engine backing this session.
+    pub fn engine(&self) -> &Engine {
+        self.engine
+    }
+
+    /// The history, oldest first.
+    pub fn history(&self) -> &[HistoryEntry] {
+        &self.history
+    }
+
+    /// Applies an operation, navigating to a new S-cuboid.
+    pub fn apply(&mut self, op: Op) -> Result<QueryOutput> {
+        let (spec, out) = self.engine.execute_op(&self.current, &op)?;
+        self.history.push(HistoryEntry {
+            op: Some(op.name().to_owned()),
+            spec: spec.clone(),
+            stats: out.stats.clone(),
+        });
+        self.current = spec;
+        self.cuboid = Arc::clone(&out.cuboid);
+        Ok(out)
+    }
+
+    /// Replaces the whole specification (a fresh query within the session).
+    pub fn query(&mut self, spec: SCuboidSpec) -> Result<QueryOutput> {
+        let out = self.engine.execute(&spec)?;
+        self.history.push(HistoryEntry {
+            op: Some("QUERY".to_owned()),
+            spec: spec.clone(),
+            stats: out.stats.clone(),
+        });
+        self.current = spec;
+        self.cuboid = Arc::clone(&out.cuboid);
+        Ok(out)
+    }
+
+    /// Steps back to the previous specification (re-executing it — usually
+    /// a cuboid-repository hit). Returns `false` at the start of history.
+    pub fn back(&mut self) -> Result<bool> {
+        if self.history.len() < 2 {
+            return Ok(false);
+        }
+        self.history.pop();
+        let spec = self.history.last().expect("non-empty").spec.clone();
+        let out = self.engine.execute(&spec)?;
+        self.current = spec;
+        self.cuboid = Arc::clone(&out.cuboid);
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use solap_eventdb::{AttrLevel, CmpOp, ColumnType, EventDbBuilder, SortKey, Value};
+    use solap_pattern::{MatchPred, PatternKind, PatternTemplate};
+
+    fn engine() -> Engine {
+        let mut db = EventDbBuilder::new()
+            .dimension("sid", ColumnType::Int)
+            .dimension("pos", ColumnType::Int)
+            .dimension("location", ColumnType::Str)
+            .dimension("action", ColumnType::Str)
+            .build()
+            .unwrap();
+        let seqs: [&[&str]; 2] = [
+            &["Pentagon", "Wheaton", "Wheaton", "Pentagon"],
+            &["Glenmont", "Pentagon"],
+        ];
+        for (sid, stations) in seqs.iter().enumerate() {
+            for (i, st) in stations.iter().enumerate() {
+                let action = if i % 2 == 0 { "in" } else { "out" };
+                db.push_row(&[
+                    Value::Int(sid as i64),
+                    Value::Int(i as i64),
+                    Value::from(*st),
+                    Value::from(action),
+                ])
+                .unwrap();
+            }
+        }
+        Engine::with_config(db, EngineConfig::default())
+    }
+
+    fn initial(db: &solap_eventdb::EventDb) -> SCuboidSpec {
+        let t = PatternTemplate::new(
+            PatternKind::Substring,
+            &["X", "Y"],
+            &[("X", 2, 0), ("Y", 2, 0)],
+        )
+        .unwrap();
+        let action = db.attr("action").unwrap();
+        SCuboidSpec::new(
+            t,
+            vec![AttrLevel::new(0, 0)],
+            vec![SortKey {
+                attr: 1,
+                ascending: true,
+            }],
+        )
+        .with_mpred(
+            MatchPred::cmp(0, action, CmpOp::Eq, "in").and(MatchPred::cmp(
+                1,
+                action,
+                CmpOp::Eq,
+                "out",
+            )),
+        )
+    }
+
+    #[test]
+    fn navigate_append_and_back() {
+        let e = engine();
+        let mut s = Session::start(&e, initial(e.db())).unwrap();
+        assert_eq!(s.history().len(), 1);
+        let before = s.spec().fingerprint();
+        s.apply(Op::Append {
+            symbol: "Y".into(),
+            attr: 2,
+            level: 0,
+        })
+        .unwrap();
+        assert_eq!(s.spec().template.m(), 3);
+        assert_eq!(s.history().len(), 2);
+        assert_eq!(s.history()[1].op.as_deref(), Some("APPEND"));
+        assert!(s.back().unwrap());
+        assert_eq!(s.spec().fingerprint(), before);
+        assert!(!s.back().unwrap(), "cannot step before the initial query");
+    }
+
+    #[test]
+    fn fresh_query_resets_spec() {
+        let e = engine();
+        let mut s = Session::start(&e, initial(e.db())).unwrap();
+        let mut other = initial(e.db());
+        other.mpred = MatchPred::True;
+        let out = s.query(other.clone()).unwrap();
+        assert_eq!(s.spec().fingerprint(), other.fingerprint());
+        assert!(out.cuboid.len() >= s.history()[0].spec.template.n());
+    }
+
+    #[test]
+    fn cuboid_follows_operations() {
+        let e = engine();
+        let mut s = Session::start(&e, initial(e.db())).unwrap();
+        let n_before = s.cuboid().len();
+        s.apply(Op::SetMinSupport(Some(1_000_000))).unwrap();
+        assert_eq!(s.cuboid().len(), 0);
+        s.back().unwrap();
+        assert_eq!(s.cuboid().len(), n_before);
+    }
+}

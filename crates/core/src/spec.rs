@@ -1,0 +1,411 @@
+//! The S-cuboid specification (Figure 3 of the paper).
+
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+use solap_eventdb::{AttrLevel, EventDb, LevelValue, Pred, Result, SeqQuerySpec, SortKey};
+use solap_pattern::{AggFunc, CellRestriction, MatchPred, PatternTemplate};
+
+/// A complete S-cuboid specification: the six parts of §3.2 plus the slice
+/// state accumulated by OLAP navigation and the iceberg extension of §6.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SCuboidSpec {
+    /// Part 6: the aggregate function of the `SELECT` clause.
+    pub agg: AggFunc,
+    /// Parts 1–4: `WHERE`, `CLUSTER BY`, `SEQUENCE BY`, `SEQUENCE GROUP BY`.
+    pub seq: SeqQuerySpec,
+    /// Part 5(a): the pattern template of the `CUBOID BY` clause.
+    pub template: PatternTemplate,
+    /// Part 5(b): the cell restriction.
+    pub restriction: CellRestriction,
+    /// Part 5(c): the matching predicate over event placeholders.
+    pub mpred: MatchPred,
+    /// Slice state on global dimensions: `global dim index → fixed value`.
+    /// A sliced cuboid only reports groups matching every fixed value.
+    pub global_slice: BTreeMap<usize, LevelValue>,
+    /// Slice state on pattern dimensions: `pattern dim index →
+    /// (abstraction level, fixed value)`. Kept separate from the matching
+    /// predicate so slicing works at any abstraction level (the paper's Q2
+    /// encodes the same thing as placeholder equality predicates at the
+    /// base level). The slice level may be **coarser** than the
+    /// dimension's current level — §5.1's Qb slices (Assortment, Legwear)
+    /// at the category level and then drills Y down to raw pages, keeping
+    /// the Legwear restriction.
+    pub pattern_slice: BTreeMap<usize, (usize, LevelValue)>,
+    /// §6 iceberg extension: drop cells whose COUNT is below this.
+    pub min_support: Option<u64>,
+}
+
+impl SCuboidSpec {
+    /// A minimal specification: count pattern occurrences of `template`
+    /// over sequences clustered by `cluster_by`, ordered by `sequence_by`.
+    pub fn new(
+        template: PatternTemplate,
+        cluster_by: Vec<AttrLevel>,
+        sequence_by: Vec<SortKey>,
+    ) -> Self {
+        SCuboidSpec {
+            agg: AggFunc::Count,
+            seq: SeqQuerySpec {
+                filter: Pred::True,
+                cluster_by,
+                sequence_by,
+                group_by: Vec::new(),
+            },
+            template,
+            restriction: CellRestriction::LeftMaximalityMatchedGo,
+            mpred: MatchPred::True,
+            global_slice: BTreeMap::new(),
+            pattern_slice: BTreeMap::new(),
+            min_support: None,
+        }
+    }
+
+    /// Sets the `WHERE` filter.
+    pub fn with_filter(mut self, filter: Pred) -> Self {
+        self.seq.filter = filter;
+        self
+    }
+
+    /// Sets the `SEQUENCE GROUP BY` global dimensions.
+    pub fn with_group_by(mut self, group_by: Vec<AttrLevel>) -> Self {
+        self.seq.group_by = group_by;
+        self
+    }
+
+    /// Sets the matching predicate.
+    pub fn with_mpred(mut self, mpred: MatchPred) -> Self {
+        self.mpred = mpred;
+        self
+    }
+
+    /// Sets the cell restriction.
+    pub fn with_restriction(mut self, restriction: CellRestriction) -> Self {
+        self.restriction = restriction;
+        self
+    }
+
+    /// Sets the aggregate function.
+    pub fn with_agg(mut self, agg: AggFunc) -> Self {
+        self.agg = agg;
+        self
+    }
+
+    /// Sets the iceberg minimum support.
+    pub fn with_min_support(mut self, min_support: u64) -> Self {
+        self.min_support = Some(min_support);
+        self
+    }
+
+    /// Validates the spec against a database: level bounds, predicate
+    /// placeholder positions, and slice indices.
+    pub fn validate(&self, db: &EventDb) -> Result<()> {
+        use solap_eventdb::Error;
+        for al in self.seq.cluster_by.iter().chain(self.seq.group_by.iter()) {
+            if al.level >= db.level_count(al.attr) {
+                return Err(Error::UnknownLevel {
+                    attribute: db.schema().column(al.attr).name.clone(),
+                    level: format!("#{}", al.level),
+                });
+            }
+        }
+        for d in &self.template.dims {
+            if d.level >= db.level_count(d.attr) {
+                return Err(Error::UnknownLevel {
+                    attribute: db.schema().column(d.attr).name.clone(),
+                    level: format!("#{}", d.level),
+                });
+            }
+        }
+        if let Some(p) = self.mpred.max_pos() {
+            if p >= self.template.m() {
+                return Err(Error::InvalidOperation(format!(
+                    "matching predicate references placeholder #{p} but the template has only {} symbols",
+                    self.template.m()
+                )));
+            }
+        }
+        for &g in self.global_slice.keys() {
+            if g >= self.seq.group_by.len() {
+                return Err(Error::InvalidOperation(format!(
+                    "global slice on dimension #{g} but there are only {} global dimensions",
+                    self.seq.group_by.len()
+                )));
+            }
+        }
+        for (&p, &(level, _)) in &self.pattern_slice {
+            if p >= self.template.n() {
+                return Err(Error::InvalidOperation(format!(
+                    "pattern slice on dimension #{p} but there are only {} pattern dimensions",
+                    self.template.n()
+                )));
+            }
+            let d = &self.template.dims[p];
+            if level < d.level || level >= db.level_count(d.attr) {
+                return Err(Error::InvalidOperation(format!(
+                    "pattern slice on `{}` at level #{level} is finer than the dimension's level #{} or out of range",
+                    d.name, d.level
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// A stable fingerprint for cuboid-repository keys.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.hash_into(&mut h);
+        h.finish()
+    }
+
+    fn hash_into<H: Hasher>(&self, h: &mut H) {
+        self.agg.hash(h);
+        self.seq.hash(h);
+        self.template.hash(h);
+        self.restriction.hash(h);
+        self.mpred.hash(h);
+        self.global_slice.hash(h);
+        self.pattern_slice.hash(h);
+        self.min_support.hash(h);
+    }
+
+    /// Renders the specification in the query language of Figure 3 (the
+    /// parser in `solap-query` accepts this output — print → reparse is a
+    /// fixpoint tested there).
+    pub fn render(&self, db: &EventDb) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("SELECT {}\nFROM Event\n", self.agg.render(db)));
+        if self.seq.filter != Pred::True {
+            out.push_str(&format!("WHERE {}\n", self.seq.filter.render(db)));
+        }
+        let attr_at = |al: &AttrLevel| {
+            format!(
+                "{} AT {}",
+                db.schema().column(al.attr).name,
+                db.level_name(al.attr, al.level)
+            )
+        };
+        if !self.seq.cluster_by.is_empty() {
+            let items: Vec<String> = self.seq.cluster_by.iter().map(attr_at).collect();
+            out.push_str(&format!("CLUSTER BY {}\n", items.join(", ")));
+        }
+        if !self.seq.sequence_by.is_empty() {
+            let items: Vec<String> = self
+                .seq
+                .sequence_by
+                .iter()
+                .map(|k| {
+                    format!(
+                        "{} {}",
+                        db.schema().column(k.attr).name,
+                        if k.ascending {
+                            "ASCENDING"
+                        } else {
+                            "DESCENDING"
+                        }
+                    )
+                })
+                .collect();
+            out.push_str(&format!("SEQUENCE BY {}\n", items.join(", ")));
+        }
+        if !self.seq.group_by.is_empty() {
+            let items: Vec<String> = self.seq.group_by.iter().map(attr_at).collect();
+            out.push_str(&format!("SEQUENCE GROUP BY {}\n", items.join(", ")));
+        }
+        out.push_str(&format!("CUBOID BY {}\n", self.template.render_head()));
+        let bindings: Vec<String> = self
+            .template
+            .dims
+            .iter()
+            .map(|d| {
+                format!(
+                    "{} AS {} AT {}",
+                    d.name,
+                    db.schema().column(d.attr).name,
+                    db.level_name(d.attr, d.level)
+                )
+            })
+            .collect();
+        out.push_str(&format!("  WITH {}\n", bindings.join(", ")));
+        let names = MatchPred::placeholder_names(&self.template);
+        out.push_str(&format!(
+            "  {} ({})\n",
+            self.restriction.keyword(),
+            names.join(", ")
+        ));
+        if !self.mpred.is_true() {
+            out.push_str(&format!("  WITH {}\n", self.mpred.render(db, &names)));
+        }
+        for (&dim, &(level, v)) in &self.pattern_slice {
+            let d = &self.template.dims[dim];
+            out.push_str(&format!(
+                "SLICE PATTERN {} = \"{}\" AT {}\n",
+                d.name,
+                db.render_level(d.attr, level, v),
+                db.level_name(d.attr, level)
+            ));
+        }
+        for (&g, &v) in &self.global_slice {
+            let al = &self.seq.group_by[g];
+            out.push_str(&format!(
+                "SLICE GROUP {} = \"{}\"\n",
+                db.schema().column(al.attr).name,
+                db.render_level(al.attr, al.level, v)
+            ));
+        }
+        if let Some(ms) = self.min_support {
+            out.push_str(&format!("HAVING COUNT >= {ms}\n"));
+        }
+        out
+    }
+}
+
+// Hash is implemented manually so the BTreeMaps participate determinately.
+impl Hash for SCuboidSpec {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.hash_into(state);
+    }
+}
+
+impl Eq for SCuboidSpec {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solap_eventdb::{CmpOp, ColumnType, EventDbBuilder, TimeHierarchy, Value};
+    use solap_pattern::PatternKind;
+
+    fn db() -> EventDb {
+        let mut db = EventDbBuilder::new()
+            .dimension("time", ColumnType::Time)
+            .dimension("card-id", ColumnType::Int)
+            .dimension("location", ColumnType::Str)
+            .dimension("action", ColumnType::Str)
+            .measure("amount", ColumnType::Float)
+            .build()
+            .unwrap();
+        db.set_time_hierarchy(0, TimeHierarchy::time_day_week())
+            .unwrap();
+        db.set_base_level_name(2, "station");
+        db.push_row(&[
+            Value::from("2007-10-01T00:01"),
+            Value::Int(688),
+            Value::from("Pentagon"),
+            Value::from("in"),
+            Value::Float(0.0),
+        ])
+        .unwrap();
+        db.attach_str_level(2, "district", |_| "D10".into())
+            .unwrap();
+        db.set_base_level_name(1, "individual");
+        db.attach_int_level(1, "fare-group", |_| "regular".into())
+            .unwrap();
+        db
+    }
+
+    /// The paper's Q1 (Figure 3).
+    fn q1(db: &EventDb) -> SCuboidSpec {
+        let template = PatternTemplate::new(
+            PatternKind::Substring,
+            &["X", "Y", "Y", "X"],
+            &[("X", 2, 0), ("Y", 2, 0)],
+        )
+        .unwrap();
+        let action = db.attr("action").unwrap();
+        SCuboidSpec::new(
+            template,
+            vec![AttrLevel::new(1, 0), AttrLevel::new(0, 1)],
+            vec![SortKey {
+                attr: 0,
+                ascending: true,
+            }],
+        )
+        .with_filter(
+            Pred::cmp(0, CmpOp::Ge, Value::from("2007-10-01T00:00")).and(Pred::cmp(
+                0,
+                CmpOp::Lt,
+                Value::from("2007-12-31T24:00"),
+            )),
+        )
+        .with_group_by(vec![AttrLevel::new(1, 1), AttrLevel::new(0, 1)])
+        .with_mpred(MatchPred::all([
+            MatchPred::cmp(0, action, CmpOp::Eq, "in"),
+            MatchPred::cmp(1, action, CmpOp::Eq, "out"),
+            MatchPred::cmp(2, action, CmpOp::Eq, "in"),
+            MatchPred::cmp(3, action, CmpOp::Eq, "out"),
+        ]))
+    }
+
+    #[test]
+    fn q1_validates() {
+        let db = db();
+        q1(&db).validate(&db).unwrap();
+    }
+
+    #[test]
+    fn bad_levels_rejected() {
+        let db = db();
+        let mut s = q1(&db);
+        s.seq.cluster_by[0].level = 9;
+        assert!(s.validate(&db).is_err());
+        let mut s = q1(&db);
+        s.template.dims[0].level = 9;
+        assert!(s.validate(&db).is_err());
+    }
+
+    #[test]
+    fn bad_placeholder_rejected() {
+        let db = db();
+        let mut s = q1(&db);
+        s.mpred = MatchPred::cmp(9, 3, CmpOp::Eq, "in");
+        assert!(s.validate(&db).is_err());
+    }
+
+    #[test]
+    fn bad_slices_rejected() {
+        let db = db();
+        let mut s = q1(&db);
+        s.global_slice.insert(5, 0);
+        assert!(s.validate(&db).is_err());
+        let mut s = q1(&db);
+        s.pattern_slice.insert(5, (0, 0));
+        assert!(s.validate(&db).is_err());
+        let mut s = q1(&db);
+        s.pattern_slice.insert(0, (9, 0)); // out-of-range slice level
+        assert!(s.validate(&db).is_err());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let db = db();
+        let a = q1(&db);
+        assert_eq!(a.fingerprint(), q1(&db).fingerprint());
+        let b = q1(&db).with_restriction(CellRestriction::AllMatchedGo);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut c = q1(&db);
+        c.pattern_slice.insert(0, (0, 3));
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn render_contains_all_clauses() {
+        let db = db();
+        let s = q1(&db).with_min_support(5);
+        let text = s.render(&db);
+        for needle in [
+            "SELECT COUNT(*)",
+            "FROM Event",
+            "WHERE",
+            "CLUSTER BY card-id AT individual, time AT day",
+            "SEQUENCE BY time ASCENDING",
+            "SEQUENCE GROUP BY card-id AT fare-group, time AT day",
+            "CUBOID BY SUBSTRING (X, Y, Y, X)",
+            "WITH X AS location AT station, Y AS location AT station",
+            "LEFT-MAXIMALITY (x1, y1, y2, x2)",
+            "x1.action = \"in\"",
+            "HAVING COUNT >= 5",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Execution statistics — the quantities the paper's evaluation reports.
+//!
+//! Table 1 and Figure 16 report, per query: runtime, the **number of
+//! sequences scanned** (distinct sequences fetched during the query — CB
+//! rescans the whole dataset every time, II only touches sequences in
+//! relevant lists), and the size of the inverted indices built.
+
+use std::time::Duration;
+
+use solap_eventdb::Sid;
+use solap_index::Bitmap;
+
+/// Statistics of one query execution.
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    /// Which strategy produced the result (`"CB"`, `"II"`, `"cache"`).
+    pub strategy: &'static str,
+    /// Distinct sequences fetched while answering the query (index builds,
+    /// verification scans and per-list counting all mark sequences).
+    pub sequences_scanned: u64,
+    /// Inverted indices built during this query (count).
+    pub indices_built: u64,
+    /// Bytes of inverted indices built during this query.
+    pub index_bytes_built: usize,
+    /// Index joins performed (Figure 15 line 8).
+    pub index_joins: u64,
+    /// Whether the cuboid repository answered the query outright.
+    pub cuboid_cache_hit: bool,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl ExecStats {
+    /// Accumulates another execution's statistics (for cumulative series
+    /// like Figure 16's).
+    pub fn accumulate(&mut self, other: &ExecStats) {
+        self.sequences_scanned += other.sequences_scanned;
+        self.indices_built += other.indices_built;
+        self.index_bytes_built += other.index_bytes_built;
+        self.index_joins += other.index_joins;
+        self.elapsed += other.elapsed;
+    }
+}
+
+/// Tracks distinct sequences scanned during one query execution.
+///
+/// The same sequence may be touched by an index build, several verification
+/// scans and the final counting pass; like the paper's accounting, it is
+/// charged once per query.
+#[derive(Debug, Default)]
+pub struct ScanMeter {
+    visited: Bitmap,
+    count: u64,
+}
+
+impl ScanMeter {
+    /// A fresh meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks `sid` scanned; counts only first touches.
+    pub fn touch(&mut self, sid: Sid) {
+        if !self.visited.contains(sid) {
+            self.visited.insert(sid);
+            self.count += 1;
+        }
+    }
+
+    /// Marks a contiguous range of sids scanned (whole-group scans).
+    pub fn touch_range(&mut self, sids: impl Iterator<Item = Sid>) {
+        for s in sids {
+            self.touch(s);
+        }
+    }
+
+    /// Distinct sequences scanned so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_counts_distinct() {
+        let mut m = ScanMeter::new();
+        for s in [1, 2, 2, 1, 700, 700] {
+            m.touch(s);
+        }
+        assert_eq!(m.count(), 3);
+        m.touch_range(0..5);
+        assert_eq!(m.count(), 6); // 0,3,4 new
+    }
+
+    #[test]
+    fn accumulate_sums() {
+        let mut a = ExecStats {
+            sequences_scanned: 10,
+            indices_built: 1,
+            index_bytes_built: 100,
+            index_joins: 2,
+            elapsed: Duration::from_millis(5),
+            ..Default::default()
+        };
+        let b = ExecStats {
+            sequences_scanned: 5,
+            indices_built: 0,
+            index_bytes_built: 50,
+            index_joins: 1,
+            elapsed: Duration::from_millis(3),
+            ..Default::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.sequences_scanned, 15);
+        assert_eq!(a.index_bytes_built, 150);
+        assert_eq!(a.index_joins, 3);
+        assert_eq!(a.elapsed, Duration::from_millis(8));
+    }
+}

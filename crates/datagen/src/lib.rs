@@ -1,0 +1,35 @@
+//! # solap-datagen
+//!
+//! Seeded data generators for the S-OLAP reproduction:
+//!
+//! * [`synthetic`] — the paper's §5.2 generator, verbatim: `D` sequences,
+//!   lengths Poisson with mean `L`, first symbol Zipf(`I`, `θ`), subsequent
+//!   symbols from a degree-1 Markov chain whose conditional distributions
+//!   are Zipf-skewed; plus the 3-level concept hierarchy (100 symbols → 20
+//!   groups → 5 super-groups, Zipf-sized) of QuerySet B.
+//! * [`transit`] — a substitute for the proprietary Octopus/SmarTrip RFID
+//!   logs motivating the paper: Figure-1-shaped events (time, card-id,
+//!   location, action, amount) with station → district,
+//!   individual → fare-group and time → day → week hierarchies and a
+//!   controllable round-trip rate.
+//! * [`clickstream`] — a substitute for the Gazelle KDD-Cup-2000 dataset of
+//!   §5.1: sessions over a `page` dimension with a raw-page → page-category
+//!   hierarchy, a dominant (Assortment → Legwear) path and skewed product
+//!   popularity, sized like the paper's post-filtering dataset.
+//!
+//! All generators are deterministic for a given seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clickstream;
+pub mod poisson;
+pub mod synthetic;
+pub mod transit;
+pub mod zipf;
+
+pub use clickstream::{generate_clickstream, ClickstreamConfig};
+pub use poisson::Poisson;
+pub use synthetic::{generate_synthetic, SyntheticConfig};
+pub use transit::{generate_transit, TransitConfig};
+pub use zipf::Zipf;

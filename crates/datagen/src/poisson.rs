@@ -1,0 +1,102 @@
+//! A Poisson sampler (sequence lengths: "its length l, with mean L, is …
+//! determined by a random variable following a Poisson distribution").
+//!
+//! Knuth's multiplication method is exact and fast for the means the
+//! experiments use (L ≤ ~60); larger means switch to a rejection-free
+//! normal approximation, which is accurate to within the experiments'
+//! granularity.
+
+use rand::Rng;
+
+/// A Poisson(λ) sampler.
+#[derive(Debug, Clone, Copy)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a sampler with mean `lambda > 0`.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda > 0.0, "Poisson mean must be positive");
+        Poisson { lambda }
+    }
+
+    /// The mean.
+    pub fn mean(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Draws a sample.
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        if self.lambda < 64.0 {
+            // Knuth: count multiplications until the product drops below
+            // e^{-λ}.
+            let limit = (-self.lambda).exp();
+            let mut product: f64 = rng.gen();
+            let mut k = 0u64;
+            while product > limit {
+                product *= rng.gen::<f64>();
+                k += 1;
+            }
+            k
+        } else {
+            // Normal approximation with continuity correction.
+            let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let u2: f64 = rng.gen();
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            let x = self.lambda + self.lambda.sqrt() * z + 0.5;
+            if x < 0.0 {
+                0
+            } else {
+                x as u64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_var(lambda: f64, n: usize, seed: u64) -> (f64, f64) {
+        let p = Poisson::new(lambda);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples: Vec<f64> = (0..n).map(|_| p.sample(&mut rng) as f64).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        (mean, var)
+    }
+
+    #[test]
+    fn knuth_regime_matches_moments() {
+        let (mean, var) = mean_var(20.0, 100_000, 3);
+        assert!((mean - 20.0).abs() < 0.2, "mean {mean}");
+        assert!((var - 20.0).abs() < 0.8, "variance {var}");
+    }
+
+    #[test]
+    fn small_mean() {
+        let (mean, _) = mean_var(1.5, 100_000, 4);
+        assert!((mean - 1.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_regime_matches_moments() {
+        let (mean, var) = mean_var(200.0, 100_000, 5);
+        assert!((mean - 200.0).abs() < 1.5, "mean {mean}");
+        assert!((var - 200.0).abs() < 8.0, "variance {var}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = Poisson::new(20.0);
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert_eq!(p.sample(&mut a), p.sample(&mut b));
+        }
+        assert_eq!(p.mean(), 20.0);
+    }
+}

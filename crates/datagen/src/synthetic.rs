@@ -1,0 +1,306 @@
+//! The paper's synthetic sequence generator (§5.2), verbatim:
+//!
+//! "The generator takes 4 parameters: L, I, θ, and D. The generated
+//! sequence database has D sequences. Each sequence s … is generated
+//! independently. Its length l, with mean L, is first determined by a
+//! random variable following a Poisson distribution. … The first event
+//! symbol is randomly selected according to a pre-determined distribution
+//! following Zipf's law with parameter I and θ … Subsequent events are
+//! generated one after the other using a Markov chain of degree 1. The
+//! conditional probabilities are pre-determined and are skewed according to
+//! Zipf's law. All the generated sequences form a single sequence group."
+//!
+//! For QuerySet B the events are organised into 3 concept levels: "The 100
+//! event symbols are divided into 20 groups, with group sizes following
+//! Zipf's law (I=20, θ=0.9). Similarly, the 20 groups are divided into 5
+//! super-groups, with super-group sizes following Zipf's law (I=5, θ=0.9)."
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use solap_eventdb::{ColumnType, EventDb, EventDbBuilder, Result, Value};
+
+use crate::poisson::Poisson;
+use crate::zipf::Zipf;
+
+/// Parameters of the synthetic generator. The paper's dataset
+/// `I100.L20.θ0.9.D500K` is `SyntheticConfig { i: 100, l: 20.0,
+/// theta: 0.9, d: 500_000, .. }`.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticConfig {
+    /// Number of possible event symbols `I`.
+    pub i: usize,
+    /// Mean sequence length `L`.
+    pub l: f64,
+    /// Zipf skew `θ`.
+    pub theta: f64,
+    /// Number of sequences `D`.
+    pub d: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Attach the 3-level QuerySet-B hierarchy
+    /// (symbol → group → super-group).
+    pub hierarchy: bool,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            i: 100,
+            l: 20.0,
+            theta: 0.9,
+            d: 1000,
+            seed: 1,
+            hierarchy: true,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// The dataset name in the paper's notation, e.g. `I100.L20.θ0.9.D500K`.
+    pub fn name(&self) -> String {
+        let d = if self.d.is_multiple_of(1000) && self.d >= 1000 {
+            format!("{}K", self.d / 1000)
+        } else {
+            self.d.to_string()
+        };
+        format!("I{}.L{}.θ{}.D{}", self.i, self.l, self.theta, d)
+    }
+}
+
+/// Column indices of the generated schema.
+pub mod columns {
+    /// `seq-id` (Int): the cluster key.
+    pub const SEQ_ID: u32 = 0;
+    /// `pos` (Int): the ordering key.
+    pub const POS: u32 = 1;
+    /// `symbol` (Str): the event symbol, with the optional 3-level
+    /// hierarchy `symbol → group → super-group`.
+    pub const SYMBOL: u32 = 2;
+}
+
+/// Generates the synthetic event database. Events carry `(seq-id, pos,
+/// symbol)`; clustering by `seq-id` and ordering by `pos` reconstructs the
+/// paper's sequences, all in a single sequence group.
+pub fn generate_synthetic(cfg: &SyntheticConfig) -> Result<EventDb> {
+    let mut db = EventDbBuilder::new()
+        .dimension("seq-id", ColumnType::Int)
+        .dimension("pos", ColumnType::Int)
+        .dimension("symbol", ColumnType::Str)
+        .build()?;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let initial = Zipf::new(cfg.i, cfg.theta);
+    let conditional = Zipf::new(cfg.i, cfg.theta);
+    let length = Poisson::new(cfg.l);
+    // Pre-intern every symbol so dictionary ids are dense and stable, and
+    // pre-build the Value once per symbol.
+    let symbols: Vec<Value> = (0..cfg.i).map(|s| Value::Str(format!("s{s:03}"))).collect();
+    for sid in 0..cfg.d {
+        let l = length.sample(&mut rng).max(1) as usize;
+        // First symbol: Zipf rank straight onto the symbol alphabet.
+        let mut current = initial.sample(&mut rng);
+        for pos in 0..l {
+            db.push_row(&[
+                Value::Int(sid as i64),
+                Value::Int(pos as i64),
+                symbols[current].clone(),
+            ])?;
+            // Degree-1 Markov step: the conditional distribution of state
+            // `s` is a Zipf over the alphabet rotated by `s mod 4` — a
+            // fixed ("pre-determined"), state-dependent, Zipf-skewed row of
+            // the transition matrix. The small rotation keeps rows distinct
+            // per state while the stationary distribution stays skewed.
+            let rank = conditional.sample(&mut rng);
+            current = (current % 4 + rank) % cfg.i;
+        }
+    }
+    db.set_base_level_name(columns::SYMBOL, "symbol");
+    if cfg.hierarchy {
+        attach_three_level_hierarchy(&mut db, cfg.i)?;
+    }
+    Ok(db)
+}
+
+/// Divides `i` symbols into 20 Zipf-sized groups and those into 5 Zipf-sized
+/// super-groups (θ = 0.9), attaching both levels to the symbol column.
+pub fn attach_three_level_hierarchy(db: &mut EventDb, i: usize) -> Result<()> {
+    let group_of = zipf_partition(i, 20.min(i), 0.9);
+    db.attach_str_level(columns::SYMBOL, "group", |name| {
+        let idx: usize = name[1..].parse().expect("symbol names are s###");
+        format!("g{:02}", group_of[idx])
+    })?;
+    let n_groups = *group_of.iter().max().expect("non-empty") + 1;
+    let super_of = zipf_partition(n_groups, 5.min(n_groups), 0.9);
+    db.attach_str_level(columns::SYMBOL, "super-group", |name| {
+        let idx: usize = name[1..].parse().expect("group names are g##");
+        format!("u{}", super_of[idx])
+    })?;
+    Ok(())
+}
+
+/// Partitions `n` items into `k` contiguous buckets whose sizes follow
+/// Zipf(`k`, `theta`); every bucket gets at least one item. Returns the
+/// bucket of each item.
+pub fn zipf_partition(n: usize, k: usize, theta: f64) -> Vec<usize> {
+    assert!(k >= 1 && k <= n);
+    let z = Zipf::new(k, theta);
+    let mut sizes: Vec<usize> = (0..k)
+        .map(|g| (n as f64 * z.pmf(g)).round() as usize)
+        .collect();
+    for s in &mut sizes {
+        *s = (*s).max(1);
+    }
+    // Adjust to sum exactly n, nibbling from / adding to the largest bucket.
+    loop {
+        let total: usize = sizes.iter().sum();
+        match total.cmp(&n) {
+            std::cmp::Ordering::Equal => break,
+            std::cmp::Ordering::Less => sizes[0] += n - total,
+            std::cmp::Ordering::Greater => {
+                let excess = total - n;
+                let big = sizes
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, &s)| s)
+                    .map(|(i, _)| i)
+                    .expect("non-empty");
+                let take = excess.min(sizes[big] - 1);
+                if take == 0 {
+                    // Cannot shrink further without emptying a bucket.
+                    sizes[big] -= excess.min(sizes[big].saturating_sub(1));
+                    break;
+                }
+                sizes[big] -= take;
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(n);
+    for (g, &s) in sizes.iter().enumerate() {
+        for _ in 0..s {
+            out.push(g);
+        }
+    }
+    out.truncate(n);
+    while out.len() < n {
+        out.push(k - 1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_d_sequences_with_mean_length_l() {
+        let cfg = SyntheticConfig {
+            i: 50,
+            l: 10.0,
+            theta: 0.9,
+            d: 500,
+            seed: 7,
+            hierarchy: false,
+        };
+        let db = generate_synthetic(&cfg).unwrap();
+        // Count sequences and total length.
+        let mut max_sid = 0;
+        for row in 0..db.len() as u32 {
+            max_sid = max_sid.max(db.int(row, 0).unwrap());
+        }
+        assert_eq!(max_sid as usize + 1, 500);
+        let mean_len = db.len() as f64 / 500.0;
+        assert!((mean_len - 10.0).abs() < 0.5, "mean length {mean_len}");
+    }
+
+    #[test]
+    fn symbols_within_alphabet_and_skewed() {
+        let cfg = SyntheticConfig {
+            i: 20,
+            l: 8.0,
+            theta: 1.2,
+            d: 300,
+            seed: 11,
+            hierarchy: false,
+        };
+        let db = generate_synthetic(&cfg).unwrap();
+        let dict = db.dict(2).unwrap();
+        assert!(dict.len() <= 20);
+        // Frequency skew: the most common symbol clearly beats the median.
+        let mut counts = vec![0usize; dict.len()];
+        for row in 0..db.len() as u32 {
+            counts[db.str_id(row, 2).unwrap() as usize] += 1;
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        assert!(counts[0] > counts[counts.len() / 2] * 2);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = SyntheticConfig {
+            d: 50,
+            ..Default::default()
+        };
+        let a = generate_synthetic(&cfg).unwrap();
+        let b = generate_synthetic(&cfg).unwrap();
+        assert_eq!(a.len(), b.len());
+        for row in 0..a.len() as u32 {
+            assert_eq!(a.value(row, 2), b.value(row, 2));
+        }
+        let c = generate_synthetic(&SyntheticConfig { seed: 2, ..cfg }).unwrap();
+        // A different seed produces different data (with high probability).
+        let differs = a.len() != c.len()
+            || (0..a.len().min(c.len()) as u32).any(|r| a.value(r, 2) != c.value(r, 2));
+        assert!(differs);
+    }
+
+    #[test]
+    fn hierarchy_has_three_levels() {
+        let cfg = SyntheticConfig {
+            d: 200,
+            ..Default::default()
+        };
+        let db = generate_synthetic(&cfg).unwrap();
+        assert_eq!(db.level_count(2), 3);
+        assert_eq!(db.level_by_name(2, "group").unwrap(), 1);
+        assert_eq!(db.level_by_name(2, "super-group").unwrap(), 2);
+        let groups = db.level_domain_size(2, 1).unwrap();
+        assert!(groups <= 20);
+        let supers = db.level_domain_size(2, 2).unwrap();
+        assert!(supers <= 5);
+        // Every symbol maps all the way up.
+        for row in (0..db.len() as u32).step_by(97) {
+            db.value_at_level(row, 2, 2).unwrap();
+        }
+    }
+
+    #[test]
+    fn zipf_partition_properties() {
+        let p = zipf_partition(100, 20, 0.9);
+        assert_eq!(p.len(), 100);
+        let mut sizes = vec![0usize; 20];
+        for &g in &p {
+            sizes[g] += 1;
+        }
+        assert!(sizes.iter().all(|&s| s >= 1), "no empty groups: {sizes:?}");
+        assert_eq!(sizes.iter().sum::<usize>(), 100);
+        assert!(sizes[0] >= sizes[10], "sizes follow Zipf: {sizes:?}");
+        // Monotone bucket assignment (contiguous).
+        assert!(p.windows(2).all(|w| w[0] <= w[1]));
+        // Degenerate cases.
+        assert_eq!(zipf_partition(5, 5, 0.9), vec![0, 1, 2, 3, 4]);
+        assert_eq!(zipf_partition(3, 1, 0.9), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn dataset_names() {
+        let cfg = SyntheticConfig {
+            i: 100,
+            l: 20.0,
+            theta: 0.9,
+            d: 500_000,
+            seed: 0,
+            hierarchy: false,
+        };
+        assert_eq!(cfg.name(), "I100.L20.θ0.9.D500K");
+    }
+}

@@ -1,0 +1,284 @@
+//! A transit (RFID smart-card) event simulator.
+//!
+//! Substitute for the proprietary Octopus/SmarTrip logs behind the paper's
+//! motivating application (§1, §6): every passenger carries a smart card
+//! and registers an event on entering (`action = "in"`) and leaving
+//! (`action = "out"`) a station; occasional `deposit` events add value to
+//! the card (Figure 1's third row). A controllable fraction of trips are
+//! round trips `(X, Y) → (Y, X)`, which is what queries Q1/Q2 measure.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use solap_eventdb::{time, ColumnType, EventDb, EventDbBuilder, Result, TimeHierarchy, Value};
+
+use crate::zipf::Zipf;
+
+/// Simulator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TransitConfig {
+    /// Number of passengers (cards).
+    pub passengers: usize,
+    /// Number of days starting 2007-10-01 (inside Figure 3's Q4-2007
+    /// window).
+    pub days: usize,
+    /// Number of stations.
+    pub stations: usize,
+    /// Number of districts the stations roll up into.
+    pub districts: usize,
+    /// Probability that a passenger's day is a round trip
+    /// (in X, out Y, in Y, out X).
+    pub round_trip_rate: f64,
+    /// Probability of a deposit event before travel on a given day.
+    pub deposit_rate: f64,
+    /// Mean extra one-way trips per day beyond the first.
+    pub extra_trips: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TransitConfig {
+    fn default() -> Self {
+        TransitConfig {
+            passengers: 200,
+            days: 5,
+            stations: 12,
+            districts: 4,
+            round_trip_rate: 0.45,
+            deposit_rate: 0.05,
+            extra_trips: 0.4,
+            seed: 1,
+        }
+    }
+}
+
+/// Column indices of the generated schema (Figure 1's layout).
+pub mod columns {
+    /// `time` (Time) with the `time → day → week` hierarchy.
+    pub const TIME: u32 = 0;
+    /// `card-id` (Int) with the `individual → fare-group` hierarchy.
+    pub const CARD_ID: u32 = 1;
+    /// `location` (Str) with the `station → district` hierarchy.
+    pub const LOCATION: u32 = 2;
+    /// `action` (Str): `in`, `out` or `deposit`.
+    pub const ACTION: u32 = 3;
+    /// `amount` (Float measure).
+    pub const AMOUNT: u32 = 4;
+}
+
+/// Names the fare group of a card id (deterministic: ids are dealt
+/// round-robin across groups).
+pub fn fare_group_of(card_id: i64) -> &'static str {
+    match card_id % 10 {
+        0..=5 => "regular",
+        6 | 7 => "student",
+        _ => "senior",
+    }
+}
+
+/// Generates the transit event database with all three hierarchies
+/// attached.
+pub fn generate_transit(cfg: &TransitConfig) -> Result<EventDb> {
+    assert!(cfg.districts >= 1 && cfg.districts <= cfg.stations);
+    let mut db = EventDbBuilder::new()
+        .dimension("time", ColumnType::Time)
+        .dimension("card-id", ColumnType::Int)
+        .dimension("location", ColumnType::Str)
+        .dimension("action", ColumnType::Str)
+        .measure("amount", ColumnType::Float)
+        .build()?;
+    db.set_time_hierarchy(columns::TIME, TimeHierarchy::time_day_week())?;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let station_pick = Zipf::new(cfg.stations, 0.7);
+    let station_names: Vec<String> = (0..cfg.stations).map(|s| format!("ST{s:03}")).collect();
+    let day0 = time::timestamp(2007, 10, 1, 0, 0, 0);
+    let in_v = Value::from("in");
+    let out_v = Value::from("out");
+    for day in 0..cfg.days {
+        for card in 0..cfg.passengers {
+            let card_id = 1000 + card as i64;
+            // Not everyone travels every day.
+            if rng.gen::<f64>() < 0.25 {
+                continue;
+            }
+            let mut t =
+                day0 + (day as i64) * time::SECS_PER_DAY + rng.gen_range(5 * 3600..11 * 3600);
+            if rng.gen::<f64>() < cfg.deposit_rate {
+                let st = station_pick.sample(&mut rng);
+                db.push_row(&[
+                    Value::Time(t),
+                    Value::Int(card_id),
+                    Value::from(station_names[st].as_str()),
+                    Value::from("deposit"),
+                    Value::Float(100.0),
+                ])?;
+                t += rng.gen_range(60..300);
+            }
+            let origin = station_pick.sample(&mut rng);
+            let mut dest = station_pick.sample(&mut rng);
+            if dest == origin {
+                dest = (dest + 1) % cfg.stations;
+            }
+            let fare = -(1.0 + rng.gen_range(0..6) as f64 * 0.5);
+            let push_trip = |db: &mut EventDb,
+                             rng: &mut StdRng,
+                             t: &mut i64,
+                             from: usize,
+                             to: usize|
+             -> Result<()> {
+                db.push_row(&[
+                    Value::Time(*t),
+                    Value::Int(card_id),
+                    Value::from(station_names[from].as_str()),
+                    in_v.clone(),
+                    Value::Float(0.0),
+                ])?;
+                *t += rng.gen_range(10 * 60..50 * 60);
+                db.push_row(&[
+                    Value::Time(*t),
+                    Value::Int(card_id),
+                    Value::from(station_names[to].as_str()),
+                    out_v.clone(),
+                    Value::Float(fare),
+                ])?;
+                *t += rng.gen_range(30 * 60..5 * 3600);
+                Ok(())
+            };
+            push_trip(&mut db, &mut rng, &mut t, origin, dest)?;
+            let mut here = dest;
+            if rng.gen::<f64>() < cfg.round_trip_rate {
+                push_trip(&mut db, &mut rng, &mut t, dest, origin)?;
+                here = origin;
+            }
+            let extras = (rng.gen::<f64>() * 2.0 * cfg.extra_trips) as usize;
+            for _ in 0..extras {
+                let mut next = station_pick.sample(&mut rng);
+                if next == here {
+                    next = (next + 1) % cfg.stations;
+                }
+                push_trip(&mut db, &mut rng, &mut t, here, next)?;
+                here = next;
+            }
+        }
+    }
+    // Hierarchies: station → district (contiguous blocks), card-id →
+    // fare-group.
+    db.set_base_level_name(columns::LOCATION, "station");
+    let per_district = cfg.stations.div_ceil(cfg.districts);
+    db.attach_str_level(columns::LOCATION, "district", |name| {
+        let s: usize = name[2..].parse().expect("station names are ST###");
+        format!("D{:02}", s / per_district)
+    })?;
+    db.set_base_level_name(columns::CARD_ID, "individual");
+    db.attach_int_level(columns::CARD_ID, "fare-group", |id| {
+        fare_group_of(id).to_owned()
+    })?;
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_and_hierarchies() {
+        let db = generate_transit(&TransitConfig::default()).unwrap();
+        assert_eq!(db.schema().len(), 5);
+        assert_eq!(db.level_by_name(columns::LOCATION, "district").unwrap(), 1);
+        assert_eq!(db.level_by_name(columns::CARD_ID, "fare-group").unwrap(), 1);
+        assert_eq!(db.level_by_name(columns::TIME, "day").unwrap(), 1);
+        assert_eq!(db.level_by_name(columns::TIME, "week").unwrap(), 2);
+        assert!(db.len() > 1000);
+        assert_eq!(
+            db.level_domain_size(columns::LOCATION, 1),
+            Some(4),
+            "12 stations / 4 districts"
+        );
+    }
+
+    #[test]
+    fn in_out_alternate_per_trip() {
+        let db = generate_transit(&TransitConfig {
+            passengers: 20,
+            days: 2,
+            ..Default::default()
+        })
+        .unwrap();
+        // Scan one card's events in time order; ignoring deposits, actions
+        // must alternate in/out starting with in.
+        let mut events: Vec<(i64, String)> = (0..db.len() as u32)
+            .filter(|&r| db.int(r, columns::CARD_ID) == Some(1000))
+            .map(|r| {
+                (
+                    db.int(r, columns::TIME).unwrap(),
+                    db.value(r, columns::ACTION).to_string(),
+                )
+            })
+            .collect();
+        events.sort();
+        let travel: Vec<&str> = events
+            .iter()
+            .map(|(_, a)| a.as_str())
+            .filter(|a| *a != "deposit")
+            .collect();
+        assert!(!travel.is_empty());
+        for (i, a) in travel.iter().enumerate() {
+            assert_eq!(*a, if i % 2 == 0 { "in" } else { "out" });
+        }
+    }
+
+    #[test]
+    fn round_trips_exist_at_configured_rate() {
+        let db = generate_transit(&TransitConfig {
+            passengers: 300,
+            days: 3,
+            round_trip_rate: 1.0,
+            extra_trips: 0.0,
+            deposit_rate: 0.0,
+            ..Default::default()
+        })
+        .unwrap();
+        // With rate 1.0 and no extras, every traveling passenger-day emits
+        // exactly 4 travel events (in,out,in,out) forming (X,Y,Y,X).
+        assert_eq!(db.len() % 4, 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_transit(&TransitConfig::default()).unwrap();
+        let b = generate_transit(&TransitConfig::default()).unwrap();
+        assert_eq!(a.len(), b.len());
+        for r in (0..a.len() as u32).step_by(13) {
+            assert_eq!(a.value(r, 2), b.value(r, 2));
+            assert_eq!(a.value(r, 0), b.value(r, 0));
+        }
+    }
+
+    #[test]
+    fn fare_groups_cover_all_three() {
+        let db = generate_transit(&TransitConfig::default()).unwrap();
+        assert_eq!(db.level_domain_size(columns::CARD_ID, 1), Some(3));
+        assert_eq!(fare_group_of(1000), "regular");
+        assert_eq!(fare_group_of(1006), "student");
+        assert_eq!(fare_group_of(1009), "senior");
+    }
+
+    #[test]
+    fn amounts_negative_for_fares_positive_for_deposits() {
+        let db = generate_transit(&TransitConfig {
+            deposit_rate: 1.0,
+            ..Default::default()
+        })
+        .unwrap();
+        for r in 0..db.len() as u32 {
+            let action = db.value(r, columns::ACTION).to_string();
+            let amount = db.float(r, columns::AMOUNT).unwrap();
+            match action.as_str() {
+                "deposit" => assert!(amount > 0.0),
+                "out" => assert!(amount < 0.0),
+                "in" => assert_eq!(amount, 0.0),
+                other => panic!("unexpected action {other}"),
+            }
+        }
+    }
+}

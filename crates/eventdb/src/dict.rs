@@ -1,0 +1,117 @@
+//! String dictionaries: interning of dimension values.
+//!
+//! Every string-typed dimension column is dictionary-encoded: the column
+//! stores `u32` ids and the dictionary maps ids back to strings. Concept
+//! hierarchy levels (e.g. the `district` level above `station`) carry their
+//! own dictionaries.
+
+use std::collections::HashMap;
+
+/// An append-only string interner. Ids are assigned in insertion order and
+/// are dense in `0..len()`.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    by_name: HashMap<Box<str>, u32>,
+    names: Vec<Box<str>>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        let boxed: Box<str> = name.into();
+        self.names.push(boxed.clone());
+        self.by_name.insert(boxed, id);
+        id
+    }
+
+    /// Looks up the id of `name` without interning.
+    pub fn lookup(&self, name: &str) -> Option<u32> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Resolves an id back to its string, if in range.
+    pub fn resolve(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(|s| s.as_ref())
+    }
+
+    /// Number of distinct values.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s.as_ref()))
+    }
+
+    /// Approximate heap footprint in bytes (strings + id map), used for the
+    /// index-size accounting reported by the benchmark harness.
+    pub fn heap_bytes(&self) -> usize {
+        self.names
+            .iter()
+            .map(|s| s.len() + std::mem::size_of::<Box<str>>())
+            .sum::<usize>()
+            * 2 // names are stored twice (vec + map key)
+            + self.by_name.len() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern("Pentagon");
+        let b = d.intern("Wheaton");
+        assert_eq!(d.intern("Pentagon"), a);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut d = Dictionary::new();
+        for (i, name) in ["a", "b", "c"].iter().enumerate() {
+            assert_eq!(d.intern(name), i as u32);
+        }
+        let collected: Vec<_> = d.iter().map(|(_, s)| s.to_owned()).collect();
+        assert_eq!(collected, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn lookup_and_resolve() {
+        let mut d = Dictionary::new();
+        let id = d.intern("Glenmont");
+        assert_eq!(d.lookup("Glenmont"), Some(id));
+        assert_eq!(d.lookup("nope"), None);
+        assert_eq!(d.resolve(id), Some("Glenmont"));
+        assert_eq!(d.resolve(99), None);
+    }
+
+    #[test]
+    fn empty() {
+        let d = Dictionary::new();
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+        assert!(d.heap_bytes() < 64);
+    }
+}

@@ -1,0 +1,131 @@
+//! Error type shared by the eventdb substrate and the layers above it.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by the event database and the sequence query engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// An attribute name that does not exist in the schema.
+    UnknownAttribute(String),
+    /// An abstraction level name that does not exist for the attribute.
+    UnknownLevel {
+        /// The attribute whose hierarchy was consulted.
+        attribute: String,
+        /// The level that was requested.
+        level: String,
+    },
+    /// A value whose type does not match the column type.
+    TypeMismatch {
+        /// The attribute being written or compared.
+        attribute: String,
+        /// The column's type name.
+        expected: &'static str,
+        /// The offending value's type name.
+        actual: &'static str,
+    },
+    /// A row with the wrong number of values.
+    ArityMismatch {
+        /// Number of columns in the schema.
+        expected: usize,
+        /// Number of values supplied.
+        actual: usize,
+    },
+    /// A dictionary-hierarchy child id with no parent mapping.
+    IncompleteHierarchy {
+        /// The attribute whose hierarchy is incomplete.
+        attribute: String,
+        /// The level missing the mapping.
+        level: String,
+        /// The unmapped child value.
+        value: String,
+    },
+    /// An operation that requires a hierarchy on an attribute without one.
+    NoHierarchy(String),
+    /// A malformed literal (e.g. an unparseable timestamp).
+    BadLiteral(String),
+    /// A query-language parse error, with position information.
+    Parse {
+        /// Human-readable description.
+        message: String,
+        /// Byte offset into the query text.
+        offset: usize,
+    },
+    /// An operation invalid in the current state (e.g. DE-TAIL on a
+    /// length-1 pattern template).
+    InvalidOperation(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownAttribute(a) => write!(f, "unknown attribute `{a}`"),
+            Error::UnknownLevel { attribute, level } => {
+                write!(
+                    f,
+                    "attribute `{attribute}` has no abstraction level `{level}`"
+                )
+            }
+            Error::TypeMismatch {
+                attribute,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "type mismatch on `{attribute}`: expected {expected}, got {actual}"
+            ),
+            Error::ArityMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "row has {actual} values but the schema has {expected} columns"
+                )
+            }
+            Error::IncompleteHierarchy {
+                attribute,
+                level,
+                value,
+            } => write!(
+                f,
+                "hierarchy on `{attribute}` does not map value `{value}` to level `{level}`"
+            ),
+            Error::NoHierarchy(a) => write!(f, "attribute `{a}` has no concept hierarchy"),
+            Error::BadLiteral(s) => write!(f, "malformed literal `{s}`"),
+            Error::Parse { message, offset } => {
+                if *offset == usize::MAX {
+                    write!(f, "parse error at end of input: {message}")
+                } else {
+                    write!(f, "parse error at byte {offset}: {message}")
+                }
+            }
+            Error::InvalidOperation(m) => write!(f, "invalid operation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::UnknownLevel {
+            attribute: "location".into(),
+            level: "galaxy".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("location") && s.contains("galaxy"));
+        assert!(Error::UnknownAttribute("x".into())
+            .to_string()
+            .contains('x'));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&Error::NoHierarchy("a".into()));
+    }
+}

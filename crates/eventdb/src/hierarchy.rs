@@ -1,0 +1,361 @@
+//! Concept hierarchies over dimension attributes.
+//!
+//! The paper's running example (§3.1) uses three hierarchies:
+//!
+//! * `location`: `station → district` — an explicit mapping between two
+//!   string domains ([`DictHierarchy`]);
+//! * `card-id`: `individual → fare-group` — an explicit mapping from an
+//!   integer domain to a small string domain ([`IntHierarchy`]);
+//! * `time`: `time → day → week` — *functional* levels computed from the
+//!   timestamp ([`TimeHierarchy`]).
+//!
+//! All hierarchies expose a numbered ladder of levels; level 0 is the base
+//! (finest) level, higher numbers are coarser. The value of a dimension at a
+//! level is a [`crate::value::LevelValue`]; [`crate::store::EventDb`]
+//! resolves rows to level values and renders them back to strings.
+
+use std::collections::HashMap;
+
+use crate::dict::Dictionary;
+use crate::error::{Error, Result};
+use crate::time;
+
+/// Sentinel parent id meaning "unmapped"; surfaces as
+/// [`Error::IncompleteHierarchy`] when hit.
+pub const UNMAPPED: u32 = u32::MAX;
+
+/// One non-base level of a dictionary-style hierarchy.
+#[derive(Debug, Clone, Default)]
+pub struct DictLevel {
+    /// Level name, e.g. `district`.
+    pub name: String,
+    /// Dictionary of this level's values.
+    pub dict: Dictionary,
+    /// `parent_of[child_id] = id in this level's dictionary`, where
+    /// `child_id` ranges over the level immediately below.
+    pub parent_of: Vec<u32>,
+}
+
+impl DictLevel {
+    /// Maps a child id (from the level below) to its parent id at this
+    /// level, or `None` if unmapped.
+    pub fn map(&self, child: u32) -> Option<u32> {
+        match self.parent_of.get(child as usize) {
+            Some(&p) if p != UNMAPPED => Some(p),
+            _ => None,
+        }
+    }
+}
+
+/// A hierarchy over a string column. Level 0 is the column's own dictionary;
+/// `levels[k]` is level `k + 1`.
+#[derive(Debug, Clone, Default)]
+pub struct DictHierarchy {
+    /// Non-base levels, finest first.
+    pub levels: Vec<DictLevel>,
+}
+
+impl DictHierarchy {
+    /// Maps a base-level id up to `to_level` (1-based; 0 is identity).
+    pub fn map_up(&self, base_id: u32, to_level: usize) -> Option<u32> {
+        let mut id = base_id;
+        for lvl in &self.levels[..to_level] {
+            id = lvl.map(id)?;
+        }
+        Some(id)
+    }
+}
+
+/// A hierarchy over an integer column (e.g. `card-id`). The base level is
+/// the raw integer; `base_to_first` maps it into `levels[0]`'s dictionary,
+/// and further levels behave like [`DictHierarchy`] levels.
+#[derive(Debug, Clone, Default)]
+pub struct IntHierarchy {
+    /// Raw integer → id in `levels[0].dict`.
+    pub base_to_first: HashMap<i64, u32>,
+    /// Non-base levels, finest first. `levels[0].parent_of` is unused.
+    pub levels: Vec<DictLevel>,
+}
+
+impl IntHierarchy {
+    /// Maps a raw integer up to `to_level` (1-based).
+    pub fn map_up(&self, raw: i64, to_level: usize) -> Option<u32> {
+        let mut id = *self.base_to_first.get(&raw)?;
+        for lvl in &self.levels[1..to_level] {
+            id = lvl.map(id)?;
+        }
+        Some(id)
+    }
+}
+
+/// A functional granularity of a time hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimeGranularity {
+    /// The raw timestamp (level 0).
+    Raw,
+    /// Hours since the epoch.
+    Hour,
+    /// Days since the epoch.
+    Day,
+    /// Weeks (Monday-based) since the epoch.
+    Week,
+    /// Months.
+    Month,
+    /// Quarters.
+    Quarter,
+}
+
+impl TimeGranularity {
+    /// The level name used in queries (`... AT day`).
+    pub fn name(self) -> &'static str {
+        match self {
+            TimeGranularity::Raw => "raw",
+            TimeGranularity::Hour => "hour",
+            TimeGranularity::Day => "day",
+            TimeGranularity::Week => "week",
+            TimeGranularity::Month => "month",
+            TimeGranularity::Quarter => "quarter",
+        }
+    }
+
+    /// Buckets a timestamp at this granularity.
+    pub fn bucket(self, t: i64) -> i64 {
+        match self {
+            TimeGranularity::Raw => t,
+            TimeGranularity::Hour => time::hour_of(t),
+            TimeGranularity::Day => time::day_of(t),
+            TimeGranularity::Week => time::week_of(t),
+            TimeGranularity::Month => time::month_of(t),
+            TimeGranularity::Quarter => time::quarter_of(t),
+        }
+    }
+
+    /// Renders a bucket ordinal of this granularity.
+    pub fn render(self, bucket: i64) -> String {
+        match self {
+            TimeGranularity::Raw => time::format_timestamp(bucket),
+            TimeGranularity::Hour => format!("{}h", time::format_timestamp(bucket * 3600)),
+            TimeGranularity::Day => time::format_day(bucket),
+            TimeGranularity::Week => time::format_week(bucket),
+            TimeGranularity::Month => time::format_month(bucket),
+            TimeGranularity::Quarter => time::format_quarter(bucket),
+        }
+    }
+
+    /// A representative timestamp inside the bucket (used to re-bucket a
+    /// coarse value at an even coarser granularity).
+    pub fn representative(self, bucket: i64) -> i64 {
+        match self {
+            TimeGranularity::Raw => bucket,
+            TimeGranularity::Hour => bucket * 3600,
+            TimeGranularity::Day => bucket * time::SECS_PER_DAY,
+            TimeGranularity::Week => (bucket * 7 - 3) * time::SECS_PER_DAY,
+            TimeGranularity::Month => {
+                time::days_from_civil(bucket.div_euclid(12), (bucket.rem_euclid(12) + 1) as u32, 1)
+                    * time::SECS_PER_DAY
+            }
+            TimeGranularity::Quarter => {
+                time::days_from_civil(
+                    bucket.div_euclid(4),
+                    (bucket.rem_euclid(4) * 3 + 1) as u32,
+                    1,
+                ) * time::SECS_PER_DAY
+            }
+        }
+    }
+}
+
+/// A ladder of functional time granularities, finest first. Level 0 must be
+/// [`TimeGranularity::Raw`].
+#[derive(Debug, Clone)]
+pub struct TimeHierarchy {
+    /// The granularities, finest first.
+    pub levels: Vec<TimeGranularity>,
+}
+
+impl TimeHierarchy {
+    /// The paper's `time → day → week` ladder.
+    pub fn time_day_week() -> Self {
+        TimeHierarchy {
+            levels: vec![
+                TimeGranularity::Raw,
+                TimeGranularity::Day,
+                TimeGranularity::Week,
+            ],
+        }
+    }
+
+    /// The full ladder `raw → hour → day → week → month → quarter`.
+    pub fn full() -> Self {
+        TimeHierarchy {
+            levels: vec![
+                TimeGranularity::Raw,
+                TimeGranularity::Hour,
+                TimeGranularity::Day,
+                TimeGranularity::Week,
+                TimeGranularity::Month,
+                TimeGranularity::Quarter,
+            ],
+        }
+    }
+}
+
+/// A concept hierarchy attached to a dimension column.
+#[derive(Debug, Clone)]
+pub enum Hierarchy {
+    /// No hierarchy: the attribute only has its base level.
+    None,
+    /// Explicit hierarchy over a string column.
+    Dict(DictHierarchy),
+    /// Explicit hierarchy over an integer column.
+    Int(IntHierarchy),
+    /// Functional hierarchy over a time column.
+    Time(TimeHierarchy),
+}
+
+impl Hierarchy {
+    /// Number of levels including the base level.
+    pub fn level_count(&self) -> usize {
+        match self {
+            Hierarchy::None => 1,
+            Hierarchy::Dict(h) => 1 + h.levels.len(),
+            Hierarchy::Int(h) => 1 + h.levels.len(),
+            Hierarchy::Time(h) => h.levels.len(),
+        }
+    }
+
+    /// The name of level `i`, if it exists. Level 0 of non-time hierarchies
+    /// has no intrinsic name here; the store falls back to the attribute
+    /// name or a configured base-level name.
+    pub fn level_name(&self, i: usize) -> Option<&str> {
+        match self {
+            Hierarchy::None => None,
+            Hierarchy::Dict(h) => h.levels.get(i.checked_sub(1)?).map(|l| l.name.as_str()),
+            Hierarchy::Int(h) => h.levels.get(i.checked_sub(1)?).map(|l| l.name.as_str()),
+            Hierarchy::Time(h) => h.levels.get(i).map(|g| g.name()),
+        }
+    }
+}
+
+/// Validates that every child id of a [`DictLevel`] has a parent.
+pub fn validate_level(attribute: &str, level: &DictLevel, child_names: &Dictionary) -> Result<()> {
+    for (i, &p) in level.parent_of.iter().enumerate() {
+        if p == UNMAPPED {
+            return Err(Error::IncompleteHierarchy {
+                attribute: attribute.to_owned(),
+                level: level.name.clone(),
+                value: child_names
+                    .resolve(i as u32)
+                    .unwrap_or("<unknown>")
+                    .to_owned(),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn station_district() -> (Dictionary, DictHierarchy) {
+        let mut base = Dictionary::new();
+        let mut level = DictLevel {
+            name: "district".into(),
+            ..Default::default()
+        };
+        for (st, d) in [
+            ("Pentagon", "D10"),
+            ("Clarendon", "D10"),
+            ("Wheaton", "D20"),
+            ("Glenmont", "D20"),
+        ] {
+            let c = base.intern(st);
+            let p = level.dict.intern(d);
+            if level.parent_of.len() <= c as usize {
+                level.parent_of.resize(c as usize + 1, UNMAPPED);
+            }
+            level.parent_of[c as usize] = p;
+        }
+        (
+            base,
+            DictHierarchy {
+                levels: vec![level],
+            },
+        )
+    }
+
+    #[test]
+    fn dict_map_up() {
+        let (base, h) = station_district();
+        let pentagon = base.lookup("Pentagon").unwrap();
+        let clarendon = base.lookup("Clarendon").unwrap();
+        let wheaton = base.lookup("Wheaton").unwrap();
+        assert_eq!(h.map_up(pentagon, 0), Some(pentagon));
+        assert_eq!(h.map_up(pentagon, 1), h.map_up(clarendon, 1));
+        assert_ne!(h.map_up(pentagon, 1), h.map_up(wheaton, 1));
+    }
+
+    #[test]
+    fn int_map_up() {
+        let mut h = IntHierarchy::default();
+        let mut l = DictLevel {
+            name: "fare-group".into(),
+            ..Default::default()
+        };
+        let regular = l.dict.intern("regular");
+        let student = l.dict.intern("student");
+        h.levels.push(l);
+        h.base_to_first.insert(688, regular);
+        h.base_to_first.insert(23456, student);
+        assert_eq!(h.map_up(688, 1), Some(regular));
+        assert_eq!(h.map_up(23456, 1), Some(student));
+        assert_eq!(h.map_up(42, 1), None);
+    }
+
+    #[test]
+    fn time_levels() {
+        let h = TimeHierarchy::time_day_week();
+        assert_eq!(h.levels[0], TimeGranularity::Raw);
+        let t = time::timestamp(2007, 10, 1, 13, 30, 0);
+        assert_eq!(
+            TimeGranularity::Day.render(TimeGranularity::Day.bucket(t)),
+            "2007-10-01"
+        );
+        let hh = Hierarchy::Time(h);
+        assert_eq!(hh.level_count(), 3);
+        assert_eq!(hh.level_name(1), Some("day"));
+        assert_eq!(hh.level_name(2), Some("week"));
+    }
+
+    #[test]
+    fn representative_rebuckets_consistently() {
+        // Rolling a day up to its quarter via the representative must agree
+        // with bucketing the original timestamp directly.
+        let t = time::timestamp(2007, 11, 15, 8, 0, 0);
+        let day = TimeGranularity::Day.bucket(t);
+        let via_rep = TimeGranularity::Quarter.bucket(TimeGranularity::Day.representative(day));
+        assert_eq!(via_rep, TimeGranularity::Quarter.bucket(t));
+        let month = TimeGranularity::Month.bucket(t);
+        assert_eq!(
+            TimeGranularity::Quarter.bucket(TimeGranularity::Month.representative(month)),
+            TimeGranularity::Quarter.bucket(t)
+        );
+    }
+
+    #[test]
+    fn validate_detects_holes() {
+        let (base, mut h) = station_district();
+        assert!(validate_level("location", &h.levels[0], &base).is_ok());
+        h.levels[0].parent_of[1] = UNMAPPED;
+        let err = validate_level("location", &h.levels[0], &base).unwrap_err();
+        assert!(matches!(err, Error::IncompleteHierarchy { .. }));
+    }
+
+    #[test]
+    fn level_counts() {
+        assert_eq!(Hierarchy::None.level_count(), 1);
+        let (_, h) = station_district();
+        assert_eq!(Hierarchy::Dict(h).level_count(), 2);
+    }
+}

@@ -1,0 +1,635 @@
+//! Warehouse persistence: a hand-rolled binary format for event databases.
+//!
+//! S-OLAP is a *warehousing* proposition — "there is a strong demand to
+//! warehouse and to analyze the vast amount of sequence data" (§1) — so the
+//! substrate can save a loaded event database (columns, dictionaries,
+//! hierarchies, base-level names) to a single file and load it back,
+//! without external serialization crates.
+//!
+//! Format (all integers little-endian):
+//!
+//! ```text
+//! magic "SOLAPDB1"
+//! u32 column-count
+//!   per column: string name, u8 type, u8 role
+//! u64 row-count
+//!   per column: raw payload (i64×rows | f64×rows | dict + u32×rows)
+//! per column: hierarchy tag (0 none / 1 dict / 2 int / 3 time) + payload
+//! per column: optional base-level name
+//! ```
+//!
+//! Loading reconstructs through the store's normal append/attach paths, so
+//! every invariant (dictionary density, hierarchy completeness) is
+//! re-validated; dictionary ids are renumbered in first-occurrence order,
+//! which leaves the database value-identical (level values compare equal
+//! through `render_level`, not raw ids).
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use crate::error::{Error, Result};
+use crate::hierarchy::{Hierarchy, TimeGranularity, TimeHierarchy};
+use crate::schema::{ColumnDef, ColumnType, Role, Schema};
+use crate::store::EventDb;
+use crate::value::Value;
+
+const MAGIC: &[u8; 8] = b"SOLAPDB1";
+
+fn io_err(e: io::Error) -> Error {
+    Error::InvalidOperation(format!("persistence i/o error: {e}"))
+}
+
+fn write_u32(w: &mut impl Write, v: u32) -> Result<()> {
+    w.write_all(&v.to_le_bytes()).map_err(io_err)
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> Result<()> {
+    w.write_all(&v.to_le_bytes()).map_err(io_err)
+}
+
+fn write_i64(w: &mut impl Write, v: i64) -> Result<()> {
+    w.write_all(&v.to_le_bytes()).map_err(io_err)
+}
+
+fn write_f64(w: &mut impl Write, v: f64) -> Result<()> {
+    w.write_all(&v.to_le_bytes()).map_err(io_err)
+}
+
+fn write_str(w: &mut impl Write, s: &str) -> Result<()> {
+    write_u32(w, s.len() as u32)?;
+    w.write_all(s.as_bytes()).map_err(io_err)
+}
+
+fn read_exact<const N: usize>(r: &mut impl Read) -> Result<[u8; N]> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf).map_err(io_err)?;
+    Ok(buf)
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32> {
+    Ok(u32::from_le_bytes(read_exact::<4>(r)?))
+}
+
+fn read_u64(r: &mut impl Read) -> Result<u64> {
+    Ok(u64::from_le_bytes(read_exact::<8>(r)?))
+}
+
+fn read_i64(r: &mut impl Read) -> Result<i64> {
+    Ok(i64::from_le_bytes(read_exact::<8>(r)?))
+}
+
+fn read_f64(r: &mut impl Read) -> Result<f64> {
+    Ok(f64::from_le_bytes(read_exact::<8>(r)?))
+}
+
+fn read_str(r: &mut impl Read) -> Result<String> {
+    let len = read_u32(r)? as usize;
+    if len > (1 << 24) {
+        return Err(Error::InvalidOperation(format!(
+            "corrupt file: implausible string length {len}"
+        )));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf).map_err(io_err)?;
+    String::from_utf8(buf)
+        .map_err(|_| Error::InvalidOperation("corrupt file: non-UTF-8 string".into()))
+}
+
+fn granularity_code(g: TimeGranularity) -> u8 {
+    match g {
+        TimeGranularity::Raw => 0,
+        TimeGranularity::Hour => 1,
+        TimeGranularity::Day => 2,
+        TimeGranularity::Week => 3,
+        TimeGranularity::Month => 4,
+        TimeGranularity::Quarter => 5,
+    }
+}
+
+fn granularity_from(code: u8) -> Result<TimeGranularity> {
+    Ok(match code {
+        0 => TimeGranularity::Raw,
+        1 => TimeGranularity::Hour,
+        2 => TimeGranularity::Day,
+        3 => TimeGranularity::Week,
+        4 => TimeGranularity::Month,
+        5 => TimeGranularity::Quarter,
+        other => {
+            return Err(Error::InvalidOperation(format!(
+                "corrupt file: unknown time granularity {other}"
+            )))
+        }
+    })
+}
+
+/// Serializes a database to a writer.
+pub fn save(db: &EventDb, w: &mut impl Write) -> Result<()> {
+    w.write_all(MAGIC).map_err(io_err)?;
+    let schema = db.schema();
+    write_u32(w, schema.len() as u32)?;
+    for col in schema.columns() {
+        write_str(w, &col.name)?;
+        let t = match col.ctype {
+            ColumnType::Int => 0u8,
+            ColumnType::Float => 1,
+            ColumnType::Str => 2,
+            ColumnType::Time => 3,
+        };
+        let r = match col.role {
+            Role::Dimension => 0u8,
+            Role::Measure => 1,
+        };
+        w.write_all(&[t, r]).map_err(io_err)?;
+    }
+    write_u64(w, db.len() as u64)?;
+    for (a, col) in schema.columns().iter().enumerate() {
+        let attr = a as u32;
+        match col.ctype {
+            ColumnType::Int | ColumnType::Time => {
+                for row in 0..db.len() as u32 {
+                    write_i64(w, db.int(row, attr).expect("typed column"))?;
+                }
+            }
+            ColumnType::Float => {
+                for row in 0..db.len() as u32 {
+                    write_f64(w, db.float(row, attr).expect("typed column"))?;
+                }
+            }
+            ColumnType::Str => {
+                let dict = db.dict(attr).expect("str column");
+                write_u32(w, dict.len() as u32)?;
+                for (_, name) in dict.iter() {
+                    write_str(w, name)?;
+                }
+                for row in 0..db.len() as u32 {
+                    write_u32(w, db.str_id(row, attr).expect("typed column"))?;
+                }
+            }
+        }
+    }
+    // Hierarchies.
+    for a in 0..schema.len() {
+        let attr = a as u32;
+        match db.hierarchy(attr) {
+            Hierarchy::None => w.write_all(&[0]).map_err(io_err)?,
+            Hierarchy::Dict(h) => {
+                w.write_all(&[1]).map_err(io_err)?;
+                write_u32(w, h.levels.len() as u32)?;
+                for level in &h.levels {
+                    write_str(w, &level.name)?;
+                    write_u32(w, level.dict.len() as u32)?;
+                    for (_, name) in level.dict.iter() {
+                        write_str(w, name)?;
+                    }
+                    write_u32(w, level.parent_of.len() as u32)?;
+                    for &p in &level.parent_of {
+                        write_u32(w, p)?;
+                    }
+                }
+            }
+            Hierarchy::Int(h) => {
+                w.write_all(&[2]).map_err(io_err)?;
+                write_u32(w, h.base_to_first.len() as u32)?;
+                // Deterministic order for reproducible files.
+                let mut entries: Vec<(&i64, &u32)> = h.base_to_first.iter().collect();
+                entries.sort();
+                for (k, v) in entries {
+                    write_i64(w, *k)?;
+                    write_u32(w, *v)?;
+                }
+                write_u32(w, h.levels.len() as u32)?;
+                for level in &h.levels {
+                    write_str(w, &level.name)?;
+                    write_u32(w, level.dict.len() as u32)?;
+                    for (_, name) in level.dict.iter() {
+                        write_str(w, name)?;
+                    }
+                    write_u32(w, level.parent_of.len() as u32)?;
+                    for &p in &level.parent_of {
+                        write_u32(w, p)?;
+                    }
+                }
+            }
+            Hierarchy::Time(h) => {
+                w.write_all(&[3]).map_err(io_err)?;
+                write_u32(w, h.levels.len() as u32)?;
+                for &g in &h.levels {
+                    w.write_all(&[granularity_code(g)]).map_err(io_err)?;
+                }
+            }
+        }
+    }
+    // Base level names.
+    for a in 0..schema.len() {
+        match db.base_level_name(a as u32) {
+            Some(n) => {
+                w.write_all(&[1]).map_err(io_err)?;
+                write_str(w, n)?;
+            }
+            None => w.write_all(&[0]).map_err(io_err)?,
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes a database from a reader.
+pub fn load(r: &mut impl Read) -> Result<EventDb> {
+    let magic = read_exact::<8>(r)?;
+    if &magic != MAGIC {
+        return Err(Error::InvalidOperation(
+            "not a SOLAPDB1 file (bad magic)".into(),
+        ));
+    }
+    let n_cols = read_u32(r)? as usize;
+    let mut defs = Vec::with_capacity(n_cols);
+    for _ in 0..n_cols {
+        let name = read_str(r)?;
+        let [t, role] = read_exact::<2>(r)?;
+        let ctype = match t {
+            0 => ColumnType::Int,
+            1 => ColumnType::Float,
+            2 => ColumnType::Str,
+            3 => ColumnType::Time,
+            other => {
+                return Err(Error::InvalidOperation(format!(
+                    "corrupt file: unknown column type {other}"
+                )))
+            }
+        };
+        let role = match role {
+            0 => Role::Dimension,
+            1 => Role::Measure,
+            other => {
+                return Err(Error::InvalidOperation(format!(
+                    "corrupt file: unknown role {other}"
+                )))
+            }
+        };
+        defs.push(ColumnDef { name, ctype, role });
+    }
+    let n_rows = read_u64(r)? as usize;
+    // Columnar payloads land in row-major Values for the append path.
+    enum Payload {
+        Ints(Vec<i64>),
+        Floats(Vec<f64>),
+        Strs { names: Vec<String>, ids: Vec<u32> },
+    }
+    let mut payloads = Vec::with_capacity(n_cols);
+    for def in &defs {
+        payloads.push(match def.ctype {
+            ColumnType::Int | ColumnType::Time => {
+                let mut v = Vec::with_capacity(n_rows);
+                for _ in 0..n_rows {
+                    v.push(read_i64(r)?);
+                }
+                Payload::Ints(v)
+            }
+            ColumnType::Float => {
+                let mut v = Vec::with_capacity(n_rows);
+                for _ in 0..n_rows {
+                    v.push(read_f64(r)?);
+                }
+                Payload::Floats(v)
+            }
+            ColumnType::Str => {
+                let n_names = read_u32(r)? as usize;
+                let mut names = Vec::with_capacity(n_names);
+                for _ in 0..n_names {
+                    names.push(read_str(r)?);
+                }
+                let mut ids = Vec::with_capacity(n_rows);
+                for _ in 0..n_rows {
+                    let id = read_u32(r)?;
+                    if id as usize >= n_names {
+                        return Err(Error::InvalidOperation(
+                            "corrupt file: dictionary id out of range".into(),
+                        ));
+                    }
+                    ids.push(id);
+                }
+                Payload::Strs { names, ids }
+            }
+        });
+    }
+    let mut db = EventDb::new(Schema::new(defs.clone())?);
+    let mut row_values = vec![Value::Int(0); n_cols];
+    for row in 0..n_rows {
+        for (c, payload) in payloads.iter().enumerate() {
+            row_values[c] = match payload {
+                Payload::Ints(v) => match defs[c].ctype {
+                    ColumnType::Time => Value::Time(v[row]),
+                    _ => Value::Int(v[row]),
+                },
+                Payload::Floats(v) => Value::Float(v[row]),
+                Payload::Strs { names, ids } => Value::Str(names[ids[row] as usize].clone()),
+            };
+        }
+        db.push_row(&row_values)?;
+    }
+    // Hierarchies: reconstruct through the attach paths so invariants are
+    // re-validated. Mapping closures read the serialized parent tables.
+    for a in 0..n_cols {
+        let attr = a as u32;
+        let [tag] = read_exact::<1>(r)?;
+        match tag {
+            0 => {}
+            1 => {
+                let n_levels = read_u32(r)? as usize;
+                // Child names of the level being attached: the base
+                // dictionary first, then each level's own parent names.
+                let mut child_names: Vec<String> = db
+                    .dict(attr)
+                    .map(|d| d.iter().map(|(_, n)| n.to_owned()).collect())
+                    .unwrap_or_default();
+                for _ in 0..n_levels {
+                    let (name, raw) = read_dict_level_raw(r)?;
+                    let map = raw.child_map(&child_names)?;
+                    db.attach_str_level(attr, &name, |child| {
+                        map.get(child).cloned().unwrap_or_default()
+                    })?;
+                    child_names = raw.names;
+                }
+            }
+            2 => {
+                let n_base = read_u32(r)? as usize;
+                let mut base: HashMap<i64, u32> = HashMap::with_capacity(n_base);
+                for _ in 0..n_base {
+                    let k = read_i64(r)?;
+                    let v = read_u32(r)?;
+                    base.insert(k, v);
+                }
+                let n_levels = read_u32(r)? as usize;
+                let mut child_names: Vec<String> = Vec::new();
+                for lvl in 0..n_levels {
+                    let (name, raw) = read_dict_level_raw(r)?;
+                    if lvl == 0 {
+                        let names_ref = &raw.names;
+                        let base_ref = &base;
+                        db.attach_int_level(attr, &name, |v| {
+                            base_ref
+                                .get(&v)
+                                .and_then(|&id| names_ref.get(id as usize))
+                                .cloned()
+                                .unwrap_or_default()
+                        })?;
+                        // Register mappings for ids not present in the
+                        // column (future incremental values).
+                        for (&k, &id) in base_ref {
+                            if let Some(parent) = names_ref.get(id as usize) {
+                                db.add_int_mapping(attr, k, parent)?;
+                            }
+                        }
+                    } else {
+                        let map = raw.child_map(&child_names)?;
+                        db.attach_str_level(attr, &name, |child| {
+                            map.get(child).cloned().unwrap_or_default()
+                        })?;
+                    }
+                    child_names = raw.names;
+                }
+            }
+            3 => {
+                let n = read_u32(r)? as usize;
+                let mut levels = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let [code] = read_exact::<1>(r)?;
+                    levels.push(granularity_from(code)?);
+                }
+                db.set_time_hierarchy(attr, TimeHierarchy { levels })?;
+            }
+            other => {
+                return Err(Error::InvalidOperation(format!(
+                    "corrupt file: unknown hierarchy tag {other}"
+                )))
+            }
+        }
+    }
+    for a in 0..n_cols {
+        let [has] = read_exact::<1>(r)?;
+        if has == 1 {
+            let name = read_str(r)?;
+            db.set_base_level_name(a as u32, &name);
+        }
+    }
+    Ok(db)
+}
+
+/// A raw serialized dict level: parent names and child-id → parent-id map.
+struct RawLevel {
+    names: Vec<String>,
+    parent_of: Vec<u32>,
+}
+
+impl RawLevel {
+    /// Builds the child-*name* → parent-name map given the child
+    /// dictionary's names in id order (which both `save` and `load`
+    /// enumerate identically).
+    fn child_map(&self, child_names: &[String]) -> Result<HashMap<String, String>> {
+        if self.parent_of.len() > child_names.len() {
+            return Err(Error::InvalidOperation(
+                "corrupt file: hierarchy level maps more children than exist".into(),
+            ));
+        }
+        let mut map = HashMap::with_capacity(self.parent_of.len());
+        for (child_id, &p) in self.parent_of.iter().enumerate() {
+            let parent = self.names.get(p as usize).cloned().ok_or_else(|| {
+                Error::InvalidOperation("corrupt file: parent id out of range".into())
+            })?;
+            map.insert(child_names[child_id].clone(), parent);
+        }
+        Ok(map)
+    }
+}
+
+fn read_dict_level_raw(r: &mut impl Read) -> Result<(String, RawLevel)> {
+    let name = read_str(r)?;
+    let n_names = read_u32(r)? as usize;
+    let mut names = Vec::with_capacity(n_names);
+    for _ in 0..n_names {
+        names.push(read_str(r)?);
+    }
+    let n_parents = read_u32(r)? as usize;
+    let mut parent_of = Vec::with_capacity(n_parents);
+    for _ in 0..n_parents {
+        parent_of.push(read_u32(r)?);
+    }
+    Ok((name, RawLevel { names, parent_of }))
+}
+
+/// Saves a database to a file.
+pub fn save_to_path(db: &EventDb, path: impl AsRef<Path>) -> Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path).map_err(io_err)?);
+    save(db, &mut f)?;
+    f.flush().map_err(io_err)
+}
+
+/// Loads a database from a file.
+pub fn load_from_path(path: impl AsRef<Path>) -> Result<EventDb> {
+    let mut f = std::io::BufReader::new(std::fs::File::open(path).map_err(io_err)?);
+    load(&mut f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::EventDbBuilder;
+    use crate::time::timestamp;
+
+    fn transit_db() -> EventDb {
+        let mut db = EventDbBuilder::new()
+            .dimension("time", ColumnType::Time)
+            .dimension("card-id", ColumnType::Int)
+            .dimension("location", ColumnType::Str)
+            .measure("amount", ColumnType::Float)
+            .build()
+            .unwrap();
+        db.set_time_hierarchy(0, TimeHierarchy::time_day_week())
+            .unwrap();
+        for (t, c, l, m) in [
+            (timestamp(2007, 10, 1, 8, 0, 0), 688, "Pentagon", 0.0),
+            (timestamp(2007, 10, 1, 9, 0, 0), 688, "Wheaton", -2.5),
+            (timestamp(2007, 10, 2, 8, 0, 0), 123, "Glenmont", -1.0),
+        ] {
+            db.push_row(&[
+                Value::Time(t),
+                Value::Int(c),
+                Value::Str(l.into()),
+                Value::Float(m),
+            ])
+            .unwrap();
+        }
+        db.set_base_level_name(2, "station");
+        db.attach_str_level(2, "district", |s| {
+            if s == "Pentagon" {
+                "D10".into()
+            } else {
+                "D20".into()
+            }
+        })
+        .unwrap();
+        db.attach_str_level(2, "region", |d| format!("R-{d}"))
+            .unwrap();
+        db.set_base_level_name(1, "individual");
+        db.attach_int_level(1, "fare-group", |id| {
+            if id < 1000 {
+                "regular".into()
+            } else {
+                "student".into()
+            }
+        })
+        .unwrap();
+        db
+    }
+
+    fn roundtrip(db: &EventDb) -> EventDb {
+        let mut buf = Vec::new();
+        save(db, &mut buf).unwrap();
+        load(&mut buf.as_slice()).unwrap()
+    }
+
+    fn assert_value_identical(a: &EventDb, b: &EventDb) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.schema(), b.schema());
+        for row in 0..a.len() as u32 {
+            for attr in 0..a.schema().len() as u32 {
+                assert_eq!(
+                    a.value(row, attr),
+                    b.value(row, attr),
+                    "row {row} attr {attr}"
+                );
+                for level in 0..a.level_count(attr) {
+                    let va = a.value_at_level(row, attr, level).unwrap();
+                    let vb = b.value_at_level(row, attr, level).unwrap();
+                    assert_eq!(
+                        a.render_level(attr, level, va),
+                        b.render_level(attr, level, vb),
+                        "row {row} attr {attr} level {level}"
+                    );
+                }
+            }
+        }
+        for attr in 0..a.schema().len() as u32 {
+            assert_eq!(a.level_count(attr), b.level_count(attr));
+            for level in 0..a.level_count(attr) {
+                assert_eq!(a.level_name(attr, level), b.level_name(attr, level));
+            }
+            assert_eq!(a.base_level_name(attr), b.base_level_name(attr));
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let db = transit_db();
+        let loaded = roundtrip(&db);
+        assert_value_identical(&db, &loaded);
+    }
+
+    #[test]
+    fn roundtrip_via_files() {
+        let db = transit_db();
+        let path = std::env::temp_dir().join(format!("solap-persist-{}.db", std::process::id()));
+        save_to_path(&db, &path).unwrap();
+        let loaded = load_from_path(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_value_identical(&db, &loaded);
+    }
+
+    #[test]
+    fn double_roundtrip_is_stable() {
+        let db = transit_db();
+        let once = roundtrip(&db);
+        let twice = roundtrip(&once);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        save(&once, &mut a).unwrap();
+        save(&twice, &mut b).unwrap();
+        assert_eq!(a, b, "serialization reaches a fixpoint");
+    }
+
+    #[test]
+    fn int_mappings_for_unseen_values_survive() {
+        let mut db = transit_db();
+        db.add_int_mapping(1, 999_999, "senior").unwrap();
+        let loaded = roundtrip(&db);
+        // The mapping is usable after a new row introduces the value.
+        let mut loaded = loaded;
+        loaded
+            .push_row(&[
+                Value::Time(0),
+                Value::Int(999_999),
+                Value::Str("Pentagon".into()),
+                Value::Float(0.0),
+            ])
+            .unwrap();
+        let v = loaded.value_at_level(3, 1, 1).unwrap();
+        assert_eq!(loaded.render_level(1, 1, v), "senior");
+    }
+
+    #[test]
+    fn corrupt_inputs_are_rejected() {
+        assert!(load(&mut &b"NOTADB!!"[..]).is_err());
+        let db = transit_db();
+        let mut buf = Vec::new();
+        save(&db, &mut buf).unwrap();
+        // Truncations at various points must error, not panic.
+        for cut in [4usize, 9, 40, buf.len() / 2, buf.len() - 1] {
+            assert!(load(&mut &buf[..cut]).is_err(), "cut at {cut}");
+        }
+        // Flipping the magic fails cleanly.
+        let mut bad = buf.clone();
+        bad[0] ^= 0xFF;
+        assert!(load(&mut bad.as_slice()).is_err());
+    }
+
+    #[test]
+    fn empty_database_roundtrips() {
+        let db = EventDbBuilder::new()
+            .dimension("x", ColumnType::Str)
+            .build()
+            .unwrap();
+        let loaded = roundtrip(&db);
+        assert_eq!(loaded.len(), 0);
+        assert_eq!(loaded.schema().column(0).name, "x");
+    }
+}

@@ -1,0 +1,165 @@
+//! Event schemas: typed columns with dimension/measure roles.
+
+use crate::error::{Error, Result};
+
+/// Index of an attribute (column) in a [`Schema`].
+pub type AttrId = u32;
+
+/// The storage type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    /// 64-bit signed integers.
+    Int,
+    /// 64-bit floats.
+    Float,
+    /// Dictionary-encoded strings.
+    Str,
+    /// Timestamps (seconds since the Unix epoch).
+    Time,
+}
+
+impl ColumnType {
+    /// Short name for error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            ColumnType::Int => "int",
+            ColumnType::Float => "float",
+            ColumnType::Str => "str",
+            ColumnType::Time => "time",
+        }
+    }
+}
+
+/// Whether a column is a dimension (groupable, possibly with a concept
+/// hierarchy) or a measure (aggregatable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// A dimension attribute, e.g. `location`.
+    Dimension,
+    /// A measure attribute, e.g. `amount`.
+    Measure,
+}
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// The attribute name (e.g. `card-id`).
+    pub name: String,
+    /// The storage type.
+    pub ctype: ColumnType,
+    /// Dimension or measure.
+    pub role: Role,
+}
+
+impl ColumnDef {
+    /// Shorthand for a dimension column.
+    pub fn dimension(name: &str, ctype: ColumnType) -> Self {
+        ColumnDef {
+            name: name.to_owned(),
+            ctype,
+            role: Role::Dimension,
+        }
+    }
+
+    /// Shorthand for a measure column.
+    pub fn measure(name: &str, ctype: ColumnType) -> Self {
+        ColumnDef {
+            name: name.to_owned(),
+            ctype,
+            role: Role::Measure,
+        }
+    }
+}
+
+/// An ordered set of column definitions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    /// Creates a schema from column definitions.
+    ///
+    /// Column names must be unique; duplicates would make name resolution in
+    /// the query language ambiguous.
+    pub fn new(columns: Vec<ColumnDef>) -> Result<Self> {
+        for (i, c) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|o| o.name == c.name) {
+                return Err(Error::InvalidOperation(format!(
+                    "duplicate column name `{}`",
+                    c.name
+                )));
+            }
+        }
+        Ok(Schema { columns })
+    }
+
+    /// The column definitions in order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// The definition of attribute `attr`.
+    pub fn column(&self, attr: AttrId) -> &ColumnDef {
+        &self.columns[attr as usize]
+    }
+
+    /// Resolves an attribute name to its id.
+    pub fn attr(&self, name: &str) -> Result<AttrId> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| i as AttrId)
+            .ok_or_else(|| Error::UnknownAttribute(name.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transit_schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::dimension("time", ColumnType::Time),
+            ColumnDef::dimension("card-id", ColumnType::Int),
+            ColumnDef::dimension("location", ColumnType::Str),
+            ColumnDef::dimension("action", ColumnType::Str),
+            ColumnDef::measure("amount", ColumnType::Float),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn attr_resolution() {
+        let s = transit_schema();
+        assert_eq!(s.attr("location").unwrap(), 2);
+        assert!(matches!(s.attr("bogus"), Err(Error::UnknownAttribute(_))));
+        assert_eq!(s.column(4).role, Role::Measure);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let r = Schema::new(vec![
+            ColumnDef::dimension("a", ColumnType::Int),
+            ColumnDef::dimension("a", ColumnType::Str),
+        ]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(ColumnType::Time.name(), "time");
+        assert_eq!(ColumnType::Str.name(), "str");
+    }
+}

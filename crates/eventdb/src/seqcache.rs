@@ -1,0 +1,149 @@
+//! The Sequence Cache of the prototype architecture (Figure 6).
+//!
+//! Steps 1–4 of S-cuboid formation depend only on the `WHERE`, `CLUSTER BY`,
+//! `SEQUENCE BY` and `SEQUENCE GROUP BY` clauses; iterative S-OLAP queries
+//! (obtained via the six pattern operations) share them, so the constructed
+//! sequence groups are cached and reused across the whole exploration
+//! session.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::Result;
+use crate::lru::LruCache;
+use crate::seqquery::{build_sequence_groups, SeqQuerySpec, SequenceGroups};
+use crate::store::EventDb;
+
+/// Cache key: spec fingerprint + database version (appends invalidate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Key {
+    spec: u64,
+    db_version: u64,
+}
+
+/// A thread-safe LRU cache of [`SequenceGroups`].
+pub struct SequenceCache {
+    inner: Mutex<LruCache<Key, Arc<SequenceGroups>>>,
+}
+
+impl SequenceCache {
+    /// Creates a cache bounded by `capacity` entries and `max_bytes` of
+    /// (approximate) sequence-group payload.
+    pub fn new(capacity: usize, max_bytes: usize) -> Self {
+        SequenceCache {
+            inner: Mutex::new(LruCache::with_weight(capacity, max_bytes, |sg| {
+                sg.heap_bytes()
+            })),
+        }
+    }
+
+    /// Returns the sequence groups for `spec`, building them on a miss.
+    pub fn get_or_build(&self, db: &EventDb, spec: &SeqQuerySpec) -> Result<Arc<SequenceGroups>> {
+        let key = Key {
+            spec: spec.fingerprint(),
+            db_version: db.version(),
+        };
+        if let Some(hit) = self.inner.lock().get(&key) {
+            return Ok(Arc::clone(hit));
+        }
+        let built = Arc::new(build_sequence_groups(db, spec)?);
+        self.inner.lock().insert(key, Arc::clone(&built));
+        Ok(built)
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        self.inner.lock().stats()
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Drops everything (e.g. after a bulk load).
+    pub fn clear(&self) {
+        self.inner.lock().clear()
+    }
+}
+
+impl Default for SequenceCache {
+    fn default() -> Self {
+        // 64 cached group sets / 256 MiB — generous for interactive use.
+        SequenceCache::new(64, 256 << 20)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::Pred;
+    use crate::schema::ColumnType;
+    use crate::seqquery::{AttrLevel, SortKey};
+    use crate::store::EventDbBuilder;
+    use crate::value::Value;
+
+    fn db() -> EventDb {
+        let mut db = EventDbBuilder::new()
+            .dimension("sess", ColumnType::Int)
+            .dimension("page", ColumnType::Str)
+            .build()
+            .unwrap();
+        for (s, p) in [(1, "a"), (1, "b"), (2, "a")] {
+            db.push_row(&[Value::Int(s), Value::from(p)]).unwrap();
+        }
+        db
+    }
+
+    fn spec() -> SeqQuerySpec {
+        SeqQuerySpec {
+            filter: Pred::True,
+            cluster_by: vec![AttrLevel::new(0, 0)],
+            sequence_by: vec![SortKey {
+                attr: 0,
+                ascending: true,
+            }],
+            group_by: vec![],
+        }
+    }
+
+    #[test]
+    fn caches_and_reuses() {
+        let db = db();
+        let cache = SequenceCache::default();
+        let a = cache.get_or_build(&db, &spec()).unwrap();
+        let b = cache.get_or_build(&db, &spec()).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn db_mutation_invalidates() {
+        let mut db = db();
+        let cache = SequenceCache::default();
+        let a = cache.get_or_build(&db, &spec()).unwrap();
+        db.push_row(&[Value::Int(3), Value::from("c")]).unwrap();
+        let b = cache.get_or_build(&db, &spec()).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(b.total_sequences, 3);
+    }
+
+    #[test]
+    fn distinct_specs_distinct_entries() {
+        let db = db();
+        let cache = SequenceCache::default();
+        cache.get_or_build(&db, &spec()).unwrap();
+        let mut s2 = spec();
+        s2.cluster_by = vec![AttrLevel::new(1, 0)];
+        cache.get_or_build(&db, &s2).unwrap();
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

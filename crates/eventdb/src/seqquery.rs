@@ -1,0 +1,430 @@
+//! The sequence query engine: steps 1–4 of S-cuboid formation (Figure 4).
+//!
+//! 1. **Selection** — the `WHERE` predicate picks events of interest.
+//! 2. **Clustering** — `CLUSTER BY` attributes (each at an abstraction
+//!    level) partition events into clusters; e.g. events sharing the same
+//!    `card-id` (at `individual`) and the same `time` (at `day`).
+//! 3. **Sequence formation** — `SEQUENCE BY` sorts each cluster, turning it
+//!    into exactly one data sequence.
+//! 4. **Sequence grouping** — `SEQUENCE GROUP BY` groups sequences whose
+//!    events share the same *global dimension* values (e.g. fare-group and
+//!    day); if absent, all sequences form a single group.
+//!
+//! The paper offloads these steps to "an existing sequence database query
+//! engine" and caches the result in the Sequence Cache; this module is that
+//! engine.
+
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+use crate::error::Result;
+use crate::pred::Pred;
+use crate::schema::AttrId;
+use crate::store::EventDb;
+use crate::value::{LevelValue, RowId, Sid};
+
+/// An attribute pinned at an abstraction level (`card-id AT individual`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrLevel {
+    /// The attribute.
+    pub attr: AttrId,
+    /// The abstraction level (0 = base).
+    pub level: usize,
+}
+
+impl AttrLevel {
+    /// Shorthand constructor.
+    pub fn new(attr: AttrId, level: usize) -> Self {
+        AttrLevel { attr, level }
+    }
+}
+
+/// A `SEQUENCE BY` sort key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SortKey {
+    /// The attribute ordered by.
+    pub attr: AttrId,
+    /// Ascending (`true`) or descending.
+    pub ascending: bool,
+}
+
+/// The first four clauses of an S-cuboid specification — everything needed
+/// to build sequence groups (and the key of the Sequence Cache).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SeqQuerySpec {
+    /// Step 1: event selection.
+    pub filter: Pred,
+    /// Step 2: clustering attributes with abstraction levels.
+    pub cluster_by: Vec<AttrLevel>,
+    /// Step 3: sort keys forming the sequence order.
+    pub sequence_by: Vec<SortKey>,
+    /// Step 4: global dimensions. Empty = one big group.
+    pub group_by: Vec<AttrLevel>,
+}
+
+impl SeqQuerySpec {
+    /// A stable hash of the spec, combined with the database version to key
+    /// the Sequence Cache.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
+}
+
+/// One data sequence: an ordered list of event rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sequence {
+    /// Unique sequence id, dense in `0..total_sequences` and stable for a
+    /// given spec and database version.
+    pub sid: Sid,
+    /// The cluster key that formed this sequence.
+    pub cluster_key: Vec<LevelValue>,
+    /// Event rows in `SEQUENCE BY` order.
+    pub rows: Vec<RowId>,
+}
+
+impl Sequence {
+    /// Sequence length in events.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the sequence has no events (never produced by the engine).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// A group of sequences sharing global-dimension values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SequenceGroup {
+    /// Values of the global dimensions (aligned with
+    /// [`SequenceGroups::global_dims`]).
+    pub key: Vec<LevelValue>,
+    /// The sequences of the group, in deterministic (cluster-key) order.
+    pub sequences: Vec<Sequence>,
+}
+
+/// The output of steps 1–4: all sequence groups, with sid lookup.
+#[derive(Debug, Clone)]
+pub struct SequenceGroups {
+    /// The global dimensions (the `q` dimensions of the paper's
+    /// q-dimensional group array).
+    pub global_dims: Vec<AttrLevel>,
+    /// The groups, sorted by key for determinism.
+    pub groups: Vec<SequenceGroup>,
+    /// Total number of sequences across groups.
+    pub total_sequences: usize,
+    /// `sid_offsets[g]` = first sid of group `g` (sids are assigned
+    /// contiguously per group).
+    sid_offsets: Vec<Sid>,
+}
+
+impl SequenceGroups {
+    /// Assembles a `SequenceGroups` from parts. Callers (e.g. incremental
+    /// update) are responsible for the invariant that sids are contiguous
+    /// per group in traversal order, with `sid_offsets[g]` the first sid of
+    /// group `g`.
+    pub fn from_parts(
+        global_dims: Vec<AttrLevel>,
+        groups: Vec<SequenceGroup>,
+        total_sequences: usize,
+        sid_offsets: Vec<Sid>,
+    ) -> Self {
+        debug_assert_eq!(groups.len(), sid_offsets.len());
+        SequenceGroups {
+            global_dims,
+            groups,
+            total_sequences,
+            sid_offsets,
+        }
+    }
+
+    /// Locates a sequence by sid.
+    pub fn sequence(&self, sid: Sid) -> &Sequence {
+        let g = match self.sid_offsets.binary_search(&sid) {
+            Ok(g) => g,
+            Err(ins) => ins - 1,
+        };
+        let group = &self.groups[g];
+        &group.sequences[(sid - self.sid_offsets[g]) as usize]
+    }
+
+    /// The group a sid belongs to.
+    pub fn group_of(&self, sid: Sid) -> usize {
+        match self.sid_offsets.binary_search(&sid) {
+            Ok(g) => g,
+            Err(ins) => ins - 1,
+        }
+    }
+
+    /// Iterates all sequences across groups.
+    pub fn iter_sequences(&self) -> impl Iterator<Item = &Sequence> {
+        self.groups.iter().flat_map(|g| g.sequences.iter())
+    }
+
+    /// Approximate heap bytes (for the Sequence Cache weight budget).
+    pub fn heap_bytes(&self) -> usize {
+        self.groups
+            .iter()
+            .map(|g| {
+                g.key.len() * 8
+                    + g.sequences
+                        .iter()
+                        .map(|s| s.rows.len() * 4 + s.cluster_key.len() * 8 + 48)
+                        .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+/// Runs steps 1–4 against the database.
+///
+/// The result is deterministic: clusters and groups are ordered by their
+/// keys and sids are assigned in that order, so repeated runs (and the
+/// CB/II equivalence property tests) see identical sids.
+///
+/// Note on step 4: per the paper, sequences are grouped by dimension values
+/// their *events* share; this engine reads the group key off each sequence's
+/// first event, which is exact whenever the `SEQUENCE GROUP BY` attributes
+/// are constant within a sequence — true by construction when they are
+/// coarsenings of `CLUSTER BY` attributes, as in all of the paper's queries.
+pub fn build_sequence_groups(db: &EventDb, spec: &SeqQuerySpec) -> Result<SequenceGroups> {
+    // Step 1 + 2: select and cluster in one pass.
+    let mut clusters: BTreeMap<Vec<LevelValue>, Vec<RowId>> = BTreeMap::new();
+    let mut ckey = Vec::with_capacity(spec.cluster_by.len());
+    for row in 0..db.len() as RowId {
+        if !spec.filter.eval(db, row)? {
+            continue;
+        }
+        ckey.clear();
+        for al in &spec.cluster_by {
+            ckey.push(db.value_at_level(row, al.attr, al.level)?);
+        }
+        clusters.entry(ckey.clone()).or_default().push(row);
+    }
+
+    // Step 3: sort each cluster into a sequence.
+    let sort_keys: Vec<(AttrId, bool)> = spec
+        .sequence_by
+        .iter()
+        .map(|k| (k.attr, k.ascending))
+        .collect();
+    // Step 4: group sequences by global-dimension values.
+    type ClusterRows = (Vec<LevelValue>, Vec<RowId>);
+    let mut grouped: BTreeMap<Vec<LevelValue>, Vec<ClusterRows>> = BTreeMap::new();
+    for (ckey, mut rows) in clusters {
+        if !sort_keys.is_empty() {
+            rows.sort_unstable_by(|&a, &b| db.cmp_rows(a, b, &sort_keys));
+        }
+        let first = rows[0];
+        let mut gkey = Vec::with_capacity(spec.group_by.len());
+        for al in &spec.group_by {
+            gkey.push(db.value_at_level(first, al.attr, al.level)?);
+        }
+        grouped.entry(gkey).or_default().push((ckey, rows));
+    }
+
+    let mut groups = Vec::with_capacity(grouped.len());
+    let mut sid_offsets = Vec::with_capacity(grouped.len());
+    let mut next_sid: Sid = 0;
+    for (gkey, seqs) in grouped {
+        sid_offsets.push(next_sid);
+        let sequences: Vec<Sequence> = seqs
+            .into_iter()
+            .map(|(cluster_key, rows)| {
+                let s = Sequence {
+                    sid: next_sid,
+                    cluster_key,
+                    rows,
+                };
+                next_sid += 1;
+                s
+            })
+            .collect();
+        groups.push(SequenceGroup {
+            key: gkey,
+            sequences,
+        });
+    }
+
+    Ok(SequenceGroups {
+        global_dims: spec.group_by.clone(),
+        groups,
+        total_sequences: next_sid as usize,
+        sid_offsets,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::TimeHierarchy;
+    use crate::pred::CmpOp;
+    use crate::schema::ColumnType;
+    use crate::store::EventDbBuilder;
+    use crate::time::timestamp;
+    use crate::value::Value;
+
+    /// A small transit database: two passengers over two days.
+    fn db() -> EventDb {
+        let mut db = EventDbBuilder::new()
+            .dimension("time", ColumnType::Time)
+            .dimension("card-id", ColumnType::Int)
+            .dimension("location", ColumnType::Str)
+            .dimension("action", ColumnType::Str)
+            .measure("amount", ColumnType::Float)
+            .build()
+            .unwrap();
+        db.set_time_hierarchy(0, TimeHierarchy::time_day_week())
+            .unwrap();
+        // Deliberately out of time order to exercise SEQUENCE BY.
+        let rows = [
+            (timestamp(2007, 10, 1, 9, 0, 0), 688, "Pentagon", "out"),
+            (timestamp(2007, 10, 1, 8, 0, 0), 688, "Glenmont", "in"),
+            (timestamp(2007, 10, 1, 8, 30, 0), 23456, "Pentagon", "in"),
+            (timestamp(2007, 10, 1, 9, 30, 0), 23456, "Wheaton", "out"),
+            (timestamp(2007, 10, 2, 8, 0, 0), 688, "Wheaton", "in"),
+            (timestamp(2007, 10, 2, 9, 0, 0), 688, "Pentagon", "out"),
+        ];
+        for (t, c, l, a) in rows {
+            db.push_row(&[
+                Value::Time(t),
+                Value::Int(c),
+                Value::from(l),
+                Value::from(a),
+                Value::Float(0.0),
+            ])
+            .unwrap();
+        }
+        db.attach_int_level(1, "fare-group", |id| {
+            if id == 688 {
+                "regular".into()
+            } else {
+                "student".into()
+            }
+        })
+        .unwrap();
+        db
+    }
+
+    fn spec() -> SeqQuerySpec {
+        SeqQuerySpec {
+            filter: Pred::True,
+            cluster_by: vec![AttrLevel::new(1, 0), AttrLevel::new(0, 1)], // card-id AT individual, time AT day
+            sequence_by: vec![SortKey {
+                attr: 0,
+                ascending: true,
+            }],
+            group_by: vec![AttrLevel::new(0, 1)], // time AT day
+        }
+    }
+
+    #[test]
+    fn clusters_by_card_and_day() {
+        let db = db();
+        let sg = build_sequence_groups(&db, &spec()).unwrap();
+        // Day 1: card 688 and card 23456; day 2: card 688 → 3 sequences.
+        assert_eq!(sg.total_sequences, 3);
+        assert_eq!(sg.groups.len(), 2); // grouped by day
+        assert_eq!(sg.groups[0].sequences.len(), 2);
+        assert_eq!(sg.groups[1].sequences.len(), 1);
+    }
+
+    #[test]
+    fn sequences_are_time_ordered() {
+        let db = db();
+        let sg = build_sequence_groups(&db, &spec()).unwrap();
+        let s688_day1 = sg
+            .iter_sequences()
+            .find(|s| s.cluster_key[0] == 688)
+            .unwrap();
+        // Events were inserted out of order; the sequence must be sorted.
+        assert_eq!(s688_day1.rows, vec![1, 0]); // Glenmont(8:00) then Pentagon(9:00)
+    }
+
+    #[test]
+    fn descending_order() {
+        let db = db();
+        let mut sp = spec();
+        sp.sequence_by[0].ascending = false;
+        let sg = build_sequence_groups(&db, &sp).unwrap();
+        let s = sg
+            .iter_sequences()
+            .find(|s| s.cluster_key[0] == 688)
+            .unwrap();
+        assert_eq!(s.rows, vec![0, 1]);
+    }
+
+    #[test]
+    fn where_clause_filters() {
+        let db = db();
+        let mut sp = spec();
+        sp.filter = Pred::cmp(0, CmpOp::Ge, Value::from("2007-10-02T00:00"));
+        let sg = build_sequence_groups(&db, &sp).unwrap();
+        assert_eq!(sg.total_sequences, 1);
+        assert_eq!(sg.groups[0].sequences[0].rows, vec![4, 5]);
+    }
+
+    #[test]
+    fn empty_group_by_forms_single_group() {
+        let db = db();
+        let mut sp = spec();
+        sp.group_by.clear();
+        let sg = build_sequence_groups(&db, &sp).unwrap();
+        assert_eq!(sg.groups.len(), 1);
+        assert!(sg.groups[0].key.is_empty());
+        assert_eq!(sg.total_sequences, 3);
+    }
+
+    #[test]
+    fn group_by_fare_group() {
+        let db = db();
+        let mut sp = spec();
+        sp.group_by = vec![AttrLevel::new(1, 1)];
+        let sg = build_sequence_groups(&db, &sp).unwrap();
+        assert_eq!(sg.groups.len(), 2); // regular vs student
+        let sizes: Vec<usize> = sg.groups.iter().map(|g| g.sequences.len()).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 2]); // 688 has 2 sequences, 23456 has 1
+    }
+
+    #[test]
+    fn sid_lookup_is_consistent() {
+        let db = db();
+        let sg = build_sequence_groups(&db, &spec()).unwrap();
+        for s in sg.iter_sequences() {
+            assert_eq!(sg.sequence(s.sid).sid, s.sid);
+        }
+        assert_eq!(sg.group_of(0), 0);
+        assert_eq!(sg.group_of(2), 1);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let db = db();
+        let a = build_sequence_groups(&db, &spec()).unwrap();
+        let b = build_sequence_groups(&db, &spec()).unwrap();
+        let flat_a: Vec<_> = a.iter_sequences().cloned().collect();
+        let flat_b: Vec<_> = b.iter_sequences().cloned().collect();
+        assert_eq!(flat_a, flat_b);
+    }
+
+    #[test]
+    fn fingerprint_changes_with_spec() {
+        let a = spec();
+        let mut b = spec();
+        b.group_by.clear();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), spec().fingerprint());
+    }
+
+    #[test]
+    fn heap_bytes_positive() {
+        let db = db();
+        let sg = build_sequence_groups(&db, &spec()).unwrap();
+        assert!(sg.heap_bytes() > 0);
+    }
+}

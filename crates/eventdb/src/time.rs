@@ -1,0 +1,231 @@
+//! Civil-time conversions for functional time hierarchies.
+//!
+//! The paper's running example attaches the concept hierarchy
+//! `time → day → week` to the `time` attribute. Rather than materialising a
+//! dictionary for every timestamp, time hierarchies are *functional*: the
+//! value of a timestamp at the `day` level is the day ordinal, at the `week`
+//! level the ISO-week ordinal, and so on. This module implements the
+//! underlying civil-calendar arithmetic (Howard Hinnant's `days_from_civil`
+//! algorithm) without external crates.
+
+/// Seconds per day.
+pub const SECS_PER_DAY: i64 = 86_400;
+
+/// Converts a civil date to the number of days since 1970-01-01.
+///
+/// Valid for the proleptic Gregorian calendar; `m` is 1-based.
+pub fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m as i64 + 9) % 12; // Mar=0 .. Feb=11
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Converts days since 1970-01-01 back to a civil `(year, month, day)`.
+pub fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Builds an epoch-seconds timestamp from civil components.
+pub fn timestamp(y: i64, mo: u32, d: u32, h: u32, mi: u32, s: u32) -> i64 {
+    days_from_civil(y, mo, d) * SECS_PER_DAY + (h as i64) * 3600 + (mi as i64) * 60 + s as i64
+}
+
+/// Parses `YYYY-MM-DD`, `YYYY-MM-DDTHH:MM` or `YYYY-MM-DDTHH:MM:SS` into
+/// epoch seconds. A space is accepted in place of the `T` separator. `24:00`
+/// is accepted as the start of the next day (Figure 3 of the paper uses
+/// `2007-12-31T24:00` as an exclusive upper bound).
+pub fn parse_timestamp(s: &str) -> Option<i64> {
+    let s = s.trim();
+    let (date, rest) = if s.len() > 10 {
+        let (d, r) = s.split_at(10);
+        let sep = r.as_bytes()[0];
+        if sep != b'T' && sep != b' ' {
+            return None;
+        }
+        (d, Some(&r[1..]))
+    } else {
+        (s, None)
+    };
+    let mut dp = date.split('-');
+    let y: i64 = dp.next()?.parse().ok()?;
+    let mo: u32 = dp.next()?.parse().ok()?;
+    let d: u32 = dp.next()?.parse().ok()?;
+    if dp.next().is_some() || !(1..=12).contains(&mo) || !(1..=31).contains(&d) {
+        return None;
+    }
+    let (h, mi, sec) = match rest {
+        None => (0, 0, 0),
+        Some(t) => {
+            let mut tp = t.split(':');
+            let h: u32 = tp.next()?.parse().ok()?;
+            let mi: u32 = tp.next()?.parse().ok()?;
+            let sec: u32 = match tp.next() {
+                Some(x) => x.parse().ok()?,
+                None => 0,
+            };
+            if tp.next().is_some()
+                || h > 24
+                || mi > 59
+                || sec > 59
+                || (h == 24 && (mi > 0 || sec > 0))
+            {
+                return None;
+            }
+            (h, mi, sec)
+        }
+    };
+    Some(timestamp(y, mo, d, h, mi, sec))
+}
+
+/// Formats epoch seconds as `YYYY-MM-DDTHH:MM:SS`.
+pub fn format_timestamp(t: i64) -> String {
+    let days = t.div_euclid(SECS_PER_DAY);
+    let sod = t.rem_euclid(SECS_PER_DAY);
+    let (y, m, d) = civil_from_days(days);
+    format!(
+        "{:04}-{:02}-{:02}T{:02}:{:02}:{:02}",
+        y,
+        m,
+        d,
+        sod / 3600,
+        (sod % 3600) / 60,
+        sod % 60
+    )
+}
+
+/// Day ordinal (days since epoch) of a timestamp.
+pub fn day_of(t: i64) -> i64 {
+    t.div_euclid(SECS_PER_DAY)
+}
+
+/// Hour ordinal (hours since epoch) of a timestamp.
+pub fn hour_of(t: i64) -> i64 {
+    t.div_euclid(3600)
+}
+
+/// ISO-style week ordinal of a timestamp (weeks start on Monday;
+/// 1970-01-01 was a Thursday, so day 4 = 1970-01-05 starts week 1).
+pub fn week_of(t: i64) -> i64 {
+    (day_of(t) + 3).div_euclid(7)
+}
+
+/// Month ordinal (`year * 12 + month - 1`) of a timestamp.
+pub fn month_of(t: i64) -> i64 {
+    let (y, m, _) = civil_from_days(day_of(t));
+    y * 12 + (m as i64 - 1)
+}
+
+/// Quarter ordinal (`year * 4 + quarter - 1`) of a timestamp.
+pub fn quarter_of(t: i64) -> i64 {
+    let (y, m, _) = civil_from_days(day_of(t));
+    y * 4 + ((m as i64 - 1) / 3)
+}
+
+/// Renders a day ordinal as `YYYY-MM-DD`.
+pub fn format_day(day: i64) -> String {
+    let (y, m, d) = civil_from_days(day);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Renders a week ordinal as the date of its Monday, `W:YYYY-MM-DD`.
+pub fn format_week(week: i64) -> String {
+    format!("W:{}", format_day(week * 7 - 3))
+}
+
+/// Renders a month ordinal as `YYYY-MM`.
+pub fn format_month(month: i64) -> String {
+    format!(
+        "{:04}-{:02}",
+        month.div_euclid(12),
+        month.rem_euclid(12) + 1
+    )
+}
+
+/// Renders a quarter ordinal as `YYYY-Qn`.
+pub fn format_quarter(q: i64) -> String {
+    format!("{:04}-Q{}", q.div_euclid(4), q.rem_euclid(4) + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_roundtrip_across_epochs() {
+        for z in [-719_468, -1, 0, 1, 10_957, 13_787, 2_932_896] {
+            let (y, m, d) = civil_from_days(z);
+            assert_eq!(days_from_civil(y, m, d), z, "roundtrip failed for {z}");
+        }
+    }
+
+    #[test]
+    fn known_dates() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(days_from_civil(2000, 3, 1), 11_017);
+        assert_eq!(civil_from_days(days_from_civil(2007, 10, 1)), (2007, 10, 1));
+    }
+
+    #[test]
+    fn parse_and_format() {
+        let t = parse_timestamp("2007-10-01T00:01").unwrap();
+        assert_eq!(format_timestamp(t), "2007-10-01T00:01:00");
+        assert_eq!(parse_timestamp("2007-10-01"), Some(t - 60));
+        assert_eq!(
+            parse_timestamp("2007-10-01 12:30:15"),
+            Some(timestamp(2007, 10, 1, 12, 30, 15))
+        );
+        assert!(parse_timestamp("2007-13-01").is_none());
+        assert!(parse_timestamp("garbage").is_none());
+        assert!(parse_timestamp("2007-10-01X00:01").is_none());
+    }
+
+    #[test]
+    fn hour_24_is_next_day() {
+        let a = parse_timestamp("2007-12-31T24:00").unwrap();
+        let b = parse_timestamp("2008-01-01T00:00").unwrap();
+        assert_eq!(a, b);
+        assert!(parse_timestamp("2007-12-31T24:01").is_none());
+    }
+
+    #[test]
+    fn buckets_are_monotone() {
+        let t1 = timestamp(2007, 10, 1, 23, 59, 59);
+        let t2 = timestamp(2007, 10, 2, 0, 0, 0);
+        assert_eq!(day_of(t1) + 1, day_of(t2));
+        assert_eq!(month_of(t1), month_of(t2));
+        assert_eq!(quarter_of(timestamp(2007, 10, 1, 0, 0, 0)), 2007 * 4 + 3);
+        assert_eq!(format_quarter(2007 * 4 + 3), "2007-Q4");
+    }
+
+    #[test]
+    fn weeks_start_on_monday() {
+        // 2007-10-01 was a Monday.
+        let mon = timestamp(2007, 10, 1, 0, 0, 0);
+        let sun = timestamp(2007, 10, 7, 23, 0, 0);
+        let next_mon = timestamp(2007, 10, 8, 0, 0, 0);
+        assert_eq!(week_of(mon), week_of(sun));
+        assert_eq!(week_of(mon) + 1, week_of(next_mon));
+        assert_eq!(format_week(week_of(mon)), "W:2007-10-01");
+    }
+
+    #[test]
+    fn negative_timestamps() {
+        let t = timestamp(1969, 12, 31, 23, 0, 0);
+        assert!(t < 0);
+        assert_eq!(day_of(t), -1);
+        assert_eq!(format_timestamp(t), "1969-12-31T23:00:00");
+    }
+}

@@ -1,0 +1,212 @@
+//! Scalar values and the identifier types used throughout the system.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::time;
+
+/// Identifier of an event (a row in the event database).
+pub type RowId = u32;
+
+/// Identifier of a data sequence (the `sid` attribute of Figure 8).
+pub type Sid = u32;
+
+/// The value of a dimension attribute *at a specific abstraction level*,
+/// encoded as a machine word.
+///
+/// * string dimensions: the dictionary id of the value at that level;
+/// * integer dimensions at the raw level: the integer reinterpreted as bits;
+/// * time dimensions: the bucket ordinal of the granularity (e.g. the day
+///   number for the `day` level).
+///
+/// Level values are only meaningful together with an `(attribute, level)`
+/// pair; [`crate::store::EventDb::render_level`] turns them back into
+/// human-readable strings.
+pub type LevelValue = u64;
+
+/// A scalar value of an event attribute.
+///
+/// Timestamps are carried as seconds since the Unix epoch ([`Value::Time`]);
+/// [`crate::time`] provides civil-time parsing and formatting so that query
+/// literals like `2007-10-01T00:00` round-trip.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A 64-bit float (measures such as `amount`).
+    Float(f64),
+    /// A string (dictionary-encoded inside the store).
+    Str(String),
+    /// A timestamp in seconds since the Unix epoch.
+    Time(i64),
+}
+
+impl Value {
+    /// A short name of the value's type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "str",
+            Value::Time(_) => "time",
+        }
+    }
+
+    /// Returns the contained integer, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained float, widening integers.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained string slice, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the contained timestamp (seconds since epoch), parsing
+    /// string literals of the form `YYYY-MM-DDTHH:MM[:SS]` if necessary.
+    pub fn as_time(&self) -> Option<i64> {
+        match self {
+            Value::Time(t) => Some(*t),
+            Value::Int(t) => Some(*t),
+            Value::Str(s) => time::parse_timestamp(s),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Time(a), Value::Time(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Int(v) => {
+                0u8.hash(state);
+                v.hash(state);
+            }
+            Value::Float(v) => {
+                1u8.hash(state);
+                v.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                2u8.hash(state);
+                s.hash(state);
+            }
+            Value::Time(t) => {
+                3u8.hash(state);
+                t.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Time(t) => write!(f, "{}", time::format_timestamp(*t)),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn eq_is_typed() {
+        assert_eq!(Value::Int(3), Value::Int(3));
+        assert_ne!(Value::Int(3), Value::Time(3));
+        assert_ne!(Value::Int(3), Value::Float(3.0));
+        assert_eq!(Value::Str("a".into()), Value::from("a"));
+    }
+
+    #[test]
+    fn float_eq_by_bits() {
+        assert_eq!(Value::Float(f64::NAN), Value::Float(f64::NAN));
+        assert_ne!(Value::Float(0.0), Value::Float(-0.0));
+        assert_eq!(hash_of(&Value::Float(1.5)), hash_of(&Value::Float(1.5)));
+    }
+
+    #[test]
+    fn as_time_parses_strings() {
+        let v = Value::from("2007-10-01T00:01");
+        let t = v.as_time().unwrap();
+        assert_eq!(time::format_timestamp(t), "2007-10-01T00:01:00");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(2i64).as_int(), Some(2));
+        assert_eq!(Value::from(2i64).as_float(), Some(2.0));
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::Float(2.5).as_float(), Some(2.5));
+        assert_eq!(Value::Time(7).as_time(), Some(7));
+        assert_eq!(Value::Float(1.0).as_time(), None);
+    }
+
+    #[test]
+    fn display_roundtrips_simple_values() {
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+        assert_eq!(Value::Str("Pentagon".into()).to_string(), "Pentagon");
+    }
+}

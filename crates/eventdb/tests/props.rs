@@ -1,0 +1,180 @@
+//! Property tests for the eventdb substrate: time arithmetic, dictionary
+//! interning, the LRU cache against a naive model, sequence-query
+//! determinism and persistence round trips.
+
+use proptest::prelude::*;
+
+use solap_eventdb::lru::LruCache;
+use solap_eventdb::{
+    build_sequence_groups, persist, time, AttrLevel, ColumnType, Dictionary, EventDb,
+    EventDbBuilder, Pred, SeqQuerySpec, SortKey, Value,
+};
+
+proptest! {
+    /// Civil-date conversion round-trips across ±4000 years.
+    #[test]
+    fn civil_roundtrip(z in -1_500_000i64..1_500_000) {
+        let (y, m, d) = time::civil_from_days(z);
+        prop_assert!((1..=12).contains(&m));
+        prop_assert!((1..=31).contains(&d));
+        prop_assert_eq!(time::days_from_civil(y, m, d), z);
+    }
+
+    /// format_timestamp ∘ parse_timestamp is the identity on seconds.
+    #[test]
+    fn timestamp_roundtrip(t in -40_000_000_000i64..40_000_000_000) {
+        let text = time::format_timestamp(t);
+        prop_assert_eq!(time::parse_timestamp(&text), Some(t), "{}", text);
+    }
+
+    /// Buckets are monotone non-decreasing in the timestamp.
+    #[test]
+    fn buckets_monotone(a in -10_000_000_000i64..10_000_000_000, delta in 0i64..100_000_000) {
+        let b = a + delta;
+        prop_assert!(time::day_of(a) <= time::day_of(b));
+        prop_assert!(time::week_of(a) <= time::week_of(b));
+        prop_assert!(time::month_of(a) <= time::month_of(b));
+        prop_assert!(time::quarter_of(a) <= time::quarter_of(b));
+        // And coarser buckets refine consistently: same day ⇒ same week.
+        if time::day_of(a) == time::day_of(b) {
+            prop_assert_eq!(time::week_of(a), time::week_of(b));
+        }
+    }
+
+    /// Dictionary interning: ids are dense, stable and resolve back.
+    #[test]
+    fn dictionary_model(words in prop::collection::vec("[a-z]{1,6}", 0..60)) {
+        let mut dict = Dictionary::new();
+        let mut model: Vec<String> = Vec::new();
+        for w in &words {
+            let id = dict.intern(w);
+            if let Some(pos) = model.iter().position(|m| m == w) {
+                prop_assert_eq!(id as usize, pos);
+            } else {
+                prop_assert_eq!(id as usize, model.len());
+                model.push(w.clone());
+            }
+        }
+        prop_assert_eq!(dict.len(), model.len());
+        for (i, w) in model.iter().enumerate() {
+            prop_assert_eq!(dict.resolve(i as u32), Some(w.as_str()));
+            prop_assert_eq!(dict.lookup(w), Some(i as u32));
+        }
+    }
+
+    /// The LRU cache agrees with a naive model on membership and values.
+    #[test]
+    fn lru_against_model(
+        capacity in 1usize..8,
+        ops in prop::collection::vec((0u8..3, 0u16..12, 0u32..100), 0..120),
+    ) {
+        let mut cache: LruCache<u16, u32> = LruCache::new(capacity);
+        // Model: vector of (key, value) in recency order (front = MRU).
+        let mut model: Vec<(u16, u32)> = Vec::new();
+        for (op, k, v) in ops {
+            match op {
+                0 => {
+                    // insert
+                    model.retain(|(mk, _)| *mk != k);
+                    model.insert(0, (k, v));
+                    model.truncate(capacity);
+                    cache.insert(k, v);
+                }
+                1 => {
+                    // get
+                    let got = cache.get(&k).copied();
+                    let expected = model.iter().position(|(mk, _)| *mk == k).map(|i| {
+                        let e = model.remove(i);
+                        model.insert(0, e);
+                        model[0].1
+                    });
+                    prop_assert_eq!(got, expected);
+                }
+                _ => {
+                    // remove
+                    let got = cache.remove(&k);
+                    let expected = model
+                        .iter()
+                        .position(|(mk, _)| *mk == k)
+                        .map(|i| model.remove(i).1);
+                    prop_assert_eq!(got, expected);
+                }
+            }
+            prop_assert_eq!(cache.len(), model.len());
+        }
+    }
+}
+
+fn random_db(rows: &[(u8, u8, bool)]) -> EventDb {
+    let mut db = EventDbBuilder::new()
+        .dimension("sid", ColumnType::Int)
+        .dimension("item", ColumnType::Str)
+        .dimension("flag", ColumnType::Str)
+        .measure("w", ColumnType::Float)
+        .build()
+        .unwrap();
+    for (i, &(sid, item, flag)) in rows.iter().enumerate() {
+        db.push_row(&[
+            Value::Int(sid as i64 % 5),
+            Value::Str(format!("i{item}", item = item % 7)),
+            Value::Str(if flag { "a".into() } else { "b".into() }),
+            Value::Float(i as f64 * 0.5),
+        ])
+        .unwrap();
+    }
+    db.attach_str_level(1, "bucket", |n| format!("b{}", n.len() % 2))
+        .unwrap();
+    db
+}
+
+proptest! {
+    /// Sequence-group construction is deterministic and partitions exactly
+    /// the selected rows.
+    #[test]
+    fn seqquery_partitions(rows in prop::collection::vec((any::<u8>(), any::<u8>(), any::<bool>()), 1..60)) {
+        let db = random_db(&rows);
+        let spec = SeqQuerySpec {
+            filter: Pred::True,
+            cluster_by: vec![AttrLevel::new(0, 0)],
+            sequence_by: vec![SortKey { attr: 0, ascending: true }],
+            group_by: vec![AttrLevel::new(2, 0)],
+        };
+        let a = build_sequence_groups(&db, &spec).unwrap();
+        let b = build_sequence_groups(&db, &spec).unwrap();
+        let rows_of = |g: &solap_eventdb::SequenceGroups| -> Vec<Vec<u32>> {
+            g.iter_sequences().map(|s| s.rows.clone()).collect()
+        };
+        prop_assert_eq!(rows_of(&a), rows_of(&b));
+        // Every row appears in exactly one sequence.
+        let mut seen = vec![false; db.len()];
+        for s in a.iter_sequences() {
+            for &r in &s.rows {
+                prop_assert!(!seen[r as usize], "row {} duplicated", r);
+                seen[r as usize] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&x| x));
+        // Sids are dense and the lookup is consistent.
+        for s in a.iter_sequences() {
+            prop_assert_eq!(&a.sequence(s.sid).rows, &s.rows);
+        }
+    }
+
+    /// Persistence round-trips arbitrary databases value-identically.
+    #[test]
+    fn persist_roundtrip(rows in prop::collection::vec((any::<u8>(), any::<u8>(), any::<bool>()), 0..40)) {
+        let db = random_db(&rows);
+        let mut buf = Vec::new();
+        persist::save(&db, &mut buf).unwrap();
+        let loaded = persist::load(&mut buf.as_slice()).unwrap();
+        prop_assert_eq!(db.len(), loaded.len());
+        for row in 0..db.len() as u32 {
+            for attr in 0..db.schema().len() as u32 {
+                prop_assert_eq!(db.value(row, attr), loaded.value(row, attr));
+            }
+            let v1 = db.value_at_level(row, 1, 1).unwrap();
+            let v2 = loaded.value_at_level(row, 1, 1).unwrap();
+            prop_assert_eq!(db.render_level(1, 1, v1), loaded.render_level(1, 1, v2));
+        }
+    }
+}

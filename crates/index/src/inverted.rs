@@ -1,0 +1,291 @@
+//! The inverted index `L_m` and the BUILDINDEX algorithm (Figure 9).
+
+use std::collections::HashMap;
+
+use solap_eventdb::{EventDb, LevelValue, Result, Sequence};
+use solap_pattern::{MatchPred, Matcher, PatternTemplate, TemplateSignature};
+
+/// Which [`crate::sidset::SidSet`] encoding an index uses for its lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SetBackend {
+    /// Sorted sid lists (the paper's inverted lists).
+    #[default]
+    List,
+    /// Bitmaps (§6 optimisation).
+    Bitmap,
+}
+
+impl SetBackend {
+    fn empty(self) -> crate::sidset::SidSet {
+        match self {
+            SetBackend::List => crate::sidset::SidSet::empty_list(),
+            SetBackend::Bitmap => crate::sidset::SidSet::empty_bitmap(),
+        }
+    }
+}
+
+/// A size-`m` inverted index over one sequence group: pattern → sid set.
+///
+/// An inverted list `L_m[v1, …, vm]` stores the sids of all sequences that
+/// contain the length-`m` pattern `(v1, …, vm)` (as a substring or
+/// subsequence, per the signature's kind). Only template instantiations are
+/// keyed — for a repeated-symbol template like `(X, Y, Y, X)` the index is
+/// `L^T_m`, the template-restricted subset of the paper's notation.
+#[derive(Debug, Clone)]
+pub struct InvertedIndex {
+    /// The structural identity: per-position `(attr, level)` bindings, the
+    /// symbol-equality classes, and substring/subsequence kind.
+    pub sig: TemplateSignature,
+    /// The non-empty inverted lists.
+    pub lists: HashMap<Vec<LevelValue>, crate::sidset::SidSet>,
+    /// Encoding used for new lists.
+    pub backend: SetBackend,
+}
+
+impl InvertedIndex {
+    /// An empty index with the given identity.
+    pub fn new(sig: TemplateSignature, backend: SetBackend) -> Self {
+        InvertedIndex {
+            sig,
+            lists: HashMap::new(),
+            backend,
+        }
+    }
+
+    /// Pattern length `m`.
+    pub fn m(&self) -> usize {
+        self.sig.m()
+    }
+
+    /// Number of non-empty lists.
+    pub fn list_count(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Total number of sid entries across lists.
+    pub fn entry_count(&self) -> usize {
+        self.lists.values().map(|s| s.len()).sum()
+    }
+
+    /// Approximate heap bytes — the "Size of II" column of Table 1.
+    pub fn heap_bytes(&self) -> usize {
+        self.lists
+            .iter()
+            .map(|(k, v)| k.len() * 8 + v.heap_bytes() + 48)
+            .sum()
+    }
+
+    /// The list for a concrete pattern, if non-empty.
+    pub fn list(&self, pattern: &[LevelValue]) -> Option<&crate::sidset::SidSet> {
+        self.lists.get(pattern)
+    }
+
+    /// Adds `sid` to the list of `pattern` (creating it), preserving sid
+    /// order — BUILDINDEX line 5.
+    pub fn add(&mut self, pattern: &[LevelValue], sid: solap_eventdb::Sid) {
+        self.lists
+            .entry(pattern.to_vec())
+            .or_insert_with(|| self.backend.empty())
+            .push(sid);
+    }
+
+    /// Iterates `(pattern, list)` pairs in deterministic (sorted-key) order.
+    pub fn iter_sorted(&self) -> Vec<(&Vec<LevelValue>, &crate::sidset::SidSet)> {
+        let mut v: Vec<_> = self.lists.iter().collect();
+        v.sort_by(|a, b| a.0.cmp(b.0));
+        v
+    }
+}
+
+/// BUILDINDEX (Figure 9): scans the sequences of one group and records, for
+/// each sequence, every unique pattern instantiation it contains.
+///
+/// The matching predicate and cell restriction are deliberately **not**
+/// consulted — indices are predicate-free so one index serves every query
+/// with the same structural signature; predicates are verified at counting
+/// time (Figure 11 lines 13–15).
+///
+/// Returns the index together with the number of sequences scanned (the
+/// statistic reported by Table 1 and Figure 16).
+pub fn build_index<'a>(
+    db: &EventDb,
+    sequences: impl IntoIterator<Item = &'a Sequence>,
+    template: &PatternTemplate,
+    backend: SetBackend,
+) -> Result<(InvertedIndex, u64)> {
+    let trivial = MatchPred::True;
+    let matcher = Matcher::new(db, template, &trivial);
+    let mut index = InvertedIndex::new(template.signature(), backend);
+    let mut scanned = 0u64;
+    for seq in sequences {
+        scanned += 1;
+        matcher.for_each_unique_pattern(seq, |pattern| {
+            index.add(pattern, seq.sid);
+        })?;
+    }
+    Ok((index, scanned))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solap_eventdb::{ColumnType, EventDbBuilder, Value};
+    use solap_pattern::PatternKind;
+
+    /// The Figure 8 sequence group.
+    pub(crate) fn fig8() -> (EventDb, Vec<Sequence>) {
+        let mut db = EventDbBuilder::new()
+            .dimension("location", ColumnType::Str)
+            .dimension("action", ColumnType::Str)
+            .build()
+            .unwrap();
+        let seq_defs: [&[&str]; 4] = [
+            &[
+                "Glenmont", "Pentagon", "Pentagon", "Wheaton", "Wheaton", "Pentagon",
+            ],
+            &["Pentagon", "Wheaton", "Wheaton", "Pentagon"],
+            &["Clarendon", "Pentagon"],
+            &["Wheaton", "Clarendon", "Deanwood", "Wheaton"],
+        ];
+        let mut seqs = Vec::new();
+        let mut row = 0u32;
+        for (sid, stations) in seq_defs.iter().enumerate() {
+            let mut rows = Vec::new();
+            for (i, st) in stations.iter().enumerate() {
+                let action = if i % 2 == 0 { "in" } else { "out" };
+                db.push_row(&[Value::from(*st), Value::from(action)])
+                    .unwrap();
+                rows.push(row);
+                row += 1;
+            }
+            seqs.push(Sequence {
+                sid: sid as u32,
+                cluster_key: vec![],
+                rows,
+            });
+        }
+        (db, seqs)
+    }
+
+    pub(crate) fn template(db: &EventDb, kind: PatternKind, syms: &[&str]) -> PatternTemplate {
+        let _ = db;
+        let mut bindings: Vec<(&str, u32, usize)> = Vec::new();
+        for &s in syms {
+            if !bindings.iter().any(|(n, _, _)| *n == s) {
+                bindings.push((s, 0, 0));
+            }
+        }
+        PatternTemplate::new(kind, syms, &bindings).unwrap()
+    }
+
+    fn station(db: &EventDb, name: &str) -> u64 {
+        db.dict(0).unwrap().lookup(name).unwrap() as u64
+    }
+
+    #[test]
+    fn l1_matches_figure_10() {
+        let (db, seqs) = fig8();
+        let t = template(&db, PatternKind::Substring, &["X"]);
+        let (l1, scanned) = build_index(&db, &seqs, &t, SetBackend::List).unwrap();
+        assert_eq!(scanned, 4);
+        let expect = [
+            ("Clarendon", vec![2, 3]),
+            ("Deanwood", vec![3]),
+            ("Glenmont", vec![0]),
+            ("Pentagon", vec![0, 1, 2]),
+            ("Wheaton", vec![0, 1, 3]),
+        ];
+        assert_eq!(l1.list_count(), expect.len());
+        for (name, sids) in expect {
+            assert_eq!(
+                l1.list(&[station(&db, name)]).unwrap().to_vec(),
+                sids,
+                "L1[{name}]"
+            );
+        }
+    }
+
+    #[test]
+    fn l2_matches_figure_10() {
+        let (db, seqs) = fig8();
+        let t = template(&db, PatternKind::Substring, &["X", "Y"]);
+        let (l2, _) = build_index(&db, &seqs, &t, SetBackend::List).unwrap();
+        let expect = [
+            (("Clarendon", "Deanwood"), vec![3]),
+            (("Clarendon", "Pentagon"), vec![2]),
+            (("Deanwood", "Wheaton"), vec![3]),
+            (("Glenmont", "Pentagon"), vec![0]),
+            (("Pentagon", "Pentagon"), vec![0]),
+            (("Pentagon", "Wheaton"), vec![0, 1]),
+            (("Wheaton", "Clarendon"), vec![3]),
+            (("Wheaton", "Pentagon"), vec![0, 1]),
+            (("Wheaton", "Wheaton"), vec![0, 1]),
+        ];
+        assert_eq!(
+            l2.list_count(),
+            expect.len(),
+            "Figure 10 has 9 non-empty L2 lists"
+        );
+        for ((x, y), sids) in expect {
+            assert_eq!(
+                l2.list(&[station(&db, x), station(&db, y)])
+                    .unwrap()
+                    .to_vec(),
+                sids,
+                "L2[{x},{y}]"
+            );
+        }
+        assert_eq!(l2.entry_count(), 12);
+        assert!(l2.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn repeated_symbol_template_restricts_lists() {
+        let (db, seqs) = fig8();
+        let t = template(&db, PatternKind::Substring, &["X", "X"]);
+        let (lxx, _) = build_index(&db, &seqs, &t, SetBackend::List).unwrap();
+        // Footnote 7: L2^(X,X) = {l5, l9} = (Pentagon,Pentagon), (Wheaton,Wheaton).
+        assert_eq!(lxx.list_count(), 2);
+        assert!(lxx
+            .list(&[station(&db, "Pentagon"), station(&db, "Pentagon")])
+            .is_some());
+        assert!(lxx
+            .list(&[station(&db, "Wheaton"), station(&db, "Wheaton")])
+            .is_some());
+    }
+
+    #[test]
+    fn bitmap_backend_builds_identical_sets() {
+        let (db, seqs) = fig8();
+        let t = template(&db, PatternKind::Substring, &["X", "Y"]);
+        let (ll, _) = build_index(&db, &seqs, &t, SetBackend::List).unwrap();
+        let (lb, _) = build_index(&db, &seqs, &t, SetBackend::Bitmap).unwrap();
+        assert_eq!(ll.list_count(), lb.list_count());
+        for (k, v) in &ll.lists {
+            assert_eq!(lb.lists[k].to_vec(), v.to_vec(), "pattern {k:?}");
+        }
+    }
+
+    #[test]
+    fn subsequence_index_includes_gapped_patterns() {
+        let (db, seqs) = fig8();
+        let t = template(&db, PatternKind::Subsequence, &["X", "Y"]);
+        let (l2, _) = build_index(&db, &seqs, &t, SetBackend::List).unwrap();
+        // s0 contains (Glenmont, Wheaton) only as a gapped subsequence.
+        let l = l2
+            .list(&[station(&db, "Glenmont"), station(&db, "Wheaton")])
+            .expect("gapped pattern must be indexed");
+        assert_eq!(l.to_vec(), vec![0]);
+    }
+
+    #[test]
+    fn iter_sorted_is_deterministic() {
+        let (db, seqs) = fig8();
+        let t = template(&db, PatternKind::Substring, &["X", "Y"]);
+        let (l2, _) = build_index(&db, &seqs, &t, SetBackend::List).unwrap();
+        let a: Vec<Vec<u64>> = l2.iter_sorted().iter().map(|(k, _)| (*k).clone()).collect();
+        let mut b = a.clone();
+        b.sort();
+        assert_eq!(a, b);
+    }
+}

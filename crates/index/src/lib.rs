@@ -1,0 +1,31 @@
+//! # solap-index
+//!
+//! Inverted indices over sequence groups — the auxiliary data structure of
+//! the paper's second S-cuboid construction approach (§4.2.2).
+//!
+//! A size-`m` inverted index `L_m` maps each length-`m` pattern (a string of
+//! pattern-dimension values) to the list of sids of the sequences containing
+//! it. This crate provides:
+//!
+//! * [`sidset::SidSet`] — sid collections in two encodings: sorted lists
+//!   (the paper's inverted lists) and bitmaps (the §6 "bitmap index"
+//!   optimisation, where intersection becomes bitwise AND);
+//! * [`inverted::InvertedIndex`] and [`inverted::build_index`] — the
+//!   BUILDINDEX algorithm of Figure 9;
+//! * [`join`] — the index-join algebra of Figure 15
+//!   (`L_{i+1} = L_i ⋈ L_2`), plus the list-union merge that answers
+//!   P-ROLL-UP without touching the data (§4.2.2 item 4);
+//! * [`store::IndexStore`] — the cache of precomputed and query-by-product
+//!   indices, keyed by sequence-group fingerprint and template signature.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod inverted;
+pub mod join;
+pub mod sidset;
+pub mod store;
+
+pub use inverted::{build_index, InvertedIndex, SetBackend};
+pub use sidset::{Bitmap, SidSet};
+pub use store::{IndexKey, IndexStore};

@@ -1,0 +1,355 @@
+//! Sid collections: sorted lists and bitmaps.
+//!
+//! The paper's inverted lists are sid lists; §6 suggests that "if the domain
+//! of a pattern dimension is small, we can encode … the inverted indices as
+//! bitmap indices. Consequently, the intersection operation … can be
+//! performed much faster using the bitwise-AND operation." Both encodings
+//! are implemented here behind [`SidSet`], so the engines and the ablation
+//! benchmarks can switch backend per index.
+
+use solap_eventdb::Sid;
+
+/// A fixed-universe bitmap of sids (64-bit blocks).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// An empty bitmap.
+    pub fn new() -> Self {
+        Bitmap::default()
+    }
+
+    /// Sets a bit. Bits may be set in any order.
+    pub fn insert(&mut self, sid: Sid) {
+        let w = (sid / 64) as usize;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let mask = 1u64 << (sid % 64);
+        if self.words[w] & mask == 0 {
+            self.words[w] |= mask;
+            self.len += 1;
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, sid: Sid) -> bool {
+        self.words
+            .get((sid / 64) as usize)
+            .is_some_and(|w| w & (1u64 << (sid % 64)) != 0)
+    }
+
+    /// Number of set bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no bits are set.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bitwise-AND intersection.
+    pub fn intersect(&self, other: &Bitmap) -> Bitmap {
+        let n = self.words.len().min(other.words.len());
+        let mut words = Vec::with_capacity(n);
+        let mut len = 0;
+        for i in 0..n {
+            let w = self.words[i] & other.words[i];
+            len += w.count_ones() as usize;
+            words.push(w);
+        }
+        Bitmap { words, len }
+    }
+
+    /// Bitwise-OR union.
+    pub fn union(&self, other: &Bitmap) -> Bitmap {
+        let n = self.words.len().max(other.words.len());
+        let mut words = vec![0u64; n];
+        let mut len = 0;
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = self.words.get(i).copied().unwrap_or(0) | other.words.get(i).copied().unwrap_or(0);
+            len += w.count_ones() as usize;
+        }
+        Bitmap { words, len }
+    }
+
+    /// Iterates set bits in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = Sid> + '_ {
+        self.words.iter().enumerate().flat_map(|(i, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros();
+                    w &= w - 1;
+                    Some((i as u32) * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Heap bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+impl FromIterator<Sid> for Bitmap {
+    fn from_iter<T: IntoIterator<Item = Sid>>(iter: T) -> Self {
+        let mut b = Bitmap::new();
+        for s in iter {
+            b.insert(s);
+        }
+        b
+    }
+}
+
+/// A set of sids in one of two encodings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SidSet {
+    /// A strictly increasing sorted list (the paper's inverted list).
+    List(Vec<Sid>),
+    /// A bitmap (§6 optimisation).
+    Bitmap(Bitmap),
+}
+
+impl SidSet {
+    /// An empty set in the list encoding.
+    pub fn empty_list() -> Self {
+        SidSet::List(Vec::new())
+    }
+
+    /// An empty set in the bitmap encoding.
+    pub fn empty_bitmap() -> Self {
+        SidSet::Bitmap(Bitmap::new())
+    }
+
+    /// Builds from a sorted, deduplicated vec.
+    pub fn from_sorted(v: Vec<Sid>) -> Self {
+        debug_assert!(v.windows(2).all(|w| w[0] < w[1]), "sids must be sorted");
+        SidSet::List(v)
+    }
+
+    /// Appends a sid; list encoding requires nondecreasing insertion order
+    /// (BUILDINDEX scans sequences in sid order, so this holds naturally).
+    pub fn push(&mut self, sid: Sid) {
+        match self {
+            SidSet::List(v) => {
+                if v.last() != Some(&sid) {
+                    debug_assert!(v.last().is_none_or(|&l| l < sid));
+                    v.push(sid);
+                }
+            }
+            SidSet::Bitmap(b) => b.insert(sid),
+        }
+    }
+
+    /// Cardinality.
+    pub fn len(&self) -> usize {
+        match self {
+            SidSet::List(v) => v.len(),
+            SidSet::Bitmap(b) => b.len(),
+        }
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Membership test.
+    pub fn contains(&self, sid: Sid) -> bool {
+        match self {
+            SidSet::List(v) => v.binary_search(&sid).is_ok(),
+            SidSet::Bitmap(b) => b.contains(sid),
+        }
+    }
+
+    /// Iterates sids in increasing order.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = Sid> + '_> {
+        match self {
+            SidSet::List(v) => Box::new(v.iter().copied()),
+            SidSet::Bitmap(b) => Box::new(b.iter()),
+        }
+    }
+
+    /// Collects into a sorted vec.
+    pub fn to_vec(&self) -> Vec<Sid> {
+        self.iter().collect()
+    }
+
+    /// Intersection; the result keeps `self`'s encoding. Mixed encodings
+    /// are supported (the bitmap side is probed per element).
+    pub fn intersect(&self, other: &SidSet) -> SidSet {
+        match (self, other) {
+            (SidSet::List(a), SidSet::List(b)) => {
+                let mut out = Vec::new();
+                let (mut i, mut j) = (0, 0);
+                while i < a.len() && j < b.len() {
+                    match a[i].cmp(&b[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            out.push(a[i]);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                SidSet::List(out)
+            }
+            (SidSet::Bitmap(a), SidSet::Bitmap(b)) => SidSet::Bitmap(a.intersect(b)),
+            (SidSet::List(a), SidSet::Bitmap(b)) => {
+                SidSet::List(a.iter().copied().filter(|&s| b.contains(s)).collect())
+            }
+            (SidSet::Bitmap(a), SidSet::List(b)) => {
+                SidSet::Bitmap(b.iter().copied().filter(|&s| a.contains(s)).collect())
+            }
+        }
+    }
+
+    /// Union; the result keeps `self`'s encoding.
+    pub fn union(&self, other: &SidSet) -> SidSet {
+        match (self, other) {
+            (SidSet::List(a), SidSet::List(b)) => {
+                let mut out = Vec::with_capacity(a.len() + b.len());
+                let (mut i, mut j) = (0, 0);
+                while i < a.len() && j < b.len() {
+                    match a[i].cmp(&b[j]) {
+                        std::cmp::Ordering::Less => {
+                            out.push(a[i]);
+                            i += 1;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            out.push(b[j]);
+                            j += 1;
+                        }
+                        std::cmp::Ordering::Equal => {
+                            out.push(a[i]);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                out.extend_from_slice(&a[i..]);
+                out.extend_from_slice(&b[j..]);
+                SidSet::List(out)
+            }
+            (SidSet::Bitmap(a), SidSet::Bitmap(b)) => SidSet::Bitmap(a.union(b)),
+            (SidSet::List(_), SidSet::Bitmap(b)) => {
+                let mut merged: Bitmap = self.iter().collect();
+                for s in b.iter() {
+                    merged.insert(s);
+                }
+                SidSet::List(merged.iter().collect())
+            }
+            (SidSet::Bitmap(a), SidSet::List(b)) => {
+                let mut out = a.clone();
+                for &s in b {
+                    out.insert(s);
+                }
+                SidSet::Bitmap(out)
+            }
+        }
+    }
+
+    /// Heap bytes (for index size accounting, Table 1's "Size of II").
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            SidSet::List(v) => v.len() * 4,
+            SidSet::Bitmap(b) => b.heap_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list(v: &[Sid]) -> SidSet {
+        SidSet::from_sorted(v.to_vec())
+    }
+
+    fn bitmap(v: &[Sid]) -> SidSet {
+        SidSet::Bitmap(v.iter().copied().collect())
+    }
+
+    #[test]
+    fn bitmap_basics() {
+        let mut b = Bitmap::new();
+        for s in [5, 64, 1, 200, 64] {
+            b.insert(s);
+        }
+        assert_eq!(b.len(), 4);
+        assert!(b.contains(64));
+        assert!(!b.contains(63));
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![1, 5, 64, 200]);
+        assert!(b.heap_bytes() >= 4 * 8);
+    }
+
+    #[test]
+    fn list_intersection() {
+        let a = list(&[1, 3, 5, 7, 200]);
+        let b = list(&[3, 4, 5, 200, 300]);
+        assert_eq!(a.intersect(&b).to_vec(), vec![3, 5, 200]);
+        assert_eq!(b.intersect(&a).to_vec(), vec![3, 5, 200]);
+        assert!(a.intersect(&SidSet::empty_list()).is_empty());
+    }
+
+    #[test]
+    fn list_union() {
+        let a = list(&[1, 5]);
+        let b = list(&[2, 5, 9]);
+        assert_eq!(a.union(&b).to_vec(), vec![1, 2, 5, 9]);
+    }
+
+    #[test]
+    fn bitmap_set_algebra_matches_lists() {
+        let xs = [1u32, 3, 64, 65, 128, 500];
+        let ys = [3u32, 64, 400, 500];
+        let (la, lb) = (list(&xs), list(&ys));
+        let (ba, bb) = (bitmap(&xs), bitmap(&ys));
+        assert_eq!(la.intersect(&lb).to_vec(), ba.intersect(&bb).to_vec());
+        assert_eq!(la.union(&lb).to_vec(), ba.union(&bb).to_vec());
+    }
+
+    #[test]
+    fn mixed_encodings() {
+        let a = list(&[1, 2, 3, 100]);
+        let b = bitmap(&[2, 100, 101]);
+        assert_eq!(a.intersect(&b).to_vec(), vec![2, 100]);
+        assert_eq!(b.intersect(&a).to_vec(), vec![2, 100]);
+        assert_eq!(a.union(&b).to_vec(), vec![1, 2, 3, 100, 101]);
+        assert_eq!(b.union(&a).to_vec(), vec![1, 2, 3, 100, 101]);
+    }
+
+    #[test]
+    fn push_dedupes_in_order() {
+        let mut s = SidSet::empty_list();
+        for sid in [1, 1, 2, 2, 2, 9] {
+            s.push(sid);
+        }
+        assert_eq!(s.to_vec(), vec![1, 2, 9]);
+        let mut b = SidSet::empty_bitmap();
+        for sid in [9, 1, 1] {
+            b.push(sid);
+        }
+        assert_eq!(b.to_vec(), vec![1, 9]);
+    }
+
+    #[test]
+    fn contains_and_len() {
+        let s = list(&[2, 4, 6]);
+        assert!(s.contains(4));
+        assert!(!s.contains(5));
+        assert_eq!(s.len(), 3);
+        let b = bitmap(&[2, 4, 6]);
+        assert!(b.contains(6));
+        assert_eq!(b.len(), 3);
+    }
+}

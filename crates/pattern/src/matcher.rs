@@ -1,0 +1,744 @@
+//! Occurrence enumeration and cell assignment.
+//!
+//! Given a data sequence and a pattern template, the matcher enumerates
+//! *occurrences* — position lists whose level values instantiate the
+//! template and whose events satisfy the matching predicate — and converts
+//! them to *cell assignments* under a [`CellRestriction`]:
+//!
+//! * left-maximality-matched-go: the leftmost satisfying occurrence per
+//!   cell (each sequence contributes at most once per cell — this is what
+//!   makes Figure 12 of the paper count `(Pentagon, Wheaton) = 2`);
+//! * all-matched-go: every satisfying occurrence;
+//! * left-maximality-data-go: leftmost per cell, but the whole sequence is
+//!   the assigned content.
+
+use std::collections::HashMap;
+
+use solap_eventdb::{EventDb, LevelValue, Result, RowId, Sequence};
+
+use crate::mpred::MatchPred;
+use crate::template::{CellRestriction, PatternTemplate};
+
+/// One occurrence of a template in a sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Occurrence {
+    /// Indices into the sequence's event list, strictly increasing;
+    /// contiguous for substring templates.
+    pub positions: Vec<u32>,
+    /// The cell key: one value per pattern dimension.
+    pub cell: Vec<LevelValue>,
+}
+
+/// What a cell receives when a sequence is assigned to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AssignedContent {
+    /// The matched events (their indices into the sequence).
+    Matched(Vec<u32>),
+    /// The whole data sequence (the *data-go* restrictions).
+    WholeSequence,
+}
+
+/// A (cell, content) assignment produced for one sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    /// The cell key (pattern-dimension values).
+    pub cell: Vec<LevelValue>,
+    /// The content assigned.
+    pub content: AssignedContent,
+}
+
+/// A matcher binds a database, a template and a matching predicate, and
+/// amortises per-sequence level-value extraction across its methods.
+pub struct Matcher<'a> {
+    db: &'a EventDb,
+    template: &'a PatternTemplate,
+    mpred: &'a MatchPred,
+    /// Distinct `(attr, level)` pairs used by the template's dimensions and
+    /// the index of each dimension's pair within the distinct list.
+    lanes: Vec<(u32, usize)>,
+    dim_lane: Vec<usize>,
+}
+
+/// Per-sequence extracted values: one lane per distinct `(attr, level)`.
+struct SeqView {
+    lanes: Vec<Vec<LevelValue>>,
+    len: usize,
+}
+
+impl SeqView {
+    #[inline]
+    fn value(&self, lane: usize, idx: usize) -> LevelValue {
+        self.lanes[lane][idx]
+    }
+}
+
+impl<'a> Matcher<'a> {
+    /// Creates a matcher. `mpred` placeholder positions must fit the
+    /// template length.
+    pub fn new(db: &'a EventDb, template: &'a PatternTemplate, mpred: &'a MatchPred) -> Self {
+        debug_assert!(
+            mpred.max_pos().is_none_or(|p| p < template.m()),
+            "matching predicate references placeholder beyond template length"
+        );
+        let mut lanes: Vec<(u32, usize)> = Vec::new();
+        let mut dim_lane = Vec::with_capacity(template.n());
+        for d in &template.dims {
+            let key = (d.attr, d.level);
+            let lane = match lanes.iter().position(|&l| l == key) {
+                Some(i) => i,
+                None => {
+                    lanes.push(key);
+                    lanes.len() - 1
+                }
+            };
+            dim_lane.push(lane);
+        }
+        Matcher {
+            db,
+            template,
+            mpred,
+            lanes,
+            dim_lane,
+        }
+    }
+
+    /// The template this matcher works with.
+    pub fn template(&self) -> &PatternTemplate {
+        self.template
+    }
+
+    fn view(&self, seq: &Sequence) -> Result<SeqView> {
+        let mut lanes = Vec::with_capacity(self.lanes.len());
+        for &(attr, level) in &self.lanes {
+            let mut v = Vec::with_capacity(seq.rows.len());
+            for &row in &seq.rows {
+                v.push(self.db.value_at_level(row, attr, level)?);
+            }
+            lanes.push(v);
+        }
+        Ok(SeqView {
+            lanes,
+            len: seq.rows.len(),
+        })
+    }
+
+    #[inline]
+    fn lane_of_pos(&self, pos: usize) -> usize {
+        self.dim_lane[self.template.symbols[pos]]
+    }
+
+    /// Enumerates satisfying occurrences leftmost-first, calling `f` for
+    /// each; `f` returns `false` to stop early.
+    pub fn for_each_occurrence(
+        &self,
+        seq: &Sequence,
+        mut f: impl FnMut(&Occurrence) -> bool,
+    ) -> Result<()> {
+        let view = self.view(seq)?;
+        self.for_each_occurrence_in_view(seq, &view, &mut f)
+    }
+
+    fn for_each_occurrence_in_view(
+        &self,
+        seq: &Sequence,
+        view: &SeqView,
+        f: &mut impl FnMut(&Occurrence) -> bool,
+    ) -> Result<()> {
+        let m = self.template.m();
+        if view.len < m {
+            return Ok(());
+        }
+        match self.template.kind {
+            crate::template::PatternKind::Substring => {
+                let mut rows: Vec<RowId> = vec![0; m];
+                'windows: for start in 0..=(view.len - m) {
+                    let mut cell: Vec<Option<LevelValue>> = vec![None; self.template.n()];
+                    for p in 0..m {
+                        let v = view.value(self.lane_of_pos(p), start + p);
+                        let d = self.template.symbols[p];
+                        match cell[d] {
+                            Some(prev) if prev != v => continue 'windows,
+                            Some(_) => {}
+                            None => cell[d] = Some(v),
+                        }
+                    }
+                    rows.copy_from_slice(&seq.rows[start..start + m]);
+                    if !self.mpred.eval(self.db, &rows)? {
+                        continue;
+                    }
+                    let occ = Occurrence {
+                        positions: (start as u32..(start + m) as u32).collect(),
+                        cell: cell.into_iter().map(|c| c.expect("filled")).collect(),
+                    };
+                    if !f(&occ) {
+                        return Ok(());
+                    }
+                }
+                Ok(())
+            }
+            crate::template::PatternKind::Subsequence => {
+                let mut positions: Vec<u32> = Vec::with_capacity(m);
+                let mut rows: Vec<RowId> = vec![0; m];
+                let mut cell: Vec<Option<LevelValue>> = vec![None; self.template.n()];
+                let mut stop = false;
+                self.dfs(
+                    seq,
+                    view,
+                    0,
+                    0,
+                    &mut positions,
+                    &mut rows,
+                    &mut cell,
+                    f,
+                    &mut stop,
+                )?;
+                Ok(())
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        &self,
+        seq: &Sequence,
+        view: &SeqView,
+        p: usize,
+        from: usize,
+        positions: &mut Vec<u32>,
+        rows: &mut Vec<RowId>,
+        cell: &mut Vec<Option<LevelValue>>,
+        f: &mut impl FnMut(&Occurrence) -> bool,
+        stop: &mut bool,
+    ) -> Result<()> {
+        let m = self.template.m();
+        if p == m {
+            let occ = Occurrence {
+                positions: positions.clone(),
+                cell: cell.iter().map(|c| c.expect("filled")).collect(),
+            };
+            if !f(&occ) {
+                *stop = true;
+            }
+            return Ok(());
+        }
+        // Not enough events left to complete the pattern.
+        if view.len < m - p || from > view.len - (m - p) {
+            return Ok(());
+        }
+        let d = self.template.symbols[p];
+        let lane = self.dim_lane[d];
+        for i in from..=(view.len - (m - p)) {
+            let v = view.value(lane, i);
+            let had = cell[d];
+            if let Some(prev) = had {
+                if prev != v {
+                    continue;
+                }
+            }
+            cell[d] = Some(v);
+            positions.push(i as u32);
+            rows[p] = seq.rows[i];
+            // Prune with the conjuncts already determined.
+            if self.mpred.eval_prefix(self.db, rows, p + 1)? {
+                self.dfs(seq, view, p + 1, i + 1, positions, rows, cell, f, stop)?;
+            }
+            positions.pop();
+            cell[d] = had;
+            if *stop {
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+
+    /// Produces this sequence's cell assignments under `restriction`,
+    /// leftmost-first, deterministic.
+    pub fn assignments(
+        &self,
+        seq: &Sequence,
+        restriction: CellRestriction,
+    ) -> Result<Vec<Assignment>> {
+        let mut out: Vec<Assignment> = Vec::new();
+        let mut seen: HashMap<Vec<LevelValue>, ()> = HashMap::new();
+        self.for_each_occurrence(seq, |occ| {
+            match restriction {
+                CellRestriction::AllMatchedGo => out.push(Assignment {
+                    cell: occ.cell.clone(),
+                    content: AssignedContent::Matched(occ.positions.clone()),
+                }),
+                CellRestriction::LeftMaximalityMatchedGo => {
+                    if seen.insert(occ.cell.clone(), ()).is_none() {
+                        out.push(Assignment {
+                            cell: occ.cell.clone(),
+                            content: AssignedContent::Matched(occ.positions.clone()),
+                        });
+                    }
+                }
+                CellRestriction::LeftMaximalityDataGo => {
+                    if seen.insert(occ.cell.clone(), ()).is_none() {
+                        out.push(Assignment {
+                            cell: occ.cell.clone(),
+                            content: AssignedContent::WholeSequence,
+                        });
+                    }
+                }
+            }
+            true
+        })?;
+        Ok(out)
+    }
+
+    /// Finds the leftmost satisfying occurrence whose cell equals `cell`.
+    pub fn first_occurrence_of_cell(
+        &self,
+        seq: &Sequence,
+        cell: &[LevelValue],
+    ) -> Result<Option<Occurrence>> {
+        let mut found = None;
+        self.for_each_occurrence(seq, |occ| {
+            if occ.cell == cell {
+                found = Some(occ.clone());
+                false
+            } else {
+                true
+            }
+        })?;
+        Ok(found)
+    }
+
+    /// Counts satisfying occurrences whose cell equals `cell`.
+    pub fn count_occurrences_of_cell(&self, seq: &Sequence, cell: &[LevelValue]) -> Result<u64> {
+        let mut count = 0;
+        self.for_each_occurrence(seq, |occ| {
+            if occ.cell == cell {
+                count += 1;
+            }
+            true
+        })?;
+        Ok(count)
+    }
+
+    /// Whether `seq` contains the concrete length-`m` value string `values`
+    /// (an instantiation of the template), **ignoring the matching
+    /// predicate**. This is the containment test the inverted-index
+    /// verification scans use (Figure 15 line 9).
+    pub fn contains_pattern(&self, seq: &Sequence, values: &[LevelValue]) -> Result<bool> {
+        debug_assert_eq!(values.len(), self.template.m());
+        let view = self.view(seq)?;
+        let m = values.len();
+        if view.len < m {
+            return Ok(false);
+        }
+        match self.template.kind {
+            crate::template::PatternKind::Substring => {
+                'w: for start in 0..=(view.len - m) {
+                    for (p, &v) in values.iter().enumerate() {
+                        if view.value(self.lane_of_pos(p), start + p) != v {
+                            continue 'w;
+                        }
+                    }
+                    return Ok(true);
+                }
+                Ok(false)
+            }
+            crate::template::PatternKind::Subsequence => {
+                // Fixed values: greedy leftmost matching decides existence.
+                let mut p = 0;
+                for i in 0..view.len {
+                    if view.value(self.lane_of_pos(p), i) == values[p] {
+                        p += 1;
+                        if p == m {
+                            return Ok(true);
+                        }
+                    }
+                }
+                Ok(false)
+            }
+        }
+    }
+
+    /// Enumerates, ignoring the matching predicate, every **unique**
+    /// length-`m` value string of `seq` that instantiates the template
+    /// (Figure 9 line 4 of BUILDINDEX). `f` receives each unique string
+    /// once, in first-occurrence order.
+    pub fn for_each_unique_pattern(
+        &self,
+        seq: &Sequence,
+        mut f: impl FnMut(&[LevelValue]),
+    ) -> Result<()> {
+        let view = self.view(seq)?;
+        let m = self.template.m();
+        if view.len < m {
+            return Ok(());
+        }
+        let mut seen: HashMap<Vec<LevelValue>, ()> = HashMap::new();
+        match self.template.kind {
+            crate::template::PatternKind::Substring => {
+                let mut buf: Vec<LevelValue> = vec![0; m];
+                'w: for start in 0..=(view.len - m) {
+                    let mut cell: Vec<Option<LevelValue>> = vec![None; self.template.n()];
+                    for p in 0..m {
+                        let v = view.value(self.lane_of_pos(p), start + p);
+                        let d = self.template.symbols[p];
+                        match cell[d] {
+                            Some(prev) if prev != v => continue 'w,
+                            Some(_) => {}
+                            None => cell[d] = Some(v),
+                        }
+                        *buf.get_mut(p).expect("buf sized m") = v;
+                    }
+                    if seen.insert(buf.clone(), ()).is_none() {
+                        f(&buf);
+                    }
+                }
+            }
+            crate::template::PatternKind::Subsequence => {
+                // Enumerate via the predicate-free DFS; dedupe value strings.
+                let trivial = MatchPred::True;
+                let free = Matcher::new(self.db, self.template, &trivial);
+                free.for_each_occurrence_in_view(seq, &view, &mut |occ| {
+                    let values = self.template.expand_cell(&occ.cell);
+                    if seen.insert(values.clone(), ()).is_none() {
+                        f(&values);
+                    }
+                    true
+                })?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::PatternKind;
+    use solap_eventdb::{CmpOp, ColumnType, EventDbBuilder, Value};
+
+    /// Builds a db holding one station-sequence per test sequence; action
+    /// alternates in/out by position (as in Figure 8's note).
+    fn db_and_seqs(seqs: &[&[&str]]) -> (EventDb, Vec<Sequence>) {
+        let mut db = EventDbBuilder::new()
+            .dimension("location", ColumnType::Str)
+            .dimension("action", ColumnType::Str)
+            .build()
+            .unwrap();
+        let mut out = Vec::new();
+        let mut row = 0u32;
+        for (sid, stations) in seqs.iter().enumerate() {
+            let mut rows = Vec::new();
+            for (i, st) in stations.iter().enumerate() {
+                let action = if i % 2 == 0 { "in" } else { "out" };
+                db.push_row(&[Value::from(*st), Value::from(action)])
+                    .unwrap();
+                rows.push(row);
+                row += 1;
+            }
+            out.push(Sequence {
+                sid: sid as u32,
+                cluster_key: vec![],
+                rows,
+            });
+        }
+        (db, out)
+    }
+
+    fn template(kind: PatternKind, syms: &[&str]) -> PatternTemplate {
+        let mut bindings: Vec<(&str, u32, usize)> = Vec::new();
+        for &s in syms {
+            if !bindings.iter().any(|(n, _, _)| *n == s) {
+                bindings.push((s, 0, 0));
+            }
+        }
+        PatternTemplate::new(kind, syms, &bindings).unwrap()
+    }
+
+    /// Figure 8's s1: ⟨Glenmont,Pentagon,Pentagon,Wheaton,Wheaton,Pentagon⟩.
+    const S1: &[&str] = &[
+        "Glenmont", "Pentagon", "Pentagon", "Wheaton", "Wheaton", "Pentagon",
+    ];
+
+    #[test]
+    fn substring_xy_occurrences() {
+        let (db, seqs) = db_and_seqs(&[S1]);
+        let t = template(PatternKind::Substring, &["X", "Y"]);
+        let p = MatchPred::True;
+        let m = Matcher::new(&db, &t, &p);
+        let mut cells = Vec::new();
+        m.for_each_occurrence(&seqs[0], |o| {
+            cells.push(o.cell.clone());
+            true
+        })
+        .unwrap();
+        assert_eq!(cells.len(), 5); // all adjacent pairs
+    }
+
+    #[test]
+    fn fig12_counts_with_in_out_predicate() {
+        // Q3: SUBSTRING(X, Y) with x1.action = in, y1.action = out.
+        let (db, seqs) = db_and_seqs(&[
+            S1,
+            &["Pentagon", "Wheaton", "Wheaton", "Pentagon"],
+            &["Clarendon", "Pentagon"],
+            &["Wheaton", "Clarendon", "Deanwood", "Wheaton"],
+        ]);
+        let t = template(PatternKind::Substring, &["X", "Y"]);
+        let p = MatchPred::cmp(0, 1, CmpOp::Eq, "in").and(MatchPred::cmp(1, 1, CmpOp::Eq, "out"));
+        let m = Matcher::new(&db, &t, &p);
+        let mut counts: HashMap<(String, String), u64> = HashMap::new();
+        for s in &seqs {
+            for a in m
+                .assignments(s, CellRestriction::LeftMaximalityMatchedGo)
+                .unwrap()
+            {
+                let x = db.render_level(0, 0, a.cell[0]);
+                let y = db.render_level(0, 0, a.cell[1]);
+                *counts.entry((x, y)).or_default() += 1;
+            }
+        }
+        // Figure 12 exactly:
+        let expect = [
+            (("Clarendon", "Pentagon"), 1),
+            (("Deanwood", "Wheaton"), 1),
+            (("Glenmont", "Pentagon"), 1),
+            (("Pentagon", "Wheaton"), 2),
+            (("Wheaton", "Clarendon"), 1),
+            (("Wheaton", "Pentagon"), 2),
+        ];
+        assert_eq!(counts.len(), expect.len());
+        for ((x, y), c) in expect {
+            assert_eq!(counts[&(x.to_owned(), y.to_owned())], c, "({x},{y})");
+        }
+    }
+
+    #[test]
+    fn left_maximality_vs_all_matched() {
+        // ⟨a,a,b,a,a⟩ with pattern (A,A): windows (0,1) and (3,4) match.
+        let (db, seqs) = db_and_seqs(&[&["a", "a", "b", "a", "a"]]);
+        let t = template(PatternKind::Substring, &["A", "A"]);
+        let p = MatchPred::True;
+        let m = Matcher::new(&db, &t, &p);
+        let lm = m
+            .assignments(&seqs[0], CellRestriction::LeftMaximalityMatchedGo)
+            .unwrap();
+        assert_eq!(lm.len(), 1);
+        assert_eq!(lm[0].content, AssignedContent::Matched(vec![0, 1]));
+        let all = m
+            .assignments(&seqs[0], CellRestriction::AllMatchedGo)
+            .unwrap();
+        assert_eq!(all.len(), 2);
+        let dg = m
+            .assignments(&seqs[0], CellRestriction::LeftMaximalityDataGo)
+            .unwrap();
+        assert_eq!(dg.len(), 1);
+        assert_eq!(dg[0].content, AssignedContent::WholeSequence);
+    }
+
+    #[test]
+    fn repeated_symbols_require_equal_values() {
+        let (db, seqs) = db_and_seqs(&[S1]);
+        let t = template(PatternKind::Substring, &["X", "Y", "Y", "X"]);
+        let p = MatchPred::True;
+        let m = Matcher::new(&db, &t, &p);
+        let a = m
+            .assignments(&seqs[0], CellRestriction::LeftMaximalityMatchedGo)
+            .unwrap();
+        // Only (Pentagon, Wheaton, Wheaton, Pentagon) at positions 2..6.
+        assert_eq!(a.len(), 1);
+        assert_eq!(db.render_level(0, 0, a[0].cell[0]), "Pentagon".to_owned());
+        assert_eq!(a[0].content, AssignedContent::Matched(vec![2, 3, 4, 5]));
+    }
+
+    #[test]
+    fn subsequence_matches_with_gaps() {
+        let (db, seqs) = db_and_seqs(&[&["a", "x", "b", "x", "c"]]);
+        let t = template(PatternKind::Subsequence, &["P", "Q", "R"]);
+        let p = MatchPred::True;
+        let m = Matcher::new(&db, &t, &p);
+        let mut found = false;
+        m.for_each_occurrence(&seqs[0], |o| {
+            if o.positions == vec![0, 2, 4] {
+                found = true;
+            }
+            true
+        })
+        .unwrap();
+        assert!(found, "gapped occurrence (a,b,c) must be enumerated");
+        // Substring matcher must NOT find (a,b,c).
+        let ts = template(PatternKind::Substring, &["P", "Q", "R"]);
+        let ms = Matcher::new(&db, &ts, &p);
+        let mut any = Vec::new();
+        ms.for_each_occurrence(&seqs[0], |o| {
+            any.push(o.cell.clone());
+            true
+        })
+        .unwrap();
+        assert_eq!(any.len(), 3); // only the 3 contiguous windows
+    }
+
+    #[test]
+    fn subsequence_left_maximality_is_leftmost() {
+        // haabaai with pattern (a,a): paper §3.2(b) — the first "aa".
+        let (db, seqs) = db_and_seqs(&[&["a", "a", "b", "a", "a"]]);
+        let t = template(PatternKind::Subsequence, &["A", "A"]);
+        let p = MatchPred::True;
+        let m = Matcher::new(&db, &t, &p);
+        let lm = m
+            .assignments(&seqs[0], CellRestriction::LeftMaximalityMatchedGo)
+            .unwrap();
+        assert_eq!(lm.len(), 1);
+        assert_eq!(lm[0].content, AssignedContent::Matched(vec![0, 1]));
+        // all-matched-go: subsequence pairs of a's: positions C(4,2)=6.
+        let all = m
+            .assignments(&seqs[0], CellRestriction::AllMatchedGo)
+            .unwrap();
+        assert_eq!(all.len(), 6);
+    }
+
+    #[test]
+    fn substring_occurrences_subset_of_subsequence() {
+        let (db, seqs) = db_and_seqs(&[S1]);
+        let p = MatchPred::True;
+        let tsub = template(PatternKind::Substring, &["X", "Y"]);
+        let tseq = template(PatternKind::Subsequence, &["X", "Y"]);
+        let msub = Matcher::new(&db, &tsub, &p);
+        let mseq = Matcher::new(&db, &tseq, &p);
+        let mut sub_occ = Vec::new();
+        msub.for_each_occurrence(&seqs[0], |o| {
+            sub_occ.push(o.positions.clone());
+            true
+        })
+        .unwrap();
+        let mut seq_occ = Vec::new();
+        mseq.for_each_occurrence(&seqs[0], |o| {
+            seq_occ.push(o.positions.clone());
+            true
+        })
+        .unwrap();
+        for o in &sub_occ {
+            assert!(seq_occ.contains(o));
+        }
+        assert!(seq_occ.len() >= sub_occ.len());
+    }
+
+    #[test]
+    fn contains_pattern_concrete() {
+        let (db, seqs) = db_and_seqs(&[S1]);
+        let t = template(PatternKind::Substring, &["X", "Y"]);
+        let p = MatchPred::True;
+        let m = Matcher::new(&db, &t, &p);
+        let pent = db.dict(0).unwrap().lookup("Pentagon").unwrap() as u64;
+        let whea = db.dict(0).unwrap().lookup("Wheaton").unwrap() as u64;
+        let glen = db.dict(0).unwrap().lookup("Glenmont").unwrap() as u64;
+        assert!(m.contains_pattern(&seqs[0], &[pent, whea]).unwrap());
+        assert!(m.contains_pattern(&seqs[0], &[glen, pent]).unwrap());
+        assert!(!m.contains_pattern(&seqs[0], &[whea, glen]).unwrap());
+        // Subsequence containment with gaps.
+        let ts = template(PatternKind::Subsequence, &["X", "Y"]);
+        let ms = Matcher::new(&db, &ts, &p);
+        assert!(ms.contains_pattern(&seqs[0], &[glen, whea]).unwrap());
+    }
+
+    #[test]
+    fn first_and_count_of_cell() {
+        let (db, seqs) = db_and_seqs(&[S1]);
+        let t = template(PatternKind::Substring, &["X", "Y"]);
+        let p = MatchPred::True;
+        let m = Matcher::new(&db, &t, &p);
+        let pent = db.dict(0).unwrap().lookup("Pentagon").unwrap() as u64;
+        let whea = db.dict(0).unwrap().lookup("Wheaton").unwrap() as u64;
+        let first = m
+            .first_occurrence_of_cell(&seqs[0], &[pent, whea])
+            .unwrap()
+            .unwrap();
+        assert_eq!(first.positions, vec![2, 3]);
+        assert_eq!(
+            m.count_occurrences_of_cell(&seqs[0], &[pent, whea])
+                .unwrap(),
+            1
+        );
+        assert_eq!(
+            m.count_occurrences_of_cell(&seqs[0], &[pent, pent])
+                .unwrap(),
+            1
+        );
+        assert!(m
+            .first_occurrence_of_cell(&seqs[0], &[whea, whea])
+            .unwrap()
+            .is_some());
+    }
+
+    #[test]
+    fn unique_patterns_for_index_build() {
+        // Fig 10: L2 lists for s1 contain (Glenmont,Pentagon),
+        // (Pentagon,Pentagon), (Pentagon,Wheaton), (Wheaton,Wheaton),
+        // (Wheaton,Pentagon) — 5 unique pairs.
+        let (db, seqs) = db_and_seqs(&[S1]);
+        let t = template(PatternKind::Substring, &["X", "Y"]);
+        let p = MatchPred::True;
+        let m = Matcher::new(&db, &t, &p);
+        let mut uniq = Vec::new();
+        m.for_each_unique_pattern(&seqs[0], |v| uniq.push(v.to_vec()))
+            .unwrap();
+        assert_eq!(uniq.len(), 5);
+        // Repeated-symbol template restricts enumeration to instantiations.
+        let tx = template(PatternKind::Substring, &["X", "X"]);
+        let mx = Matcher::new(&db, &tx, &p);
+        let mut uniq2 = Vec::new();
+        mx.for_each_unique_pattern(&seqs[0], |v| uniq2.push(v.to_vec()))
+            .unwrap();
+        assert_eq!(uniq2.len(), 2); // (Pentagon,Pentagon) and (Wheaton,Wheaton)
+    }
+
+    #[test]
+    fn too_short_sequences_produce_nothing() {
+        let (db, seqs) = db_and_seqs(&[&["a"]]);
+        let t = template(PatternKind::Substring, &["X", "Y"]);
+        let p = MatchPred::True;
+        let m = Matcher::new(&db, &t, &p);
+        assert!(m
+            .assignments(&seqs[0], CellRestriction::AllMatchedGo)
+            .unwrap()
+            .is_empty());
+        assert!(!m.contains_pattern(&seqs[0], &[0, 0]).unwrap());
+        let ts = template(PatternKind::Subsequence, &["X", "Y"]);
+        let ms = Matcher::new(&db, &ts, &p);
+        assert!(ms
+            .assignments(&seqs[0], CellRestriction::AllMatchedGo)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn early_stop_is_respected() {
+        let (db, seqs) = db_and_seqs(&[S1]);
+        let t = template(PatternKind::Substring, &["X", "Y"]);
+        let p = MatchPred::True;
+        let m = Matcher::new(&db, &t, &p);
+        let mut n = 0;
+        m.for_each_occurrence(&seqs[0], |_| {
+            n += 1;
+            n < 2
+        })
+        .unwrap();
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn predicate_prunes_subsequence_dfs() {
+        // Predicate forces position 0 to be an "in" event (even index).
+        let (db, seqs) = db_and_seqs(&[S1]);
+        let t = template(PatternKind::Subsequence, &["X", "Y"]);
+        let p = MatchPred::cmp(0, 1, CmpOp::Eq, "in");
+        let m = Matcher::new(&db, &t, &p);
+        m.for_each_occurrence(&seqs[0], |o| {
+            assert!(
+                o.positions[0] % 2 == 0,
+                "pruned position leaked: {:?}",
+                o.positions
+            );
+            true
+        })
+        .unwrap();
+    }
+}

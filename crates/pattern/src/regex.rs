@@ -1,0 +1,670 @@
+//! Regular-expression pattern templates — the §3.2 extension the paper
+//! sketches: "the current S-cuboid specification only supports substring or
+//! subsequence pattern templates. It can be extended so that pattern
+//! templates of regular expressions can be supported."
+//!
+//! A [`RegexTemplate`] is a sequence of elements over pattern dimensions:
+//!
+//! * `One(X)` — exactly one event whose value instantiates `X`;
+//! * `Optional(X)` — zero or one such event;
+//! * `Plus(X)` — one or more consecutive such events (e.g. a passenger
+//!   re-entering the same station repeatedly);
+//! * `Star(X)` — zero or more;
+//! * `Gap` — any run of events, matched transparently (turning the
+//!   template from substring-like into subsequence-like where placed).
+//!
+//! As with plain templates, repeated occurrences of the same dimension must
+//! carry equal values; the cell key is one value per dimension. Substring
+//! and subsequence templates are special cases (`One` chains, and `One`
+//! chains interleaved with `Gap`s), which the tests use as equivalence
+//! oracles against [`crate::matcher::Matcher`].
+
+use std::collections::HashMap;
+
+use solap_eventdb::{EventDb, LevelValue, Result, Sequence};
+
+use crate::template::{CellRestriction, PatternDim};
+
+/// One element of a regex template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegexElem {
+    /// Exactly one event of the dimension (by index into
+    /// [`RegexTemplate::dims`]).
+    One(usize),
+    /// Zero or one event of the dimension.
+    Optional(usize),
+    /// One or more consecutive events of the dimension (all equal to the
+    /// cell's value).
+    Plus(usize),
+    /// Zero or more consecutive events of the dimension.
+    Star(usize),
+    /// Any (possibly empty) run of arbitrary events.
+    Gap,
+}
+
+impl RegexElem {
+    fn dim(&self) -> Option<usize> {
+        match self {
+            RegexElem::One(d)
+            | RegexElem::Optional(d)
+            | RegexElem::Plus(d)
+            | RegexElem::Star(d) => Some(*d),
+            RegexElem::Gap => None,
+        }
+    }
+}
+
+/// A regular-expression pattern template.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegexTemplate {
+    /// The pattern dimensions (each must be used by ≥ 1 element).
+    pub dims: Vec<PatternDim>,
+    /// The elements, left to right.
+    pub elems: Vec<RegexElem>,
+}
+
+impl RegexTemplate {
+    /// Builds a template, validating dimension references.
+    pub fn new(dims: Vec<PatternDim>, elems: Vec<RegexElem>) -> Result<Self> {
+        use solap_eventdb::Error;
+        if elems.is_empty() {
+            return Err(Error::InvalidOperation(
+                "regex template must have at least one element".into(),
+            ));
+        }
+        for (i, e) in elems.iter().enumerate() {
+            if let Some(d) = e.dim() {
+                if d >= dims.len() {
+                    return Err(Error::InvalidOperation(format!(
+                        "element #{i} references dimension #{d} but there are only {}",
+                        dims.len()
+                    )));
+                }
+            }
+        }
+        for (d, dim) in dims.iter().enumerate() {
+            if !elems.iter().any(|e| e.dim() == Some(d)) {
+                return Err(Error::InvalidOperation(format!(
+                    "dimension `{}` is not used by any element",
+                    dim.name
+                )));
+            }
+        }
+        // A template of only Gaps/Stars/Optionals would match everything
+        // vacuously with unbound dimensions; require one mandatory element.
+        if !elems
+            .iter()
+            .any(|e| matches!(e, RegexElem::One(_) | RegexElem::Plus(_)))
+        {
+            return Err(Error::InvalidOperation(
+                "regex template needs at least one mandatory (One/Plus) element".into(),
+            ));
+        }
+        Ok(RegexTemplate { dims, elems })
+    }
+
+    /// Number of pattern dimensions.
+    pub fn n(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Renders the template, e.g. `(X, Y+, .*, X?)`.
+    pub fn render(&self) -> String {
+        let parts: Vec<String> = self
+            .elems
+            .iter()
+            .map(|e| match e {
+                RegexElem::One(d) => self.dims[*d].name.clone(),
+                RegexElem::Optional(d) => format!("{}?", self.dims[*d].name),
+                RegexElem::Plus(d) => format!("{}+", self.dims[*d].name),
+                RegexElem::Star(d) => format!("{}*", self.dims[*d].name),
+                RegexElem::Gap => ".*".into(),
+            })
+            .collect();
+        format!("({})", parts.join(", "))
+    }
+}
+
+/// One occurrence of a regex template: the cell it instantiates and the
+/// sequence positions consumed by non-[`RegexElem::Gap`] elements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexOccurrence {
+    /// One value per pattern dimension.
+    pub cell: Vec<LevelValue>,
+    /// Positions (indices into the sequence) consumed by value elements.
+    pub positions: Vec<u32>,
+}
+
+/// Matches a [`RegexTemplate`] against sequences.
+pub struct RegexMatcher<'a> {
+    db: &'a EventDb,
+    template: &'a RegexTemplate,
+}
+
+impl<'a> RegexMatcher<'a> {
+    /// Creates a matcher.
+    pub fn new(db: &'a EventDb, template: &'a RegexTemplate) -> Self {
+        RegexMatcher { db, template }
+    }
+
+    fn values(&self, seq: &Sequence) -> Result<Vec<Vec<LevelValue>>> {
+        // One lane per dimension (dims may differ in attr/level).
+        let mut lanes = Vec::with_capacity(self.template.n());
+        for d in &self.template.dims {
+            let mut lane = Vec::with_capacity(seq.rows.len());
+            for &row in &seq.rows {
+                lane.push(self.db.value_at_level(row, d.attr, d.level)?);
+            }
+            lanes.push(lane);
+        }
+        Ok(lanes)
+    }
+
+    /// Enumerates occurrences leftmost-first (ordered by start position,
+    /// then lexicographic backtracking order); `f` returns `false` to stop.
+    pub fn for_each_occurrence(
+        &self,
+        seq: &Sequence,
+        mut f: impl FnMut(&RegexOccurrence) -> bool,
+    ) -> Result<()> {
+        let lanes = self.values(seq)?;
+        let len = seq.rows.len();
+        let mut bindings: Vec<Option<LevelValue>> = vec![None; self.template.n()];
+        let mut positions: Vec<u32> = Vec::new();
+        let mut stop = false;
+        for start in 0..len {
+            self.walk(
+                &lanes,
+                len,
+                start,
+                0,
+                &mut bindings,
+                &mut positions,
+                &mut f,
+                &mut stop,
+            );
+            if stop {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn walk(
+        &self,
+        lanes: &[Vec<LevelValue>],
+        len: usize,
+        pos: usize,
+        elem: usize,
+        bindings: &mut Vec<Option<LevelValue>>,
+        positions: &mut Vec<u32>,
+        f: &mut impl FnMut(&RegexOccurrence) -> bool,
+        stop: &mut bool,
+    ) {
+        if *stop {
+            return;
+        }
+        if elem == self.template.elems.len() {
+            // All dimensions are bound (every dim has a mandatory or taken
+            // optional element on this path… optionals may leave a dim
+            // unbound — such paths are rejected).
+            if bindings.iter().all(Option::is_some) {
+                let occ = RegexOccurrence {
+                    cell: bindings.iter().map(|b| b.expect("checked")).collect(),
+                    positions: positions.clone(),
+                };
+                if !f(&occ) {
+                    *stop = true;
+                }
+            }
+            return;
+        }
+        match self.template.elems[elem] {
+            RegexElem::One(d) => {
+                self.consume_one(lanes, len, pos, elem, d, bindings, positions, f, stop);
+            }
+            RegexElem::Optional(d) => {
+                // Take it…
+                self.consume_one(lanes, len, pos, elem, d, bindings, positions, f, stop);
+                // …or skip it.
+                self.walk(lanes, len, pos, elem + 1, bindings, positions, f, stop);
+            }
+            RegexElem::Plus(d) => {
+                self.consume_run(lanes, len, pos, elem, d, bindings, positions, f, stop);
+            }
+            RegexElem::Star(d) => {
+                // Zero occurrences…
+                self.walk(lanes, len, pos, elem + 1, bindings, positions, f, stop);
+                if *stop {
+                    return;
+                }
+                // …or behave like Plus.
+                self.consume_run(lanes, len, pos, elem, d, bindings, positions, f, stop);
+            }
+            RegexElem::Gap => {
+                for skip in 0..=(len - pos) {
+                    self.walk(
+                        lanes,
+                        len,
+                        pos + skip,
+                        elem + 1,
+                        bindings,
+                        positions,
+                        f,
+                        stop,
+                    );
+                    if *stop {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn consume_one(
+        &self,
+        lanes: &[Vec<LevelValue>],
+        len: usize,
+        pos: usize,
+        elem: usize,
+        d: usize,
+        bindings: &mut Vec<Option<LevelValue>>,
+        positions: &mut Vec<u32>,
+        f: &mut impl FnMut(&RegexOccurrence) -> bool,
+        stop: &mut bool,
+    ) {
+        if pos >= len {
+            return;
+        }
+        let v = lanes[d][pos];
+        let had = bindings[d];
+        if let Some(b) = had {
+            if b != v {
+                return;
+            }
+        }
+        bindings[d] = Some(v);
+        positions.push(pos as u32);
+        self.walk(lanes, len, pos + 1, elem + 1, bindings, positions, f, stop);
+        positions.pop();
+        bindings[d] = had;
+    }
+
+    /// Consumes 1..k consecutive events of dimension `d` (all equal to the
+    /// run's binding), recursing after each prefix of the run; restores the
+    /// binding that existed on entry when the run unwinds.
+    #[allow(clippy::too_many_arguments)]
+    fn consume_run(
+        &self,
+        lanes: &[Vec<LevelValue>],
+        len: usize,
+        pos: usize,
+        elem: usize,
+        d: usize,
+        bindings: &mut Vec<Option<LevelValue>>,
+        positions: &mut Vec<u32>,
+        f: &mut impl FnMut(&RegexOccurrence) -> bool,
+        stop: &mut bool,
+    ) {
+        let entry_binding = bindings[d];
+        let mut taken = 0;
+        let mut p = pos;
+        loop {
+            if p >= len {
+                break;
+            }
+            let v = lanes[d][p];
+            if let Some(b) = bindings[d] {
+                if b != v {
+                    break;
+                }
+            }
+            bindings[d] = Some(v);
+            positions.push(p as u32);
+            taken += 1;
+            p += 1;
+            self.walk(lanes, len, p, elem + 1, bindings, positions, f, stop);
+            if *stop {
+                break;
+            }
+        }
+        for _ in 0..taken {
+            positions.pop();
+        }
+        bindings[d] = entry_binding;
+    }
+
+    /// Counts cells for one sequence under a restriction (COUNT only):
+    /// left-maximality counts each cell once; all-matched counts distinct
+    /// occurrences (dedup by consumed positions + cell).
+    pub fn count_cells(
+        &self,
+        seq: &Sequence,
+        restriction: CellRestriction,
+    ) -> Result<HashMap<Vec<LevelValue>, u64>> {
+        let mut out: HashMap<Vec<LevelValue>, u64> = HashMap::new();
+        match restriction {
+            CellRestriction::LeftMaximalityMatchedGo | CellRestriction::LeftMaximalityDataGo => {
+                self.for_each_occurrence(seq, |occ| {
+                    out.entry(occ.cell.clone()).or_insert(1);
+                    true
+                })?;
+            }
+            CellRestriction::AllMatchedGo => {
+                let mut seen: std::collections::HashSet<(Vec<LevelValue>, Vec<u32>)> =
+                    std::collections::HashSet::new();
+                self.for_each_occurrence(seq, |occ| {
+                    if seen.insert((occ.cell.clone(), occ.positions.clone())) {
+                        *out.entry(occ.cell.clone()).or_insert(0) += 1;
+                    }
+                    true
+                })?;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Counts a regex template over a set of sequences: the COUNT S-cuboid of
+/// the extension, as a map `cell → count`.
+pub fn regex_counts<'a>(
+    db: &EventDb,
+    sequences: impl IntoIterator<Item = &'a Sequence>,
+    template: &RegexTemplate,
+    restriction: CellRestriction,
+) -> Result<HashMap<Vec<LevelValue>, u64>> {
+    let matcher = RegexMatcher::new(db, template);
+    let mut out: HashMap<Vec<LevelValue>, u64> = HashMap::new();
+    for seq in sequences {
+        for (cell, c) in matcher.count_cells(seq, restriction)? {
+            *out.entry(cell).or_insert(0) += c;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::Matcher;
+    use crate::mpred::MatchPred;
+    use crate::template::{PatternKind, PatternTemplate};
+    use solap_eventdb::{ColumnType, EventDbBuilder, Value};
+
+    fn db_and_seqs(seqs: &[&[&str]]) -> (EventDb, Vec<Sequence>) {
+        let mut db = EventDbBuilder::new()
+            .dimension("item", ColumnType::Str)
+            .build()
+            .unwrap();
+        let mut out = Vec::new();
+        let mut row = 0u32;
+        for (sid, items) in seqs.iter().enumerate() {
+            let mut rows = Vec::new();
+            for it in items.iter() {
+                db.push_row(&[Value::from(*it)]).unwrap();
+                rows.push(row);
+                row += 1;
+            }
+            out.push(Sequence {
+                sid: sid as u32,
+                cluster_key: vec![],
+                rows,
+            });
+        }
+        (db, out)
+    }
+
+    fn dim(name: &str) -> PatternDim {
+        PatternDim {
+            name: name.into(),
+            attr: 0,
+            level: 0,
+        }
+    }
+
+    fn v(db: &EventDb, s: &str) -> u64 {
+        db.dict(0).unwrap().lookup(s).unwrap() as u64
+    }
+
+    #[test]
+    fn validation() {
+        assert!(RegexTemplate::new(vec![dim("X")], vec![]).is_err());
+        assert!(RegexTemplate::new(vec![dim("X")], vec![RegexElem::One(3)]).is_err());
+        assert!(
+            RegexTemplate::new(vec![dim("X"), dim("Y")], vec![RegexElem::One(0)]).is_err(),
+            "unused dimension"
+        );
+        assert!(
+            RegexTemplate::new(vec![dim("X")], vec![RegexElem::Star(0)]).is_err(),
+            "no mandatory element"
+        );
+        let t = RegexTemplate::new(
+            vec![dim("X"), dim("Y")],
+            vec![
+                RegexElem::One(0),
+                RegexElem::Plus(1),
+                RegexElem::Gap,
+                RegexElem::Optional(0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(t.render(), "(X, Y+, .*, X?)");
+    }
+
+    #[test]
+    fn plus_matches_runs() {
+        // (X, Y+, X): a bounded by a run of b's.
+        let (db, seqs) = db_and_seqs(&[&["a", "b", "b", "b", "a"]]);
+        let t = RegexTemplate::new(
+            vec![dim("X"), dim("Y")],
+            vec![RegexElem::One(0), RegexElem::Plus(1), RegexElem::One(0)],
+        )
+        .unwrap();
+        let m = RegexMatcher::new(&db, &t);
+        let mut occs = Vec::new();
+        m.for_each_occurrence(&seqs[0], |o| {
+            occs.push(o.clone());
+            true
+        })
+        .unwrap();
+        // Two occurrences: the full a-bbb-a span, and — because distinct
+        // dimensions may bind equal values — (X=b, Y=b, X=b) inside the run.
+        assert_eq!(occs.len(), 2);
+        let ab = occs
+            .iter()
+            .find(|o| o.cell == vec![v(&db, "a"), v(&db, "b")])
+            .expect("the (a, b) round trip");
+        assert_eq!(ab.positions, vec![0, 1, 2, 3, 4]);
+        assert!(occs
+            .iter()
+            .any(|o| o.cell == vec![v(&db, "b"), v(&db, "b")]));
+        // A substring template (X,Y,Y,Y,X) would also need exactly 3 b's;
+        // (X, Y+, X) additionally matches 1- and 2-length runs elsewhere:
+        let (db2, seqs2) = db_and_seqs(&[&["a", "b", "a", "b", "b", "a"]]);
+        let m2 = RegexMatcher::new(&db2, &t);
+        let counts = m2
+            .count_cells(&seqs2[0], CellRestriction::AllMatchedGo)
+            .unwrap();
+        assert_eq!(counts[&vec![v(&db2, "a"), v(&db2, "b")]], 2);
+    }
+
+    #[test]
+    fn optional_and_star() {
+        let (db, seqs) = db_and_seqs(&[&["a", "c"], &["a", "b", "c"]]);
+        // (X, Y?, Z) with all three distinct dims.
+        let t = RegexTemplate::new(
+            vec![dim("X"), dim("Y"), dim("Z")],
+            vec![RegexElem::One(0), RegexElem::Optional(1), RegexElem::One(2)],
+        )
+        .unwrap();
+        let m = RegexMatcher::new(&db, &t);
+        // s0 = (a, c): the optional is skipped, but then Y is unbound — so
+        // no occurrence (our semantics: a cell must bind every dimension).
+        assert!(m
+            .count_cells(&seqs[0], CellRestriction::LeftMaximalityMatchedGo)
+            .unwrap()
+            .is_empty());
+        // s1 = (a, b, c): Y binds to b.
+        let counts = m
+            .count_cells(&seqs[1], CellRestriction::LeftMaximalityMatchedGo)
+            .unwrap();
+        assert_eq!(counts[&vec![v(&db, "a"), v(&db, "b"), v(&db, "c")]], 1);
+        // Star of a PREVIOUSLY BOUND dim: (Y, X, Y*) — trailing repeats.
+        let t2 = RegexTemplate::new(
+            vec![dim("X"), dim("Y")],
+            vec![RegexElem::One(1), RegexElem::One(0), RegexElem::Star(1)],
+        )
+        .unwrap();
+        let (db3, seqs3) = db_and_seqs(&[&["b", "a", "b", "b"]]);
+        let m2 = RegexMatcher::new(&db3, &t2);
+        let counts = m2
+            .count_cells(&seqs3[0], CellRestriction::AllMatchedGo)
+            .unwrap();
+        // Occurrences: (b,a), (b,a,b), (b,a,b,b) → 3.
+        assert_eq!(counts[&vec![v(&db3, "a"), v(&db3, "b")]], 3);
+    }
+
+    #[test]
+    fn one_chain_equals_substring_matcher() {
+        let (db, seqs) = db_and_seqs(&[
+            &["a", "b", "a", "b", "c"],
+            &["c", "c", "a"],
+            &["b", "a", "b", "a", "b"],
+        ]);
+        // Regex (X, Y) with only One elements ≡ SUBSTRING (X, Y).
+        let regex = RegexTemplate::new(
+            vec![dim("X"), dim("Y")],
+            vec![RegexElem::One(0), RegexElem::One(1)],
+        )
+        .unwrap();
+        let substring = PatternTemplate::new(
+            PatternKind::Substring,
+            &["X", "Y"],
+            &[("X", 0, 0), ("Y", 0, 0)],
+        )
+        .unwrap();
+        let trivial = MatchPred::True;
+        let sm = Matcher::new(&db, &substring, &trivial);
+        for restriction in [
+            CellRestriction::LeftMaximalityMatchedGo,
+            CellRestriction::AllMatchedGo,
+        ] {
+            let rx = regex_counts(&db, &seqs, &regex, restriction).unwrap();
+            let mut classic: HashMap<Vec<u64>, u64> = HashMap::new();
+            for s in &seqs {
+                for a in sm.assignments(s, restriction).unwrap() {
+                    *classic.entry(a.cell).or_insert(0) += 1;
+                }
+            }
+            assert_eq!(rx, classic, "{restriction:?}");
+        }
+    }
+
+    #[test]
+    fn gapped_chain_equals_subsequence_matcher() {
+        let (db, seqs) = db_and_seqs(&[&["a", "x", "b", "y", "c"], &["b", "a", "c", "b"]]);
+        // Regex (X, .*, Y) ≡ SUBSEQUENCE (X, Y).
+        let regex = RegexTemplate::new(
+            vec![dim("X"), dim("Y")],
+            vec![RegexElem::One(0), RegexElem::Gap, RegexElem::One(1)],
+        )
+        .unwrap();
+        let subseq = PatternTemplate::new(
+            PatternKind::Subsequence,
+            &["X", "Y"],
+            &[("X", 0, 0), ("Y", 0, 0)],
+        )
+        .unwrap();
+        let trivial = MatchPred::True;
+        let sm = Matcher::new(&db, &subseq, &trivial);
+        for restriction in [
+            CellRestriction::LeftMaximalityMatchedGo,
+            CellRestriction::AllMatchedGo,
+        ] {
+            let rx = regex_counts(&db, &seqs, &regex, restriction).unwrap();
+            let mut classic: HashMap<Vec<u64>, u64> = HashMap::new();
+            for s in &seqs {
+                for a in sm.assignments(s, restriction).unwrap() {
+                    *classic.entry(a.cell).or_insert(0) += 1;
+                }
+            }
+            assert_eq!(rx, classic, "{restriction:?}");
+        }
+    }
+
+    #[test]
+    fn left_maximality_counts_once_per_cell() {
+        let (db, seqs) = db_and_seqs(&[&["a", "b", "a", "b"]]);
+        let t = RegexTemplate::new(
+            vec![dim("X"), dim("Y")],
+            vec![RegexElem::One(0), RegexElem::One(1)],
+        )
+        .unwrap();
+        let counts =
+            regex_counts(&db, &seqs, &t, CellRestriction::LeftMaximalityMatchedGo).unwrap();
+        assert_eq!(counts[&vec![v(&db, "a"), v(&db, "b")]], 1);
+        let all = regex_counts(&db, &seqs, &t, CellRestriction::AllMatchedGo).unwrap();
+        assert_eq!(all[&vec![v(&db, "a"), v(&db, "b")]], 2);
+    }
+
+    #[test]
+    fn star_bindings_do_not_leak_across_branches() {
+        // (X*, Y, X*) over ⟨a, b, c, b, d⟩: the zero-width first star must
+        // not inherit a binding from a previous backtracking branch of the
+        // second star — cell (X=a, Y=b) exists via consuming `a` first.
+        let (db, seqs) = db_and_seqs(&[&["a", "b", "c", "b", "d"]]);
+        let t = RegexTemplate::new(
+            vec![dim("X"), dim("Y")],
+            vec![RegexElem::Star(0), RegexElem::One(1), RegexElem::Star(0)],
+        )
+        .unwrap();
+        let m = RegexMatcher::new(&db, &t);
+        let counts = m
+            .count_cells(&seqs[0], CellRestriction::AllMatchedGo)
+            .unwrap();
+        assert!(
+            counts.contains_key(&vec![v(&db, "a"), v(&db, "b")]),
+            "missing (a, b): {counts:?}"
+        );
+        assert!(
+            counts.contains_key(&vec![v(&db, "c"), v(&db, "b")]),
+            "missing (c, b): {counts:?}"
+        );
+        // Exhaustive oracle: brute-force enumeration over all position
+        // choices for this tiny input.
+        // X-run before Y (len 0..), Y at one position, X-run after — with
+        // all X events equal. Check a few known cells:
+        assert!(counts.contains_key(&vec![v(&db, "b"), v(&db, "c")]), "{counts:?}");
+    }
+
+    #[test]
+    fn round_trip_with_layovers() {
+        // The transit motivation: (X, Y, .*, Y, X) — a round trip with any
+        // activity in between, which neither SUBSTRING (too rigid) nor
+        // SUBSEQUENCE (too loose about the outer legs) expresses.
+        let (db, seqs) = db_and_seqs(&[
+            &["P", "W", "Q", "Q", "W", "P"],
+            &["P", "W", "W", "P"],
+            &["P", "W", "Q", "P"],
+        ]);
+        let t = RegexTemplate::new(
+            vec![dim("X"), dim("Y")],
+            vec![
+                RegexElem::One(0),
+                RegexElem::One(1),
+                RegexElem::Gap,
+                RegexElem::One(1),
+                RegexElem::One(0),
+            ],
+        )
+        .unwrap();
+        let counts =
+            regex_counts(&db, &seqs, &t, CellRestriction::LeftMaximalityMatchedGo).unwrap();
+        let key = vec![v(&db, "P"), v(&db, "W")];
+        // s0 (layover QQ) and s1 (adjacent) match; s2 does not (its second
+        // W never reappears before P).
+        assert_eq!(counts.get(&key), Some(&2));
+    }
+}

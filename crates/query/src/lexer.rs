@@ -1,0 +1,412 @@
+//! Tokenizer for the S-cuboid specification language.
+
+use solap_eventdb::{Error, Result};
+
+/// A token kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`card-id`, `SELECT`, `LEFT-MAXIMALITY`).
+    Ident(String),
+    /// Double-quoted string literal, unescaped.
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `;` (optional statement terminator)
+    Semi,
+    /// `+` (regex quantifier)
+    Plus,
+    /// `?` (regex quantifier)
+    Question,
+}
+
+/// A token with its byte offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset in the source text.
+    pub offset: usize,
+}
+
+impl Token {
+    /// Whether this token is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(&self.kind, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c == b'-'
+}
+
+/// Tokenizes source text.
+///
+/// Hyphens bind into identifiers (`fare-group` is one token); a hyphen is
+/// only a minus sign when it starts a numeric literal in operand position,
+/// which this grammar only needs directly before digits.
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        let start = i;
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b'-' if i + 1 < b.len() && b[i + 1] == b'-' => {
+                // SQL-style comment to end of line.
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => {
+                out.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b')' => {
+                out.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b',' => {
+                out.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b'.' => {
+                out.push(Token {
+                    kind: TokenKind::Dot,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b'*' => {
+                out.push(Token {
+                    kind: TokenKind::Star,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b';' => {
+                out.push(Token {
+                    kind: TokenKind::Semi,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b'+' => {
+                out.push(Token {
+                    kind: TokenKind::Plus,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b'?' => {
+                out.push(Token {
+                    kind: TokenKind::Question,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b'=' => {
+                out.push(Token {
+                    kind: TokenKind::Eq,
+                    offset: start,
+                });
+                i += 1;
+            }
+            b'!' if i + 1 < b.len() && b[i + 1] == b'=' => {
+                out.push(Token {
+                    kind: TokenKind::Ne,
+                    offset: start,
+                });
+                i += 2;
+            }
+            b'<' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    out.push(Token {
+                        kind: TokenKind::Le,
+                        offset: start,
+                    });
+                    i += 2;
+                } else if i + 1 < b.len() && b[i + 1] == b'>' {
+                    out.push(Token {
+                        kind: TokenKind::Ne,
+                        offset: start,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Token {
+                        kind: TokenKind::Lt,
+                        offset: start,
+                    });
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    out.push(Token {
+                        kind: TokenKind::Ge,
+                        offset: start,
+                    });
+                    i += 2;
+                } else {
+                    out.push(Token {
+                        kind: TokenKind::Gt,
+                        offset: start,
+                    });
+                    i += 1;
+                }
+            }
+            b'"' | b'\'' => {
+                let quote = c;
+                i += 1;
+                let s0 = i;
+                while i < b.len() && b[i] != quote {
+                    i += 1;
+                }
+                if i >= b.len() {
+                    return Err(Error::Parse {
+                        message: "unterminated string literal".into(),
+                        offset: start,
+                    });
+                }
+                out.push(Token {
+                    kind: TokenKind::Str(src[s0..i].to_owned()),
+                    offset: start,
+                });
+                i += 1;
+            }
+            b'0'..=b'9' => {
+                i = lex_number(src, b, i, &mut out)?;
+            }
+            b'-' if i + 1 < b.len() && b[i + 1].is_ascii_digit() => {
+                i = lex_number(src, b, i, &mut out)?;
+            }
+            _ if is_ident_start(c) => {
+                i += 1;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                out.push(Token {
+                    kind: TokenKind::Ident(src[start..i].to_owned()),
+                    offset: start,
+                });
+            }
+            _ => {
+                return Err(Error::Parse {
+                    message: format!(
+                        "unexpected character `{}`",
+                        src[start..].chars().next().unwrap()
+                    ),
+                    offset: start,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn lex_number(src: &str, b: &[u8], start: usize, out: &mut Vec<Token>) -> Result<usize> {
+    let mut i = start;
+    if b[i] == b'-' {
+        i += 1;
+    }
+    while i < b.len() && b[i].is_ascii_digit() {
+        i += 1;
+    }
+    let mut is_float = false;
+    if i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+        is_float = true;
+        i += 1;
+        while i < b.len() && b[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    let text = &src[start..i];
+    let kind = if is_float {
+        TokenKind::Float(text.parse().map_err(|_| Error::Parse {
+            message: format!("bad float `{text}`"),
+            offset: start,
+        })?)
+    } else {
+        TokenKind::Int(text.parse().map_err(|_| Error::Parse {
+            message: format!("bad integer `{text}`"),
+            offset: start,
+        })?)
+    };
+    out.push(Token {
+        kind,
+        offset: start,
+    });
+    Ok(i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn hyphenated_identifiers() {
+        assert_eq!(
+            kinds("card-id AT fare-group"),
+            vec![
+                TokenKind::Ident("card-id".into()),
+                TokenKind::Ident("AT".into()),
+                TokenKind::Ident("fare-group".into()),
+            ]
+        );
+        assert_eq!(
+            kinds("LEFT-MAXIMALITY"),
+            vec![TokenKind::Ident("LEFT-MAXIMALITY".into())]
+        );
+    }
+
+    #[test]
+    fn numbers_and_negatives() {
+        assert_eq!(
+            kinds("42 -3 2.5 -0.25"),
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Int(-3),
+                TokenKind::Float(2.5),
+                TokenKind::Float(-0.25),
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("= <> != < <= > >="),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_both_quotes() {
+        assert_eq!(
+            kinds("\"Pentagon\" 'in'"),
+            vec![
+                TokenKind::Str("Pentagon".into()),
+                TokenKind::Str("in".into())
+            ]
+        );
+        assert!(tokenize("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn placeholders_and_punctuation() {
+        assert_eq!(
+            kinds("x1.action = \"in\""),
+            vec![
+                TokenKind::Ident("x1".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("action".into()),
+                TokenKind::Eq,
+                TokenKind::Str("in".into()),
+            ]
+        );
+        assert_eq!(
+            kinds("COUNT(*);"),
+            vec![
+                TokenKind::Ident("COUNT".into()),
+                TokenKind::LParen,
+                TokenKind::Star,
+                TokenKind::RParen,
+                TokenKind::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn regex_quantifier_tokens() {
+        assert_eq!(
+            kinds("X+ Y? .*"),
+            vec![
+                TokenKind::Ident("X".into()),
+                TokenKind::Plus,
+                TokenKind::Ident("Y".into()),
+                TokenKind::Question,
+                TokenKind::Dot,
+                TokenKind::Star,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("SELECT -- the aggregate\nCOUNT"),
+            vec![
+                TokenKind::Ident("SELECT".into()),
+                TokenKind::Ident("COUNT".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn keyword_check_is_case_insensitive() {
+        let toks = tokenize("select").unwrap();
+        assert!(toks[0].is_kw("SELECT"));
+        assert!(!toks[0].is_kw("FROM"));
+    }
+
+    #[test]
+    fn bad_character_reports_offset() {
+        let err = tokenize("SELECT @").unwrap_err();
+        match err {
+            Error::Parse { offset, .. } => assert_eq!(offset, 7),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,801 @@
+//! Recursive-descent parser producing [`SCuboidSpec`].
+
+use solap_core::SCuboidSpec;
+use solap_eventdb::{
+    AttrId, AttrLevel, CmpOp, ColumnType, Error, EventDb, Pred, Result, SortKey, Value,
+};
+use solap_pattern::{AggFunc, CellRestriction, MatchPred, PatternKind, PatternTemplate, SumMode};
+
+use crate::lexer::{tokenize, Token, TokenKind};
+
+/// Parses one S-cuboid specification against a database schema.
+pub fn parse_query(db: &EventDb, src: &str) -> Result<SCuboidSpec> {
+    let tokens = tokenize(src)?;
+    let mut p = ClauseParser::new(db, tokens);
+    let spec = p.query()?;
+    p.finish()?;
+    spec.validate(db)?;
+    Ok(spec)
+}
+
+/// The clause-level parser shared between the main query language and the
+/// regex-query extension (`crate::regex_parser`).
+pub(crate) struct ClauseParser<'a> {
+    db: &'a EventDb,
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl<'a> ClauseParser<'a> {
+    /// Creates a parser over pre-lexed tokens.
+    pub(crate) fn new(db: &'a EventDb, tokens: Vec<Token>) -> Self {
+        ClauseParser { db, tokens, pos: 0 }
+    }
+
+    /// The kind of the next token.
+    pub(crate) fn peek_kind(&self) -> Option<TokenKind> {
+        self.peek().map(|t| t.kind.clone())
+    }
+
+    /// Consumes the next token unconditionally.
+    pub(crate) fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    /// Eats a `+` token.
+    pub(crate) fn eat_plus(&mut self) -> bool {
+        if matches!(self.peek().map(|t| &t.kind), Some(TokenKind::Plus)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Eats a `?` token.
+    pub(crate) fn eat_question(&mut self) -> bool {
+        if matches!(self.peek().map(|t| &t.kind), Some(TokenKind::Question)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes optional semicolons and demands end of input.
+    pub(crate) fn finish(&mut self) -> Result<()> {
+        self.skip_semi();
+        if self.pos != self.tokens.len() {
+            return Err(self.err("trailing input after query"));
+        }
+        Ok(())
+    }
+
+    /// Parses `[WHERE …] [CLUSTER BY …] [SEQUENCE BY …]
+    /// [SEQUENCE GROUP BY …]` into a [`solap_eventdb::SeqQuerySpec`].
+    pub(crate) fn sequence_clauses(&mut self) -> Result<solap_eventdb::SeqQuerySpec> {
+        let filter = if self.eat_kw("WHERE") {
+            self.pred()?
+        } else {
+            Pred::True
+        };
+        let mut cluster_by = Vec::new();
+        if self.peek_kw("CLUSTER") {
+            self.pos += 1;
+            self.expect_kw("BY")?;
+            loop {
+                cluster_by.push(self.attr_level()?);
+                if !self.eat_comma() {
+                    break;
+                }
+            }
+        }
+        let mut sequence_by = Vec::new();
+        if self.peek_kw("SEQUENCE") && self.peek2_kw("BY") {
+            self.pos += 2;
+            loop {
+                let attr = self.attr()?;
+                let ascending = if self.eat_kw("ASCENDING") || self.eat_kw("ASC") {
+                    true
+                } else {
+                    !(self.eat_kw("DESCENDING") || self.eat_kw("DESC"))
+                };
+                sequence_by.push(SortKey { attr, ascending });
+                if !self.eat_comma() {
+                    break;
+                }
+            }
+        }
+        let mut group_by = Vec::new();
+        if self.peek_kw("SEQUENCE") && self.peek2_kw("GROUP") {
+            self.pos += 2;
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.attr_level()?);
+                if !self.eat_comma() {
+                    break;
+                }
+            }
+        }
+        Ok(solap_eventdb::SeqQuerySpec {
+            filter,
+            cluster_by,
+            sequence_by,
+            group_by,
+        })
+    }
+
+    pub(crate) fn err(&self, message: impl Into<String>) -> Error {
+        Error::Parse {
+            message: message.into(),
+            offset: self
+                .tokens
+                .get(self.pos)
+                .map(|t| t.offset)
+                .unwrap_or(usize::MAX),
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_kw(kw))
+    }
+
+    fn peek2_kw(&self, kw: &str) -> bool {
+        self.tokens.get(self.pos + 1).is_some_and(|t| t.is_kw(kw))
+    }
+
+    pub(crate) fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kw}`")))
+        }
+    }
+
+    pub(crate) fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<()> {
+        if self.peek().map(|t| &t.kind) == Some(kind) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    pub(crate) fn ident(&mut self, what: &str) -> Result<String> {
+        match self.peek().map(|t| t.kind.clone()) {
+            Some(TokenKind::Ident(s)) => {
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.err(format!("expected {what}"))),
+        }
+    }
+
+    fn skip_semi(&mut self) {
+        while matches!(self.peek().map(|t| &t.kind), Some(TokenKind::Semi)) {
+            self.pos += 1;
+        }
+    }
+
+    fn attr(&mut self) -> Result<AttrId> {
+        let name = self.ident("an attribute name")?;
+        self.db.attr(&name)
+    }
+
+    pub(crate) fn attr_level(&mut self) -> Result<AttrLevel> {
+        let attr = self.attr()?;
+        self.expect_kw("AT")?;
+        let level_name = self.ident("an abstraction level")?;
+        let level = self.db.level_by_name(attr, &level_name)?;
+        Ok(AttrLevel::new(attr, level))
+    }
+
+    fn cmp_op(&mut self) -> Result<CmpOp> {
+        let op = match self.peek().map(|t| &t.kind) {
+            Some(TokenKind::Eq) => CmpOp::Eq,
+            Some(TokenKind::Ne) => CmpOp::Ne,
+            Some(TokenKind::Lt) => CmpOp::Lt,
+            Some(TokenKind::Le) => CmpOp::Le,
+            Some(TokenKind::Gt) => CmpOp::Gt,
+            Some(TokenKind::Ge) => CmpOp::Ge,
+            _ => return Err(self.err("expected a comparison operator")),
+        };
+        self.pos += 1;
+        Ok(op)
+    }
+
+    /// A literal, normalized to the column's type where sensible (string
+    /// timestamps against time columns become `Value::Time` so fingerprints
+    /// are canonical).
+    fn literal(&mut self, attr: AttrId) -> Result<Value> {
+        let v = match self.peek().map(|t| t.kind.clone()) {
+            Some(TokenKind::Str(s)) => {
+                self.pos += 1;
+                Value::Str(s)
+            }
+            Some(TokenKind::Int(i)) => {
+                self.pos += 1;
+                Value::Int(i)
+            }
+            Some(TokenKind::Float(f)) => {
+                self.pos += 1;
+                Value::Float(f)
+            }
+            _ => return Err(self.err("expected a literal")),
+        };
+        Ok(normalize_literal(self.db, attr, v))
+    }
+
+    // ------------------------------------------------------------------
+    // Clauses
+    // ------------------------------------------------------------------
+
+    fn query(&mut self) -> Result<SCuboidSpec> {
+        self.expect_kw("SELECT")?;
+        let agg = self.agg()?;
+        self.expect_kw("FROM")?;
+        let _table = self.ident("a table name")?;
+
+        let seq = self.sequence_clauses()?;
+        let (filter, cluster_by, sequence_by, group_by) =
+            (seq.filter, seq.cluster_by, seq.sequence_by, seq.group_by);
+
+        self.expect_kw("CUBOID")?;
+        self.expect_kw("BY")?;
+        let (template, placeholder_names, restriction) = self.cuboid_by()?;
+
+        let mpred = if self.eat_kw("WITH") {
+            self.match_pred(&template, &placeholder_names)?
+        } else {
+            MatchPred::True
+        };
+
+        let mut spec = SCuboidSpec::new(template, cluster_by, sequence_by)
+            .with_agg(agg)
+            .with_filter(filter)
+            .with_group_by(group_by)
+            .with_restriction(restriction)
+            .with_mpred(mpred);
+
+        // Extension clauses: SLICE PATTERN / SLICE GROUP / HAVING COUNT >=.
+        while self.peek_kw("SLICE") {
+            self.pos += 1;
+            if self.eat_kw("PATTERN") {
+                let sym = self.ident("a pattern symbol")?;
+                self.expect(&TokenKind::Eq, "`=`")?;
+                let dim = spec
+                    .template
+                    .dims
+                    .iter()
+                    .position(|d| d.name == sym)
+                    .ok_or_else(|| self.err(format!("unknown pattern symbol `{sym}`")))?;
+                let d = spec.template.dims[dim].clone();
+                let text = self.slice_value_text()?;
+                let level = if self.eat_kw("AT") {
+                    let name = self.ident("an abstraction level")?;
+                    self.db.level_by_name(d.attr, &name)?
+                } else {
+                    d.level
+                };
+                let v = self.db.parse_level_value(d.attr, level, &text)?;
+                spec.pattern_slice.insert(dim, (level, v));
+            } else if self.eat_kw("GROUP") {
+                let attr = self.attr()?;
+                self.expect(&TokenKind::Eq, "`=`")?;
+                let g = spec
+                    .seq
+                    .group_by
+                    .iter()
+                    .position(|al| al.attr == attr)
+                    .ok_or_else(|| self.err("attribute is not a global dimension"))?;
+                let al = spec.seq.group_by[g];
+                let text = self.slice_value_text()?;
+                let v = self.db.parse_level_value(al.attr, al.level, &text)?;
+                spec.global_slice.insert(g, v);
+            } else {
+                return Err(self.err("expected PATTERN or GROUP after SLICE"));
+            }
+        }
+        if self.eat_kw("HAVING") {
+            self.expect_kw("COUNT")?;
+            self.expect(&TokenKind::Ge, "`>=`")?;
+            match self.peek().map(|t| t.kind.clone()) {
+                Some(TokenKind::Int(n)) if n >= 0 => {
+                    self.pos += 1;
+                    spec.min_support = Some(n as u64);
+                }
+                _ => return Err(self.err("expected a non-negative integer")),
+            }
+        }
+        Ok(spec)
+    }
+
+    fn slice_value_text(&mut self) -> Result<String> {
+        match self.peek().map(|t| t.kind.clone()) {
+            Some(TokenKind::Str(s)) => {
+                self.pos += 1;
+                Ok(s)
+            }
+            Some(TokenKind::Int(i)) => {
+                self.pos += 1;
+                Ok(i.to_string())
+            }
+            _ => Err(self.err("expected a slice value")),
+        }
+    }
+
+    fn agg(&mut self) -> Result<AggFunc> {
+        let name = self.ident("an aggregate function")?;
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let agg = if name.eq_ignore_ascii_case("COUNT") {
+            self.expect(&TokenKind::Star, "`*`")?;
+            AggFunc::Count
+        } else {
+            let upper = name.to_ascii_uppercase();
+            if !matches!(
+                upper.as_str(),
+                "SUM" | "SUM-FIRST" | "AVG" | "AVG-FIRST" | "MIN" | "MAX"
+            ) {
+                return Err(self.err(format!("unknown aggregate `{name}`")));
+            }
+            let attr = self.attr()?;
+            match upper.as_str() {
+                "SUM" => AggFunc::Sum(attr, SumMode::AllEvents),
+                "SUM-FIRST" => AggFunc::Sum(attr, SumMode::FirstEvent),
+                "AVG" => AggFunc::Avg(attr, SumMode::AllEvents),
+                "AVG-FIRST" => AggFunc::Avg(attr, SumMode::FirstEvent),
+                "MIN" => AggFunc::Min(attr),
+                "MAX" => AggFunc::Max(attr),
+                _ => unreachable!("validated above"),
+            }
+        };
+        self.expect(&TokenKind::RParen, "`)`")?;
+        Ok(agg)
+    }
+
+    fn cuboid_by(&mut self) -> Result<(PatternTemplate, Vec<String>, CellRestriction)> {
+        let kind_name = self.ident("SUBSTRING or SUBSEQUENCE")?;
+        let kind = match kind_name.to_ascii_uppercase().as_str() {
+            "SUBSTRING" => PatternKind::Substring,
+            "SUBSEQUENCE" => PatternKind::Subsequence,
+            other => return Err(self.err(format!("unknown pattern kind `{other}`"))),
+        };
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let mut symbols = Vec::new();
+        loop {
+            symbols.push(self.ident("a pattern symbol")?);
+            if !self.eat_comma() {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen, "`)`")?;
+        self.expect_kw("WITH")?;
+        let mut bindings: Vec<(String, AttrId, usize)> = Vec::new();
+        loop {
+            let sym = self.ident("a pattern symbol")?;
+            self.expect_kw("AS")?;
+            let al = self.attr_level()?;
+            bindings.push((sym, al.attr, al.level));
+            if !self.eat_comma() {
+                break;
+            }
+        }
+        let restriction_name = self.ident("a cell restriction")?;
+        let restriction = match restriction_name.to_ascii_uppercase().as_str() {
+            "LEFT-MAXIMALITY" => CellRestriction::LeftMaximalityMatchedGo,
+            "LEFT-MAXIMALITY-DATA" => CellRestriction::LeftMaximalityDataGo,
+            "ALL-MATCHED" => CellRestriction::AllMatchedGo,
+            other => return Err(self.err(format!("unknown cell restriction `{other}`"))),
+        };
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let mut placeholders = Vec::new();
+        loop {
+            placeholders.push(self.ident("a placeholder")?);
+            if !self.eat_comma() {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen, "`)`")?;
+        if placeholders.len() != symbols.len() {
+            return Err(self.err(format!(
+                "restriction lists {} placeholders but the template has {} symbols",
+                placeholders.len(),
+                symbols.len()
+            )));
+        }
+        let symbol_refs: Vec<&str> = symbols.iter().map(String::as_str).collect();
+        let binding_refs: Vec<(&str, AttrId, usize)> = bindings
+            .iter()
+            .map(|(s, a, l)| (s.as_str(), *a, *l))
+            .collect();
+        let template = PatternTemplate::new(kind, &symbol_refs, &binding_refs)?;
+        Ok((template, placeholders, restriction))
+    }
+
+    pub(crate) fn eat_comma(&mut self) -> bool {
+        if matches!(self.peek().map(|t| &t.kind), Some(TokenKind::Comma)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // WHERE predicates
+    // ------------------------------------------------------------------
+
+    fn pred(&mut self) -> Result<Pred> {
+        let mut left = self.pred_and()?;
+        while self.eat_kw("OR") {
+            let right = self.pred_and()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn pred_and(&mut self) -> Result<Pred> {
+        let mut left = self.pred_atom()?;
+        while self.eat_kw("AND") {
+            let right = self.pred_atom()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn pred_atom(&mut self) -> Result<Pred> {
+        if self.eat_kw("NOT") {
+            return Ok(self.pred_atom()?.not());
+        }
+        if self.eat_kw("TRUE") {
+            return Ok(Pred::True);
+        }
+        if matches!(self.peek().map(|t| &t.kind), Some(TokenKind::LParen)) {
+            self.pos += 1;
+            let inner = self.pred()?;
+            self.expect(&TokenKind::RParen, "`)`")?;
+            return Ok(inner);
+        }
+        let attr = self.attr()?;
+        if self.eat_kw("IN") {
+            self.expect(&TokenKind::LParen, "`(`")?;
+            let mut values = Vec::new();
+            loop {
+                values.push(self.literal(attr)?);
+                if !self.eat_comma() {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen, "`)`")?;
+            return Ok(Pred::In { attr, values });
+        }
+        let op = self.cmp_op()?;
+        let value = self.literal(attr)?;
+        Ok(Pred::Cmp { attr, op, value })
+    }
+
+    // ------------------------------------------------------------------
+    // Matching predicates
+    // ------------------------------------------------------------------
+
+    fn match_pred(
+        &mut self,
+        template: &PatternTemplate,
+        placeholders: &[String],
+    ) -> Result<MatchPred> {
+        let mut left = self.mpred_and(template, placeholders)?;
+        while self.eat_kw("OR") {
+            let right = self.mpred_and(template, placeholders)?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn mpred_and(
+        &mut self,
+        template: &PatternTemplate,
+        placeholders: &[String],
+    ) -> Result<MatchPred> {
+        let mut left = self.mpred_atom(template, placeholders)?;
+        while self.eat_kw("AND") {
+            let right = self.mpred_atom(template, placeholders)?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn mpred_atom(
+        &mut self,
+        template: &PatternTemplate,
+        placeholders: &[String],
+    ) -> Result<MatchPred> {
+        if self.eat_kw("NOT") {
+            return Ok(self.mpred_atom(template, placeholders)?.not());
+        }
+        if self.eat_kw("TRUE") {
+            return Ok(MatchPred::True);
+        }
+        if matches!(self.peek().map(|t| &t.kind), Some(TokenKind::LParen)) {
+            self.pos += 1;
+            let inner = self.match_pred(template, placeholders)?;
+            self.expect(&TokenKind::RParen, "`)`")?;
+            return Ok(inner);
+        }
+        let ph = self.ident("a placeholder")?;
+        let pos = placeholders
+            .iter()
+            .position(|p| *p == ph)
+            .ok_or_else(|| self.err(format!("unknown placeholder `{ph}`")))?;
+        self.expect(&TokenKind::Dot, "`.`")?;
+        let attr = self.attr()?;
+        let op = self.cmp_op()?;
+        let value = self.literal(attr)?;
+        let _ = template;
+        Ok(MatchPred::Cmp {
+            pos,
+            attr,
+            op,
+            value,
+        })
+    }
+}
+
+/// Normalizes a literal to the column's storage type where the coercion is
+/// canonical: string timestamps on time columns parse to `Value::Time`,
+/// integers on float columns widen to `Value::Float`.
+fn normalize_literal(db: &EventDb, attr: AttrId, v: Value) -> Value {
+    match (db.schema().column(attr).ctype, &v) {
+        (ColumnType::Time, Value::Str(s)) => match solap_eventdb::time::parse_timestamp(s) {
+            Some(t) => Value::Time(t),
+            None => v,
+        },
+        (ColumnType::Time, Value::Int(t)) => Value::Time(*t),
+        (ColumnType::Float, Value::Int(i)) => Value::Float(*i as f64),
+        _ => v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solap_eventdb::{EventDbBuilder, TimeHierarchy};
+
+    fn db() -> EventDb {
+        let mut db = EventDbBuilder::new()
+            .dimension("time", ColumnType::Time)
+            .dimension("card-id", ColumnType::Int)
+            .dimension("location", ColumnType::Str)
+            .dimension("action", ColumnType::Str)
+            .measure("amount", ColumnType::Float)
+            .build()
+            .unwrap();
+        db.set_time_hierarchy(0, TimeHierarchy::time_day_week())
+            .unwrap();
+        for (st, d) in [("Pentagon", "D10"), ("Wheaton", "D20"), ("Glenmont", "D20")] {
+            db.push_row(&[
+                Value::from("2007-10-01T00:01"),
+                Value::Int(688),
+                Value::from(st),
+                Value::from("in"),
+                Value::Float(0.0),
+            ])
+            .unwrap();
+            let _ = d;
+        }
+        db.set_base_level_name(2, "station");
+        db.attach_str_level(2, "district", |s| {
+            if s == "Pentagon" {
+                "D10".into()
+            } else {
+                "D20".into()
+            }
+        })
+        .unwrap();
+        db.set_base_level_name(1, "individual");
+        db.attach_int_level(1, "fare-group", |_| "regular".into())
+            .unwrap();
+        db
+    }
+
+    /// Figure 3 verbatim (modulo whitespace).
+    const Q1: &str = r#"
+        SELECT COUNT(*)
+        FROM Event
+        WHERE time >= "2007-10-01T00:00" AND time < "2007-12-31T24:00"
+        CLUSTER BY card-id AT individual, time AT day
+        SEQUENCE BY time ASCENDING
+        SEQUENCE GROUP BY card-id AT fare-group, time AT day
+        CUBOID BY SUBSTRING (X, Y, Y, X)
+          WITH X AS location AT station, Y AS location AT station
+          LEFT-MAXIMALITY (x1, y1, y2, x2)
+          WITH x1.action = "in" AND y1.action = "out"
+           AND y2.action = "in" AND x2.action = "out"
+    "#;
+
+    #[test]
+    fn parses_figure_3() {
+        let db = db();
+        let spec = parse_query(&db, Q1).unwrap();
+        assert_eq!(spec.agg, AggFunc::Count);
+        assert_eq!(spec.template.render_head(), "SUBSTRING (X, Y, Y, X)");
+        assert_eq!(spec.seq.cluster_by.len(), 2);
+        assert_eq!(spec.seq.group_by.len(), 2);
+        assert_eq!(spec.seq.sequence_by.len(), 1);
+        assert!(spec.seq.sequence_by[0].ascending);
+        assert_eq!(spec.restriction, CellRestriction::LeftMaximalityMatchedGo);
+        assert_eq!(spec.mpred.max_pos(), Some(3));
+        // The WHERE clause normalized its timestamps.
+        match &spec.seq.filter {
+            Pred::And(a, _) => match a.as_ref() {
+                Pred::Cmp { value, .. } => assert!(matches!(value, Value::Time(_))),
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn render_parse_fixpoint() {
+        let db = db();
+        let spec = parse_query(&db, Q1).unwrap();
+        let rendered = spec.render(&db);
+        let reparsed = parse_query(&db, &rendered).unwrap();
+        assert_eq!(
+            spec.fingerprint(),
+            reparsed.fingerprint(),
+            "render → parse must be a fixpoint:\n{rendered}"
+        );
+    }
+
+    #[test]
+    fn parses_q3_and_aggregates() {
+        let db = db();
+        let q3 = r#"
+            SELECT SUM(amount) FROM Event
+            CLUSTER BY card-id AT individual
+            SEQUENCE BY time
+            CUBOID BY SUBSTRING (X, Y)
+              WITH X AS location AT station, Y AS location AT station
+              LEFT-MAXIMALITY (x1, y1)
+              WITH x1.action = "in" AND y1.action = "out"
+        "#;
+        let spec = parse_query(&db, q3).unwrap();
+        assert!(matches!(spec.agg, AggFunc::Sum(_, SumMode::AllEvents)));
+        let sf = q3.replace("SUM(", "SUM-FIRST(");
+        assert!(matches!(
+            parse_query(&db, &sf).unwrap().agg,
+            AggFunc::Sum(_, SumMode::FirstEvent)
+        ));
+        let mn = q3.replace("SUM(", "MIN(");
+        assert!(matches!(
+            parse_query(&db, &mn).unwrap().agg,
+            AggFunc::Min(_)
+        ));
+    }
+
+    #[test]
+    fn parses_subsequence_and_restrictions() {
+        let db = db();
+        let q = r#"
+            SELECT COUNT(*) FROM Event
+            CLUSTER BY card-id AT individual
+            SEQUENCE BY time DESCENDING
+            CUBOID BY SUBSEQUENCE (A, B)
+              WITH A AS location AT district, B AS location AT district
+              ALL-MATCHED (a1, b1)
+        "#;
+        let spec = parse_query(&db, q).unwrap();
+        assert_eq!(spec.template.kind, PatternKind::Subsequence);
+        assert_eq!(spec.restriction, CellRestriction::AllMatchedGo);
+        assert!(!spec.seq.sequence_by[0].ascending);
+        assert_eq!(spec.template.dims[0].level, 1);
+        assert!(spec.mpred.is_true());
+    }
+
+    #[test]
+    fn parses_slices_and_having() {
+        let db = db();
+        let q = r#"
+            SELECT COUNT(*) FROM Event
+            CLUSTER BY card-id AT individual
+            SEQUENCE BY time
+            SEQUENCE GROUP BY card-id AT fare-group
+            CUBOID BY SUBSTRING (X, Y)
+              WITH X AS location AT station, Y AS location AT station
+              LEFT-MAXIMALITY (x1, y1)
+            SLICE PATTERN X = "Pentagon"
+            SLICE GROUP card-id = "regular"
+            HAVING COUNT >= 3
+        "#;
+        let spec = parse_query(&db, q).unwrap();
+        assert_eq!(spec.pattern_slice.len(), 1);
+        assert_eq!(spec.global_slice.len(), 1);
+        assert_eq!(spec.min_support, Some(3));
+        let rendered = spec.render(&db);
+        let reparsed = parse_query(&db, &rendered).unwrap();
+        assert_eq!(spec.fingerprint(), reparsed.fingerprint());
+    }
+
+    #[test]
+    fn error_cases_carry_positions() {
+        let db = db();
+        for (q, needle) in [
+            ("SELECT COUNT(*) FROM", "expected a table name"),
+            ("SELECT NOPE(x) FROM Event CUBOID BY SUBSTRING (X) WITH X AS location AT station LEFT-MAXIMALITY (x1)", "unknown aggregate"),
+            (
+                "SELECT COUNT(*) FROM Event CUBOID BY SUBSTRING (X, Y) WITH X AS location AT station LEFT-MAXIMALITY (x1, y1)",
+                "no WITH binding",
+            ),
+            (
+                "SELECT COUNT(*) FROM Event CUBOID BY SUBSTRING (X) WITH X AS location AT station LEFT-MAXIMALITY (x1, x2)",
+                "placeholders",
+            ),
+            (
+                "SELECT COUNT(*) FROM Event CUBOID BY SUBSTRING (X) WITH X AS location AT galaxy LEFT-MAXIMALITY (x1)",
+                "no abstraction level",
+            ),
+            (
+                "SELECT COUNT(*) FROM Event CUBOID BY SUBSTRING (X) WITH X AS location AT station LEFT-MAXIMALITY (x1) WITH z9.action = \"in\"",
+                "unknown placeholder",
+            ),
+        ] {
+            let err = parse_query(&db, q).unwrap_err().to_string();
+            assert!(err.contains(needle), "query {q:?}: got `{err}`");
+        }
+    }
+
+    #[test]
+    fn unknown_attribute_is_reported() {
+        let db = db();
+        let q = "SELECT COUNT(*) FROM Event WHERE bogus = 1 CUBOID BY SUBSTRING (X) WITH X AS location AT station LEFT-MAXIMALITY (x1)";
+        assert!(matches!(
+            parse_query(&db, q),
+            Err(Error::UnknownAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn where_supports_in_and_boolean_shapes() {
+        let db = db();
+        let q = r#"
+            SELECT COUNT(*) FROM Event
+            WHERE (location IN ("Pentagon", "Wheaton") OR NOT action = "in") AND amount >= 0
+            CLUSTER BY card-id AT individual
+            SEQUENCE BY time
+            CUBOID BY SUBSTRING (X)
+              WITH X AS location AT station
+              LEFT-MAXIMALITY (x1)
+        "#;
+        let spec = parse_query(&db, q).unwrap();
+        match &spec.seq.filter {
+            Pred::And(..) => {}
+            other => panic!("expected AND, got {other:?}"),
+        }
+        // Int literal on the float column must widen.
+        let rendered = spec.render(&db);
+        assert!(rendered.contains("amount >= 0"), "{rendered}");
+        let reparsed = parse_query(&db, &rendered).unwrap();
+        assert_eq!(spec.fingerprint(), reparsed.fingerprint());
+    }
+
+    #[test]
+    fn trailing_tokens_rejected_but_semicolon_ok() {
+        let db = db();
+        let base = "SELECT COUNT(*) FROM Event CLUSTER BY card-id AT individual SEQUENCE BY time CUBOID BY SUBSTRING (X) WITH X AS location AT station LEFT-MAXIMALITY (x1)";
+        assert!(parse_query(&db, &format!("{base};")).is_ok());
+        assert!(parse_query(&db, &format!("{base} garbage")).is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! The paper's introduction scenario, end to end: a transport-planning
+//! manager asks for "the number of round-trip passengers and their
+//! distributions over all origin-destination station pairs" (query Q1,
+//! Figure 3), spots a hot pair, slices on it, and APPENDs a third trip to
+//! see where those passengers go next (query Q2, Figure 5) — then rolls the
+//! new dimension up to districts when the distribution is too fragmented
+//! (the P-ROLL-UP example of §3.3).
+//!
+//! Run with: `cargo run --release --example transit_roundtrips`
+
+use s_olap::prelude::*;
+
+fn main() {
+    let db = s_olap::datagen::generate_transit(&s_olap::datagen::TransitConfig {
+        passengers: 2_000,
+        days: 10,
+        stations: 16,
+        districts: 4,
+        round_trip_rate: 0.5,
+        extra_trips: 1.2,
+        ..Default::default()
+    })
+    .expect("valid config");
+    let engine = Engine::new(db);
+
+    // Q1 (Figure 3): round trips (X, Y, Y, X) per day and fare group.
+    let q1 = s_olap::query::parse_query(
+        engine.db(),
+        r#"
+        SELECT COUNT(*) FROM Event
+        WHERE time >= "2007-10-01T00:00" AND time < "2007-12-31T24:00"
+        CLUSTER BY card-id AT individual, time AT day
+        SEQUENCE BY time ASCENDING
+        SEQUENCE GROUP BY card-id AT fare-group
+        CUBOID BY SUBSTRING (X, Y, Y, X)
+          WITH X AS location AT station, Y AS location AT station
+          LEFT-MAXIMALITY (x1, y1, y2, x2)
+          WITH x1.action = "in" AND y1.action = "out"
+           AND y2.action = "in" AND x2.action = "out"
+        "#,
+    )
+    .expect("Q1 parses");
+
+    let mut session = Session::start(&engine, q1).expect("Q1 runs");
+    println!(
+        "Q1 — round-trip distribution (top 8 of {} cells):",
+        session.cuboid().len()
+    );
+    println!("{}", session.cuboid().tabulate(engine.db(), 8, true));
+
+    // The manager slices on the hottest (X, Y) pair…
+    let (hot_key, hot_count) = {
+        let top = session.cuboid().top_k(1);
+        let (k, v) = top.first().expect("non-empty cuboid");
+        ((*k).clone(), v.as_f64())
+    };
+    let x = hot_key.pattern[0];
+    let y = hot_key.pattern[1];
+    println!(
+        "hottest pair: {} with {} round trips — slicing and appending a follow-up trip\n",
+        session.cuboid().render_key(engine.db(), &hot_key),
+        hot_count
+    );
+    session
+        .apply(Op::Dice {
+            global: vec![],
+            pattern: vec![("X".into(), x), ("Y".into(), y)],
+        })
+        .expect("slice runs");
+
+    // …then APPENDs X and a fresh Z: (X, Y, Y, X, X, Z) — "whether those
+    // passengers would take one more follow-up trip and if so where".
+    let location = engine.db().attr("location").expect("schema");
+    session
+        .apply(Op::Append {
+            symbol: "X".into(),
+            attr: location,
+            level: 0,
+        })
+        .expect("append X");
+    let out = session
+        .apply(Op::Append {
+            symbol: "Z".into(),
+            attr: location,
+            level: 0,
+        })
+        .expect("append Z");
+    println!(
+        "Q2 — template {} (strategy {}, {} sequences scanned):",
+        session.spec().template.render_head(),
+        out.stats.strategy,
+        out.stats.sequences_scanned
+    );
+    println!("{}", session.cuboid().tabulate(engine.db(), 8, true));
+
+    // Too fragmented? P-ROLL-UP Z from stations to districts.
+    let out = session
+        .apply(Op::PRollUp { dim: "Z".into() })
+        .expect("p-roll-up runs");
+    println!(
+        "after P-ROLL-UP Z → district ({} cells, {} sequences scanned):",
+        out.cuboid.len(),
+        out.stats.sequences_scanned
+    );
+    println!("{}", session.cuboid().tabulate(engine.db(), 8, true));
+
+    // The session kept the whole trail.
+    println!("navigation history:");
+    for h in session.history() {
+        println!(
+            "  {:<14} {} cells in {:?}",
+            h.op.as_deref().unwrap_or("initial"),
+            h.spec.template.render_head(),
+            h.stats.elapsed
+        );
+    }
+}

@@ -1,0 +1,218 @@
+//! Property test: `SCuboidSpec::render` emits text the parser maps back to
+//! a fingerprint-identical spec, across randomized specs — so cached
+//! cuboids, saved queries and the CLI all speak one canonical language.
+
+use proptest::prelude::*;
+
+#[allow(unused_imports)]
+use s_olap::prelude::{
+    AggFunc, AttrLevel, CellRestriction, CmpOp, ColumnType, EventDb, EventDbBuilder, MatchPred,
+    PatternKind, PatternTemplate, Pred, SCuboidSpec, SortKey, SumMode, Value,
+};
+
+fn db() -> EventDb {
+    let mut db = EventDbBuilder::new()
+        .dimension("time", ColumnType::Time)
+        .dimension("card-id", ColumnType::Int)
+        .dimension("location", ColumnType::Str)
+        .dimension("action", ColumnType::Str)
+        .measure("amount", ColumnType::Float)
+        .build()
+        .unwrap();
+    db.set_time_hierarchy(0, s_olap::eventdb::TimeHierarchy::full())
+        .unwrap();
+    for (i, st) in ["Pentagon", "Wheaton", "Glenmont", "Clarendon"]
+        .iter()
+        .enumerate()
+    {
+        db.push_row(&[
+            Value::from("2007-10-01T08:00"),
+            Value::Int(600 + i as i64),
+            Value::from(*st),
+            Value::from(if i % 2 == 0 { "in" } else { "out" }),
+            Value::Float(i as f64),
+        ])
+        .unwrap();
+    }
+    db.set_base_level_name(2, "station");
+    db.attach_str_level(2, "district", |s| {
+        if s == "Pentagon" || s == "Clarendon" {
+            "D10".into()
+        } else {
+            "D20".into()
+        }
+    })
+    .unwrap();
+    db.set_base_level_name(1, "individual");
+    db.attach_int_level(1, "fare-group", |id| {
+        if id % 2 == 0 {
+            "regular".into()
+        } else {
+            "student".into()
+        }
+    })
+    .unwrap();
+    db
+}
+
+#[derive(Debug, Clone)]
+struct SpecShape {
+    symbols: Vec<usize>,
+    levels: [usize; 3],
+    kind_subseq: bool,
+    restriction: u8,
+    agg: u8,
+    with_filter: bool,
+    with_groups: bool,
+    pred_positions: Vec<(usize, bool)>,
+    slice_pattern: bool,
+    slice_global: bool,
+    min_support: Option<u64>,
+}
+
+fn shape() -> impl Strategy<Value = SpecShape> {
+    (
+        prop::collection::vec(0usize..3, 1..5),
+        [0usize..2, 0usize..2, 0usize..2],
+        any::<bool>(),
+        0u8..3,
+        0u8..6,
+        any::<bool>(),
+        any::<bool>(),
+        prop::collection::vec((0usize..4, any::<bool>()), 0..3),
+        any::<bool>(),
+        any::<bool>(),
+        prop::option::of(0u64..50),
+    )
+        .prop_map(
+            |(
+                symbols,
+                levels,
+                kind_subseq,
+                restriction,
+                agg,
+                with_filter,
+                with_groups,
+                pred_positions,
+                slice_pattern,
+                slice_global,
+                min_support,
+            )| SpecShape {
+                symbols,
+                levels,
+                kind_subseq,
+                restriction,
+                agg,
+                with_filter,
+                with_groups,
+                pred_positions,
+                slice_pattern,
+                slice_global,
+                min_support,
+            },
+        )
+}
+
+fn build_spec(db: &EventDb, s: &SpecShape) -> SCuboidSpec {
+    let names = ["X", "Y", "Z"];
+    let position_syms: Vec<&str> = s.symbols.iter().map(|&d| names[d]).collect();
+    let mut bindings: Vec<(&str, u32, usize)> = Vec::new();
+    for &d in &s.symbols {
+        let n = names[d];
+        if !bindings.iter().any(|(b, _, _)| *b == n) {
+            bindings.push((n, 2, s.levels[d]));
+        }
+    }
+    let kind = if s.kind_subseq {
+        PatternKind::Subsequence
+    } else {
+        PatternKind::Substring
+    };
+    let template = PatternTemplate::new(kind, &position_syms, &bindings).unwrap();
+    let m = template.m();
+    let restriction = match s.restriction {
+        0 => CellRestriction::LeftMaximalityMatchedGo,
+        1 => CellRestriction::LeftMaximalityDataGo,
+        _ => CellRestriction::AllMatchedGo,
+    };
+    let agg = match s.agg {
+        0 => AggFunc::Count,
+        1 => AggFunc::Sum(4, SumMode::AllEvents),
+        2 => AggFunc::Sum(4, SumMode::FirstEvent),
+        3 => AggFunc::Avg(4, SumMode::AllEvents),
+        4 => AggFunc::Min(4),
+        _ => AggFunc::Max(4),
+    };
+    let mpred = MatchPred::all(
+        s.pred_positions
+            .iter()
+            .filter(|(p, _)| *p < m)
+            .map(|(p, want_in)| {
+                MatchPred::cmp(*p, 3, CmpOp::Eq, if *want_in { "in" } else { "out" })
+            }),
+    );
+    let mut spec = SCuboidSpec::new(
+        template,
+        vec![AttrLevel::new(1, 0), AttrLevel::new(0, 2)], // card-id, time AT day
+        vec![SortKey {
+            attr: 0,
+            ascending: true,
+        }],
+    )
+    .with_agg(agg)
+    .with_restriction(restriction)
+    .with_mpred(mpred);
+    if s.with_filter {
+        // Time literals are written canonically as Value::Time — exactly
+        // what the parser normalizes string timestamps into.
+        let t0 = s_olap::eventdb::time::parse_timestamp("2007-10-01T00:00").unwrap();
+        spec = spec.with_filter(Pred::cmp(0, CmpOp::Ge, Value::Time(t0)).and(
+            Pred::cmp(2, CmpOp::Ne, "Atlantis").or(Pred::cmp(4, CmpOp::Lt, Value::Float(2.5))),
+        ));
+    }
+    if s.with_groups {
+        spec = spec.with_group_by(vec![AttrLevel::new(1, 1), AttrLevel::new(0, 2)]);
+        if s.slice_global {
+            let v = db.parse_level_value(1, 1, "regular").unwrap();
+            spec.global_slice.insert(0, v);
+        }
+    }
+    if s.slice_pattern {
+        let d0 = &spec.template.dims[0];
+        // Slice either at the dimension's level or at the coarser district
+        // level (exercising the AT clause in the rendered text).
+        let (level, v) = if d0.level == 0 && s.kind_subseq {
+            (1, db.parse_level_value(2, 1, "D10").unwrap())
+        } else if d0.level == 0 {
+            (0, db.parse_level_value(2, 0, "Pentagon").unwrap())
+        } else {
+            (1, db.parse_level_value(2, 1, "D10").unwrap())
+        };
+        spec.pattern_slice.insert(0, (level, v));
+    }
+    spec.min_support = s.min_support;
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn render_then_parse_is_identity(s in shape()) {
+        let db = db();
+        let spec = build_spec(&db, &s);
+        prop_assert!(spec.validate(&db).is_ok());
+        let text = spec.render(&db);
+        let reparsed = s_olap::query::parse_query(&db, &text)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n--- query ---\n{text}")))?;
+        prop_assert_eq!(
+            spec.fingerprint(),
+            reparsed.fingerprint(),
+            "render → parse changed the spec:\n{}\n--- reparsed ---\n{}",
+            text,
+            reparsed.render(&db)
+        );
+        // And rendering again is stable (idempotent pretty-printer).
+        prop_assert_eq!(text, reparsed.render(&db));
+    }
+}

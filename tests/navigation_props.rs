@@ -1,0 +1,202 @@
+//! Property test: random navigation journeys.
+//!
+//! The inverted-index fast paths (prefix-join APPEND, left-join PREPEND,
+//! list-merge P-ROLL-UP, refinement P-DRILL-DOWN, cuboid-repository
+//! DE-HEAD/DE-TAIL) are only exercised through `Engine::execute_op` with
+//! operation hints — so this test drives a CB engine and an II engine
+//! through the *same random sequence of operations* and asserts cell-exact
+//! agreement after every step. This is the invariant an interactive
+//! exploration session rests on.
+
+use proptest::prelude::*;
+
+use s_olap::prelude::Strategy as EngineStrategy;
+#[allow(unused_imports)]
+use s_olap::prelude::{
+    AttrLevel, CmpOp, ColumnType, Engine, EngineConfig, EventDb, EventDbBuilder, MatchPred, Op,
+    PatternKind, PatternTemplate, SCuboidSpec, SortKey, Value,
+};
+
+fn build_db(seqs: &[Vec<u8>]) -> EventDb {
+    let mut db = EventDbBuilder::new()
+        .dimension("sid", ColumnType::Int)
+        .dimension("pos", ColumnType::Int)
+        .dimension("symbol", ColumnType::Str)
+        .build()
+        .unwrap();
+    for (sid, seq) in seqs.iter().enumerate() {
+        for (pos, &sym) in seq.iter().enumerate() {
+            db.push_row(&[
+                Value::Int(sid as i64),
+                Value::Int(pos as i64),
+                Value::Str(format!("s{}", sym % 6)),
+            ])
+            .unwrap();
+        }
+    }
+    db.set_base_level_name(2, "symbol");
+    db.attach_str_level(2, "parity", |n| {
+        let v: u32 = n[1..].parse().unwrap();
+        format!("p{}", v % 2)
+    })
+    .unwrap();
+    db.attach_str_level(2, "all", |_| "⊤".into()).unwrap();
+    db
+}
+
+fn initial_spec() -> SCuboidSpec {
+    let t = PatternTemplate::new(
+        PatternKind::Substring,
+        &["X", "Y"],
+        &[("X", 2, 0), ("Y", 2, 0)],
+    )
+    .unwrap();
+    SCuboidSpec::new(
+        t,
+        vec![AttrLevel::new(0, 0)],
+        vec![SortKey {
+            attr: 1,
+            ascending: true,
+        }],
+    )
+}
+
+/// An abstract navigation move, concretised against the current spec (so
+/// random sequences stay valid: levels in range, symbols existing, etc.).
+#[derive(Debug, Clone, Copy)]
+enum Move {
+    AppendNew,
+    AppendExisting,
+    Prepend,
+    DeTail,
+    DeHead,
+    PRollUp(u8),
+    PDrillDown(u8),
+    SliceTop,
+    MinSupport(u8),
+}
+
+fn concretise(engine: &Engine, spec: &SCuboidSpec, mv: Move) -> Option<Op> {
+    let db = engine.db();
+    match mv {
+        Move::AppendNew => Some(Op::Append {
+            symbol: spec.template.fresh_symbol_name(),
+            attr: 2,
+            level: 0,
+        }),
+        Move::AppendExisting => {
+            let d = spec.template.dims.first()?;
+            Some(Op::Append {
+                symbol: d.name.clone(),
+                attr: d.attr,
+                level: d.level,
+            })
+        }
+        Move::Prepend => {
+            let d = spec.template.dims.last()?;
+            Some(Op::Prepend {
+                symbol: d.name.clone(),
+                attr: d.attr,
+                level: d.level,
+            })
+        }
+        Move::DeTail => (spec.template.m() > 1).then_some(Op::DeTail),
+        Move::DeHead => (spec.template.m() > 1).then_some(Op::DeHead),
+        Move::PRollUp(i) => {
+            let dims = &spec.template.dims;
+            let d = &dims[i as usize % dims.len()];
+            (d.level + 1 < db.level_count(d.attr)).then(|| Op::PRollUp {
+                dim: d.name.clone(),
+            })
+        }
+        Move::PDrillDown(i) => {
+            let dims = &spec.template.dims;
+            let d = &dims[i as usize % dims.len()];
+            (d.level > 0).then(|| Op::PDrillDown {
+                dim: d.name.clone(),
+            })
+        }
+        Move::SliceTop => {
+            let out = engine.execute(spec).ok()?;
+            let top = out.cuboid.top_k(1);
+            let (key, _) = top.first()?;
+            Some(Op::Dice {
+                global: vec![],
+                pattern: spec
+                    .template
+                    .dims
+                    .iter()
+                    .enumerate()
+                    .map(|(i, d)| (d.name.clone(), key.pattern[i]))
+                    .collect(),
+            })
+        }
+        Move::MinSupport(n) => Some(Op::SetMinSupport(if n == 0 {
+            None
+        } else {
+            Some(n as u64)
+        })),
+    }
+}
+
+fn move_strategy() -> impl Strategy<Value = Move> {
+    prop_oneof![
+        Just(Move::AppendNew),
+        Just(Move::AppendExisting),
+        Just(Move::Prepend),
+        Just(Move::DeTail),
+        Just(Move::DeHead),
+        any::<u8>().prop_map(Move::PRollUp),
+        any::<u8>().prop_map(Move::PDrillDown),
+        Just(Move::SliceTop),
+        (0u8..4).prop_map(Move::MinSupport),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cb_and_ii_agree_along_every_journey(
+        seqs in prop::collection::vec(prop::collection::vec(0u8..6, 0..8), 1..10),
+        moves in prop::collection::vec(move_strategy(), 0..8),
+    ) {
+        let cb = Engine::with_config(
+            build_db(&seqs),
+            EngineConfig { strategy: EngineStrategy::CounterBased, ..Default::default() },
+        );
+        let ii = Engine::with_config(
+            build_db(&seqs),
+            EngineConfig { strategy: EngineStrategy::InvertedIndex, ..Default::default() },
+        );
+        let mut spec_cb = initial_spec();
+        let mut spec_ii = initial_spec();
+        let out_cb = cb.execute(&spec_cb).unwrap();
+        let out_ii = ii.execute(&spec_ii).unwrap();
+        prop_assert_eq!(&out_cb.cuboid.cells, &out_ii.cuboid.cells, "initial");
+        // Cap the template length so subsequence-free journeys stay fast.
+        for (step, mv) in moves.into_iter().enumerate() {
+            if spec_cb.template.m() >= 5
+                && matches!(mv, Move::AppendNew | Move::AppendExisting | Move::Prepend)
+            {
+                continue;
+            }
+            // Concretise against the CB engine (same data ⇒ same answer on
+            // the II engine; SliceTop consults the cuboid, which the
+            // equality assertion of the previous step guarantees agrees).
+            let Some(op) = concretise(&cb, &spec_cb, mv) else { continue };
+            let (ns_cb, o_cb) = cb.execute_op(&spec_cb, &op).unwrap();
+            let (ns_ii, o_ii) = ii.execute_op(&spec_ii, &op).unwrap();
+            prop_assert_eq!(ns_cb.fingerprint(), ns_ii.fingerprint(), "specs diverged");
+            prop_assert_eq!(
+                &o_cb.cuboid.cells,
+                &o_ii.cuboid.cells,
+                "step {} ({:?}) diverged",
+                step,
+                op.name()
+            );
+            spec_cb = ns_cb;
+            spec_ii = ns_ii;
+        }
+    }
+}
