@@ -5,7 +5,7 @@
 //! ```
 //!
 //! Experiments: `table1`, `fig16`, `qa-vary-l`, `qb`, `qc`, `vary-theta`,
-//! `vary-i`, `subsequence`, `ablation`, or `all`. `--scale s` multiplies
+//! `vary-i`, `subsequence`, `ablation`, `threads`, or `all`. `--scale s` multiplies
 //! the paper's sequence counts `D` (1.0 = the paper's 100K–1M sizes;
 //! default 0.05 finishes in a few minutes).
 
@@ -19,7 +19,7 @@ use solap_core::{Engine, EngineConfig, Strategy};
 use solap_datagen::{generate_clickstream, generate_synthetic, ClickstreamConfig, SyntheticConfig};
 use solap_eventdb::EventDb;
 use solap_index::SetBackend;
-use solap_pattern::PatternKind;
+use solap_pattern::{AggFunc, PatternKind, SumMode};
 
 fn cfg(strategy: Strategy) -> EngineConfig {
     EngineConfig {
@@ -203,24 +203,7 @@ fn ablation(scale: f64) {
         );
     }
 
-    println!("=== Ablation: parallel counter scans (CB threads) ===");
-    for threads in [1usize, 4] {
-        let engine = Engine::with_config(
-            db.clone(),
-            EngineConfig {
-                strategy: Strategy::CounterBased,
-                threads,
-                ..Default::default()
-            },
-        );
-        let spec =
-            synthetic_spec(engine.db(), PatternKind::Substring, &["X", "Y"], 0).expect("spec");
-        let out = engine.execute(&spec).expect("query");
-        println!(
-            "  CB×{threads} runtime {:>8.1} ms",
-            out.stats.elapsed.as_secs_f64() * 1000.0
-        );
-    }
+    thread_scaling(scale);
 
     println!("=== Ablation: iceberg minimum support (§6) ===");
     let engine = Engine::new(db);
@@ -239,6 +222,68 @@ fn ablation(scale: f64) {
             out.cuboid.len(),
             out.stats.elapsed.as_secs_f64() * 1000.0
         );
+    }
+}
+
+/// Thread scaling of parallel construction on the §5.2 synthetic workload:
+/// the `(X, Y)` substring query under CB COUNT, CB SUM and the II path
+/// (base-index build sharded by sid range) at 1/2/4/8 worker threads.
+fn thread_scaling(scale: f64) {
+    let d = ((200_000.0 * scale) as usize).max(100);
+    println!("=== Thread scaling: parallel construction (I=100, L=20, θ=0.9, D={d}) ===");
+    let db = synthetic(100, 20.0, 0.9, d, false);
+    let pos = db.attr("pos").expect("pos attr");
+    let rows: [(&str, Strategy, Option<AggFunc>); 3] = [
+        ("CB COUNT", Strategy::CounterBased, None),
+        (
+            "CB SUM",
+            Strategy::CounterBased,
+            Some(AggFunc::Sum(pos, SumMode::AllEvents)),
+        ),
+        ("II COUNT", Strategy::InvertedIndex, None),
+    ];
+    println!(
+        "  {:<9} {:>9} {:>9} {:>9} {:>9}   ms for (X, Y) substring; speedup vs t=1 in ()",
+        "query", "t=1", "t=2", "t=4", "t=8"
+    );
+    for (label, strategy, agg) in rows {
+        let mut line = format!("  {label:<9}");
+        let mut baseline_ms = 0.0f64;
+        for threads in [1usize, 2, 4, 8] {
+            // Best of two runs on FRESH engines (so the index store and
+            // sequence cache can't turn the repeat into a cache hit).
+            let ms = (0..2)
+                .map(|_| {
+                    let engine = Engine::with_config(
+                        db.clone(),
+                        EngineConfig {
+                            strategy,
+                            threads,
+                            use_cuboid_repo: false,
+                            ..Default::default()
+                        },
+                    );
+                    let mut spec =
+                        synthetic_spec(engine.db(), PatternKind::Substring, &["X", "Y"], 0)
+                            .expect("spec");
+                    if let Some(a) = agg {
+                        spec = spec.with_agg(a);
+                    }
+                    engine
+                        .execute(&spec)
+                        .expect("query")
+                        .stats
+                        .elapsed
+                        .as_secs_f64()
+                        * 1000.0
+                })
+                .fold(f64::INFINITY, f64::min);
+            if threads == 1 {
+                baseline_ms = ms;
+            }
+            line.push_str(&format!(" {:>5.1} ({:>3.1}x)", ms, baseline_ms / ms));
+        }
+        println!("{line}");
     }
 }
 
@@ -273,6 +318,7 @@ fn main() {
             "vary-i" => vary_i(scale),
             "subsequence" => subsequence(scale),
             "ablation" => ablation(scale),
+            "threads" => thread_scaling(scale),
             "all" => {
                 table1(scale);
                 fig16(scale);
@@ -286,7 +332,7 @@ fn main() {
             }
             other => {
                 eprintln!(
-                    "unknown experiment `{other}` — table1|fig16|qa-vary-l|qb|qc|vary-theta|vary-i|subsequence|ablation|all"
+                    "unknown experiment `{other}` — table1|fig16|qa-vary-l|qb|qc|vary-theta|vary-i|subsequence|ablation|threads|all"
                 );
                 std::process::exit(2);
             }

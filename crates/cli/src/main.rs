@@ -153,6 +153,19 @@ impl Repl {
                     }
                 };
             }
+            "threads" => {
+                let engine = self
+                    .engine
+                    .as_mut()
+                    .ok_or_else(|| CliError("no dataset loaded".into()))?;
+                let n: usize = args
+                    .first()
+                    .ok_or_else(|| CliError("usage: .threads N".into()))?
+                    .parse()
+                    .map_err(|_| CliError("usage: .threads N (N ≥ 1)".into()))?;
+                engine.config_mut().threads = n.max(1);
+                writeln!(out, "worker threads: {}", engine.config().threads).map_err(io_err)?;
+            }
             "op" => {
                 let prev = self
                     .current
@@ -380,6 +393,7 @@ fn write_help(out: &mut impl Write) -> io::Result<()> {
   .strategy cb|ii|auto                           pick the construction approach
   .backend list|bitmap                           pick the inverted-list encoding
   .counters hash|dense|auto                      pick the CB counter layout
+  .threads N                                     worker threads for construction (1 = sequential)
   .op append SYM [ATTR LEVEL] | prepend SYM [ATTR LEVEL]
   .op detail | dehead | prollup DIM | pdrilldown DIM
   .op rollup ATTR | drilldown ATTR
@@ -516,6 +530,28 @@ mod tests {
         }
         let mut out = Vec::new();
         repl.handle(".strategy warp", &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("error"));
+    }
+
+    #[test]
+    fn threads_command_sets_worker_count() {
+        let mut repl = setup();
+        let mut out = Vec::new();
+        repl.handle(".threads 4", &mut out).unwrap();
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .contains("worker threads: 4"));
+        assert_eq!(repl.engine.as_ref().unwrap().config().threads, 4);
+        // A parallel run still answers queries correctly.
+        let mut out = Vec::new();
+        repl.handle(QUERY, &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("cells via"));
+        // Zero clamps to one; garbage is an error.
+        let mut out = Vec::new();
+        repl.handle(".threads 0", &mut out).unwrap();
+        assert_eq!(repl.engine.as_ref().unwrap().config().threads, 1);
+        let mut out = Vec::new();
+        repl.handle(".threads lots", &mut out).unwrap();
         assert!(String::from_utf8(out).unwrap().contains("error"));
     }
 

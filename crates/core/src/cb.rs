@@ -205,11 +205,19 @@ fn dense_strides(db: &EventDb, spec: &SCuboidSpec) -> Option<(Vec<usize>, usize)
     Some((strides, total))
 }
 
-/// A parallel variant of [`counter_based`] for COUNT queries: the sequences
-/// of each group are scanned by `threads` workers with thread-local hash
-/// counters, merged at the end. Deterministic for COUNT (integer merge is
-/// order-independent). Falls back to the sequential path for other
-/// aggregates.
+/// A parallel variant of [`counter_based`] covering **every** aggregate
+/// function: the sequences of each group are sharded across `threads`
+/// workers, each folding a thread-local `cell → AggState` map and a
+/// thread-local [`ScanMeter`]; at join time the partial states are merged
+/// with [`AggState::merge`] and the meters absorbed into `meter`.
+///
+/// Determinism: worker results are merged **in chunk order** (the order
+/// the shards were cut from the group's sid-sorted sequence list), so each
+/// cell's partial states always combine in the same sequence regardless of
+/// thread scheduling, and finished cells are inserted in **sorted key
+/// order**. Count/Min/Max merges are order-independent outright; Sum/Avg
+/// carry `(sum, n)` partials whose fixed association order makes the
+/// float result reproducible run-to-run.
 pub fn counter_based_parallel(
     db: &EventDb,
     groups: &SequenceGroups,
@@ -217,7 +225,7 @@ pub fn counter_based_parallel(
     threads: usize,
     meter: &mut ScanMeter,
 ) -> Result<SCuboid> {
-    if !matches!(spec.agg, AggFunc::Count) || threads <= 1 {
+    if threads <= 1 {
         return counter_based(db, groups, spec, CounterMode::Hash, meter);
     }
     let mut cuboid = SCuboid::new(
@@ -229,49 +237,61 @@ pub fn counter_based_parallel(
         if !group_selected(spec, &group.key) {
             continue;
         }
-        for seq in &group.sequences {
-            meter.touch(seq.sid);
+        if group.sequences.is_empty() {
+            continue;
         }
         let chunk = group.sequences.len().div_ceil(threads).max(1);
-        let partials: Vec<Result<HashMap<Vec<LevelValue>, u64>>> =
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = group
-                    .sequences
-                    .chunks(chunk)
-                    .map(|seqs| {
-                        scope.spawn(move |_| -> Result<HashMap<Vec<LevelValue>, u64>> {
-                            let matcher = Matcher::new(db, &spec.template, &spec.mpred);
-                            let mut local: HashMap<Vec<LevelValue>, u64> = HashMap::new();
-                            for seq in seqs {
-                                for a in matcher.assignments(seq, spec.restriction)? {
-                                    if cell_selected(db, spec, &a.cell)? {
-                                        *local.entry(a.cell).or_default() += 1;
-                                    }
+        type Partial = (HashMap<Vec<LevelValue>, AggState>, ScanMeter);
+        let partials: Vec<Result<Partial>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = group
+                .sequences
+                .chunks(chunk)
+                .map(|seqs| {
+                    scope.spawn(move || -> Result<Partial> {
+                        let matcher = Matcher::new(db, &spec.template, &spec.mpred);
+                        let mut local: HashMap<Vec<LevelValue>, AggState> = HashMap::new();
+                        let mut local_meter = ScanMeter::new();
+                        for seq in seqs {
+                            local_meter.touch(seq.sid);
+                            for a in matcher.assignments(seq, spec.restriction)? {
+                                if !cell_selected(db, spec, &a.cell)? {
+                                    continue;
                                 }
+                                local
+                                    .entry(a.cell.clone())
+                                    .or_insert_with(|| AggState::new(spec.agg))
+                                    .update(db, spec.agg, seq, &a)?;
                             }
-                            Ok(local)
-                        })
+                        }
+                        Ok((local, local_meter))
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker panicked"))
-                    .collect()
-            })
-            .expect("scope panicked");
-        let mut merged: HashMap<Vec<LevelValue>, u64> = HashMap::new();
-        for p in partials {
-            for (cell, c) in p? {
-                *merged.entry(cell).or_default() += c;
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        let mut merged: HashMap<Vec<LevelValue>, AggState> = HashMap::new();
+        for partial in partials {
+            let (local, local_meter) = partial?;
+            meter.absorb(&local_meter);
+            for (cell, state) in local {
+                merged
+                    .entry(cell)
+                    .or_insert_with(|| AggState::new(spec.agg))
+                    .merge(&state);
             }
         }
-        for (cell, count) in merged {
+        let mut cells: Vec<(Vec<LevelValue>, AggState)> = merged.into_iter().collect();
+        cells.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        for (cell, state) in cells {
             cuboid.cells.insert(
                 CellKey {
                     global: group.key.clone(),
                     pattern: cell,
                 },
-                solap_pattern::AggValue::Count(count),
+                state.finish(),
             );
         }
     }

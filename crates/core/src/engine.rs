@@ -44,7 +44,8 @@ pub struct EngineConfig {
     pub counter_mode: CounterMode,
     /// Whether the cuboid repository answers repeated queries.
     pub use_cuboid_repo: bool,
-    /// Worker threads for parallel counter scans (1 = sequential).
+    /// Worker threads for parallel construction — both counter scans and
+    /// inverted-index base builds (1 = sequential).
     pub threads: usize,
 }
 
@@ -55,9 +56,18 @@ impl Default for EngineConfig {
             backend: SetBackend::List,
             counter_mode: CounterMode::Auto,
             use_cuboid_repo: true,
-            threads: 1,
+            threads: threads_from_env(),
         }
     }
+}
+
+/// Default worker count: the `SOLAP_THREADS` environment variable when set
+/// (CI runs the whole suite at 1 and 8), otherwise 1.
+fn threads_from_env() -> usize {
+    std::env::var("SOLAP_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map_or(1, |n| n.max(1))
 }
 
 /// The result of one query: the cuboid plus execution statistics.
@@ -226,7 +236,8 @@ impl Engine {
                     self.groups_fp(spec),
                     &self.index_store,
                     self.config.backend,
-                );
+                )
+                .with_threads(self.config.threads);
                 if let Some((prev, op)) = hint {
                     // Preparation only touches the index store; on any
                     // refusal the generic QUERYINDICES path takes over.
@@ -282,7 +293,8 @@ impl Engine {
             self.groups_fp(spec),
             &self.index_store,
             self.config.backend,
-        );
+        )
+        .with_threads(self.config.threads);
         ex.precompute_generic(attr, level, m, spec.template.kind)
     }
 }

@@ -61,10 +61,12 @@ pub struct IiExecutor<'a> {
     pub groups_fp: u64,
     store: &'a IndexStore,
     backend: SetBackend,
+    threads: usize,
 }
 
 impl<'a> IiExecutor<'a> {
-    /// Creates an executor.
+    /// Creates an executor (single-threaded index construction; see
+    /// [`IiExecutor::with_threads`]).
     pub fn new(
         db: &'a EventDb,
         groups: &'a SequenceGroups,
@@ -78,7 +80,15 @@ impl<'a> IiExecutor<'a> {
             groups_fp,
             store,
             backend,
+            threads: 1,
         }
+    }
+
+    /// Sets the worker count for base-index construction (`threads ≤ 1`
+    /// keeps the sequential path).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 
     fn key(&self, group_idx: usize, sig: TemplateSignature, slice_fp: u64) -> IndexKey {
@@ -295,6 +305,12 @@ impl<'a> IiExecutor<'a> {
     }
 
     /// BUILDINDEX over the group's sequences (used for `m ≤ 2` bases).
+    ///
+    /// With `threads > 1` the group's (sid-sorted) sequence list is cut
+    /// into contiguous sid-range shards, one BUILDINDEX per worker, and
+    /// the per-shard posting lists are concatenated **in shard order** —
+    /// which reproduces the sequential push order of every list exactly,
+    /// so the parallel index is identical to the sequential one.
     fn build_base(
         &self,
         group_idx: usize,
@@ -303,7 +319,11 @@ impl<'a> IiExecutor<'a> {
         stats: &mut ExecStats,
     ) -> Result<Arc<InvertedIndex>> {
         let group = &self.groups.groups[group_idx];
-        let (index, _scanned) = build_index(self.db, &group.sequences, template, self.backend)?;
+        let index = if self.threads > 1 && group.sequences.len() > 1 {
+            self.build_base_parallel(group, template)?
+        } else {
+            build_index(self.db, &group.sequences, template, self.backend)?.0
+        };
         for seq in &group.sequences {
             meter.touch(seq.sid);
         }
@@ -315,6 +335,48 @@ impl<'a> IiExecutor<'a> {
             Arc::clone(&index),
         );
         Ok(index)
+    }
+
+    /// The sharded BUILDINDEX described on [`IiExecutor::build_base`].
+    fn build_base_parallel(
+        &self,
+        group: &solap_eventdb::SequenceGroup,
+        template: &PatternTemplate,
+    ) -> Result<InvertedIndex> {
+        let chunk = group.sequences.len().div_ceil(self.threads).max(1);
+        let partials: Vec<Result<InvertedIndex>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = group
+                .sequences
+                .chunks(chunk)
+                .map(|seqs| {
+                    scope.spawn(move || {
+                        build_index(self.db, seqs, template, self.backend).map(|(ix, _)| ix)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        let mut merged = InvertedIndex::new(template.signature(), self.backend);
+        for partial in partials {
+            // Shard order = ascending sid ranges, so per-pattern pushes
+            // arrive in the same nondecreasing sid order as a full scan.
+            for (pattern, set) in partial?.lists {
+                let slot = merged
+                    .lists
+                    .entry(pattern)
+                    .or_insert_with(|| match self.backend {
+                        SetBackend::List => solap_index::SidSet::empty_list(),
+                        SetBackend::Bitmap => solap_index::SidSet::empty_bitmap(),
+                    });
+                for sid in set.iter() {
+                    slot.push(sid);
+                }
+            }
+        }
+        Ok(merged)
     }
 
     /// Expands a spec's per-dimension pattern slice into a per-position

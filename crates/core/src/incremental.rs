@@ -141,8 +141,7 @@ pub fn extend_groups(
             }),
         }
     }
-    let provisional_new: Vec<solap_eventdb::Sid> =
-        (first_provisional..next_sid).collect();
+    let provisional_new: Vec<solap_eventdb::Sid> = (first_provisional..next_sid).collect();
     // Rebuild the sid lookup; this may renumber, so translate the
     // provisional new sids to their final values by position.
     let (rebuilt, mapping) = rebuild_lookup(result);
@@ -162,7 +161,10 @@ pub fn extend_groups(
 /// contiguous).
 fn rebuild_lookup(
     mut groups: SequenceGroups,
-) -> (SequenceGroups, BTreeMap<solap_eventdb::Sid, solap_eventdb::Sid>) {
+) -> (
+    SequenceGroups,
+    BTreeMap<solap_eventdb::Sid, solap_eventdb::Sid>,
+) {
     // Check contiguity; if violated, renumber deterministically.
     let mut expected = 0u32;
     let mut contiguous = true;
@@ -309,7 +311,8 @@ mod tests {
             db.push_row(&[Value::Int(2), Value::Int(i as i64), Value::from(*item)])
                 .unwrap();
         }
-        let (extended_groups, new_sids) = extend_groups(&db, &spec(), &old_groups, from_row).unwrap();
+        let (extended_groups, new_sids) =
+            extend_groups(&db, &spec(), &old_groups, from_row).unwrap();
         let new_seqs: Vec<Sequence> = new_sids
             .iter()
             .map(|&sid| extended_groups.sequence(sid).clone())
@@ -340,11 +343,15 @@ mod tests {
                     .unwrap();
             }
         }
-        db.attach_int_level(0, "parity", |d| format!("p{}", d % 2)).unwrap();
+        db.attach_int_level(0, "parity", |d| format!("p{}", d % 2))
+            .unwrap();
         let spec = SeqQuerySpec {
             filter: Pred::True,
             cluster_by: vec![AttrLevel::new(0, 0)],
-            sequence_by: vec![SortKey { attr: 1, ascending: true }],
+            sequence_by: vec![SortKey {
+                attr: 1,
+                ascending: true,
+            }],
             group_by: vec![AttrLevel::new(0, 1)],
         };
         let old = build_sequence_groups(&db, &spec).unwrap();
@@ -352,7 +359,8 @@ mod tests {
         let from_row = db.len() as u32;
         db.add_int_mapping(0, 4, "p0").unwrap();
         for pos in 0..2i64 {
-            db.push_row(&[Value::Int(4), Value::Int(pos), Value::from("y")]).unwrap();
+            db.push_row(&[Value::Int(4), Value::Int(pos), Value::from("y")])
+                .unwrap();
         }
         let (ext, new_sids) = extend_groups(&db, &spec, &old, from_row).unwrap();
         assert_eq!(new_sids.len(), 1);

@@ -78,6 +78,16 @@ impl ScanMeter {
     pub fn count(&self) -> u64 {
         self.count
     }
+
+    /// Folds another meter into this one, preserving the distinct-count
+    /// semantics: a sequence touched by several workers is still charged
+    /// once. This is how per-worker meters from parallel construction are
+    /// summed at join time.
+    pub fn absorb(&mut self, other: &ScanMeter) {
+        for sid in other.visited.iter() {
+            self.touch(sid);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -93,6 +103,18 @@ mod tests {
         assert_eq!(m.count(), 3);
         m.touch_range(0..5);
         assert_eq!(m.count(), 6); // 0,3,4 new
+    }
+
+    #[test]
+    fn absorb_preserves_distinct_counting() {
+        let mut a = ScanMeter::new();
+        a.touch_range([1, 2, 3].into_iter());
+        let mut b = ScanMeter::new();
+        b.touch_range([3, 4, 700].into_iter());
+        a.absorb(&b);
+        assert_eq!(a.count(), 5, "overlap charged once");
+        a.absorb(&ScanMeter::new());
+        assert_eq!(a.count(), 5);
     }
 
     #[test]

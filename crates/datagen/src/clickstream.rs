@@ -147,7 +147,7 @@ pub fn generate_clickstream(cfg: &ClickstreamConfig) -> Result<EventDb> {
                 Value::Time(t),
                 Value::from(page.as_str()),
             ])?;
-            t += rng.gen_range(5..180);
+            t += rng.gen_range(5..180i64);
             if click + 1 == clicks {
                 break;
             }

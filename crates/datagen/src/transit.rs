@@ -102,7 +102,7 @@ pub fn generate_transit(cfg: &TransitConfig) -> Result<EventDb> {
                 continue;
             }
             let mut t =
-                day0 + (day as i64) * time::SECS_PER_DAY + rng.gen_range(5 * 3600..11 * 3600);
+                day0 + (day as i64) * time::SECS_PER_DAY + rng.gen_range(5 * 3600..11 * 3600i64);
             if rng.gen::<f64>() < cfg.deposit_rate {
                 let st = station_pick.sample(&mut rng);
                 db.push_row(&[
@@ -112,7 +112,7 @@ pub fn generate_transit(cfg: &TransitConfig) -> Result<EventDb> {
                     Value::from("deposit"),
                     Value::Float(100.0),
                 ])?;
-                t += rng.gen_range(60..300);
+                t += rng.gen_range(60..300i64);
             }
             let origin = station_pick.sample(&mut rng);
             let mut dest = station_pick.sample(&mut rng);
@@ -133,7 +133,7 @@ pub fn generate_transit(cfg: &TransitConfig) -> Result<EventDb> {
                     in_v.clone(),
                     Value::Float(0.0),
                 ])?;
-                *t += rng.gen_range(10 * 60..50 * 60);
+                *t += rng.gen_range(10 * 60..50 * 60i64);
                 db.push_row(&[
                     Value::Time(*t),
                     Value::Int(card_id),
@@ -141,7 +141,7 @@ pub fn generate_transit(cfg: &TransitConfig) -> Result<EventDb> {
                     out_v.clone(),
                     Value::Float(fare),
                 ])?;
-                *t += rng.gen_range(30 * 60..5 * 3600);
+                *t += rng.gen_range(30 * 60..5 * 3600i64);
                 Ok(())
             };
             push_trip(&mut db, &mut rng, &mut t, origin, dest)?;

@@ -319,6 +319,94 @@ mod tests {
     }
 
     #[test]
+    fn merge_is_associative_with_fresh_state_as_identity() {
+        // The parallel path relies on merge being associative (workers may
+        // be merged in any grouping, as long as chunk ORDER is fixed) and
+        // on `AggState::new` being a left/right identity for every variant.
+        let triples: [(AggFunc, [AggState; 3]); 5] = [
+            (
+                AggFunc::Count,
+                [AggState::Count(2), AggState::Count(0), AggState::Count(5)],
+            ),
+            (
+                AggFunc::Sum(1, SumMode::AllEvents),
+                [AggState::Sum(1.5), AggState::Sum(2.25), AggState::Sum(0.5)],
+            ),
+            (
+                AggFunc::Avg(1, SumMode::AllEvents),
+                [
+                    AggState::Avg(1.5, 2),
+                    AggState::Avg(4.0, 1),
+                    AggState::Avg(0.5, 3),
+                ],
+            ),
+            (
+                AggFunc::Min(1),
+                [AggState::Min(3.0), AggState::Min(-1.0), AggState::Min(7.0)],
+            ),
+            (
+                AggFunc::Max(1),
+                [AggState::Max(3.0), AggState::Max(-1.0), AggState::Max(7.0)],
+            ),
+        ];
+        for (f, [a, b, c]) in triples {
+            // (a ⊕ b) ⊕ c
+            let mut left = a;
+            left.merge(&b);
+            left.merge(&c);
+            // a ⊕ (b ⊕ c)
+            let mut bc = b;
+            bc.merge(&c);
+            let mut right = a;
+            right.merge(&bc);
+            assert_eq!(left.finish(), right.finish(), "{f:?} not associative");
+            // identity on both sides
+            let mut id_left = AggState::new(f);
+            id_left.merge(&a);
+            let mut id_right = a;
+            id_right.merge(&AggState::new(f));
+            assert_eq!(id_left.finish(), a.finish(), "{f:?} left identity");
+            assert_eq!(id_right.finish(), a.finish(), "{f:?} right identity");
+        }
+    }
+
+    #[test]
+    fn sharded_updates_merged_in_chunk_order_equal_sequential() {
+        // State-level model of counter_based_parallel: split one cell's
+        // assignment stream into chunks, fold each into a fresh partial,
+        // merge partials in chunk order — identical result to the single
+        // sequential fold. Dyadic measures make SUM/AVG bit-exact.
+        let amounts: Vec<f64> = (0..12).map(|k| (k as f64) + 0.5).collect();
+        let (db, seq) = db_with_amounts(&amounts);
+        let funcs = [
+            AggFunc::Count,
+            AggFunc::Sum(1, SumMode::AllEvents),
+            AggFunc::Avg(1, SumMode::AllEvents),
+            AggFunc::Min(1),
+            AggFunc::Max(1),
+        ];
+        let assignments: Vec<Assignment> =
+            (0..12).map(|p| matched(vec![p, (p + 5) % 12])).collect();
+        for f in funcs {
+            let mut sequential = AggState::new(f);
+            for a in &assignments {
+                sequential.update(&db, f, &seq, a).unwrap();
+            }
+            for chunk in [1usize, 3, 5, 12] {
+                let mut merged = AggState::new(f);
+                for part in assignments.chunks(chunk) {
+                    let mut local = AggState::new(f);
+                    for a in part {
+                        local.update(&db, f, &seq, a).unwrap();
+                    }
+                    merged.merge(&local);
+                }
+                assert_eq!(merged.finish(), sequential.finish(), "{f:?} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
     fn render_and_display() {
         let (db, _) = db_with_amounts(&[0.0]);
         assert_eq!(AggFunc::Count.render(&db), "COUNT(*)");

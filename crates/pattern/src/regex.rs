@@ -636,7 +636,10 @@ mod tests {
         // choices for this tiny input.
         // X-run before Y (len 0..), Y at one position, X-run after — with
         // all X events equal. Check a few known cells:
-        assert!(counts.contains_key(&vec![v(&db, "b"), v(&db, "c")]), "{counts:?}");
+        assert!(
+            counts.contains_key(&vec![v(&db, "b"), v(&db, "c")]),
+            "{counts:?}"
+        );
     }
 
     #[test]

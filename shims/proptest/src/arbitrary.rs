@@ -1,0 +1,82 @@
+//! `any::<T>()`: canonical strategies for primitive types.
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy for the type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (`any::<bool>()`, `any::<u8>()`, …).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Whole-domain strategy for a primitive; produced by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyPrimitive<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+macro_rules! arbitrary_primitives {
+    ($($t:ty => |$rng:ident| $gen:expr;)*) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+            fn generate(&self, $rng: &mut TestRng) -> $t {
+                $gen
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive { _marker: std::marker::PhantomData }
+            }
+        }
+    )*};
+}
+
+arbitrary_primitives! {
+    bool => |rng| rng.gen();
+    u8 => |rng| rng.gen();
+    u16 => |rng| rng.gen();
+    u32 => |rng| rng.gen();
+    u64 => |rng| rng.gen();
+    usize => |rng| rng.gen();
+    i8 => |rng| rng.gen();
+    i16 => |rng| rng.gen();
+    i32 => |rng| rng.gen();
+    i64 => |rng| rng.gen();
+    isize => |rng| rng.gen();
+    f64 => |rng| rng.gen();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::{ProptestConfig, TestRunner};
+
+    #[test]
+    fn any_covers_domains() {
+        let mut rng = TestRunner::new(&ProptestConfig::default(), "arb").into_rng();
+        let mut saw_true = false;
+        let mut saw_false = false;
+        let mut bytes = std::collections::HashSet::new();
+        for _ in 0..300 {
+            match any::<bool>().generate(&mut rng) {
+                true => saw_true = true,
+                false => saw_false = true,
+            }
+            bytes.insert(any::<u8>().generate(&mut rng));
+            let f = any::<f64>().generate(&mut rng);
+            assert!((0.0..1.0).contains(&f));
+        }
+        assert!(saw_true && saw_false);
+        assert!(bytes.len() > 50, "u8 samples must spread");
+    }
+}

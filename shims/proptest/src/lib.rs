@@ -1,0 +1,231 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! vendors the API slice the workspace's property tests use:
+//!
+//! - the [`proptest!`] macro (with `#![proptest_config(..)]` headers and
+//!   `pattern in strategy` arguments),
+//! - the [`Strategy`](strategy::Strategy) trait with `prop_map` and
+//!   `boxed`, range / tuple / array / `Just` / regex-literal strategies,
+//! - `prop::collection::vec`, `prop::option::of`, [`prop_oneof!`],
+//!   [`any`](arbitrary::any),
+//! - [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] and
+//!   [`TestCaseError`](test_runner::TestCaseError).
+//!
+//! Cases are generated from a deterministic per-test seed (FNV-1a of the
+//! test's module path and name), so failures reproduce across runs. There
+//! is **no shrinking**: a failing case reports its case number and seed.
+
+pub mod strategy;
+
+pub mod test_runner;
+
+pub mod arbitrary;
+
+/// Module tree mirroring `proptest::prop::*` paths (`prop::collection::vec`,
+/// `prop::option::of`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::collection_vec as vec;
+        pub use crate::strategy::VecStrategy;
+    }
+    /// `Option` strategies.
+    pub mod option {
+        pub use crate::strategy::option_of as of;
+        pub use crate::strategy::OptionStrategy;
+    }
+}
+
+/// The common import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. Each function body runs `config.cases` times
+/// against freshly generated inputs; `prop_assert*` failures and
+/// `TestCaseError`s propagated with `?` abort the run with the case
+/// number and seed.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each test function.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let __strategies = ($($strat,)+);
+            let mut __runner = $crate::test_runner::TestRunner::new(
+                &__config,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                let __seed = __runner.case_seed();
+                let ($($pat,)+) =
+                    $crate::strategy::Strategy::generate(&__strategies, __runner.rng());
+                let __outcome: ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(__e) = __outcome {
+                    panic!(
+                        "proptest case {}/{} of `{}` failed (case seed {:#x}): {}",
+                        __case + 1,
+                        __config.cases,
+                        stringify!($name),
+                        __seed,
+                        __e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current
+/// case (not panicking) so the harness can report the generating seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), __l, __r
+                );
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+                    stringify!($left), stringify!($right), __l, __r, format!($($fmt)+)
+                );
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l != *__r,
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __l
+                );
+            }
+        }
+    };
+}
+
+/// Chooses uniformly among several strategies producing the same value
+/// type (the unweighted `prop_oneof!` form).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Generated ranges stay in bounds; tuples destructure.
+        #[test]
+        fn ranges_and_tuples(x in 0u8..5, (a, b) in (0usize..3, -4i64..=4)) {
+            prop_assert!(x < 5);
+            prop_assert!(a < 3);
+            prop_assert!((-4..=4).contains(&b));
+        }
+
+        /// Collection, option, map, oneof and regex strategies compose.
+        #[test]
+        fn combinators(
+            v in prop::collection::vec((0u32..10, any::<bool>()), 0..8),
+            o in prop::option::of(0u64..50),
+            m in (0u8..3).prop_map(|k| k * 2),
+            c in prop_oneof![Just(1usize), Just(2), 5usize..7],
+            w in "[a-z]{1,6}",
+            arr in [0usize..2, 0usize..2, 0usize..2],
+        ) {
+            prop_assert!(v.len() < 8);
+            prop_assert!(v.iter().all(|(n, _)| *n < 10));
+            prop_assert!(o.is_none() || o.unwrap() < 50);
+            prop_assert!(m % 2 == 0 && m <= 4);
+            prop_assert!(c == 1 || c == 2 || c == 5 || c == 6);
+            prop_assert!((1..=6).contains(&w.len()));
+            prop_assert!(w.chars().all(|ch| ch.is_ascii_lowercase()));
+            prop_assert!(arr.iter().all(|&x| x < 2));
+        }
+    }
+
+    #[test]
+    fn failures_report_seed_and_case() {
+        let config = ProptestConfig::with_cases(3);
+        let mut runner = TestRunner::new(&config, "seed_probe");
+        let s1: Vec<u64> = (0..10)
+            .map(|_| Strategy::generate(&(0u64..1000), runner.rng()))
+            .collect();
+        let mut runner2 = TestRunner::new(&config, "seed_probe");
+        let s2: Vec<u64> = (0..10)
+            .map(|_| Strategy::generate(&(0u64..1000), runner2.rng()))
+            .collect();
+        assert_eq!(s1, s2, "same test name ⇒ same deterministic stream");
+    }
+}

@@ -1,0 +1,393 @@
+//! Strategies: deterministic value generators.
+//!
+//! A [`Strategy`] produces one value per call from the test runner's RNG.
+//! Unlike real proptest there is no shrink tree; determinism comes from
+//! the per-test seed, so a failure is reproduced by rerunning the test.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::Rng;
+
+use crate::test_runner::TestRng;
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the strategy type (used by [`prop_oneof!`](crate::prop_oneof)).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident.$idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategies! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10, L.11)
+}
+
+impl<S: Strategy, const N: usize> Strategy for [S; N] {
+    type Value = [S::Value; N];
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|i| self[i].generate(rng))
+    }
+}
+
+/// Size bound for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            min: r.start,
+            max_exclusive: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max_exclusive: r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            min: n,
+            max_exclusive: n + 1,
+        }
+    }
+}
+
+/// Strategy for `Vec`s of values from an element strategy.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.min..self.size.max_exclusive);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `prop::collection::vec(element, size)`.
+pub fn collection_vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy for `Option`s (≈ 3:1 odds of `Some`, matching proptest's
+/// default weighting closely enough for coverage).
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.gen_range(0u32..4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+/// `prop::option::of(strategy)`.
+pub fn option_of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// Uniform choice among type-erased strategies (built by
+/// [`prop_oneof!`](crate::prop_oneof)).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union; panics if no arms are given.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+/// Generates a string matching a small regex subset: literal characters,
+/// `[a-z0-9_]`-style classes (ranges and singletons), and the quantifiers
+/// `{n}`, `{m,n}`, `?`, `*`, `+` (the unbounded ones capped at 8 repeats).
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // One atom: a character class or a literal.
+        let alphabet: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+            let mut set = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                    assert!(lo <= hi, "bad class range in {pattern:?}");
+                    set.extend((lo..=hi).filter_map(char::from_u32));
+                    j += 3;
+                } else {
+                    set.push(chars[j]);
+                    j += 1;
+                }
+            }
+            i = close + 1;
+            set
+        } else {
+            let c = if chars[i] == '\\' && i + 1 < chars.len() {
+                i += 1;
+                chars[i]
+            } else {
+                chars[i]
+            };
+            i += 1;
+            vec![c]
+        };
+        assert!(!alphabet.is_empty(), "empty character class in {pattern:?}");
+
+        // Optional quantifier.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse::<usize>().expect("bad {m,n} quantifier"),
+                    n.trim().parse::<usize>().expect("bad {m,n} quantifier"),
+                ),
+                None => {
+                    let n = body.trim().parse::<usize>().expect("bad {n} quantifier");
+                    (n, n)
+                }
+            }
+        } else if i < chars.len() && matches!(chars[i], '?' | '*' | '+') {
+            let q = chars[i];
+            i += 1;
+            match q {
+                '?' => (0, 1),
+                '*' => (0, 8),
+                _ => (1, 8),
+            }
+        } else {
+            (1, 1)
+        };
+
+        let count = rng.gen_range(min..=max);
+        for _ in 0..count {
+            out.push(alphabet[rng.gen_range(0..alphabet.len())]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::{ProptestConfig, TestRunner};
+
+    fn rng() -> TestRng {
+        TestRunner::new(&ProptestConfig::default(), "strategy-tests").into_rng()
+    }
+
+    #[test]
+    fn ranges_tuples_arrays() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = (0u8..5).generate(&mut r);
+            assert!(v < 5);
+            let (a, b) = (0usize..3, -2i64..=2).generate(&mut r);
+            assert!(a < 3 && (-2..=2).contains(&b));
+            let arr = [0usize..2, 0usize..2, 0usize..2].generate(&mut r);
+            assert!(arr.iter().all(|&x| x < 2));
+        }
+    }
+
+    #[test]
+    fn vec_and_option_and_map() {
+        let mut r = rng();
+        let strat = collection_vec((0u32..7, 1i64..4), 2..5);
+        let mut saw_none = false;
+        let mut saw_some = false;
+        for _ in 0..200 {
+            let v = strat.generate(&mut r);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&(x, y)| x < 7 && (1..4).contains(&y)));
+            match option_of(0u64..9).generate(&mut r) {
+                None => saw_none = true,
+                Some(x) => {
+                    saw_some = true;
+                    assert!(x < 9);
+                }
+            }
+            let doubled = (0u8..4).prop_map(|x| x * 2).generate(&mut r);
+            assert!(doubled % 2 == 0 && doubled <= 6);
+        }
+        assert!(saw_none && saw_some);
+    }
+
+    #[test]
+    fn union_hits_every_arm() {
+        let mut r = rng();
+        let u = Union::new(vec![Just(1u8).boxed(), Just(2u8).boxed(), (5u8..7).boxed()]);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..300 {
+            seen.insert(u.generate(&mut r));
+        }
+        assert!(seen.contains(&1) && seen.contains(&2));
+        assert!(seen.contains(&5) || seen.contains(&6));
+    }
+
+    #[test]
+    fn regex_subset() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z]{1,6}".generate(&mut r);
+            assert!((1..=6).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = "x[0-9]{2}y?".generate(&mut r);
+            assert!(t.starts_with('x'));
+            let digits: String = t[1..3].to_string();
+            assert!(digits.chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Test execution: configuration, the deterministic RNG, and case errors.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Configuration for a [`proptest!`](crate::proptest) block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The deterministic RNG strategies draw from.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// FNV-1a, used to derive a stable per-test seed from the test's path.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Drives the cases of one property test. The RNG is seeded from the
+/// test's module path and name, so every run of the same binary explores
+/// the same sequence of cases and failures reproduce.
+#[derive(Debug)]
+pub struct TestRunner {
+    rng: TestRng,
+    base_seed: u64,
+    cases_started: u64,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named test.
+    pub fn new(_config: &ProptestConfig, name: &str) -> Self {
+        let base_seed = fnv1a(name.as_bytes());
+        TestRunner {
+            rng: TestRng(StdRng::seed_from_u64(base_seed)),
+            base_seed,
+            cases_started: 0,
+        }
+    }
+
+    /// The RNG strategies generate from.
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+
+    /// Marks the start of the next case and returns an identifier for it
+    /// (reported on failure so the case can be discussed and reproduced).
+    pub fn case_seed(&mut self) -> u64 {
+        let s = self.base_seed.wrapping_add(self.cases_started);
+        self.cases_started += 1;
+        s
+    }
+
+    /// Unwraps the RNG (handy for driving strategies outside `proptest!`).
+    pub fn into_rng(self) -> TestRng {
+        self.rng
+    }
+}
+
+/// Why a single case failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    reason: String,
+}
+
+impl TestCaseError {
+    /// A failed case with the given explanation.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError {
+            reason: reason.into(),
+        }
+    }
+
+    /// Alias of [`TestCaseError::fail`] kept for API parity: real proptest
+    /// distinguishes rejections from failures, this shim does not.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::fail(reason)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.reason)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+impl From<String> for TestCaseError {
+    fn from(s: String) -> Self {
+        TestCaseError::fail(s)
+    }
+}
+
+impl From<&str> for TestCaseError {
+    fn from(s: &str) -> Self {
+        TestCaseError::fail(s)
+    }
+}
+
+/// Result type of a property body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_stable_and_name_dependent() {
+        let cfg = ProptestConfig::default();
+        let mut a = TestRunner::new(&cfg, "x::y");
+        let mut b = TestRunner::new(&cfg, "x::y");
+        assert_eq!(a.rng().next_u64(), b.rng().next_u64());
+        let mut c = TestRunner::new(&cfg, "x::z");
+        assert_ne!(
+            TestRunner::new(&cfg, "x::y").rng().next_u64(),
+            c.rng().next_u64()
+        );
+        assert_ne!(a.case_seed(), a.case_seed());
+    }
+
+    #[test]
+    fn error_formatting() {
+        let e = TestCaseError::fail("boom");
+        assert_eq!(e.to_string(), "boom");
+        let from: TestCaseError = "via-from".into();
+        assert_eq!(from, TestCaseError::fail("via-from"));
+    }
+}

@@ -194,25 +194,54 @@ fn build_spec(db: &EventDb, s: &SpecShape) -> SCuboidSpec {
     spec
 }
 
+/// The property body, shared between the randomized test and the named
+/// regression cases promoted from `language_roundtrip.proptest-regressions`.
+fn check_roundtrip(s: &SpecShape) -> Result<(), TestCaseError> {
+    let db = db();
+    let spec = build_spec(&db, s);
+    prop_assert!(spec.validate(&db).is_ok());
+    let text = spec.render(&db);
+    let reparsed = s_olap::query::parse_query(&db, &text)
+        .map_err(|e| TestCaseError::fail(format!("{e}\n--- query ---\n{text}")))?;
+    prop_assert_eq!(
+        spec.fingerprint(),
+        reparsed.fingerprint(),
+        "render → parse changed the spec:\n{}\n--- reparsed ---\n{}",
+        text,
+        reparsed.render(&db)
+    );
+    // And rendering again is stable (idempotent pretty-printer).
+    prop_assert_eq!(text, reparsed.render(&db));
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
     #[test]
     fn render_then_parse_is_identity(s in shape()) {
-        let db = db();
-        let spec = build_spec(&db, &s);
-        prop_assert!(spec.validate(&db).is_ok());
-        let text = spec.render(&db);
-        let reparsed = s_olap::query::parse_query(&db, &text)
-            .map_err(|e| TestCaseError::fail(format!("{e}\n--- query ---\n{text}")))?;
-        prop_assert_eq!(
-            spec.fingerprint(),
-            reparsed.fingerprint(),
-            "render → parse changed the spec:\n{}\n--- reparsed ---\n{}",
-            text,
-            reparsed.render(&db)
-        );
-        // And rendering again is stable (idempotent pretty-printer).
-        prop_assert_eq!(text, reparsed.render(&db));
+        check_roundtrip(&s)?;
     }
+}
+
+/// Promoted regression seed (`cc c3ee1523…`): a one-symbol substring
+/// template with a WHERE filter once rendered a filter clause the parser
+/// rejected. Kept as a named case so the shape stays pinned even if the
+/// seed file is lost.
+#[test]
+fn regression_unary_template_with_filter() {
+    let s = SpecShape {
+        symbols: vec![0],
+        levels: [0, 0, 0],
+        kind_subseq: false,
+        restriction: 0,
+        agg: 0,
+        with_filter: true,
+        with_groups: false,
+        pred_positions: vec![],
+        slice_pattern: false,
+        slice_global: false,
+        min_support: None,
+    };
+    check_roundtrip(&s).unwrap();
 }
