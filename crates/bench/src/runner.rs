@@ -143,6 +143,7 @@ fn apply_pre(
 /// metrics. The database is moved in so each strategy gets identical data
 /// (clone it at the call site).
 pub fn run_plan(db: EventDb, plan: &Plan, config: EngineConfig, label: &str) -> Result<RunReport> {
+    let strategy = config.strategy;
     let engine = Engine::with_config(db, config);
     let mut report = RunReport {
         name: plan.name.clone(),
@@ -162,7 +163,7 @@ pub fn run_plan(db: EventDb, plan: &Plan, config: EngineConfig, label: &str) -> 
                     // reports "the precomputations took 0.43s …" apart from
                     // query times) and only applies to the II engine.
                     if matches!(
-                        config.strategy,
+                        strategy,
                         solap_core::Strategy::InvertedIndex | solap_core::Strategy::Auto
                     ) {
                         let t0 = Instant::now();

@@ -18,6 +18,10 @@
 //! solap> .op prollup Z
 //! solap> .show 20
 //! ```
+//!
+//! Non-interactive use: `solap --eval 'SCRIPT'` runs a newline-separated
+//! script through the same command loop; errors are printed (never abort
+//! the run) and the process exits nonzero if any line failed.
 
 use std::collections::HashMap;
 use std::io::{self, BufRead, Write};
@@ -37,6 +41,9 @@ struct Repl {
     /// The current spec; re-set by every successful query or operation.
     current: Option<solap_core::SCuboidSpec>,
     history: Vec<String>,
+    /// Commands and queries that reported an error (drives the `--eval`
+    /// exit code).
+    errors: usize,
 }
 
 impl Repl {
@@ -45,6 +52,7 @@ impl Repl {
             engine: None,
             current: None,
             history: Vec::new(),
+            errors: 0,
         }
     }
 
@@ -66,6 +74,7 @@ impl Repl {
         };
         if let Err(CliError(msg)) = result {
             writeln!(out, "error: {msg}")?;
+            self.errors += 1;
         }
         Ok(!matches!(line, ".quit" | ".exit"))
     }
@@ -165,6 +174,41 @@ impl Repl {
                     .map_err(|_| CliError("usage: .threads N (N ≥ 1)".into()))?;
                 engine.config_mut().threads = n.max(1);
                 writeln!(out, "worker threads: {}", engine.config().threads).map_err(io_err)?;
+            }
+            "timeout" => {
+                let engine = self
+                    .engine
+                    .as_mut()
+                    .ok_or_else(|| CliError("no dataset loaded".into()))?;
+                let ms: u64 = args
+                    .first()
+                    .ok_or_else(|| CliError("usage: .timeout MS (0 = off)".into()))?
+                    .parse()
+                    .map_err(|_| CliError("usage: .timeout MS (0 = off)".into()))?;
+                engine.config_mut().timeout =
+                    (ms > 0).then(|| std::time::Duration::from_millis(ms));
+                match ms {
+                    0 => writeln!(out, "query timeout: off"),
+                    _ => writeln!(out, "query timeout: {ms} ms"),
+                }
+                .map_err(io_err)?;
+            }
+            "budget" => {
+                let engine = self
+                    .engine
+                    .as_mut()
+                    .ok_or_else(|| CliError("no dataset loaded".into()))?;
+                let cells: u64 = args
+                    .first()
+                    .ok_or_else(|| CliError("usage: .budget CELLS (0 = off)".into()))?
+                    .parse()
+                    .map_err(|_| CliError("usage: .budget CELLS (0 = off)".into()))?;
+                engine.config_mut().budget_cells = (cells > 0).then_some(cells);
+                match cells {
+                    0 => writeln!(out, "cell budget: off"),
+                    _ => writeln!(out, "cell budget: {cells} cells"),
+                }
+                .map_err(io_err)?;
             }
             "op" => {
                 let prev = self
@@ -394,6 +438,8 @@ fn write_help(out: &mut impl Write) -> io::Result<()> {
   .backend list|bitmap                           pick the inverted-list encoding
   .counters hash|dense|auto                      pick the CB counter layout
   .threads N                                     worker threads for construction (1 = sequential)
+  .timeout MS                                    per-query deadline in milliseconds (0 = off)
+  .budget CELLS                                  per-query cuboid-cell budget (0 = off)
   .op append SYM [ATTR LEVEL] | prepend SYM [ATTR LEVEL]
   .op detail | dehead | prollup DIM | pdrilldown DIM
   .op rollup ATTR | drilldown ATTR
@@ -419,7 +465,51 @@ fn engine_err(e: solap_eventdb::Error) -> CliError {
     CliError(e.to_string())
 }
 
+/// Feeds a multi-line script through the REPL, honouring the same
+/// dot-command / `;`-terminated-query structure as interactive input. A
+/// trailing query without `;` still runs. Returns `Ok(false)` if the script
+/// quit early.
+fn run_script(repl: &mut Repl, script: &str, out: &mut impl Write) -> io::Result<bool> {
+    let mut buffer = String::new();
+    for line in script.lines() {
+        let trimmed = line.trim();
+        if buffer.is_empty() && (trimmed.starts_with('.') || trimmed.is_empty()) {
+            if !repl.handle(trimmed, out)? {
+                return Ok(false);
+            }
+            continue;
+        }
+        buffer.push_str(line);
+        buffer.push('\n');
+        if trimmed.ends_with(';') {
+            let text = std::mem::take(&mut buffer);
+            repl.handle(&text, out)?;
+        }
+    }
+    if !buffer.trim().is_empty() {
+        repl.handle(&buffer, out)?;
+    }
+    Ok(true)
+}
+
 fn main() -> io::Result<()> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--eval") {
+        // Non-interactive mode: run the script, print errors instead of
+        // aborting, and exit nonzero if anything failed.
+        let Some(script) = args.get(i + 1) else {
+            eprintln!("usage: solap --eval 'SCRIPT'");
+            std::process::exit(2);
+        };
+        let mut stdout = io::stdout();
+        let mut repl = Repl::new();
+        run_script(&mut repl, script, &mut stdout)?;
+        stdout.flush()?;
+        if repl.errors > 0 {
+            std::process::exit(1);
+        }
+        return Ok(());
+    }
     let stdin = io::stdin();
     let mut stdout = io::stdout();
     let mut repl = Repl::new();
@@ -632,5 +722,78 @@ mod tests {
         let mut repl = Repl::new();
         let mut out = Vec::new();
         assert!(!repl.handle(".quit", &mut out).unwrap());
+    }
+
+    #[test]
+    fn timeout_and_budget_commands() {
+        let mut repl = setup();
+        let mut out = Vec::new();
+        repl.handle(".timeout 5000", &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("5000 ms"));
+        assert_eq!(
+            repl.engine.as_ref().unwrap().config().timeout,
+            Some(std::time::Duration::from_millis(5000))
+        );
+        let mut out = Vec::new();
+        repl.handle(".budget 100", &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("100 cells"));
+        assert_eq!(
+            repl.engine.as_ref().unwrap().config().budget_cells,
+            Some(100)
+        );
+        // Zero switches the limits off; garbage is an error, not an abort.
+        let mut out = Vec::new();
+        repl.handle(".timeout 0", &mut out).unwrap();
+        assert_eq!(repl.engine.as_ref().unwrap().config().timeout, None);
+        let mut out = Vec::new();
+        repl.handle(".budget 0", &mut out).unwrap();
+        assert_eq!(repl.engine.as_ref().unwrap().config().budget_cells, None);
+        let mut out = Vec::new();
+        repl.handle(".timeout soon", &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("error"));
+    }
+
+    #[test]
+    fn over_budget_query_reports_error_and_recovers() {
+        let mut repl = setup();
+        let mut out = Vec::new();
+        repl.handle(".budget 1", &mut out).unwrap();
+        let mut out = Vec::new();
+        repl.handle(QUERY, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("error:") && text.contains("cells"), "{text}");
+        // Lifting the budget makes the same query succeed on the same
+        // engine — the abort left nothing corrupt behind.
+        let mut out = Vec::new();
+        repl.handle(".budget 0", &mut out).unwrap();
+        let mut out = Vec::new();
+        repl.handle(QUERY, &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("cells via"));
+    }
+
+    #[test]
+    fn eval_scripts_report_errors_without_aborting() {
+        // A clean script leaves the error counter at zero.
+        let mut repl = Repl::new();
+        let mut out = Vec::new();
+        let script = format!(".gen transit passengers=60 days=3\n{QUERY}\n.show 5");
+        assert!(run_script(&mut repl, &script, &mut out).unwrap());
+        assert_eq!(repl.errors, 0, "{}", String::from_utf8_lossy(&out));
+        // Malformed lines are reported, later lines still run, and the
+        // counter drives a nonzero exit.
+        let mut repl = Repl::new();
+        let mut out = Vec::new();
+        let script = ".gen transit passengers=60 days=3\nSELECT BOGUS;\n.schema";
+        assert!(run_script(&mut repl, script, &mut out).unwrap());
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(repl.errors, 1, "{text}");
+        assert!(
+            text.contains("error:") && text.contains("location"),
+            "{text}"
+        );
+        // `.quit` stops the script early.
+        let mut repl = Repl::new();
+        let mut out = Vec::new();
+        assert!(!run_script(&mut repl, ".quit\n.schema", &mut out).unwrap());
     }
 }

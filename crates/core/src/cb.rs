@@ -14,7 +14,9 @@
 
 use std::collections::HashMap;
 
-use solap_eventdb::{EventDb, LevelValue, Result, SequenceGroups};
+use solap_eventdb::{
+    fail_point, panic_message, Error, EventDb, LevelValue, QueryGovernor, Result, SequenceGroups,
+};
 use solap_pattern::{AggFunc, AggState, Matcher};
 
 use crate::cuboid::{CellKey, SCuboid};
@@ -70,6 +72,20 @@ pub fn counter_based(
     mode: CounterMode,
     meter: &mut ScanMeter,
 ) -> Result<SCuboid> {
+    counter_based_governed(db, groups, spec, mode, meter, &QueryGovernor::unbounded())
+}
+
+/// [`counter_based`] under a [`QueryGovernor`]: match enumeration ticks per
+/// candidate window and every newly materialised counter is charged against
+/// the cell budget (dense layouts charge their whole cell space up front).
+pub fn counter_based_governed(
+    db: &EventDb,
+    groups: &SequenceGroups,
+    spec: &SCuboidSpec,
+    mode: CounterMode,
+    meter: &mut ScanMeter,
+    gov: &QueryGovernor,
+) -> Result<SCuboid> {
     let dense_size = dense_cell_space(db, spec);
     let use_dense = match mode {
         CounterMode::Hash => false,
@@ -78,7 +94,7 @@ pub fn counter_based(
                 && dense_size.is_some_and(|s| s <= DENSE_CELL_LIMIT || mode == CounterMode::Dense)
         }
     };
-    let matcher = Matcher::new(db, &spec.template, &spec.mpred);
+    let matcher = Matcher::new(db, &spec.template, &spec.mpred).with_governor(gov);
     let mut cuboid = SCuboid::new(
         spec.seq.group_by.clone(),
         spec.template.dims.clone(),
@@ -88,15 +104,18 @@ pub fn counter_based(
         if !group_selected(spec, &group.key) {
             continue;
         }
+        fail_point!("cb.group");
+        gov.check_now()?;
         if use_dense {
-            scan_group_dense(db, spec, &matcher, group, &mut cuboid, meter)?;
+            scan_group_dense(db, spec, &matcher, group, &mut cuboid, meter, gov)?;
         } else {
-            scan_group_hash(db, spec, &matcher, group, &mut cuboid, meter)?;
+            scan_group_hash(db, spec, &matcher, group, &mut cuboid, meter, gov)?;
         }
     }
     Ok(cuboid)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn scan_group_hash(
     db: &EventDb,
     spec: &SCuboidSpec,
@@ -104,6 +123,7 @@ fn scan_group_hash(
     group: &solap_eventdb::SequenceGroup,
     cuboid: &mut SCuboid,
     meter: &mut ScanMeter,
+    gov: &QueryGovernor,
 ) -> Result<()> {
     let mut states: HashMap<Vec<LevelValue>, AggState> = HashMap::new();
     for seq in &group.sequences {
@@ -112,10 +132,16 @@ fn scan_group_hash(
             if !cell_selected(db, spec, &a.cell)? {
                 continue;
             }
-            states
-                .entry(a.cell.clone())
-                .or_insert_with(|| AggState::new(spec.agg))
-                .update(db, spec.agg, seq, &a)?;
+            match states.entry(a.cell.clone()) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    gov.charge_cells(1)?;
+                    e.insert(AggState::new(spec.agg))
+                        .update(db, spec.agg, seq, &a)?;
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    e.get_mut().update(db, spec.agg, seq, &a)?;
+                }
+            }
         }
     }
     for (cell, state) in states {
@@ -131,6 +157,7 @@ fn scan_group_hash(
 }
 
 /// Figure 7 literally: initialise a dense `C[v1, …, vn]`, scan, increment.
+#[allow(clippy::too_many_arguments)]
 fn scan_group_dense(
     db: &EventDb,
     spec: &SCuboidSpec,
@@ -138,9 +165,13 @@ fn scan_group_dense(
     group: &solap_eventdb::SequenceGroup,
     cuboid: &mut SCuboid,
     meter: &mut ScanMeter,
+    gov: &QueryGovernor,
 ) -> Result<()> {
     let (strides, total) =
         dense_strides(db, spec).expect("dense mode requires finite pattern domains");
+    // The dense array materialises the whole cell space at once; charge it
+    // up front so a budget below the array size rejects the allocation.
+    gov.charge_cells(total as u64)?;
     let mut counters: Vec<u64> = vec![0; total];
     for seq in &group.sequences {
         meter.touch(seq.sid);
@@ -225,8 +256,31 @@ pub fn counter_based_parallel(
     threads: usize,
     meter: &mut ScanMeter,
 ) -> Result<SCuboid> {
+    counter_based_parallel_governed(
+        db,
+        groups,
+        spec,
+        threads,
+        meter,
+        &QueryGovernor::unbounded(),
+    )
+}
+
+/// [`counter_based_parallel`] under a [`QueryGovernor`]. The governor is
+/// shared by reference across the workers: each worker's matcher ticks it,
+/// each thread-local cell is charged, and the first limit to trip aborts
+/// the whole group at merge time. A panicking worker is isolated and
+/// surfaced as [`Error::Internal`] instead of poisoning the engine.
+pub fn counter_based_parallel_governed(
+    db: &EventDb,
+    groups: &SequenceGroups,
+    spec: &SCuboidSpec,
+    threads: usize,
+    meter: &mut ScanMeter,
+    gov: &QueryGovernor,
+) -> Result<SCuboid> {
     if threads <= 1 {
-        return counter_based(db, groups, spec, CounterMode::Hash, meter);
+        return counter_based_governed(db, groups, spec, CounterMode::Hash, meter, gov);
     }
     let mut cuboid = SCuboid::new(
         spec.seq.group_by.clone(),
@@ -240,6 +294,8 @@ pub fn counter_based_parallel(
         if group.sequences.is_empty() {
             continue;
         }
+        fail_point!("cb.group");
+        gov.check_now()?;
         let chunk = group.sequences.len().div_ceil(threads).max(1);
         type Partial = (HashMap<Vec<LevelValue>, AggState>, ScanMeter);
         let partials: Vec<Result<Partial>> = std::thread::scope(|scope| {
@@ -248,7 +304,9 @@ pub fn counter_based_parallel(
                 .chunks(chunk)
                 .map(|seqs| {
                     scope.spawn(move || -> Result<Partial> {
-                        let matcher = Matcher::new(db, &spec.template, &spec.mpred);
+                        fail_point!("cb.worker");
+                        let matcher =
+                            Matcher::new(db, &spec.template, &spec.mpred).with_governor(gov);
                         let mut local: HashMap<Vec<LevelValue>, AggState> = HashMap::new();
                         let mut local_meter = ScanMeter::new();
                         for seq in seqs {
@@ -257,10 +315,16 @@ pub fn counter_based_parallel(
                                 if !cell_selected(db, spec, &a.cell)? {
                                     continue;
                                 }
-                                local
-                                    .entry(a.cell.clone())
-                                    .or_insert_with(|| AggState::new(spec.agg))
-                                    .update(db, spec.agg, seq, &a)?;
+                                match local.entry(a.cell.clone()) {
+                                    std::collections::hash_map::Entry::Vacant(e) => {
+                                        gov.charge_cells(1)?;
+                                        e.insert(AggState::new(spec.agg))
+                                            .update(db, spec.agg, seq, &a)?;
+                                    }
+                                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                                        e.get_mut().update(db, spec.agg, seq, &a)?;
+                                    }
+                                }
                             }
                         }
                         Ok((local, local_meter))
@@ -269,7 +333,13 @@ pub fn counter_based_parallel(
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(p) => Err(Error::Internal(format!(
+                        "CB worker panicked: {}",
+                        panic_message(p.as_ref())
+                    ))),
+                })
                 .collect()
         });
         let mut merged: HashMap<Vec<LevelValue>, AggState> = HashMap::new();

@@ -2,15 +2,18 @@
 //! index store, the cuboid repository and the two construction strategies.
 
 use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use solap_eventdb::seqcache::SequenceCache;
-use solap_eventdb::{EventDb, Result, SequenceGroups};
+use solap_eventdb::{
+    fail_point, panic_message, CancelToken, Error, EventDb, QueryGovernor, Result, SequenceGroups,
+};
 use solap_index::{IndexStore, SetBackend};
 use solap_pattern::PatternKind;
 
-use crate::cb::{counter_based, CounterMode};
+use crate::cb::{counter_based_governed, counter_based_parallel_governed, CounterMode};
 use crate::cuboid::SCuboid;
 use crate::iceberg::apply_min_support;
 use crate::ii::IiExecutor;
@@ -34,7 +37,7 @@ pub enum Strategy {
 }
 
 /// Engine construction options.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Construction strategy.
     pub strategy: Strategy,
@@ -47,6 +50,16 @@ pub struct EngineConfig {
     /// Worker threads for parallel construction — both counter scans and
     /// inverted-index base builds (1 = sequential).
     pub threads: usize,
+    /// Per-query deadline; a query past it aborts with
+    /// [`Error::ResourceExhausted`] within one governor check interval.
+    pub timeout: Option<Duration>,
+    /// Per-query cuboid-cell budget (a proxy for result memory); the first
+    /// cell past the budget aborts the query.
+    pub budget_cells: Option<u64>,
+    /// Cooperative cancellation: call [`CancelToken::cancel`] from any
+    /// thread to abort in-flight and future queries until
+    /// [`CancelToken::reset`].
+    pub cancel: CancelToken,
 }
 
 impl Default for EngineConfig {
@@ -57,6 +70,9 @@ impl Default for EngineConfig {
             counter_mode: CounterMode::Auto,
             use_cuboid_repo: true,
             threads: threads_from_env(),
+            timeout: timeout_from_env(),
+            budget_cells: budget_from_env(),
+            cancel: CancelToken::new(),
         }
     }
 }
@@ -68,6 +84,25 @@ fn threads_from_env() -> usize {
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
         .map_or(1, |n| n.max(1))
+}
+
+/// Default deadline: the `SOLAP_TIMEOUT_MS` environment variable when set
+/// to a positive integer, otherwise no deadline.
+fn timeout_from_env() -> Option<Duration> {
+    std::env::var("SOLAP_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+        .map(Duration::from_millis)
+}
+
+/// Default cell budget: the `SOLAP_BUDGET_CELLS` environment variable when
+/// set to a positive integer, otherwise no budget.
+fn budget_from_env() -> Option<u64> {
+    std::env::var("SOLAP_BUDGET_CELLS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&c| c > 0)
 }
 
 /// The result of one query: the cuboid plus execution statistics.
@@ -168,18 +203,50 @@ impl Engine {
     }
 
     /// Executes an S-cuboid query.
+    ///
+    /// The query runs under the configured [`QueryGovernor`] limits and
+    /// inside a panic-isolation boundary: a panic anywhere in the query
+    /// path becomes [`Error::Internal`] and the engine stays usable (the
+    /// shared caches only ever insert fully-built entries).
     pub fn execute(&self, spec: &SCuboidSpec) -> Result<QueryOutput> {
-        self.execute_with(spec, None)
+        self.isolated(|| self.execute_with(spec, None))
     }
 
     /// Applies an operation to `prev` and executes the transformed query,
     /// exploiting the operation-specific inverted-index fast paths
     /// (§4.2.2): P-ROLL-UP merges lists, P-DRILL-DOWN refines them, and
     /// PREPEND joins on the left. Returns the new spec and its result.
+    ///
+    /// Runs under the same governance and panic isolation as
+    /// [`Engine::execute`].
     pub fn execute_op(&self, prev: &SCuboidSpec, op: &Op) -> Result<(SCuboidSpec, QueryOutput)> {
-        let new_spec = ops::apply(&self.db, prev, op)?;
-        let out = self.execute_with(&new_spec, Some((prev, op)))?;
-        Ok((new_spec, out))
+        self.isolated(|| {
+            let new_spec = ops::apply(&self.db, prev, op)?;
+            let out = self.execute_with(&new_spec, Some((prev, op)))?;
+            Ok((new_spec, out))
+        })
+    }
+
+    /// Converts a panic escaping `f` into [`Error::Internal`]. The caches
+    /// the closure touches insert on success only and their locks recover
+    /// from poisoning, so unwinding cannot leave partial state behind.
+    fn isolated<T>(&self, f: impl FnOnce() -> Result<T>) -> Result<T> {
+        match catch_unwind(AssertUnwindSafe(f)) {
+            Ok(r) => r,
+            Err(p) => Err(Error::Internal(format!(
+                "query panicked: {}",
+                panic_message(p.as_ref())
+            ))),
+        }
+    }
+
+    /// A fresh governor for one query, from the engine configuration.
+    fn governor(&self) -> QueryGovernor {
+        QueryGovernor::new(
+            self.config.timeout,
+            self.config.budget_cells,
+            Some(self.config.cancel.clone()),
+        )
     }
 
     fn execute_with(
@@ -203,7 +270,10 @@ impl Engine {
                 });
             }
         }
-        let groups = self.seq_cache.get_or_build(&self.db, &spec.seq)?;
+        let gov = self.governor();
+        let groups = self
+            .seq_cache
+            .get_or_build_governed(&self.db, &spec.seq, &gov)?;
         let mut meter = ScanMeter::new();
         let mut stats = ExecStats::default();
         let strategy = self.effective_strategy(spec);
@@ -211,20 +281,22 @@ impl Engine {
             Strategy::CounterBased => {
                 stats.strategy = "CB";
                 if self.config.threads > 1 {
-                    crate::cb::counter_based_parallel(
+                    counter_based_parallel_governed(
                         &self.db,
                         &groups,
                         spec,
                         self.config.threads,
                         &mut meter,
+                        &gov,
                     )?
                 } else {
-                    counter_based(
+                    counter_based_governed(
                         &self.db,
                         &groups,
                         spec,
                         self.config.counter_mode,
                         &mut meter,
+                        &gov,
                     )?
                 }
             }
@@ -237,7 +309,8 @@ impl Engine {
                     &self.index_store,
                     self.config.backend,
                 )
-                .with_threads(self.config.threads);
+                .with_threads(self.config.threads)
+                .with_governor(&gov);
                 if let Some((prev, op)) = hint {
                     // Preparation only touches the index store; on any
                     // refusal the generic QUERYINDICES path takes over.
@@ -269,6 +342,7 @@ impl Engine {
         stats.elapsed = start.elapsed();
         let cuboid = Arc::new(cuboid);
         if self.config.use_cuboid_repo {
+            fail_point!("engine.insert");
             self.cuboid_repo
                 .insert(fp, self.db.version(), Arc::clone(&cuboid));
         }

@@ -18,9 +18,12 @@
 
 use std::sync::Arc;
 
-use solap_eventdb::{EventDb, Result, SequenceGroups};
+use solap_eventdb::{
+    fail_point, panic_message, Error, EventDb, QueryGovernor, Result, SequenceGroups,
+};
 use solap_index::{
-    build_index, join::join, join::rollup_merge, IndexKey, IndexStore, InvertedIndex, SetBackend,
+    build_index_governed, join::join, join::rollup_merge, IndexKey, IndexStore, InvertedIndex,
+    SetBackend,
 };
 use solap_pattern::{
     AggFunc, AggState, CellRestriction, MatchPred, Matcher, PatternTemplate, TemplateSignature,
@@ -62,6 +65,10 @@ pub struct IiExecutor<'a> {
     store: &'a IndexStore,
     backend: SetBackend,
     threads: usize,
+    gov: Option<&'a QueryGovernor>,
+    /// Unbounded stand-in used when no governor is attached, so internal
+    /// plumbing can always pass a `&QueryGovernor`.
+    fallback_gov: QueryGovernor,
 }
 
 impl<'a> IiExecutor<'a> {
@@ -81,6 +88,8 @@ impl<'a> IiExecutor<'a> {
             store,
             backend,
             threads: 1,
+            gov: None,
+            fallback_gov: QueryGovernor::unbounded(),
         }
     }
 
@@ -89,6 +98,18 @@ impl<'a> IiExecutor<'a> {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
+    }
+
+    /// Attaches a [`QueryGovernor`]: index builds, verification scans and
+    /// cuboid folding tick it, and new inverted lists / cuboid cells are
+    /// charged against its cell budget.
+    pub fn with_governor(mut self, gov: &'a QueryGovernor) -> Self {
+        self.gov = Some(gov);
+        self
+    }
+
+    fn gov(&self) -> &QueryGovernor {
+        self.gov.unwrap_or(&self.fallback_gov)
     }
 
     fn key(&self, group_idx: usize, sig: TemplateSignature, slice_fp: u64) -> IndexKey {
@@ -216,7 +237,13 @@ impl<'a> IiExecutor<'a> {
                     meter.touch(sid);
                 }
                 let seqs = sids.iter().map(|&s| self.groups.sequence(s));
-                let (raw, _) = build_index(self.db, seqs, &target_template, self.backend)?;
+                let (raw, _) = build_index_governed(
+                    self.db,
+                    seqs,
+                    &target_template,
+                    self.backend,
+                    self.gov(),
+                )?;
                 let mut filtered = InvertedIndex::new(target_sig.clone(), raw.backend);
                 for (key, set) in raw.lists {
                     if self.positions_match_slice(template, pos_slice, &key) {
@@ -318,11 +345,20 @@ impl<'a> IiExecutor<'a> {
         meter: &mut ScanMeter,
         stats: &mut ExecStats,
     ) -> Result<Arc<InvertedIndex>> {
+        fail_point!("ii.build_base");
+        self.gov().check_now()?;
         let group = &self.groups.groups[group_idx];
         let index = if self.threads > 1 && group.sequences.len() > 1 {
             self.build_base_parallel(group, template)?
         } else {
-            build_index(self.db, &group.sequences, template, self.backend)?.0
+            build_index_governed(
+                self.db,
+                &group.sequences,
+                template,
+                self.backend,
+                self.gov(),
+            )?
+            .0
         };
         for seq in &group.sequences {
             meter.touch(seq.sid);
@@ -344,19 +380,28 @@ impl<'a> IiExecutor<'a> {
         template: &PatternTemplate,
     ) -> Result<InvertedIndex> {
         let chunk = group.sequences.len().div_ceil(self.threads).max(1);
+        let gov = self.gov();
         let partials: Vec<Result<InvertedIndex>> = std::thread::scope(|scope| {
             let handles: Vec<_> = group
                 .sequences
                 .chunks(chunk)
                 .map(|seqs| {
                     scope.spawn(move || {
-                        build_index(self.db, seqs, template, self.backend).map(|(ix, _)| ix)
+                        fail_point!("ii.worker");
+                        build_index_governed(self.db, seqs, template, self.backend, gov)
+                            .map(|(ix, _)| ix)
                     })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(p) => Err(Error::Internal(format!(
+                        "II worker panicked: {}",
+                        panic_message(p.as_ref())
+                    ))),
+                })
                 .collect()
         });
         let mut merged = InvertedIndex::new(template.signature(), self.backend);
@@ -403,8 +448,9 @@ impl<'a> IiExecutor<'a> {
         template: &PatternTemplate,
         meter: &mut ScanMeter,
     ) -> Result<InvertedIndex> {
+        fail_point!("ii.verify");
         let trivial = MatchPred::True;
-        let matcher = Matcher::new(self.db, template, &trivial);
+        let matcher = Matcher::new(self.db, template, &trivial).with_governor(self.gov());
         let mut out = InvertedIndex::new(candidate.sig.clone(), candidate.backend);
         for (pattern, sids) in candidate.lists {
             let mut kept = match self.backend {
@@ -436,7 +482,7 @@ impl<'a> IiExecutor<'a> {
             spec.template.dims.clone(),
             spec.agg,
         );
-        let matcher = Matcher::new(self.db, &spec.template, &spec.mpred);
+        let matcher = Matcher::new(self.db, &spec.template, &spec.mpred).with_governor(self.gov());
         // Counting needs no sequence access at all when the predicate is
         // trivial, the restriction is left-maximality and we only COUNT:
         // every sid in a (verified) list contains the pattern, contributing
@@ -449,6 +495,7 @@ impl<'a> IiExecutor<'a> {
             if !group_selected(spec, &group.key) {
                 continue;
             }
+            self.gov().check_now()?;
             let (pos_slice, slice_fp) = Self::position_slice(spec);
             let index = self.ensure_index_sliced(
                 group_idx,
@@ -468,6 +515,7 @@ impl<'a> IiExecutor<'a> {
                     pattern: cell.clone(),
                 };
                 if count_by_len {
+                    self.gov().charge_cells(1)?;
                     cuboid
                         .cells
                         .insert(key, solap_pattern::AggValue::Count(sids.len() as u64));
@@ -499,10 +547,16 @@ impl<'a> IiExecutor<'a> {
                     if !cell_selected(self.db, spec, &a.cell)? {
                         continue;
                     }
-                    states
-                        .entry(a.cell.clone())
-                        .or_insert_with(|| AggState::new(spec.agg))
-                        .update(self.db, spec.agg, seq, &a)?;
+                    match states.entry(a.cell.clone()) {
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            self.gov().charge_cells(1)?;
+                            e.insert(AggState::new(spec.agg))
+                                .update(self.db, spec.agg, seq, &a)?;
+                        }
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            e.get_mut().update(self.db, spec.agg, seq, &a)?;
+                        }
+                    }
                 }
             }
             for (cell, state) in states {
@@ -628,7 +682,8 @@ impl<'a> IiExecutor<'a> {
             for &sid in &sids {
                 meter.touch(sid);
             }
-            let (unfiltered, _) = build_index(self.db, seqs, new, self.backend)?;
+            let (unfiltered, _) =
+                build_index_governed(self.db, seqs, new, self.backend, self.gov())?;
             // Keep only fine lists compatible with the slice (the scan
             // enumerated every pattern of the visited sequences).
             let fine = if slice_fp == 0 {

@@ -6,7 +6,7 @@
 //! (counter-based strategy; regex templates have no inverted-index
 //! equivalent in the paper and none is invented here).
 
-use solap_eventdb::{EventDb, Result, SequenceGroups};
+use solap_eventdb::{EventDb, QueryGovernor, Result, SequenceGroups};
 use solap_pattern::{AggValue, CellRestriction, RegexMatcher, RegexTemplate};
 
 use crate::cuboid::{CellKey, SCuboid};
@@ -21,18 +21,46 @@ pub fn regex_cuboid(
     restriction: CellRestriction,
     meter: &mut ScanMeter,
 ) -> Result<SCuboid> {
-    let matcher = RegexMatcher::new(db, template);
+    regex_cuboid_governed(
+        db,
+        groups,
+        template,
+        restriction,
+        meter,
+        &QueryGovernor::unbounded(),
+    )
+}
+
+/// [`regex_cuboid`] under a [`QueryGovernor`]: the backtracking walk ticks
+/// per node (regex templates are the paper's explosive-match-count case)
+/// and each new cell is charged against the budget.
+pub fn regex_cuboid_governed(
+    db: &EventDb,
+    groups: &SequenceGroups,
+    template: &RegexTemplate,
+    restriction: CellRestriction,
+    meter: &mut ScanMeter,
+    gov: &QueryGovernor,
+) -> Result<SCuboid> {
+    let matcher = RegexMatcher::new(db, template).with_governor(gov);
     let mut cuboid = SCuboid::new(
         groups.global_dims.clone(),
         template.dims.clone(),
         solap_pattern::AggFunc::Count,
     );
     for group in &groups.groups {
+        gov.check_now()?;
         let mut counts: std::collections::HashMap<Vec<u64>, u64> = std::collections::HashMap::new();
         for seq in &group.sequences {
             meter.touch(seq.sid);
             for (cell, c) in matcher.count_cells(seq, restriction)? {
-                *counts.entry(cell).or_insert(0) += c;
+                match counts.entry(cell) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        gov.charge_cells(1)?;
+                        e.insert(c);
+                    }
+                    std::collections::hash_map::Entry::Occupied(mut e) => *e.get_mut() += c,
+                }
             }
         }
         for (cell, c) in counts {

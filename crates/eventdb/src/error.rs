@@ -56,6 +56,28 @@ pub enum Error {
     /// An operation invalid in the current state (e.g. DE-TAIL on a
     /// length-1 pattern template).
     InvalidOperation(String),
+    /// A persisted snapshot that cannot be decoded: truncated input,
+    /// malformed framing, or values that violate a format invariant.
+    Corrupt {
+        /// What was wrong with the input.
+        detail: String,
+    },
+    /// A query exceeded one of its resource limits (deadline, cell budget)
+    /// and was aborted by the [`crate::govern::QueryGovernor`].
+    ResourceExhausted {
+        /// Which resource ran out (`"time_ms"`, `"cells"`).
+        resource: &'static str,
+        /// The configured limit.
+        limit: u64,
+        /// How much had been consumed when the governor tripped.
+        consumed: u64,
+    },
+    /// The query was cancelled through its
+    /// [`crate::govern::CancelToken`].
+    Cancelled,
+    /// A defect surfaced at an engine boundary: an isolated panic or an
+    /// injected failpoint. The engine remains usable.
+    Internal(String),
 }
 
 impl fmt::Display for Error {
@@ -100,11 +122,34 @@ impl fmt::Display for Error {
                 }
             }
             Error::InvalidOperation(m) => write!(f, "invalid operation: {m}"),
+            Error::Corrupt { detail } => write!(f, "corrupt snapshot: {detail}"),
+            Error::ResourceExhausted {
+                resource,
+                limit,
+                consumed,
+            } => write!(
+                f,
+                "query aborted: {resource} limit {limit} exhausted (consumed {consumed})"
+            ),
+            Error::Cancelled => write!(f, "query cancelled"),
+            Error::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
 }
 
 impl std::error::Error for Error {}
+
+/// Best-effort extraction of a panic payload's message, for converting an
+/// isolated panic into [`Error::Internal`].
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,255 @@
+//! A zero-cost-when-disabled failpoint facility, modeled on tikv/fail-rs.
+//!
+//! A *failpoint* is a named site in the code where a test (or an operator,
+//! via the `SOLAP_FAILPOINTS` environment variable) can inject a failure:
+//! a clean [`Error::Internal`], a panic, or a delay. Sites are compiled
+//! into release builds but cost a single relaxed atomic load while no
+//! failpoint is configured, so hot paths can carry them permanently.
+//!
+//! Configuration sources, in order:
+//!
+//! * `SOLAP_FAILPOINTS=site=action[,site=action...]` read once at first
+//!   use. Actions: `error`, `panic`, `delay:MILLIS`, `off`.
+//! * Programmatic [`configure`] / [`remove`] / [`clear_all`] from tests.
+//!
+//! Sites are evaluated with the [`crate::fail_point!`] macro:
+//!
+//! ```ignore
+//! fail_point!("cb.group"); // expands to an early `return Err(...)` etc.
+//! ```
+//!
+//! The current site catalog lives in `DESIGN.md` §5.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+use crate::error::{Error, Result};
+
+/// What a triggered failpoint does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Return `Err(Error::Internal("failpoint <site>"))` from the site.
+    Error,
+    /// Panic with a message naming the site (exercises panic isolation).
+    Panic,
+    /// Sleep for the given number of milliseconds, then continue normally
+    /// (exercises deadline enforcement).
+    Delay(u64),
+    /// Explicitly disabled (equivalent to removing the site).
+    Off,
+}
+
+impl Action {
+    /// Parses `error`, `panic`, `delay:MILLIS`, `off`.
+    pub fn parse(s: &str) -> Option<Action> {
+        match s {
+            "error" => Some(Action::Error),
+            "panic" => Some(Action::Panic),
+            "off" => Some(Action::Off),
+            _ => {
+                let ms = s.strip_prefix("delay:")?;
+                ms.parse::<u64>().ok().map(Action::Delay)
+            }
+        }
+    }
+}
+
+/// Fast path: true only while at least one failpoint is configured.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+/// Number of configured (non-Off) sites, guarded by `REGISTRY`'s lock for
+/// writes; `ACTIVE` mirrors `count > 0`.
+static COUNT: AtomicUsize = AtomicUsize::new(0);
+
+fn registry() -> &'static Mutex<HashMap<String, Action>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, Action>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let mut map = HashMap::new();
+        if let Ok(spec) = std::env::var("SOLAP_FAILPOINTS") {
+            for part in spec.split(',') {
+                let part = part.trim();
+                if part.is_empty() {
+                    continue;
+                }
+                if let Some((site, action)) = part.split_once('=') {
+                    if let Some(a) = Action::parse(action.trim()) {
+                        if a != Action::Off {
+                            map.insert(site.trim().to_string(), a);
+                        }
+                    }
+                }
+            }
+        }
+        COUNT.store(map.len(), Ordering::Relaxed);
+        ACTIVE.store(!map.is_empty(), Ordering::Relaxed);
+        Mutex::new(map)
+    })
+}
+
+/// Whether *any* failpoint is configured. This is the only cost paid by a
+/// site while the facility is idle.
+#[inline]
+pub fn enabled() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Configures `site` to perform `action`. `Action::Off` removes the site.
+pub fn configure(site: &str, action: Action) {
+    let mut map = registry().lock().unwrap_or_else(|e| e.into_inner());
+    if action == Action::Off {
+        map.remove(site);
+    } else {
+        map.insert(site.to_string(), action);
+    }
+    COUNT.store(map.len(), Ordering::Relaxed);
+    ACTIVE.store(!map.is_empty(), Ordering::Relaxed);
+}
+
+/// Removes `site` if configured.
+pub fn remove(site: &str) {
+    configure(site, Action::Off);
+}
+
+/// Removes every configured failpoint (including any loaded from the
+/// environment). Tests call this in their cleanup paths.
+pub fn clear_all() {
+    let mut map = registry().lock().unwrap_or_else(|e| e.into_inner());
+    map.clear();
+    COUNT.store(0, Ordering::Relaxed);
+    ACTIVE.store(false, Ordering::Relaxed);
+}
+
+/// The currently configured sites, for diagnostics.
+pub fn list() -> Vec<(String, Action)> {
+    let map = registry().lock().unwrap_or_else(|e| e.into_inner());
+    let mut v: Vec<_> = map.iter().map(|(k, a)| (k.clone(), *a)).collect();
+    v.sort_by(|a, b| a.0.cmp(&b.0));
+    v
+}
+
+/// Slow path of [`crate::fail_point!`]: looks up `site` and performs its
+/// action. Called only when [`enabled`] is true.
+///
+/// # Panics
+///
+/// Panics when the site is configured with [`Action::Panic`] — that is the
+/// point: it exercises the engine's panic-isolation boundary.
+pub fn eval(site: &str) -> Result<()> {
+    let action = {
+        let map = registry().lock().unwrap_or_else(|e| e.into_inner());
+        map.get(site).copied()
+    };
+    match action {
+        None | Some(Action::Off) => Ok(()),
+        Some(Action::Error) => Err(Error::Internal(format!("failpoint {site}"))),
+        Some(Action::Panic) => panic!("failpoint {site}: injected panic"),
+        Some(Action::Delay(ms)) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            Ok(())
+        }
+    }
+}
+
+/// Evaluates a named failpoint site inside a function returning
+/// [`crate::error::Result`]. Expands to a single relaxed atomic load when
+/// no failpoint is configured.
+#[macro_export]
+macro_rules! fail_point {
+    ($site:expr) => {
+        if $crate::failpoint::enabled() {
+            $crate::failpoint::eval($site)?;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Failpoint state is process-global; serialize the tests touching it.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn parse_actions() {
+        assert_eq!(Action::parse("error"), Some(Action::Error));
+        assert_eq!(Action::parse("panic"), Some(Action::Panic));
+        assert_eq!(Action::parse("off"), Some(Action::Off));
+        assert_eq!(Action::parse("delay:25"), Some(Action::Delay(25)));
+        assert_eq!(Action::parse("delay:x"), None);
+        assert_eq!(Action::parse("bogus"), None);
+    }
+
+    #[test]
+    fn disabled_site_is_free_and_ok() {
+        let _g = locked();
+        clear_all();
+        assert!(!enabled());
+        fn site() -> Result<()> {
+            fail_point!("test.never_configured");
+            Ok(())
+        }
+        assert_eq!(site(), Ok(()));
+    }
+
+    #[test]
+    fn error_action_returns_internal() {
+        let _g = locked();
+        clear_all();
+        configure("test.err", Action::Error);
+        assert!(enabled());
+        fn site() -> Result<()> {
+            fail_point!("test.err");
+            Ok(())
+        }
+        assert_eq!(
+            site(),
+            Err(Error::Internal("failpoint test.err".to_string()))
+        );
+        remove("test.err");
+        assert_eq!(site(), Ok(()));
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn panic_action_panics() {
+        let _g = locked();
+        clear_all();
+        configure("test.panic", Action::Panic);
+        let r = std::panic::catch_unwind(|| eval("test.panic"));
+        assert!(r.is_err());
+        clear_all();
+    }
+
+    #[test]
+    fn delay_action_sleeps_then_succeeds() {
+        let _g = locked();
+        clear_all();
+        configure("test.delay", Action::Delay(10));
+        let t0 = std::time::Instant::now();
+        assert_eq!(eval("test.delay"), Ok(()));
+        assert!(t0.elapsed() >= Duration::from_millis(10));
+        clear_all();
+    }
+
+    #[test]
+    fn list_reports_sorted_sites() {
+        let _g = locked();
+        clear_all();
+        configure("b.two", Action::Error);
+        configure("a.one", Action::Delay(1));
+        let l = list();
+        assert_eq!(
+            l,
+            vec![
+                ("a.one".to_string(), Action::Delay(1)),
+                ("b.two".to_string(), Action::Error)
+            ]
+        );
+        clear_all();
+    }
+}

@@ -24,6 +24,11 @@
 //! * [`persist`] — warehouse persistence: save/load the whole event
 //!   database (columns, dictionaries, hierarchies) in a compact binary
 //!   format.
+//! * [`govern`] — per-query resource governance: deadlines, cell budgets
+//!   and cooperative cancellation, checked at bounded intervals in every
+//!   construction hot loop.
+//! * [`failpoint`] — a zero-cost-when-disabled fault-injection facility
+//!   (`SOLAP_FAILPOINTS`) used by the chaos test suite.
 //!
 //! The paper offloads steps 1–4 to "an existing sequence database query
 //! engine"; no such engine exists in the Rust ecosystem, so this crate *is*
@@ -34,6 +39,8 @@
 
 pub mod dict;
 pub mod error;
+pub mod failpoint;
+pub mod govern;
 pub mod hierarchy;
 pub mod lru;
 pub mod persist;
@@ -46,13 +53,14 @@ pub mod time;
 pub mod value;
 
 pub use dict::Dictionary;
-pub use error::{Error, Result};
+pub use error::{panic_message, Error, Result};
+pub use govern::{CancelToken, QueryGovernor, CHECK_INTERVAL};
 pub use hierarchy::{DictHierarchy, Hierarchy, IntHierarchy, TimeGranularity, TimeHierarchy};
 pub use pred::{CmpOp, Pred};
 pub use schema::{AttrId, ColumnDef, ColumnType, Role, Schema};
 pub use seqquery::{
-    build_sequence_groups, AttrLevel, SeqQuerySpec, Sequence, SequenceGroup, SequenceGroups,
-    SortKey,
+    build_sequence_groups, build_sequence_groups_governed, AttrLevel, SeqQuerySpec, Sequence,
+    SequenceGroup, SequenceGroups, SortKey,
 };
 pub use store::{EventDb, EventDbBuilder};
 pub use value::{LevelValue, RowId, Sid, Value};

@@ -29,6 +29,7 @@ use std::io::{self, Read, Write};
 use std::path::Path;
 
 use crate::error::{Error, Result};
+use crate::fail_point;
 use crate::hierarchy::{Hierarchy, TimeGranularity, TimeHierarchy};
 use crate::schema::{ColumnDef, ColumnType, Role, Schema};
 use crate::store::EventDb;
@@ -36,8 +37,31 @@ use crate::value::Value;
 
 const MAGIC: &[u8; 8] = b"SOLAPDB1";
 
+/// Serialized string lengths above this are rejected as corrupt.
+const MAX_STR_LEN: usize = 1 << 24;
+/// Column counts above this are rejected as corrupt.
+const MAX_COLS: usize = 1 << 16;
+/// Untrusted element counts pre-allocate at most this many elements; the
+/// actual count is still honoured by reading (a lying count hits EOF and
+/// returns [`Error::Corrupt`] instead of provoking a huge allocation).
+const MAX_PREALLOC: usize = 1 << 20;
+
 fn io_err(e: io::Error) -> Error {
     Error::InvalidOperation(format!("persistence i/o error: {e}"))
+}
+
+/// Load-side i/o failures mean the snapshot cannot be decoded (truncated
+/// input surfaces as `UnexpectedEof` here).
+fn corrupt_io(e: io::Error) -> Error {
+    Error::Corrupt {
+        detail: format!("read failed: {e}"),
+    }
+}
+
+fn corrupt(detail: impl Into<String>) -> Error {
+    Error::Corrupt {
+        detail: detail.into(),
+    }
 }
 
 fn write_u32(w: &mut impl Write, v: u32) -> Result<()> {
@@ -63,7 +87,7 @@ fn write_str(w: &mut impl Write, s: &str) -> Result<()> {
 
 fn read_exact<const N: usize>(r: &mut impl Read) -> Result<[u8; N]> {
     let mut buf = [0u8; N];
-    r.read_exact(&mut buf).map_err(io_err)?;
+    r.read_exact(&mut buf).map_err(corrupt_io)?;
     Ok(buf)
 }
 
@@ -85,15 +109,12 @@ fn read_f64(r: &mut impl Read) -> Result<f64> {
 
 fn read_str(r: &mut impl Read) -> Result<String> {
     let len = read_u32(r)? as usize;
-    if len > (1 << 24) {
-        return Err(Error::InvalidOperation(format!(
-            "corrupt file: implausible string length {len}"
-        )));
+    if len > MAX_STR_LEN {
+        return Err(corrupt(format!("implausible string length {len}")));
     }
     let mut buf = vec![0u8; len];
-    r.read_exact(&mut buf).map_err(io_err)?;
-    String::from_utf8(buf)
-        .map_err(|_| Error::InvalidOperation("corrupt file: non-UTF-8 string".into()))
+    r.read_exact(&mut buf).map_err(corrupt_io)?;
+    String::from_utf8(buf).map_err(|_| corrupt("non-UTF-8 string"))
 }
 
 fn granularity_code(g: TimeGranularity) -> u8 {
@@ -115,16 +136,13 @@ fn granularity_from(code: u8) -> Result<TimeGranularity> {
         3 => TimeGranularity::Week,
         4 => TimeGranularity::Month,
         5 => TimeGranularity::Quarter,
-        other => {
-            return Err(Error::InvalidOperation(format!(
-                "corrupt file: unknown time granularity {other}"
-            )))
-        }
+        other => return Err(corrupt(format!("unknown time granularity {other}"))),
     })
 }
 
 /// Serializes a database to a writer.
 pub fn save(db: &EventDb, w: &mut impl Write) -> Result<()> {
+    fail_point!("persist.save");
     w.write_all(MAGIC).map_err(io_err)?;
     let schema = db.schema();
     write_u32(w, schema.len() as u32)?;
@@ -234,14 +252,20 @@ pub fn save(db: &EventDb, w: &mut impl Write) -> Result<()> {
 }
 
 /// Deserializes a database from a reader.
+///
+/// Every decoding failure — truncation, bad framing, out-of-range ids —
+/// returns [`Error::Corrupt`]; no input, however mangled, panics. Lying
+/// element counts are bounded by `MAX_PREALLOC` before any allocation.
 pub fn load(r: &mut impl Read) -> Result<EventDb> {
+    fail_point!("persist.load");
     let magic = read_exact::<8>(r)?;
     if &magic != MAGIC {
-        return Err(Error::InvalidOperation(
-            "not a SOLAPDB1 file (bad magic)".into(),
-        ));
+        return Err(corrupt("not a SOLAPDB1 file (bad magic)"));
     }
     let n_cols = read_u32(r)? as usize;
+    if n_cols > MAX_COLS {
+        return Err(corrupt(format!("implausible column count {n_cols}")));
+    }
     let mut defs = Vec::with_capacity(n_cols);
     for _ in 0..n_cols {
         let name = read_str(r)?;
@@ -251,20 +275,12 @@ pub fn load(r: &mut impl Read) -> Result<EventDb> {
             1 => ColumnType::Float,
             2 => ColumnType::Str,
             3 => ColumnType::Time,
-            other => {
-                return Err(Error::InvalidOperation(format!(
-                    "corrupt file: unknown column type {other}"
-                )))
-            }
+            other => return Err(corrupt(format!("unknown column type {other}"))),
         };
         let role = match role {
             0 => Role::Dimension,
             1 => Role::Measure,
-            other => {
-                return Err(Error::InvalidOperation(format!(
-                    "corrupt file: unknown role {other}"
-                )))
-            }
+            other => return Err(corrupt(format!("unknown role {other}"))),
         };
         defs.push(ColumnDef { name, ctype, role });
     }
@@ -279,14 +295,14 @@ pub fn load(r: &mut impl Read) -> Result<EventDb> {
     for def in &defs {
         payloads.push(match def.ctype {
             ColumnType::Int | ColumnType::Time => {
-                let mut v = Vec::with_capacity(n_rows);
+                let mut v = Vec::with_capacity(n_rows.min(MAX_PREALLOC));
                 for _ in 0..n_rows {
                     v.push(read_i64(r)?);
                 }
                 Payload::Ints(v)
             }
             ColumnType::Float => {
-                let mut v = Vec::with_capacity(n_rows);
+                let mut v = Vec::with_capacity(n_rows.min(MAX_PREALLOC));
                 for _ in 0..n_rows {
                     v.push(read_f64(r)?);
                 }
@@ -294,17 +310,15 @@ pub fn load(r: &mut impl Read) -> Result<EventDb> {
             }
             ColumnType::Str => {
                 let n_names = read_u32(r)? as usize;
-                let mut names = Vec::with_capacity(n_names);
+                let mut names = Vec::with_capacity(n_names.min(MAX_PREALLOC));
                 for _ in 0..n_names {
                     names.push(read_str(r)?);
                 }
-                let mut ids = Vec::with_capacity(n_rows);
+                let mut ids = Vec::with_capacity(n_rows.min(MAX_PREALLOC));
                 for _ in 0..n_rows {
                     let id = read_u32(r)?;
                     if id as usize >= n_names {
-                        return Err(Error::InvalidOperation(
-                            "corrupt file: dictionary id out of range".into(),
-                        ));
+                        return Err(corrupt("dictionary id out of range"));
                     }
                     ids.push(id);
                 }
@@ -353,7 +367,7 @@ pub fn load(r: &mut impl Read) -> Result<EventDb> {
             }
             2 => {
                 let n_base = read_u32(r)? as usize;
-                let mut base: HashMap<i64, u32> = HashMap::with_capacity(n_base);
+                let mut base: HashMap<i64, u32> = HashMap::with_capacity(n_base.min(MAX_PREALLOC));
                 for _ in 0..n_base {
                     let k = read_i64(r)?;
                     let v = read_u32(r)?;
@@ -391,18 +405,14 @@ pub fn load(r: &mut impl Read) -> Result<EventDb> {
             }
             3 => {
                 let n = read_u32(r)? as usize;
-                let mut levels = Vec::with_capacity(n);
+                let mut levels = Vec::with_capacity(n.min(MAX_PREALLOC));
                 for _ in 0..n {
                     let [code] = read_exact::<1>(r)?;
                     levels.push(granularity_from(code)?);
                 }
                 db.set_time_hierarchy(attr, TimeHierarchy { levels })?;
             }
-            other => {
-                return Err(Error::InvalidOperation(format!(
-                    "corrupt file: unknown hierarchy tag {other}"
-                )))
-            }
+            other => return Err(corrupt(format!("unknown hierarchy tag {other}"))),
         }
     }
     for a in 0..n_cols {
@@ -427,15 +437,15 @@ impl RawLevel {
     /// enumerate identically).
     fn child_map(&self, child_names: &[String]) -> Result<HashMap<String, String>> {
         if self.parent_of.len() > child_names.len() {
-            return Err(Error::InvalidOperation(
-                "corrupt file: hierarchy level maps more children than exist".into(),
-            ));
+            return Err(corrupt("hierarchy level maps more children than exist"));
         }
         let mut map = HashMap::with_capacity(self.parent_of.len());
         for (child_id, &p) in self.parent_of.iter().enumerate() {
-            let parent = self.names.get(p as usize).cloned().ok_or_else(|| {
-                Error::InvalidOperation("corrupt file: parent id out of range".into())
-            })?;
+            let parent = self
+                .names
+                .get(p as usize)
+                .cloned()
+                .ok_or_else(|| corrupt("parent id out of range"))?;
             map.insert(child_names[child_id].clone(), parent);
         }
         Ok(map)
@@ -445,12 +455,12 @@ impl RawLevel {
 fn read_dict_level_raw(r: &mut impl Read) -> Result<(String, RawLevel)> {
     let name = read_str(r)?;
     let n_names = read_u32(r)? as usize;
-    let mut names = Vec::with_capacity(n_names);
+    let mut names = Vec::with_capacity(n_names.min(MAX_PREALLOC));
     for _ in 0..n_names {
         names.push(read_str(r)?);
     }
     let n_parents = read_u32(r)? as usize;
-    let mut parent_of = Vec::with_capacity(n_parents);
+    let mut parent_of = Vec::with_capacity(n_parents.min(MAX_PREALLOC));
     for _ in 0..n_parents {
         parent_of.push(read_u32(r)?);
     }
@@ -608,18 +618,56 @@ mod tests {
 
     #[test]
     fn corrupt_inputs_are_rejected() {
-        assert!(load(&mut &b"NOTADB!!"[..]).is_err());
+        assert!(matches!(
+            load(&mut &b"NOTADB!!"[..]),
+            Err(Error::Corrupt { .. })
+        ));
         let db = transit_db();
         let mut buf = Vec::new();
         save(&db, &mut buf).unwrap();
-        // Truncations at various points must error, not panic.
-        for cut in [4usize, 9, 40, buf.len() / 2, buf.len() - 1] {
-            assert!(load(&mut &buf[..cut]).is_err(), "cut at {cut}");
-        }
         // Flipping the magic fails cleanly.
         let mut bad = buf.clone();
         bad[0] ^= 0xFF;
-        assert!(load(&mut bad.as_slice()).is_err());
+        assert!(matches!(
+            load(&mut bad.as_slice()),
+            Err(Error::Corrupt { .. })
+        ));
+    }
+
+    /// Every prefix truncation of a valid snapshot errors — never panics,
+    /// never loads.
+    #[test]
+    fn every_prefix_truncation_errors() {
+        let db = transit_db();
+        let mut buf = Vec::new();
+        save(&db, &mut buf).unwrap();
+        for cut in 0..buf.len() {
+            let res = std::panic::catch_unwind(|| load(&mut &buf[..cut]));
+            match res {
+                Ok(Ok(_)) => panic!("truncation at {cut}/{} loaded", buf.len()),
+                Ok(Err(_)) => {}
+                Err(_) => panic!("truncation at {cut}/{} panicked", buf.len()),
+            }
+        }
+    }
+
+    /// Byte flips anywhere in a valid snapshot never panic the loader.
+    /// (Some flips land in value payloads and still decode — that is fine;
+    /// the property under test is panic-freedom, not tamper-evidence.)
+    #[test]
+    fn byte_flips_never_panic() {
+        let db = transit_db();
+        let mut buf = Vec::new();
+        save(&db, &mut buf).unwrap();
+        for pos in 0..buf.len() {
+            for mask in [0x01u8, 0x80, 0xFF] {
+                let mut bad = buf.clone();
+                bad[pos] ^= mask;
+                if std::panic::catch_unwind(|| load(&mut bad.as_slice())).is_err() {
+                    panic!("flip {mask:#04x} at byte {pos} panicked the loader");
+                }
+            }
+        }
     }
 
     #[test]

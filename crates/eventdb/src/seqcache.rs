@@ -11,8 +11,10 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::error::Result;
+use crate::fail_point;
+use crate::govern::QueryGovernor;
 use crate::lru::LruCache;
-use crate::seqquery::{build_sequence_groups, SeqQuerySpec, SequenceGroups};
+use crate::seqquery::{build_sequence_groups_governed, SeqQuerySpec, SequenceGroups};
 use crate::store::EventDb;
 
 /// Cache key: spec fingerprint + database version (appends invalidate).
@@ -40,6 +42,21 @@ impl SequenceCache {
 
     /// Returns the sequence groups for `spec`, building them on a miss.
     pub fn get_or_build(&self, db: &EventDb, spec: &SeqQuerySpec) -> Result<Arc<SequenceGroups>> {
+        self.get_or_build_governed(db, spec, &QueryGovernor::unbounded())
+    }
+
+    /// [`SequenceCache::get_or_build`] under a [`QueryGovernor`].
+    ///
+    /// The build runs outside the cache lock and the result is inserted
+    /// only on success, so an aborted or failed build leaves no partial
+    /// entry behind — the cache is never poisoned by a governed abort, a
+    /// panic, or an injected failpoint.
+    pub fn get_or_build_governed(
+        &self,
+        db: &EventDb,
+        spec: &SeqQuerySpec,
+        gov: &QueryGovernor,
+    ) -> Result<Arc<SequenceGroups>> {
         let key = Key {
             spec: spec.fingerprint(),
             db_version: db.version(),
@@ -47,7 +64,8 @@ impl SequenceCache {
         if let Some(hit) = self.inner.lock().get(&key) {
             return Ok(Arc::clone(hit));
         }
-        let built = Arc::new(build_sequence_groups(db, spec)?);
+        fail_point!("seqcache.build");
+        let built = Arc::new(build_sequence_groups_governed(db, spec, gov)?);
         self.inner.lock().insert(key, Arc::clone(&built));
         Ok(built)
     }
@@ -132,6 +150,51 @@ mod tests {
         let b = cache.get_or_build(&db, &spec()).unwrap();
         assert!(!Arc::ptr_eq(&a, &b));
         assert_eq!(b.total_sequences, 3);
+    }
+
+    #[test]
+    fn tiny_byte_budget_churns_but_stays_correct() {
+        let db = db();
+        // 1-byte budget: every insert immediately evicts down to the
+        // single-entry floor, so each distinct spec alternation misses.
+        let cache = SequenceCache::new(64, 1);
+        let mut s2 = spec();
+        s2.cluster_by = vec![AttrLevel::new(1, 0)];
+        let fresh_a = build_sequence_groups_governed(&db, &spec(), &QueryGovernor::unbounded())
+            .unwrap()
+            .groups
+            .clone();
+        let fresh_b = build_sequence_groups_governed(&db, &s2, &QueryGovernor::unbounded())
+            .unwrap()
+            .groups
+            .clone();
+        for _ in 0..10 {
+            let a = cache.get_or_build(&db, &spec()).unwrap();
+            let b = cache.get_or_build(&db, &s2).unwrap();
+            assert_eq!(a.groups, fresh_a);
+            assert_eq!(b.groups, fresh_b);
+            assert!(cache.len() <= 1, "budget must keep at most one entry");
+        }
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits + misses, 20, "every lookup is counted exactly once");
+        assert!(misses >= 10, "churn under a tiny budget must keep missing");
+    }
+
+    #[test]
+    fn failed_build_leaves_no_entry() {
+        let db = db();
+        let cache = SequenceCache::default();
+        let mut bad = spec();
+        // Comparing the Str `page` column to an Int is a TypeMismatch.
+        bad.filter = Pred::cmp(1, crate::pred::CmpOp::Eq, Value::Int(3));
+        assert!(cache.get_or_build(&db, &bad).is_err());
+        assert!(cache.is_empty(), "failed builds must not be cached");
+        // A governed abort must not poison the cache either.
+        let gov = QueryGovernor::new(None, Some(0), None);
+        assert!(cache.get_or_build_governed(&db, &spec(), &gov).is_err());
+        assert!(cache.is_empty());
+        let ok = cache.get_or_build(&db, &spec()).unwrap();
+        assert_eq!(ok.total_sequences, 2);
     }
 
     #[test]

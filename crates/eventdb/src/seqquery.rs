@@ -18,6 +18,7 @@ use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 
 use crate::error::Result;
+use crate::govern::QueryGovernor;
 use crate::pred::Pred;
 use crate::schema::AttrId;
 use crate::store::EventDb;
@@ -191,10 +192,23 @@ impl SequenceGroups {
 /// are constant within a sequence — true by construction when they are
 /// coarsenings of `CLUSTER BY` attributes, as in all of the paper's queries.
 pub fn build_sequence_groups(db: &EventDb, spec: &SeqQuerySpec) -> Result<SequenceGroups> {
+    build_sequence_groups_governed(db, spec, &QueryGovernor::unbounded())
+}
+
+/// [`build_sequence_groups`] under a [`QueryGovernor`]: the selection scan
+/// ticks once per event row and each new cluster and group is charged
+/// against the cell budget, so an over-limit query aborts within one check
+/// interval.
+pub fn build_sequence_groups_governed(
+    db: &EventDb,
+    spec: &SeqQuerySpec,
+    gov: &QueryGovernor,
+) -> Result<SequenceGroups> {
     // Step 1 + 2: select and cluster in one pass.
     let mut clusters: BTreeMap<Vec<LevelValue>, Vec<RowId>> = BTreeMap::new();
     let mut ckey = Vec::with_capacity(spec.cluster_by.len());
     for row in 0..db.len() as RowId {
+        gov.tick()?;
         if !spec.filter.eval(db, row)? {
             continue;
         }
@@ -202,7 +216,13 @@ pub fn build_sequence_groups(db: &EventDb, spec: &SeqQuerySpec) -> Result<Sequen
         for al in &spec.cluster_by {
             ckey.push(db.value_at_level(row, al.attr, al.level)?);
         }
-        clusters.entry(ckey.clone()).or_default().push(row);
+        match clusters.entry(ckey.clone()) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                gov.charge_cells(1)?;
+                e.insert(vec![row]);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().push(row),
+        }
     }
 
     // Step 3: sort each cluster into a sequence.
@@ -215,6 +235,7 @@ pub fn build_sequence_groups(db: &EventDb, spec: &SeqQuerySpec) -> Result<Sequen
     type ClusterRows = (Vec<LevelValue>, Vec<RowId>);
     let mut grouped: BTreeMap<Vec<LevelValue>, Vec<ClusterRows>> = BTreeMap::new();
     for (ckey, mut rows) in clusters {
+        gov.check_now()?;
         if !sort_keys.is_empty() {
             rows.sort_unstable_by(|&a, &b| db.cmp_rows(a, b, &sort_keys));
         }

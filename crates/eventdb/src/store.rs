@@ -635,11 +635,11 @@ impl EventDb {
                 self.schema.column(attr).name
             )));
         }
-        assert_eq!(
-            th.levels.first(),
-            Some(&crate::hierarchy::TimeGranularity::Raw),
-            "time hierarchies must start at the raw level"
-        );
+        if th.levels.first() != Some(&crate::hierarchy::TimeGranularity::Raw) {
+            return Err(Error::InvalidOperation(
+                "time hierarchies must start at the raw level".into(),
+            ));
+        }
         self.hierarchies[attr as usize] = Hierarchy::Time(th);
         self.version += 1;
         Ok(())

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use solap_eventdb::{EventDb, LevelValue, Result, Sequence};
+use solap_eventdb::{EventDb, LevelValue, QueryGovernor, Result, Sequence};
 use solap_pattern::{MatchPred, Matcher, PatternTemplate, TemplateSignature};
 
 /// Which [`crate::sidset::SidSet`] encoding an index uses for its lists.
@@ -113,15 +113,36 @@ pub fn build_index<'a>(
     template: &PatternTemplate,
     backend: SetBackend,
 ) -> Result<(InvertedIndex, u64)> {
+    build_index_governed(
+        db,
+        sequences,
+        template,
+        backend,
+        &QueryGovernor::unbounded(),
+    )
+}
+
+/// [`build_index`] under a [`QueryGovernor`]: pattern enumeration ticks per
+/// candidate window and each newly created inverted list is charged against
+/// the cell budget.
+pub fn build_index_governed<'a>(
+    db: &EventDb,
+    sequences: impl IntoIterator<Item = &'a Sequence>,
+    template: &PatternTemplate,
+    backend: SetBackend,
+    gov: &QueryGovernor,
+) -> Result<(InvertedIndex, u64)> {
     let trivial = MatchPred::True;
-    let matcher = Matcher::new(db, template, &trivial);
+    let matcher = Matcher::new(db, template, &trivial).with_governor(gov);
     let mut index = InvertedIndex::new(template.signature(), backend);
     let mut scanned = 0u64;
     for seq in sequences {
         scanned += 1;
+        let before = index.list_count();
         matcher.for_each_unique_pattern(seq, |pattern| {
             index.add(pattern, seq.sid);
         })?;
+        gov.charge_cells((index.list_count() - before) as u64)?;
     }
     Ok((index, scanned))
 }

@@ -26,6 +26,6 @@ pub mod join;
 pub mod sidset;
 pub mod store;
 
-pub use inverted::{build_index, InvertedIndex, SetBackend};
+pub use inverted::{build_index, build_index_governed, InvertedIndex, SetBackend};
 pub use sidset::{Bitmap, SidSet};
 pub use store::{IndexKey, IndexStore};

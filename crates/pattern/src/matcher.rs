@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 
-use solap_eventdb::{EventDb, LevelValue, Result, RowId, Sequence};
+use solap_eventdb::{EventDb, LevelValue, QueryGovernor, Result, RowId, Sequence};
 
 use crate::mpred::MatchPred;
 use crate::template::{CellRestriction, PatternTemplate};
@@ -57,6 +57,9 @@ pub struct Matcher<'a> {
     /// the index of each dimension's pair within the distinct list.
     lanes: Vec<(u32, usize)>,
     dim_lane: Vec<usize>,
+    /// Optional per-query governor ticked per match-window / DFS node, so
+    /// explosive occurrence enumeration stays abortable.
+    gov: Option<&'a QueryGovernor>,
 }
 
 /// Per-sequence extracted values: one lane per distinct `(attr, level)`.
@@ -99,6 +102,22 @@ impl<'a> Matcher<'a> {
             mpred,
             lanes,
             dim_lane,
+            gov: None,
+        }
+    }
+
+    /// Attaches a [`QueryGovernor`]; enumeration loops then tick it once
+    /// per candidate window or DFS node and abort when a limit trips.
+    pub fn with_governor(mut self, gov: &'a QueryGovernor) -> Self {
+        self.gov = Some(gov);
+        self
+    }
+
+    #[inline]
+    fn tick(&self) -> Result<()> {
+        match self.gov {
+            Some(g) => g.tick(),
+            None => Ok(()),
         }
     }
 
@@ -152,6 +171,7 @@ impl<'a> Matcher<'a> {
             crate::template::PatternKind::Substring => {
                 let mut rows: Vec<RowId> = vec![0; m];
                 'windows: for start in 0..=(view.len - m) {
+                    self.tick()?;
                     let mut cell: Vec<Option<LevelValue>> = vec![None; self.template.n()];
                     for p in 0..m {
                         let v = view.value(self.lane_of_pos(p), start + p);
@@ -210,6 +230,7 @@ impl<'a> Matcher<'a> {
         f: &mut impl FnMut(&Occurrence) -> bool,
         stop: &mut bool,
     ) -> Result<()> {
+        self.tick()?;
         let m = self.template.m();
         if p == m {
             let occ = Occurrence {
@@ -332,6 +353,7 @@ impl<'a> Matcher<'a> {
         match self.template.kind {
             crate::template::PatternKind::Substring => {
                 'w: for start in 0..=(view.len - m) {
+                    self.tick()?;
                     for (p, &v) in values.iter().enumerate() {
                         if view.value(self.lane_of_pos(p), start + p) != v {
                             continue 'w;
@@ -345,6 +367,7 @@ impl<'a> Matcher<'a> {
                 // Fixed values: greedy leftmost matching decides existence.
                 let mut p = 0;
                 for i in 0..view.len {
+                    self.tick()?;
                     if view.value(self.lane_of_pos(p), i) == values[p] {
                         p += 1;
                         if p == m {
@@ -376,6 +399,7 @@ impl<'a> Matcher<'a> {
             crate::template::PatternKind::Substring => {
                 let mut buf: Vec<LevelValue> = vec![0; m];
                 'w: for start in 0..=(view.len - m) {
+                    self.tick()?;
                     let mut cell: Vec<Option<LevelValue>> = vec![None; self.template.n()];
                     for p in 0..m {
                         let v = view.value(self.lane_of_pos(p), start + p);
@@ -395,7 +419,8 @@ impl<'a> Matcher<'a> {
             crate::template::PatternKind::Subsequence => {
                 // Enumerate via the predicate-free DFS; dedupe value strings.
                 let trivial = MatchPred::True;
-                let free = Matcher::new(self.db, self.template, &trivial);
+                let mut free = Matcher::new(self.db, self.template, &trivial);
+                free.gov = self.gov;
                 free.for_each_occurrence_in_view(seq, &view, &mut |occ| {
                     let values = self.template.expand_cell(&occ.cell);
                     if seen.insert(values.clone(), ()).is_none() {

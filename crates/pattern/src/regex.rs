@@ -21,7 +21,7 @@
 
 use std::collections::HashMap;
 
-use solap_eventdb::{EventDb, LevelValue, Result, Sequence};
+use solap_eventdb::{EventDb, LevelValue, QueryGovernor, Result, Sequence};
 
 use crate::template::{CellRestriction, PatternDim};
 
@@ -139,12 +139,32 @@ pub struct RegexOccurrence {
 pub struct RegexMatcher<'a> {
     db: &'a EventDb,
     template: &'a RegexTemplate,
+    gov: Option<&'a QueryGovernor>,
 }
 
 impl<'a> RegexMatcher<'a> {
     /// Creates a matcher.
     pub fn new(db: &'a EventDb, template: &'a RegexTemplate) -> Self {
-        RegexMatcher { db, template }
+        RegexMatcher {
+            db,
+            template,
+            gov: None,
+        }
+    }
+
+    /// Attaches a [`QueryGovernor`]; the backtracking walk then ticks it
+    /// once per node, keeping explosive match counts abortable.
+    pub fn with_governor(mut self, gov: &'a QueryGovernor) -> Self {
+        self.gov = Some(gov);
+        self
+    }
+
+    #[inline]
+    fn tick(&self) -> Result<()> {
+        match self.gov {
+            Some(g) => g.tick(),
+            None => Ok(()),
+        }
     }
 
     fn values(&self, seq: &Sequence) -> Result<Vec<Vec<LevelValue>>> {
@@ -182,7 +202,7 @@ impl<'a> RegexMatcher<'a> {
                 &mut positions,
                 &mut f,
                 &mut stop,
-            );
+            )?;
             if stop {
                 break;
             }
@@ -201,9 +221,10 @@ impl<'a> RegexMatcher<'a> {
         positions: &mut Vec<u32>,
         f: &mut impl FnMut(&RegexOccurrence) -> bool,
         stop: &mut bool,
-    ) {
+    ) -> Result<()> {
+        self.tick()?;
         if *stop {
-            return;
+            return Ok(());
         }
         if elem == self.template.elems.len() {
             // All dimensions are bound (every dim has a mandatory or taken
@@ -218,29 +239,29 @@ impl<'a> RegexMatcher<'a> {
                     *stop = true;
                 }
             }
-            return;
+            return Ok(());
         }
         match self.template.elems[elem] {
             RegexElem::One(d) => {
-                self.consume_one(lanes, len, pos, elem, d, bindings, positions, f, stop);
+                self.consume_one(lanes, len, pos, elem, d, bindings, positions, f, stop)?;
             }
             RegexElem::Optional(d) => {
                 // Take it…
-                self.consume_one(lanes, len, pos, elem, d, bindings, positions, f, stop);
+                self.consume_one(lanes, len, pos, elem, d, bindings, positions, f, stop)?;
                 // …or skip it.
-                self.walk(lanes, len, pos, elem + 1, bindings, positions, f, stop);
+                self.walk(lanes, len, pos, elem + 1, bindings, positions, f, stop)?;
             }
             RegexElem::Plus(d) => {
-                self.consume_run(lanes, len, pos, elem, d, bindings, positions, f, stop);
+                self.consume_run(lanes, len, pos, elem, d, bindings, positions, f, stop)?;
             }
             RegexElem::Star(d) => {
                 // Zero occurrences…
-                self.walk(lanes, len, pos, elem + 1, bindings, positions, f, stop);
+                self.walk(lanes, len, pos, elem + 1, bindings, positions, f, stop)?;
                 if *stop {
-                    return;
+                    return Ok(());
                 }
                 // …or behave like Plus.
-                self.consume_run(lanes, len, pos, elem, d, bindings, positions, f, stop);
+                self.consume_run(lanes, len, pos, elem, d, bindings, positions, f, stop)?;
             }
             RegexElem::Gap => {
                 for skip in 0..=(len - pos) {
@@ -253,13 +274,14 @@ impl<'a> RegexMatcher<'a> {
                         positions,
                         f,
                         stop,
-                    );
+                    )?;
                     if *stop {
-                        return;
+                        return Ok(());
                     }
                 }
             }
         }
+        Ok(())
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -274,22 +296,23 @@ impl<'a> RegexMatcher<'a> {
         positions: &mut Vec<u32>,
         f: &mut impl FnMut(&RegexOccurrence) -> bool,
         stop: &mut bool,
-    ) {
+    ) -> Result<()> {
         if pos >= len {
-            return;
+            return Ok(());
         }
         let v = lanes[d][pos];
         let had = bindings[d];
         if let Some(b) = had {
             if b != v {
-                return;
+                return Ok(());
             }
         }
         bindings[d] = Some(v);
         positions.push(pos as u32);
-        self.walk(lanes, len, pos + 1, elem + 1, bindings, positions, f, stop);
+        self.walk(lanes, len, pos + 1, elem + 1, bindings, positions, f, stop)?;
         positions.pop();
         bindings[d] = had;
+        Ok(())
     }
 
     /// Consumes 1..k consecutive events of dimension `d` (all equal to the
@@ -307,7 +330,7 @@ impl<'a> RegexMatcher<'a> {
         positions: &mut Vec<u32>,
         f: &mut impl FnMut(&RegexOccurrence) -> bool,
         stop: &mut bool,
-    ) {
+    ) -> Result<()> {
         let entry_binding = bindings[d];
         let mut taken = 0;
         let mut p = pos;
@@ -325,7 +348,7 @@ impl<'a> RegexMatcher<'a> {
             positions.push(p as u32);
             taken += 1;
             p += 1;
-            self.walk(lanes, len, p, elem + 1, bindings, positions, f, stop);
+            self.walk(lanes, len, p, elem + 1, bindings, positions, f, stop)?;
             if *stop {
                 break;
             }
@@ -334,6 +357,7 @@ impl<'a> RegexMatcher<'a> {
             positions.pop();
         }
         bindings[d] = entry_binding;
+        Ok(())
     }
 
     /// Counts cells for one sequence under a restriction (COUNT only):

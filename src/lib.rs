@@ -69,7 +69,8 @@ pub mod prelude {
         Engine, EngineConfig, Op, QueryOutput, SCuboid, SCuboidSpec, Session, Strategy,
     };
     pub use solap_eventdb::{
-        AttrLevel, CmpOp, ColumnType, EventDb, EventDbBuilder, Pred, SortKey, Value,
+        AttrLevel, CancelToken, CmpOp, ColumnType, EventDb, EventDbBuilder, Pred, QueryGovernor,
+        SortKey, Value,
     };
     pub use solap_index::SetBackend;
     pub use solap_pattern::{
