@@ -5,15 +5,16 @@
 //! ```
 //!
 //! Experiments: `table1`, `fig16`, `qa-vary-l`, `qb`, `qc`, `vary-theta`,
-//! `vary-i`, `subsequence`, `ablation`, `threads`, or `all`. `--scale s` multiplies
+//! `vary-i`, `subsequence`, `ablation`, `threads`, `profile` (per-stage
+//! timings dumped to `BENCH_profile.json`), or `all`. `--scale s` multiplies
 //! the paper's sequence counts `D` (1.0 = the paper's 100K–1M sizes;
 //! default 0.05 finishes in a few minutes).
 
 use std::time::Instant;
 
 use solap_bench::plans::{clickstream_plan, query_set_a, query_set_b, query_set_c, synthetic_spec};
-use solap_bench::report::{format_comparison, format_cumulative, format_run};
-use solap_bench::runner::run_plan;
+use solap_bench::report::{format_comparison, format_cumulative, format_profiles, format_run};
+use solap_bench::runner::{run_plan, RunReport};
 use solap_core::cb::CounterMode;
 use solap_core::{Engine, EngineConfig, Strategy};
 use solap_datagen::{generate_clickstream, generate_synthetic, ClickstreamConfig, SyntheticConfig};
@@ -225,6 +226,76 @@ fn ablation(scale: f64) {
     }
 }
 
+/// Per-stage profiling of the paper's comparison workloads: runs the
+/// QuerySet A/B/C plans and the clickstream plan under both strategies
+/// with detailed counters forced on, prints each step's profile, and dumps
+/// everything to `BENCH_profile.json` for offline analysis.
+fn profile_dump(scale: f64) {
+    println!("=== Profile: per-stage timings and counters for the comparison workloads ===");
+    solap_eventdb::metrics::set_enabled(true);
+    let d = ((200_000.0 * scale) as usize).max(100);
+    let mut runs: Vec<RunReport> = Vec::new();
+    {
+        let db = synthetic(100, 20.0, 0.9, d, true);
+        for (plan, db) in [
+            (
+                query_set_a(&db, PatternKind::Substring, 4).expect("plan"),
+                db.clone(),
+            ),
+            (query_set_b(&db).expect("plan"), db.clone()),
+            (query_set_c(&db).expect("plan"), db),
+        ] {
+            runs.push(
+                run_plan(db.clone(), &plan, cfg(Strategy::CounterBased), "CB").expect("CB run"),
+            );
+            runs.push(run_plan(db, &plan, cfg(Strategy::InvertedIndex), "II").expect("II run"));
+        }
+    }
+    {
+        let sessions = ((50_524.0 * scale.max(0.02)) as usize).max(1_000);
+        let db = generate_clickstream(&ClickstreamConfig {
+            sessions,
+            ..Default::default()
+        })
+        .expect("generator");
+        let plan = clickstream_plan(&db).expect("plan");
+        runs.push(run_plan(db.clone(), &plan, cfg(Strategy::CounterBased), "CB").expect("CB run"));
+        runs.push(run_plan(db, &plan, cfg(Strategy::InvertedIndex), "II").expect("II run"));
+    }
+    let mut json = String::from("{\"runs\":[");
+    for (i, r) in runs.iter().enumerate() {
+        println!("{}", format_profiles(r));
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"plan\":\"{}\",\"config\":\"{}\",\"steps\":[",
+            r.name, r.config
+        ));
+        for (j, s) in r.steps.iter().enumerate() {
+            if j > 0 {
+                json.push(',');
+            }
+            json.push_str(&format!(
+                "{{\"label\":\"{}\",\"runtime_ms\":{:.3},\"scanned\":{},\"cells\":{},\"index_bytes\":{},\"profile\":{}}}",
+                s.label,
+                s.runtime.as_secs_f64() * 1000.0,
+                s.scanned,
+                s.cells,
+                s.index_bytes,
+                s.profile
+                    .as_ref()
+                    .map(|p| p.to_json())
+                    .unwrap_or_else(|| "null".into()),
+            ));
+        }
+        json.push_str("]}");
+    }
+    json.push_str("]}\n");
+    std::fs::write("BENCH_profile.json", &json).expect("write BENCH_profile.json");
+    println!("wrote BENCH_profile.json ({} runs)", runs.len());
+}
+
 /// Thread scaling of parallel construction on the §5.2 synthetic workload:
 /// the `(X, Y)` substring query under CB COUNT, CB SUM and the II path
 /// (base-index build sharded by sid range) at 1/2/4/8 worker threads.
@@ -319,6 +390,7 @@ fn main() {
             "subsequence" => subsequence(scale),
             "ablation" => ablation(scale),
             "threads" => thread_scaling(scale),
+            "profile" => profile_dump(scale),
             "all" => {
                 table1(scale);
                 fig16(scale);
@@ -332,7 +404,7 @@ fn main() {
             }
             other => {
                 eprintln!(
-                    "unknown experiment `{other}` — table1|fig16|qa-vary-l|qb|qc|vary-theta|vary-i|subsequence|ablation|threads|all"
+                    "unknown experiment `{other}` — table1|fig16|qa-vary-l|qb|qc|vary-theta|vary-i|subsequence|ablation|threads|profile|all"
                 );
                 std::process::exit(2);
             }

@@ -84,6 +84,23 @@ pub fn format_comparison(cb: &RunReport, ii: &RunReport) -> String {
     out
 }
 
+/// Formats the per-stage profiles of every step of a run, one block per
+/// step (the observability annex of a report).
+pub fn format_profiles(r: &RunReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{} — {} (profiles)\n", r.name, r.config));
+    for s in &r.steps {
+        let Some(p) = &s.profile else { continue };
+        out.push_str(&format!("  {}\n", s.label));
+        for line in p.render_text(false).lines() {
+            out.push_str("    ");
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
 /// Formats a Figure-16-style cumulative series: one line per query with
 /// the cumulative runtime and the bracketed cumulative-scans annotation.
 pub fn format_cumulative(r: &RunReport) -> String {
@@ -119,6 +136,7 @@ mod tests {
                     cells: 5,
                     index_bytes: 1000,
                     strategy: "II",
+                    profile: Some(solap_eventdb::QueryProfile::default()),
                 },
                 StepReport {
                     label: "Q2".into(),
@@ -127,6 +145,7 @@ mod tests {
                     cells: 3,
                     index_bytes: 0,
                     strategy: "II",
+                    profile: None,
                 },
             ],
             precompute: Some((Duration::from_millis(2), 5000)),
@@ -155,5 +174,12 @@ mod tests {
         let s = format_cumulative(&fake_run("II"));
         assert!(s.contains("cum-runtime"));
         assert!(s.contains("(cum-scanned 120)"));
+    }
+
+    #[test]
+    fn profiles_block_skips_missing_profiles() {
+        let s = format_profiles(&fake_run("II"));
+        assert!(s.contains("Q1") && s.contains("profile:"), "{s}");
+        assert!(!s.contains("Q2"), "profile-less steps are skipped: {s}");
     }
 }

@@ -8,7 +8,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use solap_core::{ops, Engine, EngineConfig, Op, SCuboid, SCuboidSpec};
-use solap_eventdb::{EventDb, LevelValue, Result};
+use solap_eventdb::{EventDb, LevelValue, QueryProfile, Result};
 
 use crate::plans::{Plan, PreSlice, Step};
 
@@ -27,6 +27,9 @@ pub struct StepReport {
     pub index_bytes: usize,
     /// Which engine path answered (`CB` / `II` / `cache`).
     pub strategy: &'static str,
+    /// The step's per-stage profile (`None` for synthetic reports built
+    /// without executing a query).
+    pub profile: Option<QueryProfile>,
 }
 
 /// Metrics of a whole plan run.
@@ -179,6 +182,7 @@ pub fn run_plan(db: EventDb, plan: &Plan, config: EngineConfig, label: &str) -> 
                     cells: out.cuboid.len(),
                     index_bytes: out.stats.index_bytes_built,
                     strategy: out.stats.strategy,
+                    profile: Some(out.profile.clone()),
                 });
                 current = Some((spec.clone(), Arc::clone(&out.cuboid)));
             }
@@ -195,6 +199,7 @@ pub fn run_plan(db: EventDb, plan: &Plan, config: EngineConfig, label: &str) -> 
                     cells: out.cuboid.len(),
                     index_bytes: out.stats.index_bytes_built,
                     strategy: out.stats.strategy,
+                    profile: Some(out.profile.clone()),
                 });
                 current = Some((new_spec, Arc::clone(&out.cuboid)));
             }
@@ -322,5 +327,24 @@ mod tests {
         assert!(cum.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(r.total_runtime(), *cum.last().unwrap());
         assert!(r.total_index_bytes() == 0);
+    }
+
+    #[test]
+    fn steps_carry_profiles() {
+        let data = db(100);
+        let plan = query_set_a(&data, PatternKind::Substring, 3).unwrap();
+        let r = run_plan(data, &plan, cfg(Strategy::CounterBased), "CB").unwrap();
+        for s in &r.steps {
+            let p = s.profile.as_ref().expect("executed steps have profiles");
+            assert_eq!(p.strategy, s.strategy, "step {}", s.label);
+            if p.detailed {
+                assert_eq!(
+                    p.counter(solap_eventdb::Counter::CellsMaterialized),
+                    s.cells as u64,
+                    "step {}",
+                    s.label
+                );
+            }
+        }
     }
 }

@@ -44,6 +44,8 @@ struct Repl {
     /// Commands and queries that reported an error (drives the `--eval`
     /// exit code).
     errors: usize,
+    /// Whether every query prints its profile (`.profile on|off`).
+    show_profile: bool,
 }
 
 impl Repl {
@@ -53,6 +55,7 @@ impl Repl {
             current: None,
             history: Vec::new(),
             errors: 0,
+            show_profile: false,
         }
     }
 
@@ -299,6 +302,28 @@ impl Repl {
                     writeln!(out, "  {i:>3}. {h}").map_err(io_err)?;
                 }
             }
+            "profile" => {
+                match args.first().copied() {
+                    Some("on") => {
+                        // Detailed counters are needed for the print-out to
+                        // carry information, so turn them on too.
+                        solap_eventdb::metrics::set_enabled(true);
+                        self.show_profile = true;
+                        writeln!(out, "per-query profile: on").map_err(io_err)?;
+                    }
+                    Some("off") => {
+                        self.show_profile = false;
+                        writeln!(out, "per-query profile: off").map_err(io_err)?;
+                    }
+                    other => {
+                        return Err(CliError(format!("usage: .profile on|off (got {other:?})")))
+                    }
+                }
+            }
+            "metrics" => {
+                write!(out, "{}", solap_eventdb::metrics::global().export_text())
+                    .map_err(io_err)?;
+            }
             other => {
                 return Err(CliError(format!(
                     "unknown command `.{other}` — try `.help`"
@@ -313,11 +338,34 @@ impl Repl {
         // Regex-template queries (the §3.2 extension) use `CUBOID BY REGEX`
         // and run on the counter-based path.
         if text.to_ascii_uppercase().contains("CUBOID BY REGEX") {
+            let head = text.split_whitespace().next().unwrap_or("");
+            if head.eq_ignore_ascii_case("EXPLAIN") || head.eq_ignore_ascii_case("PROFILE") {
+                return Err(CliError(
+                    "EXPLAIN/PROFILE is not supported for regex-template queries \
+                     (they run outside the planned engine path)"
+                        .into(),
+                ));
+            }
             return self.regex_query(text, out);
+        }
+        let (stmt, plan) = {
+            let engine = self.engine()?;
+            let stmt = solap_query::parse_statement(engine.db(), text).map_err(engine_err)?;
+            let plan = if stmt.mode == solap_query::ExplainMode::Explain {
+                Some(engine.explain(&stmt.spec).map_err(engine_err)?)
+            } else {
+                None
+            };
+            (stmt, plan)
+        };
+        if let Some(plan) = plan {
+            // EXPLAIN renders the plan without executing anything.
+            write!(out, "{plan}").map_err(io_err)?;
+            return Ok(());
         }
         let (spec, result, table) = {
             let engine = self.engine()?;
-            let spec = solap_query::parse_query(engine.db(), text).map_err(engine_err)?;
+            let spec = stmt.spec;
             let result = engine.execute(&spec).map_err(engine_err)?;
             let table = result.cuboid.tabulate(engine.db(), 15, true);
             (spec, result, table)
@@ -333,6 +381,9 @@ impl Repl {
             result.stats.index_bytes_built / 1024
         )
         .map_err(io_err)?;
+        if stmt.mode == solap_query::ExplainMode::Profile || self.show_profile {
+            write!(out, "{}", result.profile.render_text(false)).map_err(io_err)?;
+        }
         write!(out, "{table}").map_err(io_err)?;
         self.current = Some(spec);
         Ok(())
@@ -448,9 +499,12 @@ fn write_help(out: &mut impl Write) -> io::Result<()> {
   .show [n]        re-tabulate the current cuboid
   .spec            print the current query text
   .stats           cache statistics
+  .profile on|off  print each query's per-stage profile (on enables detailed counters)
+  .metrics         process-wide cumulative engine metrics
   .history         operations applied so far
   .quit
 anything else is parsed as an S-cuboid query; end it with `;`
+prefix a query with EXPLAIN to see its plan, or PROFILE to run it and see counters
 (CUBOID BY REGEX (X, Y+, .*, X) runs regex templates on the CB path)
 (multi-line input: keep typing, the query runs at the `;`)
 ",
@@ -715,6 +769,65 @@ mod tests {
         let mut out = Vec::new();
         repl.handle(QUERY, &mut out).unwrap();
         assert!(String::from_utf8(out).unwrap().contains("cells via"));
+    }
+
+    #[test]
+    fn explain_profile_and_metrics_surfaces() {
+        let mut repl = setup();
+        // EXPLAIN renders a plan and executes nothing.
+        let mut out = Vec::new();
+        repl.handle(&format!("EXPLAIN {QUERY}"), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.contains("plan:") && text.contains("strategy:"),
+            "{text}"
+        );
+        assert!(!text.contains("cells via"), "EXPLAIN must not execute");
+        assert!(repl.current.is_none(), "EXPLAIN leaves no current query");
+        // PROFILE executes and appends the per-stage profile.
+        let mut out = Vec::new();
+        repl.handle(&format!("PROFILE {QUERY}"), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.contains("cells via") && text.contains("profile:"),
+            "{text}"
+        );
+        // .profile on makes plain queries print it too; off stops that.
+        let mut out = Vec::new();
+        repl.handle(".profile on", &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("on"));
+        let mut out = Vec::new();
+        repl.handle(QUERY, &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("profile:"));
+        let mut out = Vec::new();
+        repl.handle(".profile off", &mut out).unwrap();
+        let mut out = Vec::new();
+        repl.handle(QUERY, &mut out).unwrap();
+        assert!(!String::from_utf8(out).unwrap().contains("profile:"));
+        // .metrics reports the cumulative process-wide export.
+        let mut out = Vec::new();
+        repl.handle(".metrics", &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("engine metrics:"), "{text}");
+        // Bad arguments are errors, not aborts.
+        let mut out = Vec::new();
+        repl.handle(".profile sideways", &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("error"));
+        // Regex-template queries run outside the planned path: the prefix is
+        // rejected with a clear message instead of a confusing parse error.
+        let mut out = Vec::new();
+        repl.handle(
+            "EXPLAIN SELECT COUNT(*) FROM Event CLUSTER BY card-id AT individual \
+             SEQUENCE BY time ASCENDING CUBOID BY REGEX (X, Y) \
+             WITH X AS location AT station, Y AS location AT station;",
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.contains("not supported for regex-template queries"),
+            "{text}"
+        );
     }
 
     #[test]

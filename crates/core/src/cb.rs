@@ -14,6 +14,7 @@
 
 use std::collections::HashMap;
 
+use solap_eventdb::metrics::{self, Counter, Stage};
 use solap_eventdb::{
     fail_point, panic_message, Error, EventDb, LevelValue, QueryGovernor, Result, SequenceGroups,
 };
@@ -100,17 +101,24 @@ pub fn counter_based_governed(
         spec.template.dims.clone(),
         spec.agg,
     );
+    let rec = gov.recorder();
+    let _span = metrics::span(rec, Stage::Aggregate);
+    let mut assignments: u64 = 0;
     for group in &groups.groups {
         if !group_selected(spec, &group.key) {
             continue;
         }
         fail_point!("cb.group");
         gov.check_now()?;
-        if use_dense {
-            scan_group_dense(db, spec, &matcher, group, &mut cuboid, meter, gov)?;
+        assignments += if use_dense {
+            scan_group_dense(db, spec, &matcher, group, &mut cuboid, meter, gov)?
         } else {
-            scan_group_hash(db, spec, &matcher, group, &mut cuboid, meter, gov)?;
-        }
+            scan_group_hash(db, spec, &matcher, group, &mut cuboid, meter, gov)?
+        };
+    }
+    if let Some(rec) = rec {
+        rec.add(Counter::PatternAssignments, assignments);
+        rec.add(Counter::MatchWindows, matcher.take_windows());
     }
     Ok(cuboid)
 }
@@ -124,11 +132,14 @@ fn scan_group_hash(
     cuboid: &mut SCuboid,
     meter: &mut ScanMeter,
     gov: &QueryGovernor,
-) -> Result<()> {
+) -> Result<u64> {
     let mut states: HashMap<Vec<LevelValue>, AggState> = HashMap::new();
+    let mut assignments: u64 = 0;
     for seq in &group.sequences {
         meter.touch(seq.sid);
-        for a in matcher.assignments(seq, spec.restriction)? {
+        let assigned = matcher.assignments(seq, spec.restriction)?;
+        assignments += assigned.len() as u64;
+        for a in assigned {
             if !cell_selected(db, spec, &a.cell)? {
                 continue;
             }
@@ -153,7 +164,7 @@ fn scan_group_hash(
             state.finish(),
         );
     }
-    Ok(())
+    Ok(assignments)
 }
 
 /// Figure 7 literally: initialise a dense `C[v1, …, vn]`, scan, increment.
@@ -166,16 +177,19 @@ fn scan_group_dense(
     cuboid: &mut SCuboid,
     meter: &mut ScanMeter,
     gov: &QueryGovernor,
-) -> Result<()> {
+) -> Result<u64> {
     let (strides, total) =
         dense_strides(db, spec).expect("dense mode requires finite pattern domains");
     // The dense array materialises the whole cell space at once; charge it
     // up front so a budget below the array size rejects the allocation.
     gov.charge_cells(total as u64)?;
     let mut counters: Vec<u64> = vec![0; total];
+    let mut assignments: u64 = 0;
     for seq in &group.sequences {
         meter.touch(seq.sid);
-        for a in matcher.assignments(seq, spec.restriction)? {
+        let assigned = matcher.assignments(seq, spec.restriction)?;
+        assignments += assigned.len() as u64;
+        for a in assigned {
             if !cell_selected(db, spec, &a.cell)? {
                 continue;
             }
@@ -207,7 +221,7 @@ fn scan_group_dense(
             solap_pattern::AggValue::Count(count),
         );
     }
-    Ok(())
+    Ok(assignments)
 }
 
 /// The dense cell-space size, if every pattern dimension has a finite
@@ -297,6 +311,7 @@ pub fn counter_based_parallel_governed(
         fail_point!("cb.group");
         gov.check_now()?;
         let chunk = group.sequences.len().div_ceil(threads).max(1);
+        let rec = gov.recorder();
         type Partial = (HashMap<Vec<LevelValue>, AggState>, ScanMeter);
         let partials: Vec<Result<Partial>> = std::thread::scope(|scope| {
             let handles: Vec<_> = group
@@ -305,13 +320,23 @@ pub fn counter_based_parallel_governed(
                 .map(|seqs| {
                     scope.spawn(move || -> Result<Partial> {
                         fail_point!("cb.worker");
+                        // Per-worker observability: count into locals and
+                        // flush once at worker exit; the Aggregate stage
+                        // sums worker time (≈ CPU time, not wall clock).
+                        let worker_span = metrics::span(rec, Stage::Aggregate);
+                        if let Some(rec) = rec {
+                            rec.add(Counter::WorkersSpawned, 1);
+                        }
                         let matcher =
                             Matcher::new(db, &spec.template, &spec.mpred).with_governor(gov);
                         let mut local: HashMap<Vec<LevelValue>, AggState> = HashMap::new();
                         let mut local_meter = ScanMeter::new();
+                        let mut assignments: u64 = 0;
                         for seq in seqs {
                             local_meter.touch(seq.sid);
-                            for a in matcher.assignments(seq, spec.restriction)? {
+                            let assigned = matcher.assignments(seq, spec.restriction)?;
+                            assignments += assigned.len() as u64;
+                            for a in assigned {
                                 if !cell_selected(db, spec, &a.cell)? {
                                     continue;
                                 }
@@ -327,6 +352,11 @@ pub fn counter_based_parallel_governed(
                                 }
                             }
                         }
+                        if let Some(rec) = rec {
+                            rec.add(Counter::PatternAssignments, assignments);
+                            rec.add(Counter::MatchWindows, matcher.take_windows());
+                        }
+                        drop(worker_span);
                         Ok((local, local_meter))
                     })
                 })
@@ -342,9 +372,12 @@ pub fn counter_based_parallel_governed(
                 })
                 .collect()
         });
+        // Surface the first worker error *before* absorbing any partial
+        // meter: a governor abort mid-merge must not leave the failed run's
+        // scan accounting behind in a caller-reused meter.
+        let partials: Vec<Partial> = partials.into_iter().collect::<Result<_>>()?;
         let mut merged: HashMap<Vec<LevelValue>, AggState> = HashMap::new();
-        for partial in partials {
-            let (local, local_meter) = partial?;
+        for (local, local_meter) in partials {
             meter.absorb(&local_meter);
             for (cell, state) in local {
                 merged
@@ -498,6 +531,24 @@ mod tests {
         let p = counter_based_parallel(&db, &g, &spec, 3, &mut m2).unwrap();
         assert_eq!(s.cells, p.cells);
         assert_eq!(m1.count(), m2.count());
+    }
+
+    #[test]
+    fn failed_parallel_run_leaves_meter_untouched() {
+        let db = fig8_db();
+        let spec = spec_xy(&db);
+        let g = groups(&db, &spec);
+        // A 1-cell budget aborts some worker mid-scan; the abort must not
+        // leave the failed run's scan accounting in the caller's meter
+        // (regression: absorb used to run before the error was surfaced).
+        let gov = QueryGovernor::new(None, Some(1), None);
+        let mut meter = ScanMeter::new();
+        assert!(counter_based_parallel_governed(&db, &g, &spec, 3, &mut meter, &gov).is_err());
+        assert_eq!(meter.count(), 0, "failed run must not be metered");
+        // The same meter then records exactly one successful run.
+        let ok = counter_based_parallel(&db, &g, &spec, 3, &mut meter).unwrap();
+        assert_eq!(meter.count(), 4);
+        assert!(!ok.is_empty());
     }
 
     #[test]

@@ -6,9 +6,12 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use solap_eventdb::metrics::{self, Counter, QueryProfile, QueryRecorder};
 use solap_eventdb::seqcache::SequenceCache;
+use solap_eventdb::trace::{self, TraceValue};
 use solap_eventdb::{
-    fail_point, panic_message, CancelToken, Error, EventDb, QueryGovernor, Result, SequenceGroups,
+    fail_point, panic_message, CancelToken, Error, EventDb, Pred, QueryGovernor, Result,
+    SequenceGroups,
 };
 use solap_index::{IndexStore, SetBackend};
 use solap_pattern::PatternKind;
@@ -105,13 +108,17 @@ fn budget_from_env() -> Option<u64> {
         .filter(|&c| c > 0)
 }
 
-/// The result of one query: the cuboid plus execution statistics.
+/// The result of one query: the cuboid plus execution statistics and the
+/// per-query observability profile.
 #[derive(Debug, Clone)]
 pub struct QueryOutput {
     /// The computed (possibly cached) S-cuboid.
     pub cuboid: Arc<SCuboid>,
     /// What it cost.
     pub stats: ExecStats,
+    /// Per-stage counters and timings (always present; detailed counters
+    /// require profiling to be enabled, see [`metrics::enabled`]).
+    pub profile: QueryProfile,
 }
 
 /// The S-OLAP engine.
@@ -249,7 +256,135 @@ impl Engine {
         )
     }
 
+    /// Renders the execution plan for `spec` without running it — the
+    /// query-language `EXPLAIN` surface. The output is deterministic for a
+    /// given engine configuration and database, which the golden tests pin.
+    pub fn explain(&self, spec: &SCuboidSpec) -> Result<String> {
+        spec.validate(&self.db)?;
+        let strategy = self.effective_strategy(spec);
+        let (name, why) = match (self.config.strategy, strategy) {
+            (Strategy::Auto, Strategy::CounterBased) => {
+                ("CB", "auto: subsequence template with m > 3")
+            }
+            (Strategy::Auto, _) => ("II", "auto: indexable template"),
+            (_, Strategy::CounterBased) => ("CB", "configured"),
+            (_, _) => ("II", "configured"),
+        };
+        let mut out = String::new();
+        out.push_str("query:\n");
+        for line in spec.render(&self.db).lines() {
+            out.push_str("  ");
+            out.push_str(line);
+            out.push('\n');
+        }
+        out.push_str("plan:\n");
+        out.push_str(&format!("  strategy: {name} ({why})\n"));
+        out.push_str(&format!(
+            "  backend: {:?}, threads: {}\n",
+            self.config.backend, self.config.threads
+        ));
+        out.push_str(&format!(
+            "  step 1-2 (select + cluster): scan {} events, filter {}\n",
+            self.db.len(),
+            if spec.seq.filter == Pred::True {
+                "TRUE".to_string()
+            } else {
+                spec.seq.filter.render(&self.db)
+            }
+        ));
+        out.push_str(&format!(
+            "  step 3-4 (order + form groups): {} sort key(s), {} group attr(s)\n",
+            spec.seq.sequence_by.len(),
+            spec.seq.group_by.len()
+        ));
+        out.push_str(&format!(
+            "  pattern: {:?} template, m = {}\n",
+            spec.template.kind,
+            spec.template.m()
+        ));
+        match strategy {
+            Strategy::CounterBased => {
+                out.push_str("  aggregate: counter-based scan of every group (§4.2.1)\n");
+            }
+            _ => {
+                out.push_str(
+                    "  aggregate: QUERYINDICES join ladder over inverted lists (§4.2.2)\n",
+                );
+            }
+        }
+        if let Some(ms) = spec.min_support {
+            out.push_str(&format!("  iceberg: drop cells with COUNT < {ms}\n"));
+        }
+        out.push_str(&format!(
+            "  caches: cuboid repo {}, sequence cache shared per (filter, cluster, order, group)\n",
+            if self.config.use_cuboid_repo {
+                "on"
+            } else {
+                "off"
+            }
+        ));
+        Ok(out)
+    }
+
+    /// Governed + instrumented query execution: wraps [`Engine::execute_inner`]
+    /// with structured trace events and process-wide metrics accounting.
     fn execute_with(
+        &self,
+        spec: &SCuboidSpec,
+        hint: Option<(&SCuboidSpec, &Op)>,
+    ) -> Result<QueryOutput> {
+        if trace::enabled() {
+            trace::emit(
+                "query_start",
+                &[
+                    ("fingerprint", TraceValue::from(spec.fingerprint())),
+                    ("m", TraceValue::from(spec.template.m() as u64)),
+                    (
+                        "kind",
+                        TraceValue::from(format!("{:?}", spec.template.kind)),
+                    ),
+                ],
+            );
+        }
+        let result = self.execute_inner(spec, hint);
+        match &result {
+            Ok(out) => {
+                metrics::global().record(&out.profile);
+                if trace::enabled() {
+                    trace::emit(
+                        "query_end",
+                        &[
+                            ("fingerprint", TraceValue::from(spec.fingerprint())),
+                            ("ok", TraceValue::from(true)),
+                            ("strategy", TraceValue::from(out.stats.strategy)),
+                            ("cells", TraceValue::from(out.cuboid.len() as u64)),
+                            (
+                                "sequences_scanned",
+                                TraceValue::from(out.stats.sequences_scanned),
+                            ),
+                            ("elapsed_ns", TraceValue::from(out.profile.elapsed_nanos)),
+                        ],
+                    );
+                }
+            }
+            Err(err) => {
+                metrics::global().record_failure();
+                if trace::enabled() {
+                    trace::emit(
+                        "query_end",
+                        &[
+                            ("fingerprint", TraceValue::from(spec.fingerprint())),
+                            ("ok", TraceValue::from(false)),
+                            ("error", TraceValue::from(err.to_string())),
+                        ],
+                    );
+                }
+            }
+        }
+        result
+    }
+
+    fn execute_inner(
         &self,
         spec: &SCuboidSpec,
         hint: Option<(&SCuboidSpec, &Op)>,
@@ -259,6 +394,16 @@ impl Engine {
         let fp = spec.fingerprint();
         if self.config.use_cuboid_repo {
             if let Some(cached) = self.cuboid_repo.get(fp, self.db.version()) {
+                let mut profile = if metrics::enabled() {
+                    let rec = QueryRecorder::default();
+                    rec.add(Counter::CuboidCacheHits, 1);
+                    rec.add(Counter::CellsMaterialized, cached.len() as u64);
+                    QueryProfile::from_recorder(&rec)
+                } else {
+                    QueryProfile::default()
+                };
+                profile.strategy = "cache";
+                profile.elapsed_nanos = start.elapsed().as_nanos() as u64;
                 return Ok(QueryOutput {
                     cuboid: cached,
                     stats: ExecStats {
@@ -267,10 +412,19 @@ impl Engine {
                         elapsed: start.elapsed(),
                         ..Default::default()
                     },
+                    profile,
                 });
             }
         }
-        let gov = self.governor();
+        let recorder = if metrics::enabled() {
+            Some(Arc::new(QueryRecorder::default()))
+        } else {
+            None
+        };
+        let mut gov = self.governor();
+        if let Some(rec) = &recorder {
+            gov = gov.with_recorder(Arc::clone(rec));
+        }
         let groups = self
             .seq_cache
             .get_or_build_governed(&self.db, &spec.seq, &gov)?;
@@ -340,13 +494,31 @@ impl Engine {
         }
         stats.sequences_scanned = meter.count();
         stats.elapsed = start.elapsed();
+        let mut profile = if let Some(rec) = &recorder {
+            rec.add(Counter::SequencesScanned, meter.count());
+            rec.add(Counter::CellsMaterialized, cuboid.len() as u64);
+            rec.add(Counter::IndicesBuilt, stats.indices_built);
+            rec.add(Counter::IndexBytesBuilt, stats.index_bytes_built as u64);
+            rec.add(Counter::IndexJoins, stats.index_joins);
+            rec.add(Counter::GovernorTicks, gov.events_ticked());
+            rec.add(Counter::CellsCharged, gov.cells_consumed());
+            QueryProfile::from_recorder(rec)
+        } else {
+            QueryProfile::default()
+        };
+        profile.strategy = stats.strategy;
+        profile.elapsed_nanos = stats.elapsed.as_nanos() as u64;
         let cuboid = Arc::new(cuboid);
         if self.config.use_cuboid_repo {
             fail_point!("engine.insert");
             self.cuboid_repo
                 .insert(fp, self.db.version(), Arc::clone(&cuboid));
         }
-        Ok(QueryOutput { cuboid, stats })
+        Ok(QueryOutput {
+            cuboid,
+            stats,
+            profile,
+        })
     }
 
     /// Precomputes the generic size-`m` inverted index at `(attr, level)`
@@ -565,6 +737,79 @@ mod tests {
         assert!(bytes > 0);
         let out = e.execute(&spec).unwrap();
         assert_eq!(out.stats.indices_built, 0);
+    }
+
+    #[test]
+    fn profile_accompanies_every_execute() {
+        let e = fig8_engine(EngineConfig::default());
+        let spec = q3(e.db());
+        let first = e.execute(&spec).unwrap();
+        assert_eq!(first.profile.strategy, "II");
+        assert!(first.profile.elapsed_nanos > 0);
+        if first.profile.detailed {
+            assert_eq!(
+                first
+                    .profile
+                    .counter(solap_eventdb::Counter::CellsMaterialized),
+                first.cuboid.len() as u64
+            );
+            assert_eq!(
+                first
+                    .profile
+                    .counter(solap_eventdb::Counter::SequencesScanned),
+                first.stats.sequences_scanned
+            );
+            assert_eq!(
+                first.profile.counter(solap_eventdb::Counter::EventsScanned),
+                e.db().len() as u64
+            );
+        }
+        let second = e.execute(&spec).unwrap();
+        assert_eq!(second.profile.strategy, "cache");
+        if second.profile.detailed {
+            assert_eq!(
+                second
+                    .profile
+                    .counter(solap_eventdb::Counter::CuboidCacheHits),
+                1
+            );
+            assert_eq!(
+                second
+                    .profile
+                    .counter(solap_eventdb::Counter::EventsScanned),
+                0,
+                "cache hits scan nothing"
+            );
+        }
+    }
+
+    #[test]
+    fn explain_is_deterministic_and_does_not_execute() {
+        let e = fig8_engine(EngineConfig::default());
+        let spec = q3(e.db());
+        let a = e.explain(&spec).unwrap();
+        let b = e.explain(&spec).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("strategy: II"));
+        assert!(a.contains("SELECT"));
+        // EXPLAIN must not populate the cuboid repository.
+        let out = e.execute(&spec).unwrap();
+        assert!(!out.stats.cuboid_cache_hit);
+    }
+
+    #[test]
+    fn explain_reports_cb_fallback_for_long_subsequences() {
+        let e = fig8_engine(EngineConfig::default());
+        let mut spec = q3(e.db());
+        spec.template = PatternTemplate::new(
+            PatternKind::Subsequence,
+            &["A", "B", "C", "D"],
+            &[("A", 2, 0), ("B", 2, 0), ("C", 2, 0), ("D", 2, 0)],
+        )
+        .unwrap();
+        spec.mpred = MatchPred::True;
+        let plan = e.explain(&spec).unwrap();
+        assert!(plan.contains("strategy: CB (auto: subsequence template with m > 3)"));
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 use std::sync::Arc;
 
+use solap_eventdb::metrics::{self, Counter, Stage};
 use solap_eventdb::{
     fail_point, panic_message, Error, EventDb, QueryGovernor, Result, SequenceGroups,
 };
@@ -231,6 +232,7 @@ impl<'a> IiExecutor<'a> {
             };
             let group_size = self.groups.groups[group_idx].sequences.len();
             let verified = if !pair_cached && member_sids.len() * 2 < group_size {
+                let _span = metrics::span(self.gov().recorder(), Stage::IndexBuild);
                 let mut sids: Vec<u32> = member_sids.iter().collect();
                 sids.sort_unstable();
                 for &sid in &sids {
@@ -254,10 +256,13 @@ impl<'a> IiExecutor<'a> {
             } else {
                 let pair_template = PatternTemplate::from_signature(&pair_sig);
                 let pair_index = self.ensure_index(group_idx, &pair_template, meter, stats)?;
-                let candidate = join(&current, &pair_index, target_sig.clone(), |c| {
-                    target_template.is_instantiation(c)
-                        && self.positions_match_slice(template, pos_slice, c)
-                });
+                let candidate = {
+                    let _span = metrics::span(self.gov().recorder(), Stage::IndexJoin);
+                    join(&current, &pair_index, target_sig.clone(), |c| {
+                        target_template.is_instantiation(c)
+                            && self.positions_match_slice(template, pos_slice, c)
+                    })
+                };
                 stats.index_joins += 1;
                 self.verify(candidate, &target_template, meter)?
             };
@@ -347,6 +352,7 @@ impl<'a> IiExecutor<'a> {
     ) -> Result<Arc<InvertedIndex>> {
         fail_point!("ii.build_base");
         self.gov().check_now()?;
+        let _span = metrics::span(self.gov().recorder(), Stage::IndexBuild);
         let group = &self.groups.groups[group_idx];
         let index = if self.threads > 1 && group.sequences.len() > 1 {
             self.build_base_parallel(group, template)?
@@ -388,6 +394,9 @@ impl<'a> IiExecutor<'a> {
                 .map(|seqs| {
                     scope.spawn(move || {
                         fail_point!("ii.worker");
+                        if let Some(rec) = gov.recorder() {
+                            rec.add(Counter::WorkersSpawned, 1);
+                        }
                         build_index_governed(self.db, seqs, template, self.backend, gov)
                             .map(|(ix, _)| ix)
                     })
@@ -449,6 +458,8 @@ impl<'a> IiExecutor<'a> {
         meter: &mut ScanMeter,
     ) -> Result<InvertedIndex> {
         fail_point!("ii.verify");
+        let rec = self.gov().recorder();
+        let _span = metrics::span(rec, Stage::IndexVerify);
         let trivial = MatchPred::True;
         let matcher = Matcher::new(self.db, template, &trivial).with_governor(self.gov());
         let mut out = InvertedIndex::new(candidate.sig.clone(), candidate.backend);
@@ -466,6 +477,9 @@ impl<'a> IiExecutor<'a> {
             if !kept.is_empty() {
                 out.lists.insert(pattern, kept);
             }
+        }
+        if let Some(rec) = rec {
+            rec.add(Counter::MatchWindows, matcher.take_windows());
         }
         Ok(out)
     }
@@ -538,12 +552,16 @@ impl<'a> IiExecutor<'a> {
                     indexed.insert(sid);
                 }
             }
+            let _fold_span = metrics::span(self.gov().recorder(), Stage::Aggregate);
             let mut states: std::collections::HashMap<Vec<solap_eventdb::LevelValue>, AggState> =
                 std::collections::HashMap::new();
+            let mut assignments: u64 = 0;
             for sid in indexed.iter() {
                 meter.touch(sid);
                 let seq = self.groups.sequence(sid);
-                for a in matcher.assignments(seq, spec.restriction)? {
+                let assigned = matcher.assignments(seq, spec.restriction)?;
+                assignments += assigned.len() as u64;
+                for a in assigned {
                     if !cell_selected(self.db, spec, &a.cell)? {
                         continue;
                     }
@@ -568,6 +586,12 @@ impl<'a> IiExecutor<'a> {
                     state.finish(),
                 );
             }
+            if let Some(rec) = self.gov().recorder() {
+                rec.add(Counter::PatternAssignments, assignments);
+            }
+        }
+        if let Some(rec) = self.gov().recorder() {
+            rec.add(Counter::MatchWindows, matcher.take_windows());
         }
         Ok(cuboid)
     }
@@ -682,6 +706,7 @@ impl<'a> IiExecutor<'a> {
             for &sid in &sids {
                 meter.touch(sid);
             }
+            let _span = metrics::span(self.gov().recorder(), Stage::IndexBuild);
             let (unfiltered, _) =
                 build_index_governed(self.db, seqs, new, self.backend, self.gov())?;
             // Keep only fine lists compatible with the slice (the scan
@@ -749,9 +774,12 @@ impl<'a> IiExecutor<'a> {
             };
             let pair_template = PatternTemplate::from_signature(&pair_sig);
             let pair_index = self.ensure_index(group_idx, &pair_template, meter, stats)?;
-            let candidate = join(&pair_index, &prev_ix, new_sig.clone(), |c| {
-                new.is_instantiation(c)
-            });
+            let candidate = {
+                let _span = metrics::span(self.gov().recorder(), Stage::IndexJoin);
+                join(&pair_index, &prev_ix, new_sig.clone(), |c| {
+                    new.is_instantiation(c)
+                })
+            };
             stats.index_joins += 1;
             let verified = Arc::new(self.verify(candidate, new, meter)?);
             stats.indices_built += 1;

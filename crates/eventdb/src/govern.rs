@@ -24,6 +24,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::error::{Error, Result};
+use crate::metrics::QueryRecorder;
 
 /// How many [`QueryGovernor::tick`] calls elapse between two consultations
 /// of the wall clock and the cancel flag. An over-limit query is therefore
@@ -76,6 +77,10 @@ pub struct QueryGovernor {
     events: AtomicU64,
     /// Countdown shared across ticks; hits zero every `CHECK_INTERVAL`.
     countdown: AtomicU64,
+    /// Observability recorder for this query, if profiling is enabled.
+    /// Piggy-backs on the governor because the governor is already threaded
+    /// by reference through every construction hot loop and worker.
+    recorder: Option<Arc<QueryRecorder>>,
 }
 
 impl QueryGovernor {
@@ -94,7 +99,22 @@ impl QueryGovernor {
             cells: AtomicU64::new(0),
             events: AtomicU64::new(0),
             countdown: AtomicU64::new(CHECK_INTERVAL as u64),
+            recorder: None,
         }
+    }
+
+    /// Attaches a per-query observability recorder; construction loops
+    /// reach it through [`QueryGovernor::recorder`].
+    pub fn with_recorder(mut self, recorder: Arc<QueryRecorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// The attached observability recorder, if profiling is enabled for
+    /// this query.
+    #[inline]
+    pub fn recorder(&self) -> Option<&QueryRecorder> {
+        self.recorder.as_deref()
     }
 
     /// A governor with no limits (used by the compatibility wrappers of

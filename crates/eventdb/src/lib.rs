@@ -29,6 +29,10 @@
 //!   construction hot loop.
 //! * [`failpoint`] — a zero-cost-when-disabled fault-injection facility
 //!   (`SOLAP_FAILPOINTS`) used by the chaos test suite.
+//! * [`metrics`] — query-level observability: per-stage counters and span
+//!   timers aggregated into per-query [`QueryProfile`]s and process-wide
+//!   [`EngineMetrics`] (`SOLAP_PROFILE`).
+//! * [`trace`] — structured JSON event tracing on stderr (`SOLAP_TRACE`).
 //!
 //! The paper offloads steps 1–4 to "an existing sequence database query
 //! engine"; no such engine exists in the Rust ecosystem, so this crate *is*
@@ -43,6 +47,7 @@ pub mod failpoint;
 pub mod govern;
 pub mod hierarchy;
 pub mod lru;
+pub mod metrics;
 pub mod persist;
 pub mod pred;
 pub mod schema;
@@ -50,12 +55,14 @@ pub mod seqcache;
 pub mod seqquery;
 pub mod store;
 pub mod time;
+pub mod trace;
 pub mod value;
 
 pub use dict::Dictionary;
 pub use error::{panic_message, Error, Result};
 pub use govern::{CancelToken, QueryGovernor, CHECK_INTERVAL};
 pub use hierarchy::{DictHierarchy, Hierarchy, IntHierarchy, TimeGranularity, TimeHierarchy};
+pub use metrics::{Counter, EngineMetrics, QueryProfile, QueryRecorder, Stage};
 pub use pred::{CmpOp, Pred};
 pub use schema::{AttrId, ColumnDef, ColumnType, Role, Schema};
 pub use seqquery::{

@@ -34,6 +34,7 @@ pub struct LruCache<K, V> {
     weigher: fn(&V) -> usize,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
@@ -52,6 +53,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             weigher: |_| 0,
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -82,6 +84,12 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// `(hits, misses)` counters since creation.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Budget-driven evictions since creation (replacements and explicit
+    /// removals are not counted).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
     }
 
     /// Looks up `key`, marking it most-recently-used.
@@ -207,6 +215,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             self.free.push(victim);
             self.map.remove(&node.key);
             self.weight -= (self.weigher)(&node.value);
+            self.evictions += 1;
         }
     }
 
@@ -311,6 +320,19 @@ mod tests {
         assert_eq!(c.stats(), (1, 1));
         assert_eq!(c.peek(&"a"), Some(&1));
         assert_eq!(c.stats(), (1, 1)); // peek does not count
+    }
+
+    #[test]
+    fn eviction_counter_counts_only_budget_evictions() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("a", 2); // replacement: not an eviction
+        c.insert("b", 3);
+        assert_eq!(c.evictions(), 0);
+        c.insert("c", 4); // evicts "a"
+        assert_eq!(c.evictions(), 1);
+        c.remove(&"b"); // explicit removal: not an eviction
+        assert_eq!(c.evictions(), 1);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::error::Result;
 use crate::fail_point;
 use crate::govern::QueryGovernor;
 use crate::lru::LruCache;
+use crate::metrics::Counter;
 use crate::seqquery::{build_sequence_groups_governed, SeqQuerySpec, SequenceGroups};
 use crate::store::EventDb;
 
@@ -61,18 +62,37 @@ impl SequenceCache {
             spec: spec.fingerprint(),
             db_version: db.version(),
         };
+        let rec = gov.recorder();
         if let Some(hit) = self.inner.lock().get(&key) {
+            if let Some(rec) = rec {
+                rec.add(Counter::SeqCacheHits, 1);
+            }
             return Ok(Arc::clone(hit));
+        }
+        if let Some(rec) = rec {
+            rec.add(Counter::SeqCacheMisses, 1);
         }
         fail_point!("seqcache.build");
         let built = Arc::new(build_sequence_groups_governed(db, spec, gov)?);
-        self.inner.lock().insert(key, Arc::clone(&built));
+        {
+            let mut inner = self.inner.lock();
+            let before = inner.evictions();
+            inner.insert(key, Arc::clone(&built));
+            if let Some(rec) = rec {
+                rec.add(Counter::SeqCacheEvictions, inner.evictions() - before);
+            }
+        }
         Ok(built)
     }
 
     /// `(hits, misses)` counters.
     pub fn stats(&self) -> (u64, u64) {
         self.inner.lock().stats()
+    }
+
+    /// Budget-driven evictions since creation.
+    pub fn evictions(&self) -> u64 {
+        self.inner.lock().evictions()
     }
 
     /// Number of cached entries.

@@ -19,6 +19,7 @@ use std::hash::{Hash, Hasher};
 
 use crate::error::Result;
 use crate::govern::QueryGovernor;
+use crate::metrics::{self, Counter, Stage};
 use crate::pred::Pred;
 use crate::schema::AttrId;
 use crate::store::EventDb;
@@ -204,26 +205,55 @@ pub fn build_sequence_groups_governed(
     spec: &SeqQuerySpec,
     gov: &QueryGovernor,
 ) -> Result<SequenceGroups> {
-    // Step 1 + 2: select and cluster in one pass.
-    let mut clusters: BTreeMap<Vec<LevelValue>, Vec<RowId>> = BTreeMap::new();
-    let mut ckey = Vec::with_capacity(spec.cluster_by.len());
-    for row in 0..db.len() as RowId {
-        gov.tick()?;
-        if !spec.filter.eval(db, row)? {
-            continue;
-        }
-        ckey.clear();
-        for al in &spec.cluster_by {
-            ckey.push(db.value_at_level(row, al.attr, al.level)?);
-        }
-        match clusters.entry(ckey.clone()) {
-            std::collections::btree_map::Entry::Vacant(e) => {
-                gov.charge_cells(1)?;
-                e.insert(vec![row]);
+    // Step 1 + 2: select and cluster in one pass. Counted into locals and
+    // flushed once so the per-row cost of profiling stays zero.
+    let rec = gov.recorder();
+    let mut selected: u64 = 0;
+    {
+        let _span = metrics::span(rec, Stage::SelectCluster);
+        let mut clusters_inner: BTreeMap<Vec<LevelValue>, Vec<RowId>> = BTreeMap::new();
+        let mut ckey = Vec::with_capacity(spec.cluster_by.len());
+        let scan = (|| -> Result<()> {
+            for row in 0..db.len() as RowId {
+                gov.tick()?;
+                if !spec.filter.eval(db, row)? {
+                    continue;
+                }
+                selected += 1;
+                ckey.clear();
+                for al in &spec.cluster_by {
+                    ckey.push(db.value_at_level(row, al.attr, al.level)?);
+                }
+                match clusters_inner.entry(ckey.clone()) {
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        gov.charge_cells(1)?;
+                        e.insert(vec![row]);
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().push(row),
+                }
             }
-            std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().push(row),
+            Ok(())
+        })();
+        if let Some(rec) = rec {
+            rec.add(Counter::EventsScanned, db.len() as u64);
+            rec.add(Counter::EventsSelected, selected);
+            rec.add(Counter::SequencesFormed, clusters_inner.len() as u64);
         }
+        scan.map(|()| clusters_inner)
     }
+    .and_then(|clusters| build_groups_from_clusters(db, spec, gov, clusters))
+}
+
+/// Steps 3–4: sorts each cluster into a sequence and groups sequences by
+/// global-dimension values.
+fn build_groups_from_clusters(
+    db: &EventDb,
+    spec: &SeqQuerySpec,
+    gov: &QueryGovernor,
+    clusters: BTreeMap<Vec<LevelValue>, Vec<RowId>>,
+) -> Result<SequenceGroups> {
+    let rec = gov.recorder();
+    let _span = metrics::span(rec, Stage::FormGroup);
 
     // Step 3: sort each cluster into a sequence.
     let sort_keys: Vec<(AttrId, bool)> = spec
@@ -268,6 +298,9 @@ pub fn build_sequence_groups_governed(
             key: gkey,
             sequences,
         });
+    }
+    if let Some(rec) = rec {
+        rec.add(Counter::GroupsFormed, groups.len() as u64);
     }
 
     Ok(SequenceGroups {

@@ -144,6 +144,9 @@ pub fn build_index_governed<'a>(
         })?;
         gov.charge_cells((index.list_count() - before) as u64)?;
     }
+    if let Some(rec) = gov.recorder() {
+        rec.add(solap_eventdb::Counter::MatchWindows, matcher.take_windows());
+    }
     Ok((index, scanned))
 }
 

@@ -12,6 +12,7 @@
 //! * left-maximality-data-go: leftmost per cell, but the whole sequence is
 //!   the assigned content.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 
 use solap_eventdb::{EventDb, LevelValue, QueryGovernor, Result, RowId, Sequence};
@@ -60,6 +61,10 @@ pub struct Matcher<'a> {
     /// Optional per-query governor ticked per match-window / DFS node, so
     /// explosive occurrence enumeration stays abortable.
     gov: Option<&'a QueryGovernor>,
+    /// Candidate windows / DFS nodes attempted since the last
+    /// [`Matcher::take_windows`] (observability; matchers are per-thread,
+    /// so a non-atomic cell suffices).
+    windows: Cell<u64>,
 }
 
 /// Per-sequence extracted values: one lane per distinct `(attr, level)`.
@@ -103,6 +108,7 @@ impl<'a> Matcher<'a> {
             lanes,
             dim_lane,
             gov: None,
+            windows: Cell::new(0),
         }
     }
 
@@ -115,10 +121,18 @@ impl<'a> Matcher<'a> {
 
     #[inline]
     fn tick(&self) -> Result<()> {
+        self.windows.set(self.windows.get() + 1);
         match self.gov {
             Some(g) => g.tick(),
             None => Ok(()),
         }
+    }
+
+    /// Returns and resets the number of candidate match windows / DFS nodes
+    /// attempted since the last call (flushed into the query recorder by
+    /// construction loops).
+    pub fn take_windows(&self) -> u64 {
+        self.windows.replace(0)
     }
 
     /// The template this matcher works with.
@@ -421,13 +435,17 @@ impl<'a> Matcher<'a> {
                 let trivial = MatchPred::True;
                 let mut free = Matcher::new(self.db, self.template, &trivial);
                 free.gov = self.gov;
-                free.for_each_occurrence_in_view(seq, &view, &mut |occ| {
+                let walked = free.for_each_occurrence_in_view(seq, &view, &mut |occ| {
                     let values = self.template.expand_cell(&occ.cell);
                     if seen.insert(values.clone(), ()).is_none() {
                         f(&values);
                     }
                     true
-                })?;
+                });
+                // Fold the nested matcher's window count into ours so
+                // take_windows() sees the full enumeration cost.
+                self.windows.set(self.windows.get() + free.take_windows());
+                walked?;
             }
         }
         Ok(())

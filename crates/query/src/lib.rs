@@ -41,5 +41,5 @@ pub mod parser;
 pub mod regex_parser;
 
 pub use lexer::{tokenize, Token, TokenKind};
-pub use parser::parse_query;
+pub use parser::{parse_query, parse_statement, ExplainMode, Statement};
 pub use regex_parser::{parse_regex_query, RegexQuery};

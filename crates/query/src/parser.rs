@@ -10,12 +10,47 @@ use crate::lexer::{tokenize, Token, TokenKind};
 
 /// Parses one S-cuboid specification against a database schema.
 pub fn parse_query(db: &EventDb, src: &str) -> Result<SCuboidSpec> {
+    Ok(parse_statement(db, src)?.spec)
+}
+
+/// How a statement wants its query surfaced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExplainMode {
+    /// Execute and return the cuboid (no prefix).
+    #[default]
+    Normal,
+    /// Render the execution plan without running the query (`EXPLAIN`).
+    Explain,
+    /// Execute the query and report its per-stage profile (`PROFILE`).
+    Profile,
+}
+
+/// A parsed statement: an optional `EXPLAIN`/`PROFILE` prefix plus the
+/// S-cuboid query it applies to.
+#[derive(Debug, Clone)]
+pub struct Statement {
+    /// The requested surface.
+    pub mode: ExplainMode,
+    /// The query itself.
+    pub spec: SCuboidSpec,
+}
+
+/// Parses `[EXPLAIN | PROFILE] <query>` (prefix keywords are
+/// case-insensitive, like every other keyword).
+pub fn parse_statement(db: &EventDb, src: &str) -> Result<Statement> {
     let tokens = tokenize(src)?;
     let mut p = ClauseParser::new(db, tokens);
+    let mode = if p.eat_kw("EXPLAIN") {
+        ExplainMode::Explain
+    } else if p.eat_kw("PROFILE") {
+        ExplainMode::Profile
+    } else {
+        ExplainMode::Normal
+    };
     let spec = p.query()?;
     p.finish()?;
     spec.validate(db)?;
-    Ok(spec)
+    Ok(Statement { mode, spec })
 }
 
 /// The clause-level parser shared between the main query language and the
@@ -789,6 +824,23 @@ mod tests {
         assert!(rendered.contains("amount >= 0"), "{rendered}");
         let reparsed = parse_query(&db, &rendered).unwrap();
         assert_eq!(spec.fingerprint(), reparsed.fingerprint());
+    }
+
+    #[test]
+    fn explain_and_profile_prefixes_parse() {
+        let db = db();
+        let base = "SELECT COUNT(*) FROM Event CLUSTER BY card-id AT individual SEQUENCE BY time CUBOID BY SUBSTRING (X) WITH X AS location AT station LEFT-MAXIMALITY (x1)";
+        let plain = parse_statement(&db, base).unwrap();
+        assert_eq!(plain.mode, ExplainMode::Normal);
+        let ex = parse_statement(&db, &format!("EXPLAIN {base}")).unwrap();
+        assert_eq!(ex.mode, ExplainMode::Explain);
+        assert_eq!(ex.spec.fingerprint(), plain.spec.fingerprint());
+        let pr = parse_statement(&db, &format!("profile {base}")).unwrap();
+        assert_eq!(pr.mode, ExplainMode::Profile, "prefix is case-insensitive");
+        assert_eq!(pr.spec.fingerprint(), plain.spec.fingerprint());
+        // The prefix must be followed by a complete query.
+        assert!(parse_statement(&db, "EXPLAIN").is_err());
+        assert!(parse_statement(&db, &format!("EXPLAIN EXPLAIN {base}")).is_err());
     }
 
     #[test]

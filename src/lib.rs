@@ -70,10 +70,11 @@ pub mod prelude {
     };
     pub use solap_eventdb::{
         AttrLevel, CancelToken, CmpOp, ColumnType, EventDb, EventDbBuilder, Pred, QueryGovernor,
-        SortKey, Value,
+        QueryProfile, SortKey, Value,
     };
     pub use solap_index::SetBackend;
     pub use solap_pattern::{
         AggFunc, CellRestriction, MatchPred, PatternKind, PatternTemplate, SumMode,
     };
+    pub use solap_query::{parse_query, parse_statement, ExplainMode, Statement};
 }
