@@ -23,6 +23,8 @@
 //! script through the same command loop; errors are printed (never abort
 //! the run) and the process exits nonzero if any line failed.
 
+#![forbid(unsafe_code)]
+
 use std::collections::HashMap;
 use std::io::{self, BufRead, Write};
 

@@ -185,6 +185,7 @@ fn scan_group_dense(
     gov.charge_cells(total as u64)?;
     let mut counters: Vec<u64> = vec![0; total];
     let mut assignments: u64 = 0;
+    // solint: allow(governor-tick) whole dense cell space charged up front; assignments() ticks per candidate window
     for seq in &group.sequences {
         meter.touch(seq.sid);
         let assigned = matcher.assignments(seq, spec.restriction)?;

@@ -281,7 +281,7 @@ mod tests {
         assert_eq!(flat(&extended), flat(&rebuilt));
         // sid lookup works for every sid.
         for s in extended.iter_sequences() {
-            assert_eq!(extended.sequence(s.sid).rows, s.rows);
+            assert_eq!(extended.sequence(s.sid).unwrap().rows, s.rows);
         }
     }
 
@@ -315,7 +315,7 @@ mod tests {
             extend_groups(&db, &spec(), &old_groups, from_row).unwrap();
         let new_seqs: Vec<Sequence> = new_sids
             .iter()
-            .map(|&sid| extended_groups.sequence(sid).clone())
+            .map(|&sid| extended_groups.sequence(sid).unwrap().clone())
             .collect();
         assert_eq!(new_seqs.len(), 1);
         let extended = extend_index(&db, &old_index, &new_seqs, &t).unwrap();
@@ -365,7 +365,7 @@ mod tests {
         let (ext, new_sids) = extend_groups(&db, &spec, &old, from_row).unwrap();
         assert_eq!(new_sids.len(), 1);
         // The reported new sequence really is the `y` one.
-        let s = ext.sequence(new_sids[0]);
+        let s = ext.sequence(new_sids[0]).unwrap();
         assert_eq!(db.value(s.rows[0], 2), Value::from("y"));
         // And the whole structure matches a rebuild.
         let rebuilt = rebuild_reference(&db, &spec).unwrap();
@@ -379,7 +379,11 @@ mod tests {
         };
         assert_eq!(flat(&ext), flat(&rebuilt));
         for s in ext.iter_sequences() {
-            assert_eq!(ext.sequence(s.sid).rows, s.rows, "lookup consistent");
+            assert_eq!(
+                ext.sequence(s.sid).unwrap().rows,
+                s.rows,
+                "lookup consistent"
+            );
         }
     }
 

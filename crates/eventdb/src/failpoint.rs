@@ -22,6 +22,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+// solint: allow(no-bare-mutex) cold-path registry (configured at startup / between queries, never inside a hot loop); lock recovery handled explicitly via unwrap_or_else(into_inner) at every acquisition
 use std::sync::{Mutex, OnceLock};
 use std::time::Duration;
 
@@ -81,6 +82,7 @@ fn registry() -> &'static Mutex<HashMap<String, Action>> {
                 }
             }
         }
+        // ord: published under the OnceLock's own release fence; readers only need eventual visibility
         COUNT.store(map.len(), Ordering::Relaxed);
         ACTIVE.store(!map.is_empty(), Ordering::Relaxed);
         Mutex::new(map)
@@ -91,6 +93,7 @@ fn registry() -> &'static Mutex<HashMap<String, Action>> {
 /// site while the facility is idle.
 #[inline]
 pub fn enabled() -> bool {
+    // ord: advisory fast-path flag; a stale read only delays/fronts one check, and the registry lock orders the authoritative lookup
     ACTIVE.load(Ordering::Relaxed)
 }
 
@@ -102,6 +105,7 @@ pub fn configure(site: &str, action: Action) {
     } else {
         map.insert(site.to_string(), action);
     }
+    // ord: written while holding the registry lock, which orders config writes; flag readers tolerate staleness
     COUNT.store(map.len(), Ordering::Relaxed);
     ACTIVE.store(!map.is_empty(), Ordering::Relaxed);
 }
@@ -116,6 +120,7 @@ pub fn remove(site: &str) {
 pub fn clear_all() {
     let mut map = registry().lock().unwrap_or_else(|e| e.into_inner());
     map.clear();
+    // ord: written while holding the registry lock; see configure()
     COUNT.store(0, Ordering::Relaxed);
     ACTIVE.store(false, Ordering::Relaxed);
 }

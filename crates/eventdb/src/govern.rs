@@ -47,16 +47,19 @@ impl CancelToken {
 
     /// Requests cancellation of every query observing this token.
     pub fn cancel(&self) {
+        // ord: standalone advisory flag — no other memory is published with it; cooperative checks tolerate a bounded-stale read
         self.flag.store(true, Ordering::Relaxed);
     }
 
     /// Clears the flag so subsequent queries run normally.
     pub fn reset(&self) {
+        // ord: see cancel() — advisory flag, no associated payload
         self.flag.store(false, Ordering::Relaxed);
     }
 
     /// Whether cancellation has been requested.
     pub fn is_cancelled(&self) -> bool {
+        // ord: a stale false only defers the abort to the next check interval; no data depends on this load
         self.flag.load(Ordering::Relaxed)
     }
 }
@@ -133,10 +136,12 @@ impl QueryGovernor {
     /// flag are consulted every [`CHECK_INTERVAL`] ticks.
     #[inline]
     pub fn tick(&self) -> Result<()> {
+        // ord: pure work counters — workers only accumulate; totals are read after the query joins its workers, and fetch_sub's atomicity alone guarantees exactly one thread sees each countdown value
         self.events.fetch_add(1, Ordering::Relaxed);
         if self.countdown.fetch_sub(1, Ordering::Relaxed) != 1 {
             return Ok(());
         }
+        // ord: the refill only paces future checks; racing ticks at worst check early, never skip past a full interval unobserved
         self.countdown
             .store(CHECK_INTERVAL as u64, Ordering::Relaxed);
         self.check_now()
@@ -170,6 +175,7 @@ impl QueryGovernor {
     /// the same logical cell may be charged more than once, so the budget
     /// bounds memory growth rather than the exact result cardinality.
     pub fn charge_cells(&self, n: u64) -> Result<()> {
+        // ord: fetch_add's return value is exact for this thread's charge; the budget comparison needs no cross-variable ordering
         let total = self.cells.fetch_add(n, Ordering::Relaxed) + n;
         if let Some(limit) = self.budget_cells {
             if total > limit {
@@ -185,11 +191,13 @@ impl QueryGovernor {
 
     /// Cells charged so far.
     pub fn cells_consumed(&self) -> u64 {
+        // ord: diagnostic read; exact totals are only read after worker join, which synchronizes
         self.cells.load(Ordering::Relaxed)
     }
 
     /// Scan-work units ticked so far.
     pub fn events_ticked(&self) -> u64 {
+        // ord: see cells_consumed()
         self.events.load(Ordering::Relaxed)
     }
 }

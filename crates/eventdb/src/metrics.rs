@@ -182,12 +182,14 @@ impl Stage {
 /// `SOLAP_PROFILE` (`0`, `off` or `false` disable it), overridable at
 /// runtime with [`set_enabled`]. The check is one relaxed atomic load.
 pub fn enabled() -> bool {
+    // ord: standalone on/off flag consulted at query start only; no payload is published with it
     flag().load(Ordering::Relaxed)
 }
 
 /// Turns per-query profiling on or off at runtime (tests and the CLI
 /// `.profile` command). Queries already in flight keep their recorder.
 pub fn set_enabled(on: bool) {
+    // ord: see enabled() — a racing query start observing the old value is acceptable by contract
     flag().store(on, Ordering::Relaxed);
 }
 
@@ -225,22 +227,26 @@ impl QueryRecorder {
     /// Adds `n` to a counter.
     #[inline]
     pub fn add(&self, counter: Counter, n: u64) {
+        // ord: independent monotonic accumulators; exact totals are read only after the query joins its workers (join synchronizes)
         self.counters[counter as usize].fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value of a counter.
     pub fn counter(&self, counter: Counter) -> u64 {
+        // ord: read post-join for exactness, mid-flight only for diagnostics
         self.counters[counter as usize].load(Ordering::Relaxed)
     }
 
     /// Adds elapsed nanoseconds to a stage timer.
     #[inline]
     pub fn add_stage_nanos(&self, stage: Stage, nanos: u64) {
+        // ord: see add()
         self.stage_nanos[stage as usize].fetch_add(nanos, Ordering::Relaxed);
     }
 
     /// Accumulated nanoseconds of a stage.
     pub fn stage_nanos(&self, stage: Stage) -> u64 {
+        // ord: see counter()
         self.stage_nanos[stage as usize].load(Ordering::Relaxed)
     }
 }
@@ -293,6 +299,7 @@ impl QueryProfile {
             detailed: true,
             strategy: "",
             elapsed_nanos: 0,
+            // ord: snapshot taken after worker join — the join synchronizes every prior relaxed write
             counters: std::array::from_fn(|i| rec.counters[i].load(Ordering::Relaxed)),
             stage_nanos: std::array::from_fn(|i| rec.stage_nanos[i].load(Ordering::Relaxed)),
         }
@@ -412,51 +419,64 @@ pub fn global() -> &'static EngineMetrics {
 impl EngineMetrics {
     /// Folds one successful query's profile into the totals.
     pub fn record(&self, profile: &QueryProfile) {
+        // ord: process-cumulative statistics — each cell is an independent monotonic sum and readers never require a consistent cross-counter cut
         self.queries.fetch_add(1, Ordering::Relaxed);
+        // ord: see above
         self.elapsed_nanos
             .fetch_add(profile.elapsed_nanos, Ordering::Relaxed);
         for c in Counter::ALL {
+            // ord: see above — independent statistical accumulators
             self.counters[c as usize].fetch_add(profile.counter(c), Ordering::Relaxed);
         }
         for s in Stage::ALL {
+            // ord: see above — independent statistical accumulators
             self.stage_nanos[s as usize].fetch_add(profile.stage_nanos(s), Ordering::Relaxed);
         }
     }
 
     /// Counts one failed query.
     pub fn record_failure(&self) {
+        // ord: independent monotonic statistic, same contract as record()
         self.failures.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Successful queries recorded so far.
     pub fn queries(&self) -> u64 {
+        // ord: statistical read; no cross-counter consistency promised
         self.queries.load(Ordering::Relaxed)
     }
 
     /// Failed queries recorded so far.
     pub fn failures(&self) -> u64 {
+        // ord: see queries()
         self.failures.load(Ordering::Relaxed)
     }
 
     /// A counter's cumulative total.
     pub fn counter(&self, counter: Counter) -> u64 {
+        // ord: see queries()
         self.counters[counter as usize].load(Ordering::Relaxed)
     }
 
     /// A stage's cumulative nanoseconds.
     pub fn stage_nanos(&self, stage: Stage) -> u64 {
+        // ord: see queries()
         self.stage_nanos[stage as usize].load(Ordering::Relaxed)
     }
 
     /// Zeroes every total (tests and the CLI after `.metrics reset`).
     pub fn reset(&self) {
+        // ord: reset is only meaningful between queries; concurrent folds may interleave and the totals stay statistical either way
         self.queries.store(0, Ordering::Relaxed);
         self.failures.store(0, Ordering::Relaxed);
+        // ord: see above
         self.elapsed_nanos.store(0, Ordering::Relaxed);
         for c in &self.counters {
+            // ord: see above
             c.store(0, Ordering::Relaxed);
         }
         for s in &self.stage_nanos {
+            // ord: see above
             s.store(0, Ordering::Relaxed);
         }
     }
@@ -467,6 +487,7 @@ impl EngineMetrics {
             "engine metrics: queries={} failures={} elapsed_total={}\n",
             self.queries(),
             self.failures(),
+            // ord: statistical export read, see queries()
             format_nanos(self.elapsed_nanos.load(Ordering::Relaxed))
         );
         out.push_str("  counters:\n");
@@ -490,6 +511,7 @@ impl EngineMetrics {
             "{{\"queries\":{},\"failures\":{},\"elapsed_ns\":{},\"counters\":{{",
             self.queries(),
             self.failures(),
+            // ord: statistical export read, see queries()
             self.elapsed_nanos.load(Ordering::Relaxed)
         );
         for (i, c) in Counter::ALL.iter().enumerate() {

@@ -91,6 +91,17 @@ fn read_exact<const N: usize>(r: &mut impl Read) -> Result<[u8; N]> {
     Ok(buf)
 }
 
+fn read_u8(r: &mut impl Read) -> Result<u8> {
+    Ok(u8::from_le_bytes(read_exact::<1>(r)?))
+}
+
+/// A schema/accessor mismatch while saving is an engine invariant breach,
+/// not an i/o condition; surface it as a typed internal error rather than
+/// panicking mid-write.
+fn column_value<T>(v: Option<T>, attr: u32, what: &str) -> Result<T> {
+    v.ok_or_else(|| Error::Internal(format!("save: column {attr} not readable as {what}")))
+}
+
 fn read_u32(r: &mut impl Read) -> Result<u32> {
     Ok(u32::from_le_bytes(read_exact::<4>(r)?))
 }
@@ -166,22 +177,22 @@ pub fn save(db: &EventDb, w: &mut impl Write) -> Result<()> {
         match col.ctype {
             ColumnType::Int | ColumnType::Time => {
                 for row in 0..db.len() as u32 {
-                    write_i64(w, db.int(row, attr).expect("typed column"))?;
+                    write_i64(w, column_value(db.int(row, attr), attr, "int")?)?;
                 }
             }
             ColumnType::Float => {
                 for row in 0..db.len() as u32 {
-                    write_f64(w, db.float(row, attr).expect("typed column"))?;
+                    write_f64(w, column_value(db.float(row, attr), attr, "float")?)?;
                 }
             }
             ColumnType::Str => {
-                let dict = db.dict(attr).expect("str column");
+                let dict = column_value(db.dict(attr), attr, "str")?;
                 write_u32(w, dict.len() as u32)?;
                 for (_, name) in dict.iter() {
                     write_str(w, name)?;
                 }
                 for row in 0..db.len() as u32 {
-                    write_u32(w, db.str_id(row, attr).expect("typed column"))?;
+                    write_u32(w, column_value(db.str_id(row, attr), attr, "str")?)?;
                 }
             }
         }
@@ -269,7 +280,8 @@ pub fn load(r: &mut impl Read) -> Result<EventDb> {
     let mut defs = Vec::with_capacity(n_cols);
     for _ in 0..n_cols {
         let name = read_str(r)?;
-        let [t, role] = read_exact::<2>(r)?;
+        let t = read_u8(r)?;
+        let role = read_u8(r)?;
         let ctype = match t {
             0 => ColumnType::Int,
             1 => ColumnType::Float,
@@ -328,15 +340,28 @@ pub fn load(r: &mut impl Read) -> Result<EventDb> {
     }
     let mut db = EventDb::new(Schema::new(defs.clone())?);
     let mut row_values = vec![Value::Int(0); n_cols];
+    let short = || corrupt("column payload shorter than the row count");
     for row in 0..n_rows {
-        for (c, payload) in payloads.iter().enumerate() {
-            row_values[c] = match payload {
-                Payload::Ints(v) => match defs[c].ctype {
-                    ColumnType::Time => Value::Time(v[row]),
-                    _ => Value::Int(v[row]),
-                },
-                Payload::Floats(v) => Value::Float(v[row]),
-                Payload::Strs { names, ids } => Value::Str(names[ids[row] as usize].clone()),
+        for (slot, (payload, def)) in row_values.iter_mut().zip(payloads.iter().zip(&defs)) {
+            *slot = match payload {
+                Payload::Ints(v) => {
+                    let x = *v.get(row).ok_or_else(short)?;
+                    if matches!(def.ctype, ColumnType::Time) {
+                        Value::Time(x)
+                    } else {
+                        Value::Int(x)
+                    }
+                }
+                Payload::Floats(v) => Value::Float(*v.get(row).ok_or_else(short)?),
+                Payload::Strs { names, ids } => {
+                    let id = *ids.get(row).ok_or_else(short)? as usize;
+                    Value::Str(
+                        names
+                            .get(id)
+                            .ok_or_else(|| corrupt("dictionary id out of range"))?
+                            .clone(),
+                    )
+                }
             };
         }
         db.push_row(&row_values)?;
@@ -345,7 +370,7 @@ pub fn load(r: &mut impl Read) -> Result<EventDb> {
     // re-validated. Mapping closures read the serialized parent tables.
     for a in 0..n_cols {
         let attr = a as u32;
-        let [tag] = read_exact::<1>(r)?;
+        let tag = read_u8(r)?;
         match tag {
             0 => {}
             1 => {
@@ -407,8 +432,7 @@ pub fn load(r: &mut impl Read) -> Result<EventDb> {
                 let n = read_u32(r)? as usize;
                 let mut levels = Vec::with_capacity(n.min(MAX_PREALLOC));
                 for _ in 0..n {
-                    let [code] = read_exact::<1>(r)?;
-                    levels.push(granularity_from(code)?);
+                    levels.push(granularity_from(read_u8(r)?)?);
                 }
                 db.set_time_hierarchy(attr, TimeHierarchy { levels })?;
             }
@@ -416,7 +440,7 @@ pub fn load(r: &mut impl Read) -> Result<EventDb> {
         }
     }
     for a in 0..n_cols {
-        let [has] = read_exact::<1>(r)?;
+        let has = read_u8(r)?;
         if has == 1 {
             let name = read_str(r)?;
             db.set_base_level_name(a as u32, &name);
@@ -440,13 +464,13 @@ impl RawLevel {
             return Err(corrupt("hierarchy level maps more children than exist"));
         }
         let mut map = HashMap::with_capacity(self.parent_of.len());
-        for (child_id, &p) in self.parent_of.iter().enumerate() {
+        for (child, &p) in child_names.iter().zip(&self.parent_of) {
             let parent = self
                 .names
                 .get(p as usize)
                 .cloned()
                 .ok_or_else(|| corrupt("parent id out of range"))?;
-            map.insert(child_names[child_id].clone(), parent);
+            map.insert(child.clone(), parent);
         }
         Ok(map)
     }
@@ -668,6 +692,22 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Regression: a hierarchy level whose parent table points past its
+    /// name dictionary used to index out of bounds; it is `Error::Corrupt`
+    /// now.
+    #[test]
+    fn lying_hierarchy_parent_ids_error() {
+        let raw = RawLevel {
+            names: vec!["p".to_string()],
+            parent_of: vec![5],
+        };
+        let children = vec!["c".to_string()];
+        assert!(matches!(
+            raw.child_map(&children),
+            Err(Error::Corrupt { .. })
+        ));
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::govern::QueryGovernor;
 use crate::metrics::{self, Counter, Stage};
 use crate::pred::Pred;
@@ -143,21 +143,33 @@ impl SequenceGroups {
         }
     }
 
-    /// Locates a sequence by sid.
-    pub fn sequence(&self, sid: Sid) -> &Sequence {
-        let g = match self.sid_offsets.binary_search(&sid) {
-            Ok(g) => g,
-            Err(ins) => ins - 1,
+    /// Locates a sequence by sid. A sid outside the assigned range is a
+    /// typed [`Error::Internal`] (sids come from indices built over these
+    /// same groups, so a miss means the caller mixed groups and indices).
+    pub fn sequence(&self, sid: Sid) -> Result<&Sequence> {
+        let g = self.group_of(sid)?;
+        let (group, &first) = match (self.groups.get(g), self.sid_offsets.get(g)) {
+            (Some(group), Some(first)) => (group, first),
+            _ => {
+                return Err(Error::Internal(format!(
+                    "sid {sid}: group table out of sync"
+                )))
+            }
         };
-        let group = &self.groups[g];
-        &group.sequences[(sid - self.sid_offsets[g]) as usize]
+        group
+            .sequences
+            .get((sid - first) as usize)
+            .ok_or_else(|| Error::Internal(format!("unknown sid {sid}")))
     }
 
-    /// The group a sid belongs to.
-    pub fn group_of(&self, sid: Sid) -> usize {
+    /// The group a sid belongs to, erring on sids below the first group.
+    pub fn group_of(&self, sid: Sid) -> Result<usize> {
         match self.sid_offsets.binary_search(&sid) {
-            Ok(g) => g,
-            Err(ins) => ins - 1,
+            Ok(g) => Ok(g),
+            Err(0) => Err(Error::Internal(format!(
+                "unknown sid {sid} (below the first group)"
+            ))),
+            Err(ins) => Ok(ins - 1),
         }
     }
 
@@ -269,7 +281,9 @@ fn build_groups_from_clusters(
         if !sort_keys.is_empty() {
             rows.sort_unstable_by(|&a, &b| db.cmp_rows(a, b, &sort_keys));
         }
-        let first = rows[0];
+        let Some(&first) = rows.first() else {
+            return Err(Error::Internal("empty cluster in sequence grouping".into()));
+        };
         let mut gkey = Vec::with_capacity(spec.group_by.len());
         for al in &spec.group_by {
             gkey.push(db.value_at_level(first, al.attr, al.level)?);
@@ -281,6 +295,7 @@ fn build_groups_from_clusters(
     let mut sid_offsets = Vec::with_capacity(grouped.len());
     let mut next_sid: Sid = 0;
     for (gkey, seqs) in grouped {
+        gov.check_now()?;
         sid_offsets.push(next_sid);
         let sequences: Vec<Sequence> = seqs
             .into_iter()
@@ -450,10 +465,28 @@ mod tests {
         let db = db();
         let sg = build_sequence_groups(&db, &spec()).unwrap();
         for s in sg.iter_sequences() {
-            assert_eq!(sg.sequence(s.sid).sid, s.sid);
+            assert_eq!(sg.sequence(s.sid).unwrap().sid, s.sid);
         }
-        assert_eq!(sg.group_of(0), 0);
-        assert_eq!(sg.group_of(2), 1);
+        assert_eq!(sg.group_of(0).unwrap(), 0);
+        assert_eq!(sg.group_of(2).unwrap(), 1);
+    }
+
+    /// Regression: an out-of-range sid used to index past the group arrays
+    /// and panic; it is a typed internal error now.
+    #[test]
+    fn out_of_range_sid_is_a_typed_error() {
+        let db = db();
+        let sg = build_sequence_groups(&db, &spec()).unwrap();
+        assert!(matches!(sg.sequence(9_999), Err(Error::Internal(_))));
+        // A sid below the first group (possible with `from_parts`).
+        let shifted = SequenceGroups::from_parts(
+            sg.global_dims.clone(),
+            sg.groups.clone(),
+            sg.total_sequences,
+            sg.sid_offsets.iter().map(|&o| o + 10).collect(),
+        );
+        assert!(matches!(shifted.sequence(0), Err(Error::Internal(_))));
+        assert!(matches!(shifted.group_of(3), Err(Error::Internal(_))));
     }
 
     #[test]

@@ -156,7 +156,7 @@ proptest! {
         prop_assert!(seen.iter().all(|&x| x));
         // Sids are dense and the lookup is consistent.
         for s in a.iter_sequences() {
-            prop_assert_eq!(&a.sequence(s.sid).rows, &s.rows);
+            prop_assert_eq!(&a.sequence(s.sid).unwrap().rows, &s.rows);
         }
     }
 

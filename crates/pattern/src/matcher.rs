@@ -144,6 +144,7 @@ impl<'a> Matcher<'a> {
         let mut lanes = Vec::with_capacity(self.lanes.len());
         for &(attr, level) in &self.lanes {
             let mut v = Vec::with_capacity(seq.rows.len());
+            // solint: allow(governor-tick) O(rows) lane materialization per sequence; the window/DFS scan that consumes it ticks
             for &row in &seq.rows {
                 v.push(self.db.value_at_level(row, attr, level)?);
             }

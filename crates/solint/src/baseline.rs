@@ -1,0 +1,79 @@
+//! The `no-panic-ratchet` baseline file: per-file counts of
+//! panic-capable sites, committed to the repository and only allowed to
+//! shrink.
+//!
+//! Format — comment lines, then `<count> <path>` per file, sorted by path:
+//!
+//! ```text
+//! # solint no-panic-ratchet baseline
+//! 12 crates/core/src/engine.rs
+//! ```
+
+use std::io;
+use std::path::Path;
+
+/// Parsed baseline: `(path, count)` sorted by path.
+pub fn load(path: &Path) -> io::Result<Vec<(String, usize)>> {
+    let text = std::fs::read_to_string(path)?;
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((count, file)) = line.split_once(' ') else {
+            continue;
+        };
+        if let Ok(n) = count.trim().parse::<usize>() {
+            out.push((file.trim().to_string(), n));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Writes the baseline file (sorted, with the regeneration header).
+pub fn save(path: &Path, counts: &[(String, usize)]) -> io::Result<()> {
+    let mut sorted = counts.to_vec();
+    sorted.sort();
+    let total: usize = sorted.iter().map(|(_, n)| n).sum();
+    let mut out = String::new();
+    out.push_str("# solint no-panic-ratchet baseline — panic-capable sites per file\n");
+    out.push_str("# (unwrap/expect/panic!/unreachable!/todo!/unimplemented!/slice-index)\n");
+    out.push_str("# in non-test library code. This file may only shrink; regenerate after\n");
+    out.push_str("# a burn-down with: cargo run -p solint -- --update-baseline\n");
+    out.push_str(&format!("# total: {total}\n"));
+    for (file, n) in &sorted {
+        if *n > 0 {
+            out.push_str(&format!("{n} {file}\n"));
+        }
+    }
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let dir = std::env::temp_dir().join("solint-baseline-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("b.txt");
+        let counts = vec![
+            ("b.rs".to_string(), 3),
+            ("a.rs".to_string(), 1),
+            ("zero.rs".to_string(), 0),
+        ];
+        save(&p, &counts).unwrap();
+        let loaded = load(&p).unwrap();
+        assert_eq!(
+            loaded,
+            vec![("a.rs".to_string(), 1), ("b.rs".to_string(), 3)],
+            "sorted, zero-count files dropped"
+        );
+        let text = std::fs::read_to_string(&p).unwrap();
+        assert!(text.contains("# total: 4"));
+        std::fs::remove_file(&p).ok();
+    }
+}

@@ -1,0 +1,450 @@
+//! A hand-rolled Rust lexer — just enough fidelity for solint's rules.
+//!
+//! The linter never parses expressions; every rule works off a flat token
+//! stream plus a per-line comment map. The lexer therefore only needs to be
+//! exact about the things that would otherwise corrupt that stream:
+//! comments (line, nested block, doc), string literals (plain, raw, byte),
+//! char literals vs lifetimes, and numbers. Everything else is an `Ident`
+//! or a one-byte `Punct`.
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+/// Token kinds. Operators are emitted as single [`TokenKind::Punct`] bytes;
+/// rules that need `::` or `#![` match short punct runs themselves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`for`, `unsafe`, `Ordering`, …).
+    Ident(String),
+    /// String literal — the *contents*, with escapes left as written.
+    Str(String),
+    /// Character literal (contents unexamined).
+    Char,
+    /// Lifetime (`'a`), label included.
+    Lifetime,
+    /// Numeric literal (int or float, suffix included).
+    Num,
+    /// A single punctuation byte (`{`, `}`, `(`, `!`, `:`, …).
+    Punct(u8),
+}
+
+impl TokenKind {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string-literal contents, if this is a string.
+    pub fn str_lit(&self) -> Option<&str> {
+        match self {
+            TokenKind::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this is the given punctuation byte.
+    pub fn is_punct(&self, b: u8) -> bool {
+        matches!(self, TokenKind::Punct(p) if *p == b)
+    }
+
+    /// Whether this is the given identifier.
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(self, TokenKind::Ident(i) if i == s)
+    }
+}
+
+/// The lex result: the token stream and every comment, line by line.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All tokens, in source order.
+    pub tokens: Vec<Token>,
+    /// `(line, text)` for each comment, in source order. Block comments
+    /// contribute one entry per line they span, so per-line lookups work
+    /// uniformly.
+    pub comments: Vec<(usize, String)>,
+}
+
+impl Lexed {
+    /// Concatenated comment text on `line` (empty if none).
+    pub fn comment_on(&self, line: usize) -> String {
+        let mut out = String::new();
+        for (l, t) in &self.comments {
+            if *l == line {
+                if !out.is_empty() {
+                    out.push(' ');
+                }
+                out.push_str(t);
+            }
+        }
+        out
+    }
+}
+
+/// Lexes `src`. Never fails: unterminated constructs consume to EOF, which
+/// is good enough for a linter that runs on code rustc already accepts.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let n = b.len();
+
+    macro_rules! push {
+        ($kind:expr, $line:expr) => {
+            out.tokens.push(Token {
+                kind: $kind,
+                line: $line,
+            })
+        };
+    }
+
+    while i < n {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < n && b[i + 1] == b'/' => {
+                let start = i;
+                while i < n && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push((line, src[start..i].to_string()));
+            }
+            b'/' if i + 1 < n && b[i + 1] == b'*' => {
+                // Nested block comment; record its text per spanned line.
+                let mut depth = 1usize;
+                i += 2;
+                let mut seg_start = i;
+                while i < n && depth > 0 {
+                    if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else if b[i] == b'\n' {
+                        out.comments.push((line, src[seg_start..i].to_string()));
+                        line += 1;
+                        i += 1;
+                        seg_start = i;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let end = i.saturating_sub(2).max(seg_start);
+                out.comments.push((line, src[seg_start..end].to_string()));
+            }
+            b'"' => {
+                let (contents, ni, nl) = lex_string(src, i + 1, line);
+                push!(TokenKind::Str(contents), line);
+                i = ni;
+                line = nl;
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(b, i) => {
+                let (contents, ni, nl) = lex_raw_or_byte(src, i, line);
+                push!(TokenKind::Str(contents), line);
+                i = ni;
+                line = nl;
+            }
+            b'\'' => {
+                // Char literal or lifetime.
+                if is_char_literal(b, i) {
+                    i = skip_char_literal(b, i);
+                    push!(TokenKind::Char, line);
+                } else {
+                    i += 1;
+                    while i < n && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                        i += 1;
+                    }
+                    push!(TokenKind::Lifetime, line);
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < n && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                // `r#ident` raw identifiers arrive here as `r` — but the
+                // raw-string branch already peeled `r"`/`r#"`, so an `r`
+                // followed by `#` then a letter is a raw identifier.
+                if i == start + 1 && b[start] == b'r' && i < n && b[i] == b'#' {
+                    i += 1;
+                    let id_start = i;
+                    while i < n && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                        i += 1;
+                    }
+                    push!(TokenKind::Ident(src[id_start..i].to_string()), line);
+                } else {
+                    push!(TokenKind::Ident(src[start..i].to_string()), line);
+                }
+            }
+            c if c.is_ascii_digit() => {
+                i = skip_number(b, i);
+                push!(TokenKind::Num, line);
+            }
+            _ => {
+                push!(TokenKind::Punct(c), line);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// After `"`, consume to the closing quote. Returns (contents, index after
+/// the close, updated line).
+fn lex_string(src: &str, mut i: usize, mut line: usize) -> (String, usize, usize) {
+    let b = src.as_bytes();
+    let start = i;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i = (i + 2).min(b.len()),
+            b'"' => {
+                return (src[start..i].to_string(), i + 1, line);
+            }
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (src[start..i].to_string(), i, line)
+}
+
+/// Whether position `i` (at `r` or `b`) starts a raw/byte string literal.
+fn starts_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    let n = b.len();
+    match b[i] {
+        b'b' => {
+            // b"..." | br"..." | br#"..."#
+            if i + 1 < n && b[i + 1] == b'"' {
+                return true;
+            }
+            if i + 1 < n && b[i + 1] == b'r' {
+                let mut j = i + 2;
+                while j < n && b[j] == b'#' {
+                    j += 1;
+                }
+                return j < n && b[j] == b'"';
+            }
+            false
+        }
+        b'r' => {
+            // r"..." | r#"..."# (but NOT r#ident)
+            let mut j = i + 1;
+            while j < n && b[j] == b'#' {
+                j += 1;
+            }
+            j < n && b[j] == b'"' && (b[i + 1] == b'"' || b[i + 1] == b'#')
+        }
+        _ => false,
+    }
+}
+
+/// Consumes a raw/byte string starting at `i`. Returns (contents, index
+/// after close, updated line).
+fn lex_raw_or_byte(src: &str, mut i: usize, mut line: usize) -> (String, usize, usize) {
+    let b = src.as_bytes();
+    let n = b.len();
+    if b[i] == b'b' {
+        i += 1;
+    }
+    if i < n && b[i] == b'r' {
+        i += 1;
+        let mut hashes = 0usize;
+        while i < n && b[i] == b'#' {
+            hashes += 1;
+            i += 1;
+        }
+        i += 1; // opening quote
+        let start = i;
+        while i < n {
+            if b[i] == b'"' {
+                let mut j = i + 1;
+                let mut h = 0usize;
+                while j < n && b[j] == b'#' && h < hashes {
+                    j += 1;
+                    h += 1;
+                }
+                if h == hashes {
+                    return (src[start..i].to_string(), j, line);
+                }
+            }
+            if b[i] == b'\n' {
+                line += 1;
+            }
+            i += 1;
+        }
+        (src[start..i].to_string(), i, line)
+    } else {
+        // b"..."
+        lex_string(src, i + 1, line)
+    }
+}
+
+/// Whether the `'` at `i` opens a char literal (vs a lifetime).
+fn is_char_literal(b: &[u8], i: usize) -> bool {
+    let n = b.len();
+    if i + 1 >= n {
+        return false;
+    }
+    if b[i + 1] == b'\\' {
+        return true;
+    }
+    // 'x' — a single char (possibly multibyte UTF-8) then a closing quote.
+    let mut j = i + 1;
+    if b[j] < 0x80 {
+        j += 1;
+    } else {
+        while j < n && (b[j] >= 0x80) {
+            j += 1;
+        }
+    }
+    j < n && b[j] == b'\''
+}
+
+/// Consumes a char literal starting at `'`; returns the index after it.
+fn skip_char_literal(b: &[u8], mut i: usize) -> usize {
+    let n = b.len();
+    i += 1;
+    while i < n {
+        match b[i] {
+            b'\\' => i = (i + 2).min(n),
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Consumes a numeric literal; returns the index after it. Stops before a
+/// `..` range so `0..n` lexes as `0`, `.`, `.`, `n`.
+fn skip_number(b: &[u8], mut i: usize) -> usize {
+    let n = b.len();
+    while i < n {
+        let c = b[i];
+        if c == b'.' {
+            if i + 1 < n && b[i + 1] == b'.' {
+                return i;
+            }
+            if i + 1 < n && (b[i + 1].is_ascii_digit() || b[i + 1] == b'_') {
+                i += 1;
+                continue;
+            }
+            // `1.` or tuple-ish — stop, let `.` be a punct.
+            return i;
+        }
+        if c.is_ascii_alphanumeric() || c == b'_' {
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.kind.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens_and_lines() {
+        let l = lex("let x = 1;\nfor y in 0..n {}\n");
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind.is_ident("for") && t.line == 2));
+        assert!(l.tokens.iter().any(|t| t.kind.is_ident("in")));
+        assert!(l.tokens.iter().any(|t| matches!(t.kind, TokenKind::Num)));
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenized() {
+        let l = lex("a // solint: allow(x) reason\n/* b1\nb2 */ c");
+        assert_eq!(idents("a // hidden\nb"), vec!["a", "b"]);
+        assert!(l.comment_on(1).contains("solint: allow(x)"));
+        assert!(l.comment_on(2).contains("b1"));
+        assert!(l.comment_on(3).contains("b2"));
+        assert!(l.tokens.iter().any(|t| t.kind.is_ident("c")));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let l = lex(r#"f("for x in y { unwrap }"); g"#);
+        assert_eq!(idents(r#"f("for x in y { unwrap }"); g"#), vec!["f", "g"]);
+        assert!(l
+            .tokens
+            .iter()
+            .any(|t| t.kind.str_lit() == Some("for x in y { unwrap }")));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let l = lex(r##"let a = r#"quote " inside"#; let b = "esc\"aped";"##);
+        let strs: Vec<&str> = l.tokens.iter().filter_map(|t| t.kind.str_lit()).collect();
+        assert_eq!(strs, vec![r#"quote " inside"#, r#"esc\"aped"#]);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let l = lex(r"let c = 'x'; fn f<'a>(v: &'a str) {} let nl = '\n';");
+        let chars = l
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Char))
+            .count();
+        let lifetimes = l
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Lifetime))
+            .count();
+        assert_eq!(chars, 2);
+        assert_eq!(lifetimes, 2);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(idents("let r#type = 1; r"), vec!["let", "type", "r"]);
+    }
+
+    #[test]
+    fn numbers_stop_before_ranges() {
+        let l = lex("for i in 0..10 {}");
+        let nums = l
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Num))
+            .count();
+        assert_eq!(nums, 2);
+        let dots = l.tokens.iter().filter(|t| t.kind.is_punct(b'.')).count();
+        assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn multiline_string_tracks_lines() {
+        let l = lex("let s = \"a\nb\";\nlast");
+        let last = l.tokens.iter().find(|t| t.kind.is_ident("last")).unwrap();
+        assert_eq!(last.line, 3);
+    }
+}

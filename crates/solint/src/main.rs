@@ -1,0 +1,126 @@
+//! The `solint` CLI. Run from anywhere in the workspace:
+//!
+//! ```text
+//! cargo run -p solint              # human report, exit 1 on findings
+//! cargo run -p solint -- --ci      # same, plus a machine-parsable summary line
+//! cargo run -p solint -- --json    # JSON findings on stdout
+//! cargo run -p solint -- --update-baseline   # rewrite solint.baseline
+//! cargo run -p solint -- --root DIR          # analyze another tree
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut ci = false;
+    let mut update_baseline = false;
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--ci" => ci = true,
+            "--update-baseline" => update_baseline = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--help" | "-h" => {
+                print!("{}", HELP);
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = root.unwrap_or_else(default_root);
+    if !root.join("Cargo.toml").is_file() {
+        eprintln!(
+            "solint: {} does not look like the workspace root (no Cargo.toml); pass --root",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    let config = solint::Config::repo(root);
+
+    if update_baseline {
+        return match solint::update_baseline(&config) {
+            Ok(counts) => {
+                let total: usize = counts.iter().map(|(_, n)| n).sum();
+                println!(
+                    "solint: baseline rewritten — {} panic-capable sites across {} files",
+                    total,
+                    counts.len()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("solint: baseline write failed: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let analysis = solint::run(&config);
+    if json {
+        println!("{}", solint::render_json(&analysis.findings));
+    } else {
+        print!(
+            "{}",
+            solint::render_text(&analysis.findings, analysis.files_scanned)
+        );
+    }
+    if ci {
+        eprintln!(
+            "solint-ci: findings={} files={}",
+            analysis.findings.len(),
+            analysis.files_scanned
+        );
+    }
+    if analysis.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: `CARGO_MANIFEST_DIR/../..` when run via cargo,
+/// the current directory otherwise.
+fn default_root() -> PathBuf {
+    match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(d) => {
+            let p = PathBuf::from(d);
+            p.parent()
+                .and_then(|p| p.parent())
+                .map(PathBuf::from)
+                .unwrap_or(p)
+        }
+        None => PathBuf::from("."),
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("solint: {msg}");
+    eprint!("{}", HELP);
+    ExitCode::from(2)
+}
+
+const HELP: &str = "\
+solint — workspace static analysis for the S-OLAP engine
+
+USAGE: cargo run -p solint [-- OPTIONS]
+
+OPTIONS:
+  --ci                 print a machine-parsable summary line on stderr
+  --json               emit findings as JSON on stdout
+  --update-baseline    recount panic-capable sites and rewrite solint.baseline
+  --root DIR           analyze DIR instead of this workspace
+  -h, --help           this text
+
+Exit status: 0 clean, 1 findings, 2 usage/io error.
+Rules and the escape-comment workflow: DESIGN.md §7, README \"Static analysis\".
+";

@@ -1,0 +1,135 @@
+//! `atomic-ordering`: every `Ordering::…` use in the concurrency-core
+//! files (metrics, govern, failpoint) must carry an `// ord:` comment —
+//! on the same line or within the two lines above — justifying why that
+//! memory ordering is sufficient.
+//!
+//! Only the five atomic orderings are matched (`Relaxed`, `Acquire`,
+//! `Release`, `AcqRel`, `SeqCst`); `std::cmp::Ordering`'s variants don't
+//! collide, so comparison code never trips the rule.
+
+use crate::report::{Finding, Rule};
+use crate::source::SourceFile;
+use crate::Config;
+
+const ATOMIC_ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Runs the rule over the configured ordering files.
+pub fn check(config: &Config, files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for rel in &config.ordering_files {
+        let Some(f) = crate::rules::file(files, rel) else {
+            out.push(Finding::new(
+                Rule::AtomicOrdering,
+                rel,
+                0,
+                "cataloged concurrency-core file is missing from the scan",
+            ));
+            continue;
+        };
+        check_file(f, &mut out);
+    }
+    out
+}
+
+fn check_file(f: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = f.tokens();
+    let mut flagged_lines = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].kind.is_ident("Ordering") {
+            continue;
+        }
+        // `Ordering :: Variant`
+        let is_use = i + 3 < toks.len()
+            && toks[i + 1].kind.is_punct(b':')
+            && toks[i + 2].kind.is_punct(b':')
+            && toks[i + 3]
+                .kind
+                .ident()
+                .is_some_and(|v| ATOMIC_ORDERINGS.contains(&v));
+        if !is_use {
+            continue;
+        }
+        let line = toks[i].line;
+        if f.is_test_line(line)
+            || flagged_lines.contains(&line)
+            || has_ord_comment(f, line)
+            || f.allowed(Rule::AtomicOrdering.id(), line)
+        {
+            continue;
+        }
+        flagged_lines.push(line);
+        let variant = toks[i + 3].kind.ident().unwrap_or("?");
+        out.push(Finding::new(
+            Rule::AtomicOrdering,
+            &f.rel,
+            line,
+            format!(
+                "`Ordering::{variant}` has no `// ord:` justification on this \
+                 line or the two above"
+            ),
+        ));
+    }
+}
+
+/// An `// ord:` comment on `line` or one of the two lines above.
+fn has_ord_comment(f: &SourceFile, line: usize) -> bool {
+    (line.saturating_sub(2)..=line).any(|l| f.lexed.comment_on(l).contains("ord:"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run_on(src: &str) -> Vec<Finding> {
+        let f = SourceFile::from_text("govern.rs", PathBuf::from("govern.rs"), src);
+        let mut out = Vec::new();
+        check_file(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn unjustified_ordering_fires() {
+        let out = run_on("fn f() {\n    x.load(Ordering::Relaxed);\n}\n");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 2);
+        assert!(out[0].message.contains("Relaxed"));
+    }
+
+    #[test]
+    fn same_line_justification_passes() {
+        let out = run_on(
+            "fn f() {\n    x.load(Ordering::Relaxed); // ord: monotonic counter, no sync\n}\n",
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn above_line_justification_passes() {
+        let out = run_on(
+            "fn f() {\n    // ord: counter only read after join(), which synchronizes\n    x.fetch_add(1, Ordering::Relaxed);\n}\n",
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn one_finding_per_line() {
+        let out = run_on(
+            "fn f() {\n    x.compare_exchange(a, b, Ordering::AcqRel, Ordering::Acquire);\n}\n",
+        );
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn cmp_ordering_ignored() {
+        let out = run_on("fn f() {\n    match a.cmp(&b) { Ordering::Less => {} _ => {} }\n}\n");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn test_code_ignored() {
+        let out =
+            run_on("#[cfg(test)]\nmod tests {\n    fn t() { x.load(Ordering::SeqCst); }\n}\n");
+        assert!(out.is_empty());
+    }
+}

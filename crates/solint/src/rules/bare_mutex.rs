@@ -1,0 +1,128 @@
+//! `no-bare-mutex`: engine code must take locks through the
+//! poison-recovering `parking_lot` shim, never `std::sync::Mutex` /
+//! `std::sync::RwLock` directly.
+//!
+//! The panic-isolation contract (DESIGN.md §5) relies on every shared
+//! structure staying usable after a worker panic; the shim's locks recover
+//! from poisoning, `std::sync`'s propagate it. The rule flags any
+//! `std::sync` path or use-list that names `Mutex`/`RwLock` in non-test
+//! code of the configured directories. Deliberate uses (e.g. a cold
+//! registry configured before queries run) escape with
+//! `// solint: allow(no-bare-mutex) <reason>`.
+
+use crate::report::{Finding, Rule};
+use crate::rules::in_dirs;
+use crate::source::SourceFile;
+use crate::Config;
+
+/// Runs the rule over files under the configured directories.
+pub fn check(config: &Config, files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in files {
+        if !in_dirs(&f.rel, &config.mutex_dirs) || f.is_test_file() {
+            continue;
+        }
+        check_file(f, &mut out);
+    }
+    out
+}
+
+fn check_file(f: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = f.tokens();
+    for i in 0..toks.len() {
+        // `std :: sync :: …` — either a use declaration or an inline path.
+        if !(toks[i].kind.is_ident("std")
+            && i + 4 < toks.len()
+            && toks[i + 1].kind.is_punct(b':')
+            && toks[i + 2].kind.is_punct(b':')
+            && toks[i + 3].kind.is_ident("sync")
+            && toks[i + 4].kind.is_punct(b':'))
+        {
+            continue;
+        }
+        // Scan the rest of the path / use-list (bounded) for the banned
+        // type names. Stops at `;` so a single `use` line is one unit.
+        for t in toks.iter().skip(i + 5).take(40) {
+            if t.kind.is_punct(b';') {
+                break;
+            }
+            let Some(id) = t.kind.ident() else { continue };
+            if id != "Mutex" && id != "RwLock" {
+                continue;
+            }
+            if f.is_test_line(t.line) || f.allowed(Rule::NoBareMutex.id(), t.line) {
+                continue;
+            }
+            out.push(Finding::new(
+                Rule::NoBareMutex,
+                &f.rel,
+                t.line,
+                format!(
+                    "`std::sync::{id}` poisons on panic — use the parking_lot \
+                     shim's `{id}` (shims/parking_lot), or escape with \
+                     `// solint: allow(no-bare-mutex) <reason>`"
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run_on(src: &str) -> Vec<Finding> {
+        let f = SourceFile::from_text("x.rs", PathBuf::from("x.rs"), src);
+        let mut out = Vec::new();
+        check_file(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn use_decl_fires() {
+        let out = run_on("use std::sync::Mutex;\n");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("Mutex"));
+    }
+
+    #[test]
+    fn use_list_fires_per_name() {
+        let out = run_on("use std::sync::{Mutex, OnceLock, RwLock};\n");
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn inline_path_fires() {
+        let out = run_on("fn f() { let m = std::sync::Mutex::new(0); }\n");
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn atomics_and_arc_pass() {
+        let out = run_on(
+            "use std::sync::atomic::{AtomicU64, Ordering};\nuse std::sync::{Arc, OnceLock};\n",
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn shim_lock_passes() {
+        let out = run_on("use parking_lot::Mutex;\nfn f() { let m = Mutex::new(0); }\n");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn escape_suppresses() {
+        let out = run_on(
+            "// solint: allow(no-bare-mutex) cold registry, configured before queries run\nuse std::sync::Mutex;\n",
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn test_code_ignored() {
+        let out = run_on("#[cfg(test)]\nmod tests {\n    use std::sync::Mutex;\n}\n");
+        assert!(out.is_empty());
+    }
+}

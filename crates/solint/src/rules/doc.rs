@@ -1,0 +1,111 @@
+//! Shared helpers for the doc-drift rules: loading a committed markdown
+//! file and extracting names from its catalog tables.
+
+use std::collections::BTreeMap;
+
+use crate::report::{Finding, Rule};
+use crate::Config;
+
+/// Loads a doc file as lines; on failure pushes a finding and returns None.
+pub fn load_doc(
+    config: &Config,
+    rel: &str,
+    rule: Rule,
+    out: &mut Vec<Finding>,
+) -> Option<Vec<String>> {
+    match std::fs::read_to_string(config.root.join(rel)) {
+        Ok(text) => Some(text.lines().map(String::from).collect()),
+        Err(e) => {
+            out.push(Finding::new(rule, rel, 0, format!("unreadable: {e}")));
+            None
+        }
+    }
+}
+
+/// Extracts names from the first cell of each row of the markdown table
+/// whose header line contains `header_marker`. A "name" is a backticked
+/// span, further split on any character outside `[A-Za-z0-9_.]` (so a
+/// compressed `` `a_hits/misses` `` cell yields two names). Returns
+/// name → 1-based doc line.
+pub fn table_names(lines: &[String], header_marker: &str) -> BTreeMap<String, usize> {
+    let mut out = BTreeMap::new();
+    let Some(start) = lines.iter().position(|l| l.contains(header_marker)) else {
+        return out;
+    };
+    for (idx, line) in lines.iter().enumerate().skip(start + 1) {
+        let trimmed = line.trim();
+        if !trimmed.starts_with('|') {
+            break;
+        }
+        if trimmed.chars().all(|c| matches!(c, '|' | '-' | ':' | ' ')) {
+            continue; // the |---|---| separator row
+        }
+        let first_cell = trimmed
+            .trim_start_matches('|')
+            .split('|')
+            .next()
+            .unwrap_or("");
+        for name in backticked_names(first_cell) {
+            out.entry(name).or_insert(idx + 1);
+        }
+    }
+    out
+}
+
+/// The names inside backticked spans of `cell` (see [`table_names`]).
+pub fn backticked_names(cell: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = cell;
+    while let Some(open) = rest.find('`') {
+        let after = &rest[open + 1..];
+        let Some(close) = after.find('`') else { break };
+        let span = &after[..close];
+        let mut cur = String::new();
+        for c in span.chars() {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '.' {
+                cur.push(c);
+            } else if !cur.is_empty() {
+                out.push(std::mem::take(&mut cur));
+            }
+        }
+        if !cur.is_empty() {
+            out.push(cur);
+        }
+        rest = &after[close + 1..];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_parsing() {
+        let lines: Vec<String> = [
+            "## 5. Governance",
+            "",
+            "| Site | Location |",
+            "|---|---|",
+            "| `cb.group` | per group |",
+            "| `ii.verify` | before a scan |",
+            "",
+            "prose after the table with `not.a.site`",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+        let names = table_names(&lines, "| Site |");
+        assert_eq!(names.len(), 2);
+        assert_eq!(names["cb.group"], 5);
+        assert_eq!(names["ii.verify"], 6);
+    }
+
+    #[test]
+    fn compressed_cells_split() {
+        assert_eq!(
+            backticked_names("`seq_cache_hits/misses`, `cuboid_cache_hits`"),
+            vec!["seq_cache_hits", "misses", "cuboid_cache_hits"]
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! `doc-counters`: the `Counter` enum's variants (snake_cased, which is
+//! exactly what `Counter::name()` returns) must equal the DESIGN.md §6
+//! counter table.
+//!
+//! Code side: the variants of `enum Counter` in the metrics file.
+//! Doc side: the markdown table following the `| Counter |` header.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::TokenKind;
+use crate::report::{Finding, Rule};
+use crate::rules::doc::{load_doc, table_names};
+use crate::source::SourceFile;
+use crate::Config;
+
+/// The `Counter` enum's variants as snake_case names → declaration line.
+pub fn counter_names(f: &SourceFile) -> BTreeMap<String, usize> {
+    let mut out = BTreeMap::new();
+    let toks = f.tokens();
+    let Some(open) = toks.windows(3).position(|w| {
+        w[0].kind.is_ident("enum") && w[1].kind.is_ident("Counter") && w[2].kind.is_punct(b'{')
+    }) else {
+        return out;
+    };
+    let open = open + 2;
+    let close = f.match_brace(open);
+    let mut i = open + 1;
+    while i < close {
+        match &toks[i].kind {
+            // Skip `#[…]` attribute extents between variants.
+            TokenKind::Punct(b'#') if i + 1 < close && toks[i + 1].kind.is_punct(b'[') => {
+                let mut depth = 1usize;
+                i += 2;
+                while i < close && depth > 0 {
+                    if toks[i].kind.is_punct(b'[') {
+                        depth += 1;
+                    } else if toks[i].kind.is_punct(b']') {
+                        depth -= 1;
+                    }
+                    i += 1;
+                }
+            }
+            TokenKind::Ident(id) => {
+                out.entry(snake_case(id)).or_insert(toks[i].line);
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// CamelCase → snake_case (`SeqCacheHits` → `seq_cache_hits`).
+pub fn snake_case(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 4);
+    for (i, c) in s.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Compares the enum against the DESIGN.md table.
+pub fn check(config: &Config, files: &[SourceFile]) -> Vec<Finding> {
+    let (Some(design_rel), Some(metrics_rel)) = (&config.design_md, &config.metrics_file) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let Some(f) = crate::rules::file(files, metrics_rel) else {
+        out.push(Finding::new(
+            Rule::DocCounters,
+            metrics_rel,
+            0,
+            "metrics file is missing from the scan",
+        ));
+        return out;
+    };
+    let code = counter_names(f);
+    if code.is_empty() {
+        out.push(Finding::new(
+            Rule::DocCounters,
+            metrics_rel,
+            0,
+            "no `enum Counter` found",
+        ));
+        return out;
+    }
+    let Some(doc) = load_doc(config, design_rel, Rule::DocCounters, &mut out) else {
+        return out;
+    };
+    let documented = table_names(&doc, "| Counter |");
+    if documented.is_empty() {
+        out.push(Finding::new(
+            Rule::DocCounters,
+            design_rel,
+            0,
+            "no `| Counter | … |` table found in §6",
+        ));
+        return out;
+    }
+    for (name, line) in &code {
+        if !documented.contains_key(name) {
+            out.push(Finding::new(
+                Rule::DocCounters,
+                metrics_rel,
+                *line,
+                format!("counter `{name}` is not in the {design_rel} §6 table — add a row"),
+            ));
+        }
+    }
+    for (name, line) in &documented {
+        if !code.contains_key(name) {
+            out.push(Finding::new(
+                Rule::DocCounters,
+                design_rel,
+                *line,
+                format!(
+                    "table names `{name}` but `enum Counter` in {metrics_rel} has no such variant"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn snake_casing() {
+        assert_eq!(snake_case("EventsScanned"), "events_scanned");
+        assert_eq!(snake_case("SeqCacheHits"), "seq_cache_hits");
+    }
+
+    #[test]
+    fn variants_extracted() {
+        let f = SourceFile::from_text(
+            "metrics.rs",
+            PathBuf::from("metrics.rs"),
+            "pub enum Counter {\n    /// Scanned.\n    EventsScanned,\n    #[doc(hidden)]\n    IndexJoins,\n}\npub enum Other { NotACounter }\n",
+        );
+        let names = counter_names(&f);
+        assert_eq!(names.len(), 2);
+        assert!(names.contains_key("events_scanned"));
+        assert_eq!(names["index_joins"], 5);
+        assert!(!names.contains_key("not_a_counter"));
+    }
+}

@@ -1,0 +1,129 @@
+//! `doc-failpoints`: the set of `fail_point!("site")` call sites in
+//! non-test engine code must equal the DESIGN.md §5 failpoint catalog.
+//!
+//! Code side: every `fail_point ! ( "name" …` invocation. Test code is
+//! excluded — the catalog documents engine sites, not test scaffolding.
+//! Doc side: the markdown table following the `| Site | Location |`
+//! header. Mismatches report file:line on both sides.
+
+use std::collections::BTreeMap;
+
+use crate::report::{Finding, Rule};
+use crate::rules::doc::{load_doc, table_names};
+use crate::source::SourceFile;
+use crate::Config;
+
+/// Collects `fail_point!("name")` sites: name → occurrences (file, line).
+pub fn code_sites(files: &[SourceFile]) -> BTreeMap<String, Vec<(String, usize)>> {
+    let mut out: BTreeMap<String, Vec<(String, usize)>> = BTreeMap::new();
+    for f in files {
+        if f.is_test_file() {
+            continue;
+        }
+        let toks = f.tokens();
+        for i in 0..toks.len() {
+            if !toks[i].kind.is_ident("fail_point") {
+                continue;
+            }
+            if !(i + 3 < toks.len()
+                && toks[i + 1].kind.is_punct(b'!')
+                && toks[i + 2].kind.is_punct(b'('))
+            {
+                continue;
+            }
+            let line = toks[i].line;
+            if f.is_test_line(line) {
+                continue;
+            }
+            if let Some(name) = toks[i + 3].kind.str_lit() {
+                out.entry(name.to_string())
+                    .or_default()
+                    .push((f.rel.clone(), line));
+            }
+        }
+    }
+    out
+}
+
+/// Compares the call sites against the DESIGN.md catalog.
+pub fn check(config: &Config, files: &[SourceFile]) -> Vec<Finding> {
+    let Some(rel) = &config.design_md else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let Some(doc) = load_doc(config, rel, Rule::DocFailpoints, &mut out) else {
+        return out;
+    };
+    let cataloged = table_names(&doc, "| Site |");
+    if cataloged.is_empty() {
+        out.push(Finding::new(
+            Rule::DocFailpoints,
+            rel,
+            0,
+            "no `| Site | Location |` failpoint table found in §5",
+        ));
+        return out;
+    }
+    let sites = code_sites(files);
+    for (name, occurrences) in &sites {
+        if !cataloged.contains_key(name) {
+            let (file, line) = &occurrences[0];
+            out.push(Finding::new(
+                Rule::DocFailpoints,
+                file,
+                *line,
+                format!("fail_point!(\"{name}\") is not in the {rel} §5 catalog — add a table row"),
+            ));
+        }
+    }
+    for (name, doc_line) in &cataloged {
+        if !sites.contains_key(name) {
+            out.push(Finding::new(
+                Rule::DocFailpoints,
+                rel,
+                *doc_line,
+                format!("catalog row `{name}` has no fail_point!(\"{name}\") call site in code"),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn sites_collected_with_locations() {
+        let f = SourceFile::from_text(
+            "crates/x/src/a.rs",
+            PathBuf::from("a.rs"),
+            "fn f() {\n    fail_point!(\"cb.group\")?;\n    fail_point!(\"cb.group\")?;\n    fail_point!(\"ii.verify\")?;\n}\n",
+        );
+        let sites = code_sites(&[f]);
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites["cb.group"].len(), 2);
+        assert_eq!(sites["ii.verify"][0].1, 4);
+    }
+
+    #[test]
+    fn test_sites_excluded() {
+        let f = SourceFile::from_text(
+            "crates/x/src/a.rs",
+            PathBuf::from("a.rs"),
+            "#[cfg(test)]\nmod tests {\n    fn t() { fail_point!(\"test.only\")?; }\n}\n",
+        );
+        assert!(code_sites(&[f]).is_empty());
+    }
+
+    #[test]
+    fn macro_definition_not_a_site() {
+        let f = SourceFile::from_text(
+            "crates/x/src/failpoint.rs",
+            PathBuf::from("failpoint.rs"),
+            "macro_rules! fail_point {\n    ($name:expr) => {};\n}\n",
+        );
+        assert!(code_sites(&[f]).is_empty());
+    }
+}

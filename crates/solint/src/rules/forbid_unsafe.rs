@@ -1,0 +1,123 @@
+//! `forbid-unsafe`: every workspace crate root must carry
+//! `#![forbid(unsafe_code)]`, and no `unsafe` token may appear anywhere in
+//! the scanned tree.
+//!
+//! The attribute makes the compiler enforce it per crate; the token scan
+//! is the linter's belt-and-braces check (it also covers files the
+//! compiler only sees under feature gates).
+
+use crate::report::{Finding, Rule};
+use crate::source::SourceFile;
+use crate::Config;
+
+/// Runs the rule: attribute presence per crate root, token scan per file.
+pub fn check(config: &Config, files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for rel in &config.crate_roots {
+        let Some(f) = crate::rules::file(files, rel) else {
+            out.push(Finding::new(
+                Rule::ForbidUnsafe,
+                rel,
+                0,
+                "crate root is missing from the scan",
+            ));
+            continue;
+        };
+        if !has_forbid_attr(f) {
+            out.push(Finding::new(
+                Rule::ForbidUnsafe,
+                rel,
+                1,
+                "crate root lacks `#![forbid(unsafe_code)]`",
+            ));
+        }
+    }
+    for f in files {
+        for t in f.tokens() {
+            if t.kind.is_ident("unsafe") && !f.allowed(Rule::ForbidUnsafe.id(), t.line) {
+                out.push(Finding::new(
+                    Rule::ForbidUnsafe,
+                    &f.rel,
+                    t.line,
+                    "`unsafe` is banned workspace-wide",
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Whether the token stream contains `# ! [ forbid ( unsafe_code ) ]`.
+fn has_forbid_attr(f: &SourceFile) -> bool {
+    let toks = f.tokens();
+    toks.windows(9).any(|w| {
+        w[0].kind.is_punct(b'#')
+            && w[1].kind.is_punct(b'!')
+            && w[2].kind.is_punct(b'[')
+            && w[3].kind.is_ident("forbid")
+            && w[4].kind.is_punct(b'(')
+            && w[5].kind.is_ident("unsafe_code")
+            && w[6].kind.is_punct(b')')
+            && w[7].kind.is_punct(b']')
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn root_file(src: &str) -> SourceFile {
+        SourceFile::from_text("src/lib.rs", PathBuf::from("src/lib.rs"), src)
+    }
+
+    fn run_on(files: Vec<SourceFile>, roots: Vec<&str>) -> Vec<Finding> {
+        let mut config = Config::bare(PathBuf::from("."));
+        config.crate_roots = roots.into_iter().map(String::from).collect();
+        check(&config, &files)
+    }
+
+    #[test]
+    fn missing_attr_fires() {
+        let out = run_on(
+            vec![root_file("//! docs\npub fn f() {}\n")],
+            vec!["src/lib.rs"],
+        );
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("forbid"));
+    }
+
+    #[test]
+    fn present_attr_passes() {
+        let out = run_on(
+            vec![root_file(
+                "//! docs\n#![forbid(unsafe_code)]\npub fn f() {}\n",
+            )],
+            vec!["src/lib.rs"],
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn unsafe_token_fires_anywhere() {
+        let f = SourceFile::from_text(
+            "src/x.rs",
+            PathBuf::from("src/x.rs"),
+            "fn f() { unsafe { danger() } }\n",
+        );
+        let out = run_on(vec![f], vec![]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 1);
+    }
+
+    #[test]
+    fn unsafe_in_string_or_comment_ignored() {
+        let f = SourceFile::from_text(
+            "src/x.rs",
+            PathBuf::from("src/x.rs"),
+            "// unsafe is discussed here\nfn f() { let s = \"unsafe\"; }\n",
+        );
+        let out = run_on(vec![f], vec![]);
+        assert!(out.is_empty());
+    }
+}

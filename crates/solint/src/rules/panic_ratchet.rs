@@ -1,0 +1,232 @@
+//! `no-panic-ratchet`: panic-capable sites in non-test library code of the
+//! ratcheted directories are counted per file and checked against the
+//! committed baseline, which may only shrink.
+//!
+//! Counted sites:
+//!
+//! * `.unwrap()` / `.expect(…)` method calls;
+//! * `panic!` / `unreachable!` / `todo!` / `unimplemented!` /
+//!   `assert!`-family macros are **not** counted (asserts state invariants;
+//!   the paper-engine style keeps them) except the four panic macros;
+//! * slice/array indexing `expr[...]` (an `[` directly after an
+//!   expression-ending token), which panics on out-of-bounds.
+//!
+//! A file whose count exceeds its baseline entry is an error (new panic
+//! sites); a file whose count dropped below the baseline is also an error
+//! (the ratchet must be banked with `--update-baseline`).
+
+use std::collections::BTreeMap;
+
+use crate::baseline;
+use crate::lexer::TokenKind;
+use crate::report::{Finding, Rule};
+use crate::rules::in_dirs;
+use crate::source::SourceFile;
+use crate::Config;
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Counts panic-capable sites in one file's non-test code.
+pub fn count_file(f: &SourceFile) -> usize {
+    sites(f).len()
+}
+
+/// The `(line, what)` list of panic-capable sites in non-test code.
+pub fn sites(f: &SourceFile) -> Vec<(usize, &'static str)> {
+    let toks = f.tokens();
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if f.is_test_line(t.line) {
+            continue;
+        }
+        match &t.kind {
+            TokenKind::Ident(id) if id == "unwrap" || id == "expect" => {
+                // `.unwrap()` / `.expect(` — a method call, not a fn def
+                // or an `unwrap_or_else` (distinct ident).
+                let prev_dot = i > 0 && toks[i - 1].kind.is_punct(b'.');
+                let next_paren = i + 1 < toks.len() && toks[i + 1].kind.is_punct(b'(');
+                if prev_dot && next_paren {
+                    out.push((t.line, if id == "unwrap" { "unwrap" } else { "expect" }));
+                }
+            }
+            TokenKind::Ident(id)
+                if PANIC_MACROS.contains(&id.as_str())
+                    && i + 1 < toks.len()
+                    && toks[i + 1].kind.is_punct(b'!') =>
+            {
+                out.push((t.line, "panic-macro"));
+            }
+            TokenKind::Punct(b'[') => {
+                // An index expression: `[` directly after an
+                // expression-ending token. `vec![…]` (macro bang before the
+                // preceding ident) and attributes (`#[…]`) don't qualify.
+                if i == 0 {
+                    continue;
+                }
+                let expr_end = match &toks[i - 1].kind {
+                    TokenKind::Ident(_) => !(i >= 2 && toks[i - 2].kind.is_punct(b'!')),
+                    TokenKind::Punct(b')') | TokenKind::Punct(b']') => true,
+                    TokenKind::Str(_) => true,
+                    _ => false,
+                };
+                if expr_end {
+                    out.push((t.line, "slice-index"));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Current per-file counts across the ratcheted directories, sorted.
+pub fn current_counts(config: &Config, files: &[SourceFile]) -> Vec<(String, usize)> {
+    let mut out: Vec<(String, usize)> = files
+        .iter()
+        .filter(|f| in_dirs(&f.rel, &config.ratchet_dirs) && !f.is_test_file())
+        .map(|f| (f.rel.clone(), count_file(f)))
+        .filter(|(_, n)| *n > 0)
+        .collect();
+    out.sort();
+    out
+}
+
+/// Compares current counts against the committed baseline.
+pub fn check(config: &Config, files: &[SourceFile]) -> Vec<Finding> {
+    let Some(rel) = &config.baseline else {
+        return Vec::new();
+    };
+    if config.ratchet_dirs.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let base: BTreeMap<String, usize> = match baseline::load(&config.root.join(rel)) {
+        Ok(b) => b.into_iter().collect(),
+        Err(e) => {
+            out.push(Finding::new(
+                Rule::NoPanicRatchet,
+                rel,
+                0,
+                format!("baseline unreadable ({e}); run --update-baseline to create it"),
+            ));
+            return out;
+        }
+    };
+    let current: BTreeMap<String, usize> = current_counts(config, files).into_iter().collect();
+    for (file, &n) in &current {
+        let allowed = base.get(file).copied().unwrap_or(0);
+        match n.cmp(&allowed) {
+            std::cmp::Ordering::Greater => {
+                let f = crate::rules::file(files, file);
+                let detail = f
+                    .map(|f| {
+                        let mut lines: Vec<String> = sites(f)
+                            .iter()
+                            .map(|(l, what)| format!("{l} ({what})"))
+                            .collect();
+                        lines.truncate(12);
+                        format!("; sites at lines {}", lines.join(", "))
+                    })
+                    .unwrap_or_default();
+                out.push(Finding::new(
+                    Rule::NoPanicRatchet,
+                    file,
+                    0,
+                    format!(
+                        "{n} panic-capable sites exceed the baseline of {allowed} — \
+                         convert the new sites to typed errors{detail}"
+                    ),
+                ));
+            }
+            std::cmp::Ordering::Less => {
+                out.push(Finding::new(
+                    Rule::NoPanicRatchet,
+                    file,
+                    0,
+                    format!(
+                        "{n} sites but the baseline says {allowed} — bank the \
+                         burn-down with `cargo run -p solint -- --update-baseline`"
+                    ),
+                ));
+            }
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    for (file, &allowed) in &base {
+        if allowed > 0 && !current.contains_key(file) {
+            out.push(Finding::new(
+                Rule::NoPanicRatchet,
+                file,
+                0,
+                format!(
+                    "baseline lists {allowed} sites but the file now has none (or was \
+                     removed) — run --update-baseline"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn count(src: &str) -> usize {
+        let f = SourceFile::from_text("x.rs", PathBuf::from("x.rs"), src);
+        count_file(&f)
+    }
+
+    #[test]
+    fn counts_unwrap_expect_panics() {
+        assert_eq!(count("fn f() { a.unwrap(); b.expect(\"m\"); }"), 2);
+        assert_eq!(count("fn f() { panic!(\"x\"); unreachable!(); }"), 2);
+        assert_eq!(count("fn f() { todo!(); unimplemented!() }"), 2);
+    }
+
+    #[test]
+    fn unwrap_or_else_not_counted() {
+        assert_eq!(
+            count("fn f() { a.unwrap_or_else(|| 0); a.unwrap_or(0); }"),
+            0
+        );
+    }
+
+    #[test]
+    fn fn_defs_not_counted() {
+        assert_eq!(count("fn unwrap() {} fn expect(x: u8) {}"), 0);
+    }
+
+    #[test]
+    fn slice_index_counted() {
+        assert_eq!(count("fn f() { let x = v[i]; w[0] = 1; m[k][j]; }"), 4);
+    }
+
+    #[test]
+    fn non_index_brackets_not_counted() {
+        assert_eq!(count("#[derive(Debug)] fn f(v: &[u8], w: [u8; 4]) { let a = vec![1, 2]; let b = [0u8; 3]; }"), 0);
+    }
+
+    #[test]
+    fn call_result_index_counted() {
+        assert_eq!(count("fn f() { g()[0]; }"), 1);
+    }
+
+    #[test]
+    fn test_code_not_counted() {
+        assert_eq!(
+            count("#[cfg(test)]\nmod tests {\n    fn t() { a.unwrap(); v[0]; }\n}\n"),
+            0
+        );
+        assert_eq!(count("#[test]\nfn t() { a.unwrap(); }\n"), 0);
+    }
+
+    #[test]
+    fn strings_and_comments_not_counted() {
+        assert_eq!(
+            count("fn f() { let s = \"a.unwrap() v[0]\"; } // x.unwrap()"),
+            0
+        );
+    }
+}

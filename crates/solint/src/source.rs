@@ -1,0 +1,276 @@
+//! The per-file source model rules operate on: the token stream, the
+//! comment map, and which lines are test code.
+
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Lexed, Token, TokenKind};
+
+/// One lexed source file plus derived facts.
+pub struct SourceFile {
+    /// Path relative to the analysis root, `/`-separated.
+    pub rel: String,
+    /// Absolute path.
+    pub path: PathBuf,
+    /// Token stream and comments.
+    pub lexed: Lexed,
+    /// Total line count.
+    pub lines: usize,
+    /// `test_lines[line]` (1-based) — inside `#[cfg(test)]` / `#[test]`
+    /// item bodies, or the whole file for `tests/`, `benches/`,
+    /// `examples/` and `fixtures/` trees.
+    test_lines: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Loads and lexes one file. `rel` must use `/` separators.
+    pub fn load(root: &Path, rel: &str) -> std::io::Result<SourceFile> {
+        let path = root.join(rel);
+        let text = std::fs::read_to_string(&path)?;
+        Ok(SourceFile::from_text(rel, path, &text))
+    }
+
+    /// Builds the model from source text (used directly by unit tests).
+    pub fn from_text(rel: &str, path: PathBuf, text: &str) -> SourceFile {
+        let lexed = lex(text);
+        let lines = text.lines().count() + 1;
+        let mut f = SourceFile {
+            rel: rel.to_string(),
+            path,
+            lexed,
+            lines,
+            test_lines: Vec::new(),
+        };
+        f.test_lines = f.compute_test_lines();
+        f
+    }
+
+    /// Whether the whole file is test/bench/example scaffolding by path.
+    pub fn is_test_file(&self) -> bool {
+        let r = &self.rel;
+        r.starts_with("tests/")
+            || r.contains("/tests/")
+            || r.starts_with("benches/")
+            || r.contains("/benches/")
+            || r.starts_with("examples/")
+            || r.contains("/examples/")
+    }
+
+    /// Whether `line` (1-based) is test code.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_lines.get(line).copied().unwrap_or(false)
+    }
+
+    /// The tokens of the file.
+    pub fn tokens(&self) -> &[Token] {
+        &self.lexed.tokens
+    }
+
+    /// Finds the matching `}` for the `{` at token index `open`.
+    /// Returns the index of the closing token (or the last token on
+    /// unbalanced input).
+    pub fn match_brace(&self, open: usize) -> usize {
+        let toks = self.tokens();
+        debug_assert!(toks[open].kind.is_punct(b'{'));
+        let mut depth = 0usize;
+        for (j, t) in toks.iter().enumerate().skip(open) {
+            if t.kind.is_punct(b'{') {
+                depth += 1;
+            } else if t.kind.is_punct(b'}') {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+        }
+        toks.len().saturating_sub(1)
+    }
+
+    /// Whether a `// solint: allow(rule)` escape comment covers `line`:
+    /// on the same line, or on one of the two lines immediately above.
+    /// The escape must carry a justification after the closing paren.
+    pub fn allowed(&self, rule: &str, line: usize) -> bool {
+        let needle = format!("solint: allow({rule})");
+        for l in line.saturating_sub(2)..=line {
+            let c = self.lexed.comment_on(l);
+            if let Some(pos) = c.find(&needle) {
+                let rest = c[pos + needle.len()..].trim();
+                if !rest.is_empty() {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Marks test regions: any item annotated `#[test]` or `#[cfg(test)]`
+    /// (including `#[cfg(all(test, …))]`) from the attribute to the end of
+    /// the item's brace block. Whole-file test paths mark every line.
+    fn compute_test_lines(&self) -> Vec<bool> {
+        let mut mask = vec![false; self.lines + 2];
+        if self.is_test_file() {
+            mask.iter_mut().for_each(|b| *b = true);
+            return mask;
+        }
+        let toks = self.tokens();
+        let mut i = 0usize;
+        while i + 1 < toks.len() {
+            if toks[i].kind.is_punct(b'#') && toks[i + 1].kind.is_punct(b'[') {
+                // Scan the attribute's bracket extent.
+                let mut j = i + 2;
+                let mut depth = 1usize;
+                let mut is_test_attr = false;
+                let mut saw_cfg = false;
+                while j < toks.len() && depth > 0 {
+                    match &toks[j].kind {
+                        TokenKind::Punct(b'[') => depth += 1,
+                        TokenKind::Punct(b']') => depth -= 1,
+                        TokenKind::Ident(id) => {
+                            if id == "cfg" {
+                                saw_cfg = true;
+                            }
+                            if id == "test" && (saw_cfg || j == i + 2) {
+                                is_test_attr = true;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if is_test_attr {
+                    // Skip any further attributes, then the item header up
+                    // to its `{`, then brace-match to the item end.
+                    let attr_line = toks[i].line;
+                    let mut k = j;
+                    while k + 1 < toks.len()
+                        && toks[k].kind.is_punct(b'#')
+                        && toks[k + 1].kind.is_punct(b'[')
+                    {
+                        let mut d = 1usize;
+                        k += 2;
+                        while k < toks.len() && d > 0 {
+                            if toks[k].kind.is_punct(b'[') {
+                                d += 1;
+                            } else if toks[k].kind.is_punct(b']') {
+                                d -= 1;
+                            }
+                            k += 1;
+                        }
+                    }
+                    while k < toks.len()
+                        && !toks[k].kind.is_punct(b'{')
+                        && !toks[k].kind.is_punct(b';')
+                    {
+                        k += 1;
+                    }
+                    if k < toks.len() && toks[k].kind.is_punct(b'{') {
+                        let close = self.match_brace(k);
+                        let end_line = toks[close].line;
+                        for m in mask[attr_line..=end_line.min(self.lines)].iter_mut() {
+                            *m = true;
+                        }
+                        i = close + 1;
+                        continue;
+                    }
+                }
+                i = j;
+            } else {
+                i += 1;
+            }
+        }
+        mask
+    }
+}
+
+/// Recursively collects `.rs` files under `root`, returning root-relative
+/// `/`-separated paths, sorted. `exclude` entries are substring matches
+/// against the relative path.
+pub fn walk_rs_files(root: &Path, dirs: &[String], exclude: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    for d in dirs {
+        let base = root.join(d);
+        collect(&base, root, exclude, &mut out);
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn collect(dir: &Path, root: &Path, exclude: &[String], out: &mut Vec<String>) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let p = entry.path();
+        let rel = match p.strip_prefix(root) {
+            Ok(r) => r.to_string_lossy().replace('\\', "/"),
+            Err(_) => continue,
+        };
+        if exclude.iter().any(|e| rel.contains(e.as_str())) {
+            continue;
+        }
+        if p.is_dir() {
+            collect(&p, root, exclude, out);
+        } else if rel.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sf(text: &str) -> SourceFile {
+        SourceFile::from_text("lib.rs", PathBuf::from("lib.rs"), text)
+    }
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let f = sf("fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n");
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(2));
+        assert!(f.is_test_line(3));
+        assert!(f.is_test_line(4));
+        assert!(f.is_test_line(5));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn test_attr_fn_is_masked() {
+        let f = sf("#[test]\nfn t() {\n    boom();\n}\nfn live() {}\n");
+        assert!(f.is_test_line(3));
+        assert!(!f.is_test_line(5));
+    }
+
+    #[test]
+    fn non_test_cfg_is_not_masked() {
+        let f = sf("#[cfg(feature = \"x\")]\nfn live() {\n    ok();\n}\n");
+        assert!(!f.is_test_line(3));
+    }
+
+    #[test]
+    fn tests_dir_is_all_test() {
+        let f = SourceFile::from_text("tests/t.rs", PathBuf::from("tests/t.rs"), "fn x() {}\n");
+        assert!(f.is_test_line(1));
+    }
+
+    #[test]
+    fn allow_requires_reason() {
+        let f = sf("// solint: allow(some-rule) bounded by charged cells\nfor x in events {}\n// solint: allow(other-rule)\nfor y in events {}\n");
+        assert!(f.allowed("some-rule", 2));
+        assert!(!f.allowed("other-rule", 4), "reason-less escape rejected");
+        assert!(!f.allowed("some-rule", 5));
+    }
+
+    #[test]
+    fn brace_matching() {
+        let f = sf("fn a() { if x { y(); } }\nfn b() {}\n");
+        let toks = f.tokens();
+        let open = toks.iter().position(|t| t.kind.is_punct(b'{')).unwrap();
+        let close = f.match_brace(open);
+        assert_eq!(toks[close].line, 1);
+        // The next `{` after the close belongs to fn b.
+        assert!(toks[close + 1..].iter().any(|t| t.kind.is_punct(b'{')));
+    }
+}

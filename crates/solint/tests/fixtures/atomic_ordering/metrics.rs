@@ -1,0 +1,13 @@
+//! atomic-ordering fixture: one unjustified `Ordering::` use (line 7
+//! fires) and one justified use (does not fire).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn unjustified(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn justified(c: &AtomicU64) -> u64 {
+    // ord: independent monotonic accumulator; totals read after join
+    c.load(Ordering::Relaxed)
+}

@@ -1,0 +1,12 @@
+//! no-bare-mutex fixture: bare `std::sync::Mutex` and `std::sync::RwLock`
+//! (both fire); atomics and `Arc` pass.
+
+use std::sync::Mutex;
+use std::sync::{Arc, RwLock};
+use std::sync::atomic::AtomicU64;
+
+pub struct Shared {
+    pub m: Mutex<u64>,
+    pub r: Arc<RwLock<u64>>,
+    pub c: AtomicU64,
+}

@@ -1,0 +1,34 @@
+#![forbid(unsafe_code)]
+
+//! Clean fixture: every rule armed, nothing fires. Hot loops tick the
+//! governor, orderings are justified, no bare std mutex, no panic sites,
+//! and every failpoint/counter/knob matches the fixture docs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Gov;
+
+impl Gov {
+    pub fn tick(&self) -> Result<(), ()> {
+        Ok(())
+    }
+}
+
+pub fn scan(gov: &Gov, events: &[u64], total: &AtomicU64) -> Result<(), ()> {
+    for ev in events {
+        gov.tick()?;
+        // ord: independent monotonic accumulator; totals read after join
+        total.fetch_add(*ev, Ordering::Relaxed);
+    }
+    Ok(())
+}
+
+pub fn risky() -> Result<(), ()> {
+    fail_point!("clean.site");
+    let _ = std::env::var("SOLAP_CLEAN");
+    Ok(())
+}
+
+pub enum Counter {
+    EventsScanned,
+}

@@ -1,0 +1,14 @@
+//! doc-drift fixture: failpoint sites, a Counter enum and SOLAP_* env
+//! reads that deliberately disagree with the committed DESIGN.md/README.md.
+
+pub fn work() -> Result<(), ()> {
+    fail_point!("cb.group");
+    fail_point!("ii.join");
+    let _ = std::env::var("SOLAP_SECRET");
+    Ok(())
+}
+
+pub enum Counter {
+    EventsScanned,
+    CacheHits,
+}

@@ -1,0 +1,6 @@
+//! forbid-unsafe fixture: a crate root without `#![forbid(unsafe_code)]`
+//! that also uses `unsafe` — both fire.
+
+pub fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}

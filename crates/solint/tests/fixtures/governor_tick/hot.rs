@@ -1,0 +1,29 @@
+//! governor-tick fixture: one ungoverned hot loop (line 7 fires), one
+//! governed loop and one escaped loop (neither fires). Never compiled —
+//! scanned by `tests/solint_fixtures.rs`.
+
+pub fn ungoverned(events: &[u64]) -> u64 {
+    let mut total = 0;
+    for ev in events {
+        total += *ev;
+    }
+    total
+}
+
+pub fn governed(gov: &Gov, events: &[u64]) -> Result<u64, ()> {
+    let mut total = 0;
+    for ev in events {
+        gov.tick()?;
+        total += *ev;
+    }
+    Ok(total)
+}
+
+pub fn escaped(events: &[u64]) -> u64 {
+    let mut total = 0;
+    // solint: allow(governor-tick) O(1) per event, fixture demonstrates the escape hatch
+    for ev in events {
+        total += *ev;
+    }
+    total
+}

@@ -1,0 +1,21 @@
+//! no-panic-ratchet fixture: three panic-capable sites in non-test code
+//! (unwrap, slice index, panic macro) against a zero baseline.
+
+pub fn f(v: &[u8]) -> u8 {
+    let a = v.first().unwrap();
+    let b = v[0];
+    if *a == 0 {
+        panic!("zero");
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_sites_do_not_count() {
+        let v = vec![1u8];
+        v.first().unwrap();
+        let _ = v[0];
+    }
+}

@@ -80,7 +80,7 @@ fn main() {
         extend_groups(&db, &seq_spec, &groups, from_row).expect("day 6 forms only new clusters");
     let new_seqs: Vec<_> = new_sids
         .iter()
-        .map(|&sid| extended_groups.sequence(sid).clone())
+        .map(|&sid| extended_groups.sequence(sid).expect("fresh sid").clone())
         .collect();
     let extended = extend_index(&db, &index, &new_seqs, &template).expect("extend");
     println!(

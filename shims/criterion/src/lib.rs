@@ -8,6 +8,8 @@
 //! each benchmark runs a warm-up iteration plus `sample_size` timed
 //! samples and reports min / median / max wall-clock per iteration.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

@@ -6,6 +6,8 @@
 //! a poisoned std mutex is recovered with `into_inner`, matching
 //! parking_lot's semantics of simply not having poisoning).
 
+#![forbid(unsafe_code)]
+
 use std::sync::{self, TryLockError};
 
 /// A mutual-exclusion lock with parking_lot's panic-free `lock()` API.

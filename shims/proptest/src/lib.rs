@@ -16,6 +16,8 @@
 //! test's module path and name), so failures reproduce across runs. There
 //! is **no shrinking**: a failing case reports its case number and seed.
 
+#![forbid(unsafe_code)]
+
 pub mod strategy;
 
 pub mod test_runner;

@@ -7,6 +7,8 @@
 //! xoshiro256** with SplitMix64 seed expansion — deterministic for a
 //! given seed, which is all the seeded data generators require.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Core randomness source: a stream of `u64`s.

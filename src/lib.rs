@@ -56,6 +56,8 @@
 //! assert!(out.cuboid.len() > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use solap_core as core;
 pub use solap_datagen as datagen;
 pub use solap_eventdb as eventdb;

@@ -142,7 +142,7 @@ fn incremental_day_append_equals_rebuild_through_engine() {
     let (new_groups, new_sids) = extend_groups(&db, &seq_spec, &old_groups, from_row).unwrap();
     let fresh: Vec<_> = new_sids
         .iter()
-        .map(|&sid| new_groups.sequence(sid).clone())
+        .map(|&sid| new_groups.sequence(sid).unwrap().clone())
         .collect();
     assert_eq!(fresh.len(), 2);
     let incr = extend_index(&db, &old_index, &fresh, &template).unwrap();

@@ -1,0 +1,183 @@
+//! Fixture tests for `solint`, the workspace static-analysis pass: every
+//! seeded violation under `crates/solint/tests/fixtures/` must be detected
+//! by exactly the expected rule, the clean fixture must pass with all
+//! rules armed, and the real workspace must lint clean against the
+//! committed baseline (the same check CI runs via `cargo run -p solint --
+//! --ci`).
+
+use std::path::PathBuf;
+
+use solint::{run, Config, Rule};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("crates/solint/tests/fixtures")
+        .join(name)
+}
+
+/// Runs `config` and asserts every finding carries `rule`, returning the
+/// findings for further shape checks.
+fn expect_only(config: &Config, rule: Rule, count: usize) -> Vec<solint::Finding> {
+    let analysis = run(config);
+    let findings = analysis.findings;
+    assert!(
+        findings.iter().all(|f| f.rule == rule),
+        "expected only {} findings, got: {findings:#?}",
+        rule.id()
+    );
+    assert_eq!(
+        findings.len(),
+        count,
+        "expected {count} {} finding(s), got: {findings:#?}",
+        rule.id()
+    );
+    findings
+}
+
+#[test]
+fn governor_tick_fires_only_on_the_ungoverned_loop() {
+    let mut config = Config::bare(fixture("governor_tick"));
+    config.hot_modules = vec!["hot.rs".into()];
+    let findings = expect_only(&config, Rule::GovernorTick, 1);
+    assert_eq!(findings[0].file, "hot.rs");
+    assert_eq!(findings[0].line, 7, "the ungoverned loop header");
+}
+
+#[test]
+fn panic_ratchet_reports_new_sites_against_an_empty_baseline() {
+    let mut config = Config::bare(fixture("panic_ratchet"));
+    config.ratchet_dirs = vec!["src/".into()];
+    config.baseline = Some("solint.baseline".into());
+    let findings = expect_only(&config, Rule::NoPanicRatchet, 1);
+    let msg = &findings[0].message;
+    assert!(
+        msg.contains("3 panic-capable sites"),
+        "unwrap + slice-index + panic! in non-test code only: {msg}"
+    );
+    assert!(
+        msg.contains("(unwrap)") && msg.contains("(slice-index)") && msg.contains("(panic-macro)")
+    );
+}
+
+#[test]
+fn panic_ratchet_requires_banking_a_burn_down() {
+    let mut config = Config::bare(fixture("panic_ratchet"));
+    config.ratchet_dirs = vec!["src/".into()];
+    config.baseline = Some("stale.baseline".into());
+    let findings = expect_only(&config, Rule::NoPanicRatchet, 1);
+    assert!(findings[0].message.contains("--update-baseline"));
+}
+
+#[test]
+fn atomic_ordering_fires_only_without_an_ord_comment() {
+    let mut config = Config::bare(fixture("atomic_ordering"));
+    config.ordering_files = vec!["metrics.rs".into()];
+    let findings = expect_only(&config, Rule::AtomicOrdering, 1);
+    assert_eq!(findings[0].line, 7, "the unjustified fetch_add");
+}
+
+#[test]
+fn bare_mutex_fires_per_std_sync_lock() {
+    let mut config = Config::bare(fixture("bare_mutex"));
+    config.mutex_dirs = vec!["src/".into()];
+    let findings = expect_only(&config, Rule::NoBareMutex, 2);
+    let msgs: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(msgs.iter().any(|m| m.contains("Mutex")));
+    assert!(msgs.iter().any(|m| m.contains("RwLock")));
+}
+
+#[test]
+fn forbid_unsafe_fires_on_missing_attr_and_unsafe_use() {
+    let mut config = Config::bare(fixture("forbid_unsafe"));
+    config.crate_roots = vec!["src/lib.rs".into()];
+    let findings = expect_only(&config, Rule::ForbidUnsafe, 2);
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("#![forbid(unsafe_code)]")));
+    assert!(findings.iter().any(|f| f.message.contains("`unsafe`")));
+}
+
+#[test]
+fn doc_failpoints_reports_drift_in_both_directions() {
+    let mut config = Config::bare(fixture("doc_drift"));
+    config.design_md = Some("DESIGN.md".into());
+    let findings = expect_only(&config, Rule::DocFailpoints, 2);
+    // Code-side: the undocumented site, at its call line.
+    let code_side = findings
+        .iter()
+        .find(|f| f.file == "src/code.rs")
+        .expect("undocumented fail_point! site");
+    assert!(code_side.message.contains("ii.join"));
+    // Doc-side: the cataloged-but-absent site, at its table row.
+    let doc_side = findings
+        .iter()
+        .find(|f| f.file == "DESIGN.md")
+        .expect("stale catalog row");
+    assert!(doc_side.message.contains("ghost.site"));
+    assert!(doc_side.line > 0, "doc findings carry the table-row line");
+}
+
+#[test]
+fn doc_counters_reports_drift_in_both_directions() {
+    let mut config = Config::bare(fixture("doc_drift"));
+    config.design_md = Some("DESIGN.md".into());
+    config.metrics_file = Some("src/code.rs".into());
+    let analysis = run(&config);
+    let counters: Vec<_> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::DocCounters)
+        .collect();
+    assert_eq!(counters.len(), 2, "{counters:#?}");
+    assert!(counters.iter().any(|f| f.message.contains("cache_hits")));
+    assert!(counters.iter().any(|f| f.message.contains("ghost_counter")));
+}
+
+#[test]
+fn doc_knobs_reports_drift_in_both_directions() {
+    let mut config = Config::bare(fixture("doc_drift"));
+    config.readme_md = Some("README.md".into());
+    let findings = expect_only(&config, Rule::DocKnobs, 2);
+    assert!(findings.iter().any(|f| f.message.contains("SOLAP_SECRET")));
+    assert!(findings.iter().any(|f| f.message.contains("SOLAP_OTHER")));
+}
+
+/// The clean fixture arms every rule at once and must produce nothing.
+#[test]
+fn clean_fixture_passes_with_all_rules_armed() {
+    let root = fixture("clean");
+    let mut config = Config::bare(root);
+    config.hot_modules = vec!["src/lib.rs".into()];
+    config.ratchet_dirs = vec!["src/".into()];
+    config.baseline = Some("solint.baseline".into());
+    config.ordering_files = vec!["src/lib.rs".into()];
+    config.mutex_dirs = vec!["src/".into()];
+    config.crate_roots = vec!["src/lib.rs".into()];
+    config.design_md = Some("DESIGN.md".into());
+    config.readme_md = Some("README.md".into());
+    config.metrics_file = Some("src/lib.rs".into());
+    let analysis = run(&config);
+    assert!(
+        analysis.findings.is_empty(),
+        "clean fixture must lint clean: {:#?}",
+        analysis.findings
+    );
+    assert!(analysis.files_scanned >= 1);
+}
+
+/// The real workspace lints clean against the committed baseline — the
+/// in-process equivalent of the CI gate `cargo run -p solint -- --ci`.
+#[test]
+fn the_workspace_lints_clean() {
+    let config = Config::repo(PathBuf::from(env!("CARGO_MANIFEST_DIR")));
+    let analysis = run(&config);
+    assert!(
+        analysis.findings.is_empty(),
+        "workspace findings (fix them or bank the ratchet with `cargo run -p solint -- --update-baseline`):\n{}",
+        solint::render_text(&analysis.findings, analysis.files_scanned)
+    );
+    assert!(
+        analysis.files_scanned > 50,
+        "the walk saw the whole workspace, not a subtree"
+    );
+}
