@@ -6,7 +6,9 @@
 //!
 //! Experiments: `table1`, `fig16`, `qa-vary-l`, `qb`, `qc`, `vary-theta`,
 //! `vary-i`, `subsequence`, `ablation`, `threads`, `profile` (per-stage
-//! timings dumped to `BENCH_profile.json`), or `all`. `--scale s` multiplies
+//! timings dumped to `BENCH_profile.json`), `serve` (concurrent wire
+//! clients against the TCP server, dumped to `BENCH_serve.json`), or
+//! `all`. `--scale s` multiplies
 //! the paper's sequence counts `D` (1.0 = the paper's 100K–1M sizes;
 //! default 0.05 finishes in a few minutes).
 
@@ -186,14 +188,10 @@ fn ablation(scale: f64) {
 
     println!("=== Ablation: dense vs hash counters (CB, single (X, Y) query) ===");
     for (mode, label) in [(CounterMode::Hash, "hash"), (CounterMode::Dense, "dense")] {
-        let engine = Engine::with_config(
-            db.clone(),
-            EngineConfig {
-                strategy: Strategy::CounterBased,
-                counter_mode: mode,
-                ..Default::default()
-            },
-        );
+        let engine = Engine::builder(db.clone())
+            .strategy(Strategy::CounterBased)
+            .counter_mode(mode)
+            .build();
         let spec =
             synthetic_spec(engine.db(), PatternKind::Substring, &["X", "Y"], 0).expect("spec");
         let out = engine.execute(&spec).expect("query");
@@ -325,15 +323,11 @@ fn thread_scaling(scale: f64) {
             // sequence cache can't turn the repeat into a cache hit).
             let ms = (0..2)
                 .map(|_| {
-                    let engine = Engine::with_config(
-                        db.clone(),
-                        EngineConfig {
-                            strategy,
-                            threads,
-                            use_cuboid_repo: false,
-                            ..Default::default()
-                        },
-                    );
+                    let engine = Engine::builder(db.clone())
+                        .strategy(strategy)
+                        .threads(threads)
+                        .use_cuboid_repo(false)
+                        .build();
                     let mut spec =
                         synthetic_spec(engine.db(), PatternKind::Substring, &["X", "Y"], 0)
                             .expect("spec");
@@ -356,6 +350,120 @@ fn thread_scaling(scale: f64) {
         }
         println!("{line}");
     }
+}
+
+/// Concurrent serving: boots the TCP server on a loopback port over a
+/// transit dataset and drives it with concurrent wire clients issuing the
+/// round-trip query, at client counts {1, 4, 16, 64} × engine worker
+/// threads {1, 8} (the `SOLAP_THREADS` axis of the thread matrix). Every
+/// client is its own server-side session; the cuboid repository is
+/// disabled so each request re-aggregates instead of answering from
+/// cache. Writes `BENCH_serve.json`.
+fn serve_bench(scale: f64) {
+    use solap_server::client::Client;
+    use solap_server::server::{Server, ServerConfig};
+
+    const QUERY: &str = r#"SELECT COUNT(*) FROM Event CLUSTER BY card-id AT individual, time AT day SEQUENCE BY time ASCENDING CUBOID BY SUBSTRING (X, Y) WITH X AS location AT station, Y AS location AT station LEFT-MAXIMALITY (x1, y1) WITH x1.action = "in" AND y1.action = "out""#;
+    const CLIENT_COUNTS: [usize; 4] = [1, 4, 16, 64];
+    const REQUESTS_PER_CLIENT: usize = 20;
+
+    println!("=== Serve: concurrent wire clients against one shared engine ===");
+    let passengers = ((4_000.0 * scale) as usize).max(100);
+    let db = solap_datagen::generate_transit(&solap_datagen::TransitConfig {
+        passengers,
+        days: 7,
+        ..Default::default()
+    })
+    .expect("generator");
+    println!("transit: {passengers} passengers, {} events", db.len());
+    println!(
+        "  {:>7} {:>7} {:>9} {:>9} {:>9} {:>9} {:>7}",
+        "threads", "clients", "requests", "qps", "mean ms", "p95 ms", "errors"
+    );
+
+    let mut json = String::from("{\"results\":[");
+    let mut first = true;
+    for threads in [1usize, 8] {
+        let engine = std::sync::Arc::new(
+            Engine::builder(db.clone())
+                .threads(threads)
+                .use_cuboid_repo(false)
+                .build(),
+        );
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            max_conn: 128,
+            max_inflight: 16,
+            // The bench saturates the slots on purpose; don't let the
+            // admission gate reject queued requests and skew the numbers.
+            queue_timeout: std::time::Duration::from_secs(120),
+            ..Default::default()
+        };
+        let (handle, join) = Server::spawn(engine, config).expect("server spawn");
+        let addr = handle.local_addr();
+        for clients in CLIENT_COUNTS {
+            // Connect everyone first, then release them together so the
+            // wall clock measures serving, not connection setup.
+            let barrier = std::sync::Arc::new(std::sync::Barrier::new(clients + 1));
+            let workers: Vec<_> = (0..clients)
+                .map(|_| {
+                    let barrier = std::sync::Arc::clone(&barrier);
+                    std::thread::spawn(move || -> (Vec<f64>, usize) {
+                        let mut client = Client::connect(addr).expect("connect");
+                        barrier.wait();
+                        let mut latencies_ms = Vec::with_capacity(REQUESTS_PER_CLIENT);
+                        let mut errors = 0usize;
+                        for _ in 0..REQUESTS_PER_CLIENT {
+                            let q0 = Instant::now();
+                            match client.request(QUERY) {
+                                Ok(r) if r.ok => {
+                                    latencies_ms.push(q0.elapsed().as_secs_f64() * 1000.0)
+                                }
+                                _ => errors += 1,
+                            }
+                        }
+                        (latencies_ms, errors)
+                    })
+                })
+                .collect();
+            barrier.wait();
+            let t0 = Instant::now();
+            let mut latencies_ms: Vec<f64> = Vec::new();
+            let mut errors = 0usize;
+            for w in workers {
+                let (l, e) = w.join().expect("client thread");
+                latencies_ms.extend(l);
+                errors += e;
+            }
+            let wall_s = t0.elapsed().as_secs_f64();
+            latencies_ms.sort_by(f64::total_cmp);
+            let done = latencies_ms.len();
+            let qps = done as f64 / wall_s.max(1e-9);
+            let mean_ms = latencies_ms.iter().sum::<f64>() / (done.max(1) as f64);
+            let p95_ms = if done == 0 {
+                0.0
+            } else {
+                latencies_ms[(((done as f64) * 0.95).ceil() as usize).clamp(1, done) - 1]
+            };
+            println!(
+                "  {threads:>7} {clients:>7} {done:>9} {qps:>9.1} {mean_ms:>9.2} {p95_ms:>9.2} {errors:>7}"
+            );
+            if !first {
+                json.push(',');
+            }
+            first = false;
+            json.push_str(&format!(
+                "{{\"threads\":{threads},\"clients\":{clients},\"requests\":{done},\
+                 \"wall_s\":{wall_s:.4},\"throughput_qps\":{qps:.2},\
+                 \"mean_ms\":{mean_ms:.3},\"p95_ms\":{p95_ms:.3},\"errors\":{errors}}}"
+            ));
+        }
+        handle.shutdown();
+        join.join().expect("accept loop").expect("serve");
+    }
+    json.push_str("]}\n");
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
 }
 
 fn main() {
@@ -391,6 +499,7 @@ fn main() {
             "ablation" => ablation(scale),
             "threads" => thread_scaling(scale),
             "profile" => profile_dump(scale),
+            "serve" => serve_bench(scale),
             "all" => {
                 table1(scale);
                 fig16(scale);
@@ -404,7 +513,7 @@ fn main() {
             }
             other => {
                 eprintln!(
-                    "unknown experiment `{other}` — table1|fig16|qa-vary-l|qb|qc|vary-theta|vary-i|subsequence|ablation|threads|profile|all"
+                    "unknown experiment `{other}` — table1|fig16|qa-vary-l|qb|qc|vary-theta|vary-i|subsequence|ablation|threads|profile|serve|all"
                 );
                 std::process::exit(2);
             }

@@ -147,7 +147,7 @@ fn apply_pre(
 /// (clone it at the call site).
 pub fn run_plan(db: EventDb, plan: &Plan, config: EngineConfig, label: &str) -> Result<RunReport> {
     let strategy = config.strategy;
-    let engine = Engine::with_config(db, config);
+    let engine = Engine::builder(db).config(config).build();
     let mut report = RunReport {
         name: plan.name.clone(),
         config: label.to_owned(),

@@ -19,512 +19,186 @@
 //! solap> .show 20
 //! ```
 //!
-//! Non-interactive use: `solap --eval 'SCRIPT'` runs a newline-separated
-//! script through the same command loop; errors are printed (never abort
-//! the run) and the process exits nonzero if any line failed.
+//! Every statement runs through the shared dispatch layer in
+//! `solap-server` — the same code path the wire protocol executes — so
+//! the REPL, `--eval` scripts and server sessions behave identically.
+//! Engine lifecycle (`.gen`, `.save`, `.load`) is the only CLI-local
+//! surface: those commands replace or persist the engine itself.
+//!
+//! Modes:
+//!
+//! * `solap --eval 'SCRIPT'` runs a newline-separated script through the
+//!   same loop; errors are printed (never abort the run) and the process
+//!   exits nonzero if any line failed.
+//! * `solap --connect HOST:PORT` attaches the REPL (or `--eval`) to a
+//!   running `solap-serve` instance instead of an in-process engine.
+//! * `--json` prints each statement's structured response as one JSON
+//!   line (`{"ok":…,"code":…,…}`) with stable machine-readable error
+//!   codes, for scripting.
 
 #![forbid(unsafe_code)]
 
-use std::collections::HashMap;
 use std::io::{self, BufRead, Write};
+use std::sync::Arc;
 
-use solap_core::cb::CounterMode;
-use solap_core::{Engine, Strategy};
-use solap_datagen::{ClickstreamConfig, SyntheticConfig, TransitConfig};
-use solap_eventdb::EventDb;
-use solap_index::SetBackend;
+use solap_core::Engine;
+use solap_server::client::Client;
+use solap_server::command::{generate, help_text, parse_kv};
+use solap_server::dispatch::{dispatch, Response, SessionCtx};
 
-mod commands;
-
-use commands::{parse_kv, CliError};
+/// Where statements execute: an in-process engine (local sessions, the
+/// default) or a `solap-serve` instance over the wire.
+enum Backend {
+    Local(Box<Option<SessionCtx>>),
+    Remote(Client),
+}
 
 struct Repl {
-    engine: Option<Engine>,
-    /// The current spec; re-set by every successful query or operation.
-    current: Option<solap_core::SCuboidSpec>,
-    history: Vec<String>,
-    /// Commands and queries that reported an error (drives the `--eval`
-    /// exit code).
+    backend: Backend,
+    /// Print structured JSON lines instead of rendered text.
+    json: bool,
+    /// Statements that reported an error (drives the `--eval` exit code).
     errors: usize,
-    /// Whether every query prints its profile (`.profile on|off`).
-    show_profile: bool,
 }
 
 impl Repl {
-    fn new() -> Self {
+    fn local() -> Self {
         Repl {
-            engine: None,
-            current: None,
-            history: Vec::new(),
+            backend: Backend::Local(Box::new(None)),
+            json: false,
             errors: 0,
-            show_profile: false,
         }
     }
 
-    fn engine(&self) -> Result<&Engine, CliError> {
-        self.engine
-            .as_ref()
-            .ok_or_else(|| CliError("no dataset loaded — try `.gen transit`".into()))
+    fn remote(client: Client) -> Self {
+        Repl {
+            backend: Backend::Remote(client),
+            json: false,
+            errors: 0,
+        }
     }
 
+    /// Executes one statement and prints its response. Returns `false`
+    /// when the surface should close (`.quit`). `Err` is transport-level
+    /// only (a lost server connection), never a statement failure.
     fn handle(&mut self, line: &str, out: &mut impl Write) -> io::Result<bool> {
         let line = line.trim();
         if line.is_empty() {
             return Ok(true);
         }
-        let result = if let Some(rest) = line.strip_prefix('.') {
-            self.command(rest, out)
-        } else {
-            self.query(line, out)
+        let (raw, response) = match &mut self.backend {
+            Backend::Remote(client) => {
+                let (raw, wire) = client.request_raw(line)?;
+                let response = Response {
+                    ok: wire.ok,
+                    code: wire.code,
+                    body: wire.body,
+                    profile_json: wire.profile.map(|p| p.render()),
+                    quit: wire.quit,
+                };
+                (Some(raw), response)
+            }
+            Backend::Local(slot) => (None, eval_local(slot, line)),
         };
-        if let Err(CliError(msg)) = result {
-            writeln!(out, "error: {msg}")?;
+        if !response.ok {
             self.errors += 1;
         }
-        Ok(!matches!(line, ".quit" | ".exit"))
+        if self.json {
+            // Relay the server's line verbatim when there is one, so the
+            // output is exactly what the wire carries.
+            writeln!(out, "{}", raw.unwrap_or_else(|| response.to_wire()))?;
+        } else if response.ok {
+            write!(out, "{}", response.body)?;
+        } else {
+            writeln!(out, "error: {}", response.body)?;
+        }
+        Ok(!response.quit)
     }
+}
 
-    fn command(&mut self, rest: &str, out: &mut impl Write) -> Result<(), CliError> {
+/// Runs a statement against the in-process engine, intercepting the
+/// engine-lifecycle commands that the shared dispatch layer deliberately
+/// rejects (they replace or persist the engine itself).
+fn eval_local(slot: &mut Option<SessionCtx>, line: &str) -> Response {
+    if let Some(rest) = line.strip_prefix('.') {
         let mut parts = rest.split_whitespace();
         let cmd = parts.next().unwrap_or("");
         let args: Vec<&str> = parts.collect();
         match cmd {
-            "help" => {
-                write_help(out).map_err(io_err)?;
+            "gen" => return gen_cmd(slot, &args),
+            "load" => return load_cmd(slot, &args),
+            "save" => return save_cmd(slot, &args),
+            // Help and quit must work before any dataset exists.
+            "help" if slot.is_none() => return Response::ok(help_text()),
+            "quit" | "exit" if slot.is_none() => {
+                let mut r = Response::ok("");
+                r.quit = true;
+                return r;
             }
-            "quit" | "exit" => {}
-            "gen" => {
-                let kind = args.first().copied().ok_or_else(|| {
-                    CliError("usage: .gen transit|clickstream|synthetic [k=v …]".into())
-                })?;
-                let kv = parse_kv(&args[1..])?;
-                let db = generate(kind, &kv)?;
-                writeln!(out, "generated {} events", db.len()).map_err(io_err)?;
-                self.engine = Some(Engine::new(db));
-                self.current = None;
-            }
-            "schema" => {
-                let engine = self.engine()?;
-                for (i, col) in engine.db().schema().columns().iter().enumerate() {
-                    let levels: Vec<String> = (0..engine.db().level_count(i as u32))
-                        .map(|l| engine.db().level_name(i as u32, l))
-                        .collect();
-                    writeln!(
-                        out,
-                        "  {:<14} {:<6} {:?}  levels: {}",
-                        col.name,
-                        col.ctype.name(),
-                        col.role,
-                        levels.join(" → ")
-                    )
-                    .map_err(io_err)?;
-                }
-            }
-            "strategy" => {
-                let engine = self
-                    .engine
-                    .as_mut()
-                    .ok_or_else(|| CliError("no dataset loaded".into()))?;
-                engine.config_mut().strategy = match args.first().copied() {
-                    Some("cb") => Strategy::CounterBased,
-                    Some("ii") => Strategy::InvertedIndex,
-                    Some("auto") => Strategy::Auto,
-                    other => {
-                        return Err(CliError(format!(
-                            "usage: .strategy cb|ii|auto (got {other:?})"
-                        )))
-                    }
-                };
-            }
-            "backend" => {
-                let engine = self
-                    .engine
-                    .as_mut()
-                    .ok_or_else(|| CliError("no dataset loaded".into()))?;
-                engine.config_mut().backend = match args.first().copied() {
-                    Some("list") => SetBackend::List,
-                    Some("bitmap") => SetBackend::Bitmap,
-                    other => {
-                        return Err(CliError(format!(
-                            "usage: .backend list|bitmap (got {other:?})"
-                        )))
-                    }
-                };
-            }
-            "counters" => {
-                let engine = self
-                    .engine
-                    .as_mut()
-                    .ok_or_else(|| CliError("no dataset loaded".into()))?;
-                engine.config_mut().counter_mode = match args.first().copied() {
-                    Some("hash") => CounterMode::Hash,
-                    Some("dense") => CounterMode::Dense,
-                    Some("auto") => CounterMode::Auto,
-                    other => {
-                        return Err(CliError(format!(
-                            "usage: .counters hash|dense|auto (got {other:?})"
-                        )))
-                    }
-                };
-            }
-            "threads" => {
-                let engine = self
-                    .engine
-                    .as_mut()
-                    .ok_or_else(|| CliError("no dataset loaded".into()))?;
-                let n: usize = args
-                    .first()
-                    .ok_or_else(|| CliError("usage: .threads N".into()))?
-                    .parse()
-                    .map_err(|_| CliError("usage: .threads N (N ≥ 1)".into()))?;
-                engine.config_mut().threads = n.max(1);
-                writeln!(out, "worker threads: {}", engine.config().threads).map_err(io_err)?;
-            }
-            "timeout" => {
-                let engine = self
-                    .engine
-                    .as_mut()
-                    .ok_or_else(|| CliError("no dataset loaded".into()))?;
-                let ms: u64 = args
-                    .first()
-                    .ok_or_else(|| CliError("usage: .timeout MS (0 = off)".into()))?
-                    .parse()
-                    .map_err(|_| CliError("usage: .timeout MS (0 = off)".into()))?;
-                engine.config_mut().timeout =
-                    (ms > 0).then(|| std::time::Duration::from_millis(ms));
-                match ms {
-                    0 => writeln!(out, "query timeout: off"),
-                    _ => writeln!(out, "query timeout: {ms} ms"),
-                }
-                .map_err(io_err)?;
-            }
-            "budget" => {
-                let engine = self
-                    .engine
-                    .as_mut()
-                    .ok_or_else(|| CliError("no dataset loaded".into()))?;
-                let cells: u64 = args
-                    .first()
-                    .ok_or_else(|| CliError("usage: .budget CELLS (0 = off)".into()))?
-                    .parse()
-                    .map_err(|_| CliError("usage: .budget CELLS (0 = off)".into()))?;
-                engine.config_mut().budget_cells = (cells > 0).then_some(cells);
-                match cells {
-                    0 => writeln!(out, "cell budget: off"),
-                    _ => writeln!(out, "cell budget: {cells} cells"),
-                }
-                .map_err(io_err)?;
-            }
-            "op" => {
-                let prev = self
-                    .current
-                    .clone()
-                    .ok_or_else(|| CliError("no current query — run one first".into()))?;
-                let (op, spec, result, table) = {
-                    let engine = self.engine()?;
-                    let op = commands::parse_op(engine.db(), &args, Some(&prev))?;
-                    let (spec, result) = engine.execute_op(&prev, &op).map_err(engine_err)?;
-                    let table = result.cuboid.tabulate(engine.db(), 10, true);
-                    (op, spec, result, table)
-                };
-                self.history
-                    .push(format!("{} → {}", op.name(), spec.template.render_head()));
-                writeln!(
-                    out,
-                    "{}: {} cells via {} in {:?} ({} sequences scanned)",
-                    op.name(),
-                    result.cuboid.len(),
-                    result.stats.strategy,
-                    result.stats.elapsed,
-                    result.stats.sequences_scanned
-                )
-                .map_err(io_err)?;
-                write!(out, "{table}").map_err(io_err)?;
-                self.current = Some(spec);
-            }
-            "show" => {
-                let n: usize = args
-                    .first()
-                    .map(|s| s.parse().map_err(|_| CliError("bad row count".into())))
-                    .transpose()?
-                    .unwrap_or(20);
-                let engine = self.engine()?;
-                let spec = self
-                    .current
-                    .as_ref()
-                    .ok_or_else(|| CliError("no current query".into()))?;
-                let result = engine.execute(spec).map_err(engine_err)?;
-                write!(out, "{}", result.cuboid.tabulate(engine.db(), n, true)).map_err(io_err)?;
-            }
-            "spec" => {
-                let engine = self.engine()?;
-                let spec = self
-                    .current
-                    .as_ref()
-                    .ok_or_else(|| CliError("no current query".into()))?;
-                write!(out, "{}", spec.render(engine.db())).map_err(io_err)?;
-            }
-            "stats" => {
-                let engine = self.engine()?;
-                let (sh, sm) = engine.sequence_cache().stats();
-                let (ih, im) = engine.index_store().stats();
-                let (ch, cm) = engine.cuboid_repo().stats();
-                writeln!(
-                    out,
-                    "sequence cache: {} entries, {sh} hits / {sm} misses\n\
-                     index store:    {} indices, {:.1} KiB, {ih} hits / {im} misses\n\
-                     cuboid repo:    {} cuboids, {:.1} KiB, {ch} hits / {cm} misses",
-                    engine.sequence_cache().len(),
-                    engine.index_store().len(),
-                    engine.index_store().total_bytes() as f64 / 1024.0,
-                    engine.cuboid_repo().len(),
-                    engine.cuboid_repo().total_bytes() as f64 / 1024.0,
-                )
-                .map_err(io_err)?;
-            }
-            "save" => {
-                let path = args
-                    .first()
-                    .ok_or_else(|| CliError("usage: .save PATH".into()))?;
-                let engine = self.engine()?;
-                solap_eventdb::persist::save_to_path(engine.db(), path).map_err(engine_err)?;
-                writeln!(out, "saved {} events to {path}", engine.db().len()).map_err(io_err)?;
-            }
-            "load" => {
-                let path = args
-                    .first()
-                    .ok_or_else(|| CliError("usage: .load PATH".into()))?;
-                let db = solap_eventdb::persist::load_from_path(path).map_err(engine_err)?;
-                writeln!(out, "loaded {} events from {path}", db.len()).map_err(io_err)?;
-                self.engine = Some(Engine::new(db));
-                self.current = None;
-            }
-            "history" => {
-                for (i, h) in self.history.iter().enumerate() {
-                    writeln!(out, "  {i:>3}. {h}").map_err(io_err)?;
-                }
-            }
-            "profile" => {
-                match args.first().copied() {
-                    Some("on") => {
-                        // Detailed counters are needed for the print-out to
-                        // carry information, so turn them on too.
-                        solap_eventdb::metrics::set_enabled(true);
-                        self.show_profile = true;
-                        writeln!(out, "per-query profile: on").map_err(io_err)?;
-                    }
-                    Some("off") => {
-                        self.show_profile = false;
-                        writeln!(out, "per-query profile: off").map_err(io_err)?;
-                    }
-                    other => {
-                        return Err(CliError(format!("usage: .profile on|off (got {other:?})")))
-                    }
-                }
-            }
-            "metrics" => {
-                write!(out, "{}", solap_eventdb::metrics::global().export_text())
-                    .map_err(io_err)?;
-            }
-            other => {
-                return Err(CliError(format!(
-                    "unknown command `.{other}` — try `.help`"
-                )))
-            }
+            _ => {}
         }
-        Ok(())
     }
-
-    fn query(&mut self, text: &str, out: &mut impl Write) -> Result<(), CliError> {
-        let text = text.trim_end_matches(';');
-        // Regex-template queries (the §3.2 extension) use `CUBOID BY REGEX`
-        // and run on the counter-based path.
-        if text.to_ascii_uppercase().contains("CUBOID BY REGEX") {
-            let head = text.split_whitespace().next().unwrap_or("");
-            if head.eq_ignore_ascii_case("EXPLAIN") || head.eq_ignore_ascii_case("PROFILE") {
-                return Err(CliError(
-                    "EXPLAIN/PROFILE is not supported for regex-template queries \
-                     (they run outside the planned engine path)"
-                        .into(),
-                ));
-            }
-            return self.regex_query(text, out);
-        }
-        let (stmt, plan) = {
-            let engine = self.engine()?;
-            let stmt = solap_query::parse_statement(engine.db(), text).map_err(engine_err)?;
-            let plan = if stmt.mode == solap_query::ExplainMode::Explain {
-                Some(engine.explain(&stmt.spec).map_err(engine_err)?)
-            } else {
-                None
-            };
-            (stmt, plan)
-        };
-        if let Some(plan) = plan {
-            // EXPLAIN renders the plan without executing anything.
-            write!(out, "{plan}").map_err(io_err)?;
-            return Ok(());
-        }
-        let (spec, result, table) = {
-            let engine = self.engine()?;
-            let spec = stmt.spec;
-            let result = engine.execute(&spec).map_err(engine_err)?;
-            let table = result.cuboid.tabulate(engine.db(), 15, true);
-            (spec, result, table)
-        };
-        self.history.push(spec.template.render_head());
-        writeln!(
-            out,
-            "{} cells via {} in {:?} ({} sequences scanned, {} KiB of indices built)",
-            result.cuboid.len(),
-            result.stats.strategy,
-            result.stats.elapsed,
-            result.stats.sequences_scanned,
-            result.stats.index_bytes_built / 1024
-        )
-        .map_err(io_err)?;
-        if stmt.mode == solap_query::ExplainMode::Profile || self.show_profile {
-            write!(out, "{}", result.profile.render_text(false)).map_err(io_err)?;
-        }
-        write!(out, "{table}").map_err(io_err)?;
-        self.current = Some(spec);
-        Ok(())
+    match slot {
+        Some(ctx) => dispatch(ctx, line),
+        None => Response::err("usage", "no dataset loaded — try `.gen transit`"),
     }
 }
 
-impl Repl {
-    fn regex_query(&mut self, text: &str, out: &mut impl Write) -> Result<(), CliError> {
-        let (cuboid, table, render, scanned, start) = {
-            let engine = self.engine()?;
-            let q = solap_query::parse_regex_query(engine.db(), text).map_err(engine_err)?;
-            let start = std::time::Instant::now();
-            let groups =
-                solap_eventdb::build_sequence_groups(engine.db(), &q.seq).map_err(engine_err)?;
-            let mut meter = solap_core::stats::ScanMeter::new();
-            let cuboid = solap_core::regexq::regex_cuboid(
-                engine.db(),
-                &groups,
-                &q.template,
-                q.restriction,
-                &mut meter,
-            )
-            .map_err(engine_err)?;
-            let table = cuboid.tabulate(engine.db(), 15, true);
-            (cuboid, table, q.template.render(), meter.count(), start)
-        };
-        self.history.push(format!("REGEX {render}"));
-        writeln!(
-            out,
-            "{} cells via regex/CB in {:?} ({} sequences scanned)",
-            cuboid.len(),
-            start.elapsed(),
-            scanned
-        )
-        .map_err(io_err)?;
-        write!(out, "{table}").map_err(io_err)?;
-        Ok(())
-    }
+/// Installs a fresh engine in the REPL, carrying surface state (the
+/// `.profile` toggle) over from the session it replaces.
+fn install(slot: &mut Option<SessionCtx>, db: solap_eventdb::EventDb) {
+    let show_profile = slot.as_ref().is_some_and(|c| c.show_profile);
+    let mut ctx = SessionCtx::new(Arc::new(Engine::builder(db).build()));
+    ctx.show_profile = show_profile;
+    *slot = Some(ctx);
 }
 
-fn generate(kind: &str, kv: &HashMap<String, String>) -> Result<EventDb, CliError> {
-    let get_usize = |key: &str, default: usize| -> Result<usize, CliError> {
-        match kv.get(key) {
-            Some(v) => v
-                .parse()
-                .map_err(|_| CliError(format!("bad integer for {key}: {v}"))),
-            None => Ok(default),
-        }
+fn gen_cmd(slot: &mut Option<SessionCtx>, args: &[&str]) -> Response {
+    let Some(kind) = args.first() else {
+        return Response::err("usage", "usage: .gen transit|clickstream|synthetic [k=v …]");
     };
-    let get_f64 = |key: &str, default: f64| -> Result<f64, CliError> {
-        match kv.get(key) {
-            Some(v) => v
-                .parse()
-                .map_err(|_| CliError(format!("bad number for {key}: {v}"))),
-            None => Ok(default),
+    match parse_kv(&args[1..]).and_then(|kv| generate(kind, &kv)) {
+        Ok(db) => {
+            let n = db.len();
+            install(slot, db);
+            Response::ok(format!("generated {n} events\n"))
         }
-    };
-    match kind {
-        "transit" => {
-            let cfg = TransitConfig {
-                passengers: get_usize("passengers", 500)?,
-                days: get_usize("days", 7)?,
-                stations: get_usize("stations", 12)?,
-                districts: get_usize("districts", 4)?,
-                round_trip_rate: get_f64("round_trip_rate", 0.45)?,
-                extra_trips: get_f64("extra_trips", 0.8)?,
-                seed: get_usize("seed", 1)? as u64,
-                ..Default::default()
-            };
-            solap_datagen::generate_transit(&cfg).map_err(engine_err)
-        }
-        "clickstream" => {
-            let cfg = ClickstreamConfig {
-                sessions: get_usize("sessions", 20_000)?,
-                seed: get_usize("seed", 2000)? as u64,
-                ..Default::default()
-            };
-            solap_datagen::generate_clickstream(&cfg).map_err(engine_err)
-        }
-        "synthetic" => {
-            let cfg = SyntheticConfig {
-                i: get_usize("i", 100)?,
-                l: get_f64("l", 20.0)?,
-                theta: get_f64("theta", 0.9)?,
-                d: get_usize("d", 10_000)?,
-                seed: get_usize("seed", 1)? as u64,
-                hierarchy: true,
-            };
-            solap_datagen::generate_synthetic(&cfg).map_err(engine_err)
-        }
-        other => Err(CliError(format!(
-            "unknown generator `{other}` — transit|clickstream|synthetic"
-        ))),
+        Err(e) => Response::err(e.code(), e.message()),
     }
 }
 
-fn write_help(out: &mut impl Write) -> io::Result<()> {
-    out.write_all(
-        b"commands:
-  .gen transit|clickstream|synthetic [k=v ...]   generate a dataset
-  .schema                                        show columns and hierarchies
-  .strategy cb|ii|auto                           pick the construction approach
-  .backend list|bitmap                           pick the inverted-list encoding
-  .counters hash|dense|auto                      pick the CB counter layout
-  .threads N                                     worker threads for construction (1 = sequential)
-  .timeout MS                                    per-query deadline in milliseconds (0 = off)
-  .budget CELLS                                  per-query cuboid-cell budget (0 = off)
-  .op append SYM [ATTR LEVEL] | prepend SYM [ATTR LEVEL]
-  .op detail | dehead | prollup DIM | pdrilldown DIM
-  .op rollup ATTR | drilldown ATTR
-  .op slice-pattern DIM VALUE | slice-group IDX VALUE | minsup N|off
-  .save PATH | .load PATH                        persist / restore the event db
-  .show [n]        re-tabulate the current cuboid
-  .spec            print the current query text
-  .stats           cache statistics
-  .profile on|off  print each query's per-stage profile (on enables detailed counters)
-  .metrics         process-wide cumulative engine metrics
-  .history         operations applied so far
-  .quit
-anything else is parsed as an S-cuboid query; end it with `;`
-prefix a query with EXPLAIN to see its plan, or PROFILE to run it and see counters
-(CUBOID BY REGEX (X, Y+, .*, X) runs regex templates on the CB path)
-(multi-line input: keep typing, the query runs at the `;`)
-",
-    )
+fn load_cmd(slot: &mut Option<SessionCtx>, args: &[&str]) -> Response {
+    let Some(path) = args.first() else {
+        return Response::err("usage", "usage: .load PATH");
+    };
+    match solap_eventdb::persist::load_from_path(path) {
+        Ok(db) => {
+            let n = db.len();
+            install(slot, db);
+            Response::ok(format!("loaded {n} events from {path}\n"))
+        }
+        Err(e) => Response::err(e.code(), e.to_string()),
+    }
 }
 
-fn io_err(e: io::Error) -> CliError {
-    CliError(format!("io error: {e}"))
-}
-
-fn engine_err(e: solap_eventdb::Error) -> CliError {
-    CliError(e.to_string())
+fn save_cmd(slot: &mut Option<SessionCtx>, args: &[&str]) -> Response {
+    let Some(path) = args.first() else {
+        return Response::err("usage", "usage: .save PATH");
+    };
+    let Some(ctx) = slot else {
+        return Response::err("usage", "no dataset loaded — try `.gen transit`");
+    };
+    let db = ctx.session().engine().db();
+    match solap_eventdb::persist::save_to_path(db, path) {
+        Ok(()) => Response::ok(format!("saved {} events to {path}\n", db.len())),
+        Err(e) => Response::err(e.code(), e.to_string()),
+    }
 }
 
 /// Feeds a multi-line script through the REPL, honouring the same
 /// dot-command / `;`-terminated-query structure as interactive input. A
-/// trailing query without `;` still runs. Returns `Ok(false)` if the script
-/// quit early.
+/// trailing query without `;` still runs. Returns `Ok(false)` if the
+/// script quit early.
 fn run_script(repl: &mut Repl, script: &str, out: &mut impl Write) -> io::Result<bool> {
     let mut buffer = String::new();
     for line in script.lines() {
@@ -539,7 +213,9 @@ fn run_script(repl: &mut Repl, script: &str, out: &mut impl Write) -> io::Result
         buffer.push('\n');
         if trimmed.ends_with(';') {
             let text = std::mem::take(&mut buffer);
-            repl.handle(&text, out)?;
+            if !repl.handle(&text, out)? {
+                return Ok(false);
+            }
         }
     }
     if !buffer.trim().is_empty() {
@@ -550,15 +226,32 @@ fn run_script(repl: &mut Repl, script: &str, out: &mut impl Write) -> io::Result
 
 fn main() -> io::Result<()> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(i) = args.iter().position(|a| a == "--eval") {
+    let json = args.iter().any(|a| a == "--json");
+    let flag_value = |flag: &str| -> Option<&String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    let mut repl = match flag_value("--connect") {
+        Some(addr) => match Client::connect(addr.as_str()) {
+            Ok(client) => Repl::remote(client),
+            Err(e) => {
+                eprintln!("cannot connect to {addr}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => Repl::local(),
+    };
+    repl.json = json;
+
+    if args.iter().any(|a| a == "--eval") {
         // Non-interactive mode: run the script, print errors instead of
         // aborting, and exit nonzero if anything failed.
-        let Some(script) = args.get(i + 1) else {
-            eprintln!("usage: solap --eval 'SCRIPT'");
+        let Some(script) = flag_value("--eval") else {
+            eprintln!("usage: solap [--connect HOST:PORT] [--json] --eval 'SCRIPT'");
             std::process::exit(2);
         };
         let mut stdout = io::stdout();
-        let mut repl = Repl::new();
         run_script(&mut repl, script, &mut stdout)?;
         stdout.flush()?;
         if repl.errors > 0 {
@@ -566,22 +259,26 @@ fn main() -> io::Result<()> {
         }
         return Ok(());
     }
+
     let stdin = io::stdin();
     let mut stdout = io::stdout();
-    let mut repl = Repl::new();
-    writeln!(
-        stdout,
-        "S-OLAP — OLAP on sequence data (SIGMOD 2008 reproduction). Type `.help`."
-    )?;
+    if !json {
+        writeln!(
+            stdout,
+            "S-OLAP — OLAP on sequence data (SIGMOD 2008 reproduction). Type `.help`."
+        )?;
+    }
     let mut buffer = String::new();
     loop {
-        let prompt = if buffer.is_empty() {
-            "solap> "
-        } else {
-            "   ...> "
-        };
-        write!(stdout, "{prompt}")?;
-        stdout.flush()?;
+        if !json {
+            let prompt = if buffer.is_empty() {
+                "solap> "
+            } else {
+                "   ...> "
+            };
+            write!(stdout, "{prompt}")?;
+            stdout.flush()?;
+        }
         let mut line = String::new();
         if stdin.lock().read_line(&mut line)? == 0 {
             break;
@@ -596,7 +293,9 @@ fn main() -> io::Result<()> {
         buffer.push_str(&line);
         if trimmed.ends_with(';') {
             let text = std::mem::take(&mut buffer);
-            repl.handle(&text, &mut stdout)?;
+            if !repl.handle(&text, &mut stdout)? {
+                break;
+            }
         }
     }
     Ok(())
@@ -607,12 +306,19 @@ mod tests {
     use super::*;
 
     fn setup() -> Repl {
-        let mut repl = Repl::new();
+        let mut repl = Repl::local();
         let mut out = Vec::new();
         repl.handle(".gen transit passengers=60 days=3", &mut out)
             .unwrap();
         assert!(String::from_utf8(out).unwrap().contains("generated"));
         repl
+    }
+
+    fn ctx(repl: &Repl) -> &SessionCtx {
+        match &repl.backend {
+            Backend::Local(slot) => slot.as_ref().as_ref().expect("no local session"),
+            _ => panic!("no local session"),
+        }
     }
 
     const QUERY: &str = r#"SELECT COUNT(*) FROM Event
@@ -642,11 +348,14 @@ mod tests {
         repl.handle(".history", &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("APPEND") && text.contains("DE-TAIL"));
+        let mut out = Vec::new();
+        repl.handle(".back", &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("back to:"));
     }
 
     #[test]
     fn errors_are_reported_not_fatal() {
-        let mut repl = Repl::new();
+        let mut repl = Repl::local();
         let mut out = Vec::new();
         assert!(repl.handle(".show", &mut out).unwrap());
         assert!(String::from_utf8(out)
@@ -659,10 +368,11 @@ mod tests {
         let mut out = Vec::new();
         repl.handle(".op prollup Q", &mut out).unwrap();
         assert!(String::from_utf8(out).unwrap().contains("error:"));
+        assert_eq!(repl.errors, 2);
     }
 
     #[test]
-    fn strategy_and_backend_switching() {
+    fn config_commands_are_session_scoped() {
         let mut repl = setup();
         for cmd in [
             ".strategy cb",
@@ -675,84 +385,59 @@ mod tests {
             assert!(out.is_empty(), "{cmd}: {}", String::from_utf8_lossy(&out));
         }
         let mut out = Vec::new();
+        repl.handle(".threads 4", &mut out).unwrap();
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .contains("worker threads: 4"));
+        assert_eq!(ctx(&repl).session().config().threads, 4);
+        // The engine's own defaults are untouched: the override lives on
+        // the session, exactly as it would server-side.
+        assert_ne!(
+            ctx(&repl).session().engine().config().threads,
+            0,
+            "engine config remains valid"
+        );
+        let mut out = Vec::new();
         repl.handle(".strategy warp", &mut out).unwrap();
         assert!(String::from_utf8(out).unwrap().contains("error"));
     }
 
     #[test]
-    fn threads_command_sets_worker_count() {
+    fn timeout_and_budget_commands() {
         let mut repl = setup();
         let mut out = Vec::new();
-        repl.handle(".threads 4", &mut out).unwrap();
-        assert!(String::from_utf8(out)
-            .unwrap()
-            .contains("worker threads: 4"));
-        assert_eq!(repl.engine.as_ref().unwrap().config().threads, 4);
-        // A parallel run still answers queries correctly.
+        repl.handle(".timeout 5000", &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("5000 ms"));
+        assert_eq!(
+            ctx(&repl).session().config().timeout,
+            Some(std::time::Duration::from_millis(5000))
+        );
+        let mut out = Vec::new();
+        repl.handle(".budget 100", &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("100 cells"));
+        assert_eq!(ctx(&repl).session().config().budget_cells, Some(100));
+        let mut out = Vec::new();
+        repl.handle(".timeout 0", &mut out).unwrap();
+        assert_eq!(ctx(&repl).session().config().timeout, None);
+        let mut out = Vec::new();
+        repl.handle(".budget 0", &mut out).unwrap();
+        assert_eq!(ctx(&repl).session().config().budget_cells, None);
+    }
+
+    #[test]
+    fn over_budget_query_reports_error_and_recovers() {
+        let mut repl = setup();
+        let mut out = Vec::new();
+        repl.handle(".budget 1", &mut out).unwrap();
+        let mut out = Vec::new();
+        repl.handle(QUERY, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("error:") && text.contains("cells"), "{text}");
+        let mut out = Vec::new();
+        repl.handle(".budget 0", &mut out).unwrap();
         let mut out = Vec::new();
         repl.handle(QUERY, &mut out).unwrap();
         assert!(String::from_utf8(out).unwrap().contains("cells via"));
-        // Zero clamps to one; garbage is an error.
-        let mut out = Vec::new();
-        repl.handle(".threads 0", &mut out).unwrap();
-        assert_eq!(repl.engine.as_ref().unwrap().config().threads, 1);
-        let mut out = Vec::new();
-        repl.handle(".threads lots", &mut out).unwrap();
-        assert!(String::from_utf8(out).unwrap().contains("error"));
-    }
-
-    #[test]
-    fn schema_and_stats_commands() {
-        let mut repl = setup();
-        let mut out = Vec::new();
-        repl.handle(".schema", &mut out).unwrap();
-        let text = String::from_utf8(out).unwrap();
-        assert!(text.contains("location") && text.contains("district"));
-        let mut out = Vec::new();
-        repl.handle(QUERY, &mut out).unwrap();
-        let mut out = Vec::new();
-        repl.handle(".stats", &mut out).unwrap();
-        let text = String::from_utf8(out).unwrap();
-        assert!(text.contains("index store"), "{text}");
-        let mut out = Vec::new();
-        repl.handle(".spec", &mut out).unwrap();
-        assert!(String::from_utf8(out).unwrap().contains("CUBOID BY"));
-    }
-
-    #[test]
-    fn slice_and_minsup_ops() {
-        let mut repl = setup();
-        let mut out = Vec::new();
-        repl.handle(QUERY, &mut out).unwrap();
-        let mut out = Vec::new();
-        repl.handle(".op slice-pattern X ST000", &mut out).unwrap();
-        assert!(String::from_utf8(out).unwrap().contains("SLICE-PATTERN"));
-        let mut out = Vec::new();
-        repl.handle(".op minsup 3", &mut out).unwrap();
-        assert!(String::from_utf8(out).unwrap().contains("MIN-SUPPORT"));
-        let mut out = Vec::new();
-        repl.handle(".op minsup off", &mut out).unwrap();
-        assert!(String::from_utf8(out).unwrap().contains("MIN-SUPPORT"));
-    }
-
-    #[test]
-    fn regex_queries_run() {
-        let mut repl = setup();
-        let q = r#"SELECT COUNT(*) FROM Event
-            CLUSTER BY card-id AT individual, time AT day
-            SEQUENCE BY time ASCENDING
-            CUBOID BY REGEX (X, Y, .*, Y, X)
-              WITH X AS location AT station, Y AS location AT station
-              LEFT-MAXIMALITY;"#;
-        let mut out = Vec::new();
-        repl.handle(q, &mut out).unwrap();
-        let text = String::from_utf8(out).unwrap();
-        assert!(text.contains("via regex/CB"), "{text}");
-        let mut out = Vec::new();
-        repl.handle(".history", &mut out).unwrap();
-        assert!(String::from_utf8(out)
-            .unwrap()
-            .contains("REGEX (X, Y, .*, Y, X)"));
     }
 
     #[test]
@@ -774,129 +459,50 @@ mod tests {
     }
 
     #[test]
-    fn explain_profile_and_metrics_surfaces() {
-        let mut repl = setup();
-        // EXPLAIN renders a plan and executes nothing.
+    fn help_and_quit_work_without_a_dataset() {
+        let mut repl = Repl::local();
         let mut out = Vec::new();
-        repl.handle(&format!("EXPLAIN {QUERY}"), &mut out).unwrap();
-        let text = String::from_utf8(out).unwrap();
-        assert!(
-            text.contains("plan:") && text.contains("strategy:"),
-            "{text}"
-        );
-        assert!(!text.contains("cells via"), "EXPLAIN must not execute");
-        assert!(repl.current.is_none(), "EXPLAIN leaves no current query");
-        // PROFILE executes and appends the per-stage profile.
-        let mut out = Vec::new();
-        repl.handle(&format!("PROFILE {QUERY}"), &mut out).unwrap();
-        let text = String::from_utf8(out).unwrap();
-        assert!(
-            text.contains("cells via") && text.contains("profile:"),
-            "{text}"
-        );
-        // .profile on makes plain queries print it too; off stops that.
-        let mut out = Vec::new();
-        repl.handle(".profile on", &mut out).unwrap();
-        assert!(String::from_utf8(out).unwrap().contains("on"));
-        let mut out = Vec::new();
-        repl.handle(QUERY, &mut out).unwrap();
-        assert!(String::from_utf8(out).unwrap().contains("profile:"));
-        let mut out = Vec::new();
-        repl.handle(".profile off", &mut out).unwrap();
-        let mut out = Vec::new();
-        repl.handle(QUERY, &mut out).unwrap();
-        assert!(!String::from_utf8(out).unwrap().contains("profile:"));
-        // .metrics reports the cumulative process-wide export.
-        let mut out = Vec::new();
-        repl.handle(".metrics", &mut out).unwrap();
-        let text = String::from_utf8(out).unwrap();
-        assert!(text.contains("engine metrics:"), "{text}");
-        // Bad arguments are errors, not aborts.
-        let mut out = Vec::new();
-        repl.handle(".profile sideways", &mut out).unwrap();
-        assert!(String::from_utf8(out).unwrap().contains("error"));
-        // Regex-template queries run outside the planned path: the prefix is
-        // rejected with a clear message instead of a confusing parse error.
-        let mut out = Vec::new();
-        repl.handle(
-            "EXPLAIN SELECT COUNT(*) FROM Event CLUSTER BY card-id AT individual \
-             SEQUENCE BY time ASCENDING CUBOID BY REGEX (X, Y) \
-             WITH X AS location AT station, Y AS location AT station;",
-            &mut out,
-        )
-        .unwrap();
-        let text = String::from_utf8(out).unwrap();
-        assert!(
-            text.contains("not supported for regex-template queries"),
-            "{text}"
-        );
-    }
-
-    #[test]
-    fn quit_stops_the_loop() {
-        let mut repl = Repl::new();
+        assert!(repl.handle(".help", &mut out).unwrap());
+        assert!(String::from_utf8(out).unwrap().contains("commands:"));
         let mut out = Vec::new();
         assert!(!repl.handle(".quit", &mut out).unwrap());
     }
 
     #[test]
-    fn timeout_and_budget_commands() {
+    fn json_mode_emits_wire_lines_with_codes() {
         let mut repl = setup();
+        repl.json = true;
         let mut out = Vec::new();
-        repl.handle(".timeout 5000", &mut out).unwrap();
-        assert!(String::from_utf8(out).unwrap().contains("5000 ms"));
-        assert_eq!(
-            repl.engine.as_ref().unwrap().config().timeout,
-            Some(std::time::Duration::from_millis(5000))
-        );
-        let mut out = Vec::new();
-        repl.handle(".budget 100", &mut out).unwrap();
-        assert!(String::from_utf8(out).unwrap().contains("100 cells"));
-        assert_eq!(
-            repl.engine.as_ref().unwrap().config().budget_cells,
-            Some(100)
-        );
-        // Zero switches the limits off; garbage is an error, not an abort.
-        let mut out = Vec::new();
-        repl.handle(".timeout 0", &mut out).unwrap();
-        assert_eq!(repl.engine.as_ref().unwrap().config().timeout, None);
-        let mut out = Vec::new();
-        repl.handle(".budget 0", &mut out).unwrap();
-        assert_eq!(repl.engine.as_ref().unwrap().config().budget_cells, None);
-        let mut out = Vec::new();
-        repl.handle(".timeout soon", &mut out).unwrap();
-        assert!(String::from_utf8(out).unwrap().contains("error"));
-    }
-
-    #[test]
-    fn over_budget_query_reports_error_and_recovers() {
-        let mut repl = setup();
-        let mut out = Vec::new();
-        repl.handle(".budget 1", &mut out).unwrap();
+        repl.handle("SELECT BOGUS;", &mut out).unwrap();
+        let line = String::from_utf8(out).unwrap();
+        let v = solap_server::json::Json::parse(line.trim()).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(v.get("code").unwrap().as_str(), Some("parse"));
+        assert_eq!(repl.errors, 1);
         let mut out = Vec::new();
         repl.handle(QUERY, &mut out).unwrap();
-        let text = String::from_utf8(out).unwrap();
-        assert!(text.contains("error:") && text.contains("cells"), "{text}");
-        // Lifting the budget makes the same query succeed on the same
-        // engine — the abort left nothing corrupt behind.
-        let mut out = Vec::new();
-        repl.handle(".budget 0", &mut out).unwrap();
-        let mut out = Vec::new();
-        repl.handle(QUERY, &mut out).unwrap();
-        assert!(String::from_utf8(out).unwrap().contains("cells via"));
+        let line = String::from_utf8(out).unwrap();
+        let v = solap_server::json::Json::parse(line.trim()).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert!(v
+            .get("body")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("cells via"));
     }
 
     #[test]
     fn eval_scripts_report_errors_without_aborting() {
         // A clean script leaves the error counter at zero.
-        let mut repl = Repl::new();
+        let mut repl = Repl::local();
         let mut out = Vec::new();
         let script = format!(".gen transit passengers=60 days=3\n{QUERY}\n.show 5");
         assert!(run_script(&mut repl, &script, &mut out).unwrap());
         assert_eq!(repl.errors, 0, "{}", String::from_utf8_lossy(&out));
         // Malformed lines are reported, later lines still run, and the
         // counter drives a nonzero exit.
-        let mut repl = Repl::new();
+        let mut repl = Repl::local();
         let mut out = Vec::new();
         let script = ".gen transit passengers=60 days=3\nSELECT BOGUS;\n.schema";
         assert!(run_script(&mut repl, script, &mut out).unwrap());
@@ -907,8 +513,47 @@ mod tests {
             "{text}"
         );
         // `.quit` stops the script early.
-        let mut repl = Repl::new();
+        let mut repl = Repl::local();
         let mut out = Vec::new();
         assert!(!run_script(&mut repl, ".quit\n.schema", &mut out).unwrap());
+    }
+
+    #[test]
+    fn remote_backend_round_trips_through_a_server() {
+        use solap_server::server::{Server, ServerConfig};
+        let db = generate(
+            "transit",
+            &std::collections::HashMap::from([
+                ("passengers".to_owned(), "60".to_owned()),
+                ("days".to_owned(), "3".to_owned()),
+            ]),
+        )
+        .unwrap();
+        let engine = Arc::new(Engine::builder(db).build());
+        let config = ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            ..ServerConfig::default()
+        };
+        let (handle, join) = Server::spawn(engine, config).unwrap();
+        let client = Client::connect(handle.local_addr()).unwrap();
+        let mut repl = Repl::remote(client);
+
+        let mut out = Vec::new();
+        repl.handle(QUERY, &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("cells via"));
+        let mut out = Vec::new();
+        repl.handle(".op append Z location station", &mut out)
+            .unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("APPEND"));
+        // Lifecycle commands are typed `unsupported` errors over the wire.
+        let mut out = Vec::new();
+        repl.handle(".gen transit", &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("error:"));
+        // `.quit` closes the session loop.
+        let mut out = Vec::new();
+        assert!(!repl.handle(".quit", &mut out).unwrap());
+
+        handle.shutdown();
+        join.join().unwrap().unwrap();
     }
 }

@@ -121,6 +121,162 @@ pub struct QueryOutput {
     pub profile: QueryProfile,
 }
 
+/// Configures and constructs an [`Engine`] — the one supported way to
+/// build an engine with non-default settings.
+///
+/// ```ignore
+/// let engine = Engine::builder(db)
+///     .strategy(Strategy::InvertedIndex)
+///     .threads(8)
+///     .timeout(Duration::from_secs(5))
+///     .budget_cells(1_000_000)
+///     .cache_capacity(64, 256 << 20)
+///     .build();
+/// ```
+///
+/// # Mutating a built engine
+///
+/// Two escape hatches remain on [`Engine`], and both interact with the
+/// engine's caches through the **database version**:
+///
+/// * [`Engine::config_mut`] adjusts per-query execution knobs (strategy,
+///   threads, limits) between queries. It never touches cached data:
+///   sequence groups, stored indices and repository cuboids are keyed by
+///   `(fingerprint, db.version())`, not by configuration, so entries
+///   built under one strategy are still correct — and still served —
+///   under another. Concurrent shared use should prefer per-session
+///   overrides ([`Engine::execute_configured`]) over mutating the
+///   engine-wide defaults.
+/// * [`Engine::db_mut`] mutates the event database. Every mutation bumps
+///   [`EventDb::version`], which transparently invalidates all three
+///   caches at their next lookup (stale entries age out of the LRUs);
+///   no explicit cache flush exists or is needed.
+///
+/// Cache capacities, by contrast, are fixed at construction time — they
+/// size shared structures, so they are builder-only and have no
+/// `config_mut` equivalent.
+#[derive(Debug)]
+pub struct EngineBuilder {
+    db: EventDb,
+    config: EngineConfig,
+    seq_cache: (usize, usize),
+    index_store: (usize, usize),
+    cuboid_repo: (usize, usize),
+}
+
+impl EngineBuilder {
+    fn new(db: EventDb) -> Self {
+        EngineBuilder {
+            db,
+            config: EngineConfig::default(),
+            seq_cache: (64, 256 << 20),
+            index_store: (256, 512 << 20),
+            cuboid_repo: (128, 256 << 20),
+        }
+    }
+
+    /// Construction strategy (CB, II or auto).
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.config.strategy = strategy;
+        self
+    }
+
+    /// Sid-set encoding for inverted lists.
+    pub fn backend(mut self, backend: SetBackend) -> Self {
+        self.config.backend = backend;
+        self
+    }
+
+    /// Counter layout for the counter-based path.
+    pub fn counter_mode(mut self, mode: CounterMode) -> Self {
+        self.config.counter_mode = mode;
+        self
+    }
+
+    /// Worker threads for parallel construction (values below 1 clamp
+    /// to 1 = sequential).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads.max(1);
+        self
+    }
+
+    /// Per-query deadline (`None` = no deadline).
+    pub fn timeout(mut self, timeout: impl Into<Option<Duration>>) -> Self {
+        self.config.timeout = timeout.into();
+        self
+    }
+
+    /// Per-query cuboid-cell budget (`None` = unbounded).
+    pub fn budget_cells(mut self, cells: impl Into<Option<u64>>) -> Self {
+        self.config.budget_cells = cells.into();
+        self
+    }
+
+    /// The engine-wide cooperative cancellation token.
+    pub fn cancel(mut self, cancel: CancelToken) -> Self {
+        self.config.cancel = cancel;
+        self
+    }
+
+    /// Whether the cuboid repository answers repeated queries.
+    pub fn use_cuboid_repo(mut self, on: bool) -> Self {
+        self.config.use_cuboid_repo = on;
+        self
+    }
+
+    /// Sizes all three shared caches (sequence cache, index store, cuboid
+    /// repository) to `entries` entries / `max_bytes` payload bytes each.
+    /// Use the per-cache setters for asymmetric layouts.
+    pub fn cache_capacity(mut self, entries: usize, max_bytes: usize) -> Self {
+        self.seq_cache = (entries, max_bytes);
+        self.index_store = (entries, max_bytes);
+        self.cuboid_repo = (entries, max_bytes);
+        self
+    }
+
+    /// Sizes the sequence cache only.
+    pub fn seq_cache_capacity(mut self, entries: usize, max_bytes: usize) -> Self {
+        self.seq_cache = (entries, max_bytes);
+        self
+    }
+
+    /// Sizes the index store only.
+    pub fn index_store_capacity(mut self, entries: usize, max_bytes: usize) -> Self {
+        self.index_store = (entries, max_bytes);
+        self
+    }
+
+    /// Sizes the cuboid repository only.
+    pub fn cuboid_repo_capacity(mut self, entries: usize, max_bytes: usize) -> Self {
+        self.cuboid_repo = (entries, max_bytes);
+        self
+    }
+
+    /// Replaces the whole configuration at once (the builder's setters
+    /// then refine it). Bench matrices that already hold an
+    /// [`EngineConfig`] use this instead of poking fields.
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Constructs the engine.
+    pub fn build(self) -> Engine {
+        // Arm any SOLAP_FAILPOINTS-configured sites: the fail_point!
+        // fast path never touches the registry, so the env seeding must
+        // be forced by a process entry point — engine construction is
+        // the one every surface goes through.
+        solap_eventdb::failpoint::init();
+        Engine {
+            db: self.db,
+            config: self.config,
+            seq_cache: SequenceCache::new(self.seq_cache.0, self.seq_cache.1),
+            index_store: IndexStore::new(self.index_store.0, self.index_store.1),
+            cuboid_repo: CuboidRepo::new(self.cuboid_repo.0, self.cuboid_repo.1),
+        }
+    }
+}
+
 /// The S-OLAP engine.
 pub struct Engine {
     db: EventDb,
@@ -133,18 +289,18 @@ pub struct Engine {
 impl Engine {
     /// Creates an engine with default configuration.
     pub fn new(db: EventDb) -> Self {
-        Engine::with_config(db, EngineConfig::default())
+        Engine::builder(db).build()
     }
 
-    /// Creates an engine with explicit configuration.
+    /// Starts configuring an engine — see [`EngineBuilder`].
+    pub fn builder(db: EventDb) -> EngineBuilder {
+        EngineBuilder::new(db)
+    }
+
+    /// Creates an engine with explicit configuration and default cache
+    /// capacities (equivalent to `Engine::builder(db).config(config).build()`).
     pub fn with_config(db: EventDb, config: EngineConfig) -> Self {
-        Engine {
-            db,
-            config,
-            seq_cache: SequenceCache::default(),
-            index_store: IndexStore::default(),
-            cuboid_repo: CuboidRepo::default(),
-        }
+        Engine::builder(db).config(config).build()
     }
 
     /// The event database.
@@ -196,8 +352,8 @@ impl Engine {
         h.finish()
     }
 
-    fn effective_strategy(&self, spec: &SCuboidSpec) -> Strategy {
-        match self.config.strategy {
+    fn effective_strategy(config: &EngineConfig, spec: &SCuboidSpec) -> Strategy {
+        match config.strategy {
             Strategy::Auto => {
                 if spec.template.kind == PatternKind::Subsequence && spec.template.m() > 3 {
                     Strategy::CounterBased
@@ -216,7 +372,40 @@ impl Engine {
     /// path becomes [`Error::Internal`] and the engine stays usable (the
     /// shared caches only ever insert fully-built entries).
     pub fn execute(&self, spec: &SCuboidSpec) -> Result<QueryOutput> {
-        self.isolated(|| self.execute_with(spec, None))
+        self.isolated(|| self.execute_with(spec, None, &self.config))
+    }
+
+    /// [`Engine::execute`] under a caller-supplied configuration instead
+    /// of the engine-wide defaults.
+    ///
+    /// This is the embedding API for concurrent serving: the engine and
+    /// its caches are shared (`&self`), while strategy, worker count,
+    /// limits and — crucially — the [`CancelToken`] are per caller, so a
+    /// session can cancel its own in-flight query (e.g. on client
+    /// disconnect) without disturbing anyone else's. Cache capacities are
+    /// engine-wide and unaffected; cached entries are configuration-
+    /// independent (see [`EngineBuilder`] docs).
+    pub fn execute_configured(
+        &self,
+        spec: &SCuboidSpec,
+        config: &EngineConfig,
+    ) -> Result<QueryOutput> {
+        self.isolated(|| self.execute_with(spec, None, config))
+    }
+
+    /// [`Engine::execute_op`] under a caller-supplied configuration — see
+    /// [`Engine::execute_configured`].
+    pub fn execute_op_configured(
+        &self,
+        prev: &SCuboidSpec,
+        op: &Op,
+        config: &EngineConfig,
+    ) -> Result<(SCuboidSpec, QueryOutput)> {
+        self.isolated(|| {
+            let new_spec = ops::apply(&self.db, prev, op)?;
+            let out = self.execute_with(&new_spec, Some((prev, op)), config)?;
+            Ok((new_spec, out))
+        })
     }
 
     /// Applies an operation to `prev` and executes the transformed query,
@@ -229,7 +418,7 @@ impl Engine {
     pub fn execute_op(&self, prev: &SCuboidSpec, op: &Op) -> Result<(SCuboidSpec, QueryOutput)> {
         self.isolated(|| {
             let new_spec = ops::apply(&self.db, prev, op)?;
-            let out = self.execute_with(&new_spec, Some((prev, op)))?;
+            let out = self.execute_with(&new_spec, Some((prev, op)), &self.config)?;
             Ok((new_spec, out))
         })
     }
@@ -247,12 +436,12 @@ impl Engine {
         }
     }
 
-    /// A fresh governor for one query, from the engine configuration.
-    fn governor(&self) -> QueryGovernor {
+    /// A fresh governor for one query, from the given configuration.
+    fn governor(config: &EngineConfig) -> QueryGovernor {
         QueryGovernor::new(
-            self.config.timeout,
-            self.config.budget_cells,
-            Some(self.config.cancel.clone()),
+            config.timeout,
+            config.budget_cells,
+            Some(config.cancel.clone()),
         )
     }
 
@@ -260,9 +449,15 @@ impl Engine {
     /// query-language `EXPLAIN` surface. The output is deterministic for a
     /// given engine configuration and database, which the golden tests pin.
     pub fn explain(&self, spec: &SCuboidSpec) -> Result<String> {
+        self.explain_configured(spec, &self.config)
+    }
+
+    /// [`Engine::explain`] under a caller-supplied configuration — see
+    /// [`Engine::execute_configured`].
+    pub fn explain_configured(&self, spec: &SCuboidSpec, config: &EngineConfig) -> Result<String> {
         spec.validate(&self.db)?;
-        let strategy = self.effective_strategy(spec);
-        let (name, why) = match (self.config.strategy, strategy) {
+        let strategy = Engine::effective_strategy(config, spec);
+        let (name, why) = match (config.strategy, strategy) {
             (Strategy::Auto, Strategy::CounterBased) => {
                 ("CB", "auto: subsequence template with m > 3")
             }
@@ -281,7 +476,7 @@ impl Engine {
         out.push_str(&format!("  strategy: {name} ({why})\n"));
         out.push_str(&format!(
             "  backend: {:?}, threads: {}\n",
-            self.config.backend, self.config.threads
+            config.backend, config.threads
         ));
         out.push_str(&format!(
             "  step 1-2 (select + cluster): scan {} events, filter {}\n",
@@ -317,11 +512,7 @@ impl Engine {
         }
         out.push_str(&format!(
             "  caches: cuboid repo {}, sequence cache shared per (filter, cluster, order, group)\n",
-            if self.config.use_cuboid_repo {
-                "on"
-            } else {
-                "off"
-            }
+            if config.use_cuboid_repo { "on" } else { "off" }
         ));
         Ok(out)
     }
@@ -332,6 +523,7 @@ impl Engine {
         &self,
         spec: &SCuboidSpec,
         hint: Option<(&SCuboidSpec, &Op)>,
+        config: &EngineConfig,
     ) -> Result<QueryOutput> {
         if trace::enabled() {
             trace::emit(
@@ -346,7 +538,7 @@ impl Engine {
                 ],
             );
         }
-        let result = self.execute_inner(spec, hint);
+        let result = self.execute_inner(spec, hint, config);
         match &result {
             Ok(out) => {
                 metrics::global().record(&out.profile);
@@ -388,11 +580,12 @@ impl Engine {
         &self,
         spec: &SCuboidSpec,
         hint: Option<(&SCuboidSpec, &Op)>,
+        config: &EngineConfig,
     ) -> Result<QueryOutput> {
         spec.validate(&self.db)?;
         let start = Instant::now();
         let fp = spec.fingerprint();
-        if self.config.use_cuboid_repo {
+        if config.use_cuboid_repo {
             if let Some(cached) = self.cuboid_repo.get(fp, self.db.version()) {
                 let mut profile = if metrics::enabled() {
                     let rec = QueryRecorder::default();
@@ -421,7 +614,7 @@ impl Engine {
         } else {
             None
         };
-        let mut gov = self.governor();
+        let mut gov = Engine::governor(config);
         if let Some(rec) = &recorder {
             gov = gov.with_recorder(Arc::clone(rec));
         }
@@ -430,16 +623,16 @@ impl Engine {
             .get_or_build_governed(&self.db, &spec.seq, &gov)?;
         let mut meter = ScanMeter::new();
         let mut stats = ExecStats::default();
-        let strategy = self.effective_strategy(spec);
+        let strategy = Engine::effective_strategy(config, spec);
         let mut cuboid = match strategy {
             Strategy::CounterBased => {
                 stats.strategy = "CB";
-                if self.config.threads > 1 {
+                if config.threads > 1 {
                     counter_based_parallel_governed(
                         &self.db,
                         &groups,
                         spec,
-                        self.config.threads,
+                        config.threads,
                         &mut meter,
                         &gov,
                     )?
@@ -448,7 +641,7 @@ impl Engine {
                         &self.db,
                         &groups,
                         spec,
-                        self.config.counter_mode,
+                        config.counter_mode,
                         &mut meter,
                         &gov,
                     )?
@@ -461,9 +654,9 @@ impl Engine {
                     &groups,
                     self.groups_fp(spec),
                     &self.index_store,
-                    self.config.backend,
+                    config.backend,
                 )
-                .with_threads(self.config.threads)
+                .with_threads(config.threads)
                 .with_governor(&gov);
                 if let Some((prev, op)) = hint {
                     // Preparation only touches the index store; on any
@@ -509,7 +702,7 @@ impl Engine {
         profile.strategy = stats.strategy;
         profile.elapsed_nanos = stats.elapsed.as_nanos() as u64;
         let cuboid = Arc::new(cuboid);
-        if self.config.use_cuboid_repo {
+        if config.use_cuboid_repo {
             fail_point!("engine.insert");
             self.cuboid_repo
                 .insert(fp, self.db.version(), Arc::clone(&cuboid));

@@ -55,8 +55,8 @@ pub mod spec;
 pub mod stats;
 
 pub use cuboid::{CellKey, SCuboid};
-pub use engine::{Engine, EngineConfig, QueryOutput, Strategy};
+pub use engine::{Engine, EngineBuilder, EngineConfig, QueryOutput, Strategy};
 pub use ops::Op;
-pub use session::Session;
+pub use session::{HistoryEntry, Session};
 pub use spec::SCuboidSpec;
 pub use stats::ExecStats;

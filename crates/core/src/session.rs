@@ -5,13 +5,21 @@
 //! current specification, executes operations through the engine (so every
 //! fast path and cache is exploited), and keeps the history so `back()`
 //! can retrace steps — the Qa → Qb → Qc explorations of §5 are sessions.
+//!
+//! Sessions are the unit of **concurrent serving**: they share one
+//! [`Engine`] through an [`Arc`] while carrying their own
+//! [`EngineConfig`] override (strategy, worker count, limits and — most
+//! importantly — the [`CancelToken`](solap_eventdb::CancelToken) that lets
+//! a server abort this session's in-flight query when its client
+//! disconnects, without disturbing other sessions). The REPL, the `--eval`
+//! script mode and every server connection each own exactly one session.
 
 use std::sync::Arc;
 
-use solap_eventdb::Result;
+use solap_eventdb::{Error, Result};
 
 use crate::cuboid::SCuboid;
-use crate::engine::{Engine, QueryOutput};
+use crate::engine::{Engine, EngineConfig, QueryOutput};
 use crate::ops::Op;
 use crate::spec::SCuboidSpec;
 use crate::stats::ExecStats;
@@ -19,8 +27,7 @@ use crate::stats::ExecStats;
 /// One step of a session's history.
 #[derive(Debug, Clone)]
 pub struct HistoryEntry {
-    /// The operation that produced this step (`None` for the initial
-    /// query).
+    /// The operation that produced this step (`None` for a fresh query).
     pub op: Option<String>,
     /// The specification at this step.
     pub spec: SCuboidSpec,
@@ -28,44 +35,72 @@ pub struct HistoryEntry {
     pub stats: ExecStats,
 }
 
-/// An interactive S-OLAP exploration session.
-pub struct Session<'e> {
-    engine: &'e Engine,
-    current: SCuboidSpec,
-    cuboid: Arc<SCuboid>,
+/// An interactive S-OLAP exploration session over a shared engine.
+pub struct Session {
+    engine: Arc<Engine>,
+    /// Per-session execution configuration, seeded from the engine's
+    /// defaults at session creation. Queries and operations issued through
+    /// this session run under it via [`Engine::execute_configured`].
+    config: EngineConfig,
+    current: Option<SCuboidSpec>,
+    cuboid: Option<Arc<SCuboid>>,
     history: Vec<HistoryEntry>,
 }
 
-impl<'e> Session<'e> {
-    /// Starts a session by executing the initial query.
-    pub fn start(engine: &'e Engine, spec: SCuboidSpec) -> Result<Self> {
-        let out = engine.execute(&spec)?;
-        let history = vec![HistoryEntry {
-            op: None,
-            spec: spec.clone(),
-            stats: out.stats.clone(),
-        }];
-        Ok(Session {
+impl Session {
+    /// Opens a session on a shared engine with no current query yet. The
+    /// session's configuration starts as a copy of the engine's, with a
+    /// fresh per-session [`CancelToken`](solap_eventdb::CancelToken) so
+    /// cancelling this session never aborts another's queries.
+    pub fn new(engine: Arc<Engine>) -> Self {
+        let mut config = engine.config().clone();
+        config.cancel = solap_eventdb::CancelToken::new();
+        Session {
             engine,
-            current: spec,
-            cuboid: out.cuboid,
-            history,
-        })
+            config,
+            current: None,
+            cuboid: None,
+            history: Vec::new(),
+        }
     }
 
-    /// The current specification.
-    pub fn spec(&self) -> &SCuboidSpec {
-        &self.current
+    /// Opens a session and executes an initial query.
+    pub fn start(engine: Arc<Engine>, spec: SCuboidSpec) -> Result<Self> {
+        let mut s = Session::new(engine);
+        s.query(spec)?;
+        Ok(s)
     }
 
-    /// The current cuboid.
-    pub fn cuboid(&self) -> &Arc<SCuboid> {
-        &self.cuboid
+    /// The current specification, if a query has run.
+    pub fn spec(&self) -> Option<&SCuboidSpec> {
+        self.current.as_ref()
+    }
+
+    /// The current cuboid, if a query has run.
+    pub fn cuboid(&self) -> Option<&Arc<SCuboid>> {
+        self.cuboid.as_ref()
     }
 
     /// The engine backing this session.
     pub fn engine(&self) -> &Engine {
-        self.engine
+        &self.engine
+    }
+
+    /// A clone of the shared engine handle.
+    pub fn engine_arc(&self) -> Arc<Engine> {
+        Arc::clone(&self.engine)
+    }
+
+    /// The session's execution configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Mutable access to the session's execution configuration — the
+    /// session-scoped replacement for `Engine::config_mut` pokes: strategy,
+    /// threads, timeout and budget changed here affect this session only.
+    pub fn config_mut(&mut self) -> &mut EngineConfig {
+        &mut self.config
     }
 
     /// The history, oldest first.
@@ -73,30 +108,60 @@ impl<'e> Session<'e> {
         &self.history
     }
 
+    /// The current spec, or a typed error for surfaces that need one.
+    fn require_current(&self) -> Result<&SCuboidSpec> {
+        self.current
+            .as_ref()
+            .ok_or_else(|| Error::InvalidOperation("no current query — run one first".into()))
+    }
+
     /// Applies an operation, navigating to a new S-cuboid.
     pub fn apply(&mut self, op: Op) -> Result<QueryOutput> {
-        let (spec, out) = self.engine.execute_op(&self.current, &op)?;
+        let prev = self.require_current()?.clone();
+        let (spec, out) = self
+            .engine
+            .execute_op_configured(&prev, &op, &self.config)?;
         self.history.push(HistoryEntry {
             op: Some(op.name().to_owned()),
             spec: spec.clone(),
             stats: out.stats.clone(),
         });
-        self.current = spec;
-        self.cuboid = Arc::clone(&out.cuboid);
+        self.current = Some(spec);
+        self.cuboid = Some(Arc::clone(&out.cuboid));
         Ok(out)
     }
 
-    /// Replaces the whole specification (a fresh query within the session).
+    /// Executes a fresh query within the session (replacing the current
+    /// specification).
     pub fn query(&mut self, spec: SCuboidSpec) -> Result<QueryOutput> {
-        let out = self.engine.execute(&spec)?;
+        let out = self.engine.execute_configured(&spec, &self.config)?;
         self.history.push(HistoryEntry {
-            op: Some("QUERY".to_owned()),
+            op: if self.history.is_empty() {
+                None
+            } else {
+                Some("QUERY".to_owned())
+            },
             spec: spec.clone(),
             stats: out.stats.clone(),
         });
-        self.current = spec;
-        self.cuboid = Arc::clone(&out.cuboid);
+        self.current = Some(spec);
+        self.cuboid = Some(Arc::clone(&out.cuboid));
         Ok(out)
+    }
+
+    /// Re-executes the current specification (usually a cuboid-repository
+    /// hit) — the `.show` surface.
+    pub fn reexecute(&mut self) -> Result<QueryOutput> {
+        let spec = self.require_current()?.clone();
+        let out = self.engine.execute_configured(&spec, &self.config)?;
+        self.cuboid = Some(Arc::clone(&out.cuboid));
+        Ok(out)
+    }
+
+    /// Renders the execution plan for `spec` under this session's
+    /// configuration, without executing it.
+    pub fn explain(&self, spec: &SCuboidSpec) -> Result<String> {
+        self.engine.explain_configured(spec, &self.config)
     }
 
     /// Steps back to the previous specification (re-executing it — usually
@@ -107,9 +172,9 @@ impl<'e> Session<'e> {
         }
         self.history.pop();
         let spec = self.history.last().expect("non-empty").spec.clone();
-        let out = self.engine.execute(&spec)?;
-        self.current = spec;
-        self.cuboid = Arc::clone(&out.cuboid);
+        let out = self.engine.execute_configured(&spec, &self.config)?;
+        self.current = Some(spec);
+        self.cuboid = Some(Arc::clone(&out.cuboid));
         Ok(true)
     }
 }
@@ -117,11 +182,10 @@ impl<'e> Session<'e> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::EngineConfig;
     use solap_eventdb::{AttrLevel, CmpOp, ColumnType, EventDbBuilder, SortKey, Value};
     use solap_pattern::{MatchPred, PatternKind, PatternTemplate};
 
-    fn engine() -> Engine {
+    fn engine() -> Arc<Engine> {
         let mut db = EventDbBuilder::new()
             .dimension("sid", ColumnType::Int)
             .dimension("pos", ColumnType::Int)
@@ -145,7 +209,7 @@ mod tests {
                 .unwrap();
             }
         }
-        Engine::with_config(db, EngineConfig::default())
+        Arc::new(Engine::builder(db).build())
     }
 
     fn initial(db: &solap_eventdb::EventDb) -> SCuboidSpec {
@@ -177,42 +241,81 @@ mod tests {
     #[test]
     fn navigate_append_and_back() {
         let e = engine();
-        let mut s = Session::start(&e, initial(e.db())).unwrap();
+        let spec = initial(e.db());
+        let mut s = Session::start(e, spec).unwrap();
         assert_eq!(s.history().len(), 1);
-        let before = s.spec().fingerprint();
+        let before = s.spec().unwrap().fingerprint();
         s.apply(Op::Append {
             symbol: "Y".into(),
             attr: 2,
             level: 0,
         })
         .unwrap();
-        assert_eq!(s.spec().template.m(), 3);
+        assert_eq!(s.spec().unwrap().template.m(), 3);
         assert_eq!(s.history().len(), 2);
         assert_eq!(s.history()[1].op.as_deref(), Some("APPEND"));
         assert!(s.back().unwrap());
-        assert_eq!(s.spec().fingerprint(), before);
+        assert_eq!(s.spec().unwrap().fingerprint(), before);
         assert!(!s.back().unwrap(), "cannot step before the initial query");
     }
 
     #[test]
     fn fresh_query_resets_spec() {
         let e = engine();
-        let mut s = Session::start(&e, initial(e.db())).unwrap();
-        let mut other = initial(e.db());
+        let spec = initial(e.db());
+        let mut s = Session::start(e, spec).unwrap();
+        let mut other = initial(s.engine().db());
         other.mpred = MatchPred::True;
         let out = s.query(other.clone()).unwrap();
-        assert_eq!(s.spec().fingerprint(), other.fingerprint());
+        assert_eq!(s.spec().unwrap().fingerprint(), other.fingerprint());
         assert!(out.cuboid.len() >= s.history()[0].spec.template.n());
+        assert_eq!(s.history()[1].op.as_deref(), Some("QUERY"));
     }
 
     #[test]
     fn cuboid_follows_operations() {
         let e = engine();
-        let mut s = Session::start(&e, initial(e.db())).unwrap();
-        let n_before = s.cuboid().len();
+        let spec = initial(e.db());
+        let mut s = Session::start(e, spec).unwrap();
+        let n_before = s.cuboid().unwrap().len();
         s.apply(Op::SetMinSupport(Some(1_000_000))).unwrap();
-        assert_eq!(s.cuboid().len(), 0);
+        assert_eq!(s.cuboid().unwrap().len(), 0);
         s.back().unwrap();
-        assert_eq!(s.cuboid().len(), n_before);
+        assert_eq!(s.cuboid().unwrap().len(), n_before);
+    }
+
+    #[test]
+    fn empty_session_reports_typed_errors() {
+        let e = engine();
+        let mut s = Session::new(e);
+        assert!(s.spec().is_none() && s.cuboid().is_none());
+        let err = s.apply(Op::DeTail).unwrap_err();
+        assert_eq!(err.code(), "invalid_operation");
+        assert_eq!(s.reexecute().unwrap_err().code(), "invalid_operation");
+        assert!(!s.back().unwrap());
+    }
+
+    #[test]
+    fn sessions_share_an_engine_but_not_config() {
+        let e = engine();
+        let spec = initial(e.db());
+        let mut a = Session::new(Arc::clone(&e));
+        let mut b = Session::new(Arc::clone(&e));
+        a.config_mut().strategy = crate::engine::Strategy::CounterBased;
+        // The shared cuboid repository would otherwise answer A's repeat
+        // of B's query outright; bypass it so the strategy override shows.
+        a.config_mut().use_cuboid_repo = false;
+        b.config_mut().strategy = crate::engine::Strategy::InvertedIndex;
+        // Per-session cancel tokens are independent: cancelling A's leaves
+        // B runnable.
+        a.config().cancel.cancel();
+        let err = a.query(spec.clone()).unwrap_err();
+        assert_eq!(err.code(), "cancelled");
+        let out_b = b.query(spec.clone()).unwrap();
+        assert_eq!(out_b.stats.strategy, "II");
+        a.config().cancel.reset();
+        let out_a = a.query(spec).unwrap();
+        assert_eq!(out_a.stats.strategy, "CB");
+        assert_eq!(out_a.cuboid.cells, out_b.cuboid.cells);
     }
 }

@@ -80,6 +80,34 @@ pub enum Error {
     Internal(String),
 }
 
+impl Error {
+    /// A stable, machine-readable code naming this error's variant.
+    ///
+    /// The codes are part of the public surface: the wire protocol of the
+    /// serving layer and the CLI's `--eval --json` output both carry them,
+    /// so clients can branch on `resource_exhausted` vs `parse` without
+    /// scraping display strings. Codes are `snake_case`, never renamed,
+    /// and the match below is deliberately exhaustive (no `_` arm) so
+    /// adding a variant without choosing its code fails to compile.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Error::UnknownAttribute(_) => "unknown_attribute",
+            Error::UnknownLevel { .. } => "unknown_level",
+            Error::TypeMismatch { .. } => "type_mismatch",
+            Error::ArityMismatch { .. } => "arity_mismatch",
+            Error::IncompleteHierarchy { .. } => "incomplete_hierarchy",
+            Error::NoHierarchy(_) => "no_hierarchy",
+            Error::BadLiteral(_) => "bad_literal",
+            Error::Parse { .. } => "parse",
+            Error::InvalidOperation(_) => "invalid_operation",
+            Error::Corrupt { .. } => "corrupt",
+            Error::ResourceExhausted { .. } => "resource_exhausted",
+            Error::Cancelled => "cancelled",
+            Error::Internal(_) => "internal",
+        }
+    }
+}
+
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -166,6 +194,78 @@ mod tests {
         assert!(Error::UnknownAttribute("x".into())
             .to_string()
             .contains('x'));
+    }
+
+    /// One witness value per variant. Kept next to [`Error::code`] so a
+    /// new variant shows up here too (the `code()` match already fails to
+    /// compile without a new arm; this list keeps the uniqueness and
+    /// shape checks exhaustive as well).
+    fn witnesses() -> Vec<Error> {
+        vec![
+            Error::UnknownAttribute("a".into()),
+            Error::UnknownLevel {
+                attribute: "a".into(),
+                level: "l".into(),
+            },
+            Error::TypeMismatch {
+                attribute: "a".into(),
+                expected: "int",
+                actual: "str",
+            },
+            Error::ArityMismatch {
+                expected: 1,
+                actual: 2,
+            },
+            Error::IncompleteHierarchy {
+                attribute: "a".into(),
+                level: "l".into(),
+                value: "v".into(),
+            },
+            Error::NoHierarchy("a".into()),
+            Error::BadLiteral("x".into()),
+            Error::Parse {
+                message: "m".into(),
+                offset: 0,
+            },
+            Error::InvalidOperation("m".into()),
+            Error::Corrupt { detail: "d".into() },
+            Error::ResourceExhausted {
+                resource: "cells",
+                limit: 1,
+                consumed: 2,
+            },
+            Error::Cancelled,
+            Error::Internal("m".into()),
+        ]
+    }
+
+    #[test]
+    fn codes_are_stable_unique_and_machine_readable() {
+        let codes: Vec<&'static str> = witnesses().iter().map(Error::code).collect();
+        let mut dedup = codes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), codes.len(), "codes must be unique: {codes:?}");
+        for code in &codes {
+            assert!(!code.is_empty());
+            assert!(
+                code.chars().all(|c| c.is_ascii_lowercase() || c == '_'),
+                "`{code}` is not snake_case"
+            );
+        }
+        // Pin the codes clients are expected to branch on.
+        assert_eq!(Error::Cancelled.code(), "cancelled");
+        assert_eq!(
+            Error::ResourceExhausted {
+                resource: "time_ms",
+                limit: 1,
+                consumed: 2
+            }
+            .code(),
+            "resource_exhausted"
+        );
+        assert_eq!(Error::Corrupt { detail: "d".into() }.code(), "corrupt");
+        assert_eq!(Error::Internal("m".into()).code(), "internal");
     }
 
     #[test]

@@ -89,6 +89,15 @@ fn registry() -> &'static Mutex<HashMap<String, Action>> {
     })
 }
 
+/// Forces the one-time `SOLAP_FAILPOINTS` environment seeding to happen
+/// now. The `fail_point!` fast path is a single relaxed atomic load and
+/// never touches the registry, so a process that never calls
+/// [`configure`] would otherwise ignore env-configured sites entirely;
+/// long-lived entry points (engine construction) call this once.
+pub fn init() {
+    let _ = registry();
+}
+
 /// Whether *any* failpoint is configured. This is the only cost paid by a
 /// site while the facility is idle.
 #[inline]

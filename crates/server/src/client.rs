@@ -1,0 +1,158 @@
+//! The wire-protocol client library.
+//!
+//! Speaks the server's newline-delimited protocol: one statement per
+//! line out, one JSON line back. Used by `solap --connect`, the `serve`
+//! benchmark and the chaos suite; external tooling can use it as the
+//! reference implementation of the protocol.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// A response read back over the wire — the client-side mirror of
+/// [`Response`](crate::dispatch::Response), with the profile kept as
+/// parsed JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireResponse {
+    /// Whether the statement succeeded server-side.
+    pub ok: bool,
+    /// The stable error code when `!ok`.
+    pub code: Option<String>,
+    /// Rendered output (success) or the error message (failure).
+    pub body: String,
+    /// The query's profile, when the session has profiling on.
+    pub profile: Option<Json>,
+    /// Whether the server is closing this session (`.quit`).
+    pub quit: bool,
+}
+
+impl WireResponse {
+    /// Parses one response line.
+    pub fn parse(line: &str) -> io::Result<WireResponse> {
+        let v = Json::parse(line.trim()).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}"))
+        })?;
+        let ok = v
+            .get("ok")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "response missing `ok`"))?;
+        let body = if ok { "body" } else { "error" };
+        Ok(WireResponse {
+            ok,
+            code: v.get("code").and_then(Json::as_str).map(str::to_owned),
+            body: v
+                .get(body)
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_owned(),
+            profile: v.get("profile").cloned(),
+            quit: v.get("quit").and_then(Json::as_bool).unwrap_or(false),
+        })
+    }
+}
+
+/// A connected protocol client. One client is one server-side session:
+/// navigation state (current cuboid, history, per-session config) lives
+/// on the server until the connection closes.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        Client::from_stream(stream)
+    }
+
+    /// Connects with a connect timeout (resolved address form).
+    pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> io::Result<Client> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        Client::from_stream(stream)
+    }
+
+    fn from_stream(stream: TcpStream) -> io::Result<Client> {
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sets how long [`Client::request`] waits for a response before
+    /// failing with a timeout error.
+    pub fn set_response_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Sends one statement and reads its response. Embedded newlines are
+    /// folded to spaces (the protocol is line-based); a statement from a
+    /// multi-line script can therefore be passed as-is.
+    pub fn request(&mut self, statement: &str) -> io::Result<WireResponse> {
+        Ok(self.request_raw(statement)?.1)
+    }
+
+    /// Like [`Client::request`], but also returns the raw response line
+    /// (for surfaces that relay the JSON verbatim, e.g. `solap --json`).
+    pub fn request_raw(&mut self, statement: &str) -> io::Result<(String, WireResponse)> {
+        self.send_only(statement)?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let parsed = WireResponse::parse(&response)?;
+        Ok((response.trim_end().to_owned(), parsed))
+    }
+
+    /// The underlying stream (tests use this to force half-closes).
+    pub fn stream(&self) -> &TcpStream {
+        self.reader.get_ref()
+    }
+
+    /// Sends a statement *without* waiting for the response — the chaos
+    /// suite uses this to disconnect mid-query.
+    pub fn send_only(&mut self, statement: &str) -> io::Result<()> {
+        let mut line = statement.replace(['\n', '\r'], " ");
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_ok_and_error_lines() {
+        let r = WireResponse::parse(r#"{"ok":true,"body":"42 cells\n","quit":false}"#).unwrap();
+        assert!(r.ok && r.body.contains("42 cells"));
+        assert!(r.code.is_none() && !r.quit);
+        let r =
+            WireResponse::parse(r#"{"ok":false,"code":"over_capacity","error":"busy"}"#).unwrap();
+        assert!(!r.ok);
+        assert_eq!(r.code.as_deref(), Some("over_capacity"));
+        assert_eq!(r.body, "busy");
+        assert!(WireResponse::parse("not json").is_err());
+        assert!(WireResponse::parse(r#"{"body":"no ok field"}"#).is_err());
+    }
+
+    #[test]
+    fn parse_profile_passthrough() {
+        let r = WireResponse::parse(r#"{"ok":true,"body":"","profile":{"stage":{"total_ns":5}}}"#)
+            .unwrap();
+        let p = r.profile.unwrap();
+        assert_eq!(
+            p.get("stage").unwrap().get("total_ns").unwrap().as_f64(),
+            Some(5.0)
+        );
+    }
+}

@@ -1,0 +1,592 @@
+//! The shared statement-dispatch layer.
+//!
+//! Every statement surface — the interactive REPL, `solap --eval`
+//! scripts, and server connections — funnels through [`dispatch`]: one
+//! statement string in, one structured [`Response`] out. The REPL prints
+//! `Response::body`, the server serializes the whole response as a JSON
+//! line; neither has execution logic of its own, so the three surfaces
+//! cannot drift apart.
+//!
+//! A statement is either a dot-command (`.op append Z location station`,
+//! `.strategy ii`, …) or a Figure-3 query (optionally prefixed with
+//! `EXPLAIN` / `PROFILE`). Engine-lifecycle commands (`.gen`, `.save`,
+//! `.load`) are *not* handled here: they replace or persist the engine
+//! itself, which only the process that owns it may do, so the local CLI
+//! intercepts them before dispatch and every other surface receives a
+//! typed `unsupported` error.
+
+use std::sync::Arc;
+
+use solap_core::{Engine, Session};
+use solap_eventdb::CancelToken;
+
+use crate::command::{self, ArgError};
+use crate::json::escape;
+
+/// The statement surfaces' shared per-connection state: a [`Session`]
+/// (current spec, cuboid, history, per-session config) plus display
+/// state that belongs to the surface rather than the engine.
+pub struct SessionCtx {
+    session: Session,
+    /// Whether every executed query also renders its profile
+    /// (`.profile on|off`).
+    pub show_profile: bool,
+    /// Display labels for `.history`, one per navigation step (regex
+    /// queries run outside [`Session`] history, so the surface keeps its
+    /// own parallel list).
+    labels: Vec<String>,
+}
+
+impl SessionCtx {
+    /// Opens a fresh context on a shared engine.
+    pub fn new(engine: Arc<Engine>) -> Self {
+        SessionCtx {
+            session: Session::new(engine),
+            show_profile: false,
+            labels: Vec::new(),
+        }
+    }
+
+    /// The underlying navigation session.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Mutable access to the underlying session (tests, config pokes).
+    pub fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
+    }
+
+    /// The session's cancel token — what a server trips when this
+    /// context's client disconnects mid-query.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.session.config().cancel.clone()
+    }
+}
+
+/// The outcome of dispatching one statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Whether the statement succeeded.
+    pub ok: bool,
+    /// The stable machine-readable error code when `!ok` (see
+    /// [`solap_eventdb::Error::code`] plus the surface codes `usage`,
+    /// `unsupported`, `over_capacity`, `too_large`, `bad_request`,
+    /// `shutting_down`).
+    pub code: Option<String>,
+    /// Rendered output (success) or the error message (failure).
+    pub body: String,
+    /// The query's profile as a JSON object, when profiling was on.
+    pub profile_json: Option<String>,
+    /// Whether the surface should close (`.quit` / `.exit`).
+    pub quit: bool,
+}
+
+impl Response {
+    /// A successful response carrying `body`.
+    pub fn ok(body: impl Into<String>) -> Self {
+        Response {
+            ok: true,
+            code: None,
+            body: body.into(),
+            profile_json: None,
+            quit: false,
+        }
+    }
+
+    /// A failed response with a stable `code` and a message.
+    pub fn err(code: impl Into<String>, message: impl Into<String>) -> Self {
+        Response {
+            ok: false,
+            code: Some(code.into()),
+            body: message.into(),
+            profile_json: None,
+            quit: false,
+        }
+    }
+
+    /// Serializes the response as one JSON line (without the newline).
+    pub fn to_wire(&self) -> String {
+        let mut out = String::with_capacity(self.body.len() + 64);
+        out.push_str("{\"ok\":");
+        out.push_str(if self.ok { "true" } else { "false" });
+        if let Some(code) = &self.code {
+            out.push_str(",\"code\":\"");
+            out.push_str(&escape(code));
+            out.push('"');
+        }
+        if self.ok {
+            out.push_str(",\"body\":\"");
+            out.push_str(&escape(&self.body));
+            out.push('"');
+        } else {
+            out.push_str(",\"error\":\"");
+            out.push_str(&escape(&self.body));
+            out.push('"');
+        }
+        if let Some(p) = &self.profile_json {
+            out.push_str(",\"profile\":");
+            out.push_str(p);
+        }
+        if self.quit {
+            out.push_str(",\"quit\":true");
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// An in-flight dispatch failure, before it is rendered as a [`Response`].
+struct Fail {
+    code: String,
+    msg: String,
+}
+
+impl From<solap_eventdb::Error> for Fail {
+    fn from(e: solap_eventdb::Error) -> Self {
+        Fail {
+            code: e.code().to_owned(),
+            msg: e.to_string(),
+        }
+    }
+}
+
+impl From<ArgError> for Fail {
+    fn from(e: ArgError) -> Self {
+        Fail {
+            code: e.code().to_owned(),
+            msg: e.message(),
+        }
+    }
+}
+
+fn usage(msg: impl Into<String>) -> Fail {
+    Fail {
+        code: "usage".into(),
+        msg: msg.into(),
+    }
+}
+
+/// Executes one statement against the session context.
+///
+/// Never panics on bad input and never returns transport-level errors:
+/// everything the statement can do wrong is reported as a `!ok`
+/// [`Response`] with a stable code.
+pub fn dispatch(ctx: &mut SessionCtx, line: &str) -> Response {
+    let line = line.trim();
+    if line.is_empty() {
+        return Response::ok("");
+    }
+    let result = if let Some(rest) = line.strip_prefix('.') {
+        dispatch_command(ctx, rest)
+    } else {
+        dispatch_query(ctx, line)
+    };
+    result.unwrap_or_else(|f| Response::err(f.code, f.msg))
+}
+
+fn dispatch_command(ctx: &mut SessionCtx, rest: &str) -> Result<Response, Fail> {
+    use std::fmt::Write as _;
+    let mut parts = rest.split_whitespace();
+    let cmd = parts.next().unwrap_or("");
+    let args: Vec<&str> = parts.collect();
+    match cmd {
+        "help" => Ok(Response::ok(command::help_text())),
+        "quit" | "exit" => {
+            let mut r = Response::ok("");
+            r.quit = true;
+            Ok(r)
+        }
+        "gen" | "save" | "load" => Err(Fail {
+            code: "unsupported".into(),
+            msg: format!(
+                "`.{cmd}` manages the engine's dataset and is only available \
+                 in the local CLI, not through a session surface"
+            ),
+        }),
+        "schema" => {
+            let db = ctx.session.engine().db();
+            let mut out = String::new();
+            for (i, col) in db.schema().columns().iter().enumerate() {
+                let levels: Vec<String> = (0..db.level_count(i as u32))
+                    .map(|l| db.level_name(i as u32, l))
+                    .collect();
+                writeln!(
+                    out,
+                    "  {:<14} {:<6} {:?}  levels: {}",
+                    col.name,
+                    col.ctype.name(),
+                    col.role,
+                    levels.join(" → ")
+                )
+                .expect("string write");
+            }
+            Ok(Response::ok(out))
+        }
+        "strategy" => {
+            use solap_core::Strategy;
+            let s = match args.first().copied() {
+                Some("cb") => Strategy::CounterBased,
+                Some("ii") => Strategy::InvertedIndex,
+                Some("auto") => Strategy::Auto,
+                other => {
+                    return Err(usage(format!(
+                        "usage: .strategy cb|ii|auto (got {other:?})"
+                    )))
+                }
+            };
+            ctx.session.config_mut().strategy = s;
+            Ok(Response::ok(""))
+        }
+        "backend" => {
+            use solap_index::SetBackend;
+            let b = match args.first().copied() {
+                Some("list") => SetBackend::List,
+                Some("bitmap") => SetBackend::Bitmap,
+                other => {
+                    return Err(usage(format!(
+                        "usage: .backend list|bitmap (got {other:?})"
+                    )))
+                }
+            };
+            ctx.session.config_mut().backend = b;
+            Ok(Response::ok(""))
+        }
+        "counters" => {
+            use solap_core::cb::CounterMode;
+            let m = match args.first().copied() {
+                Some("hash") => CounterMode::Hash,
+                Some("dense") => CounterMode::Dense,
+                Some("auto") => CounterMode::Auto,
+                other => {
+                    return Err(usage(format!(
+                        "usage: .counters hash|dense|auto (got {other:?})"
+                    )))
+                }
+            };
+            ctx.session.config_mut().counter_mode = m;
+            Ok(Response::ok(""))
+        }
+        "threads" => {
+            let n: usize = args
+                .first()
+                .ok_or_else(|| usage("usage: .threads N"))?
+                .parse()
+                .map_err(|_| usage("usage: .threads N (N ≥ 1)"))?;
+            ctx.session.config_mut().threads = n.max(1);
+            Ok(Response::ok(format!(
+                "worker threads: {}\n",
+                ctx.session.config().threads
+            )))
+        }
+        "timeout" => {
+            let ms: u64 = args
+                .first()
+                .ok_or_else(|| usage("usage: .timeout MS (0 = off)"))?
+                .parse()
+                .map_err(|_| usage("usage: .timeout MS (0 = off)"))?;
+            ctx.session.config_mut().timeout =
+                (ms > 0).then(|| std::time::Duration::from_millis(ms));
+            Ok(Response::ok(match ms {
+                0 => "query timeout: off\n".to_owned(),
+                _ => format!("query timeout: {ms} ms\n"),
+            }))
+        }
+        "budget" => {
+            let cells: u64 = args
+                .first()
+                .ok_or_else(|| usage("usage: .budget CELLS (0 = off)"))?
+                .parse()
+                .map_err(|_| usage("usage: .budget CELLS (0 = off)"))?;
+            ctx.session.config_mut().budget_cells = (cells > 0).then_some(cells);
+            Ok(Response::ok(match cells {
+                0 => "cell budget: off\n".to_owned(),
+                _ => format!("cell budget: {cells} cells\n"),
+            }))
+        }
+        "op" => {
+            let db = ctx.session.engine_arc();
+            let op = command::parse_op(db.db(), &args, ctx.session.spec())?;
+            let result = ctx.session.apply(op.clone())?;
+            let spec = ctx.session.spec().expect("apply set current");
+            let table = result.cuboid.tabulate(db.db(), 10, true);
+            ctx.labels
+                .push(format!("{} → {}", op.name(), spec.template.render_head()));
+            Ok(Response::ok(format!(
+                "{}: {} cells via {} in {:?} ({} sequences scanned)\n{table}",
+                op.name(),
+                result.cuboid.len(),
+                result.stats.strategy,
+                result.stats.elapsed,
+                result.stats.sequences_scanned
+            )))
+        }
+        "back" => {
+            if ctx.session.back()? {
+                ctx.labels.pop();
+                let head = ctx
+                    .session
+                    .spec()
+                    .map(|s| s.template.render_head())
+                    .unwrap_or_default();
+                Ok(Response::ok(format!("back to: {head}\n")))
+            } else {
+                Ok(Response::ok("at the start of history\n"))
+            }
+        }
+        "show" => {
+            let n: usize = args
+                .first()
+                .map(|s| s.parse().map_err(|_| usage("bad row count")))
+                .transpose()?
+                .unwrap_or(20);
+            let result = ctx.session.reexecute()?;
+            let db = ctx.session.engine().db();
+            Ok(Response::ok(result.cuboid.tabulate(db, n, true)))
+        }
+        "spec" => {
+            let spec = ctx
+                .session
+                .spec()
+                .ok_or_else(|| usage("no current query"))?;
+            Ok(Response::ok(spec.render(ctx.session.engine().db())))
+        }
+        "stats" => {
+            let engine = ctx.session.engine();
+            let (sh, sm) = engine.sequence_cache().stats();
+            let (ih, im) = engine.index_store().stats();
+            let (ch, cm) = engine.cuboid_repo().stats();
+            Ok(Response::ok(format!(
+                "sequence cache: {} entries, {sh} hits / {sm} misses\n\
+                 index store:    {} indices, {:.1} KiB, {ih} hits / {im} misses\n\
+                 cuboid repo:    {} cuboids, {:.1} KiB, {ch} hits / {cm} misses\n",
+                engine.sequence_cache().len(),
+                engine.index_store().len(),
+                engine.index_store().total_bytes() as f64 / 1024.0,
+                engine.cuboid_repo().len(),
+                engine.cuboid_repo().total_bytes() as f64 / 1024.0,
+            )))
+        }
+        "history" => {
+            let mut out = String::new();
+            for (i, h) in ctx.labels.iter().enumerate() {
+                writeln!(out, "  {i:>3}. {h}").expect("string write");
+            }
+            Ok(Response::ok(out))
+        }
+        "profile" => match args.first().copied() {
+            Some("on") => {
+                // Detailed counters are needed for the print-out to carry
+                // information, so turn them on too.
+                solap_eventdb::metrics::set_enabled(true);
+                ctx.show_profile = true;
+                Ok(Response::ok("per-query profile: on\n"))
+            }
+            Some("off") => {
+                ctx.show_profile = false;
+                Ok(Response::ok("per-query profile: off\n"))
+            }
+            other => Err(usage(format!("usage: .profile on|off (got {other:?})"))),
+        },
+        "metrics" => Ok(Response::ok(solap_eventdb::metrics::global().export_text())),
+        other => Err(usage(format!("unknown command `.{other}` — try `.help`"))),
+    }
+}
+
+fn dispatch_query(ctx: &mut SessionCtx, text: &str) -> Result<Response, Fail> {
+    let text = text.trim_end_matches(';');
+    // Regex-template queries (the §3.2 extension) use `CUBOID BY REGEX`
+    // and run on the counter-based path.
+    if text.to_ascii_uppercase().contains("CUBOID BY REGEX") {
+        let head = text.split_whitespace().next().unwrap_or("");
+        if head.eq_ignore_ascii_case("EXPLAIN") || head.eq_ignore_ascii_case("PROFILE") {
+            return Err(usage(
+                "EXPLAIN/PROFILE is not supported for regex-template queries \
+                 (they run outside the planned engine path)",
+            ));
+        }
+        return dispatch_regex_query(ctx, text);
+    }
+    let engine = ctx.session.engine_arc();
+    let stmt = solap_query::parse_statement(engine.db(), text)?;
+    if stmt.mode == solap_query::ExplainMode::Explain {
+        // EXPLAIN renders the plan without executing anything.
+        return Ok(Response::ok(ctx.session.explain(&stmt.spec)?));
+    }
+    let spec = stmt.spec;
+    let result = ctx.session.query(spec)?;
+    let spec = ctx.session.spec().expect("query set current");
+    let table = result.cuboid.tabulate(engine.db(), 15, true);
+    ctx.labels.push(spec.template.render_head());
+    let mut body = format!(
+        "{} cells via {} in {:?} ({} sequences scanned, {} KiB of indices built)\n",
+        result.cuboid.len(),
+        result.stats.strategy,
+        result.stats.elapsed,
+        result.stats.sequences_scanned,
+        result.stats.index_bytes_built / 1024
+    );
+    let mut response = Response::ok("");
+    if stmt.mode == solap_query::ExplainMode::Profile || ctx.show_profile {
+        body.push_str(&result.profile.render_text(false));
+        response.profile_json = Some(result.profile.to_json());
+    }
+    body.push_str(&table);
+    response.body = body;
+    Ok(response)
+}
+
+fn dispatch_regex_query(ctx: &mut SessionCtx, text: &str) -> Result<Response, Fail> {
+    let engine = ctx.session.engine_arc();
+    let q = solap_query::parse_regex_query(engine.db(), text)?;
+    let start = std::time::Instant::now();
+    let groups = solap_eventdb::build_sequence_groups(engine.db(), &q.seq)?;
+    let mut meter = solap_core::stats::ScanMeter::new();
+    let cuboid = solap_core::regexq::regex_cuboid(
+        engine.db(),
+        &groups,
+        &q.template,
+        q.restriction,
+        &mut meter,
+    )?;
+    let table = cuboid.tabulate(engine.db(), 15, true);
+    ctx.labels.push(format!("REGEX {}", q.template.render()));
+    Ok(Response::ok(format!(
+        "{} cells via regex/CB in {:?} ({} sequences scanned)\n{table}",
+        cuboid.len(),
+        start.elapsed(),
+        meter.count()
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn ctx() -> SessionCtx {
+        let db = command::generate(
+            "transit",
+            &HashMap::from([
+                ("passengers".to_owned(), "60".to_owned()),
+                ("days".to_owned(), "3".to_owned()),
+            ]),
+        )
+        .unwrap();
+        SessionCtx::new(Arc::new(Engine::builder(db).build()))
+    }
+
+    const QUERY: &str = r#"SELECT COUNT(*) FROM Event
+        CLUSTER BY card-id AT individual, time AT day
+        SEQUENCE BY time ASCENDING
+        CUBOID BY SUBSTRING (X, Y)
+          WITH X AS location AT station, Y AS location AT station
+          LEFT-MAXIMALITY (x1, y1)
+          WITH x1.action = "in" AND y1.action = "out";"#;
+
+    #[test]
+    fn query_and_op_flow() {
+        let mut c = ctx();
+        let r = dispatch(&mut c, QUERY);
+        assert!(r.ok, "{}", r.body);
+        assert!(r.body.contains("cells via"), "{}", r.body);
+        let r = dispatch(&mut c, ".op append Z location station");
+        assert!(r.ok && r.body.contains("APPEND"), "{}", r.body);
+        let r = dispatch(&mut c, ".back");
+        assert!(r.ok && r.body.contains("back to:"), "{}", r.body);
+        let r = dispatch(&mut c, ".history");
+        assert!(r.ok && !r.body.contains("APPEND"), "{}", r.body);
+    }
+
+    #[test]
+    fn errors_carry_stable_codes() {
+        let mut c = ctx();
+        let r = dispatch(&mut c, ".op prollup Q");
+        assert!(!r.ok);
+        // parse_op succeeds (prollup only names a dimension); the failure
+        // is the session's: no current query to operate on.
+        assert_eq!(r.code.as_deref(), Some("invalid_operation"));
+        let r = dispatch(&mut c, "SELECT BOGUS;");
+        assert!(!r.ok);
+        assert_eq!(r.code.as_deref(), Some("parse"));
+        let r = dispatch(&mut c, ".op rollup bogus");
+        assert!(!r.ok, "{}", r.body);
+        // An op on an empty session is invalid_operation territory, but
+        // parse_op's schema resolution fires first here.
+        assert_eq!(r.code.as_deref(), Some("unknown_attribute"));
+        let r = dispatch(&mut c, ".gen transit");
+        assert!(!r.ok);
+        assert_eq!(r.code.as_deref(), Some("unsupported"));
+    }
+
+    #[test]
+    fn per_session_config_commands() {
+        let mut c = ctx();
+        for (cmd, want_empty) in [
+            (".strategy cb", true),
+            (".backend bitmap", true),
+            (".counters dense", true),
+            (".threads 4", false),
+        ] {
+            let r = dispatch(&mut c, cmd);
+            assert!(r.ok, "{cmd}: {}", r.body);
+            assert_eq!(r.body.is_empty(), want_empty, "{cmd}: {}", r.body);
+        }
+        assert_eq!(c.session().config().threads, 4);
+        let r = dispatch(&mut c, ".timeout 5000");
+        assert!(r.ok && r.body.contains("5000 ms"));
+        let r = dispatch(&mut c, ".budget 0");
+        assert!(r.ok && r.body.contains("off"));
+        let r = dispatch(&mut c, ".strategy warp");
+        assert!(!r.ok);
+        assert_eq!(r.code.as_deref(), Some("usage"));
+    }
+
+    #[test]
+    fn explain_and_profile_modes() {
+        let mut c = ctx();
+        let r = dispatch(&mut c, &format!("EXPLAIN {QUERY}"));
+        assert!(r.ok, "{}", r.body);
+        assert!(r.body.contains("plan:") && !r.body.contains("cells via"));
+        assert!(c.session().spec().is_none(), "EXPLAIN leaves no current");
+        let r = dispatch(&mut c, &format!("PROFILE {QUERY}"));
+        assert!(r.ok, "{}", r.body);
+        assert!(r.body.contains("profile:"), "{}", r.body);
+        assert!(r.profile_json.is_some());
+        // The profile JSON on the wire is valid JSON.
+        crate::json::Json::parse(r.profile_json.as_deref().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn quit_sets_the_flag_and_wire_format_roundtrips() {
+        let mut c = ctx();
+        let r = dispatch(&mut c, ".quit");
+        assert!(r.ok && r.quit);
+        let wire = r.to_wire();
+        let v = crate::json::Json::parse(&wire).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("quit").unwrap().as_bool(), Some(true));
+        let e = Response::err("usage", "try .help\n").to_wire();
+        let v = crate::json::Json::parse(&e).unwrap();
+        assert_eq!(v.get("code").unwrap().as_str(), Some("usage"));
+        assert_eq!(v.get("error").unwrap().as_str(), Some("try .help\n"));
+    }
+
+    #[test]
+    fn regex_queries_run() {
+        let mut c = ctx();
+        let q = r#"SELECT COUNT(*) FROM Event
+            CLUSTER BY card-id AT individual, time AT day
+            SEQUENCE BY time ASCENDING
+            CUBOID BY REGEX (X, Y, .*, Y, X)
+              WITH X AS location AT station, Y AS location AT station
+              LEFT-MAXIMALITY;"#;
+        let r = dispatch(&mut c, q);
+        assert!(r.ok && r.body.contains("via regex/CB"), "{}", r.body);
+        let r = dispatch(&mut c, ".history");
+        assert!(r.body.contains("REGEX (X, Y, .*, Y, X)"), "{}", r.body);
+        let r = dispatch(&mut c, &format!("EXPLAIN {q}"));
+        assert!(!r.ok);
+        assert!(r.body.contains("not supported for regex-template"));
+    }
+}

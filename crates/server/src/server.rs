@@ -1,0 +1,675 @@
+//! The multi-client S-OLAP server.
+//!
+//! A thread-per-connection TCP server sharing one [`Engine`] across every
+//! connection; each connection owns a [`SessionCtx`] so P-ROLL-UP /
+//! APPEND / BACK navigation state lives server-side, per client. The
+//! protocol is deliberately minimal — one newline-terminated statement in
+//! the Figure-3 language per request, one JSON line per response — so a
+//! session can be driven from `nc` as easily as from the bundled
+//! [`Client`](crate::client::Client).
+//!
+//! Production shape:
+//!
+//! * **Admission control** — at most `max_conn` concurrent connections
+//!   (excess connections receive a typed `over_capacity` response and are
+//!   closed) and at most `max_inflight` queries executing at once; a
+//!   request that cannot obtain an execution slot within `queue_timeout`
+//!   is rejected with `over_capacity` instead of queueing unboundedly.
+//! * **Disconnect cancellation** — while a query runs, a watcher probes
+//!   the client socket; a vanished client trips the session's
+//!   [`CancelToken`](solap_eventdb::CancelToken), so the engine's
+//!   governor aborts the query mid-flight instead of burning the slot.
+//! * **Hostile-input guards** — read/write timeouts and a bounded line
+//!   length (`too_large`) protect the server from slow or malicious
+//!   peers.
+//! * **Panic isolation** — a panicking request (exercised by the
+//!   `server.request` failpoint) kills only its own connection; the
+//!   engine's own isolation already confines query panics further in.
+//! * **Graceful shutdown** — [`ServerHandle::shutdown`] stops accepting,
+//!   closes idle connections, lets in-flight queries finish and write
+//!   their response, then joins every connection thread.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+use solap_core::Engine;
+use solap_eventdb::{fail_point, CancelToken};
+
+use crate::dispatch::{dispatch, Response, SessionCtx};
+
+/// Server tuning; [`ServerConfig::from_env`] seeds the deployment knobs
+/// from `SOLAP_ADDR`, `SOLAP_MAX_CONN` and `SOLAP_MAX_INFLIGHT`.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:7878`. Port 0 picks a free port.
+    pub addr: String,
+    /// Maximum concurrent connections; excess ones are rejected.
+    pub max_conn: usize,
+    /// Maximum queries executing at once across all connections.
+    pub max_inflight: usize,
+    /// How long a request may wait for an execution slot before it is
+    /// rejected with `over_capacity`.
+    pub queue_timeout: Duration,
+    /// Idle/read timeout: a connection that sends no complete line for
+    /// this long is closed.
+    pub read_timeout: Duration,
+    /// Per-write timeout towards slow readers.
+    pub write_timeout: Duration,
+    /// Longest accepted request line, in bytes (`too_large` beyond).
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".to_owned(),
+            max_conn: 64,
+            max_inflight: 16,
+            queue_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(120),
+            write_timeout: Duration::from_secs(10),
+            max_line_bytes: 1 << 20,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The default configuration with the deployment knobs taken from
+    /// `SOLAP_ADDR`, `SOLAP_MAX_CONN` and `SOLAP_MAX_INFLIGHT` when set.
+    pub fn from_env() -> Self {
+        let mut cfg = ServerConfig::default();
+        if let Ok(addr) = std::env::var("SOLAP_ADDR") {
+            if !addr.trim().is_empty() {
+                cfg.addr = addr.trim().to_owned();
+            }
+        }
+        if let Some(n) = std::env::var("SOLAP_MAX_CONN")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            cfg.max_conn = n.max(1);
+        }
+        if let Some(n) = std::env::var("SOLAP_MAX_INFLIGHT")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            cfg.max_inflight = n.max(1);
+        }
+        cfg
+    }
+}
+
+/// Cumulative server counters (monotonic except `active`).
+#[derive(Debug, Default)]
+struct Stats {
+    accepted: AtomicU64,
+    active: AtomicU64,
+    rejected_conn: AtomicU64,
+    rejected_queue: AtomicU64,
+    served_ok: AtomicU64,
+    served_err: AtomicU64,
+    cancelled_disconnect: AtomicU64,
+    conn_panics: AtomicU64,
+}
+
+/// A point-in-time copy of the server counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Connections accepted (including later-rejected ones).
+    pub accepted: u64,
+    /// Connections currently open.
+    pub active: u64,
+    /// Connections rejected by the `max_conn` limit.
+    pub rejected_conn: u64,
+    /// Requests rejected because no execution slot freed up in time.
+    pub rejected_queue: u64,
+    /// Requests answered with `ok: true`.
+    pub served_ok: u64,
+    /// Requests answered with a typed error.
+    pub served_err: u64,
+    /// Queries cancelled because their client disconnected mid-flight.
+    pub cancelled_disconnect: u64,
+    /// Connections terminated by a panicking request.
+    pub conn_panics: u64,
+}
+
+impl Stats {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            active: self.active.load(Ordering::Relaxed),
+            rejected_conn: self.rejected_conn.load(Ordering::Relaxed),
+            rejected_queue: self.rejected_queue.load(Ordering::Relaxed),
+            served_ok: self.served_ok.load(Ordering::Relaxed),
+            served_err: self.served_err.load(Ordering::Relaxed),
+            cancelled_disconnect: self.cancelled_disconnect.load(Ordering::Relaxed),
+            conn_panics: self.conn_panics.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Renders the counters as the `.server` response body.
+    pub fn render_text(&self) -> String {
+        format!(
+            "server: {} accepted, {} active\n\
+             rejected: {} connections, {} queued requests\n\
+             served: {} ok, {} err\n\
+             cancelled by disconnect: {}\n\
+             connection panics: {}\n",
+            self.accepted,
+            self.active,
+            self.rejected_conn,
+            self.rejected_queue,
+            self.served_ok,
+            self.served_err,
+            self.cancelled_disconnect,
+            self.conn_panics,
+        )
+    }
+}
+
+/// A counting semaphore bounding in-flight query execution.
+struct Semaphore {
+    permits: Mutex<usize>,
+    cv: Condvar,
+}
+
+/// An execution slot; released on drop (also on panic unwind).
+struct Permit<'a>(&'a Semaphore);
+
+impl Semaphore {
+    fn new(permits: usize) -> Self {
+        Semaphore {
+            permits: Mutex::new(permits),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Tries to take a permit, waiting at most `timeout`.
+    fn acquire_timeout(&self, timeout: Duration) -> Option<Permit<'_>> {
+        let deadline = Instant::now() + timeout;
+        let mut permits = self.permits.lock();
+        loop {
+            if *permits > 0 {
+                *permits -= 1;
+                return Some(Permit(self));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self.cv.wait_timeout(permits, deadline - now);
+            permits = guard;
+        }
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        *self.0.permits.lock() += 1;
+        self.0.cv.notify_one();
+    }
+}
+
+/// State shared between the accept loop, connection threads and handles.
+struct Shared {
+    engine: Arc<Engine>,
+    config: ServerConfig,
+    stats: Stats,
+    inflight: Semaphore,
+    shutdown: AtomicBool,
+    /// Open connections by id: a probe handle (for closing idle peers on
+    /// shutdown) and whether a request is currently executing.
+    conns: Mutex<HashMap<u64, ConnEntry>>,
+    next_id: AtomicU64,
+}
+
+struct ConnEntry {
+    stream: TcpStream,
+    busy: Arc<AtomicBool>,
+}
+
+/// A bound, not-yet-serving server. [`Server::serve`] runs the accept
+/// loop on the calling thread; [`Server::spawn`] is the common
+/// bind-and-background convenience.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+/// A cloneable control handle: stats, address and graceful shutdown.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+}
+
+impl Server {
+    /// Binds the listener and prepares shared state. The engine arrives
+    /// pre-built (see [`Engine::builder`]); the server never mutates it.
+    pub fn bind(engine: Arc<Engine>, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine,
+            inflight: Semaphore::new(config.max_inflight.max(1)),
+            config,
+            stats: Stats::default(),
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+        });
+        Ok(Server {
+            listener,
+            local_addr,
+            shared,
+        })
+    }
+
+    /// Binds and starts serving on a background thread, returning the
+    /// control handle and the accept-loop join handle.
+    pub fn spawn(
+        engine: Arc<Engine>,
+        config: ServerConfig,
+    ) -> io::Result<(ServerHandle, std::thread::JoinHandle<io::Result<()>>)> {
+        let server = Server::bind(engine, config)?;
+        let handle = server.handle();
+        let join = std::thread::Builder::new()
+            .name("solap-accept".to_owned())
+            .spawn(move || server.serve())?;
+        Ok((handle, join))
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A control handle for this server.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+            local_addr: self.local_addr,
+        }
+    }
+
+    /// Runs the accept loop until [`ServerHandle::shutdown`], then drains:
+    /// every connection thread is joined before this returns.
+    pub fn serve(self) -> io::Result<()> {
+        let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        for incoming in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match incoming {
+                Ok(s) => s,
+                // Transient accept failures (peer reset before accept,
+                // fd pressure) should not take the server down.
+                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
+                Err(e) if e.kind() == io::ErrorKind::ConnectionReset => continue,
+                Err(e) => return Err(e),
+            };
+            workers.retain(|w| !w.is_finished());
+            self.shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+            if self.shared.stats.active.load(Ordering::Relaxed)
+                >= self.shared.config.max_conn as u64
+            {
+                self.shared
+                    .stats
+                    .rejected_conn
+                    .fetch_add(1, Ordering::Relaxed);
+                reject(
+                    stream,
+                    &self.shared.config,
+                    "over_capacity",
+                    "connection limit reached — try again later",
+                );
+                continue;
+            }
+            let shared = Arc::clone(&self.shared);
+            let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
+            // Count the connection before its thread runs so a burst of
+            // accepts cannot overshoot the limit.
+            self.shared.stats.active.fetch_add(1, Ordering::Relaxed);
+            let spawned = std::thread::Builder::new()
+                .name(format!("solap-conn-{id}"))
+                .spawn(move || handle_conn(shared, stream, id));
+            match spawned {
+                Ok(w) => workers.push(w),
+                Err(_) => {
+                    // Spawn failure: roll the count back; the stream drops
+                    // closed.
+                    self.shared.stats.active.fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A snapshot of the server counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Initiates graceful shutdown: stop accepting, close idle
+    /// connections, let in-flight requests finish. `serve()` returns once
+    /// every connection thread has exited.
+    pub fn shutdown(&self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Close idle connections outright; busy ones observe the flag
+        // after answering their current request.
+        for entry in self.shared.conns.lock().values() {
+            if !entry.busy.load(Ordering::SeqCst) {
+                let _ = entry.stream.shutdown(Shutdown::Both);
+            }
+        }
+        // Wake the accept loop so it notices the flag.
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_secs(1));
+    }
+}
+
+/// Sends a one-line typed rejection and closes the stream.
+fn reject(mut stream: TcpStream, config: &ServerConfig, code: &str, msg: &str) {
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let mut line = Response::err(code, msg).to_wire();
+    line.push('\n');
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Decrements `active` and unregisters the connection even when the
+/// connection thread unwinds.
+struct ConnGuard {
+    shared: Arc<Shared>,
+    id: u64,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.shared.conns.lock().remove(&self.id);
+        self.shared.stats.active.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn handle_conn(shared: Arc<Shared>, stream: TcpStream, id: u64) {
+    let guard = ConnGuard {
+        shared: Arc::clone(&shared),
+        id,
+    };
+    let outcome = catch_unwind(AssertUnwindSafe(|| conn_loop(&shared, stream, id)));
+    match outcome {
+        Ok(_io_result) => {}
+        Err(_) => {
+            // A request panicked through the failpoint or a bug outside
+            // the engine's own isolation: this connection dies, the
+            // server and its siblings stay healthy.
+            shared.stats.conn_panics.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    drop(guard);
+}
+
+/// What one bounded line read produced.
+enum ReadOutcome {
+    Line(String),
+    Eof,
+    TimedOut,
+    TooLong,
+    /// The line was not valid UTF-8.
+    BadEncoding,
+}
+
+/// Reads one `\n`-terminated line, enforcing a byte bound and an overall
+/// deadline (each underlying read also carries the socket read timeout).
+fn read_line_bounded(
+    reader: &mut BufReader<TcpStream>,
+    max_bytes: usize,
+    deadline: Duration,
+) -> io::Result<ReadOutcome> {
+    let start = Instant::now();
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        if start.elapsed() > deadline {
+            return Ok(ReadOutcome::TimedOut);
+        }
+        let (consumed, done) = {
+            let available = match reader.fill_buf() {
+                Ok(a) => a,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(ReadOutcome::TimedOut)
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if available.is_empty() {
+                // EOF; a partial line without terminator is dropped — the
+                // peer hung up before finishing its request.
+                return Ok(ReadOutcome::Eof);
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    buf.extend_from_slice(&available[..pos]);
+                    (pos + 1, true)
+                }
+                None => {
+                    buf.extend_from_slice(available);
+                    (available.len(), false)
+                }
+            }
+        };
+        reader.consume(consumed);
+        if buf.len() > max_bytes {
+            return Ok(ReadOutcome::TooLong);
+        }
+        if done {
+            // Tolerate CRLF line endings from e.g. telnet.
+            if buf.last() == Some(&b'\r') {
+                buf.pop();
+            }
+            return Ok(match String::from_utf8(buf) {
+                Ok(s) => ReadOutcome::Line(s),
+                Err(_) => ReadOutcome::BadEncoding,
+            });
+        }
+    }
+}
+
+/// The `server.request` failpoint: lets the chaos suite inject a typed
+/// error or a panic at the top of request handling, outside the engine's
+/// own catch_unwind isolation.
+fn request_failpoint() -> solap_eventdb::Result<()> {
+    fail_point!("server.request");
+    Ok(())
+}
+
+fn execute_request(ctx: &mut SessionCtx, line: &str) -> Response {
+    match request_failpoint() {
+        Ok(()) => dispatch(ctx, line),
+        Err(e) => Response::err(e.code(), e.to_string()),
+    }
+}
+
+/// Runs one request while a watcher probes the client socket; a client
+/// that disconnects mid-query trips the session's cancel token so the
+/// governor aborts the query. Returns the response and whether the
+/// client vanished.
+///
+/// The watcher shortens the socket's read timeout to pace its probe
+/// loop; `SO_RCVTIMEO` lives on the socket itself (shared by every
+/// `try_clone`), so the connection's own `read_timeout` is restored
+/// before returning.
+fn run_watched(
+    ctx: &mut SessionCtx,
+    line: &str,
+    probe: &TcpStream,
+    cancel: &CancelToken,
+    read_timeout: Duration,
+) -> (Response, bool) {
+    let done = AtomicBool::new(false);
+    let disconnected = AtomicBool::new(false);
+    let response = std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let _ = probe.set_read_timeout(Some(Duration::from_millis(20)));
+            let mut byte = [0u8; 1];
+            while !done.load(Ordering::SeqCst) {
+                match probe.peek(&mut byte) {
+                    // EOF: the client closed its end.
+                    Ok(0) => {
+                        disconnected.store(true, Ordering::SeqCst);
+                        cancel.cancel();
+                        break;
+                    }
+                    // Pipelined bytes are waiting; peek would return
+                    // immediately forever, so pace the loop.
+                    Ok(_) => std::thread::sleep(Duration::from_millis(20)),
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                        ) => {}
+                    // Reset / broken socket: same as a disconnect.
+                    Err(_) => {
+                        disconnected.store(true, Ordering::SeqCst);
+                        cancel.cancel();
+                        break;
+                    }
+                }
+            }
+        });
+        // Dropped even if the request panics, so the watcher always
+        // terminates and the scoped join cannot hang on a dead request.
+        struct DoneGuard<'a>(&'a AtomicBool);
+        impl Drop for DoneGuard<'_> {
+            fn drop(&mut self) {
+                self.0.store(true, Ordering::SeqCst);
+            }
+        }
+        let _done = DoneGuard(&done);
+        execute_request(ctx, line)
+    });
+    let _ = probe.set_read_timeout(Some(read_timeout));
+    (response, disconnected.load(Ordering::SeqCst))
+}
+
+fn write_response(writer: &mut TcpStream, response: &Response) -> io::Result<()> {
+    let mut line = response.to_wire();
+    line.push('\n');
+    writer.write_all(line.as_bytes())?;
+    writer.flush()
+}
+
+fn conn_loop(shared: &Shared, stream: TcpStream, id: u64) -> io::Result<()> {
+    let config = &shared.config;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let probe = stream.try_clone()?;
+    let mut writer = stream.try_clone()?;
+    let busy = Arc::new(AtomicBool::new(false));
+    shared.conns.lock().insert(
+        id,
+        ConnEntry {
+            stream: stream.try_clone()?,
+            busy: Arc::clone(&busy),
+        },
+    );
+    let mut reader = BufReader::new(stream);
+    let mut ctx = SessionCtx::new(Arc::clone(&shared.engine));
+    let cancel = ctx.cancel_token();
+    loop {
+        let line = match read_line_bounded(&mut reader, config.max_line_bytes, config.read_timeout)?
+        {
+            ReadOutcome::Eof | ReadOutcome::TimedOut => break,
+            ReadOutcome::TooLong => {
+                let r = Response::err(
+                    "too_large",
+                    format!("request exceeds {} bytes", config.max_line_bytes),
+                );
+                shared.stats.served_err.fetch_add(1, Ordering::Relaxed);
+                let _ = write_response(&mut writer, &r);
+                break;
+            }
+            ReadOutcome::BadEncoding => {
+                let r = Response::err("bad_request", "request is not valid UTF-8");
+                shared.stats.served_err.fetch_add(1, Ordering::Relaxed);
+                write_response(&mut writer, &r)?;
+                continue;
+            }
+            ReadOutcome::Line(l) => l,
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            let r = Response::err("shutting_down", "server is shutting down");
+            shared.stats.served_err.fetch_add(1, Ordering::Relaxed);
+            let _ = write_response(&mut writer, &r);
+            break;
+        }
+        let trimmed = line.trim();
+        if trimmed == ".server" {
+            // Served outside the admission gate: observability must work
+            // even when the execution slots are saturated.
+            let r = Response::ok(shared.stats.snapshot().render_text());
+            shared.stats.served_ok.fetch_add(1, Ordering::Relaxed);
+            write_response(&mut writer, &r)?;
+            continue;
+        }
+        let Some(permit) = shared.inflight.acquire_timeout(config.queue_timeout) else {
+            shared.stats.rejected_queue.fetch_add(1, Ordering::Relaxed);
+            shared.stats.served_err.fetch_add(1, Ordering::Relaxed);
+            write_response(
+                &mut writer,
+                &Response::err(
+                    "over_capacity",
+                    "no execution slot became free in time — try again later",
+                ),
+            )?;
+            continue;
+        };
+        busy.store(true, Ordering::SeqCst);
+        let (response, client_gone) =
+            run_watched(&mut ctx, trimmed, &probe, &cancel, config.read_timeout);
+        busy.store(false, Ordering::SeqCst);
+        drop(permit);
+        if client_gone {
+            shared
+                .stats
+                .cancelled_disconnect
+                .fetch_add(1, Ordering::Relaxed);
+            break;
+        }
+        if response.ok {
+            shared.stats.served_ok.fetch_add(1, Ordering::Relaxed);
+        } else {
+            shared.stats.served_err.fetch_add(1, Ordering::Relaxed);
+        }
+        write_response(&mut writer, &response)?;
+        if response.quit || shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    Ok(())
+}

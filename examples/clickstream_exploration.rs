@@ -18,7 +18,7 @@ fn main() {
         ..Default::default()
     })
     .expect("valid config");
-    let engine = Engine::new(db);
+    let engine = std::sync::Arc::new(Engine::new(db));
 
     // Qa: SUBSTRING (X, Y) at page-category (§5.1's first query).
     let qa = s_olap::query::parse_query(
@@ -33,29 +33,36 @@ fn main() {
         "#,
     )
     .expect("Qa parses");
-    let mut session = Session::start(&engine, qa).expect("Qa runs");
+    let mut session = Session::start(std::sync::Arc::clone(&engine), qa).expect("Qa runs");
     let qa_stats = session.history()[0].stats.clone();
     println!(
         "Qa — two-step category paths ({} cells, {} in {:?}, {} sequences scanned):",
-        session.cuboid().len(),
+        session.cuboid().expect("query ran").len(),
         qa_stats.strategy,
         qa_stats.elapsed,
         qa_stats.sequences_scanned
     );
-    println!("{}", session.cuboid().tabulate(engine.db(), 6, true));
+    println!(
+        "{}",
+        session
+            .cuboid()
+            .expect("query ran")
+            .tabulate(engine.db(), 6, true)
+    );
 
     // Slice on the hottest cell — in the paper, (Assortment, Legwear) with
     // count 2,201 — and P-DRILL-DOWN Y to raw pages (query Qb).
     let (x, y) = {
-        let top = session.cuboid().top_k(1);
+        let top = session.cuboid().expect("query ran").top_k(1);
         let (k, _) = top.first().expect("non-empty");
         (k.pattern[0], k.pattern[1])
     };
     println!(
         "hottest: {} — slicing and drilling Y down to raw pages\n",
-        session
-            .cuboid()
-            .render_key(engine.db(), session.cuboid().top_k(1)[0].0)
+        session.cuboid().expect("query ran").render_key(
+            engine.db(),
+            session.cuboid().expect("query ran").top_k(1)[0].0
+        )
     );
     session
         .apply(Op::Dice {
@@ -73,7 +80,13 @@ fn main() {
         out.stats.elapsed,
         out.stats.sequences_scanned
     );
-    println!("{}", session.cuboid().tabulate(engine.db(), 6, true));
+    println!(
+        "{}",
+        session
+            .cuboid()
+            .expect("query ran")
+            .tabulate(engine.db(), 6, true)
+    );
 
     // Qc: APPEND one more raw page — comparison shopping.
     let page = engine.db().attr("page").expect("schema");
@@ -91,7 +104,13 @@ fn main() {
         out.stats.elapsed,
         out.stats.sequences_scanned
     );
-    println!("{}", session.cuboid().tabulate(engine.db(), 6, true));
+    println!(
+        "{}",
+        session
+            .cuboid()
+            .expect("query ran")
+            .tabulate(engine.db(), 6, true)
+    );
 
     println!(
         "cuboid repository now holds {} cuboids ({:.1} KiB) — the paper's \

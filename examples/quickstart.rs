@@ -20,7 +20,7 @@ fn main() {
 
     // 2. An engine (inverted-index strategy by default, with the sequence
     //    cache, index store and cuboid repository of Figure 6).
-    let engine = Engine::new(db);
+    let engine = std::sync::Arc::new(Engine::new(db));
 
     // 3. The paper's Q3: "statistics of single-trip passengers" — for every
     //    origin/destination station pair, how many passenger-days contain a
@@ -57,7 +57,7 @@ fn main() {
         again.stats.strategy, again.stats.cuboid_cache_hit
     );
 
-    let mut session = Session::start(&engine, q3).expect("session starts");
+    let mut session = Session::start(std::sync::Arc::clone(&engine), q3).expect("session starts");
     let location = session
         .engine()
         .db()
@@ -72,7 +72,7 @@ fn main() {
         .expect("APPEND executes");
     println!(
         "\nafter APPEND Z → template {} ({} cells, {} sequences scanned)",
-        session.spec().template.render_head(),
+        session.spec().expect("query ran").template.render_head(),
         out.cuboid.len(),
         out.stats.sequences_scanned,
     );

@@ -21,7 +21,7 @@ fn main() {
         ..Default::default()
     })
     .expect("valid config");
-    let engine = Engine::new(db);
+    let engine = std::sync::Arc::new(Engine::new(db));
 
     // Q1 (Figure 3): round trips (X, Y, Y, X) per day and fare group.
     let q1 = s_olap::query::parse_query(
@@ -41,16 +41,22 @@ fn main() {
     )
     .expect("Q1 parses");
 
-    let mut session = Session::start(&engine, q1).expect("Q1 runs");
+    let mut session = Session::start(std::sync::Arc::clone(&engine), q1).expect("Q1 runs");
     println!(
         "Q1 — round-trip distribution (top 8 of {} cells):",
-        session.cuboid().len()
+        session.cuboid().expect("query ran").len()
     );
-    println!("{}", session.cuboid().tabulate(engine.db(), 8, true));
+    println!(
+        "{}",
+        session
+            .cuboid()
+            .expect("query ran")
+            .tabulate(engine.db(), 8, true)
+    );
 
     // The manager slices on the hottest (X, Y) pair…
     let (hot_key, hot_count) = {
-        let top = session.cuboid().top_k(1);
+        let top = session.cuboid().expect("query ran").top_k(1);
         let (k, v) = top.first().expect("non-empty cuboid");
         ((*k).clone(), v.as_f64())
     };
@@ -58,7 +64,10 @@ fn main() {
     let y = hot_key.pattern[1];
     println!(
         "hottest pair: {} with {} round trips — slicing and appending a follow-up trip\n",
-        session.cuboid().render_key(engine.db(), &hot_key),
+        session
+            .cuboid()
+            .expect("query ran")
+            .render_key(engine.db(), &hot_key),
         hot_count
     );
     session
@@ -87,11 +96,17 @@ fn main() {
         .expect("append Z");
     println!(
         "Q2 — template {} (strategy {}, {} sequences scanned):",
-        session.spec().template.render_head(),
+        session.spec().expect("query ran").template.render_head(),
         out.stats.strategy,
         out.stats.sequences_scanned
     );
-    println!("{}", session.cuboid().tabulate(engine.db(), 8, true));
+    println!(
+        "{}",
+        session
+            .cuboid()
+            .expect("query ran")
+            .tabulate(engine.db(), 8, true)
+    );
 
     // Too fragmented? P-ROLL-UP Z from stations to districts.
     let out = session
@@ -102,7 +117,13 @@ fn main() {
         out.cuboid.len(),
         out.stats.sequences_scanned
     );
-    println!("{}", session.cuboid().tabulate(engine.db(), 8, true));
+    println!(
+        "{}",
+        session
+            .cuboid()
+            .expect("query ran")
+            .tabulate(engine.db(), 8, true)
+    );
 
     // The session kept the whole trail.
     println!("navigation history:");

@@ -61,6 +61,65 @@ impl<T> From<T> for Mutex<T> {
     }
 }
 
+/// Whether a [`Condvar`] wait returned because the timeout elapsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait ended by timeout rather than a notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable paired with the shim [`Mutex`].
+///
+/// The guard-consuming `wait_timeout(guard, dur) -> (guard, result)` shape
+/// follows `std` (whose guard type the shim `Mutex` reuses); like the
+/// shim's `lock()`, a wait on a mutex poisoned by a panicking holder is
+/// recovered rather than propagated.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks until notified, releasing the lock while waiting.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.inner.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Blocks until notified or `timeout` elapses.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: std::time::Duration,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        let (g, r) = self
+            .inner
+            .wait_timeout(guard, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        (g, WaitTimeoutResult(r.timed_out()))
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,6 +143,31 @@ mod tests {
         .join();
         *m.lock() = 7;
         assert_eq!(*m.lock(), 7);
+    }
+
+    #[test]
+    fn condvar_notifies_and_times_out() {
+        use std::time::Duration;
+        let pair = std::sync::Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = std::sync::Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            *m.lock() = true;
+            cv.notify_one();
+        });
+        let (m, cv) = &*pair;
+        let mut ready = m.lock();
+        while !*ready {
+            let (g, _) = cv.wait_timeout(ready, Duration::from_secs(5));
+            ready = g;
+        }
+        assert!(*ready);
+        drop(ready); // guard types drop at scope end, not last use — release before re-locking
+        t.join().unwrap();
+        // A wait with nobody notifying reports a timeout.
+        let (guard, r) = cv.wait_timeout(m.lock(), Duration::from_millis(10));
+        assert!(r.timed_out());
+        drop(guard);
     }
 
     #[test]

@@ -28,6 +28,9 @@
 //! * [`datagen`] — seeded data generators: the §5.2 synthetic workload and
 //!   the transit/clickstream substitutes for the paper's proprietary
 //!   datasets.
+//! * [`server`] — the multi-client serving layer: a TCP server sharing one
+//!   engine across per-connection sessions, the wire-protocol client, and
+//!   the statement-dispatch layer shared with the REPL.
 //!
 //! ## Quickstart
 //!
@@ -64,6 +67,7 @@ pub use solap_eventdb as eventdb;
 pub use solap_index as index;
 pub use solap_pattern as pattern;
 pub use solap_query as query;
+pub use solap_server as server;
 
 /// The most commonly used types, for glob import.
 pub mod prelude {
