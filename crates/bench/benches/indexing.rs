@@ -1,11 +1,12 @@
 //! Inverted-index primitives: BUILDINDEX, list joins, and list- vs
-//! bitmap-encoded intersections (the §6 bitmap optimisation).
+//! bitmap- vs block-compressed intersections (the §6 bitmap optimisation
+//! plus the DESIGN §12 codec).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use solap_datagen::{generate_synthetic, SyntheticConfig};
 use solap_eventdb::{build_sequence_groups, AttrLevel, Pred, SeqQuerySpec, SortKey};
-use solap_index::{build_index, join::join, Bitmap, SetBackend, SidSet};
+use solap_index::{build_index, join::join, Bitmap, CompressedSidSet, SetBackend, SidSet};
 use solap_pattern::{PatternKind, PatternTemplate};
 
 fn fixture() -> (solap_eventdb::EventDb, solap_eventdb::SequenceGroups) {
@@ -48,7 +49,12 @@ fn bench_indexing(c: &mut Criterion) {
     let (db, groups) = fixture();
     let mut g = c.benchmark_group("indexing");
     g.sample_size(10);
-    for backend in [SetBackend::List, SetBackend::Bitmap] {
+    for backend in [
+        SetBackend::List,
+        SetBackend::Bitmap,
+        SetBackend::Compressed,
+        SetBackend::Auto,
+    ] {
         g.bench_function(BenchmarkId::new("build-l2", format!("{backend:?}")), |b| {
             b.iter(|| {
                 build_index(
@@ -92,8 +98,15 @@ fn bench_indexing(c: &mut Criterion) {
         SidSet::Bitmap(a_ids.iter().copied().collect::<Bitmap>()),
         SidSet::Bitmap(b_ids.iter().copied().collect::<Bitmap>()),
     );
+    let (ca, cb) = (
+        SidSet::Compressed(CompressedSidSet::from_sorted(a_ids)),
+        SidSet::Compressed(CompressedSidSet::from_sorted(b_ids)),
+    );
     g.bench_function("intersect-lists", |b| b.iter(|| la.intersect(&lb).len()));
     g.bench_function("intersect-bitmaps", |b| b.iter(|| ba.intersect(&bb).len()));
+    g.bench_function("intersect-compressed", |b| {
+        b.iter(|| ca.intersect(&cb).len())
+    });
     g.finish();
 }
 

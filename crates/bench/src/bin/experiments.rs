@@ -7,8 +7,9 @@
 //! Experiments: `table1`, `fig16`, `qa-vary-l`, `qb`, `qc`, `vary-theta`,
 //! `vary-i`, `subsequence`, `ablation`, `threads`, `profile` (per-stage
 //! timings dumped to `BENCH_profile.json`), `serve` (concurrent wire
-//! clients against the TCP server, dumped to `BENCH_serve.json`), or
-//! `all`. `--scale s` multiplies
+//! clients against the TCP server, dumped to `BENCH_serve.json`), `index`
+//! (list vs bitmap vs compressed posting-list backends, dumped to
+//! `BENCH_index.json`), or `all`. `--scale s` multiplies
 //! the paper's sequence counts `D` (1.0 = the paper's 100K–1M sizes;
 //! default 0.05 finishes in a few minutes).
 
@@ -466,6 +467,91 @@ fn serve_bench(scale: f64) {
     println!("wrote BENCH_serve.json");
 }
 
+/// Index-backend comparison: runs the QuerySet A and B workloads on the
+/// II engine under every `SetBackend`, reporting per-backend index bytes
+/// built and query runtimes (the §6 "bitmap-encoded lists" axis extended
+/// with the block-compressed codec). Cell counts are asserted identical
+/// across backends — the encodings may only trade space and time. Writes
+/// `BENCH_index.json`.
+fn index_bench(scale: f64) {
+    println!("=== Index backends: list vs bitmap vs compressed (QuerySet A/B) ===");
+    const BACKENDS: [(SetBackend, &str); 4] = [
+        (SetBackend::List, "list"),
+        (SetBackend::Bitmap, "bitmap"),
+        (SetBackend::Compressed, "compressed"),
+        (SetBackend::Auto, "auto"),
+    ];
+    let d = ((200_000.0 * scale) as usize).max(100);
+    let workloads: Vec<(EventDb, solap_bench::plans::Plan)> = {
+        let db_a = synthetic(100, 20.0, 0.9, d, false);
+        let plan_a = query_set_a(&db_a, PatternKind::Substring, 5).expect("plan");
+        let db_b = synthetic(100, 20.0, 0.9, d, true);
+        let plan_b = query_set_b(&db_b).expect("plan");
+        vec![(db_a, plan_a), (db_b, plan_b)]
+    };
+    let mut json = String::from("{\"runs\":[");
+    let mut first = true;
+    for (db, plan) in &workloads {
+        println!("--- {} ---", plan.name);
+        println!(
+            "  {:<12} {:>12} {:>12} {:>10}",
+            "backend", "index bytes", "runtime ms", "cells"
+        );
+        let mut baseline_cells: Option<Vec<usize>> = None;
+        for (backend, name) in BACKENDS {
+            let config = EngineConfig {
+                strategy: Strategy::InvertedIndex,
+                backend,
+                ..Default::default()
+            };
+            let r = run_plan(db.clone(), plan, config, name).expect("II run");
+            let cells: Vec<usize> = r.steps.iter().map(|s| s.cells).collect();
+            match &baseline_cells {
+                None => baseline_cells = Some(cells.clone()),
+                Some(base) => assert_eq!(
+                    base, &cells,
+                    "backend {name} changed the cuboid on {}",
+                    plan.name
+                ),
+            }
+            let bytes = r.total_index_bytes();
+            let ms = r.total_runtime().as_secs_f64() * 1000.0;
+            println!(
+                "  {:<12} {:>12} {:>12.1} {:>10}",
+                name,
+                bytes,
+                ms,
+                cells.iter().sum::<usize>()
+            );
+            if !first {
+                json.push(',');
+            }
+            first = false;
+            json.push_str(&format!(
+                "{{\"plan\":\"{}\",\"backend\":\"{}\",\"index_bytes_built\":{},\"total_runtime_ms\":{:.3},\"steps\":[",
+                plan.name, name, bytes, ms
+            ));
+            for (j, s) in r.steps.iter().enumerate() {
+                if j > 0 {
+                    json.push(',');
+                }
+                json.push_str(&format!(
+                    "{{\"label\":\"{}\",\"runtime_ms\":{:.3},\"scanned\":{},\"cells\":{},\"index_bytes\":{}}}",
+                    s.label,
+                    s.runtime.as_secs_f64() * 1000.0,
+                    s.scanned,
+                    s.cells,
+                    s.index_bytes
+                ));
+            }
+            json.push_str("]}");
+        }
+    }
+    json.push_str("]}\n");
+    std::fs::write("BENCH_index.json", &json).expect("write BENCH_index.json");
+    println!("wrote BENCH_index.json");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 0.05f64;
@@ -500,6 +586,7 @@ fn main() {
             "threads" => thread_scaling(scale),
             "profile" => profile_dump(scale),
             "serve" => serve_bench(scale),
+            "index" => index_bench(scale),
             "all" => {
                 table1(scale);
                 fig16(scale);
@@ -513,7 +600,7 @@ fn main() {
             }
             other => {
                 eprintln!(
-                    "unknown experiment `{other}` — table1|fig16|qa-vary-l|qb|qc|vary-theta|vary-i|subsequence|ablation|threads|profile|serve|all"
+                    "unknown experiment `{other}` — table1|fig16|qa-vary-l|qb|qc|vary-theta|vary-i|subsequence|ablation|threads|profile|serve|index|all"
                 );
                 std::process::exit(2);
             }

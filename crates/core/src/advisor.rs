@@ -96,6 +96,7 @@ fn candidates_for(
 /// Estimates a candidate's size by building it over a sample of sequences
 /// and scaling linearly (list entries grow linearly with sequence count;
 /// the key space saturates, so linear scaling is a safe over-estimate).
+#[allow(clippy::too_many_arguments)]
 fn estimate_bytes(
     db: &EventDb,
     groups: &SequenceGroups,
@@ -104,6 +105,7 @@ fn estimate_bytes(
     kind: PatternKind,
     m: usize,
     sample: usize,
+    backend: SetBackend,
 ) -> Result<usize> {
     let names: Vec<String> = (0..m).map(|i| format!("P{i}")).collect();
     let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
@@ -113,7 +115,7 @@ fn estimate_bytes(
     let total = groups.total_sequences.max(1);
     let take = sample.min(total);
     let seqs = groups.iter_sequences().take(take);
-    let (index, _) = build_index(db, seqs, &template, SetBackend::List)?;
+    let (index, _) = build_index(db, seqs, &template, backend)?;
     Ok(index.heap_bytes() * total / take.max(1))
 }
 
@@ -121,7 +123,9 @@ fn estimate_bytes(
 ///
 /// `sample` controls how many sequences the size estimation builds over
 /// (small samples are fast and adequate — sizes only gate the greedy
-/// ordering).
+/// ordering). Sizes are estimated under the engine's configured
+/// [`SetBackend`], so compressed deployments budget against compressed
+/// bytes, not list bytes — see [`advise_with_backend`].
 pub fn advise(
     db: &EventDb,
     groups: &SequenceGroups,
@@ -129,10 +133,29 @@ pub fn advise(
     byte_budget: usize,
     sample: usize,
 ) -> Result<Advice> {
+    advise_with_backend(
+        db,
+        groups,
+        workload,
+        byte_budget,
+        sample,
+        SetBackend::default(),
+    )
+}
+
+/// [`advise`] with an explicit sid-set encoding for the size estimates.
+pub fn advise_with_backend(
+    db: &EventDb,
+    groups: &SequenceGroups,
+    workload: &[WorkloadQuery],
+    byte_budget: usize,
+    sample: usize,
+    backend: SetBackend,
+) -> Result<Advice> {
     let total_seqs = groups.total_sequences as f64;
     let mut candidates = Vec::new();
     for (attr, level, kind, m) in candidates_for(workload, 6) {
-        let estimated_bytes = estimate_bytes(db, groups, attr, level, kind, m, sample)?;
+        let estimated_bytes = estimate_bytes(db, groups, attr, level, kind, m, sample, backend)?;
         // Benefit: every query on this lane with template length ≥ m avoids
         // the full base-build scan (D sequences) on its first run, and
         // deeper prefixes save join/verify rungs — approximated as one

@@ -44,7 +44,10 @@ pub enum Strategy {
 pub struct EngineConfig {
     /// Construction strategy.
     pub strategy: Strategy,
-    /// Sid-set encoding for inverted lists.
+    /// Sid-set encoding for inverted lists. [`SetBackend::Auto`] (the
+    /// default, overridable via `SOLAP_INDEX`) picks per list by density:
+    /// bitmaps above 1-in-8, block-compressed when sparse but non-tiny,
+    /// plain lists otherwise.
     pub backend: SetBackend,
     /// Counter layout for the counter-based path.
     pub counter_mode: CounterMode,
@@ -69,7 +72,7 @@ impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
             strategy: Strategy::Auto,
-            backend: SetBackend::List,
+            backend: backend_from_env(),
             counter_mode: CounterMode::Auto,
             use_cuboid_repo: true,
             threads: threads_from_env(),
@@ -78,6 +81,16 @@ impl Default for EngineConfig {
             cancel: CancelToken::new(),
         }
     }
+}
+
+/// Default inverted-list encoding: the `SOLAP_INDEX` environment variable
+/// (`list` | `bitmap` | `compressed` | `auto`) when set to a valid
+/// spelling, otherwise per-list density auto-selection.
+fn backend_from_env() -> SetBackend {
+    std::env::var("SOLAP_INDEX")
+        .ok()
+        .and_then(|v| SetBackend::parse(&v))
+        .unwrap_or(SetBackend::Auto)
 }
 
 /// Default worker count: the `SOLAP_THREADS` environment variable when set

@@ -430,16 +430,16 @@ impl<'a> IiExecutor<'a> {
                 let slot = merged
                     .lists
                     .entry(pattern)
-                    .or_insert_with(|| match self.backend {
-                        SetBackend::List => solap_index::SidSet::empty_list(),
-                        SetBackend::Bitmap => solap_index::SidSet::empty_bitmap(),
-                    });
+                    .or_insert_with(|| self.backend.empty());
                 // solint: allow(governor-tick) same parallel-only merge: worker builds already ticked these postings
                 for sid in set.iter() {
                     slot.push(sid);
                 }
             }
         }
+        // Canonicalize exactly like the sequential build does, so the
+        // sharded merge is byte-identical (and heap accounting agrees).
+        merged.seal();
         Ok(merged)
     }
 
@@ -475,10 +475,7 @@ impl<'a> IiExecutor<'a> {
         let mut out = InvertedIndex::new(candidate.sig.clone(), candidate.backend);
         // solint: allow(governor-tick) contains_pattern below ticks per window/DFS node through the attached governor
         for (pattern, sids) in candidate.lists {
-            let mut kept = match self.backend {
-                SetBackend::List => solap_index::SidSet::empty_list(),
-                SetBackend::Bitmap => solap_index::SidSet::empty_bitmap(),
-            };
+            let mut kept = self.backend.empty();
             // solint: allow(governor-tick) governed inside contains_pattern (matcher carries the governor)
             for sid in sids.iter() {
                 meter.touch(sid);
@@ -493,6 +490,9 @@ impl<'a> IiExecutor<'a> {
         if let Some(rec) = rec {
             rec.add(Counter::MatchWindows, matcher.take_windows());
         }
+        // Canonicalize before the caller caches it (compressed tails are
+        // flushed; auto settles each list's final encoding).
+        out.seal();
         Ok(out)
     }
 
@@ -645,11 +645,15 @@ impl<'a> IiExecutor<'a> {
             let Some(ix) = self.store.get(&self.key(group_idx, prev_sig.clone(), 0)) else {
                 return Ok(false);
             };
-            let merged = rollup_merge(&ix, new_sig.clone(), |pos, v| {
+            let mut merged = rollup_merge(&ix, new_sig.clone(), |pos, v| {
                 let d_prev = prev.dim_at(pos);
                 let d_new = new.dim_at(pos);
                 self.db.map_up(d_prev.attr, d_prev.level, v, d_new.level)
             })?;
+            // List unions keep the first-seen encoding, which under Auto
+            // depends on map iteration order; sealing restores the
+            // canonical (deterministic) form before caching.
+            merged.seal();
             let merged = Arc::new(merged);
             stats.indices_built += 1;
             stats.index_bytes_built += merged.heap_bytes();

@@ -13,13 +13,32 @@ pub enum SetBackend {
     List,
     /// Bitmaps (§6 optimisation).
     Bitmap,
+    /// Block-compressed lists with skip tables ([`crate::codec`]).
+    Compressed,
+    /// Per-list choice by the [`crate::sidset::choose_encoding`] density
+    /// rule, settled when the index is sealed.
+    Auto,
 }
 
 impl SetBackend {
-    fn empty(self) -> crate::sidset::SidSet {
+    /// An empty [`crate::sidset::SidSet`] in this backend's build-time
+    /// encoding. `Auto` stages in a plain list and promotes as it grows.
+    pub fn empty(self) -> crate::sidset::SidSet {
         match self {
-            SetBackend::List => crate::sidset::SidSet::empty_list(),
+            SetBackend::List | SetBackend::Auto => crate::sidset::SidSet::empty_list(),
             SetBackend::Bitmap => crate::sidset::SidSet::empty_bitmap(),
+            SetBackend::Compressed => crate::sidset::SidSet::empty_compressed(),
+        }
+    }
+
+    /// Parses the `SOLAP_INDEX` / `.backend` spelling of a backend.
+    pub fn parse(name: &str) -> Option<SetBackend> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "list" => Some(SetBackend::List),
+            "bitmap" => Some(SetBackend::Bitmap),
+            "compressed" => Some(SetBackend::Compressed),
+            "auto" => Some(SetBackend::Auto),
+            _ => None,
         }
     }
 }
@@ -81,12 +100,30 @@ impl InvertedIndex {
     }
 
     /// Adds `sid` to the list of `pattern` (creating it), preserving sid
-    /// order — BUILDINDEX line 5.
+    /// order — BUILDINDEX line 5. Under [`SetBackend::Auto`] the list is
+    /// density-promoted as it grows.
     pub fn add(&mut self, pattern: &[LevelValue], sid: solap_eventdb::Sid) {
-        self.lists
+        let set = self
+            .lists
             .entry(pattern.to_vec())
-            .or_insert_with(|| self.backend.empty())
-            .push(sid);
+            .or_insert_with(|| self.backend.empty());
+        match self.backend {
+            SetBackend::Auto => set.push_promoting(sid),
+            _ => set.push(sid),
+        }
+    }
+
+    /// Canonicalizes every list for long-term storage (see
+    /// [`crate::sidset::SidSet::sealed`]): compressed tails are flushed,
+    /// auto settles each list's encoding from its final content, and
+    /// stray encodings left by joins/unions are coerced to the backend's
+    /// own. Executors call this before caching an index, so
+    /// [`InvertedIndex::heap_bytes`] accounts the stored form exactly.
+    pub fn seal(&mut self) {
+        for v in self.lists.values_mut() {
+            let s = std::mem::replace(v, crate::sidset::SidSet::empty_list());
+            *v = s.sealed(self.backend);
+        }
     }
 
     /// Iterates `(pattern, list)` pairs in deterministic (sorted-key) order.
@@ -147,6 +184,7 @@ pub fn build_index_governed<'a>(
     if let Some(rec) = gov.recorder() {
         rec.add(solap_eventdb::Counter::MatchWindows, matcher.take_windows());
     }
+    index.seal();
     Ok((index, scanned))
 }
 
@@ -287,6 +325,35 @@ mod tests {
         assert_eq!(ll.list_count(), lb.list_count());
         for (k, v) in &ll.lists {
             assert_eq!(lb.lists[k].to_vec(), v.to_vec(), "pattern {k:?}");
+        }
+    }
+
+    #[test]
+    fn compressed_and_auto_backends_build_identical_sets() {
+        let (db, seqs) = fig8();
+        let t = template(&db, PatternKind::Substring, &["X", "Y"]);
+        let (ll, _) = build_index(&db, &seqs, &t, SetBackend::List).unwrap();
+        for backend in [SetBackend::Compressed, SetBackend::Auto] {
+            let (lc, _) = build_index(&db, &seqs, &t, backend).unwrap();
+            assert_eq!(ll.list_count(), lc.list_count(), "{backend:?}");
+            for (k, v) in &ll.lists {
+                assert_eq!(lc.lists[k].to_vec(), v.to_vec(), "{backend:?} {k:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn build_seals_compressed_lists() {
+        let (db, seqs) = fig8();
+        let t = template(&db, PatternKind::Substring, &["X"]);
+        let (lc, _) = build_index(&db, &seqs, &t, SetBackend::Compressed).unwrap();
+        for (k, v) in &lc.lists {
+            match v {
+                crate::sidset::SidSet::Compressed(c) => {
+                    assert!(c.is_sealed(), "unsealed list for {k:?}")
+                }
+                other => panic!("non-compressed list {other:?} for {k:?}"),
+            }
         }
     }
 

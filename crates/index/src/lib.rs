@@ -7,9 +7,14 @@
 //! pattern-dimension values) to the list of sids of the sequences containing
 //! it. This crate provides:
 //!
-//! * [`sidset::SidSet`] — sid collections in two encodings: sorted lists
-//!   (the paper's inverted lists) and bitmaps (the §6 "bitmap index"
-//!   optimisation, where intersection becomes bitwise AND);
+//! * [`sidset::SidSet`] — sid collections in three encodings: sorted
+//!   lists (the paper's inverted lists), bitmaps (the §6 "bitmap index"
+//!   optimisation, where intersection becomes bitwise AND), and
+//!   block-compressed lists;
+//! * [`codec`] — the compressed form: delta+varint / bitpacked blocks of
+//!   ≤ 128 sids behind a per-block max-sid skip table, the
+//!   [`codec::SeekingIterator`] `next_seek` contract, and the leapfrog
+//!   [`codec::gallop_intersect`] join kernel;
 //! * [`inverted::InvertedIndex`] and [`inverted::build_index`] — the
 //!   BUILDINDEX algorithm of Figure 9;
 //! * [`join`] — the index-join algebra of Figure 15
@@ -21,11 +26,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod inverted;
 pub mod join;
 pub mod sidset;
 pub mod store;
 
+pub use codec::{
+    gallop_intersect, BlockFormat, CompressedSidSet, SeekingIterator, SidSetSeeker, BLOCK,
+};
 pub use inverted::{build_index, build_index_governed, InvertedIndex, SetBackend};
-pub use sidset::{Bitmap, SidSet};
+pub use sidset::{choose_encoding, Bitmap, Encoding, SidSet};
 pub use store::{IndexKey, IndexStore};

@@ -1,13 +1,22 @@
-//! Sid collections: sorted lists and bitmaps.
+//! Sid collections: sorted lists, bitmaps, and compressed blocks.
 //!
 //! The paper's inverted lists are sid lists; §6 suggests that "if the domain
 //! of a pattern dimension is small, we can encode … the inverted indices as
 //! bitmap indices. Consequently, the intersection operation … can be
 //! performed much faster using the bitwise-AND operation." Both encodings
-//! are implemented here behind [`SidSet`], so the engines and the ablation
-//! benchmarks can switch backend per index.
+//! are implemented here behind [`SidSet`], along with a third — the
+//! block-compressed, skip-indexed form of [`crate::codec`] — so the engines
+//! and the ablation benchmarks can switch backend per index.
+//!
+//! Whenever a compressed side is involved, set algebra runs on
+//! [`SeekingIterator`]s (leapfrog [`gallop_intersect`] instead of a linear
+//! merge); the result always keeps `self`'s encoding, as before.
 
 use solap_eventdb::Sid;
+
+use crate::codec::{
+    gallop_intersect, BitmapSeeker, CompressedSidSet, SeekingIterator, SidSetSeeker, SliceSeeker,
+};
 
 /// A fixed-universe bitmap of sids (64-bit blocks).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -97,6 +106,11 @@ impl Bitmap {
     pub fn heap_bytes(&self) -> usize {
         self.words.len() * 8
     }
+
+    /// The raw 64-bit words, for the codec's seeking iterator.
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
 }
 
 impl FromIterator<Sid> for Bitmap {
@@ -109,13 +123,48 @@ impl FromIterator<Sid> for Bitmap {
     }
 }
 
-/// A set of sids in one of two encodings.
+/// How [`SidSet::sealed`] canonicalizes a set, given its final content.
+///
+/// Shared by every construction path (bulk `from_sorted_auto`, push-time
+/// promotion, end-of-build sealing) so they all agree — the density rule
+/// lives in exactly one place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Encoding {
+    /// Plain sorted vec — cheapest for tiny sets.
+    List,
+    /// Bitmap — smallest and fastest above 1-in-8 density.
+    Bitmap,
+    /// Block-compressed — wins on everything sparse but non-tiny.
+    Compressed,
+}
+
+/// Below this cardinality a plain list is smaller than a compressed set
+/// (one skip entry alone costs four sids' worth of bytes).
+const COMPRESS_MIN_LEN: usize = 16;
+
+/// The density rule used by auto selection: the canonical [`Encoding`] for
+/// a set of `len` sids whose maximum is `max`.
+pub fn choose_encoding(len: usize, max: Sid) -> Encoding {
+    if len >= COMPRESS_MIN_LEN && (max as u64) < (len as u64) * 8 {
+        // Bitmap bytes = (max+1)/8 < len, beating both other forms.
+        Encoding::Bitmap
+    } else if len >= COMPRESS_MIN_LEN {
+        Encoding::Compressed
+    } else {
+        Encoding::List
+    }
+}
+
+/// A set of sids in one of three encodings.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SidSet {
     /// A strictly increasing sorted list (the paper's inverted list).
     List(Vec<Sid>),
     /// A bitmap (§6 optimisation).
     Bitmap(Bitmap),
+    /// Delta+varint / bitpacked blocks behind a skip table
+    /// ([`crate::codec`]).
+    Compressed(CompressedSidSet),
 }
 
 impl SidSet {
@@ -129,14 +178,32 @@ impl SidSet {
         SidSet::Bitmap(Bitmap::new())
     }
 
+    /// An empty set in the compressed encoding.
+    pub fn empty_compressed() -> Self {
+        SidSet::Compressed(CompressedSidSet::new())
+    }
+
     /// Builds from a sorted, deduplicated vec.
     pub fn from_sorted(v: Vec<Sid>) -> Self {
         debug_assert!(v.windows(2).all(|w| w[0] < w[1]), "sids must be sorted");
         SidSet::List(v)
     }
 
-    /// Appends a sid; list encoding requires nondecreasing insertion order
-    /// (BUILDINDEX scans sequences in sid order, so this holds naturally).
+    /// Builds from a sorted, deduplicated vec in the canonical encoding
+    /// for its density — the same [`choose_encoding`] rule push-time
+    /// promotion and [`SidSet::sealed`] apply, so every construction path
+    /// lands on identical bytes.
+    pub fn from_sorted_auto(v: Vec<Sid>) -> Self {
+        match choose_encoding(v.len(), v.last().copied().unwrap_or(0)) {
+            Encoding::List => SidSet::from_sorted(v),
+            Encoding::Bitmap => SidSet::Bitmap(v.into_iter().collect()),
+            Encoding::Compressed => SidSet::Compressed(CompressedSidSet::from_sorted(v)),
+        }
+    }
+
+    /// Appends a sid; list and compressed encodings require nondecreasing
+    /// insertion order (BUILDINDEX scans sequences in sid order, so this
+    /// holds naturally).
     pub fn push(&mut self, sid: Sid) {
         match self {
             SidSet::List(v) => {
@@ -146,6 +213,24 @@ impl SidSet {
                 }
             }
             SidSet::Bitmap(b) => b.insert(sid),
+            SidSet::Compressed(c) => c.push(sid),
+        }
+    }
+
+    /// [`SidSet::push`] with auto-backend bookkeeping: once the staged
+    /// list crosses the [`choose_encoding`] boundary it is promoted in
+    /// place. A final [`SidSet::sealed`] with [`SetBackend::Auto`] settles
+    /// the encoding from the *final* content, so push-promotion and
+    /// [`SidSet::from_sorted_auto`] cannot disagree.
+    ///
+    /// [`SetBackend::Auto`]: crate::inverted::SetBackend::Auto
+    pub fn push_promoting(&mut self, sid: Sid) {
+        self.push(sid);
+        if let SidSet::List(v) = self {
+            let max = v.last().copied().unwrap_or(0);
+            if choose_encoding(v.len(), max) == Encoding::Bitmap {
+                *self = SidSet::Bitmap(v.iter().copied().collect());
+            }
         }
     }
 
@@ -154,6 +239,7 @@ impl SidSet {
         match self {
             SidSet::List(v) => v.len(),
             SidSet::Bitmap(b) => b.len(),
+            SidSet::Compressed(c) => c.len(),
         }
     }
 
@@ -167,6 +253,7 @@ impl SidSet {
         match self {
             SidSet::List(v) => v.binary_search(&sid).is_ok(),
             SidSet::Bitmap(b) => b.contains(sid),
+            SidSet::Compressed(c) => c.contains(sid),
         }
     }
 
@@ -175,6 +262,17 @@ impl SidSet {
         match self {
             SidSet::List(v) => Box::new(v.iter().copied()),
             SidSet::Bitmap(b) => Box::new(b.iter()),
+            SidSet::Compressed(c) => Box::new(c.iter()),
+        }
+    }
+
+    /// A [`SeekingIterator`] over the set, whatever its encoding — the
+    /// join ladder's consumption interface.
+    pub fn seeker(&self) -> SidSetSeeker<'_> {
+        match self {
+            SidSet::List(v) => SidSetSeeker::List(SliceSeeker::new(v)),
+            SidSet::Bitmap(b) => SidSetSeeker::Bitmap(BitmapSeeker::new(b)),
+            SidSet::Compressed(c) => SidSetSeeker::Compressed(c.iter()),
         }
     }
 
@@ -183,10 +281,59 @@ impl SidSet {
         self.iter().collect()
     }
 
+    /// Re-wraps a sorted vec in the same encoding as `self`.
+    fn encode_like(&self, v: Vec<Sid>) -> SidSet {
+        match self {
+            SidSet::List(_) => SidSet::List(v),
+            SidSet::Bitmap(_) => SidSet::Bitmap(v.into_iter().collect()),
+            SidSet::Compressed(_) => SidSet::Compressed(CompressedSidSet::from_sorted(v)),
+        }
+    }
+
+    /// Canonicalizes the set for long-term storage under `backend`:
+    /// compressed tails are sealed, auto picks the [`choose_encoding`]
+    /// form for the final content, and fixed backends coerce strays (e.g.
+    /// a bitmap union result inside a compressed index) to their own
+    /// encoding. Applied by `InvertedIndex::seal` before an index is
+    /// cached, so `heap_bytes` accounting always sees the final form.
+    pub fn sealed(self, backend: crate::inverted::SetBackend) -> SidSet {
+        use crate::inverted::SetBackend;
+        match backend {
+            SetBackend::List => match self {
+                SidSet::List(_) => self,
+                other => SidSet::List(other.to_vec()),
+            },
+            SetBackend::Bitmap => match self {
+                SidSet::Bitmap(_) => self,
+                other => SidSet::Bitmap(other.iter().collect()),
+            },
+            SetBackend::Compressed => match self {
+                SidSet::Compressed(mut c) => {
+                    c.seal();
+                    SidSet::Compressed(c)
+                }
+                other => SidSet::Compressed(CompressedSidSet::from_sorted(other.to_vec())),
+            },
+            SetBackend::Auto => {
+                let (len, max) = (self.len(), self.iter().last().unwrap_or(0));
+                match choose_encoding(len, max) {
+                    Encoding::List => self.sealed(SetBackend::List),
+                    Encoding::Bitmap => self.sealed(SetBackend::Bitmap),
+                    Encoding::Compressed => self.sealed(SetBackend::Compressed),
+                }
+            }
+        }
+    }
+
     /// Intersection; the result keeps `self`'s encoding. Mixed encodings
-    /// are supported (the bitmap side is probed per element).
+    /// are supported (the bitmap side is probed per element); whenever a
+    /// compressed side is involved the leapfrog [`gallop_intersect`]
+    /// kernel skips non-overlapping blocks via the skip table.
     pub fn intersect(&self, other: &SidSet) -> SidSet {
         match (self, other) {
+            (SidSet::Compressed(_), _) | (_, SidSet::Compressed(_)) => {
+                self.encode_like(gallop_intersect(self.seeker(), other.seeker()))
+            }
             (SidSet::List(a), SidSet::List(b)) => {
                 let mut out = Vec::new();
                 let (mut i, mut j) = (0, 0);
@@ -216,6 +363,40 @@ impl SidSet {
     /// Union; the result keeps `self`'s encoding.
     pub fn union(&self, other: &SidSet) -> SidSet {
         match (self, other) {
+            (SidSet::Compressed(_), _) | (_, SidSet::Compressed(_)) => {
+                let (mut a, mut b) = (self.seeker(), other.seeker());
+                let mut out = Vec::new();
+                let (mut x, mut y) = (a.next_sid(), b.next_sid());
+                loop {
+                    match (x, y) {
+                        (Some(sa), Some(sb)) => match sa.cmp(&sb) {
+                            std::cmp::Ordering::Less => {
+                                out.push(sa);
+                                x = a.next_sid();
+                            }
+                            std::cmp::Ordering::Greater => {
+                                out.push(sb);
+                                y = b.next_sid();
+                            }
+                            std::cmp::Ordering::Equal => {
+                                out.push(sa);
+                                x = a.next_sid();
+                                y = b.next_sid();
+                            }
+                        },
+                        (Some(sa), None) => {
+                            out.push(sa);
+                            x = a.next_sid();
+                        }
+                        (None, Some(sb)) => {
+                            out.push(sb);
+                            y = b.next_sid();
+                        }
+                        (None, None) => break,
+                    }
+                }
+                self.encode_like(out)
+            }
             (SidSet::List(a), SidSet::List(b)) => {
                 let mut out = Vec::with_capacity(a.len() + b.len());
                 let (mut i, mut j) = (0, 0);
@@ -259,10 +440,13 @@ impl SidSet {
     }
 
     /// Heap bytes (for index size accounting, Table 1's "Size of II").
+    /// For the compressed form this is exact — encoded payload plus skip
+    /// table, never the decoded size.
     pub fn heap_bytes(&self) -> usize {
         match self {
             SidSet::List(v) => v.len() * 4,
             SidSet::Bitmap(b) => b.heap_bytes(),
+            SidSet::Compressed(c) => c.heap_bytes(),
         }
     }
 }
@@ -340,6 +524,102 @@ mod tests {
             b.push(sid);
         }
         assert_eq!(b.to_vec(), vec![1, 9]);
+    }
+
+    fn compressed(v: &[Sid]) -> SidSet {
+        SidSet::Compressed(CompressedSidSet::from_sorted(v.to_vec()))
+    }
+
+    #[test]
+    fn compressed_set_algebra_matches_lists() {
+        let xs: Vec<Sid> = (0..500).map(|i| i * 3).collect();
+        let ys: Vec<Sid> = (0..300).map(|i| i * 5 + 1).collect();
+        let (la, lb) = (list(&xs), list(&ys));
+        let want_int = la.intersect(&lb).to_vec();
+        let want_uni = la.union(&lb).to_vec();
+        for a in [list(&xs), bitmap(&xs), compressed(&xs)] {
+            for b in [list(&ys), bitmap(&ys), compressed(&ys)] {
+                if matches!(a, SidSet::Compressed(_)) || matches!(b, SidSet::Compressed(_)) {
+                    assert_eq!(a.intersect(&b).to_vec(), want_int);
+                    assert_eq!(a.union(&b).to_vec(), want_uni);
+                }
+            }
+        }
+        // The result keeps self's encoding.
+        assert!(matches!(
+            compressed(&xs).intersect(&lb),
+            SidSet::Compressed(_)
+        ));
+        assert!(matches!(la.intersect(&compressed(&ys)), SidSet::List(_)));
+    }
+
+    /// Regression for the promotion boundary: push-time promotion, bulk
+    /// `from_sorted_auto`, and `sealed(Auto)` must settle on the same
+    /// encoding (and bytes) at, below, and above the density threshold —
+    /// push-built bitmaps used to keep whatever encoding mid-build
+    /// bookkeeping left them with.
+    #[test]
+    fn promotion_boundary_is_consistent() {
+        use crate::inverted::SetBackend;
+        // Dense (max < len*8 ⇒ bitmap), sparse-compressed, and tiny sets,
+        // straddling the COMPRESS_MIN_LEN = 16 cardinality gate.
+        let cases: Vec<Vec<Sid>> = vec![
+            (0..15).collect(),                    // just below the gate → List
+            (0..16).collect(),                    // at the gate, dense → Bitmap
+            (0..16).map(|i| i * 9).collect(),     // at the gate, max ≥ len*8 → Compressed
+            (0..16).map(|i| i * 7).collect(),     // just inside density → Bitmap
+            (0..100).map(|i| i * 1000).collect(), // sparse → Compressed
+        ];
+        for v in cases {
+            let bulk = SidSet::from_sorted_auto(v.clone());
+            let mut pushed = SidSet::empty_list();
+            for &s in &v {
+                pushed.push_promoting(s);
+            }
+            let sealed = pushed.sealed(SetBackend::Auto);
+            assert_eq!(
+                sealed, bulk,
+                "push-promote ∘ seal ≠ from_sorted_auto for {v:?}"
+            );
+            let expect = choose_encoding(v.len(), v.last().copied().unwrap_or(0));
+            let got = match &sealed {
+                SidSet::List(_) => Encoding::List,
+                SidSet::Bitmap(_) => Encoding::Bitmap,
+                SidSet::Compressed(_) => Encoding::Compressed,
+            };
+            assert_eq!(got, expect, "sealed encoding for {v:?}");
+            // Bitmap-staged pushes (the old inconsistent path) also seal
+            // to the same canonical form.
+            let mut via_bitmap = SidSet::empty_bitmap();
+            for &s in &v {
+                via_bitmap.push(s);
+            }
+            assert_eq!(via_bitmap.sealed(SetBackend::Auto), bulk);
+        }
+    }
+
+    #[test]
+    fn sealed_flushes_compressed_tail() {
+        use crate::inverted::SetBackend;
+        let mut c = SidSet::empty_compressed();
+        for s in 0..200u32 {
+            c.push(s * 9);
+        }
+        let SidSet::Compressed(inner) = &c else {
+            unreachable!()
+        };
+        assert!(!inner.is_sealed(), "200 % 128 sids must be staged");
+        let sealed = c.sealed(SetBackend::Compressed);
+        let SidSet::Compressed(inner) = &sealed else {
+            panic!("seal must keep the compressed encoding")
+        };
+        assert!(inner.is_sealed());
+        assert_eq!(
+            sealed,
+            SidSet::Compressed(CompressedSidSet::from_sorted(
+                (0..200u32).map(|s| s * 9).collect()
+            ))
+        );
     }
 
     #[test]

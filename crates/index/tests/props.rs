@@ -6,7 +6,9 @@ use std::collections::BTreeSet;
 use proptest::prelude::*;
 
 use solap_eventdb::{ColumnType, EventDb, EventDbBuilder, Sequence, Value};
-use solap_index::{build_index, join::join, join::rollup_merge, Bitmap, SetBackend, SidSet};
+use solap_index::{
+    build_index, join::join, join::rollup_merge, Bitmap, CompressedSidSet, SetBackend, SidSet,
+};
 use solap_pattern::{MatchPred, Matcher, PatternKind, PatternTemplate};
 
 fn sorted(v: &mut Vec<u32>) -> Vec<u32> {
@@ -21,7 +23,7 @@ proptest! {
     fn set_algebra_matches_model(
         mut a in prop::collection::vec(0u32..300, 0..40),
         mut b in prop::collection::vec(0u32..300, 0..40),
-        enc in 0u8..4,
+        enc in 0u8..9,
     ) {
         let (av, bv) = (sorted(&mut a), sorted(&mut b));
         let model_i: Vec<u32> = {
@@ -34,15 +36,15 @@ proptest! {
                 (av.iter().copied().collect(), bv.iter().copied().collect());
             sa.union(&sb).copied().collect()
         };
-        let make = |v: &[u32], bitmap: bool| -> SidSet {
-            if bitmap {
-                SidSet::Bitmap(v.iter().copied().collect::<Bitmap>())
-            } else {
-                SidSet::from_sorted(v.to_vec())
+        let make = |v: &[u32], e: u8| -> SidSet {
+            match e {
+                0 => SidSet::from_sorted(v.to_vec()),
+                1 => SidSet::Bitmap(v.iter().copied().collect::<Bitmap>()),
+                _ => SidSet::Compressed(CompressedSidSet::from_sorted(v.to_vec())),
             }
         };
-        let sa = make(&av, enc & 1 != 0);
-        let sb = make(&bv, enc & 2 != 0);
+        let sa = make(&av, enc % 3);
+        let sb = make(&bv, (enc / 3) % 3);
         prop_assert_eq!(sa.intersect(&sb).to_vec(), model_i);
         prop_assert_eq!(sa.union(&sb).to_vec(), model_u);
         // Membership agrees too.
@@ -179,11 +181,13 @@ proptest! {
         let (db, sequences) = build_db(&seqs);
         let t = template(&shape);
         let (list, s1) = build_index(&db, &sequences, &t, SetBackend::List).unwrap();
-        let (bitmap, s2) = build_index(&db, &sequences, &t, SetBackend::Bitmap).unwrap();
-        prop_assert_eq!(s1, s2);
-        prop_assert_eq!(list.list_count(), bitmap.list_count());
-        for (k, v) in &list.lists {
-            prop_assert_eq!(v.to_vec(), bitmap.lists[k].to_vec());
+        for backend in [SetBackend::Bitmap, SetBackend::Compressed, SetBackend::Auto] {
+            let (other, s2) = build_index(&db, &sequences, &t, backend).unwrap();
+            prop_assert_eq!(s1, s2);
+            prop_assert_eq!(list.list_count(), other.list_count());
+            for (k, v) in &list.lists {
+                prop_assert_eq!(v.to_vec(), other.lists[k].to_vec());
+            }
         }
     }
 }

@@ -245,7 +245,7 @@ pub fn help_text() -> &'static str {
   .save PATH | .load PATH                        persist / restore the event db (local)
   .schema                                        show columns and hierarchies
   .strategy cb|ii|auto                           pick the construction approach (this session)
-  .backend list|bitmap                           pick the inverted-list encoding (this session)
+  .backend list|bitmap|compressed|auto           pick the inverted-list encoding (this session)
   .counters hash|dense|auto                      pick the CB counter layout (this session)
   .threads N                                     worker threads for construction (1 = sequential)
   .timeout MS                                    per-query deadline in milliseconds (0 = off)
@@ -258,6 +258,7 @@ pub fn help_text() -> &'static str {
   .show [n]        re-tabulate the current cuboid
   .spec            print the current query text
   .stats           cache statistics
+  .index           index-store statistics and the session's list encoding
   .profile on|off  print each query's per-stage profile (on enables detailed counters)
   .metrics         process-wide cumulative engine metrics
   .history         operations applied so far

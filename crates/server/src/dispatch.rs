@@ -240,17 +240,29 @@ fn dispatch_command(ctx: &mut SessionCtx, rest: &str) -> Result<Response, Fail> 
         }
         "backend" => {
             use solap_index::SetBackend;
-            let b = match args.first().copied() {
-                Some("list") => SetBackend::List,
-                Some("bitmap") => SetBackend::Bitmap,
-                other => {
+            let b = match args.first().copied().and_then(SetBackend::parse) {
+                Some(b) => b,
+                None => {
                     return Err(usage(format!(
-                        "usage: .backend list|bitmap (got {other:?})"
+                        "usage: .backend list|bitmap|compressed|auto (got {:?})",
+                        args.first()
                     )))
                 }
             };
             ctx.session.config_mut().backend = b;
             Ok(Response::ok(""))
+        }
+        "index" => {
+            let store = ctx.session.engine().index_store();
+            let (hits, misses) = store.stats();
+            Ok(Response::ok(format!(
+                "backend: {:?}\ncached indices: {}\ncached bytes: {}\nstore hits: {}\nstore misses: {}\n",
+                ctx.session.config().backend,
+                store.len(),
+                store.total_bytes(),
+                hits,
+                misses
+            )))
         }
         "counters" => {
             use solap_core::cb::CounterMode;

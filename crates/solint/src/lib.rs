@@ -93,6 +93,7 @@ impl Config {
                 "crates/core/src/cb.rs".into(),
                 "crates/core/src/ii.rs".into(),
                 "crates/core/src/regexq.rs".into(),
+                "crates/index/src/codec.rs".into(),
             ],
             hot_keywords: default_hot_keywords(),
             governed_markers: default_governed_markers(),
