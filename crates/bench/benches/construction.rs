@@ -45,7 +45,7 @@ fn bench_construction(c: &mut Criterion) {
                     )
                 },
                 |engine| {
-                    let spec = synthetic_spec(engine.db(), PatternKind::Substring, &["X", "Y"], 0)
+                    let spec = synthetic_spec(&engine.db(), PatternKind::Substring, &["X", "Y"], 0)
                         .unwrap();
                     engine.execute(&spec).unwrap().cuboid.len()
                 },
@@ -62,7 +62,7 @@ fn bench_construction(c: &mut Criterion) {
                 ..Default::default()
             },
         );
-        let spec = synthetic_spec(engine.db(), PatternKind::Substring, &["X", "Y"], 0).unwrap();
+        let spec = synthetic_spec(&engine.db(), PatternKind::Substring, &["X", "Y"], 0).unwrap();
         engine.execute(&spec).unwrap();
         b.iter(|| engine.execute(&spec).unwrap().cuboid.len())
     });

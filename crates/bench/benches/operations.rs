@@ -55,7 +55,7 @@ fn bench_operations(c: &mut Criterion) {
                             },
                         );
                         let spec =
-                            synthetic_spec(engine.db(), PatternKind::Substring, &["X", "Y"], 0)
+                            synthetic_spec(&engine.db(), PatternKind::Substring, &["X", "Y"], 0)
                                 .unwrap();
                         engine.execute(&spec).unwrap();
                         (engine, spec)
@@ -76,7 +76,7 @@ fn bench_operations(c: &mut Criterion) {
                             ..Default::default()
                         },
                     );
-                    let spec = synthetic_spec(engine.db(), PatternKind::Substring, &["X", "Y"], 1)
+                    let spec = synthetic_spec(&engine.db(), PatternKind::Substring, &["X", "Y"], 1)
                         .unwrap();
                     engine.execute(&spec).unwrap();
                     (engine, spec)

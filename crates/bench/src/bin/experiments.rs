@@ -194,7 +194,7 @@ fn ablation(scale: f64) {
             .counter_mode(mode)
             .build();
         let spec =
-            synthetic_spec(engine.db(), PatternKind::Substring, &["X", "Y"], 0).expect("spec");
+            synthetic_spec(&engine.db(), PatternKind::Substring, &["X", "Y"], 0).expect("spec");
         let out = engine.execute(&spec).expect("query");
         println!(
             "  CB/{label:<6} runtime {:>8.1} ms, {} cells",
@@ -207,7 +207,7 @@ fn ablation(scale: f64) {
 
     println!("=== Ablation: iceberg minimum support (§6) ===");
     let engine = Engine::new(db);
-    let spec = synthetic_spec(engine.db(), PatternKind::Substring, &["X", "Y"], 0).expect("spec");
+    let spec = synthetic_spec(&engine.db(), PatternKind::Substring, &["X", "Y"], 0).expect("spec");
     let full = engine.execute(&spec).expect("query");
     println!(
         "  min-support  cells (of {})  runtime(ms)",
@@ -330,7 +330,7 @@ fn thread_scaling(scale: f64) {
                         .use_cuboid_repo(false)
                         .build();
                     let mut spec =
-                        synthetic_spec(engine.db(), PatternKind::Substring, &["X", "Y"], 0)
+                        synthetic_spec(&engine.db(), PatternKind::Substring, &["X", "Y"], 0)
                             .expect("spec");
                     if let Some(a) = agg {
                         spec = spec.with_agg(a);
@@ -552,7 +552,126 @@ fn index_bench(scale: f64) {
     println!("wrote BENCH_index.json");
 }
 
+/// Streaming-ingestion throughput: events/second through the engine's
+/// store path at each durability level — pure in-memory, and write-ahead
+/// logged with `off`/`batch`/`always` fsync — with a live cuboid
+/// registered so every batch also exercises incremental maintenance.
+/// Emits `BENCH_ingest.json`.
+fn ingest_bench(scale: f64) {
+    use solap_core::SCuboidSpec;
+    use solap_eventdb::{AttrLevel, ColumnType, EventDbBuilder, FsyncPolicy, SortKey, Value};
+    use solap_pattern::PatternTemplate;
+
+    let batches = ((4_000.0 * scale) as usize).max(50);
+    let batch_size = 8usize;
+
+    fn schema() -> EventDb {
+        EventDbBuilder::new()
+            .dimension("sid", ColumnType::Int)
+            .dimension("pos", ColumnType::Int)
+            .dimension("symbol", ColumnType::Str)
+            .build()
+            .unwrap()
+    }
+
+    fn spec() -> SCuboidSpec {
+        let t = PatternTemplate::new(
+            PatternKind::Substring,
+            &["X", "Y"],
+            &[("X", 2, 0), ("Y", 2, 0)],
+        )
+        .unwrap();
+        SCuboidSpec::new(
+            t,
+            vec![AttrLevel::new(0, 0)],
+            vec![SortKey {
+                attr: 1,
+                ascending: true,
+            }],
+        )
+    }
+
+    println!("=== streaming ingestion (events/sec by durability) ===");
+    println!(
+        "  {:<10} {:>10} {:>12} {:>10} {:>10} {:>10}",
+        "policy", "events", "events/sec", "extended", "indexes", "fallbacks"
+    );
+    let mut json = String::from("{\"runs\":[");
+    let policies: [(&str, Option<FsyncPolicy>); 4] = [
+        ("memory", None),
+        ("off", Some(FsyncPolicy::Off)),
+        ("batch", Some(FsyncPolicy::Batch)),
+        ("always", Some(FsyncPolicy::Always)),
+    ];
+    for (i, (name, policy)) in policies.iter().enumerate() {
+        let dir =
+            std::env::temp_dir().join(format!("solap-bench-ingest-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = match policy {
+            None => Engine::new(schema()),
+            Some(p) => Engine::builder(schema())
+                .durable_with_policy(&dir, *p)
+                .expect("open durable engine")
+                .build(),
+        };
+        // Prime a live cuboid so every append drives the incremental
+        // maintenance path, not just the log.
+        for sid in 0..4i64 {
+            engine
+                .append_events(&[
+                    vec![Value::Int(sid), Value::Int(0), Value::from("s0")],
+                    vec![Value::Int(sid), Value::Int(1), Value::from("s1")],
+                ])
+                .expect("seed batch");
+        }
+        engine.execute(&spec()).expect("prime live spec");
+        let (mut extended, mut indexes, mut fallbacks) = (0usize, 0usize, 0usize);
+        let t0 = Instant::now();
+        for b in 0..batches {
+            let sid = 100 + b as i64;
+            let batch: Vec<Vec<Value>> = (0..batch_size)
+                .map(|p| {
+                    vec![
+                        Value::Int(sid),
+                        Value::Int(p as i64),
+                        Value::from(if (b + p) % 2 == 0 { "s0" } else { "s1" }),
+                    ]
+                })
+                .collect();
+            let report = engine.append_events(&batch).expect("stream batch");
+            extended += report.groups_extended;
+            indexes += report.indexes_extended;
+            fallbacks += report.rebuild_fallbacks;
+        }
+        let elapsed = t0.elapsed();
+        let events = batches * batch_size;
+        let eps = events as f64 / elapsed.as_secs_f64();
+        println!(
+            "  {:<10} {:>10} {:>12.0} {:>10} {:>10} {:>10}",
+            name, events, eps, extended, indexes, fallbacks
+        );
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"policy\":\"{name}\",\"events\":{events},\"batches\":{batches},\
+             \"elapsed_ms\":{:.3},\"events_per_sec\":{:.0},\"groups_extended\":{extended},\
+             \"indexes_extended\":{indexes},\"rebuild_fallbacks\":{fallbacks}}}",
+            elapsed.as_secs_f64() * 1000.0,
+            eps
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    json.push_str("]}\n");
+    std::fs::write("BENCH_ingest.json", &json).expect("write BENCH_ingest.json");
+    println!("wrote BENCH_ingest.json");
+}
+
 fn main() {
+    // Arm SOLAP_FAILPOINTS before any measurement code runs: parts of the
+    // harness touch eventdb/index paths without constructing an `Engine`,
+    // so the builder's own seeding cannot be relied on here.
+    solap_eventdb::failpoint::init();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 0.05f64;
     let mut which: Vec<String> = Vec::new();
@@ -587,6 +706,7 @@ fn main() {
             "profile" => profile_dump(scale),
             "serve" => serve_bench(scale),
             "index" => index_bench(scale),
+            "ingest" => ingest_bench(scale),
             "all" => {
                 table1(scale);
                 fig16(scale);
@@ -600,7 +720,7 @@ fn main() {
             }
             other => {
                 eprintln!(
-                    "unknown experiment `{other}` — table1|fig16|qa-vary-l|qb|qc|vary-theta|vary-i|subsequence|ablation|threads|profile|serve|index|all"
+                    "unknown experiment `{other}` — table1|fig16|qa-vary-l|qb|qc|vary-theta|vary-i|subsequence|ablation|threads|profile|serve|index|ingest|all"
                 );
                 std::process::exit(2);
             }

@@ -189,7 +189,7 @@ pub fn run_plan(db: EventDb, plan: &Plan, config: EngineConfig, label: &str) -> 
             Step::Op { label, pre, op } => {
                 let (mut spec, cuboid) = current.clone().expect("plan starts with a query");
                 for p in pre {
-                    spec = apply_pre(engine.db(), &spec, &cuboid, p)?;
+                    spec = apply_pre(&engine.db(), &spec, &cuboid, p)?;
                 }
                 let (new_spec, out) = engine.execute_op(&spec, op)?;
                 report.steps.push(StepReport {

@@ -189,7 +189,7 @@ fn save_cmd(slot: &mut Option<SessionCtx>, args: &[&str]) -> Response {
         return Response::err("usage", "no dataset loaded — try `.gen transit`");
     };
     let db = ctx.session().engine().db();
-    match solap_eventdb::persist::save_to_path(db, path) {
+    match solap_eventdb::persist::save_to_path(&db, path) {
         Ok(()) => Response::ok(format!("saved {} events to {path}\n", db.len())),
         Err(e) => Response::err(e.code(), e.to_string()),
     }
@@ -225,6 +225,9 @@ fn run_script(repl: &mut Repl, script: &str, out: &mut impl Write) -> io::Result
 }
 
 fn main() -> io::Result<()> {
+    // Arm SOLAP_FAILPOINTS at process entry: a `--connect` REPL never
+    // constructs a local `Engine`, so the builder seeding never runs.
+    solap_eventdb::failpoint::init();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     let flag_value = |flag: &str| -> Option<&String> {

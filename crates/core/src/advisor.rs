@@ -388,7 +388,7 @@ mod tests {
         }];
         let engine = Engine::new(db);
         let g = engine.sequence_groups(&workload[0].spec).unwrap();
-        let advice = advise(engine.db(), &g, &workload, usize::MAX, 50).unwrap();
+        let advice = advise(&engine.db(), &g, &workload, usize::MAX, 50).unwrap();
         let built = apply_advice(&engine, &workload, &advice).unwrap();
         assert!(built > 0);
         let out = engine.execute(&workload[0].spec).unwrap();

@@ -1,20 +1,25 @@
 //! The S-OLAP Engine (Figure 6): wires together the sequence cache, the
 //! index store, the cuboid repository and the two construction strategies.
 
+use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 use solap_eventdb::metrics::{self, Counter, QueryProfile, QueryRecorder};
 use solap_eventdb::seqcache::SequenceCache;
 use solap_eventdb::trace::{self, TraceValue};
 use solap_eventdb::{
-    fail_point, panic_message, CancelToken, Error, EventDb, Pred, QueryGovernor, Result,
-    SequenceGroups,
+    fail_point, panic_message, CancelToken, Error, EventDb, EventLog, FsyncPolicy, Pred,
+    QueryGovernor, RecoveryReport, Result, RowId, Sequence, SequenceGroups, Sid, Value,
 };
-use solap_index::{IndexStore, SetBackend};
+use solap_index::{IndexKey, IndexStore, SetBackend};
 use solap_pattern::PatternKind;
+
+use crate::incremental;
 
 use crate::cb::{counter_based_governed, counter_based_parallel_governed, CounterMode};
 use crate::cuboid::SCuboid;
@@ -175,6 +180,8 @@ pub struct EngineBuilder {
     seq_cache: (usize, usize),
     index_store: (usize, usize),
     cuboid_repo: (usize, usize),
+    log: Option<EventLog>,
+    recovery: Option<RecoveryReport>,
 }
 
 impl EngineBuilder {
@@ -185,7 +192,55 @@ impl EngineBuilder {
             seq_cache: (64, 256 << 20),
             index_store: (256, 512 << 20),
             cuboid_repo: (128, 256 << 20),
+            log: None,
+            recovery: None,
         }
+    }
+
+    /// Durable ingestion: opens (or creates) the segmented event log in
+    /// `dir`, replays every durable event into the database, and arms the
+    /// engine's store path ([`Engine::append_events`]) to write-ahead-log
+    /// each batch before acknowledging it. The fsync policy comes from
+    /// `SOLAP_FSYNC` (`always` | `batch` | `off`, default `batch`).
+    ///
+    /// What recovery did (replayed events, adopted segments, truncated
+    /// torn tail) is reported by [`Engine::recovery_report`].
+    pub fn durable(self, dir: impl AsRef<Path>) -> Result<Self> {
+        self.durable_with_policy(dir, FsyncPolicy::from_env())
+    }
+
+    /// [`EngineBuilder::durable`] with an explicit [`FsyncPolicy`].
+    pub fn durable_with_policy(self, dir: impl AsRef<Path>, policy: FsyncPolicy) -> Result<Self> {
+        let (log, rows, report) = EventLog::open(dir.as_ref(), policy)?;
+        self.adopt_log(log, rows, report)
+    }
+
+    /// [`EngineBuilder::durable`] with an explicit policy and WAL rotation
+    /// threshold (tests and benches use small segments to exercise
+    /// rotation through the engine path).
+    pub fn durable_with_options(
+        self,
+        dir: impl AsRef<Path>,
+        policy: FsyncPolicy,
+        segment_bytes: u64,
+    ) -> Result<Self> {
+        let (log, rows, report) =
+            EventLog::open_with_segment_bytes(dir.as_ref(), policy, segment_bytes)?;
+        self.adopt_log(log, rows, report)
+    }
+
+    fn adopt_log(
+        mut self,
+        log: EventLog,
+        rows: Vec<Vec<Value>>,
+        report: RecoveryReport,
+    ) -> Result<Self> {
+        for row in &rows {
+            self.db.push_row(row)?;
+        }
+        self.log = Some(log);
+        self.recovery = Some(report);
+        Ok(self)
     }
 
     /// Construction strategy (CB, II or auto).
@@ -281,22 +336,62 @@ impl EngineBuilder {
         // the one every surface goes through.
         solap_eventdb::failpoint::init();
         Engine {
-            db: self.db,
+            db: RwLock::new(self.db),
+            log: Mutex::new(self.log),
+            recovery: self.recovery,
             config: self.config,
             seq_cache: SequenceCache::new(self.seq_cache.0, self.seq_cache.1),
             index_store: IndexStore::new(self.index_store.0, self.index_store.1),
             cuboid_repo: CuboidRepo::new(self.cuboid_repo.0, self.cuboid_repo.1),
+            live: Mutex::new(Vec::new()),
         }
     }
 }
 
+/// A shared read guard over the engine's event database. Derefs to
+/// [`EventDb`]; queries hold one for their whole execution, appends take
+/// the write side briefly.
+pub type DbGuard<'a> = RwLockReadGuard<'a, EventDb>;
+
+/// How many recently executed specs the engine remembers for incremental
+/// cache maintenance on the store path.
+const LIVE_SPECS_CAP: usize = 32;
+
+/// What one acknowledged [`Engine::append_events`] batch did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreReport {
+    /// Events appended.
+    pub appended: usize,
+    /// Database version after the append.
+    pub version: u64,
+    /// Whether the batch was committed to the write-ahead log (per the
+    /// fsync policy) before it was applied or acknowledged.
+    pub durable: bool,
+    /// Cached sequence-group sets carried forward incrementally (§6).
+    pub groups_extended: usize,
+    /// Stored inverted indices carried forward incrementally (§6).
+    pub indexes_extended: usize,
+    /// Cached sequence-group sets abandoned because the batch touched an
+    /// existing cluster ([`Error::ClusterInvalidated`]) or the extension
+    /// failed — the next query rebuilds them from scratch.
+    pub rebuild_fallbacks: usize,
+}
+
 /// The S-OLAP engine.
 pub struct Engine {
-    db: EventDb,
+    db: RwLock<EventDb>,
+    /// The durable event log, when built with [`EngineBuilder::durable`].
+    /// Doubles as the ingest lock: appends hold it end to end, so WAL
+    /// order always equals database order.
+    log: Mutex<Option<EventLog>>,
+    recovery: Option<RecoveryReport>,
     config: EngineConfig,
     seq_cache: SequenceCache,
     index_store: IndexStore,
     cuboid_repo: CuboidRepo,
+    /// Recently executed specs (MRU last), the candidates for incremental
+    /// cache maintenance when events are appended.
+    live: Mutex<Vec<SCuboidSpec>>,
 }
 
 impl Engine {
@@ -316,16 +411,269 @@ impl Engine {
         Engine::builder(db).config(config).build()
     }
 
-    /// The event database.
-    pub fn db(&self) -> &EventDb {
-        &self.db
+    /// The event database (shared read guard; appends wait until every
+    /// outstanding guard drops).
+    pub fn db(&self) -> DbGuard<'_> {
+        self.db.read()
     }
 
-    /// Mutable access for loading and incremental update. Mutations bump
-    /// the database version, which transparently invalidates the sequence
-    /// cache, index store keys and cuboid repository entries.
+    /// Mutable access for loading and schema/hierarchy work. Mutations
+    /// bump the database version, which transparently invalidates the
+    /// sequence cache, index store keys and cuboid repository entries.
+    ///
+    /// Requires exclusive engine access and bypasses the write-ahead log —
+    /// shared serving uses [`Engine::append_events`] instead, which works
+    /// through `&self` and (on durable engines) commits to the WAL first.
     pub fn db_mut(&mut self) -> &mut EventDb {
-        &mut self.db
+        self.db.get_mut()
+    }
+
+    /// What recovery did when the engine was built with
+    /// [`EngineBuilder::durable`] (`None` on non-durable engines).
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// Whether appends are write-ahead logged before acknowledgement.
+    pub fn is_durable(&self) -> bool {
+        self.log.lock().is_some()
+    }
+
+    /// Forces an fsync of the active WAL regardless of policy (no-op on
+    /// non-durable engines). Orderly-shutdown hook for `SOLAP_FSYNC=off`.
+    pub fn sync(&self) -> Result<()> {
+        match self.log.lock().as_mut() {
+            Some(log) => log.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Appends a batch of events under the engine defaults — see
+    /// [`Engine::append_events_configured`].
+    pub fn append_events(&self, rows: &[Vec<Value>]) -> Result<StoreReport> {
+        self.append_events_configured(rows, &self.config)
+    }
+
+    /// Appends a batch of events through `&self` — the serving-path write
+    /// API behind the query language's `STORE` statement.
+    ///
+    /// The batch is validated against the schema first, then (on durable
+    /// engines) committed to the write-ahead log — group commit, fsynced
+    /// per the [`FsyncPolicy`] — and only then applied to the in-memory
+    /// database, so a WAL-committed batch can never fail to apply and an
+    /// acknowledged batch is durable. Appends are serialised (WAL order
+    /// equals database order); concurrent queries keep reading the
+    /// pre-append snapshot until the brief write-lock window.
+    ///
+    /// After the append, cached derivations of recently executed specs are
+    /// carried forward incrementally (§6 "Incremental Update") where the
+    /// invariants allow; a batch that lands in an existing cluster trips
+    /// [`Error::ClusterInvalidated`] internally and falls back to
+    /// rebuild-on-next-query (counted in the report, never an error).
+    /// Runs under the configured [`QueryGovernor`] limits and the same
+    /// panic isolation as [`Engine::execute`].
+    pub fn append_events_configured(
+        &self,
+        rows: &[Vec<Value>],
+        config: &EngineConfig,
+    ) -> Result<StoreReport> {
+        self.isolated(|| self.append_inner(rows, config))
+    }
+
+    fn append_inner(&self, rows: &[Vec<Value>], config: &EngineConfig) -> Result<StoreReport> {
+        let gov = Engine::governor(config);
+        let recorder = if metrics::enabled() {
+            Some(QueryRecorder::default())
+        } else {
+            None
+        };
+        // One ingest at a time: the log mutex serialises writers end to
+        // end, so WAL order always equals database order.
+        let mut log = self.log.lock();
+        {
+            let db = self.db.read();
+            for row in rows {
+                gov.tick()?;
+                db.validate_row(row)?;
+            }
+        }
+        // Durability point: the validated batch is WAL-committed (and
+        // fsynced per policy) before it is applied or acknowledged.
+        let mut durable = false;
+        let (mut wal_fsyncs, mut wal_rotations) = (0, 0);
+        if let Some(log) = log.as_mut() {
+            let (f0, r0) = (log.fsyncs(), log.rotations());
+            log.append_batch(rows)?;
+            wal_fsyncs = log.fsyncs() - f0;
+            wal_rotations = log.rotations() - r0;
+            durable = true;
+        }
+        // Apply. A validated row cannot fail to push, so the database
+        // never falls behind a WAL-committed batch.
+        let (old_version, from_row, new_version);
+        {
+            let mut db = self.db.write();
+            old_version = db.version();
+            from_row = db.len() as RowId;
+            for row in rows {
+                db.push_row(row)?;
+            }
+            new_version = db.version();
+        }
+        let mut report = StoreReport {
+            appended: rows.len(),
+            version: new_version,
+            durable,
+            ..Default::default()
+        };
+        if new_version != old_version {
+            self.maintain_caches(old_version, new_version, from_row, &mut report);
+        }
+        if let Some(rec) = &recorder {
+            if !rows.is_empty() {
+                rec.add(Counter::StoreEvents, rows.len() as u64);
+                rec.add(Counter::WalFsyncs, wal_fsyncs);
+                rec.add(Counter::WalRotations, wal_rotations);
+                rec.add(Counter::IngestGroupsExtended, report.groups_extended as u64);
+                rec.add(
+                    Counter::IngestIndexesExtended,
+                    report.indexes_extended as u64,
+                );
+                rec.add(
+                    Counter::IngestRebuildFallbacks,
+                    report.rebuild_fallbacks as u64,
+                );
+                rec.add(Counter::GovernorTicks, gov.events_ticked());
+                metrics::global().record(&QueryProfile::from_recorder(rec));
+            }
+        }
+        Ok(report)
+    }
+
+    /// Carries cached derivations of recently executed specs forward to
+    /// the post-append database version where the incremental-update
+    /// invariants (§6) allow. Best-effort by design: correctness comes
+    /// from version-keyed cache lookups, so a skipped spec simply
+    /// rebuilds on its next query — this only decides *rebuild vs
+    /// extend*, never *right vs wrong*.
+    fn maintain_caches(
+        &self,
+        old_version: u64,
+        new_version: u64,
+        from_row: RowId,
+        report: &mut StoreReport,
+    ) {
+        let live: Vec<SCuboidSpec> = self.live.lock().clone();
+        if live.is_empty() {
+            return;
+        }
+        let db = self.db.read();
+        for spec in &live {
+            let Some(old_groups) = self.seq_cache.cached(&spec.seq, old_version) else {
+                continue;
+            };
+            match incremental::extend_groups(&db, &spec.seq, &old_groups, from_row) {
+                Ok((extended, new_sids)) => {
+                    let renumbered = new_sids
+                        .iter()
+                        .any(|&sid| (sid as usize) < old_groups.total_sequences);
+                    let extended = Arc::new(extended);
+                    self.seq_cache
+                        .put(&spec.seq, new_version, Arc::clone(&extended));
+                    report.groups_extended += 1;
+                    if renumbered {
+                        // Existing sids shifted: the stored per-group
+                        // indices no longer line up, so let them age out
+                        // of the LRU and rebuild on demand.
+                        continue;
+                    }
+                    report.indexes_extended += self.carry_indexes_forward(
+                        &db,
+                        spec,
+                        &extended,
+                        &new_sids,
+                        old_version,
+                        new_version,
+                    );
+                }
+                // ClusterInvalidated (the batch extends a cluster that
+                // already has sequences) or any other extension failure:
+                // drop the carry-forward, rebuild on the next query.
+                Err(_) => report.rebuild_fallbacks += 1,
+            }
+        }
+    }
+
+    /// Extends the stored base inverted indices of `spec` (one per
+    /// sequence group, at `slice_fp = 0`) with the newly appended
+    /// sequences and re-keys them under the post-append fingerprint.
+    /// Returns how many indices were carried forward.
+    fn carry_indexes_forward(
+        &self,
+        db: &EventDb,
+        spec: &SCuboidSpec,
+        extended: &SequenceGroups,
+        new_sids: &[Sid],
+        old_version: u64,
+        new_version: u64,
+    ) -> usize {
+        let old_fp = groups_fp(spec, old_version);
+        let new_fp = groups_fp(spec, new_version);
+        let sig = spec.template.signature();
+        let fresh_sids: HashSet<Sid> = new_sids.iter().copied().collect();
+        let mut carried = 0;
+        for (group_idx, group) in extended.groups.iter().enumerate() {
+            let key = IndexKey {
+                groups_fp: old_fp,
+                group_idx,
+                sig: sig.clone(),
+                slice_fp: 0,
+            };
+            let Some(base) = self.index_store.get(&key) else {
+                continue;
+            };
+            let fresh: Vec<Sequence> = group
+                .sequences
+                .iter()
+                .filter(|s| fresh_sids.contains(&s.sid))
+                .cloned()
+                .collect();
+            let next = if fresh.is_empty() {
+                base
+            } else {
+                match incremental::extend_index(db, &base, &fresh, &spec.template) {
+                    Ok(ix) => Arc::new(ix),
+                    Err(_) => continue,
+                }
+            };
+            self.index_store.insert(
+                IndexKey {
+                    groups_fp: new_fp,
+                    group_idx,
+                    sig: sig.clone(),
+                    slice_fp: 0,
+                },
+                next,
+            );
+            carried += 1;
+        }
+        carried
+    }
+
+    /// Remembers `spec` as recently executed (MRU, bounded) so the store
+    /// path knows which cached derivations are worth carrying forward.
+    fn remember_live_spec(&self, spec: &SCuboidSpec) {
+        let mut live = self.live.lock();
+        let fp = spec.fingerprint();
+        if let Some(i) = live.iter().position(|s| s.fingerprint() == fp) {
+            let s = live.remove(i);
+            live.push(s);
+            return;
+        }
+        live.push(spec.clone());
+        if live.len() > LIVE_SPECS_CAP {
+            live.remove(0);
+        }
     }
 
     /// The engine configuration.
@@ -355,14 +703,8 @@ impl Engine {
 
     /// The sequence groups for a spec (cached).
     pub fn sequence_groups(&self, spec: &SCuboidSpec) -> Result<Arc<SequenceGroups>> {
-        self.seq_cache.get_or_build(&self.db, &spec.seq)
-    }
-
-    fn groups_fp(&self, spec: &SCuboidSpec) -> u64 {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        spec.seq.fingerprint().hash(&mut h);
-        self.db.version().hash(&mut h);
-        h.finish()
+        let db = self.db.read();
+        self.seq_cache.get_or_build(&db, &spec.seq)
     }
 
     fn effective_strategy(config: &EngineConfig, spec: &SCuboidSpec) -> Strategy {
@@ -415,7 +757,7 @@ impl Engine {
         config: &EngineConfig,
     ) -> Result<(SCuboidSpec, QueryOutput)> {
         self.isolated(|| {
-            let new_spec = ops::apply(&self.db, prev, op)?;
+            let new_spec = ops::apply(&self.db.read(), prev, op)?;
             let out = self.execute_with(&new_spec, Some((prev, op)), config)?;
             Ok((new_spec, out))
         })
@@ -430,7 +772,7 @@ impl Engine {
     /// [`Engine::execute`].
     pub fn execute_op(&self, prev: &SCuboidSpec, op: &Op) -> Result<(SCuboidSpec, QueryOutput)> {
         self.isolated(|| {
-            let new_spec = ops::apply(&self.db, prev, op)?;
+            let new_spec = ops::apply(&self.db.read(), prev, op)?;
             let out = self.execute_with(&new_spec, Some((prev, op)), &self.config)?;
             Ok((new_spec, out))
         })
@@ -468,7 +810,8 @@ impl Engine {
     /// [`Engine::explain`] under a caller-supplied configuration — see
     /// [`Engine::execute_configured`].
     pub fn explain_configured(&self, spec: &SCuboidSpec, config: &EngineConfig) -> Result<String> {
-        spec.validate(&self.db)?;
+        let db = self.db.read();
+        spec.validate(&db)?;
         let strategy = Engine::effective_strategy(config, spec);
         let (name, why) = match (config.strategy, strategy) {
             (Strategy::Auto, Strategy::CounterBased) => {
@@ -480,7 +823,7 @@ impl Engine {
         };
         let mut out = String::new();
         out.push_str("query:\n");
-        for line in spec.render(&self.db).lines() {
+        for line in spec.render(&db).lines() {
             out.push_str("  ");
             out.push_str(line);
             out.push('\n');
@@ -493,11 +836,11 @@ impl Engine {
         ));
         out.push_str(&format!(
             "  step 1-2 (select + cluster): scan {} events, filter {}\n",
-            self.db.len(),
+            db.len(),
             if spec.seq.filter == Pred::True {
                 "TRUE".to_string()
             } else {
-                spec.seq.filter.render(&self.db)
+                spec.seq.filter.render(&db)
             }
         ));
         out.push_str(&format!(
@@ -595,11 +938,16 @@ impl Engine {
         hint: Option<(&SCuboidSpec, &Op)>,
         config: &EngineConfig,
     ) -> Result<QueryOutput> {
-        spec.validate(&self.db)?;
+        // One read guard for the whole query: the snapshot it sees is the
+        // database as of query start; appends wait in the brief write-lock
+        // window until the guard drops.
+        let db = self.db.read();
+        spec.validate(&db)?;
+        self.remember_live_spec(spec);
         let start = Instant::now();
         let fp = spec.fingerprint();
         if config.use_cuboid_repo {
-            if let Some(cached) = self.cuboid_repo.get(fp, self.db.version()) {
+            if let Some(cached) = self.cuboid_repo.get(fp, db.version()) {
                 let mut profile = if metrics::enabled() {
                     let rec = QueryRecorder::default();
                     rec.add(Counter::CuboidCacheHits, 1);
@@ -631,9 +979,7 @@ impl Engine {
         if let Some(rec) = &recorder {
             gov = gov.with_recorder(Arc::clone(rec));
         }
-        let groups = self
-            .seq_cache
-            .get_or_build_governed(&self.db, &spec.seq, &gov)?;
+        let groups = self.seq_cache.get_or_build_governed(&db, &spec.seq, &gov)?;
         let mut meter = ScanMeter::new();
         let mut stats = ExecStats::default();
         let strategy = Engine::effective_strategy(config, spec);
@@ -642,7 +988,7 @@ impl Engine {
                 stats.strategy = "CB";
                 if config.threads > 1 {
                     counter_based_parallel_governed(
-                        &self.db,
+                        &db,
                         &groups,
                         spec,
                         config.threads,
@@ -651,7 +997,7 @@ impl Engine {
                     )?
                 } else {
                     counter_based_governed(
-                        &self.db,
+                        &db,
                         &groups,
                         spec,
                         config.counter_mode,
@@ -663,9 +1009,9 @@ impl Engine {
             Strategy::InvertedIndex | Strategy::Auto => {
                 stats.strategy = "II";
                 let ex = IiExecutor::new(
-                    &self.db,
+                    &db,
                     &groups,
-                    self.groups_fp(spec),
+                    groups_fp(spec, db.version()),
                     &self.index_store,
                     config.backend,
                 )
@@ -718,7 +1064,7 @@ impl Engine {
         if config.use_cuboid_repo {
             fail_point!("engine.insert");
             self.cuboid_repo
-                .insert(fp, self.db.version(), Arc::clone(&cuboid));
+                .insert(fp, db.version(), Arc::clone(&cuboid));
         }
         Ok(QueryOutput {
             cuboid,
@@ -738,17 +1084,29 @@ impl Engine {
         level: usize,
         m: usize,
     ) -> Result<usize> {
-        let groups = self.seq_cache.get_or_build(&self.db, &spec.seq)?;
+        let db = self.db.read();
+        let groups = self.seq_cache.get_or_build(&db, &spec.seq)?;
         let ex = IiExecutor::new(
-            &self.db,
+            &db,
             &groups,
-            self.groups_fp(spec),
+            groups_fp(spec, db.version()),
             &self.index_store,
             self.config.backend,
         )
         .with_threads(self.config.threads);
         ex.precompute_generic(attr, level, m, spec.template.kind)
     }
+}
+
+/// Fingerprint identifying the sequence groups of `spec` at a database
+/// version — the index store's `groups_fp` key component. A free function
+/// (not a method) so the store path can compute pre- and post-append
+/// fingerprints without touching the lock.
+fn groups_fp(spec: &SCuboidSpec, db_version: u64) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    spec.seq.fingerprint().hash(&mut h);
+    db_version.hash(&mut h);
+    h.finish()
 }
 
 #[cfg(test)]
@@ -833,8 +1191,8 @@ mod tests {
             strategy: Strategy::InvertedIndex,
             ..Default::default()
         });
-        let a = cb.execute(&q3(cb.db())).unwrap();
-        let b = ii.execute(&q3(ii.db())).unwrap();
+        let a = cb.execute(&q3(&cb.db())).unwrap();
+        let b = ii.execute(&q3(&ii.db())).unwrap();
         assert_eq!(a.cuboid.cells, b.cuboid.cells);
         assert_eq!(a.stats.strategy, "CB");
         assert_eq!(b.stats.strategy, "II");
@@ -844,7 +1202,7 @@ mod tests {
     #[test]
     fn cuboid_repo_answers_repeats() {
         let e = fig8_engine(EngineConfig::default());
-        let spec = q3(e.db());
+        let spec = q3(&e.db());
         let first = e.execute(&spec).unwrap();
         assert!(!first.stats.cuboid_cache_hit);
         let second = e.execute(&spec).unwrap();
@@ -856,7 +1214,7 @@ mod tests {
     #[test]
     fn append_then_de_tail_hits_cache() {
         let e = fig8_engine(EngineConfig::default());
-        let qa = q3(e.db());
+        let qa = q3(&e.db());
         e.execute(&qa).unwrap();
         let (qb, _) = e
             .execute_op(
@@ -879,7 +1237,7 @@ mod tests {
     #[test]
     fn execute_op_p_roll_up_uses_merge() {
         let e = fig8_engine(EngineConfig::default());
-        let mut qa = q3(e.db());
+        let mut qa = q3(&e.db());
         qa.mpred = MatchPred::True; // merge + pure count ⇒ zero scans
         e.execute(&qa).unwrap();
         let (_, out) = e.execute_op(&qa, &Op::PRollUp { dim: "Y".into() }).unwrap();
@@ -889,7 +1247,7 @@ mod tests {
             strategy: Strategy::CounterBased,
             ..Default::default()
         });
-        let coarse = ops::apply(cb.db(), &qa, &Op::PRollUp { dim: "Y".into() }).unwrap();
+        let coarse = ops::apply(&cb.db(), &qa, &Op::PRollUp { dim: "Y".into() }).unwrap();
         let expect = cb.execute(&coarse).unwrap();
         assert_eq!(out.cuboid.cells, expect.cuboid.cells);
     }
@@ -897,7 +1255,7 @@ mod tests {
     #[test]
     fn auto_uses_cb_for_long_subsequences() {
         let e = fig8_engine(EngineConfig::default());
-        let mut spec = q3(e.db());
+        let mut spec = q3(&e.db());
         spec.template = PatternTemplate::new(
             PatternKind::Subsequence,
             &["A", "B", "C", "D"],
@@ -912,7 +1270,7 @@ mod tests {
     #[test]
     fn min_support_filters_cells() {
         let e = fig8_engine(EngineConfig::default());
-        let spec = q3(e.db()).with_min_support(2);
+        let spec = q3(&e.db()).with_min_support(2);
         let out = e.execute(&spec).unwrap();
         // Figure 12: only (Pentagon,Wheaton) and (Wheaton,Pentagon) have 2.
         assert_eq!(out.cuboid.len(), 2);
@@ -921,7 +1279,7 @@ mod tests {
     #[test]
     fn mutation_invalidates_repo() {
         let mut e = fig8_engine(EngineConfig::default());
-        let spec = q3(e.db());
+        let spec = q3(&e.db());
         e.execute(&spec).unwrap();
         e.db_mut()
             .push_row(&[
@@ -938,7 +1296,7 @@ mod tests {
     #[test]
     fn precompute_reduces_first_query_builds() {
         let e = fig8_engine(EngineConfig::default());
-        let spec = q3(e.db());
+        let spec = q3(&e.db());
         let bytes = e.precompute_index(&spec, 2, 0, 2).unwrap();
         assert!(bytes > 0);
         let out = e.execute(&spec).unwrap();
@@ -948,7 +1306,7 @@ mod tests {
     #[test]
     fn profile_accompanies_every_execute() {
         let e = fig8_engine(EngineConfig::default());
-        let spec = q3(e.db());
+        let spec = q3(&e.db());
         let first = e.execute(&spec).unwrap();
         assert_eq!(first.profile.strategy, "II");
         assert!(first.profile.elapsed_nanos > 0);
@@ -992,7 +1350,7 @@ mod tests {
     #[test]
     fn explain_is_deterministic_and_does_not_execute() {
         let e = fig8_engine(EngineConfig::default());
-        let spec = q3(e.db());
+        let spec = q3(&e.db());
         let a = e.explain(&spec).unwrap();
         let b = e.explain(&spec).unwrap();
         assert_eq!(a, b);
@@ -1006,7 +1364,7 @@ mod tests {
     #[test]
     fn explain_reports_cb_fallback_for_long_subsequences() {
         let e = fig8_engine(EngineConfig::default());
-        let mut spec = q3(e.db());
+        let mut spec = q3(&e.db());
         spec.template = PatternTemplate::new(
             PatternKind::Subsequence,
             &["A", "B", "C", "D"],
@@ -1026,8 +1384,130 @@ mod tests {
             ..Default::default()
         });
         let ii = fig8_engine(EngineConfig::default());
-        let a = e.execute(&q3(e.db())).unwrap();
-        let b = ii.execute(&q3(ii.db())).unwrap();
+        let a = e.execute(&q3(&e.db())).unwrap();
+        let b = ii.execute(&q3(&ii.db())).unwrap();
         assert_eq!(a.cuboid.cells, b.cuboid.cells);
+    }
+
+    /// An event row in the Figure-8 schema: `(sid, pos, location, action)`
+    /// with actions alternating in/out like the seed data.
+    fn ev(sid: i64, pos: i64, station: &str) -> Vec<Value> {
+        let action = if pos % 2 == 0 { "in" } else { "out" };
+        vec![
+            Value::Int(sid),
+            Value::Int(pos),
+            Value::from(station),
+            Value::from(action),
+        ]
+    }
+
+    #[test]
+    fn append_new_cluster_extends_live_caches() {
+        let e = fig8_engine(EngineConfig {
+            strategy: Strategy::InvertedIndex,
+            ..Default::default()
+        });
+        let spec = q3(&e.db());
+        e.execute(&spec).unwrap(); // registers the live spec + caches
+        let report = e
+            .append_events(&[ev(9, 0, "Pentagon"), ev(9, 1, "Wheaton")])
+            .unwrap();
+        assert_eq!(report.appended, 2);
+        assert!(!report.durable, "in-memory engine has no WAL");
+        assert_eq!(report.groups_extended, 1, "cached groups carried forward");
+        assert_eq!(report.rebuild_fallbacks, 0);
+        assert!(report.indexes_extended >= 1, "base II carried forward");
+        // The carried-forward caches must answer identically to a fresh
+        // engine rebuilt over the same post-append data.
+        let after = e.execute(&spec).unwrap();
+        let fresh = Engine::with_config(
+            e.db().clone(),
+            EngineConfig {
+                strategy: Strategy::InvertedIndex,
+                ..Default::default()
+            },
+        );
+        let expect = fresh.execute(&spec).unwrap();
+        assert_eq!(after.cuboid.cells, expect.cuboid.cells);
+    }
+
+    #[test]
+    fn append_into_existing_cluster_falls_back_to_rebuild() {
+        let e = fig8_engine(EngineConfig::default());
+        let spec = q3(&e.db());
+        e.execute(&spec).unwrap();
+        // Sid 0 already has sequences: extension trips ClusterInvalidated
+        // and the engine abandons the carry-forward instead of corrupting
+        // the cache.
+        let report = e.append_events(&[ev(0, 99, "Glenmont")]).unwrap();
+        assert_eq!(report.appended, 1);
+        assert_eq!(report.groups_extended, 0);
+        assert_eq!(report.rebuild_fallbacks, 1);
+        let after = e.execute(&spec).unwrap();
+        let fresh = Engine::new(e.db().clone());
+        assert_eq!(
+            after.cuboid.cells,
+            fresh.execute(&spec).unwrap().cuboid.cells,
+            "rebuild-on-demand must see the appended event"
+        );
+    }
+
+    #[test]
+    fn append_rejects_invalid_rows_atomically() {
+        let e = fig8_engine(EngineConfig::default());
+        let (len0, v0) = (e.db().len(), e.db().version());
+        let bad = vec![Value::Int(1)]; // wrong arity
+        let err = e.append_events(&[ev(5, 0, "Pentagon"), bad]).unwrap_err();
+        assert_eq!(err.code(), "arity_mismatch");
+        assert_eq!(e.db().len(), len0, "no partial batch applied");
+        assert_eq!(e.db().version(), v0, "version untouched on rejection");
+    }
+
+    #[test]
+    fn append_empty_batch_is_a_noop() {
+        let e = fig8_engine(EngineConfig::default());
+        let v0 = e.db().version();
+        let report = e.append_events(&[]).unwrap();
+        assert_eq!(report.appended, 0);
+        assert_eq!(report.version, v0);
+        assert_eq!(e.db().version(), v0);
+    }
+
+    #[test]
+    fn durable_engine_persists_and_recovers() {
+        let dir = std::env::temp_dir().join(format!("solap-engine-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let schema = || {
+            EventDbBuilder::new()
+                .dimension("sid", ColumnType::Int)
+                .dimension("pos", ColumnType::Int)
+                .dimension("location", ColumnType::Str)
+                .dimension("action", ColumnType::Str)
+                .build()
+                .unwrap()
+        };
+        {
+            let e = Engine::builder(schema())
+                .durable_with_policy(&dir, solap_eventdb::FsyncPolicy::Always)
+                .unwrap()
+                .build();
+            assert!(e.is_durable());
+            assert_eq!(e.recovery_report().unwrap().wal_events, 0);
+            let report = e
+                .append_events(&[ev(1, 0, "Pentagon"), ev(1, 1, "Wheaton")])
+                .unwrap();
+            assert!(report.durable);
+            e.sync().unwrap();
+        }
+        let e = Engine::builder(schema())
+            .durable_with_policy(&dir, solap_eventdb::FsyncPolicy::Always)
+            .unwrap()
+            .build();
+        assert_eq!(e.db().len(), 2, "acknowledged events survive reopen");
+        assert_eq!(e.recovery_report().unwrap().wal_events, 2);
+        let spec = q3(&e.db());
+        let out = e.execute(&spec).unwrap();
+        assert_eq!(out.stats.sequences_scanned, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

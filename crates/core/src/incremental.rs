@@ -65,8 +65,10 @@ pub fn extend_index(
 /// Extends `old` (built before `from_row` rows existed) with the sequences
 /// formed by rows `from_row..`, returning the extended groups **and the
 /// sids of the newly added sequences**. Fails with
-/// [`Error::InvalidOperation`] if a new event lands in an existing cluster
-/// — the batch then straddles old sequences and a full rebuild is required.
+/// [`Error::ClusterInvalidated`] if a new event lands in an existing
+/// cluster — the batch then straddles old sequences and a full rebuild is
+/// required (the engine's store path catches exactly that variant and
+/// falls back to rebuilding on the next query).
 ///
 /// Use the returned sid list to find the new sequences — when a batch
 /// lands in a group that is not last in traversal order, *all* sids after
@@ -95,9 +97,9 @@ pub fn extend_groups(
             key.push(db.value_at_level(row, al.attr, al.level)?);
         }
         if old_clusters.contains_key(key.as_slice()) {
-            return Err(Error::InvalidOperation(format!(
-                "new events extend an existing cluster {key:?}; rebuild the sequence groups"
-            )));
+            return Err(Error::ClusterInvalidated {
+                cluster: format!("{key:?}"),
+            });
         }
         new_cluster_rows.entry(key).or_default().push(row);
     }
@@ -295,7 +297,10 @@ mod tests {
         db.push_row(&[Value::Int(1), Value::Int(9), Value::from("c")])
             .unwrap();
         let err = extend_groups(&db, &spec(), &old, from_row).unwrap_err();
-        assert!(matches!(err, Error::InvalidOperation(_)));
+        let Error::ClusterInvalidated { cluster } = err else {
+            panic!("expected ClusterInvalidated, got {err:?}");
+        };
+        assert!(cluster.contains('1'), "cluster key rendered: {cluster}");
     }
 
     #[test]

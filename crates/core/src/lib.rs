@@ -55,7 +55,9 @@ pub mod spec;
 pub mod stats;
 
 pub use cuboid::{CellKey, SCuboid};
-pub use engine::{Engine, EngineBuilder, EngineConfig, QueryOutput, Strategy};
+pub use engine::{
+    DbGuard, Engine, EngineBuilder, EngineConfig, QueryOutput, StoreReport, Strategy,
+};
 pub use ops::Op;
 pub use session::{HistoryEntry, Session};
 pub use spec::SCuboidSpec;

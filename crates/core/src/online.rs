@@ -12,7 +12,7 @@
 
 use std::collections::HashMap;
 
-use solap_eventdb::{EventDb, Result, SequenceGroups};
+use solap_eventdb::{Error, EventDb, Result, SequenceGroups};
 use solap_pattern::{AggValue, Matcher};
 
 use crate::cb::{cell_selected, group_selected};
@@ -31,7 +31,8 @@ pub struct OnlineSnapshot {
 /// Runs an online COUNT aggregation: `report` is called after every
 /// `chunk_size` sequences with a refreshed estimate, and the exact final
 /// cuboid is returned. Only COUNT specs are supported (the paper motivates
-/// the feature with approximate passenger counts).
+/// the feature with approximate passenger counts); anything else is an
+/// [`Error::InvalidOperation`], as is a zero chunk size.
 pub fn online_count(
     db: &EventDb,
     groups: &SequenceGroups,
@@ -39,11 +40,16 @@ pub fn online_count(
     chunk_size: usize,
     mut report: impl FnMut(&OnlineSnapshot),
 ) -> Result<SCuboid> {
-    assert!(
-        matches!(spec.agg, solap_pattern::AggFunc::Count),
-        "online aggregation estimates COUNT cuboids"
-    );
-    assert!(chunk_size > 0, "chunk size must be positive");
+    if !matches!(spec.agg, solap_pattern::AggFunc::Count) {
+        return Err(Error::InvalidOperation(
+            "online aggregation estimates COUNT cuboids only".into(),
+        ));
+    }
+    if chunk_size == 0 {
+        return Err(Error::InvalidOperation(
+            "online aggregation needs a positive chunk size".into(),
+        ));
+    }
     let matcher = Matcher::new(db, &spec.template, &spec.mpred);
     let total: usize = groups
         .groups
@@ -226,6 +232,19 @@ mod tests {
             "early estimate too far off: {}",
             errors[0]
         );
+    }
+
+    #[test]
+    fn unsupported_inputs_are_typed_errors() {
+        let db = db(4);
+        let s = spec();
+        let groups = build_sequence_groups(&db, &s.seq).unwrap();
+        let zero = online_count(&db, &groups, &s, 0, |_| {}).unwrap_err();
+        assert_eq!(zero.code(), "invalid_operation");
+        let mut sum = spec();
+        sum.agg = solap_pattern::AggFunc::Sum(1, solap_pattern::SumMode::AllEvents);
+        let bad = online_count(&db, &groups, &sum, 5, |_| {}).unwrap_err();
+        assert_eq!(bad.code(), "invalid_operation");
     }
 
     #[test]

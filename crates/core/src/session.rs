@@ -241,7 +241,7 @@ mod tests {
     #[test]
     fn navigate_append_and_back() {
         let e = engine();
-        let spec = initial(e.db());
+        let spec = initial(&e.db());
         let mut s = Session::start(e, spec).unwrap();
         assert_eq!(s.history().len(), 1);
         let before = s.spec().unwrap().fingerprint();
@@ -262,9 +262,9 @@ mod tests {
     #[test]
     fn fresh_query_resets_spec() {
         let e = engine();
-        let spec = initial(e.db());
+        let spec = initial(&e.db());
         let mut s = Session::start(e, spec).unwrap();
-        let mut other = initial(s.engine().db());
+        let mut other = initial(&s.engine().db());
         other.mpred = MatchPred::True;
         let out = s.query(other.clone()).unwrap();
         assert_eq!(s.spec().unwrap().fingerprint(), other.fingerprint());
@@ -275,7 +275,7 @@ mod tests {
     #[test]
     fn cuboid_follows_operations() {
         let e = engine();
-        let spec = initial(e.db());
+        let spec = initial(&e.db());
         let mut s = Session::start(e, spec).unwrap();
         let n_before = s.cuboid().unwrap().len();
         s.apply(Op::SetMinSupport(Some(1_000_000))).unwrap();
@@ -298,7 +298,7 @@ mod tests {
     #[test]
     fn sessions_share_an_engine_but_not_config() {
         let e = engine();
-        let spec = initial(e.db());
+        let spec = initial(&e.db());
         let mut a = Session::new(Arc::clone(&e));
         let mut b = Session::new(Arc::clone(&e));
         a.config_mut().strategy = crate::engine::Strategy::CounterBased;

@@ -56,6 +56,13 @@ pub enum Error {
     /// An operation invalid in the current state (e.g. DE-TAIL on a
     /// length-1 pattern template).
     InvalidOperation(String),
+    /// An incremental extension found new events landing in a cluster that
+    /// already has sequences — the cached sequence groups for that spec are
+    /// invalidated and the caller must fall back to a full rebuild.
+    ClusterInvalidated {
+        /// Rendered key of the cluster the new events touched.
+        cluster: String,
+    },
     /// A persisted snapshot that cannot be decoded: truncated input,
     /// malformed framing, or values that violate a format invariant.
     Corrupt {
@@ -100,6 +107,7 @@ impl Error {
             Error::BadLiteral(_) => "bad_literal",
             Error::Parse { .. } => "parse",
             Error::InvalidOperation(_) => "invalid_operation",
+            Error::ClusterInvalidated { .. } => "cluster_invalidated",
             Error::Corrupt { .. } => "corrupt",
             Error::ResourceExhausted { .. } => "resource_exhausted",
             Error::Cancelled => "cancelled",
@@ -150,6 +158,10 @@ impl fmt::Display for Error {
                 }
             }
             Error::InvalidOperation(m) => write!(f, "invalid operation: {m}"),
+            Error::ClusterInvalidated { cluster } => write!(
+                f,
+                "new events extend existing cluster {cluster}; cached sequence groups invalidated, rebuild required"
+            ),
             Error::Corrupt { detail } => write!(f, "corrupt snapshot: {detail}"),
             Error::ResourceExhausted {
                 resource,
@@ -228,6 +240,9 @@ mod tests {
                 offset: 0,
             },
             Error::InvalidOperation("m".into()),
+            Error::ClusterInvalidated {
+                cluster: "[1]".into(),
+            },
             Error::Corrupt { detail: "d".into() },
             Error::ResourceExhausted {
                 resource: "cells",

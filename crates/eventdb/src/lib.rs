@@ -46,6 +46,7 @@ pub mod error;
 pub mod failpoint;
 pub mod govern;
 pub mod hierarchy;
+pub mod log;
 pub mod lru;
 pub mod metrics;
 pub mod persist;
@@ -57,11 +58,13 @@ pub mod store;
 pub mod time;
 pub mod trace;
 pub mod value;
+pub mod wal;
 
 pub use dict::Dictionary;
 pub use error::{panic_message, Error, Result};
 pub use govern::{CancelToken, QueryGovernor, CHECK_INTERVAL};
 pub use hierarchy::{DictHierarchy, Hierarchy, IntHierarchy, TimeGranularity, TimeHierarchy};
+pub use log::{EventLog, RecoveryReport, SegmentMeta};
 pub use metrics::{Counter, EngineMetrics, QueryProfile, QueryRecorder, Stage};
 pub use pred::{CmpOp, Pred};
 pub use schema::{AttrId, ColumnDef, ColumnType, Role, Schema};
@@ -71,3 +74,4 @@ pub use seqquery::{
 };
 pub use store::{EventDb, EventDbBuilder};
 pub use value::{LevelValue, RowId, Sid, Value};
+pub use wal::FsyncPolicy;

@@ -1,0 +1,631 @@
+//! The segmented event log: WAL rotation, sealed segments, manifest.
+//!
+//! ROADMAP's streaming-ingestion open item names the shape: an append-only
+//! log whose active tail is a WAL ([`crate::wal`]) that *rotates* into
+//! sealed immutable segments once it exceeds a size threshold. On disk:
+//!
+//! ```text
+//! dir/
+//!   MANIFEST            one checksummed frame listing sealed segments
+//!   segment-000000.log  sealed, immutable, fsynced before sealing
+//!   segment-000001.log  …
+//!   segment-000002.open the active WAL tail
+//! ```
+//!
+//! Sealing renames `segment-N.open` → `segment-N.log` (after an fsync) and
+//! rewrites the manifest via temp-file + atomic rename. Every crash window
+//! is recoverable:
+//!
+//! * torn tail in the `.open` file → lenient replay + truncation
+//!   ([`wal::replay`] / [`wal::truncate_to`]);
+//! * sealed-and-renamed segment not yet in the manifest → adopted during
+//!   recovery (it was fsynced before the rename, so a strict replay must
+//!   succeed);
+//! * leftover `MANIFEST.tmp` → ignored and overwritten by the next seal.
+//!
+//! Damage to a *sealed* segment or to the manifest frame itself is real
+//! corruption and surfaces as a typed [`Error::Corrupt`] — never a panic.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::error::{Error, Result};
+use crate::fail_point;
+use crate::value::Value;
+use crate::wal::{self, FsyncPolicy, Tail, WalWriter};
+
+const MANIFEST_MAGIC: &[u8; 8] = b"SOLAPMAN";
+const MANIFEST_VERSION: u32 = 1;
+/// Default rotation threshold for the active WAL (bytes).
+pub const DEFAULT_SEGMENT_BYTES: u64 = 4 << 20;
+/// Sealed-segment counts above this are rejected as corrupt.
+const MAX_SEGMENTS: usize = 1 << 20;
+
+fn io_err(what: &str, e: std::io::Error) -> Error {
+    Error::InvalidOperation(format!("event log {what} failed: {e}"))
+}
+
+fn corrupt(detail: impl Into<String>) -> Error {
+    Error::Corrupt {
+        detail: detail.into(),
+    }
+}
+
+fn segment_file_name(seq: u64, sealed: bool) -> String {
+    format!("segment-{seq:06}.{}", if sealed { "log" } else { "open" })
+}
+
+/// Fsyncs a directory so renames/creations within it are durable.
+fn sync_dir(dir: &Path) -> Result<()> {
+    File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(|e| io_err("dir fsync", e))
+}
+
+/// One sealed segment as recorded in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// Monotonic segment number (also in the file name).
+    pub seq: u64,
+    /// Event records in the segment.
+    pub records: u64,
+    /// Byte length at seal time.
+    pub bytes: u64,
+}
+
+fn encode_manifest(segments: &[SegmentMeta]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(8 + segments.len() * 24);
+    payload.extend_from_slice(&(segments.len() as u64).to_le_bytes());
+    for s in segments {
+        payload.extend_from_slice(&s.seq.to_le_bytes());
+        payload.extend_from_slice(&s.records.to_le_bytes());
+        payload.extend_from_slice(&s.bytes.to_le_bytes());
+    }
+    let mut out = Vec::with_capacity(payload.len() + 24);
+    out.extend_from_slice(MANIFEST_MAGIC);
+    out.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&wal::fnv1a(&payload).to_le_bytes());
+    out
+}
+
+fn decode_manifest(bytes: &[u8]) -> Result<Vec<SegmentMeta>> {
+    let header = bytes
+        .get(..16)
+        .ok_or_else(|| corrupt("manifest shorter than its header"))?;
+    if header.get(..8) != Some(MANIFEST_MAGIC.as_slice()) {
+        return Err(corrupt("bad manifest magic"));
+    }
+    let ver = u32::from_le_bytes(
+        header
+            .get(8..12)
+            .and_then(|s| s.try_into().ok())
+            .ok_or_else(|| corrupt("truncated manifest version"))?,
+    );
+    if ver != MANIFEST_VERSION {
+        return Err(corrupt(format!("unsupported manifest version {ver}")));
+    }
+    let len = u32::from_le_bytes(
+        header
+            .get(12..16)
+            .and_then(|s| s.try_into().ok())
+            .ok_or_else(|| corrupt("truncated manifest length"))?,
+    ) as usize;
+    let payload = bytes
+        .get(16..16 + len)
+        .ok_or_else(|| corrupt("truncated manifest payload"))?;
+    let sum = u64::from_le_bytes(
+        bytes
+            .get(16 + len..16 + len + 8)
+            .and_then(|s| s.try_into().ok())
+            .ok_or_else(|| corrupt("truncated manifest checksum"))?,
+    );
+    if wal::fnv1a(payload) != sum {
+        return Err(corrupt("manifest checksum mismatch"));
+    }
+    if bytes.len() != 16 + len + 8 {
+        return Err(corrupt("trailing bytes after manifest frame"));
+    }
+    let count = u64::from_le_bytes(
+        payload
+            .get(..8)
+            .and_then(|s| s.try_into().ok())
+            .ok_or_else(|| corrupt("truncated manifest count"))?,
+    ) as usize;
+    if count > MAX_SEGMENTS {
+        return Err(corrupt(format!("{count} segments exceeds cap")));
+    }
+    let mut segments = Vec::with_capacity(count.min(1 << 12));
+    let mut at = 8usize;
+    let mut prev: Option<u64> = None;
+    for i in 0..count {
+        let rec = payload
+            .get(at..at + 24)
+            .ok_or_else(|| corrupt(format!("truncated manifest entry {i}")))?;
+        let field = |j: usize| -> Result<u64> {
+            Ok(u64::from_le_bytes(
+                rec.get(j..j + 8)
+                    .and_then(|s| s.try_into().ok())
+                    .ok_or_else(|| corrupt(format!("truncated manifest entry {i}")))?,
+            ))
+        };
+        let meta = SegmentMeta {
+            seq: field(0)?,
+            records: field(8)?,
+            bytes: field(16)?,
+        };
+        if prev.is_some_and(|p| meta.seq <= p) {
+            return Err(corrupt(format!(
+                "manifest segment numbers not increasing at entry {i}"
+            )));
+        }
+        prev = Some(meta.seq);
+        segments.push(meta);
+        at += 24;
+    }
+    if at != payload.len() {
+        return Err(corrupt("trailing bytes in manifest payload"));
+    }
+    Ok(segments)
+}
+
+/// What recovery did while opening an [`EventLog`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Events replayed from sealed segments.
+    pub sealed_events: u64,
+    /// Events replayed from the active WAL tail.
+    pub wal_events: u64,
+    /// Sealed segments that were missing from the manifest and adopted
+    /// (crash between rename and manifest rewrite).
+    pub adopted_segments: u64,
+    /// Bytes of torn tail truncated off the active WAL, with the detail of
+    /// what was wrong (`None` when the tail was clean).
+    pub truncated_tail: Option<(u64, String)>,
+}
+
+/// A durable, segmented, append-only event log.
+pub struct EventLog {
+    dir: PathBuf,
+    policy: FsyncPolicy,
+    segment_bytes: u64,
+    sealed: Vec<SegmentMeta>,
+    active: WalWriter,
+    active_seq: u64,
+    /// Rotations performed over this handle's lifetime (observability).
+    rotations: u64,
+    /// fsyncs performed by already-sealed writers of this handle.
+    retired_syncs: u64,
+}
+
+impl std::fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLog")
+            .field("dir", &self.dir)
+            .field("policy", &self.policy)
+            .field("sealed", &self.sealed.len())
+            .field("active_seq", &self.active_seq)
+            .finish()
+    }
+}
+
+impl EventLog {
+    /// Opens (or creates) the log in `dir`, recovering any crash state, and
+    /// returns the log, every durable event row in append order, and a
+    /// report of what recovery had to do.
+    pub fn open(
+        dir: &Path,
+        policy: FsyncPolicy,
+    ) -> Result<(EventLog, Vec<Vec<Value>>, RecoveryReport)> {
+        EventLog::open_with_segment_bytes(dir, policy, DEFAULT_SEGMENT_BYTES)
+    }
+
+    /// [`EventLog::open`] with an explicit rotation threshold (tests and
+    /// benches use small segments to exercise rotation).
+    pub fn open_with_segment_bytes(
+        dir: &Path,
+        policy: FsyncPolicy,
+        segment_bytes: u64,
+    ) -> Result<(EventLog, Vec<Vec<Value>>, RecoveryReport)> {
+        fs::create_dir_all(dir).map_err(|e| io_err("create dir", e))?;
+        let mut report = RecoveryReport::default();
+
+        // 1. The manifest names the sealed segments.
+        let manifest_path = dir.join("MANIFEST");
+        let mut sealed = match File::open(&manifest_path) {
+            Ok(mut f) => {
+                let mut bytes = Vec::new();
+                f.read_to_end(&mut bytes)
+                    .map_err(|e| io_err("read manifest", e))?;
+                decode_manifest(&bytes)?
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(io_err("open manifest", e)),
+        };
+
+        // 2. Scan the directory for segment files the manifest missed and
+        //    for the active tail.
+        let mut on_disk_sealed: BTreeMap<u64, PathBuf> = BTreeMap::new();
+        let mut open_tails: BTreeMap<u64, PathBuf> = BTreeMap::new();
+        for entry in fs::read_dir(dir).map_err(|e| io_err("scan dir", e))? {
+            let entry = entry.map_err(|e| io_err("scan dir", e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let (stem, sealed_file) = match name.strip_suffix(".log") {
+                Some(s) => (s, true),
+                None => match name.strip_suffix(".open") {
+                    Some(s) => (s, false),
+                    None => continue,
+                },
+            };
+            let Some(num) = stem.strip_prefix("segment-") else {
+                continue;
+            };
+            let Ok(seq) = num.parse::<u64>() else {
+                continue;
+            };
+            if sealed_file {
+                on_disk_sealed.insert(seq, entry.path());
+            } else {
+                open_tails.insert(seq, entry.path());
+            }
+        }
+        if open_tails.len() > 1 {
+            return Err(corrupt(format!(
+                "{} active wal files found; the log never leaves more than one",
+                open_tails.len()
+            )));
+        }
+        for meta in &sealed {
+            if !on_disk_sealed.contains_key(&meta.seq) {
+                return Err(corrupt(format!(
+                    "manifest names segment {} but the file is missing",
+                    meta.seq
+                )));
+            }
+        }
+        // Adopt sealed files the manifest doesn't know about yet (crash
+        // between the seal rename and the manifest rewrite). They were
+        // fsynced before the rename, so a strict replay must succeed.
+        let manifest_max = sealed.last().map(|s| s.seq);
+        let mut adopted = false;
+        // solint: allow(governor-tick) recovery runs at engine construction,
+        // before any query (and so any governor) exists
+        for (&seq, path) in &on_disk_sealed {
+            if manifest_max.is_none_or(|m| seq > m) {
+                let rows = wal::replay_strict(path)?;
+                let bytes = fs::metadata(path).map_err(|e| io_err("stat", e))?.len();
+                sealed.push(SegmentMeta {
+                    seq,
+                    records: rows.len() as u64,
+                    bytes,
+                });
+                report.adopted_segments += 1;
+                adopted = true;
+            }
+        }
+        if adopted {
+            write_manifest(dir, &sealed)?;
+        }
+
+        // 3. Replay: sealed segments strictly, in order …
+        let mut rows = Vec::new();
+        for meta in &sealed {
+            let path = dir.join(segment_file_name(meta.seq, true));
+            let seg_rows = wal::replay_strict(&path)?;
+            if seg_rows.len() as u64 != meta.records {
+                return Err(corrupt(format!(
+                    "segment {} replayed {} records but the manifest promises {}",
+                    meta.seq,
+                    seg_rows.len(),
+                    meta.records
+                )));
+            }
+            report.sealed_events += seg_rows.len() as u64;
+            rows.extend(seg_rows);
+        }
+
+        // 4. … then the active tail leniently, truncating torn bytes.
+        let next_seq = sealed.last().map_or(0, |s| s.seq + 1);
+        let (active, active_seq) = match open_tails.pop_first() {
+            Some((seq, path)) => {
+                if seq < next_seq {
+                    return Err(corrupt(format!(
+                        "active wal segment {seq} predates sealed segment {}",
+                        next_seq - 1
+                    )));
+                }
+                let replayed = wal::replay(&path)?;
+                if let Tail::Torn { valid_len, detail } = &replayed.tail {
+                    let total = fs::metadata(&path).map_err(|e| io_err("stat", e))?.len();
+                    wal::truncate_to(&path, *valid_len)?;
+                    report.truncated_tail = Some((total - valid_len, detail.clone()));
+                }
+                report.wal_events += replayed.rows.len() as u64;
+                let records = replayed.rows.len() as u64;
+                rows.extend(replayed.rows);
+                (WalWriter::open(&path, policy, records)?, seq)
+            }
+            None => {
+                let path = dir.join(segment_file_name(next_seq, false));
+                let w = WalWriter::create(&path, policy)?;
+                sync_dir(dir)?;
+                (w, next_seq)
+            }
+        };
+
+        Ok((
+            EventLog {
+                dir: dir.to_path_buf(),
+                policy,
+                segment_bytes,
+                sealed,
+                active,
+                active_seq,
+                rotations: 0,
+                retired_syncs: 0,
+            },
+            rows,
+            report,
+        ))
+    }
+
+    /// The log directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The active fsync policy.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.policy
+    }
+
+    /// Sealed segments, oldest first.
+    pub fn sealed(&self) -> &[SegmentMeta] {
+        &self.sealed
+    }
+
+    /// Total durable records (sealed + active).
+    pub fn records(&self) -> u64 {
+        self.sealed.iter().map(|s| s.records).sum::<u64>() + self.active.records()
+    }
+
+    /// Rotations performed over this handle's lifetime (observability).
+    pub fn rotations(&self) -> u64 {
+        self.rotations
+    }
+
+    /// fsync calls issued over this handle's lifetime (observability).
+    pub fn fsyncs(&self) -> u64 {
+        self.retired_syncs + self.active.syncs()
+    }
+
+    /// Appends a batch of event rows. Returns only after the batch is
+    /// durable per the fsync policy — the caller may acknowledge after this
+    /// returns. Rotates the active WAL into a sealed segment when it has
+    /// outgrown the threshold.
+    pub fn append_batch(&mut self, batch: &[Vec<Value>]) -> Result<()> {
+        self.active.append_batch(batch)?;
+        if self.active.bytes() >= self.segment_bytes {
+            self.rotate()?;
+        }
+        Ok(())
+    }
+
+    /// Seals the active WAL into an immutable segment and starts a new one.
+    ///
+    /// Disk-state ordering keeps every crash window recoverable and never
+    /// leaves two `.open` files: fsync the tail, rename it `.open` →
+    /// `.log` (an orphan `.log` is adopted by recovery), create the next
+    /// `.open`, then rewrite the manifest.
+    fn rotate(&mut self) -> Result<()> {
+        fail_point!("wal.rotate");
+        let seq = self.active_seq;
+        let records = self.active.records();
+        let bytes = self.active.bytes();
+        let open_path = self.active.path().to_path_buf();
+        let sealed_path = self.dir.join(segment_file_name(seq, true));
+        self.active.sync()?;
+        fail_point!("log.seal");
+        fs::rename(&open_path, &sealed_path).map_err(|e| io_err("seal rename", e))?;
+        sync_dir(&self.dir)?;
+        let next_seq = seq + 1;
+        let next_path = self.dir.join(segment_file_name(next_seq, false));
+        self.retired_syncs += self.active.syncs();
+        self.active = WalWriter::create(&next_path, self.policy)?;
+        sync_dir(&self.dir)?;
+        self.sealed.push(SegmentMeta {
+            seq,
+            records,
+            bytes,
+        });
+        write_manifest(&self.dir, &self.sealed)?;
+        self.active_seq = next_seq;
+        self.rotations += 1;
+        Ok(())
+    }
+
+    /// Forces an fsync of the active WAL regardless of policy.
+    pub fn sync(&mut self) -> Result<()> {
+        self.active.sync()
+    }
+}
+
+/// Rewrites the manifest atomically (temp file + fsync + rename + dir fsync).
+fn write_manifest(dir: &Path, segments: &[SegmentMeta]) -> Result<()> {
+    let bytes = encode_manifest(segments);
+    let tmp = dir.join("MANIFEST.tmp");
+    let mut f = OpenOptions::new()
+        .create(true)
+        .truncate(true)
+        .write(true)
+        .open(&tmp)
+        .map_err(|e| io_err("manifest tmp create", e))?;
+    f.write_all(&bytes)
+        .map_err(|e| io_err("manifest write", e))?;
+    f.sync_all().map_err(|e| io_err("manifest fsync", e))?;
+    drop(f);
+    fs::rename(&tmp, dir.join("MANIFEST")).map_err(|e| io_err("manifest rename", e))?;
+    sync_dir(dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("solap-log-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn row(i: i64) -> Vec<Value> {
+        vec![
+            Value::Int(i),
+            Value::from("station"),
+            Value::Float(i as f64),
+        ]
+    }
+
+    #[test]
+    fn append_reopen_replays_everything() {
+        let dir = tmpdir("reopen");
+        {
+            let (mut log, rows, rep) = EventLog::open(&dir, FsyncPolicy::Batch).unwrap();
+            assert!(rows.is_empty());
+            assert_eq!(rep, RecoveryReport::default());
+            log.append_batch(&[row(1), row(2)]).unwrap();
+            log.append_batch(&[row(3)]).unwrap();
+        }
+        let (log, rows, rep) = EventLog::open(&dir, FsyncPolicy::Batch).unwrap();
+        assert_eq!(rows, vec![row(1), row(2), row(3)]);
+        assert_eq!(rep.wal_events, 3);
+        assert_eq!(log.records(), 3);
+    }
+
+    #[test]
+    fn rotation_seals_segments_and_survives_reopen() {
+        let dir = tmpdir("rotate");
+        let n = 40;
+        {
+            let (mut log, _, _) =
+                EventLog::open_with_segment_bytes(&dir, FsyncPolicy::Off, 256).unwrap();
+            for i in 0..n {
+                log.append_batch(&[row(i)]).unwrap();
+            }
+            assert!(log.sealed().len() >= 2, "small threshold must rotate");
+        }
+        let (log, rows, rep) = EventLog::open(&dir, FsyncPolicy::Off).unwrap();
+        assert_eq!(rows.len() as i64, n);
+        assert_eq!(rows, (0..n).map(row).collect::<Vec<_>>());
+        assert!(rep.sealed_events > 0);
+        assert_eq!(log.records() as i64, n);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_reported() {
+        let dir = tmpdir("torn");
+        {
+            let (mut log, _, _) = EventLog::open(&dir, FsyncPolicy::Batch).unwrap();
+            log.append_batch(&[row(1), row(2)]).unwrap();
+        }
+        // Tear the active tail mid-record.
+        let open: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "open"))
+            .collect();
+        assert_eq!(open.len(), 1);
+        let path = open[0].path();
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let (log, rows, rep) = EventLog::open(&dir, FsyncPolicy::Batch).unwrap();
+        assert_eq!(rows, vec![row(1)], "torn second record must be dropped");
+        let (cut, detail) = rep.truncated_tail.unwrap();
+        assert!(cut > 0 && !detail.is_empty());
+        // The log keeps working after truncation.
+        drop(log);
+        let (mut log, rows, _) = EventLog::open(&dir, FsyncPolicy::Batch).unwrap();
+        assert_eq!(rows.len(), 1);
+        log.append_batch(&[row(9)]).unwrap();
+        drop(log);
+        let (_, rows, _) = EventLog::open(&dir, FsyncPolicy::Batch).unwrap();
+        assert_eq!(rows, vec![row(1), row(9)]);
+    }
+
+    #[test]
+    fn sealed_segment_damage_is_corrupt() {
+        let dir = tmpdir("sealed-damage");
+        {
+            let (mut log, _, _) =
+                EventLog::open_with_segment_bytes(&dir, FsyncPolicy::Off, 128).unwrap();
+            for i in 0..20 {
+                log.append_batch(&[row(i)]).unwrap();
+            }
+            assert!(!log.sealed().is_empty());
+        }
+        let seg = dir.join(segment_file_name(0, true));
+        let mut bytes = fs::read(&seg).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&seg, &bytes).unwrap();
+        let err = EventLog::open(&dir, FsyncPolicy::Off).unwrap_err();
+        assert_eq!(err.code(), "corrupt", "{err}");
+    }
+
+    #[test]
+    fn orphan_sealed_segment_is_adopted() {
+        let dir = tmpdir("adopt");
+        {
+            let (mut log, _, _) =
+                EventLog::open_with_segment_bytes(&dir, FsyncPolicy::Off, 128).unwrap();
+            for i in 0..20 {
+                log.append_batch(&[row(i)]).unwrap();
+            }
+            assert!(log.sealed().len() >= 2);
+        }
+        // Simulate a crash between seal-rename and manifest rewrite by
+        // rolling the manifest back one segment.
+        let manifest = fs::read(dir.join("MANIFEST")).unwrap();
+        let full = decode_manifest(&manifest).unwrap();
+        write_manifest(&dir, &full[..full.len() - 1]).unwrap();
+        let (log, rows, rep) = EventLog::open(&dir, FsyncPolicy::Off).unwrap();
+        assert_eq!(rep.adopted_segments, 1);
+        assert_eq!(rows.len(), 20);
+        assert_eq!(log.sealed().len(), full.len());
+    }
+
+    #[test]
+    fn manifest_damage_is_corrupt_never_panic() {
+        let dir = tmpdir("manifest-damage");
+        {
+            let (mut log, _, _) =
+                EventLog::open_with_segment_bytes(&dir, FsyncPolicy::Off, 128).unwrap();
+            for i in 0..20 {
+                log.append_batch(&[row(i)]).unwrap();
+            }
+        }
+        let manifest = fs::read(dir.join("MANIFEST")).unwrap();
+        for cut in 0..manifest.len() {
+            fs::write(dir.join("MANIFEST"), &manifest[..cut]).unwrap();
+            let err = EventLog::open(&dir, FsyncPolicy::Off).unwrap_err();
+            assert_eq!(err.code(), "corrupt", "cut at {cut}");
+        }
+        for at in 0..manifest.len() {
+            let mut bad = manifest.clone();
+            bad[at] ^= 0xff;
+            fs::write(dir.join("MANIFEST"), &bad).unwrap();
+            // Some flips only alter metadata (record counts / byte sizes)
+            // in ways caught later as replay mismatches — also corrupt.
+            let err = EventLog::open(&dir, FsyncPolicy::Off).unwrap_err();
+            assert_eq!(err.code(), "corrupt", "flip at {at}");
+        }
+    }
+
+    // Failpoint-armed behaviour (wal.rotate / log.seal / recover.replay)
+    // is exercised in tests/chaos.rs — failpoint state is process-global,
+    // so arming inside parallel unit tests would race the other log tests.
+}

@@ -73,11 +73,25 @@ pub enum Counter {
     CellsCharged,
     /// Parallel construction workers spawned (CB scans + II base builds).
     WorkersSpawned,
+    /// Event rows appended through the engine's `STORE` path.
+    StoreEvents,
+    /// WAL fsync (or fdatasync-equivalent) calls issued by the event log.
+    WalFsyncs,
+    /// WAL segment rotations (active segment sealed and replaced).
+    WalRotations,
+    /// Cached sequence-group sets carried forward incrementally by a store.
+    IngestGroupsExtended,
+    /// Stored inverted indices carried forward incrementally by a store.
+    IngestIndexesExtended,
+    /// Cached sequence-group sets a store had to abandon (the batch
+    /// touched an existing cluster — [`crate::Error::ClusterInvalidated`]
+    /// — or the extension failed); the next query rebuilds from scratch.
+    IngestRebuildFallbacks,
 }
 
 impl Counter {
     /// Number of counters (array sizing).
-    pub const COUNT: usize = 18;
+    pub const COUNT: usize = 24;
 
     /// Every counter, in render order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -99,6 +113,12 @@ impl Counter {
         Counter::GovernorTicks,
         Counter::CellsCharged,
         Counter::WorkersSpawned,
+        Counter::StoreEvents,
+        Counter::WalFsyncs,
+        Counter::WalRotations,
+        Counter::IngestGroupsExtended,
+        Counter::IngestIndexesExtended,
+        Counter::IngestRebuildFallbacks,
     ];
 
     /// The stable snake_case name used by the text and JSON renderers.
@@ -122,6 +142,12 @@ impl Counter {
             Counter::GovernorTicks => "governor_ticks",
             Counter::CellsCharged => "cells_charged",
             Counter::WorkersSpawned => "workers_spawned",
+            Counter::StoreEvents => "store_events",
+            Counter::WalFsyncs => "wal_fsyncs",
+            Counter::WalRotations => "wal_rotations",
+            Counter::IngestGroupsExtended => "ingest_groups_extended",
+            Counter::IngestIndexesExtended => "ingest_indexes_extended",
+            Counter::IngestRebuildFallbacks => "ingest_rebuild_fallbacks",
         }
     }
 }
@@ -337,12 +363,12 @@ impl QueryProfile {
         }
         out.push_str("  counters:\n");
         for c in Counter::ALL {
-            out.push_str(&format!("    {:<22} {}\n", c.name(), self.counter(c)));
+            out.push_str(&format!("    {:<24} {}\n", c.name(), self.counter(c)));
         }
         out.push_str("  stages:\n");
         for s in Stage::ALL {
             out.push_str(&format!(
-                "    {:<22} {}\n",
+                "    {:<24} {}\n",
                 s.name(),
                 dur(self.stage_nanos(s))
             ));
@@ -492,12 +518,12 @@ impl EngineMetrics {
         );
         out.push_str("  counters:\n");
         for c in Counter::ALL {
-            out.push_str(&format!("    {:<22} {}\n", c.name(), self.counter(c)));
+            out.push_str(&format!("    {:<24} {}\n", c.name(), self.counter(c)));
         }
         out.push_str("  stages:\n");
         for s in Stage::ALL {
             out.push_str(&format!(
-                "    {:<22} {}\n",
+                "    {:<24} {}\n",
                 s.name(),
                 format_nanos(self.stage_nanos(s))
             ));

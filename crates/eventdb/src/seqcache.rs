@@ -85,6 +85,28 @@ impl SequenceCache {
         Ok(built)
     }
 
+    /// Peeks the entry for `spec` at an explicit database version without
+    /// building on a miss. The store path uses this to find carry-forward
+    /// candidates: groups cached at the pre-append version that
+    /// incremental update (§6) can extend instead of rebuilding.
+    pub fn cached(&self, spec: &SeqQuerySpec, db_version: u64) -> Option<Arc<SequenceGroups>> {
+        let key = Key {
+            spec: spec.fingerprint(),
+            db_version,
+        };
+        self.inner.lock().get(&key).cloned()
+    }
+
+    /// Inserts pre-built groups for `spec` at an explicit database version
+    /// — the write half of the store path's carry-forward.
+    pub fn put(&self, spec: &SeqQuerySpec, db_version: u64, groups: Arc<SequenceGroups>) {
+        let key = Key {
+            spec: spec.fingerprint(),
+            db_version,
+        };
+        self.inner.lock().insert(key, groups);
+    }
+
     /// `(hits, misses)` counters.
     pub fn stats(&self) -> (u64, u64) {
         self.inner.lock().stats()

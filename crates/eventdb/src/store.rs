@@ -100,17 +100,18 @@ impl EventDb {
         self.schema.attr(name)
     }
 
-    /// Appends one event. Values must match the column types positionally;
-    /// `Int` literals are accepted for `Time` and `Float` columns, and
-    /// parseable string literals are accepted for `Time` columns.
-    pub fn push_row(&mut self, values: &[Value]) -> Result<RowId> {
+    /// Checks one event row against the schema without mutating anything:
+    /// arity, then per-column type compatibility under the same coercions
+    /// [`EventDb::push_row`] performs. A row that validates is guaranteed
+    /// to push successfully — the durable store path relies on this to
+    /// validate *before* committing the row to the write-ahead log.
+    pub fn validate_row(&self, values: &[Value]) -> Result<()> {
         if values.len() != self.schema.len() {
             return Err(Error::ArityMismatch {
                 expected: self.schema.len(),
                 actual: values.len(),
             });
         }
-        // Validate before mutating so a failed push leaves the store intact.
         for (i, v) in values.iter().enumerate() {
             let def = self.schema.column(i as AttrId);
             let ok = matches!(
@@ -129,6 +130,15 @@ impl EventDb {
                 });
             }
         }
+        Ok(())
+    }
+
+    /// Appends one event. Values must match the column types positionally;
+    /// `Int` literals are accepted for `Time` and `Float` columns, and
+    /// parseable string literals are accepted for `Time` columns.
+    pub fn push_row(&mut self, values: &[Value]) -> Result<RowId> {
+        // Validate before mutating so a failed push leaves the store intact.
+        self.validate_row(values)?;
         for (i, v) in values.iter().enumerate() {
             match &mut self.cols[i] {
                 ColumnData::Int(col) => col.push(v.as_int().expect("validated")),

@@ -41,5 +41,7 @@ pub mod parser;
 pub mod regex_parser;
 
 pub use lexer::{tokenize, Token, TokenKind};
-pub use parser::{parse_query, parse_statement, ExplainMode, Statement};
+pub use parser::{
+    parse_query, parse_statement, parse_store, ExplainMode, Statement, StoreStatement,
+};
 pub use regex_parser::{parse_regex_query, RegexQuery};

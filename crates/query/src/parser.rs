@@ -53,6 +53,41 @@ pub fn parse_statement(db: &EventDb, src: &str) -> Result<Statement> {
     Ok(Statement { mode, spec })
 }
 
+/// A parsed `STORE` statement: the literal event rows to append to the
+/// event table — the ingestion half of the language (the paper's Figure 3
+/// stores events into the sequence data warehouse; queries then see them
+/// through the incremental-update path of §6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreStatement {
+    /// One decoded value row per `VALUES` tuple, in statement order.
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// Parses `STORE INTO <table> VALUES (v, …), (v, …) [;]`.
+///
+/// Every tuple must match the schema's arity; literals are normalized
+/// against the column they land in (string timestamps against time
+/// columns become [`Value::Time`]), and deeper type checking happens in
+/// the engine's store path, which validates the whole batch before
+/// appending any of it.
+pub fn parse_store(db: &EventDb, src: &str) -> Result<StoreStatement> {
+    let tokens = tokenize(src)?;
+    let mut p = ClauseParser::new(db, tokens);
+    p.expect_kw("STORE")?;
+    p.expect_kw("INTO")?;
+    let _table = p.ident("a table name")?;
+    p.expect_kw("VALUES")?;
+    let mut rows = Vec::new();
+    loop {
+        rows.push(p.value_tuple()?);
+        if !p.eat_comma() {
+            break;
+        }
+    }
+    p.finish()?;
+    Ok(StoreStatement { rows })
+}
+
 /// The clause-level parser shared between the main query language and the
 /// regex-query extension (`crate::regex_parser`).
 pub(crate) struct ClauseParser<'a> {
@@ -272,6 +307,33 @@ impl<'a> ClauseParser<'a> {
             _ => return Err(self.err("expected a literal")),
         };
         Ok(normalize_literal(self.db, attr, v))
+    }
+
+    /// A parenthesized tuple of literals with exactly one value per schema
+    /// column, each normalized against the column it lands in.
+    fn value_tuple(&mut self) -> Result<Vec<Value>> {
+        let arity = self.db.schema().columns().len();
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let mut row = Vec::with_capacity(arity);
+        loop {
+            if row.len() >= arity {
+                return Err(self.err(format!(
+                    "too many values in tuple — the event table has {arity} columns"
+                )));
+            }
+            row.push(self.literal(row.len() as AttrId)?);
+            if !self.eat_comma() {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen, "`)`")?;
+        if row.len() != arity {
+            return Err(self.err(format!(
+                "tuple has {} values but the event table has {arity} columns",
+                row.len()
+            )));
+        }
+        Ok(row)
     }
 
     // ------------------------------------------------------------------
@@ -849,5 +911,50 @@ mod tests {
         let base = "SELECT COUNT(*) FROM Event CLUSTER BY card-id AT individual SEQUENCE BY time CUBOID BY SUBSTRING (X) WITH X AS location AT station LEFT-MAXIMALITY (x1)";
         assert!(parse_query(&db, &format!("{base};")).is_ok());
         assert!(parse_query(&db, &format!("{base} garbage")).is_err());
+    }
+
+    #[test]
+    fn store_statement_parses_tuples() {
+        let db = db();
+        let stmt = parse_store(
+            &db,
+            r#"STORE INTO Event VALUES
+                ("2007-10-01T08:00", 700, "Pentagon", "in", 1.25),
+                ("2007-10-01T08:30", 700, "Wheaton", "out", 0.0);"#,
+        )
+        .unwrap();
+        assert_eq!(stmt.rows.len(), 2);
+        assert_eq!(stmt.rows[0][1], Value::Int(700));
+        assert_eq!(stmt.rows[1][2], Value::Str("Wheaton".into()));
+        assert!(
+            matches!(stmt.rows[0][0], Value::Time(_)),
+            "string timestamps normalize against the time column"
+        );
+        // Parsed rows must be appendable as-is.
+        let mut db = db;
+        for row in &stmt.rows {
+            db.push_row(row).unwrap();
+        }
+    }
+
+    #[test]
+    fn store_statement_rejects_bad_shapes() {
+        let db = db();
+        // Arity too short and too long.
+        assert!(parse_store(&db, r#"STORE INTO Event VALUES (1, 2)"#).is_err());
+        assert!(parse_store(
+            &db,
+            r#"STORE INTO Event VALUES ("2007-10-01T08:00", 1, "a", "in", 0.0, 9)"#
+        )
+        .is_err());
+        // Missing VALUES keyword and trailing garbage.
+        assert!(parse_store(&db, "STORE INTO Event (1)").is_err());
+        assert!(parse_store(
+            &db,
+            r#"STORE INTO Event VALUES ("2007-10-01T08:00", 1, "a", "in", 0.0) garbage"#
+        )
+        .is_err());
+        // A query is not a STORE.
+        assert!(parse_store(&db, "SELECT COUNT(*) FROM Event").is_err());
     }
 }

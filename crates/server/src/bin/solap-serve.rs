@@ -25,6 +25,9 @@ const USAGE: &str = "usage: solap-serve [--addr HOST:PORT] [--max-conn N] [--max
                    [--gen transit|clickstream|synthetic [k=v …]] [--load PATH] [--quiet]";
 
 fn main() {
+    // Arm SOLAP_FAILPOINTS at process entry, before dataset generation
+    // (which has no `Engine` and therefore no builder-driven seeding).
+    solap_eventdb::failpoint::init();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut config = ServerConfig::from_env();
     let mut gen_kind: Option<String> = None;

@@ -261,10 +261,12 @@ pub fn help_text() -> &'static str {
   .index           index-store statistics and the session's list encoding
   .profile on|off  print each query's per-stage profile (on enables detailed counters)
   .metrics         process-wide cumulative engine metrics
+  .online [CHUNK]  re-run the current COUNT query with online-aggregation snapshots
   .history         operations applied so far
   .quit
 anything else is parsed as an S-cuboid query; end it with `;`
 prefix a query with EXPLAIN to see its plan, or PROFILE to run it and see counters
+STORE INTO Event VALUES (v, ...), (v, ...);  appends events through the store path
 (CUBOID BY REGEX (X, Y+, .*, X) runs regex templates on the CB path)
 (multi-line input: keep typing, the query runs at the `;`)
 "

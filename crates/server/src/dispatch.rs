@@ -318,10 +318,10 @@ fn dispatch_command(ctx: &mut SessionCtx, rest: &str) -> Result<Response, Fail> 
         }
         "op" => {
             let db = ctx.session.engine_arc();
-            let op = command::parse_op(db.db(), &args, ctx.session.spec())?;
+            let op = command::parse_op(&db.db(), &args, ctx.session.spec())?;
             let result = ctx.session.apply(op.clone())?;
             let spec = ctx.session.spec().expect("apply set current");
-            let table = result.cuboid.tabulate(db.db(), 10, true);
+            let table = result.cuboid.tabulate(&db.db(), 10, true);
             ctx.labels
                 .push(format!("{} → {}", op.name(), spec.template.render_head()));
             Ok(Response::ok(format!(
@@ -354,14 +354,14 @@ fn dispatch_command(ctx: &mut SessionCtx, rest: &str) -> Result<Response, Fail> 
                 .unwrap_or(20);
             let result = ctx.session.reexecute()?;
             let db = ctx.session.engine().db();
-            Ok(Response::ok(result.cuboid.tabulate(db, n, true)))
+            Ok(Response::ok(result.cuboid.tabulate(&db, n, true)))
         }
         "spec" => {
             let spec = ctx
                 .session
                 .spec()
                 .ok_or_else(|| usage("no current query"))?;
-            Ok(Response::ok(spec.render(ctx.session.engine().db())))
+            Ok(Response::ok(spec.render(&ctx.session.engine().db())))
         }
         "stats" => {
             let engine = ctx.session.engine();
@@ -401,12 +401,48 @@ fn dispatch_command(ctx: &mut SessionCtx, rest: &str) -> Result<Response, Fail> 
             other => Err(usage(format!("usage: .profile on|off (got {other:?})"))),
         },
         "metrics" => Ok(Response::ok(solap_eventdb::metrics::global().export_text())),
+        "online" => {
+            let chunk: usize = args
+                .first()
+                .map(|s| {
+                    s.parse()
+                        .map_err(|_| usage("usage: .online CHUNK (a positive sequence count)"))
+                })
+                .transpose()?
+                .unwrap_or(64);
+            let spec = ctx
+                .session
+                .spec()
+                .ok_or_else(|| usage("no current query — run a COUNT query first"))?
+                .clone();
+            let engine = ctx.session.engine_arc();
+            let groups = engine.sequence_groups(&spec)?;
+            let db = engine.db();
+            let mut body = String::new();
+            let cuboid = solap_core::online::online_count(&db, &groups, &spec, chunk, |snap| {
+                let _ = writeln!(
+                    body,
+                    "  {:>5.1}% processed → {} cells (estimated)",
+                    snap.progress * 100.0,
+                    snap.estimate.cells.len()
+                );
+            })?;
+            body.push_str(&cuboid.tabulate(&db, 10, true));
+            Ok(Response::ok(body))
+        }
         other => Err(usage(format!("unknown command `.{other}` — try `.help`"))),
     }
 }
 
 fn dispatch_query(ctx: &mut SessionCtx, text: &str) -> Result<Response, Fail> {
     let text = text.trim_end_matches(';');
+    // Ingestion: `STORE INTO Event VALUES …` goes through the engine's
+    // store path (WAL-committed on durable engines) instead of the query
+    // planner.
+    let head = text.split_whitespace().next().unwrap_or("");
+    if head.eq_ignore_ascii_case("STORE") {
+        return dispatch_store(ctx, text);
+    }
     // Regex-template queries (the §3.2 extension) use `CUBOID BY REGEX`
     // and run on the counter-based path.
     if text.to_ascii_uppercase().contains("CUBOID BY REGEX") {
@@ -420,7 +456,7 @@ fn dispatch_query(ctx: &mut SessionCtx, text: &str) -> Result<Response, Fail> {
         return dispatch_regex_query(ctx, text);
     }
     let engine = ctx.session.engine_arc();
-    let stmt = solap_query::parse_statement(engine.db(), text)?;
+    let stmt = solap_query::parse_statement(&engine.db(), text)?;
     if stmt.mode == solap_query::ExplainMode::Explain {
         // EXPLAIN renders the plan without executing anything.
         return Ok(Response::ok(ctx.session.explain(&stmt.spec)?));
@@ -428,7 +464,7 @@ fn dispatch_query(ctx: &mut SessionCtx, text: &str) -> Result<Response, Fail> {
     let spec = stmt.spec;
     let result = ctx.session.query(spec)?;
     let spec = ctx.session.spec().expect("query set current");
-    let table = result.cuboid.tabulate(engine.db(), 15, true);
+    let table = result.cuboid.tabulate(&engine.db(), 15, true);
     ctx.labels.push(spec.template.render_head());
     let mut body = format!(
         "{} cells via {} in {:?} ({} sequences scanned, {} KiB of indices built)\n",
@@ -448,20 +484,40 @@ fn dispatch_query(ctx: &mut SessionCtx, text: &str) -> Result<Response, Fail> {
     Ok(response)
 }
 
+fn dispatch_store(ctx: &mut SessionCtx, text: &str) -> Result<Response, Fail> {
+    let engine = ctx.session.engine_arc();
+    let stmt = solap_query::parse_store(&engine.db(), text)?;
+    let start = std::time::Instant::now();
+    // Per-session config so session-level budgets and cancellation govern
+    // ingestion exactly like queries.
+    let report = engine.append_events_configured(&stmt.rows, ctx.session.config())?;
+    Ok(Response::ok(format!(
+        "stored {} events in {:?} ({}, version {}) — {} group sets extended, \
+         {} indices extended, {} rebuild fallbacks\n",
+        report.appended,
+        start.elapsed(),
+        if report.durable {
+            "durable"
+        } else {
+            "in-memory"
+        },
+        report.version,
+        report.groups_extended,
+        report.indexes_extended,
+        report.rebuild_fallbacks,
+    )))
+}
+
 fn dispatch_regex_query(ctx: &mut SessionCtx, text: &str) -> Result<Response, Fail> {
     let engine = ctx.session.engine_arc();
-    let q = solap_query::parse_regex_query(engine.db(), text)?;
+    let db = engine.db();
+    let q = solap_query::parse_regex_query(&db, text)?;
     let start = std::time::Instant::now();
-    let groups = solap_eventdb::build_sequence_groups(engine.db(), &q.seq)?;
+    let groups = solap_eventdb::build_sequence_groups(&db, &q.seq)?;
     let mut meter = solap_core::stats::ScanMeter::new();
-    let cuboid = solap_core::regexq::regex_cuboid(
-        engine.db(),
-        &groups,
-        &q.template,
-        q.restriction,
-        &mut meter,
-    )?;
-    let table = cuboid.tabulate(engine.db(), 15, true);
+    let cuboid =
+        solap_core::regexq::regex_cuboid(&db, &groups, &q.template, q.restriction, &mut meter)?;
+    let table = cuboid.tabulate(&db, 15, true);
     ctx.labels.push(format!("REGEX {}", q.template.render()));
     Ok(Response::ok(format!(
         "{} cells via regex/CB in {:?} ({} sequences scanned)\n{table}",
@@ -508,6 +564,52 @@ mod tests {
         assert!(r.ok && r.body.contains("back to:"), "{}", r.body);
         let r = dispatch(&mut c, ".history");
         assert!(r.ok && !r.body.contains("APPEND"), "{}", r.body);
+    }
+
+    #[test]
+    fn store_statement_appends_and_queries_see_it() {
+        let mut c = ctx();
+        let r = dispatch(&mut c, QUERY);
+        assert!(r.ok, "{}", r.body);
+        let before = c.session().engine().db().len();
+        let r = dispatch(
+            &mut c,
+            r#"STORE INTO Event VALUES
+                ("2007-10-05T08:00", 9999, "ST000", "in", 0.0),
+                ("2007-10-05T08:20", 9999, "ST001", "out", -1.5);"#,
+        );
+        assert!(r.ok, "{}", r.body);
+        assert!(r.body.contains("stored 2 events"), "{}", r.body);
+        assert!(r.body.contains("in-memory"), "{}", r.body);
+        assert_eq!(c.session().engine().db().len(), before + 2);
+        // The post-append query runs against the new version (no stale
+        // cached cuboid) and still succeeds.
+        let r = dispatch(&mut c, QUERY);
+        assert!(r.ok, "{}", r.body);
+        // Bad tuples are rejected atomically with a typed code.
+        let r = dispatch(&mut c, "STORE INTO Event VALUES (1, 2);");
+        assert!(!r.ok);
+        assert_eq!(r.code.as_deref(), Some("parse"));
+        assert_eq!(c.session().engine().db().len(), before + 2);
+    }
+
+    #[test]
+    fn online_command_reports_snapshots() {
+        let mut c = ctx();
+        let r = dispatch(&mut c, ".online 8");
+        assert!(!r.ok, "needs a current query first");
+        assert_eq!(r.code.as_deref(), Some("usage"));
+        let r = dispatch(&mut c, QUERY);
+        assert!(r.ok, "{}", r.body);
+        let r = dispatch(&mut c, ".online 8");
+        assert!(r.ok, "{}", r.body);
+        assert!(r.body.contains("% processed"), "{}", r.body);
+        let r = dispatch(&mut c, ".online zero");
+        assert!(!r.ok);
+        assert_eq!(r.code.as_deref(), Some("usage"));
+        let r = dispatch(&mut c, ".online 0");
+        assert!(!r.ok);
+        assert_eq!(r.code.as_deref(), Some("invalid_operation"));
     }
 
     #[test]

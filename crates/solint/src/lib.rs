@@ -94,6 +94,8 @@ impl Config {
                 "crates/core/src/ii.rs".into(),
                 "crates/core/src/regexq.rs".into(),
                 "crates/index/src/codec.rs".into(),
+                "crates/eventdb/src/wal.rs".into(),
+                "crates/eventdb/src/log.rs".into(),
             ],
             hot_keywords: default_hot_keywords(),
             governed_markers: default_governed_markers(),

@@ -22,7 +22,7 @@ fn main() {
 
     // Qa: SUBSTRING (X, Y) at page-category (§5.1's first query).
     let qa = s_olap::query::parse_query(
-        engine.db(),
+        &engine.db(),
         r#"
         SELECT COUNT(*) FROM Event
         CLUSTER BY session-id AT raw
@@ -47,7 +47,7 @@ fn main() {
         session
             .cuboid()
             .expect("query ran")
-            .tabulate(engine.db(), 6, true)
+            .tabulate(&engine.db(), 6, true)
     );
 
     // Slice on the hottest cell — in the paper, (Assortment, Legwear) with
@@ -60,7 +60,7 @@ fn main() {
     println!(
         "hottest: {} — slicing and drilling Y down to raw pages\n",
         session.cuboid().expect("query ran").render_key(
-            engine.db(),
+            &engine.db(),
             session.cuboid().expect("query ran").top_k(1)[0].0
         )
     );
@@ -85,7 +85,7 @@ fn main() {
         session
             .cuboid()
             .expect("query ran")
-            .tabulate(engine.db(), 6, true)
+            .tabulate(&engine.db(), 6, true)
     );
 
     // Qc: APPEND one more raw page — comparison shopping.
@@ -109,7 +109,7 @@ fn main() {
         session
             .cuboid()
             .expect("query ran")
-            .tabulate(engine.db(), 6, true)
+            .tabulate(&engine.db(), 6, true)
     );
 
     println!(

@@ -113,5 +113,5 @@ fn main() {
         out.cuboid.len(),
         out.cuboid.total_count()
     );
-    println!("{}", out.cuboid.tabulate(engine.db(), 8, true));
+    println!("{}", out.cuboid.tabulate(&engine.db(), 8, true));
 }

@@ -27,7 +27,7 @@ fn main() {
     // ------------------------------------------------------------------
     let engine = Engine::new(db);
     let base = s_olap::query::parse_query(
-        engine.db(),
+        &engine.db(),
         r#"
         SELECT COUNT(*) FROM Event
         CLUSTER BY card-id AT individual, time AT day
@@ -57,7 +57,7 @@ fn main() {
     .expect("valid regex");
     let mut meter = ScanMeter::new();
     let cuboid = regex_cuboid(
-        engine.db(),
+        &engine.db(),
         &groups,
         &layover_roundtrip,
         CellRestriction::LeftMaximalityMatchedGo,
@@ -70,7 +70,7 @@ fn main() {
         cuboid.len(),
         cuboid.total_count()
     );
-    println!("{}", cuboid.tabulate(engine.db(), 5, true));
+    println!("{}", cuboid.tabulate(&engine.db(), 5, true));
 
     // ------------------------------------------------------------------
     // 2. The advisor: given a workload, pick indices within a budget.
@@ -92,7 +92,7 @@ fn main() {
             frequency: 3.0,
         },
     ];
-    let advice = advise(engine.db(), &groups, &workload, 8 << 20, 200).expect("advice");
+    let advice = advise(&engine.db(), &groups, &workload, 8 << 20, 200).expect("advice");
     println!("advisor picks (budget 8 MiB):");
     for c in &advice.chosen {
         println!(
@@ -117,7 +117,7 @@ fn main() {
     // 3. Persistence: save the warehouse, load it back, same answers.
     // ------------------------------------------------------------------
     let path = std::env::temp_dir().join("solap-future-work.db");
-    s_olap::eventdb::persist::save_to_path(engine.db(), &path).expect("save");
+    s_olap::eventdb::persist::save_to_path(&engine.db(), &path).expect("save");
     let size = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
     let reloaded = s_olap::eventdb::persist::load_from_path(&path).expect("load");
     std::fs::remove_file(&path).ok();

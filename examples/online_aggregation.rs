@@ -22,7 +22,7 @@ fn main() {
     let engine = Engine::new(db);
 
     let spec = s_olap::query::parse_query(
-        engine.db(),
+        &engine.db(),
         r#"
         SELECT COUNT(*) FROM Event
         CLUSTER BY seq-id AT raw
@@ -47,12 +47,12 @@ fn main() {
         "{:>9} | {:>10} | {:>12} | top cell estimate",
         "progress", "cells", "mean rel err"
     );
-    let final_cuboid = online_count(engine.db(), &groups, &spec, 2_000, |snap| {
+    let final_cuboid = online_count(&engine.db(), &groups, &spec, 2_000, |snap| {
         let err = mean_relative_error(&snap.estimate, &exact.cuboid);
         let top = snap.estimate.top_k(1);
         let top_desc = top
             .first()
-            .map(|(k, v)| format!("{} ≈ {}", snap.estimate.render_key(engine.db(), k), v))
+            .map(|(k, v)| format!("{} ≈ {}", snap.estimate.render_key(&engine.db(), k), v))
             .unwrap_or_default();
         println!(
             "{:>8.0}% | {:>10} | {:>12.4} | {}",

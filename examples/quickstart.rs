@@ -26,7 +26,7 @@ fn main() {
     //    origin/destination station pair, how many passenger-days contain a
     //    trip entering X and leaving Y?
     let q3 = s_olap::query::parse_query(
-        engine.db(),
+        &engine.db(),
         r#"
         SELECT COUNT(*) FROM Event
         CLUSTER BY card-id AT individual, time AT day
@@ -47,7 +47,7 @@ fn main() {
         out.stats.sequences_scanned,
         out.cuboid.len()
     );
-    println!("{}", out.cuboid.tabulate(engine.db(), 10, true));
+    println!("{}", out.cuboid.tabulate(&engine.db(), 10, true));
 
     // 4. Iterative exploration: the same query again is a cuboid-repository
     //    hit; an APPEND reuses the freshly built inverted indices.

@@ -25,7 +25,7 @@ fn main() {
 
     // Q1 (Figure 3): round trips (X, Y, Y, X) per day and fare group.
     let q1 = s_olap::query::parse_query(
-        engine.db(),
+        &engine.db(),
         r#"
         SELECT COUNT(*) FROM Event
         WHERE time >= "2007-10-01T00:00" AND time < "2007-12-31T24:00"
@@ -51,7 +51,7 @@ fn main() {
         session
             .cuboid()
             .expect("query ran")
-            .tabulate(engine.db(), 8, true)
+            .tabulate(&engine.db(), 8, true)
     );
 
     // The manager slices on the hottest (X, Y) pair…
@@ -67,7 +67,7 @@ fn main() {
         session
             .cuboid()
             .expect("query ran")
-            .render_key(engine.db(), &hot_key),
+            .render_key(&engine.db(), &hot_key),
         hot_count
     );
     session
@@ -105,7 +105,7 @@ fn main() {
         session
             .cuboid()
             .expect("query ran")
-            .tabulate(engine.db(), 8, true)
+            .tabulate(&engine.db(), 8, true)
     );
 
     // Too fragmented? P-ROLL-UP Z from stations to districts.
@@ -122,7 +122,7 @@ fn main() {
         session
             .cuboid()
             .expect("query ran")
-            .tabulate(engine.db(), 8, true)
+            .tabulate(&engine.db(), 8, true)
     );
 
     // The session kept the whole trail.

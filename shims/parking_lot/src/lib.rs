@@ -61,6 +61,81 @@ impl<T> From<T> for Mutex<T> {
     }
 }
 
+/// A reader-writer lock with parking_lot's panic-free guard API.
+///
+/// Wraps `std::sync::RwLock`, recovering poisoned locks like the shim
+/// [`Mutex`]. Unlike real parking_lot (which is writer-preferring and
+/// deadlocks on recursive reads when a writer is queued), the std lock on
+/// Linux allows a thread that already holds a read guard to re-acquire the
+/// lock for reading; callers should still avoid holding a guard across a
+/// second acquisition.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+/// Guard type returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+
+/// Guard type returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, returning the guard directly. A lock
+    /// poisoned by a panicking writer is recovered rather than propagated.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires exclusive write access, returning the guard directly.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Attempts to acquire read access without blocking.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(g) => Some(g),
+            Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Attempts to acquire write access without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(g) => Some(g),
+            Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T> From<T> for RwLock<T> {
+    fn from(value: T) -> Self {
+        RwLock::new(value)
+    }
+}
+
 /// Whether a [`Condvar`] wait returned because the timeout elapsed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WaitTimeoutResult(bool);
@@ -168,6 +243,34 @@ mod tests {
         let (guard, r) = cv.wait_timeout(m.lock(), Duration::from_millis(10));
         assert!(r.timed_out());
         drop(guard);
+    }
+
+    #[test]
+    fn rwlock_readers_share_writers_exclude() {
+        let l = RwLock::new(1);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!((*a, *b), (1, 1));
+            assert!(l.try_write().is_none(), "readers must block writers");
+        }
+        *l.write() += 41;
+        assert_eq!(*l.read(), 42);
+        assert_eq!(l.into_inner(), 42);
+    }
+
+    #[test]
+    fn rwlock_poisoned_by_writer_recovers() {
+        let l = std::sync::Arc::new(RwLock::new(0));
+        let l2 = std::sync::Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write();
+            panic!("poison it");
+        })
+        .join();
+        *l.write() = 7;
+        assert_eq!(*l.read(), 7);
+        assert_eq!(*l.try_read().unwrap(), 7);
     }
 
     #[test]

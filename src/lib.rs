@@ -43,7 +43,7 @@
 //!
 //! // The paper's Q3: single-trip origin/destination distribution.
 //! let spec = s_olap::query::parse_query(
-//!     engine.db(),
+//!     &engine.db(),
 //!     r#"
 //!     SELECT COUNT(*) FROM Event
 //!     CLUSTER BY card-id AT individual, time AT day

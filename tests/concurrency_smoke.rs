@@ -127,7 +127,7 @@ fn config(strategy: EngineStrategy) -> EngineConfig {
 fn shared_engine_under_contention_matches_serial_replay() {
     for strategy in [EngineStrategy::CounterBased, EngineStrategy::InvertedIndex] {
         let shared = Engine::with_config(build_db(), config(strategy));
-        let specs = workload(shared.db());
+        let specs = workload(&shared.db());
 
         // Serial replay on a fresh engine gives the expected answer set.
         let serial = Engine::with_config(build_db(), config(strategy));

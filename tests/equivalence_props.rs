@@ -188,11 +188,11 @@ proptest! {
         case.agg = 0;
         let engine = Engine::new(build_db(&case.seqs));
         case.restriction = CellRestriction::LeftMaximalityMatchedGo;
-        let lm = engine.execute(&spec_for(engine.db(), &case)).unwrap();
+        let lm = engine.execute(&spec_for(&engine.db(), &case)).unwrap();
         case.restriction = CellRestriction::AllMatchedGo;
-        let all = engine.execute(&spec_for(engine.db(), &case)).unwrap();
+        let all = engine.execute(&spec_for(&engine.db(), &case)).unwrap();
         case.restriction = CellRestriction::LeftMaximalityDataGo;
-        let dg = engine.execute(&spec_for(engine.db(), &case)).unwrap();
+        let dg = engine.execute(&spec_for(&engine.db(), &case)).unwrap();
         prop_assert_eq!(lm.cuboid.len(), all.cuboid.len(), "same non-empty cells");
         for (k, v) in lm.cuboid.iter_sorted() {
             let a = all.cuboid.cells.get(k).and_then(|x| x.as_count()).unwrap_or(0);
@@ -212,9 +212,9 @@ proptest! {
         case.symbols.truncate(3);
         let engine = Engine::new(build_db(&case.seqs));
         case.kind = PatternKind::Substring;
-        let sub = engine.execute(&spec_for(engine.db(), &case)).unwrap();
+        let sub = engine.execute(&spec_for(&engine.db(), &case)).unwrap();
         case.kind = PatternKind::Subsequence;
-        let sseq = engine.execute(&spec_for(engine.db(), &case)).unwrap();
+        let sseq = engine.execute(&spec_for(&engine.db(), &case)).unwrap();
         for (k, v) in sub.cuboid.iter_sorted() {
             let s = sseq.cuboid.cells.get(k).and_then(|x| x.as_count()).unwrap_or(0);
             prop_assert!(
@@ -234,7 +234,7 @@ proptest! {
         case.level = 0;
         case.agg = 0;
         let engine = Engine::new(build_db(&case.seqs));
-        let fine = spec_for(engine.db(), &case);
+        let fine = spec_for(&engine.db(), &case);
         engine.execute(&fine).unwrap();
         // Apply P-ROLL-UP to every distinct dimension through the engine.
         let mut spec = fine.clone();
@@ -252,7 +252,7 @@ proptest! {
             EngineConfig { strategy: EngineStrategy::CounterBased, ..Default::default() },
         );
         case.level = 1;
-        let direct = direct_engine.execute(&spec_for(direct_engine.db(), &case)).unwrap();
+        let direct = direct_engine.execute(&spec_for(&direct_engine.db(), &case)).unwrap();
         prop_assert_eq!(&via_ops.cuboid.cells, &direct.cuboid.cells);
     }
 
@@ -262,7 +262,7 @@ proptest! {
     fn navigation_round_trip(mut case in case_strategy()) {
         case.agg = 0;
         let engine = Engine::new(build_db(&case.seqs));
-        let spec = spec_for(engine.db(), &case);
+        let spec = spec_for(&engine.db(), &case);
         let first = engine.execute(&spec).unwrap();
         let (spec2, _) = engine
             .execute_op(&spec, &Op::Append { symbol: "A".into(), attr: 2, level: case.level })

@@ -105,7 +105,7 @@ fn check_golden(name: &str, actual: &str) {
 #[test]
 fn explain_q3_golden() {
     let engine = Engine::with_config(fig8(), pinned(Strategy::Auto));
-    let stmt = parse_statement(engine.db(), &format!("EXPLAIN {Q3_TEXT}")).unwrap();
+    let stmt = parse_statement(&engine.db(), &format!("EXPLAIN {Q3_TEXT}")).unwrap();
     assert_eq!(stmt.mode, ExplainMode::Explain);
     check_golden("explain_q3.txt", &engine.explain(&stmt.spec).unwrap());
 }
@@ -113,14 +113,14 @@ fn explain_q3_golden() {
 #[test]
 fn explain_q3_cb_golden() {
     let engine = Engine::with_config(fig8(), pinned(Strategy::CounterBased));
-    let spec = parse_query(engine.db(), Q3_TEXT).unwrap();
+    let spec = parse_query(&engine.db(), Q3_TEXT).unwrap();
     check_golden("explain_q3_cb.txt", &engine.explain(&spec).unwrap());
 }
 
 #[test]
 fn explain_xyyx_golden() {
     let engine = Engine::with_config(fig8(), pinned(Strategy::Auto));
-    let spec = parse_query(engine.db(), XYYX_TEXT).unwrap();
+    let spec = parse_query(&engine.db(), XYYX_TEXT).unwrap();
     check_golden("explain_xyyx.txt", &engine.explain(&spec).unwrap());
 }
 
@@ -128,7 +128,7 @@ fn explain_xyyx_golden() {
 fn profile_q3_golden() {
     metrics::set_enabled(true);
     let engine = Engine::with_config(fig8(), pinned(Strategy::Auto));
-    let stmt = parse_statement(engine.db(), &format!("PROFILE {Q3_TEXT}")).unwrap();
+    let stmt = parse_statement(&engine.db(), &format!("PROFILE {Q3_TEXT}")).unwrap();
     assert_eq!(stmt.mode, ExplainMode::Profile);
     let out = engine.execute(&stmt.spec).unwrap();
     // Timings are redacted; every counter is deterministic at one thread.
@@ -139,7 +139,7 @@ fn profile_q3_golden() {
 fn profile_q3_cb_golden() {
     metrics::set_enabled(true);
     let engine = Engine::with_config(fig8(), pinned(Strategy::CounterBased));
-    let spec = parse_query(engine.db(), Q3_TEXT).unwrap();
+    let spec = parse_query(&engine.db(), Q3_TEXT).unwrap();
     let out = engine.execute(&spec).unwrap();
     check_golden("profile_q3_cb.txt", &out.profile.render_text(true));
 }
@@ -148,7 +148,7 @@ fn profile_q3_cb_golden() {
 fn profile_cache_replay_golden() {
     metrics::set_enabled(true);
     let engine = Engine::with_config(fig8(), pinned(Strategy::Auto));
-    let spec = parse_query(engine.db(), Q3_TEXT).unwrap();
+    let spec = parse_query(&engine.db(), Q3_TEXT).unwrap();
     engine.execute(&spec).unwrap();
     let replay = engine.execute(&spec).unwrap();
     check_golden(

@@ -39,7 +39,7 @@ fn xy_query(db: &EventDb, level: &str) -> SCuboidSpec {
 #[test]
 fn iceberg_thresholds_nest() {
     let engine = Engine::new(synthetic_db(800, 5));
-    let spec = xy_query(engine.db(), "symbol");
+    let spec = xy_query(&engine.db(), "symbol");
     let full = engine.execute(&spec).unwrap();
     let mut last_len = full.cuboid.len();
     let mut last_cells: Vec<_> = full
@@ -77,11 +77,11 @@ fn iceberg_thresholds_nest() {
 #[test]
 fn online_aggregation_converges_to_engine_result() {
     let engine = Engine::new(synthetic_db(600, 9));
-    let spec = xy_query(engine.db(), "group");
+    let spec = xy_query(&engine.db(), "group");
     let exact = engine.execute(&spec).unwrap();
     let groups = engine.sequence_groups(&spec).unwrap();
     let mut snapshots = 0;
-    let final_cuboid = online_count(engine.db(), &groups, &spec, 100, |snap| {
+    let final_cuboid = online_count(&engine.db(), &groups, &spec, 100, |snap| {
         snapshots += 1;
         assert!(snap.progress > 0.0 && snap.progress <= 1.0);
     })
@@ -196,13 +196,13 @@ fn bitmap_backend_agrees_on_synthetic_workload() {
             ..Default::default()
         },
     );
-    let a = list.execute(&spec_text(list.db())).unwrap();
-    let b = bitmap.execute(&spec_text(bitmap.db())).unwrap();
+    let a = list.execute(&spec_text(&list.db())).unwrap();
+    let b = bitmap.execute(&spec_text(&bitmap.db())).unwrap();
     assert_eq!(a.cuboid.cells, b.cuboid.cells);
     // Both then APPEND and still agree (exercises joins on both backends).
     let (_, a2) = list
         .execute_op(
-            &spec_text(list.db()),
+            &spec_text(&list.db()),
             &Op::Append {
                 symbol: "Z".into(),
                 attr: 2,
@@ -212,7 +212,7 @@ fn bitmap_backend_agrees_on_synthetic_workload() {
         .unwrap();
     let (_, b2) = bitmap
         .execute_op(
-            &spec_text(bitmap.db()),
+            &spec_text(&bitmap.db()),
             &Op::Append {
                 symbol: "Z".into(),
                 attr: 2,
@@ -226,7 +226,7 @@ fn bitmap_backend_agrees_on_synthetic_workload() {
 #[test]
 fn suggest_min_support_guides_iceberg() {
     let engine = Engine::new(synthetic_db(500, 13));
-    let spec = xy_query(engine.db(), "symbol");
+    let spec = xy_query(&engine.db(), "symbol");
     let full = engine.execute(&spec).unwrap();
     let t = s_olap::core::iceberg::suggest_min_support(&full.cuboid, 0.8);
     assert!(t >= 1);

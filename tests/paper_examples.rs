@@ -85,7 +85,7 @@ fn figure_12_cuboid() {
                 ..Default::default()
             },
         );
-        let spec = parse(engine.db(), Q3_TEXT);
+        let spec = parse(&engine.db(), Q3_TEXT);
         let out = engine.execute(&spec).unwrap();
         let db = engine.db();
         assert_eq!(out.cuboid.len(), 6, "{strategy:?}");
@@ -97,7 +97,7 @@ fn figure_12_cuboid() {
             (["Wheaton", "Clarendon"], 1),
             (["Wheaton", "Pentagon"], 2),
         ] {
-            assert_eq!(count_of(db, &out.cuboid, &names), expected, "{names:?}");
+            assert_eq!(count_of(&db, &out.cuboid, &names), expected, "{names:?}");
         }
     }
 }
@@ -117,12 +117,12 @@ fn figure_14_xyyx() {
           WITH X AS location AT station, Y AS location AT station
           LEFT-MAXIMALITY (x1, y1, y2, x2)
     "#;
-    let spec = parse(engine.db(), q);
+    let spec = parse(&engine.db(), q);
     let out = engine.execute(&spec).unwrap();
     assert_eq!(out.cuboid.len(), 1, "only one non-empty list (Figure 14)");
     assert_eq!(
         // Cell keys carry one value per pattern *dimension*: (X, Y).
-        count_of(engine.db(), &out.cuboid, &["Pentagon", "Wheaton"]),
+        count_of(&engine.db(), &out.cuboid, &["Pentagon", "Wheaton"]),
         2,
         "s1 and s2 both contain the round trip"
     );
@@ -145,18 +145,18 @@ fn non_summarizability_s3() {
           WITH X AS location AT station, Y AS location AT station, Z AS location AT station
           LEFT-MAXIMALITY (x1, y1, z1)
     "#;
-    let fine = engine.execute(&parse(engine.db(), q_xyz)).unwrap();
+    let fine = engine.execute(&parse(&engine.db(), q_xyz)).unwrap();
     let db = engine.db();
-    let c1 = count_of(db, &fine.cuboid, &["Pentagon", "Wheaton", "Pentagon"]);
-    let c2 = count_of(db, &fine.cuboid, &["Wheaton", "Pentagon", "Wheaton"]);
-    let c3 = count_of(db, &fine.cuboid, &["Pentagon", "Wheaton", "Glenmont"]);
+    let c1 = count_of(&db, &fine.cuboid, &["Pentagon", "Wheaton", "Pentagon"]);
+    let c2 = count_of(&db, &fine.cuboid, &["Wheaton", "Pentagon", "Wheaton"]);
+    let c3 = count_of(&db, &fine.cuboid, &["Pentagon", "Wheaton", "Glenmont"]);
     assert_eq!((c1, c2, c3), (1, 1, 1), "s3 contributes to all three cells");
 
     // DE-TAIL via the engine's operation path.
-    let spec = parse(engine.db(), q_xyz);
+    let spec = parse(&engine.db(), q_xyz);
     let (coarse_spec, coarse) = engine.execute_op(&spec, &Op::DeTail).unwrap();
     assert_eq!(coarse_spec.template.render_head(), "SUBSTRING (X, Y)");
-    let c4 = count_of(db, &coarse.cuboid, &["Pentagon", "Wheaton"]);
+    let c4 = count_of(&db, &coarse.cuboid, &["Pentagon", "Wheaton"]);
     assert_eq!(c4, 1, "left-maximality assigns s3 once");
     assert_ne!(c4, c1 + c3, "summing finer aggregates would be wrong");
 }
@@ -177,7 +177,7 @@ fn p_roll_up_s6_counter_example() {
           WITH X AS location AT station, Y AS location AT station
           LEFT-MAXIMALITY (x1, y1, y2, x2)
     "#;
-    let spec = parse(engine.db(), q);
+    let spec = parse(&engine.db(), q);
     let fine = engine.execute(&spec).unwrap();
     assert_eq!(fine.cuboid.len(), 0, "no station-level round trip");
     // Roll both pattern dimensions up to districts.
@@ -213,7 +213,7 @@ fn q1_full_pipeline_on_transit_data() {
     .unwrap();
     let engine = Engine::new(db);
     let q1 = parse(
-        engine.db(),
+        &engine.db(),
         r#"
         SELECT COUNT(*) FROM Event
         WHERE time >= "2007-10-01T00:00" AND time < "2007-12-31T24:00"
@@ -260,7 +260,7 @@ fn q1_full_pipeline_on_transit_data() {
         },
     );
     let cb_out = cb
-        .execute(&parse(cb.db(), &q1.render(engine.db())))
+        .execute(&parse(&cb.db(), &q1.render(&engine.db())))
         .unwrap();
     assert_eq!(cb_out.cuboid.cells, out.cuboid.cells);
 }
@@ -286,11 +286,11 @@ fn sum_semantics_on_transit() {
           WITH x1.action = "in" AND y1.action = "out"
     "#;
     let sum_all = engine
-        .execute(&parse(engine.db(), &base.replace("{AGG}", "SUM(amount)")))
+        .execute(&parse(&engine.db(), &base.replace("{AGG}", "SUM(amount)")))
         .unwrap();
     let sum_first = engine
         .execute(&parse(
-            engine.db(),
+            &engine.db(),
             &base.replace("{AGG}", "SUM-FIRST(amount)"),
         ))
         .unwrap();
