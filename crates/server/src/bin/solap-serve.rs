@@ -2,15 +2,16 @@
 //!
 //! ```text
 //! $ solap-serve --gen transit passengers=500 days=7
-//! listening on 127.0.0.1:7878 (64 connections, 16 in-flight)
+//! listening on 127.0.0.1:7878 (1024 connections, 16 in-flight)
 //! ```
 //!
 //! The dataset comes from a generator (`--gen KIND [k=v …]`) or a saved
 //! database (`--load PATH`); engine defaults follow the usual
 //! environment knobs (`SOLAP_THREADS`, `SOLAP_TIMEOUT_MS`, …) and the
-//! serving knobs come from `SOLAP_ADDR`, `SOLAP_MAX_CONN` and
-//! `SOLAP_MAX_INFLIGHT` or their flag equivalents. The process serves
-//! until killed; clients are never interrupted mid-response.
+//! serving knobs come from `SOLAP_ADDR`, `SOLAP_MAX_CONN`,
+//! `SOLAP_MAX_INFLIGHT`, `SOLAP_WORKERS`, `SOLAP_PIPELINE` and
+//! `SOLAP_POLL_MS` or their flag equivalents. The process serves until
+//! killed; clients are never interrupted mid-response.
 
 #![forbid(unsafe_code)]
 
@@ -22,6 +23,7 @@ use solap_server::command::{generate, parse_kv};
 use solap_server::server::{Server, ServerConfig};
 
 const USAGE: &str = "usage: solap-serve [--addr HOST:PORT] [--max-conn N] [--max-inflight N]
+                   [--workers N] [--pipeline N]
                    [--gen transit|clickstream|synthetic [k=v …]] [--load PATH] [--quiet]";
 
 fn main() {
@@ -54,6 +56,14 @@ fn main() {
             }
             "--max-inflight" => {
                 config.max_inflight = parse_count(need_value(i), "--max-inflight");
+                i += 2;
+            }
+            "--workers" => {
+                config.workers = parse_count(need_value(i), "--workers");
+                i += 2;
+            }
+            "--pipeline" => {
+                config.pipeline_depth = parse_count(need_value(i), "--pipeline");
                 i += 2;
             }
             "--gen" => {

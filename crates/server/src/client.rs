@@ -125,6 +125,43 @@ impl Client {
         self.writer.write_all(line.as_bytes())?;
         self.writer.flush()
     }
+
+    /// Writes a whole batch of statements in one send without reading
+    /// any responses — the pipelined half of [`Client::pipeline`].
+    pub fn send_batch<S: AsRef<str>>(&mut self, statements: &[S]) -> io::Result<()> {
+        let mut wire = String::new();
+        for statement in statements {
+            wire.push_str(&statement.as_ref().replace(['\n', '\r'], " "));
+            wire.push('\n');
+        }
+        self.writer.write_all(wire.as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// Reads the next response line (pairs with [`Client::send_batch`]:
+    /// the server answers pipelined statements in order, one line each).
+    pub fn recv_response(&mut self) -> io::Result<WireResponse> {
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        WireResponse::parse(&response)
+    }
+
+    /// Pipelines a batch: writes every statement up front, then reads
+    /// the responses back in statement order.
+    pub fn pipeline<S: AsRef<str>>(&mut self, statements: &[S]) -> io::Result<Vec<WireResponse>> {
+        self.send_batch(statements)?;
+        let mut responses = Vec::with_capacity(statements.len());
+        for _ in statements {
+            responses.push(self.recv_response()?);
+        }
+        Ok(responses)
+    }
 }
 
 #[cfg(test)]

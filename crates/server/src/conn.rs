@@ -1,0 +1,242 @@
+//! Per-connection buffering: incremental line framing on the read side
+//! and a cursor-compacted flush buffer on the write side.
+//!
+//! The event loop reads whatever the socket has — one byte, a split
+//! CRLF, a coalesced pipeline of many statements — into a [`FrameBuf`],
+//! then pulls complete frames out one at a time. Framing is therefore
+//! completely independent of packetization: the wire-framing property
+//! suite (`tests/server_framing.rs`) delivers the same statements under
+//! adversarial fragmentations and asserts bit-identical responses.
+//!
+//! Responses go out through a [`WriteBuf`]: rendered lines are appended,
+//! and the event loop flushes as much as the socket accepts, keeping the
+//! rest for the next writable sweep (backpressure against slow readers).
+
+/// One framed unit pulled out of a [`FrameBuf`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete statement line (terminator and any trailing `\r`
+    /// stripped, UTF-8 validated).
+    Line(String),
+    /// The line under construction exceeded the byte bound before its
+    /// terminator arrived. The connection cannot resync afterwards and
+    /// should answer `too_large` and close.
+    TooLong,
+    /// A complete line that was not valid UTF-8; answer `bad_request`
+    /// and keep framing (the terminator resyncs the stream).
+    BadEncoding,
+}
+
+/// Incremental newline framing over arbitrary byte fragments.
+#[derive(Debug)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    /// Bytes below this offset are known to contain no `\n`.
+    scanned: usize,
+    max_line: usize,
+    overflowed: bool,
+}
+
+impl FrameBuf {
+    /// A framer enforcing `max_line` bytes per line (terminator
+    /// excluded).
+    pub fn new(max_line: usize) -> FrameBuf {
+        FrameBuf {
+            buf: Vec::new(),
+            scanned: 0,
+            max_line,
+            overflowed: false,
+        }
+    }
+
+    /// Appends raw bytes read off the socket.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet framed.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pulls the next complete frame, if one is available.
+    pub fn next_frame(&mut self) -> Option<Frame> {
+        if self.overflowed {
+            // Terminal: once a line has blown the bound there is no
+            // trustworthy resync point.
+            return Some(Frame::TooLong);
+        }
+        match self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+            Some(rel) => {
+                let end = self.scanned + rel;
+                let mut line: Vec<u8> = self.buf.drain(..=end).collect();
+                line.pop(); // the '\n'
+                self.scanned = 0;
+                if line.len() > self.max_line {
+                    self.overflowed = true;
+                    return Some(Frame::TooLong);
+                }
+                if line.last() == Some(&b'\r') {
+                    line.pop(); // tolerate CRLF endings (telnet et al.)
+                }
+                Some(match String::from_utf8(line) {
+                    Ok(s) => Frame::Line(s),
+                    Err(_) => Frame::BadEncoding,
+                })
+            }
+            None => {
+                self.scanned = self.buf.len();
+                if self.buf.len() > self.max_line {
+                    self.overflowed = true;
+                    return Some(Frame::TooLong);
+                }
+                None
+            }
+        }
+    }
+}
+
+/// An append-and-flush output buffer with an explicit cursor, compacted
+/// opportunistically so a long-lived connection does not accrete memory.
+#[derive(Debug, Default)]
+pub struct WriteBuf {
+    buf: Vec<u8>,
+    head: usize,
+}
+
+impl WriteBuf {
+    /// An empty buffer.
+    pub fn new() -> WriteBuf {
+        WriteBuf::default()
+    }
+
+    /// Appends rendered bytes to be flushed.
+    pub fn append(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// The unflushed remainder.
+    pub fn pending(&self) -> &[u8] {
+        &self.buf[self.head..]
+    }
+
+    /// Whether everything appended has been flushed.
+    pub fn is_empty(&self) -> bool {
+        self.head >= self.buf.len()
+    }
+
+    /// Unflushed byte count.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.head
+    }
+
+    /// Records that `n` pending bytes were written out.
+    pub fn advance(&mut self, n: usize) {
+        self.head = (self.head + n).min(self.buf.len());
+        // Compact once the dead prefix dominates, amortized O(1).
+        if self.head == self.buf.len() {
+            self.buf.clear();
+            self.head = 0;
+        } else if self.head > 64 * 1024 && self.head * 2 > self.buf.len() {
+            self.buf.drain(..self.head);
+            self.head = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(fb: &mut FrameBuf) -> Vec<Frame> {
+        std::iter::from_fn(|| fb.next_frame()).collect()
+    }
+
+    #[test]
+    fn one_byte_fragments_reassemble() {
+        let mut fb = FrameBuf::new(1024);
+        for b in b"ab\ncd\n" {
+            fb.push(&[*b]);
+        }
+        assert_eq!(
+            lines(&mut fb),
+            vec![Frame::Line("ab".into()), Frame::Line("cd".into())]
+        );
+        assert_eq!(fb.buffered(), 0);
+    }
+
+    #[test]
+    fn split_crlf_and_coalesced_batches() {
+        let mut fb = FrameBuf::new(1024);
+        fb.push(b"first\r");
+        assert_eq!(fb.next_frame(), None); // CR buffered, not yet a line
+        fb.push(b"\nsecond\nthird");
+        assert_eq!(fb.next_frame(), Some(Frame::Line("first".into())));
+        assert_eq!(fb.next_frame(), Some(Frame::Line("second".into())));
+        assert_eq!(fb.next_frame(), None); // "third" awaits its newline
+        fb.push(b"\n");
+        assert_eq!(fb.next_frame(), Some(Frame::Line("third".into())));
+    }
+
+    #[test]
+    fn empty_lines_and_interior_cr() {
+        let mut fb = FrameBuf::new(1024);
+        fb.push(b"\n\r\na\rb\n");
+        assert_eq!(fb.next_frame(), Some(Frame::Line(String::new())));
+        assert_eq!(fb.next_frame(), Some(Frame::Line(String::new())));
+        // Only the trailing CR is protocol; interior CRs are content.
+        assert_eq!(fb.next_frame(), Some(Frame::Line("a\rb".into())));
+    }
+
+    #[test]
+    fn oversize_detection_is_incremental_and_terminal() {
+        let mut fb = FrameBuf::new(8);
+        fb.push(b"12345");
+        assert_eq!(fb.next_frame(), None);
+        fb.push(b"6789"); // 9 bytes, no terminator yet: over the bound
+        assert_eq!(fb.next_frame(), Some(Frame::TooLong));
+        // Terminal: even after more data (with newlines) it stays TooLong.
+        fb.push(b"\nok\n");
+        assert_eq!(fb.next_frame(), Some(Frame::TooLong));
+
+        // A complete line exactly at the bound passes…
+        let mut fb = FrameBuf::new(8);
+        fb.push(b"12345678\n");
+        assert_eq!(fb.next_frame(), Some(Frame::Line("12345678".into())));
+        // …one byte over (terminator arriving with the line) does not.
+        let mut fb = FrameBuf::new(8);
+        fb.push(b"123456789\n");
+        assert_eq!(fb.next_frame(), Some(Frame::TooLong));
+    }
+
+    #[test]
+    fn bad_utf8_resyncs_on_the_terminator() {
+        let mut fb = FrameBuf::new(1024);
+        fb.push(&[0xff, 0xfe, b'\n', b'o', b'k', b'\n']);
+        assert_eq!(fb.next_frame(), Some(Frame::BadEncoding));
+        assert_eq!(fb.next_frame(), Some(Frame::Line("ok".into())));
+    }
+
+    #[test]
+    fn write_buf_flushes_in_arbitrary_chunks_and_compacts() {
+        let mut wb = WriteBuf::new();
+        assert!(wb.is_empty());
+        wb.append(b"hello ");
+        wb.append(b"world");
+        assert_eq!(wb.len(), 11);
+        assert_eq!(wb.pending(), b"hello world");
+        wb.advance(6);
+        assert_eq!(wb.pending(), b"world");
+        wb.advance(5);
+        assert!(wb.is_empty());
+        assert_eq!(wb.pending(), b"");
+        // Large flushed prefixes are compacted away.
+        let big = vec![7u8; 100 * 1024];
+        wb.append(&big);
+        wb.advance(90 * 1024);
+        assert_eq!(wb.len(), 10 * 1024);
+        wb.append(b"tail");
+        assert_eq!(wb.len(), 10 * 1024 + 4);
+        assert_eq!(&wb.pending()[10 * 1024..], b"tail");
+    }
+}

@@ -105,6 +105,14 @@ impl Response {
         }
     }
 
+    /// Serializes the response as a newline-terminated wire line, ready
+    /// to append to a connection's write buffer.
+    pub fn wire_line(&self) -> String {
+        let mut line = self.to_wire();
+        line.push('\n');
+        line
+    }
+
     /// Serializes the response as one JSON line (without the newline).
     pub fn to_wire(&self) -> String {
         let mut out = String::with_capacity(self.body.len() + 64);

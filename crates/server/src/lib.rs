@@ -7,17 +7,25 @@
 //! that navigate cuboids interactively (§5's Qa → Qb → Qc explorations).
 //! This crate reproduces that shape as infrastructure:
 //!
-//! * [`dispatch`] — the shared statement-dispatch layer. The REPL,
+//! * [`dispatch`](mod@crate::dispatch) — the shared statement-dispatch layer. The REPL,
 //!   `solap --eval` scripts and every server connection execute
 //!   statements through the same [`dispatch::dispatch`] function over a
 //!   [`dispatch::SessionCtx`], so the surfaces cannot drift.
 //! * [`server`] — a zero-dependency (`std::net` + `std::thread`)
-//!   thread-per-connection TCP server sharing one
-//!   [`Engine`](solap_core::Engine) across all clients, with admission
-//!   control, disconnect-triggered query cancellation, hostile-input
-//!   guards, panic isolation and graceful shutdown.
+//!   readiness-driven TCP server: one event loop multiplexes every
+//!   non-blocking accepted socket through the [`readiness`] shim, frames
+//!   statements incrementally ([`conn`]), and hands batches to a bounded
+//!   worker pool sharing one [`Engine`](solap_core::Engine) — with
+//!   request pipelining, admission control, disconnect-triggered query
+//!   cancellation, hostile-input guards, panic isolation and graceful
+//!   shutdown.
+//! * [`readiness`] — the zero-`unsafe` poll-style multiplexer (probe via
+//!   non-blocking peeks, parked waits cut short by a [`readiness::Waker`]).
+//! * [`conn`] — per-connection incremental line framing and the
+//!   cursor-compacted write buffer.
 //! * [`client`] — the protocol client library (used by `solap
-//!   --connect`, the `serve` benchmark and the chaos suite).
+//!   --connect`, the `serve` benchmark and the chaos, soak and framing
+//!   suites), including the pipelined batch API.
 //! * [`command`] — argument parsing for the `.op` sub-language, `k=v`
 //!   option lists and the dataset generators.
 //! * [`json`] — the minimal JSON encoder/parser behind the wire format
@@ -46,8 +54,10 @@
 
 pub mod client;
 pub mod command;
+pub mod conn;
 pub mod dispatch;
 pub mod json;
+pub mod readiness;
 pub mod server;
 
 pub use client::{Client, WireResponse};

@@ -96,6 +96,9 @@ impl Config {
                 "crates/index/src/codec.rs".into(),
                 "crates/eventdb/src/wal.rs".into(),
                 "crates/eventdb/src/log.rs".into(),
+                "crates/server/src/server.rs".into(),
+                "crates/server/src/readiness.rs".into(),
+                "crates/server/src/conn.rs".into(),
             ],
             hot_keywords: default_hot_keywords(),
             governed_markers: default_governed_markers(),

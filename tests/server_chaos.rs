@@ -11,6 +11,13 @@
 //! * a request panicking through the `server.request` failpoint kills
 //!   only its own connection — concurrent sessions stay healthy.
 //!
+//! The readiness-driven rework (PR 8) extends the matrix under request
+//! pipelining: a mid-batch disconnect cancels only that connection's
+//! in-flight work, a panic inside a pipelined batch poisons neither the
+//! event loop nor sibling connections, a queued pipelined batch is
+//! rejected statement-by-statement with `over_capacity`, and graceful
+//! drain completes queued pipelined statements before closing.
+//!
 //! Failpoint state is process-global, so every test serializes on one
 //! lock, exactly like `tests/chaos.rs`.
 
@@ -303,4 +310,233 @@ fn request_panic_is_isolated_to_its_connection() {
 
     handle.shutdown();
     join.join().expect("accept loop").expect("serve");
+}
+
+/// A client that pipelines a batch of queries and vanishes cancels only
+/// its own in-flight work: the governor records a failure per cancelled
+/// statement, the disconnect is counted once, and a sibling connection
+/// sharing the worker pool completes its own query untouched.
+#[test]
+fn pipelined_disconnect_cancels_only_its_own_connection() {
+    let _g = locked();
+    failpoint::clear_all();
+
+    let engine = transit_engine(1);
+    let (handle, join) = spawn_server(
+        engine,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            max_inflight: 2,
+            ..Default::default()
+        },
+    );
+    let addr = handle.local_addr();
+
+    // Hold every statement briefly so the disconnect lands while the
+    // doomed batch is still in flight.
+    failpoint::configure("server.request", Action::Delay(200));
+    let failures_before = metrics::global().failures();
+
+    let mut doomed = Client::connect(addr).expect("connect");
+    doomed
+        .send_batch(&[QUERY, QUERY, QUERY])
+        .expect("pipelined send");
+    drop(doomed); // hang up with three statements in flight
+
+    // The sibling shares the pool but not the fate: its (delayed) query
+    // completes normally while the doomed batch is being cancelled.
+    let mut sibling = Client::connect(addr).expect("connect");
+    let r = sibling.request(QUERY).expect("sibling request");
+    assert!(
+        r.ok,
+        "sibling caught a neighbour's cancellation: {:?}",
+        r.body
+    );
+    assert!(r.body.contains("cells via"));
+
+    assert!(
+        wait_for(Duration::from_secs(10), || {
+            handle.stats().cancelled_disconnect == 1
+        }),
+        "pipelined disconnect never counted: {:?}",
+        handle.stats()
+    );
+    // Every statement of the doomed batch aborted through the governor.
+    assert!(
+        metrics::global().failures() >= failures_before + 3,
+        "expected 3 cancelled-statement failures, got {} -> {}",
+        failures_before,
+        metrics::global().failures()
+    );
+
+    failpoint::clear_all();
+    handle.shutdown();
+    join.join().expect("event loop").expect("serve");
+}
+
+/// A panic inside a pipelined batch kills that connection only: the
+/// worker and event loop survive, a concurrent session keeps answering
+/// (including further pipelined batches), and new sessions connect.
+#[test]
+fn pipelined_panic_poisons_neither_loop_nor_siblings() {
+    let _g = locked();
+    failpoint::clear_all();
+
+    let engine = transit_engine(1);
+    let (handle, join) = spawn_server(
+        engine,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            ..Default::default()
+        },
+    );
+    let addr = handle.local_addr();
+
+    let mut bystander = Client::connect(addr).expect("connect");
+    assert!(bystander.request(".history").expect("request").ok);
+
+    quietly(|| {
+        failpoint::configure("server.request", Action::Panic);
+        let mut victim = Client::connect(addr).expect("connect");
+        victim
+            .set_response_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        let err = victim.pipeline(&[".history", ".history", ".history"]);
+        assert!(
+            err.is_err(),
+            "the panicking batch must close its connection unanswered"
+        );
+        failpoint::clear_all();
+    });
+
+    assert!(
+        wait_for(Duration::from_secs(5), || handle.stats().conn_panics == 1),
+        "panic not counted: {:?}",
+        handle.stats()
+    );
+
+    // The bystander still pipelines successfully, responses in order.
+    let rs = bystander
+        .pipeline(&[".history", QUERY])
+        .expect("bystander pipeline");
+    assert!(rs[0].ok, "{:?}", rs[0].body);
+    assert!(
+        rs[1].ok && rs[1].body.contains("cells via"),
+        "{:?}",
+        rs[1].body
+    );
+
+    let mut fresh = Client::connect(addr).expect("connect");
+    assert!(fresh.request(".history").expect("request").ok);
+
+    handle.shutdown();
+    join.join().expect("event loop").expect("serve");
+}
+
+/// A pipelined batch that out-waits the queue timeout behind a saturated
+/// pool is rejected with one typed `over_capacity` response per
+/// statement, in order — and the session survives the rejection: once
+/// the pool frees up, the same connection completes requests normally.
+#[test]
+fn over_capacity_rejects_every_statement_of_a_queued_pipeline() {
+    let _g = locked();
+    failpoint::clear_all();
+
+    let engine = transit_engine(1);
+    let (handle, join) = spawn_server(
+        engine,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            max_inflight: 1,
+            queue_timeout: Duration::from_millis(100),
+            ..Default::default()
+        },
+    );
+    let addr = handle.local_addr();
+
+    // `holder` occupies the only worker for 800 ms.
+    failpoint::configure("server.request", Action::Delay(800));
+    let mut holder = Client::connect(addr).expect("connect");
+    holder.send_only(".history").expect("send");
+    std::thread::sleep(Duration::from_millis(200));
+
+    let mut rejected = Client::connect(addr).expect("connect");
+    let rs = rejected
+        .pipeline(&[".history", ".history", ".history"])
+        .expect("pipelined batch");
+    assert_eq!(rs.len(), 3);
+    for (i, r) in rs.iter().enumerate() {
+        assert!(!r.ok, "statement {i} should be rejected: {:?}", r.body);
+        assert_eq!(r.code.as_deref(), Some("over_capacity"), "statement {i}");
+    }
+    assert!(handle.stats().rejected_queue >= 3, "{:?}", handle.stats());
+
+    // Observability bypasses the pool even now.
+    let s = rejected.request(".server").expect("request");
+    assert!(s.ok && s.body.contains("queued requests"), "{:?}", s.body);
+
+    // The rejection did not poison the session: with the pool free the
+    // same connection goes through.
+    failpoint::clear_all();
+    let ok = wait_for(
+        Duration::from_secs(5),
+        || matches!(rejected.request(".history"), Ok(r) if r.ok),
+    );
+    assert!(ok, "session unusable after an over_capacity rejection");
+
+    drop(holder);
+    handle.shutdown();
+    join.join().expect("event loop").expect("serve");
+}
+
+/// Graceful drain with a pipelined batch in flight: every statement
+/// already accepted completes and flushes before the connection closes,
+/// idle connections are closed, and `serve()` returns.
+#[test]
+fn graceful_drain_completes_a_queued_pipelined_batch() {
+    let _g = locked();
+    failpoint::clear_all();
+
+    let engine = transit_engine(1);
+    let (handle, join) = spawn_server(
+        engine,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            max_inflight: 1,
+            ..Default::default()
+        },
+    );
+    let addr = handle.local_addr();
+
+    // Slow each statement down so shutdown lands mid-batch.
+    failpoint::configure("server.request", Action::Delay(300));
+
+    let mut busy = Client::connect(addr).expect("connect");
+    busy.set_response_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let mut idle = Client::connect(addr).expect("connect");
+
+    busy.send_batch(&[".history", ".history", ".history"])
+        .expect("pipelined send");
+    std::thread::sleep(Duration::from_millis(100));
+    handle.shutdown();
+
+    // All three accepted statements still complete, in order…
+    for i in 0..3 {
+        let r = busy.recv_response().expect("drained response");
+        assert!(r.ok, "statement {i} lost in drain: {:?}", r.body);
+    }
+    // …then the drained connection closes.
+    assert!(
+        busy.recv_response().is_err(),
+        "connection must close after drain"
+    );
+
+    // The idle connection was closed by the drain without an answer.
+    idle.set_response_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    assert!(idle.request(".history").is_err());
+
+    failpoint::clear_all();
+    join.join().expect("event loop").expect("serve");
 }

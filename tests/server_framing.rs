@@ -1,0 +1,281 @@
+//! Wire-framing property tests for the readiness-driven server.
+//!
+//! The protocol is newline-delimited, but TCP gives the server arbitrary
+//! byte fragments. These tests assert that framing is independent of
+//! packetization: the same statements delivered under adversarial
+//! fragmentations — 1-byte writes, a CRLF split across writes, a whole
+//! pipeline coalesced into one write, seeded random chunking — produce
+//! responses identical to whole-line writes; that a pipelined batch of N
+//! statements is answered exactly like N sequential requests (across
+//! CB/II strategies and engine worker counts {1, 8}); and that hostile
+//! lines get their typed errors (`too_large` terminally, `bad_request`
+//! with resync).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use s_olap::prelude::*;
+use s_olap::server::{Client, Server, ServerConfig, ServerHandle, WireResponse};
+
+/// The paper's Q3 over the transit substitute (same as the chaos suite).
+const QUERY: &str = r#"SELECT COUNT(*) FROM Event CLUSTER BY card-id AT individual, time AT day SEQUENCE BY time ASCENDING CUBOID BY SUBSTRING (X, Y) WITH X AS location AT station, Y AS location AT station LEFT-MAXIMALITY (x1, y1) WITH x1.action = "in" AND y1.action = "out""#;
+
+fn transit_engine(threads: usize) -> Arc<Engine> {
+    let db = s_olap::datagen::generate_transit(&s_olap::datagen::TransitConfig {
+        passengers: 80,
+        days: 3,
+        ..Default::default()
+    })
+    .expect("generator");
+    Arc::new(
+        Engine::builder(db)
+            .threads(threads)
+            .use_cuboid_repo(false)
+            .build(),
+    )
+}
+
+fn spawn(
+    config: ServerConfig,
+    threads: usize,
+) -> (ServerHandle, std::thread::JoinHandle<std::io::Result<()>>) {
+    Server::spawn(transit_engine(threads), config).expect("server spawn")
+}
+
+fn default_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        ..Default::default()
+    }
+}
+
+/// Timing-free comparison key: query summaries carry elapsed times, so
+/// queries compare on outcome; everything else compares bit-for-bit.
+fn observe(statement: &str, r: &WireResponse) -> String {
+    if statement == QUERY {
+        format!("query ok={}", r.ok)
+    } else {
+        format!("ok={} code={:?} body={}", r.ok, r.code, r.body)
+    }
+}
+
+/// Writes `wire` to a raw socket in the given chunk sizes (cycled), then
+/// reads `expect` response lines.
+fn raw_exchange(addr: SocketAddr, wire: &[u8], chunks: &[usize], expect: usize) -> Vec<String> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let mut sent = 0;
+    let mut i = 0;
+    while sent < wire.len() {
+        let n = chunks[i % chunks.len()].max(1).min(wire.len() - sent);
+        writer.write_all(&wire[sent..sent + n]).expect("write");
+        writer.flush().expect("flush");
+        sent += n;
+        i += 1;
+    }
+    let mut lines = Vec::with_capacity(expect);
+    for _ in 0..expect {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("read");
+        assert!(n > 0, "server closed early after {} lines", lines.len());
+        lines.push(line);
+    }
+    lines
+}
+
+/// Small deterministic xorshift for the random-chunking case.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// The same statement script, delivered whole-line sequentially, as one
+/// coalesced pipeline, byte-by-byte, CRLF-split and randomly chunked,
+/// must produce identical responses — across CB/II and threads {1, 8}.
+#[test]
+fn adversarial_fragmentations_match_whole_line_writes() {
+    for threads in [1usize, 8] {
+        for strategy in [".strategy cb", ".strategy ii"] {
+            let (handle, join) = spawn(default_config(), threads);
+            let addr = handle.local_addr();
+            let script: Vec<String> = vec![
+                strategy.to_owned(),
+                QUERY.to_owned(),
+                ".show 10".to_owned(),
+                ".spec".to_owned(),
+                ".history".to_owned(),
+            ];
+
+            // Reference: whole-line writes, one request at a time.
+            let mut client = Client::connect(addr).expect("connect");
+            let reference: Vec<String> = script
+                .iter()
+                .map(|s| observe(s, &client.request(s).expect("request")))
+                .collect();
+
+            // LF-terminated wire image of the whole script.
+            let mut wire = Vec::new();
+            for s in &script {
+                wire.extend_from_slice(s.as_bytes());
+                wire.push(b'\n');
+            }
+            // CRLF-terminated image (split so every \r and \n land in
+            // different writes when chunked to 1 byte below).
+            let mut wire_crlf = Vec::new();
+            for s in &script {
+                wire_crlf.extend_from_slice(s.as_bytes());
+                wire_crlf.extend_from_slice(b"\r\n");
+            }
+
+            let mut rng = Rng(0xf7a3 ^ threads as u64);
+            let random_chunks: Vec<usize> =
+                (0..64).map(|_| 1 + (rng.next() % 7) as usize).collect();
+            let deliveries: Vec<(&str, &[u8], Vec<usize>)> = vec![
+                ("coalesced", &wire, vec![wire.len()]),
+                ("one-byte", &wire, vec![1]),
+                ("crlf-split-one-byte", &wire_crlf, vec![1]),
+                ("crlf-coalesced", &wire_crlf, vec![wire_crlf.len()]),
+                ("random-chunks", &wire, random_chunks),
+            ];
+            for (name, wire, chunks) in deliveries {
+                let lines = raw_exchange(addr, wire, &chunks, script.len());
+                let got: Vec<String> = script
+                    .iter()
+                    .zip(&lines)
+                    .map(|(s, line)| observe(s, &WireResponse::parse(line).expect("parse")))
+                    .collect();
+                assert_eq!(
+                    got, reference,
+                    "{name} delivery diverged (threads={threads}, {strategy})"
+                );
+            }
+
+            handle.shutdown();
+            join.join().expect("event loop").expect("serve");
+        }
+    }
+}
+
+/// A pipelined batch of N statements gets the same responses, in order,
+/// as N sequential requests on a fresh connection — across CB/II and
+/// engine worker counts {1, 8}.
+#[test]
+fn pipelined_batch_matches_sequential_requests() {
+    for threads in [1usize, 8] {
+        let (handle, join) = spawn(default_config(), threads);
+        let addr = handle.local_addr();
+        for strategy in [".strategy cb", ".strategy ii"] {
+            let script: Vec<String> = vec![
+                strategy.to_owned(),
+                QUERY.to_owned(),
+                ".show 10".to_owned(),
+                ".spec".to_owned(),
+                QUERY.to_owned(),
+                ".history".to_owned(),
+            ];
+
+            let mut sequential = Client::connect(addr).expect("connect");
+            let reference: Vec<String> = script
+                .iter()
+                .map(|s| observe(s, &sequential.request(s).expect("request")))
+                .collect();
+
+            let mut pipelined = Client::connect(addr).expect("connect");
+            let responses = pipelined.pipeline(&script).expect("pipeline");
+            let got: Vec<String> = script
+                .iter()
+                .zip(&responses)
+                .map(|(s, r)| observe(s, r))
+                .collect();
+            assert_eq!(
+                got, reference,
+                "pipelined N diverged from N sequential (threads={threads}, {strategy})"
+            );
+        }
+        handle.shutdown();
+        join.join().expect("event loop").expect("serve");
+    }
+}
+
+/// An oversized line draws the typed `too_large` error and closes the
+/// connection after responses to earlier pipelined statements flush —
+/// the bound is on the line, not the read buffer, and detection is
+/// incremental (no terminator needed).
+#[test]
+fn oversized_lines_draw_too_large_and_close() {
+    let (handle, join) = spawn(
+        ServerConfig {
+            max_line_bytes: 64,
+            ..default_config()
+        },
+        1,
+    );
+    let addr = handle.local_addr();
+
+    // A good statement pipelined ahead of the oversized one still gets
+    // its answer; the oversized line is answered `too_large`; then EOF.
+    let mut wire = Vec::from(&b".history\n"[..]);
+    wire.extend(std::iter::repeat_n(b'x', 200)); // no terminator at all
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let mut writer = stream.try_clone().expect("clone");
+    writer.write_all(&wire).expect("write");
+    writer.flush().expect("flush");
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read");
+    let first = WireResponse::parse(&line).expect("parse");
+    assert!(first.ok, "pre-overflow statement must still be answered");
+    line.clear();
+    reader.read_line(&mut line).expect("read");
+    let second = WireResponse::parse(&line).expect("parse");
+    assert!(!second.ok);
+    assert_eq!(second.code.as_deref(), Some("too_large"));
+    line.clear();
+    assert_eq!(
+        reader.read_line(&mut line).expect("read"),
+        0,
+        "EOF expected"
+    );
+
+    handle.shutdown();
+    join.join().expect("event loop").expect("serve");
+}
+
+/// A non-UTF-8 line draws `bad_request` but the connection resyncs on
+/// the terminator: the next statement is answered normally.
+#[test]
+fn bad_utf8_draws_bad_request_and_resyncs() {
+    let (handle, join) = spawn(default_config(), 1);
+    let addr = handle.local_addr();
+
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&[0xff, 0xfe, 0xfd, b'\n']);
+    wire.extend_from_slice(b".history\n");
+    let lines = raw_exchange(addr, &wire, &[wire.len()], 2);
+    let first = WireResponse::parse(&lines[0]).expect("parse");
+    assert!(!first.ok);
+    assert_eq!(first.code.as_deref(), Some("bad_request"));
+    let second = WireResponse::parse(&lines[1]).expect("parse");
+    assert!(second.ok, "connection must resync after bad UTF-8");
+
+    handle.shutdown();
+    join.join().expect("event loop").expect("serve");
+}

@@ -1,0 +1,293 @@
+//! Soak test for the readiness-driven serving layer: 256 concurrent
+//! connections under random connect/disconnect/pipeline churn for a
+//! bounded wall-clock budget.
+//!
+//! Three properties are asserted at the end:
+//!
+//! 1. **Bit-identical responses** — a sample of cleanly-completed
+//!    connection lifetimes is replayed serially on fresh connections;
+//!    every timing-free response body must match byte-for-byte (query
+//!    summaries carry elapsed times, so they compare on outcome only).
+//! 2. **No fd leak** — the process fd count returns to the pre-churn
+//!    baseline once every client is gone (the event loop owns exactly
+//!    one fd per connection and must reap all of them, including
+//!    connections dropped mid-pipeline).
+//! 3. **All inflight slots reclaimed** — the pool reports zero executing
+//!    statements and zero queued jobs, and the server zero active
+//!    connections.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use s_olap::prelude::*;
+use s_olap::server::{Client, Server, ServerConfig};
+
+/// The paper's Q3 over the transit substitute (same as the chaos suite).
+const QUERY: &str = r#"SELECT COUNT(*) FROM Event CLUSTER BY card-id AT individual, time AT day SEQUENCE BY time ASCENDING CUBOID BY SUBSTRING (X, Y) WITH X AS location AT station, Y AS location AT station LEFT-MAXIMALITY (x1, y1) WITH x1.action = "in" AND y1.action = "out""#;
+
+/// Statements whose response bodies are deterministic given the
+/// session's statement history (everything except query execution, whose
+/// summary line carries wall-clock timings).
+const DETERMINISTIC: [&str; 5] = [
+    ".show 10",
+    ".spec",
+    ".history",
+    ".strategy ii",
+    ".strategy cb",
+];
+
+/// Wall-clock budget for the churn phase.
+const SOAK_BUDGET: Duration = Duration::from_millis(2500);
+
+const THREADS: usize = 32;
+const CONNS_PER_THREAD: usize = 8; // 32 × 8 = 256 concurrent connections
+/// Cleanly-closed lifetimes recorded per thread for the serial replay.
+const RECORDED_PER_THREAD: usize = 3;
+
+/// What one statement's response is compared on during replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Observed {
+    /// Timing-free statement: the full body must match bit-for-bit.
+    Body(String),
+    /// Timing-carrying statement (queries): outcome only.
+    Outcome(bool),
+}
+
+fn observe(statement: &str, ok: bool, body: &str) -> Observed {
+    if statement == QUERY {
+        Observed::Outcome(ok)
+    } else {
+        Observed::Body(format!("ok={ok}:{body}"))
+    }
+}
+
+/// One cleanly-completed connection lifetime: every statement sent, in
+/// order, with what was observed of each response.
+struct Lifetime {
+    statements: Vec<&'static str>,
+    observed: Vec<Observed>,
+}
+
+/// Small deterministic xorshift so the churn is reproducible.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+fn count_fds() -> usize {
+    std::fs::read_dir("/proc/self/fd")
+        .expect("/proc/self/fd")
+        .count()
+}
+
+fn wait_for(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < timeout {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    cond()
+}
+
+fn pick_batch(rng: &mut Rng) -> Vec<&'static str> {
+    let len = 1 + rng.below(5);
+    (0..len)
+        .map(|_| {
+            // Queries are a third of the mix: enough to keep the pool
+            // busy, cheap enough to fit the wall-clock budget.
+            if rng.below(3) == 0 {
+                QUERY
+            } else {
+                DETERMINISTIC[rng.below(DETERMINISTIC.len())]
+            }
+        })
+        .collect()
+}
+
+/// One churn thread: owns `CONNS_PER_THREAD` live connections, and until
+/// the deadline keeps picking one at random and either pipelining a
+/// batch through it (recording what came back) or dropping it abruptly —
+/// sometimes with an unread pipelined batch in flight, i.e. a mid-query
+/// disconnect — and reconnecting.
+fn churn(addr: std::net::SocketAddr, seed: u64, deadline: Instant) -> (Vec<Lifetime>, u64, u64) {
+    let mut rng = Rng(seed | 1);
+    let mut slots: Vec<(Client, Lifetime)> = (0..CONNS_PER_THREAD)
+        .map(|_| (connect(addr), fresh_lifetime()))
+        .collect();
+    let mut completed: Vec<Lifetime> = Vec::new();
+    let mut statements_total = 0u64;
+    let mut abrupt_drops = 0u64;
+
+    while Instant::now() < deadline {
+        let i = rng.below(slots.len());
+        match rng.below(10) {
+            // 0–6: pipeline a batch and read every response back.
+            0..=6 => {
+                let (client, lifetime) = &mut slots[i];
+                let batch = pick_batch(&mut rng);
+                let responses = client.pipeline(&batch).expect("pipeline");
+                assert_eq!(responses.len(), batch.len());
+                statements_total += batch.len() as u64;
+                for (statement, r) in batch.iter().zip(&responses) {
+                    lifetime.statements.push(statement);
+                    lifetime.observed.push(observe(statement, r.ok, &r.body));
+                }
+            }
+            // 7: clean close — keep the lifetime for the serial replay.
+            7 => {
+                let (client, lifetime) =
+                    std::mem::replace(&mut slots[i], (connect(addr), fresh_lifetime()));
+                drop(client);
+                if !lifetime.statements.is_empty() && completed.len() < RECORDED_PER_THREAD {
+                    completed.push(lifetime);
+                }
+            }
+            // 8–9: abrupt drop, half the time with a batch in flight
+            // (mid-pipeline disconnect). The lifetime is not comparable.
+            _ => {
+                let (mut client, _) =
+                    std::mem::replace(&mut slots[i], (connect(addr), fresh_lifetime()));
+                if rng.below(2) == 0 {
+                    let batch = pick_batch(&mut rng);
+                    let _ = client.send_batch(&batch);
+                }
+                abrupt_drops += 1;
+                drop(client);
+            }
+        }
+    }
+    (completed, statements_total, abrupt_drops)
+}
+
+fn connect(addr: std::net::SocketAddr) -> Client {
+    let mut client = Client::connect(addr).expect("connect");
+    client
+        .set_response_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    client
+}
+
+fn fresh_lifetime() -> Lifetime {
+    Lifetime {
+        statements: Vec::new(),
+        observed: Vec::new(),
+    }
+}
+
+#[test]
+fn soak_256_connections_with_churn() {
+    let db = s_olap::datagen::generate_transit(&s_olap::datagen::TransitConfig {
+        passengers: 80,
+        days: 3,
+        ..Default::default()
+    })
+    .expect("generator");
+    let engine = Arc::new(
+        Engine::builder(db)
+            .threads(2)
+            // Re-aggregate per request so the replay comparison is not
+            // answered from a cross-session cuboid cache.
+            .use_cuboid_repo(false)
+            .build(),
+    );
+    let (handle, join) = Server::spawn(
+        engine,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            max_inflight: 8,
+            // The soak saturates 8 workers from 256 connections on
+            // purpose; queued batches may wait well past the default
+            // queue timeout. Admission expiry is exercised by the chaos
+            // suite — here it would nondeterministically turn served
+            // statements into `over_capacity` rejections (and poison
+            // recorded lifetimes for the serial replay).
+            queue_timeout: Duration::from_secs(120),
+            ..Default::default()
+        },
+    )
+    .expect("server spawn");
+    let addr = handle.local_addr();
+
+    // Baseline fds: server up (listener + engine), zero clients.
+    let fd_baseline = count_fds();
+
+    // ---- churn phase: 256 concurrent connections ----
+    let deadline = Instant::now() + SOAK_BUDGET;
+    let threads: Vec<_> = (0..THREADS)
+        .map(|t| std::thread::spawn(move || churn(addr, 0x5eed + t as u64, deadline)))
+        .collect();
+    let mut recorded: Vec<Lifetime> = Vec::new();
+    let mut statements_total = 0u64;
+    let mut abrupt_total = 0u64;
+    for t in threads {
+        let (lifetimes, statements, abrupt) = t.join().expect("churn thread");
+        recorded.extend(lifetimes);
+        statements_total += statements;
+        abrupt_total += abrupt;
+    }
+    assert!(
+        statements_total > 0 && abrupt_total > 0,
+        "the soak must exercise both pipelining and abrupt disconnects \
+         (statements={statements_total}, abrupt={abrupt_total})"
+    );
+    assert!(!recorded.is_empty(), "no clean lifetimes recorded");
+
+    // ---- serial replay: recorded lifetimes, bit-identical bodies ----
+    for (n, lifetime) in recorded.iter().enumerate() {
+        let mut client = connect(addr);
+        for (statement, expected) in lifetime.statements.iter().zip(&lifetime.observed) {
+            let r = client.request(statement).expect("replay request");
+            let got = observe(statement, r.ok, &r.body);
+            assert_eq!(
+                &got, expected,
+                "lifetime {n}: `{statement}` diverged from the soak run"
+            );
+        }
+    }
+
+    // ---- reclamation: slots, connections and fds all return ----
+    assert!(
+        wait_for(Duration::from_secs(10), || {
+            let s = handle.stats();
+            s.active == 0 && s.executing == 0 && s.queued == 0
+        }),
+        "inflight slots or connections not reclaimed: {:?}",
+        handle.stats()
+    );
+    assert!(
+        wait_for(Duration::from_secs(10), || count_fds() <= fd_baseline),
+        "fd leak: baseline {fd_baseline}, now {} ({:?})",
+        count_fds(),
+        handle.stats()
+    );
+
+    // The churn must have actually been served, not silently rejected.
+    // Typed errors count as served: e.g. `.show` before any query draws
+    // a deterministic `invalid_operation`, which the replay reproduces.
+    let stats = handle.stats();
+    assert!(
+        stats.served_ok + stats.served_err >= statements_total,
+        "served {}+{} < statements pipelined {} ({stats:?})",
+        stats.served_ok,
+        stats.served_err,
+        statements_total
+    );
+    assert_eq!(stats.rejected_conn, 0, "{stats:?}");
+
+    handle.shutdown();
+    join.join().expect("event loop").expect("serve");
+}
