@@ -335,15 +335,16 @@ impl EngineBuilder {
         // be forced by a process entry point — engine construction is
         // the one every surface goes through.
         solap_eventdb::failpoint::init();
+        parking_lot::witness_init();
         Engine {
-            db: RwLock::new(self.db),
-            log: Mutex::new(self.log),
+            db: RwLock::ranked(parking_lot::rank::ENGINE_DB, "engine.db", self.db),
+            log: Mutex::ranked(parking_lot::rank::ENGINE_LOG, "engine.log", self.log),
             recovery: self.recovery,
             config: self.config,
             seq_cache: SequenceCache::new(self.seq_cache.0, self.seq_cache.1),
             index_store: IndexStore::new(self.index_store.0, self.index_store.1),
             cuboid_repo: CuboidRepo::new(self.cuboid_repo.0, self.cuboid_repo.1),
-            live: Mutex::new(Vec::new()),
+            live: Mutex::ranked(parking_lot::rank::ENGINE_LIVE, "engine.live", Vec::new()),
         }
     }
 }
@@ -1191,8 +1192,12 @@ mod tests {
             strategy: Strategy::InvertedIndex,
             ..Default::default()
         });
-        let a = cb.execute(&q3(&cb.db())).unwrap();
-        let b = ii.execute(&q3(&ii.db())).unwrap();
+        // Bind the specs first: the `db()` guard must drop before
+        // `execute` takes its own read of the same lock.
+        let qa = q3(&cb.db());
+        let qb = q3(&ii.db());
+        let a = cb.execute(&qa).unwrap();
+        let b = ii.execute(&qb).unwrap();
         assert_eq!(a.cuboid.cells, b.cuboid.cells);
         assert_eq!(a.stats.strategy, "CB");
         assert_eq!(b.stats.strategy, "II");
@@ -1384,8 +1389,10 @@ mod tests {
             ..Default::default()
         });
         let ii = fig8_engine(EngineConfig::default());
-        let a = e.execute(&q3(&e.db())).unwrap();
-        let b = ii.execute(&q3(&ii.db())).unwrap();
+        let qa = q3(&e.db());
+        let qb = q3(&ii.db());
+        let a = e.execute(&qa).unwrap();
+        let b = ii.execute(&qb).unwrap();
         assert_eq!(a.cuboid.cells, b.cuboid.cells);
     }
 
@@ -1455,7 +1462,10 @@ mod tests {
     #[test]
     fn append_rejects_invalid_rows_atomically() {
         let e = fig8_engine(EngineConfig::default());
-        let (len0, v0) = (e.db().len(), e.db().version());
+        // Two statements, not one tuple: each `db()` guard must drop
+        // before the next read of the same lock.
+        let len0 = e.db().len();
+        let v0 = e.db().version();
         let bad = vec![Value::Int(1)]; // wrong arity
         let err = e.append_events(&[ev(5, 0, "Pentagon"), bad]).unwrap_err();
         assert_eq!(err.code(), "arity_mismatch");

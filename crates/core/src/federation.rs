@@ -309,11 +309,15 @@ mod tests {
             &[("X", zone, 0), ("Y", zone, 0)],
         )
         .unwrap();
+        // One `db()` guard per statement: nesting two reads of the same
+        // lock in one expression trips the lock witness.
+        let subject = engine.db().attr("subject").unwrap();
+        let time = engine.db().attr("time").unwrap();
         let spec = SCuboidSpec::new(
             template,
-            vec![AttrLevel::new(engine.db().attr("subject").unwrap(), 0)],
+            vec![AttrLevel::new(subject, 0)],
             vec![SortKey {
-                attr: engine.db().attr("time").unwrap(),
+                attr: time,
                 ascending: true,
             }],
         )

@@ -32,9 +32,11 @@ impl CuboidRepo {
     /// Creates a repository bounded by entry count and approximate bytes.
     pub fn new(capacity: usize, max_bytes: usize) -> Self {
         CuboidRepo {
-            inner: Mutex::new(LruCache::with_weight(capacity, max_bytes, |c| {
-                c.heap_bytes()
-            })),
+            inner: Mutex::ranked(
+                parking_lot::rank::CORE_CUBOID_REPO,
+                "core.cuboid_repo",
+                LruCache::with_weight(capacity, max_bytes, |c| c.heap_bytes()),
+            ),
         }
     }
 

@@ -22,9 +22,10 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-// solint: allow(no-bare-mutex) cold-path registry (configured at startup / between queries, never inside a hot loop); lock recovery handled explicitly via unwrap_or_else(into_inner) at every acquisition
-use std::sync::{Mutex, OnceLock};
+use std::sync::OnceLock;
 use std::time::Duration;
+
+use parking_lot::Mutex;
 
 use crate::error::{Error, Result};
 
@@ -85,7 +86,13 @@ fn registry() -> &'static Mutex<HashMap<String, Action>> {
         // ord: published under the OnceLock's own release fence; readers only need eventual visibility
         COUNT.store(map.len(), Ordering::Relaxed);
         ACTIVE.store(!map.is_empty(), Ordering::Relaxed);
-        Mutex::new(map)
+        // Rank 90: `fail_point!` can fire under any engine lock, so the
+        // registry is the leaf of the whole hierarchy (locks.toml).
+        Mutex::ranked(
+            parking_lot::rank::FAILPOINT_REGISTRY,
+            "failpoint.registry",
+            map,
+        )
     })
 }
 
@@ -108,7 +115,7 @@ pub fn enabled() -> bool {
 
 /// Configures `site` to perform `action`. `Action::Off` removes the site.
 pub fn configure(site: &str, action: Action) {
-    let mut map = registry().lock().unwrap_or_else(|e| e.into_inner());
+    let mut map = registry().lock();
     if action == Action::Off {
         map.remove(site);
     } else {
@@ -127,7 +134,7 @@ pub fn remove(site: &str) {
 /// Removes every configured failpoint (including any loaded from the
 /// environment). Tests call this in their cleanup paths.
 pub fn clear_all() {
-    let mut map = registry().lock().unwrap_or_else(|e| e.into_inner());
+    let mut map = registry().lock();
     map.clear();
     // ord: written while holding the registry lock; see configure()
     COUNT.store(0, Ordering::Relaxed);
@@ -136,7 +143,7 @@ pub fn clear_all() {
 
 /// The currently configured sites, for diagnostics.
 pub fn list() -> Vec<(String, Action)> {
-    let map = registry().lock().unwrap_or_else(|e| e.into_inner());
+    let map = registry().lock();
     let mut v: Vec<_> = map.iter().map(|(k, a)| (k.clone(), *a)).collect();
     v.sort_by(|a, b| a.0.cmp(&b.0));
     v
@@ -151,7 +158,7 @@ pub fn list() -> Vec<(String, Action)> {
 /// point: it exercises the engine's panic-isolation boundary.
 pub fn eval(site: &str) -> Result<()> {
     let action = {
-        let map = registry().lock().unwrap_or_else(|e| e.into_inner());
+        let map = registry().lock();
         map.get(site).copied()
     };
     match action {
@@ -182,7 +189,7 @@ mod tests {
     use super::*;
 
     // Failpoint state is process-global; serialize the tests touching it.
-    static TEST_LOCK: Mutex<()> = Mutex::new(());
+    static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
     fn locked() -> std::sync::MutexGuard<'static, ()> {
         TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())

@@ -99,7 +99,10 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
                 self.hits += 1;
                 self.unlink(idx);
                 self.push_front(idx);
-                self.slab[idx].as_ref().map(|n| &n.value)
+                self.slab
+                    .get(idx)
+                    .and_then(|s| s.as_ref())
+                    .map(|n| &n.value)
             }
             None => {
                 self.misses += 1;
@@ -112,7 +115,8 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     pub fn peek(&self, key: &K) -> Option<&V> {
         self.map
             .get(key)
-            .and_then(|&idx| self.slab[idx].as_ref())
+            .and_then(|&idx| self.slab.get(idx))
+            .and_then(|s| s.as_ref())
             .map(|n| &n.value)
     }
 
@@ -127,13 +131,13 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         let new_weight = (self.weigher)(&value);
         let old = if let Some(&idx) = self.map.get(&key) {
             self.unlink(idx);
-            let node = self.slab[idx]
-                .take()
-                .expect("mapped slab slot must be occupied");
+            let node = self.slab.get_mut(idx).and_then(|s| s.take());
             self.free.push(idx);
             self.map.remove(&key);
-            self.weight -= (self.weigher)(&node.value);
-            Some(node.value)
+            if let Some(n) = &node {
+                self.weight -= (self.weigher)(&n.value);
+            }
+            node.map(|n| n.value)
         } else {
             None
         };
@@ -144,12 +148,14 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
                 self.slab.len() - 1
             }
         };
-        self.slab[idx] = Some(Node {
-            key: key.clone(),
-            value,
-            prev: NIL,
-            next: NIL,
-        });
+        if let Some(slot) = self.slab.get_mut(idx) {
+            *slot = Some(Node {
+                key: key.clone(),
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+        }
         self.map.insert(key, idx);
         self.weight += new_weight;
         self.push_front(idx);
@@ -161,9 +167,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     pub fn remove(&mut self, key: &K) -> Option<V> {
         let idx = self.map.remove(key)?;
         self.unlink(idx);
-        let node = self.slab[idx]
-            .take()
-            .expect("mapped slab slot must be occupied");
+        let node = self.slab.get_mut(idx).and_then(|s| s.take())?;
         self.free.push(idx);
         self.weight -= (self.weigher)(&node.value);
         Some(node.value)
@@ -186,10 +190,10 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             .map
             .iter()
             .filter(|(_, &idx)| {
-                let n = self.slab[idx]
-                    .as_ref()
-                    .expect("mapped slab slot must be occupied");
-                !keep(&n.key, &n.value)
+                self.slab
+                    .get(idx)
+                    .and_then(|s| s.as_ref())
+                    .is_some_and(|n| !keep(&n.key, &n.value))
             })
             .map(|(k, _)| k.clone())
             .collect();
@@ -209,9 +213,9 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
                 break;
             }
             self.unlink(victim);
-            let node = self.slab[victim]
-                .take()
-                .expect("tail slab slot must be occupied");
+            let Some(node) = self.slab.get_mut(victim).and_then(|s| s.take()) else {
+                break;
+            };
             self.free.push(victim);
             self.map.remove(&node.key);
             self.weight -= (self.weigher)(&node.value);
@@ -220,16 +224,15 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     }
 
     fn push_front(&mut self, idx: usize) {
-        {
-            let node = self.slab[idx].as_mut().expect("slot must be occupied");
+        let head = self.head;
+        if let Some(node) = self.slab.get_mut(idx).and_then(|s| s.as_mut()) {
             node.prev = NIL;
-            node.next = self.head;
+            node.next = head;
         }
         if self.head != NIL {
-            self.slab[self.head]
-                .as_mut()
-                .expect("head slot must be occupied")
-                .prev = idx;
+            if let Some(h) = self.slab.get_mut(self.head).and_then(|s| s.as_mut()) {
+                h.prev = idx;
+            }
         }
         self.head = idx;
         if self.tail == NIL {
@@ -238,17 +241,25 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     }
 
     fn unlink(&mut self, idx: usize) {
-        let (prev, next) = {
-            let node = self.slab[idx].as_ref().expect("slot must be occupied");
-            (node.prev, node.next)
+        let Some((prev, next)) = self
+            .slab
+            .get(idx)
+            .and_then(|s| s.as_ref())
+            .map(|n| (n.prev, n.next))
+        else {
+            return;
         };
         if prev != NIL {
-            self.slab[prev].as_mut().expect("linked slot").next = next;
+            if let Some(p) = self.slab.get_mut(prev).and_then(|s| s.as_mut()) {
+                p.next = next;
+            }
         } else if self.head == idx {
             self.head = next;
         }
         if next != NIL {
-            self.slab[next].as_mut().expect("linked slot").prev = prev;
+            if let Some(n) = self.slab.get_mut(next).and_then(|s| s.as_mut()) {
+                n.prev = prev;
+            }
         } else if self.tail == idx {
             self.tail = prev;
         }

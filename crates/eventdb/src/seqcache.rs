@@ -35,9 +35,11 @@ impl SequenceCache {
     /// (approximate) sequence-group payload.
     pub fn new(capacity: usize, max_bytes: usize) -> Self {
         SequenceCache {
-            inner: Mutex::new(LruCache::with_weight(capacity, max_bytes, |sg| {
-                sg.heap_bytes()
-            })),
+            inner: Mutex::ranked(
+                parking_lot::rank::EVENTDB_SEQ_CACHE,
+                "eventdb.seq_cache",
+                LruCache::with_weight(capacity, max_bytes, |sg| sg.heap_bytes()),
+            ),
         }
     }
 

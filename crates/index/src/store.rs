@@ -40,9 +40,11 @@ impl IndexStore {
     /// Creates a store bounded by entry count and total index bytes.
     pub fn new(capacity: usize, max_bytes: usize) -> Self {
         IndexStore {
-            inner: Mutex::new(LruCache::with_weight(capacity, max_bytes, |ix| {
-                ix.heap_bytes()
-            })),
+            inner: Mutex::ranked(
+                parking_lot::rank::INDEX_STORE,
+                "index.store",
+                LruCache::with_weight(capacity, max_bytes, |ix| ix.heap_bytes()),
+            ),
         }
     }
 

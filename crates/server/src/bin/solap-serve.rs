@@ -38,14 +38,15 @@ fn main() {
     let mut quiet = false;
 
     let mut i = 0;
-    while i < args.len() {
+    while let Some(arg) = args.get(i) {
         let need_value = |i: usize| -> &str {
             args.get(i + 1).map(String::as_str).unwrap_or_else(|| {
-                eprintln!("{} needs a value\n{USAGE}", args[i]);
+                let flag = args.get(i).map(String::as_str).unwrap_or_default();
+                eprintln!("{flag} needs a value\n{USAGE}");
                 exit(2);
             })
         };
-        match args[i].as_str() {
+        match arg.as_str() {
             "--addr" => {
                 config.addr = need_value(i).to_owned();
                 i += 2;
@@ -70,8 +71,11 @@ fn main() {
                 gen_kind = Some(need_value(i).to_owned());
                 i += 2;
                 // Everything up to the next flag is a k=v generator option.
-                while i < args.len() && args[i].contains('=') && !args[i].starts_with("--") {
-                    gen_opts.push(args[i].clone());
+                while let Some(opt) = args
+                    .get(i)
+                    .filter(|a| a.contains('=') && !a.starts_with("--"))
+                {
+                    gen_opts.push(opt.clone());
                     i += 1;
                 }
             }

@@ -66,7 +66,8 @@ impl FrameBuf {
             // trustworthy resync point.
             return Some(Frame::TooLong);
         }
-        match self.buf[self.scanned..].iter().position(|&b| b == b'\n') {
+        let unscanned = self.buf.get(self.scanned..).unwrap_or_default();
+        match unscanned.iter().position(|&b| b == b'\n') {
             Some(rel) => {
                 let end = self.scanned + rel;
                 let mut line: Vec<u8> = self.buf.drain(..=end).collect();
@@ -117,7 +118,7 @@ impl WriteBuf {
 
     /// The unflushed remainder.
     pub fn pending(&self) -> &[u8] {
-        &self.buf[self.head..]
+        self.buf.get(self.head..).unwrap_or_default()
     }
 
     /// Whether everything appended has been flushed.

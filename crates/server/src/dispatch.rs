@@ -219,15 +219,15 @@ fn dispatch_command(ctx: &mut SessionCtx, rest: &str) -> Result<Response, Fail> 
                 let levels: Vec<String> = (0..db.level_count(i as u32))
                     .map(|l| db.level_name(i as u32, l))
                     .collect();
-                writeln!(
+                // Writing to a String is infallible.
+                let _ = writeln!(
                     out,
                     "  {:<14} {:<6} {:?}  levels: {}",
                     col.name,
                     col.ctype.name(),
                     col.role,
                     levels.join(" → ")
-                )
-                .expect("string write");
+                );
             }
             Ok(Response::ok(out))
         }
@@ -328,7 +328,10 @@ fn dispatch_command(ctx: &mut SessionCtx, rest: &str) -> Result<Response, Fail> 
             let db = ctx.session.engine_arc();
             let op = command::parse_op(&db.db(), &args, ctx.session.spec())?;
             let result = ctx.session.apply(op.clone())?;
-            let spec = ctx.session.spec().expect("apply set current");
+            let spec = ctx.session.spec().ok_or_else(|| Fail {
+                code: "internal".into(),
+                msg: "apply left no current spec".into(),
+            })?;
             let table = result.cuboid.tabulate(&db.db(), 10, true);
             ctx.labels
                 .push(format!("{} → {}", op.name(), spec.template.render_head()));
@@ -390,7 +393,7 @@ fn dispatch_command(ctx: &mut SessionCtx, rest: &str) -> Result<Response, Fail> 
         "history" => {
             let mut out = String::new();
             for (i, h) in ctx.labels.iter().enumerate() {
-                writeln!(out, "  {i:>3}. {h}").expect("string write");
+                let _ = writeln!(out, "  {i:>3}. {h}");
             }
             Ok(Response::ok(out))
         }
@@ -471,7 +474,10 @@ fn dispatch_query(ctx: &mut SessionCtx, text: &str) -> Result<Response, Fail> {
     }
     let spec = stmt.spec;
     let result = ctx.session.query(spec)?;
-    let spec = ctx.session.spec().expect("query set current");
+    let spec = ctx.session.spec().ok_or_else(|| Fail {
+        code: "internal".into(),
+        msg: "query left no current spec".into(),
+    })?;
     let table = result.cuboid.tabulate(&engine.db(), 15, true);
     ctx.labels.push(spec.template.render_head());
     let mut body = format!(

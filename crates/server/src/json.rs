@@ -117,13 +117,13 @@ impl Json {
 }
 
 fn skip_ws(b: &[u8], pos: &mut usize) {
-    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+    while matches!(b.get(*pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
         *pos += 1;
     }
 }
 
 fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
-    if *pos < b.len() && b[*pos] == c {
+    if b.get(*pos) == Some(&c) {
         *pos += 1;
         Ok(())
     } else {
@@ -146,7 +146,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
 }
 
 fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
-    if b[*pos..].starts_with(lit.as_bytes()) {
+    if b.get(*pos..).is_some_and(|t| t.starts_with(lit.as_bytes())) {
         *pos += lit.len();
         Ok(v)
     } else {
@@ -156,10 +156,13 @@ fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, Stri
 
 fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     let start = *pos;
-    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+    while matches!(
+        b.get(*pos),
+        Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    ) {
         *pos += 1;
     }
-    std::str::from_utf8(&b[start..*pos])
+    std::str::from_utf8(b.get(start..*pos).unwrap_or_default())
         .ok()
         .and_then(|s| s.parse::<f64>().ok())
         .map(Json::Num)
@@ -208,10 +211,11 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                 // to do bytewise: continuation bytes follow their leader).
                 let start = *pos;
                 *pos += 1;
-                while *pos < b.len() && (b[*pos] & 0xC0) == 0x80 {
+                while b.get(*pos).is_some_and(|&x| x & 0xC0 == 0x80) {
                     *pos += 1;
                 }
-                out.push_str(std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?);
+                let scalar = b.get(start..*pos).unwrap_or_default();
+                out.push_str(std::str::from_utf8(scalar).map_err(|e| e.to_string())?);
             }
         }
     }

@@ -144,7 +144,7 @@ impl Waker {
     pub fn new() -> Waker {
         Waker {
             state: Arc::new(WakeState {
-                flag: Mutex::new(false),
+                flag: Mutex::ranked(parking_lot::rank::SERVER_WAKER, "server.waker", false),
                 cv: Condvar::new(),
             }),
         }

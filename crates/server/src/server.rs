@@ -309,11 +309,19 @@ struct Pool {
 impl Pool {
     fn new() -> Pool {
         Pool {
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::ranked(
+                parking_lot::rank::SERVER_POOL_QUEUE,
+                "server.pool.queue",
+                VecDeque::new(),
+            ),
             cv: Condvar::new(),
             stop: AtomicBool::new(false),
             executing: AtomicU64::new(0),
-            completions: Mutex::new(Vec::new()),
+            completions: Mutex::ranked(
+                parking_lot::rank::SERVER_POOL_COMPLETIONS,
+                "server.pool.completions",
+                Vec::new(),
+            ),
         }
     }
 
@@ -335,8 +343,8 @@ impl Pool {
         let mut queue = self.queue.lock();
         let mut expired = Vec::new();
         let mut i = 0;
-        while i < queue.len() {
-            if queue[i].enqueued.elapsed() > timeout {
+        while let Some(job) = queue.get(i) {
+            if job.enqueued.elapsed() > timeout {
                 if let Some(job) = queue.remove(i) {
                     expired.push(job);
                 }
@@ -655,7 +663,7 @@ fn read_pass(stream: &TcpStream, frames: &mut FrameBuf) -> ReadPass {
                 return pass;
             }
             Ok(n) => {
-                frames.push(&scratch[..n]);
+                frames.push(scratch.get(..n).unwrap_or_default());
                 pass.bytes += n;
                 if pass.bytes >= READ_BURST {
                     return pass;
@@ -795,6 +803,7 @@ impl EventLoop {
         // Drain the pool and join every worker before returning.
         self.shared.pool.stop_workers();
         for worker in self.workers.drain(..) {
+            // solint: allow(no-blocking-in-event-loop) shutdown drain: the loop is done serving; joining here is the liveness guarantee for Server::shutdown
             let _ = worker.join();
         }
         result
@@ -1063,16 +1072,17 @@ impl EventLoop {
 
             // 2. Batch admission: hand every contiguously pending
             // statement to the pool as one job.
-            if !conn.pending.is_empty() && conn.ctx.is_some() && !conn.close_after_flush {
-                let ctx = conn.ctx.take().expect("checked is_some");
-                let statements: Vec<(u64, String)> = conn.pending.drain(..).collect();
-                self.shared.stats.batches.fetch_add(1, Ordering::Relaxed);
-                self.shared.pool.submit(Job {
-                    conn: id,
-                    ctx: *ctx,
-                    statements,
-                    enqueued: now,
-                });
+            if !conn.pending.is_empty() && !conn.close_after_flush {
+                if let Some(ctx) = conn.ctx.take() {
+                    let statements: Vec<(u64, String)> = conn.pending.drain(..).collect();
+                    self.shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+                    self.shared.pool.submit(Job {
+                        conn: id,
+                        ctx: *ctx,
+                        statements,
+                        enqueued: now,
+                    });
+                }
             }
 
             // 3. Disconnect: trip the cancel token exactly once so the

@@ -210,7 +210,14 @@ fn lex_string(src: &str, mut i: usize, mut line: usize) -> (String, usize, usize
     let start = i;
     while i < b.len() {
         match b[i] {
-            b'\\' => i = (i + 2).min(b.len()),
+            b'\\' => {
+                // A `\<newline>` continuation still ends the source line —
+                // count it, or every token below drifts up one line.
+                if i + 1 < b.len() && b[i + 1] == b'\n' {
+                    line += 1;
+                }
+                i = (i + 2).min(b.len());
+            }
             b'"' => {
                 return (src[start..i].to_string(), i + 1, line);
             }
@@ -397,6 +404,15 @@ mod tests {
             .tokens
             .iter()
             .any(|t| t.kind.str_lit() == Some("for x in y { unwrap }")));
+    }
+
+    #[test]
+    fn string_line_continuations_count_lines() {
+        // `\` at end of line inside a string spans source lines; tokens
+        // after the literal must land on the right line.
+        let l = lex("let s = \"a\\\n b\\\n c\";\nafter");
+        let after = l.tokens.iter().find(|t| t.kind.is_ident("after")).unwrap();
+        assert_eq!(after.line, 4);
     }
 
     #[test]

@@ -12,9 +12,17 @@
 //! * **code rules** — [`Rule::GovernorTick`], [`Rule::NoPanicRatchet`]
 //!   (against the committed `solint.baseline`, which may only shrink),
 //!   [`Rule::AtomicOrdering`], [`Rule::NoBareMutex`],
-//!   [`Rule::ForbidUnsafe`];
+//!   [`Rule::ForbidUnsafe`], [`Rule::LockOrder`] (every lock ranked in
+//!   `locks.toml`; inter-procedural acquisition edges must strictly
+//!   increase in rank, cycles are never escapable),
+//!   [`Rule::NoBlockingInEventLoop`] (no blocking syscalls or event-loop
+//!   lock parking reachable from the readiness loop), and
+//!   [`Rule::StaleEscape`] (every `// solint: allow(rule)` must still
+//!   cover a live finding);
 //! * **doc-drift rules** — [`Rule::DocFailpoints`], [`Rule::DocCounters`],
-//!   [`Rule::DocKnobs`], each comparing a code-side catalog against the
+//!   [`Rule::DocKnobs`], [`Rule::DocLocks`] (the `locks.toml` manifest,
+//!   the shim rank constants, and the DESIGN.md §14 rank table must agree
+//!   three ways), each comparing a code-side catalog against the
 //!   committed documentation and reporting file:line on both sides.
 //!
 //! Run it with `cargo run -p solint -- --ci`; see DESIGN.md §7 for the
@@ -26,6 +34,7 @@
 
 pub mod baseline;
 pub mod lexer;
+pub mod manifest;
 pub mod report;
 pub mod rules;
 pub mod source;
@@ -67,6 +76,18 @@ pub struct Config {
     pub readme_md: Option<String>,
     /// The file holding the `Counter` enum (relative).
     pub metrics_file: Option<String>,
+    /// The lock-hierarchy manifest (relative; `None` = lock rules off).
+    pub locks_manifest: Option<String>,
+    /// The file declaring the `pub const <NAME>: u16` rank constants.
+    pub lock_rank_module: Option<String>,
+    /// Directory prefixes whose lock declarations/acquisitions are
+    /// analyzed by `lock-order`.
+    pub lock_dirs: Vec<String>,
+    /// Event-loop entry fns (`path/to/file.rs::Type::name`) for
+    /// `no-blocking-in-event-loop`.
+    pub event_loop_entries: Vec<String>,
+    /// Identifiers that block the calling thread (`sleep`, `join`, …).
+    pub event_loop_blocking: Vec<String>,
 }
 
 impl Config {
@@ -102,7 +123,11 @@ impl Config {
             ],
             hot_keywords: default_hot_keywords(),
             governed_markers: default_governed_markers(),
-            ratchet_dirs: vec!["crates/eventdb/src/".into(), "crates/core/src/".into()],
+            ratchet_dirs: vec![
+                "crates/eventdb/src/".into(),
+                "crates/core/src/".into(),
+                "crates/server/src/".into(),
+            ],
             baseline: Some("solint.baseline".into()),
             ordering_files: vec![
                 "crates/eventdb/src/metrics.rs".into(),
@@ -114,6 +139,11 @@ impl Config {
             design_md: Some("DESIGN.md".into()),
             readme_md: Some("README.md".into()),
             metrics_file: Some("crates/eventdb/src/metrics.rs".into()),
+            locks_manifest: Some("locks.toml".into()),
+            lock_rank_module: Some("shims/parking_lot/src/lib.rs".into()),
+            lock_dirs: vec!["crates/".into(), "src/".into()],
+            event_loop_entries: vec!["crates/server/src/server.rs::EventLoop::run".into()],
+            event_loop_blocking: vec!["sleep".into(), "join".into()],
         }
     }
 
@@ -135,6 +165,11 @@ impl Config {
             design_md: None,
             readme_md: None,
             metrics_file: None,
+            locks_manifest: None,
+            lock_rank_module: None,
+            lock_dirs: vec![],
+            event_loop_entries: vec![],
+            event_loop_blocking: vec![],
         }
     }
 }
@@ -232,9 +267,19 @@ pub fn run(config: &Config) -> Analysis {
     findings.extend(rules::atomic_ordering::check(config, &files));
     findings.extend(rules::bare_mutex::check(config, &files));
     findings.extend(rules::forbid_unsafe::check(config, &files));
+    findings.extend(rules::lock_order::check(config, &files));
+    findings.extend(rules::no_blocking::check(config, &files));
     findings.extend(rules::doc_failpoints::check(config, &files));
     findings.extend(rules::doc_counters::check(config, &files));
     findings.extend(rules::doc_knobs::check(config, &files));
+    findings.extend(rules::doc_locks::check(config, &files));
+
+    // Escaped findings stay in the stream as `suppressed` until here so
+    // stale-escape can prove each escape still covers something; only the
+    // live findings leave the analysis.
+    let stale = rules::stale_escape::check(config, &files, &findings);
+    findings.retain(|f| !f.suppressed);
+    findings.extend(stale);
 
     Analysis {
         findings,

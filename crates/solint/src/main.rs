@@ -18,6 +18,7 @@ fn main() -> ExitCode {
     let mut ci = false;
     let mut update_baseline = false;
     let mut root: Option<PathBuf> = None;
+    let mut sites_of: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -28,6 +29,10 @@ fn main() -> ExitCode {
             "--root" => match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => return usage("--root needs a directory"),
+            },
+            "--sites" => match args.next() {
+                Some(rel) => sites_of = Some(rel),
+                None => return usage("--sites needs a root-relative .rs file"),
             },
             "--help" | "-h" => {
                 print!("{}", HELP);
@@ -46,6 +51,21 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     let config = solint::Config::repo(root);
+
+    if let Some(rel) = sites_of {
+        return match solint::source::SourceFile::load(&config.root, &rel) {
+            Ok(f) => {
+                for (line, what) in solint::rules::panic_ratchet::sites(&f) {
+                    println!("{rel}:{line}: {what}");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("solint: {rel}: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
 
     if update_baseline {
         return match solint::update_baseline(&config) {
@@ -118,6 +138,7 @@ OPTIONS:
   --ci                 print a machine-parsable summary line on stderr
   --json               emit findings as JSON on stdout
   --update-baseline    recount panic-capable sites and rewrite solint.baseline
+  --sites FILE         list a file's panic-capable sites (burn-down helper)
   --root DIR           analyze DIR instead of this workspace
   -h, --help           this text
 

@@ -1,0 +1,257 @@
+//! The `locks.toml` lock-hierarchy manifest: parsing and the entry model.
+//!
+//! A deliberately minimal line-based TOML subset (no dependencies, like
+//! the rest of solint): `[[lock]]` array-of-tables entries with
+//! string / integer / boolean values, `#` comments, no nesting. That is
+//! exactly the shape the checked-in manifest uses; anything else is a
+//! parse error with a line number.
+
+use std::path::Path;
+
+/// What kind of synchronization primitive a manifest entry declares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockKind {
+    /// `parking_lot::Mutex`.
+    Mutex,
+    /// `parking_lot::RwLock`.
+    RwLock,
+    /// `parking_lot::Condvar` — shares its mutex's rank; never acquired
+    /// directly, so it gets no `rank` constant and no acquisition sites.
+    Condvar,
+}
+
+impl LockKind {
+    fn parse(s: &str) -> Option<LockKind> {
+        match s {
+            "mutex" => Some(LockKind::Mutex),
+            "rwlock" => Some(LockKind::RwLock),
+            "condvar" => Some(LockKind::Condvar),
+            _ => None,
+        }
+    }
+}
+
+/// One `[[lock]]` entry of the manifest.
+#[derive(Debug, Clone)]
+pub struct LockEntry {
+    /// Hierarchy name, e.g. `engine.db`.
+    pub name: String,
+    /// Rank: strictly increasing along every acquisition chain.
+    pub rank: u16,
+    /// Primitive kind.
+    pub kind: LockKind,
+    /// Root-relative file holding the declaration.
+    pub file: String,
+    /// The field (or static) name declared with this lock.
+    pub field: String,
+    /// Whether the readiness event-loop thread may block on this lock.
+    pub event_loop: bool,
+    /// One-line description (rendered into the DESIGN.md rank table).
+    pub doc: String,
+    /// 1-based manifest line of the `[[lock]]` header.
+    pub line: usize,
+}
+
+impl LockEntry {
+    /// The `parking_lot::rank` constant name for this entry
+    /// (`engine.db` → `ENGINE_DB`). Condvars have none.
+    pub fn const_name(&self) -> String {
+        self.name
+            .chars()
+            .map(|c| {
+                if c == '.' {
+                    '_'
+                } else {
+                    c.to_ascii_uppercase()
+                }
+            })
+            .collect()
+    }
+}
+
+/// Parses the manifest file. Errors carry `line: message`.
+pub fn load(path: &Path) -> Result<Vec<LockEntry>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("0: unreadable manifest: {e}"))?;
+    parse(&text)
+}
+
+/// Parses manifest text (split out for unit tests).
+pub fn parse(text: &str) -> Result<Vec<LockEntry>, String> {
+    struct Partial {
+        line: usize,
+        name: Option<String>,
+        rank: Option<u16>,
+        kind: Option<LockKind>,
+        file: Option<String>,
+        field: Option<String>,
+        event_loop: Option<bool>,
+        doc: Option<String>,
+    }
+    fn finish(p: Partial) -> Result<LockEntry, String> {
+        let missing = |what: &str| format!("{}: `[[lock]]` entry is missing `{what}`", p.line);
+        Ok(LockEntry {
+            name: p.name.ok_or_else(|| missing("name"))?,
+            rank: p.rank.ok_or_else(|| missing("rank"))?,
+            kind: p.kind.ok_or_else(|| missing("kind"))?,
+            file: p.file.ok_or_else(|| missing("file"))?,
+            field: p.field.ok_or_else(|| missing("field"))?,
+            event_loop: p.event_loop.ok_or_else(|| missing("event_loop"))?,
+            doc: p.doc.ok_or_else(|| missing("doc"))?,
+            line: p.line,
+        })
+    }
+
+    let mut out = Vec::new();
+    let mut cur: Option<Partial> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[lock]]" {
+            if let Some(p) = cur.take() {
+                out.push(finish(p)?);
+            }
+            cur = Some(Partial {
+                line: lineno,
+                name: None,
+                rank: None,
+                kind: None,
+                file: None,
+                field: None,
+                event_loop: None,
+                doc: None,
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("{lineno}: expected `key = value` or `[[lock]]`"));
+        };
+        let Some(p) = cur.as_mut() else {
+            return Err(format!("{lineno}: `{}` before any `[[lock]]`", key.trim()));
+        };
+        let key = key.trim();
+        let value = value.trim();
+        let string = |v: &str| -> Result<String, String> {
+            v.strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .map(String::from)
+                .ok_or_else(|| format!("{lineno}: `{key}` must be a quoted string"))
+        };
+        match key {
+            "name" => p.name = Some(string(value)?),
+            "rank" => {
+                p.rank = Some(
+                    value
+                        .parse::<u16>()
+                        .map_err(|_| format!("{lineno}: `rank` must be an integer 0..=65535"))?,
+                )
+            }
+            "kind" => {
+                let s = string(value)?;
+                p.kind = Some(LockKind::parse(&s).ok_or_else(|| {
+                    format!("{lineno}: `kind` must be \"mutex\", \"rwlock\" or \"condvar\"")
+                })?)
+            }
+            "file" => p.file = Some(string(value)?),
+            "field" => p.field = Some(string(value)?),
+            "event_loop" => {
+                p.event_loop = Some(match value {
+                    "true" => true,
+                    "false" => false,
+                    _ => return Err(format!("{lineno}: `event_loop` must be true or false")),
+                })
+            }
+            "doc" => p.doc = Some(string(value)?),
+            _ => return Err(format!("{lineno}: unknown key `{key}`")),
+        }
+    }
+    if let Some(p) = cur.take() {
+        out.push(finish(p)?);
+    }
+    // Duplicate names are manifest bugs; equal ranks are only legal for a
+    // condvar sharing its guarded mutex's rank.
+    for (i, a) in out.iter().enumerate() {
+        for b in &out[i + 1..] {
+            if a.name == b.name {
+                return Err(format!("{}: duplicate lock name `{}`", b.line, b.name));
+            }
+            if a.rank == b.rank && a.kind != LockKind::Condvar && b.kind != LockKind::Condvar {
+                return Err(format!(
+                    "{}: `{}` and `{}` share rank {} but neither is a condvar",
+                    b.line, a.name, b.name, b.rank
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+# comment
+[[lock]]
+name = "a.x"
+rank = 10
+kind = "mutex"
+file = "src/a.rs"
+field = "x"
+event_loop = true
+doc = "the x lock"
+
+[[lock]]
+name = "a.x_cv"
+rank = 10
+kind = "condvar"
+file = "src/a.rs"
+field = "cv"
+event_loop = true
+doc = "waits under a.x"
+"#;
+
+    #[test]
+    fn parses_entries_and_condvar_rank_sharing() {
+        let entries = parse(GOOD).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].name, "a.x");
+        assert_eq!(entries[0].rank, 10);
+        assert_eq!(entries[0].kind, LockKind::Mutex);
+        assert!(entries[0].event_loop);
+        assert_eq!(entries[0].const_name(), "A_X");
+        assert_eq!(entries[1].kind, LockKind::Condvar);
+    }
+
+    #[test]
+    fn missing_field_is_an_error() {
+        let err = parse("[[lock]]\nname = \"a\"\n").unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_rank_without_condvar_is_an_error() {
+        let two = GOOD.replace("kind = \"condvar\"", "kind = \"mutex\"");
+        let err = parse(&two).unwrap_err();
+        assert!(err.contains("share rank"), "{err}");
+    }
+
+    #[test]
+    fn bad_syntax_carries_line_numbers() {
+        let err = parse("[[lock]]\nrank = ten\n").unwrap_err();
+        assert!(err.starts_with("2:"), "{err}");
+    }
+
+    #[test]
+    fn the_repo_manifest_parses() {
+        // Guard the checked-in manifest itself; path relative to the
+        // crate dir during `cargo test`.
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("locks.toml");
+        let entries = load(&root).unwrap();
+        assert!(entries.len() >= 10, "all engine locks declared");
+    }
+}

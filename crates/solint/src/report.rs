@@ -20,12 +20,26 @@ pub enum Rule {
     /// Every workspace crate root must carry `#![forbid(unsafe_code)]`,
     /// and no `unsafe` may appear anywhere.
     ForbidUnsafe,
+    /// Lock acquisitions must follow the `locks.toml` rank hierarchy:
+    /// every lock declared and ranked, no rank inversion along any
+    /// (inter-procedural) acquisition chain, no cycles.
+    LockOrder,
+    /// The readiness-loop thread may not block: no engine-lock
+    /// acquisition, no blocking syscalls, on any function reachable from
+    /// the configured event-loop entry points.
+    NoBlockingInEventLoop,
+    /// Every `// solint: allow(rule)` escape must still suppress a live
+    /// finding; stale escapes are errors.
+    StaleEscape,
     /// `fail_point!` sites in code ≡ the DESIGN.md §5 catalog.
     DocFailpoints,
     /// `Counter` enum variants ≡ the DESIGN.md §6 counter table.
     DocCounters,
     /// `SOLAP_*` env reads ≡ the README knob table.
     DocKnobs,
+    /// `locks.toml` ≡ the shim's `rank` constants ≡ the DESIGN.md §14
+    /// rank table.
+    DocLocks,
 }
 
 impl Rule {
@@ -37,22 +51,30 @@ impl Rule {
             Rule::AtomicOrdering => "atomic-ordering",
             Rule::NoBareMutex => "no-bare-mutex",
             Rule::ForbidUnsafe => "forbid-unsafe",
+            Rule::LockOrder => "lock-order",
+            Rule::NoBlockingInEventLoop => "no-blocking-in-event-loop",
+            Rule::StaleEscape => "stale-escape",
             Rule::DocFailpoints => "doc-failpoints",
             Rule::DocCounters => "doc-counters",
             Rule::DocKnobs => "doc-knobs",
+            Rule::DocLocks => "doc-locks",
         }
     }
 
     /// All rules, in report order.
-    pub const ALL: [Rule; 8] = [
+    pub const ALL: [Rule; 12] = [
         Rule::GovernorTick,
         Rule::NoPanicRatchet,
         Rule::AtomicOrdering,
         Rule::NoBareMutex,
         Rule::ForbidUnsafe,
+        Rule::LockOrder,
+        Rule::NoBlockingInEventLoop,
+        Rule::StaleEscape,
         Rule::DocFailpoints,
         Rule::DocCounters,
         Rule::DocKnobs,
+        Rule::DocLocks,
     ];
 }
 
@@ -74,17 +96,28 @@ pub struct Finding {
     /// Human-readable description, including the other side's location for
     /// doc-drift findings.
     pub message: String,
+    /// True when a justified `// solint: allow(rule)` escape covers the
+    /// site. Suppressed findings are dropped from reports, but the
+    /// `stale-escape` rule uses them to prove each escape is still live.
+    pub suppressed: bool,
 }
 
 impl Finding {
-    /// Shorthand constructor.
+    /// Shorthand constructor (not suppressed).
     pub fn new(rule: Rule, file: &str, line: usize, message: impl Into<String>) -> Finding {
         Finding {
             rule,
             file: file.to_string(),
             line,
             message: message.into(),
+            suppressed: false,
         }
+    }
+
+    /// Marks the finding as escape-suppressed.
+    pub fn suppress(mut self) -> Finding {
+        self.suppressed = true;
+        self
     }
 }
 

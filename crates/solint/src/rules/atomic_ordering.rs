@@ -50,16 +50,12 @@ fn check_file(f: &SourceFile, out: &mut Vec<Finding>) {
             continue;
         }
         let line = toks[i].line;
-        if f.is_test_line(line)
-            || flagged_lines.contains(&line)
-            || has_ord_comment(f, line)
-            || f.allowed(Rule::AtomicOrdering.id(), line)
-        {
+        if f.is_test_line(line) || flagged_lines.contains(&line) || has_ord_comment(f, line) {
             continue;
         }
         flagged_lines.push(line);
         let variant = toks[i + 3].kind.ident().unwrap_or("?");
-        out.push(Finding::new(
+        let finding = Finding::new(
             Rule::AtomicOrdering,
             &f.rel,
             line,
@@ -67,7 +63,12 @@ fn check_file(f: &SourceFile, out: &mut Vec<Finding>) {
                 "`Ordering::{variant}` has no `// ord:` justification on this \
                  line or the two above"
             ),
-        ));
+        );
+        out.push(if f.allowed(Rule::AtomicOrdering.id(), line) {
+            finding.suppress()
+        } else {
+            finding
+        });
     }
 }
 

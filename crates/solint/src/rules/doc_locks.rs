@@ -1,0 +1,185 @@
+//! `doc-locks`: the lock hierarchy has three authored copies — the
+//! `locks.toml` manifest, the `parking_lot::rank` constants the ranked
+//! constructors use, and the DESIGN.md §14 rank table — and this rule
+//! keeps all three identical.
+//!
+//! Drift checks, each reported at the lagging side's file:line:
+//!
+//! * every non-condvar manifest entry has a `pub const <NAME>: u16 = <rank>;`
+//!   in the rank module, with the same value (condvars share their
+//!   mutex's rank and have no constant);
+//! * every rank-module constant is declared in the manifest;
+//! * every manifest entry appears in the DESIGN.md rank table with its
+//!   rank on the same row, and the table names nothing undeclared.
+
+use std::collections::BTreeMap;
+
+use crate::manifest::{self, LockKind};
+use crate::report::{Finding, Rule};
+use crate::rules::doc::{load_doc, table_names};
+use crate::source::SourceFile;
+use crate::Config;
+
+/// The DESIGN.md table header this rule anchors on.
+const TABLE_MARKER: &str = "| Lock | Rank |";
+
+/// Runs the rule when a manifest and a rank module are configured.
+pub fn check(config: &Config, _files: &[SourceFile]) -> Vec<Finding> {
+    let (Some(manifest_rel), Some(module_rel)) = (&config.locks_manifest, &config.lock_rank_module)
+    else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let entries = match manifest::load(&config.root.join(manifest_rel)) {
+        Ok(e) => e,
+        Err(_) => return out, // lock-order reports manifest problems
+    };
+
+    // Manifest ↔ rank-module constants.
+    let consts = match std::fs::read_to_string(config.root.join(module_rel)) {
+        Ok(text) => parse_rank_consts(&text),
+        Err(e) => {
+            out.push(Finding::new(
+                Rule::DocLocks,
+                module_rel,
+                0,
+                format!("unreadable rank module: {e}"),
+            ));
+            return out;
+        }
+    };
+    for e in &entries {
+        if e.kind == LockKind::Condvar {
+            continue;
+        }
+        match consts.get(&e.const_name()) {
+            None => out.push(Finding::new(
+                Rule::DocLocks,
+                manifest_rel,
+                e.line,
+                format!(
+                    "`{}` (rank {}) has no `pub const {}: u16 = …;` in {} — \
+                     the ranked constructor cannot reference it",
+                    e.name,
+                    e.rank,
+                    e.const_name(),
+                    module_rel
+                ),
+            )),
+            Some(&(value, line)) if value != e.rank => out.push(Finding::new(
+                Rule::DocLocks,
+                module_rel,
+                line,
+                format!(
+                    "`{}` is {} here but {} declares rank {} for `{}`",
+                    e.const_name(),
+                    value,
+                    manifest_rel,
+                    e.rank,
+                    e.name
+                ),
+            )),
+            Some(_) => {}
+        }
+    }
+    for (name, &(_, line)) in &consts {
+        if !entries
+            .iter()
+            .any(|e| e.kind != LockKind::Condvar && &e.const_name() == name)
+        {
+            out.push(Finding::new(
+                Rule::DocLocks,
+                module_rel,
+                line,
+                format!("rank constant `{name}` has no locks.toml entry"),
+            ));
+        }
+    }
+
+    // Manifest ↔ DESIGN.md §14 table.
+    let Some(design_rel) = &config.design_md else {
+        return out;
+    };
+    let Some(lines) = load_doc(config, design_rel, Rule::DocLocks, &mut out) else {
+        return out;
+    };
+    let table = table_names(&lines, TABLE_MARKER);
+    if table.is_empty() {
+        out.push(Finding::new(
+            Rule::DocLocks,
+            design_rel,
+            0,
+            format!("no `{TABLE_MARKER}` rank table found"),
+        ));
+        return out;
+    }
+    for e in &entries {
+        match table.get(&e.name) {
+            None => out.push(Finding::new(
+                Rule::DocLocks,
+                manifest_rel,
+                e.line,
+                format!("`{}` is missing from the {design_rel} rank table", e.name),
+            )),
+            Some(&line) => {
+                let row = lines.get(line - 1).map(String::as_str).unwrap_or("");
+                if !row.contains(&format!("| {} |", e.rank)) {
+                    out.push(Finding::new(
+                        Rule::DocLocks,
+                        design_rel,
+                        line,
+                        format!(
+                            "rank table row for `{}` does not say rank {}",
+                            e.name, e.rank
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    for (name, &line) in &table {
+        if !entries.iter().any(|e| &e.name == name) {
+            out.push(Finding::new(
+                Rule::DocLocks,
+                design_rel,
+                line,
+                format!("rank table names `{name}`, which locks.toml does not declare"),
+            ));
+        }
+    }
+    out
+}
+
+/// Extracts `pub const NAME: u16 = VALUE;` lines → name → (value, line).
+fn parse_rank_consts(text: &str) -> BTreeMap<String, (u16, usize)> {
+    let mut out = BTreeMap::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let Some(rest) = line.strip_prefix("pub const ") else {
+            continue;
+        };
+        let Some((name, rest)) = rest.split_once(": u16 = ") else {
+            continue;
+        };
+        let Some(value) = rest.strip_suffix(';').and_then(|v| v.parse::<u16>().ok()) else {
+            continue;
+        };
+        out.insert(name.trim().to_string(), (value, idx + 1));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_parsing() {
+        let consts = parse_rank_consts(
+            "pub mod rank {\n    pub const ENGINE_DB: u16 = 30;\n    pub const X_Y: u16 = 55;\n    const PRIVATE: u16 = 1;\n}\n",
+        );
+        assert_eq!(consts.len(), 2);
+        assert_eq!(consts["ENGINE_DB"], (30, 2));
+        assert_eq!(consts["X_Y"], (55, 3));
+    }
+}

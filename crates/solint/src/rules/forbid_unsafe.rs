@@ -34,13 +34,18 @@ pub fn check(config: &Config, files: &[SourceFile]) -> Vec<Finding> {
     }
     for f in files {
         for t in f.tokens() {
-            if t.kind.is_ident("unsafe") && !f.allowed(Rule::ForbidUnsafe.id(), t.line) {
-                out.push(Finding::new(
+            if t.kind.is_ident("unsafe") {
+                let finding = Finding::new(
                     Rule::ForbidUnsafe,
                     &f.rel,
                     t.line,
                     "`unsafe` is banned workspace-wide",
-                ));
+                );
+                out.push(if f.allowed(Rule::ForbidUnsafe.id(), t.line) {
+                    finding.suppress()
+                } else {
+                    finding
+                });
             }
         }
     }

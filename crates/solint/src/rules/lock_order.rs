@@ -1,0 +1,390 @@
+//! `lock-order`: every Mutex/RwLock in engine code carries a declared
+//! rank in `locks.toml`, and no execution path may block on a lock whose
+//! rank is not strictly greater than one it already holds.
+//!
+//! Rank monotonicity implies deadlock freedom: a cycle of waiting threads
+//! needs some thread to block on a rank ≤ one it holds, which this rule
+//! (statically) and the `SOLAP_LOCK_WITNESS` shim (dynamically) both
+//! forbid. Findings:
+//!
+//! * **unranked lock** — a `Mutex`/`RwLock`/`Condvar` declaration with no
+//!   `locks.toml` entry (file + field keyed);
+//! * **manifest drift** — a `locks.toml` entry whose declaration no
+//!   longer exists (rename without updating the manifest);
+//! * **rank inversion** — a blocking acquire of rank ≤ a held rank,
+//!   either directly in one fn or through the (approximate) call graph;
+//! * **cycle** — a cycle among lock-order *edges*, which can only exist
+//!   when inversions were escaped; cycles are never escapable.
+//!
+//! Individual inversions escape with
+//! `// solint: allow(lock-order) <reason>` at the inner acquisition (or
+//! call) site; the witness still checks them at runtime.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::report::{Finding, Rule};
+use crate::rules::lockgraph::{self, World};
+use crate::source::SourceFile;
+use crate::Config;
+
+/// Runs the rule when a `locks.toml` is configured.
+pub fn check(config: &Config, files: &[SourceFile]) -> Vec<Finding> {
+    let world = match lockgraph::build(config, files) {
+        Ok(w) => w,
+        Err(findings) => return findings,
+    };
+    let mut out = Vec::new();
+
+    for u in &world.unranked {
+        let f = &files[u.file];
+        let finding = Finding::new(
+            Rule::LockOrder,
+            &f.rel,
+            u.line,
+            format!(
+                "`{}` field `{}` has no rank in locks.toml — declare it \
+                 (rank, kind, file, field) so the hierarchy stays total",
+                u.kind, u.field
+            ),
+        );
+        out.push(if f.allowed(Rule::LockOrder.id(), u.line) {
+            finding.suppress()
+        } else {
+            finding
+        });
+    }
+
+    let Some(manifest_rel) = &config.locks_manifest else {
+        return out;
+    };
+    for &eidx in &world.drifted {
+        let e = &world.manifest[eidx];
+        out.push(Finding::new(
+            Rule::LockOrder,
+            manifest_rel,
+            e.line,
+            format!(
+                "`{}`: no `{}` declaration found in {} — locks.toml is out \
+                 of date",
+                e.name, e.field, e.file
+            ),
+        ));
+    }
+
+    let edges = collect_edges(&world, files);
+    report_inversions(&world, files, &edges, &mut out);
+    report_cycles(&world, files, &edges, &mut out);
+    out
+}
+
+/// One ordered acquisition: `to` is blocking-acquired while `from` is
+/// held, observed at `file`/`line` (the inner acquire or the call site).
+struct Edge {
+    from: usize,
+    to: usize,
+    file: usize,
+    line: usize,
+    /// The callee's own acquisition site when the edge crosses a call.
+    via: Option<(usize, usize)>, // (file, line)
+}
+
+/// Every lock-order edge: direct nesting within one fn, plus nesting
+/// through resolved calls made while a guard is live.
+fn collect_edges(world: &World, files: &[SourceFile]) -> Vec<Edge> {
+    let mut edges = Vec::new();
+    let mut seen: BTreeSet<(usize, usize, usize, usize)> = BTreeSet::new();
+    for outer in &world.sites {
+        let range = (outer.tok + 1)..outer.range_end;
+        // Direct: another blocking acquire in the same fn inside the
+        // guard's extent. (try_* outer holds constrain too — a held lock
+        // is held no matter how it was acquired.)
+        for inner in &world.sites {
+            if inner.fn_idx == outer.fn_idx && inner.blocking && range.contains(&inner.tok) {
+                let file = world.fns[outer.fn_idx].file;
+                if seen.insert((outer.entry, inner.entry, file, inner.line)) {
+                    edges.push(Edge {
+                        from: outer.entry,
+                        to: inner.entry,
+                        file,
+                        line: inner.line,
+                        via: None,
+                    });
+                }
+            }
+        }
+        // Through calls: everything the callee transitively acquires is
+        // acquired under the outer guard.
+        for call in &world.calls {
+            if call.fn_idx != outer.fn_idx || !range.contains(&call.tok) {
+                continue;
+            }
+            let file = world.fns[outer.fn_idx].file;
+            let line = files[file].tokens()[call.tok].line;
+            for &entry in &world.acquired[call.callee] {
+                let via = world
+                    .acquired_site
+                    .get(&(call.callee, entry))
+                    .map(|&s| (world.fns[world.sites[s].fn_idx].file, world.sites[s].line));
+                if seen.insert((outer.entry, entry, file, line)) {
+                    edges.push(Edge {
+                        from: outer.entry,
+                        to: entry,
+                        file,
+                        line,
+                        via,
+                    });
+                }
+            }
+        }
+    }
+    edges
+}
+
+fn report_inversions(world: &World, files: &[SourceFile], edges: &[Edge], out: &mut Vec<Finding>) {
+    for e in edges {
+        let (from, to) = (&world.manifest[e.from], &world.manifest[e.to]);
+        if to.rank > from.rank {
+            continue;
+        }
+        let f = &files[e.file];
+        let what = if e.from == e.to {
+            format!(
+                "re-acquiring `{}` (rank {}) while already holding it would \
+                 self-deadlock",
+                to.name, to.rank
+            )
+        } else {
+            let via = match e.via {
+                Some((vf, vl)) => format!(" via this call (acquired at {}:{})", files[vf].rel, vl),
+                None => String::new(),
+            };
+            format!(
+                "acquiring `{}` (rank {}){} while holding `{}` (rank {}) \
+                 inverts the lock hierarchy — ranks must strictly increase \
+                 (locks.toml / DESIGN.md §14)",
+                to.name, to.rank, via, from.name, from.rank
+            )
+        };
+        let finding = Finding::new(Rule::LockOrder, &f.rel, e.line, what);
+        out.push(if f.allowed(Rule::LockOrder.id(), e.line) {
+            finding.suppress()
+        } else {
+            finding
+        });
+    }
+}
+
+/// Cycle detection over *all* edges, escaped or not: an escape silences
+/// one inversion report, but a set of escapes that closes a cycle
+/// re-introduces deadlock and is flagged unconditionally.
+fn report_cycles(world: &World, files: &[SourceFile], edges: &[Edge], out: &mut Vec<Finding>) {
+    // Adjacency between distinct entries; self-loops are already reported
+    // as re-acquisition inversions.
+    let mut adj: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+    let mut site: BTreeMap<(usize, usize), (usize, usize)> = BTreeMap::new();
+    for e in edges {
+        if e.from != e.to {
+            adj.entry(e.from).or_default().insert(e.to);
+            site.entry((e.from, e.to)).or_insert((e.file, e.line));
+        }
+    }
+    // DFS cycle detection with path recovery (the graph has ≤ a few dozen
+    // nodes; simplicity over Tarjan).
+    let nodes: Vec<usize> = adj.keys().copied().collect();
+    let mut reported: BTreeSet<Vec<usize>> = BTreeSet::new();
+    for &start in &nodes {
+        let mut stack = vec![(start, vec![start])];
+        while let Some((node, path)) = stack.pop() {
+            let Some(nexts) = adj.get(&node) else {
+                continue;
+            };
+            for &next in nexts {
+                if next == start {
+                    // Canonicalize (rotate to min) to report each cycle once.
+                    let mut cyc = path.clone();
+                    let minpos = cyc
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, v)| **v)
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                    cyc.rotate_left(minpos);
+                    if !reported.insert(cyc.clone()) {
+                        continue;
+                    }
+                    let names: Vec<String> = cyc
+                        .iter()
+                        .chain(cyc.first())
+                        .map(|&i| format!("`{}`", world.manifest[i].name))
+                        .collect();
+                    let &(file, line) = site.get(&(node, start)).unwrap_or(&(0, 0));
+                    out.push(Finding::new(
+                        Rule::LockOrder,
+                        &files[file].rel,
+                        line,
+                        format!(
+                            "lock-order cycle {} — a deadlock is reachable \
+                             even though each inversion is escaped; cycles \
+                             cannot be escaped",
+                            names.join(" → ")
+                        ),
+                    ));
+                } else if !path.contains(&next) {
+                    let mut p = path.clone();
+                    p.push(next);
+                    stack.push((next, p));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn cfg_with(root: &str) -> Config {
+        let mut config = Config::bare(PathBuf::from(root));
+        config.locks_manifest = Some("locks.toml".into());
+        config.lock_dirs = vec!["src/".into()];
+        config
+    }
+
+    fn run_mem(manifest: &str, src: &str) -> Vec<Finding> {
+        // Scratch tree under the workspace target dir (kept inside the
+        // repo); unique per call so parallel tests don't collide.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!(
+            "../../target/solint-lock-order-tests/{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(dir.join("src")).unwrap();
+        std::fs::write(dir.join("locks.toml"), manifest).unwrap();
+        std::fs::write(dir.join("src/a.rs"), src).unwrap();
+        let config = cfg_with(dir.to_str().unwrap());
+        let files = vec![SourceFile::from_text("src/a.rs", dir.join("src/a.rs"), src)];
+        let out = check(&config, &files);
+        let _ = std::fs::remove_dir_all(&dir);
+        out
+    }
+
+    const MANIFEST: &str = r#"
+[[lock]]
+name = "a.low"
+rank = 10
+kind = "mutex"
+file = "src/a.rs"
+field = "low"
+event_loop = false
+doc = "low"
+
+[[lock]]
+name = "a.high"
+rank = 20
+kind = "mutex"
+file = "src/a.rs"
+field = "high"
+event_loop = false
+doc = "high"
+"#;
+
+    const DECLS: &str = "use parking_lot::Mutex;\n\
+                         pub struct S {\n    low: Mutex<u32>,\n    high: Mutex<u32>,\n}\n";
+
+    #[test]
+    fn ascending_order_passes() {
+        let src = format!(
+            "{DECLS}impl S {{\n    fn ok(&self) {{\n        let a = self.low.lock();\n        let b = self.high.lock();\n        drop(b);\n        drop(a);\n    }}\n}}\n"
+        );
+        let out = run_mem(MANIFEST, &src);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn direct_inversion_fires_at_inner_line() {
+        let src = format!(
+            "{DECLS}impl S {{\n    fn bad(&self) {{\n        let b = self.high.lock();\n        let a = self.low.lock();\n    }}\n}}\n"
+        );
+        let out = run_mem(MANIFEST, &src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 9, "inner acquire line");
+        assert!(out[0].message.contains("inverts"));
+    }
+
+    #[test]
+    fn inversion_through_helper_call_fires() {
+        let src = format!(
+            "{DECLS}impl S {{\n    fn outer(&self) {{\n        let b = self.high.lock();\n        self.helper();\n    }}\n    fn helper(&self) {{\n        let a = self.low.lock();\n    }}\n}}\n"
+        );
+        let out = run_mem(MANIFEST, &src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 9, "call site line");
+        assert!(
+            out[0].message.contains("via this call"),
+            "{}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn guard_dropped_before_inner_acquire_passes() {
+        let src = format!(
+            "{DECLS}impl S {{\n    fn ok(&self) {{\n        let b = self.high.lock();\n        drop(b);\n        let a = self.low.lock();\n    }}\n}}\n"
+        );
+        let out = run_mem(MANIFEST, &src);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn temporary_guard_releases_at_statement_end() {
+        let src = format!(
+            "{DECLS}impl S {{\n    fn ok(&self) {{\n        *self.high.lock() += 1;\n        let a = self.low.lock();\n    }}\n}}\n"
+        );
+        let out = run_mem(MANIFEST, &src);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn unranked_lock_fires() {
+        let src = "use parking_lot::Mutex;\npub struct S {\n    mystery: Mutex<u32>,\n}\n";
+        let out = run_mem(MANIFEST, src);
+        assert!(out
+            .iter()
+            .any(|f| f.line == 3 && f.message.contains("no rank")));
+    }
+
+    #[test]
+    fn manifest_drift_fires() {
+        let out = run_mem(MANIFEST, "pub struct S;\n");
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out.iter().all(|f| f.message.contains("out of date")));
+    }
+
+    #[test]
+    fn escaped_inversion_suppressed_but_cycle_still_fires() {
+        let src = format!(
+            "{DECLS}impl S {{\n    fn ab(&self) {{\n        let a = self.low.lock();\n        // solint: allow(lock-order) demo of an escaped edge\n        let b = self.high.lock();\n    }}\n    fn ba(&self) {{\n        let b = self.high.lock();\n        // solint: allow(lock-order) closes the loop\n        let a = self.low.lock();\n    }}\n}}\n"
+        );
+        let out = run_mem(MANIFEST, &src);
+        let visible: Vec<_> = out.iter().filter(|f| !f.suppressed).collect();
+        assert_eq!(visible.len(), 1, "{out:?}");
+        assert!(
+            visible[0].message.contains("cycle"),
+            "{}",
+            visible[0].message
+        );
+        assert!(out.iter().any(|f| f.suppressed), "inversion was escaped");
+    }
+
+    #[test]
+    fn try_acquire_as_inner_is_not_flagged() {
+        let src = format!(
+            "{DECLS}impl S {{\n    fn ok(&self) {{\n        let b = self.high.lock();\n        if let Some(a) = self.low.try_lock() {{\n            drop(a);\n        }}\n    }}\n}}\n"
+        );
+        let out = run_mem(MANIFEST, &src);
+        assert!(out.is_empty(), "try_lock cannot block: {out:?}");
+    }
+}

@@ -1,0 +1,721 @@
+//! The shared lock-analysis model behind `lock-order` and
+//! `no-blocking-in-event-loop`: declared locks, acquisition sites with
+//! approximate guard lifetimes, a function table, and a name-resolved
+//! call graph — all derived from solint's flat token stream.
+//!
+//! The approximation is deliberately simple and its bias is documented:
+//!
+//! * **guard lifetimes** over-approximate (a `let`-bound guard is held to
+//!   the end of its enclosing block unless an explicit `drop(g)` appears;
+//!   a temporary to the end of its statement), so the analysis may report
+//!   an ordering edge the program never executes, never miss one it does;
+//! * **call edges** under-approximate (calls resolve only through
+//!   `self.m()` on a known impl type or a workspace-unique simple name),
+//!   so chains through trait objects or popular method names are
+//!   invisible — the runtime lock witness (shims/parking_lot) is the
+//!   backstop there.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::Token;
+use crate::manifest::{self, LockEntry, LockKind};
+use crate::report::{Finding, Rule};
+use crate::rules::in_dirs;
+use crate::source::SourceFile;
+use crate::Config;
+
+/// Type/static wrappers that may sit between a field name and its lock
+/// type in a declaration (`queue: Arc<Mutex<…>>`).
+const WRAPPERS: [&str; 4] = ["Arc", "OnceLock", "Box", "Lazy"];
+
+/// One function (or method) with its body extent.
+pub(crate) struct FnInfo {
+    /// Index into the scanned file list.
+    pub file: usize,
+    /// Bare name.
+    pub simple: String,
+    /// Enclosing `impl` type, when inside one.
+    pub impl_type: Option<String>,
+    /// Token index of the body `{` / matching `}`.
+    pub body_open: usize,
+    pub body_close: usize,
+}
+
+/// One resolved lock acquisition.
+pub(crate) struct Site {
+    /// Index into [`World::fns`].
+    pub fn_idx: usize,
+    /// Index into [`World::manifest`].
+    pub entry: usize,
+    /// Token index of the `lock`/`read`/`write` method ident.
+    pub tok: usize,
+    /// Source line.
+    pub line: usize,
+    /// Token index (exclusive) where the guard is conservatively released.
+    pub range_end: usize,
+    /// `lock()`/`read()`/`write()` (true) vs `try_*` (false) — only a
+    /// blocking acquire can deadlock as the *inner* lock.
+    pub blocking: bool,
+}
+
+/// One resolved call edge.
+pub(crate) struct Call {
+    /// Caller index into [`World::fns`].
+    pub fn_idx: usize,
+    /// Token index of the callee name at the call site.
+    pub tok: usize,
+    /// Callee index into [`World::fns`].
+    pub callee: usize,
+}
+
+/// An undeclared (unranked) lock declaration.
+pub(crate) struct Unranked {
+    pub file: usize,
+    pub line: usize,
+    pub field: String,
+    pub kind: &'static str,
+}
+
+/// The assembled analysis world.
+pub(crate) struct World {
+    pub manifest: Vec<LockEntry>,
+    pub fns: Vec<FnInfo>,
+    pub sites: Vec<Site>,
+    pub calls: Vec<Call>,
+    pub unranked: Vec<Unranked>,
+    /// Manifest entries (by index) with no matching declaration found.
+    pub drifted: Vec<usize>,
+    /// Entry set (by manifest index) transitively blocking-acquired per fn.
+    pub acquired: Vec<BTreeSet<usize>>,
+    /// Representative direct acquisition site per (fn, entry), for
+    /// file:line reporting through call chains.
+    pub acquired_site: BTreeMap<(usize, usize), usize>,
+}
+
+/// A call site awaiting resolution against the complete fn table.
+struct RawCall {
+    fn_idx: usize,
+    tok: usize,
+    name: String,
+    self_call: bool,
+}
+
+/// Builds the world, or returns manifest problems as findings. An empty
+/// error vec means the rule is unconfigured (no manifest path).
+pub(crate) fn build(config: &Config, files: &[SourceFile]) -> Result<World, Vec<Finding>> {
+    let Some(manifest_rel) = &config.locks_manifest else {
+        return Err(Vec::new());
+    };
+    let manifest = match manifest::load(&config.root.join(manifest_rel)) {
+        Ok(m) => m,
+        Err(e) => {
+            let (line, msg) = e.split_once(": ").unwrap_or(("0", e.as_str()));
+            return Err(vec![Finding::new(
+                Rule::LockOrder,
+                manifest_rel,
+                line.parse().unwrap_or(0),
+                msg.to_string(),
+            )]);
+        }
+    };
+
+    let mut world = World {
+        manifest,
+        fns: Vec::new(),
+        sites: Vec::new(),
+        calls: Vec::new(),
+        unranked: Vec::new(),
+        drifted: Vec::new(),
+        acquired: Vec::new(),
+        acquired_site: BTreeMap::new(),
+    };
+
+    let mut declared: BTreeSet<usize> = BTreeSet::new();
+    for (fidx, f) in files.iter().enumerate() {
+        if lockable(config, f) {
+            discover_decls(&mut world, f, fidx, &mut declared);
+        }
+        collect_fns(&mut world, f, fidx);
+    }
+    for i in 0..world.manifest.len() {
+        if !declared.contains(&i) {
+            world.drifted.push(i);
+        }
+    }
+
+    // `accessor().lock()` resolution: a fn whose body declares a manifest
+    // lock as a `static` (the failpoint `registry()` pattern) returns it.
+    let mut lock_accessors: BTreeMap<String, usize> = BTreeMap::new();
+    for info in &world.fns {
+        let toks = files[info.file].tokens();
+        for (eidx, e) in world.manifest.iter().enumerate() {
+            if e.file == files[info.file].rel
+                && e.kind != LockKind::Condvar
+                && is_static_decl_inside(toks, info.body_open, info.body_close, &e.field)
+            {
+                lock_accessors.insert(info.simple.clone(), eidx);
+            }
+        }
+    }
+
+    let mut raw_calls: Vec<RawCall> = Vec::new();
+    for (fidx, f) in files.iter().enumerate() {
+        if lockable(config, f) {
+            collect_sites(&mut world, f, fidx, &lock_accessors);
+        }
+        collect_calls(&world, f, fidx, &mut raw_calls);
+    }
+
+    resolve_call_targets(&mut world, &raw_calls);
+    compute_closures(&mut world);
+    Ok(world)
+}
+
+fn lockable(config: &Config, f: &SourceFile) -> bool {
+    in_dirs(&f.rel, &config.lock_dirs) && !f.is_test_file()
+}
+
+/// Whether `static FIELD :` appears between the body tokens.
+fn is_static_decl_inside(toks: &[Token], open: usize, close: usize, field: &str) -> bool {
+    (open..close.saturating_sub(2)).any(|i| {
+        toks[i].kind.is_ident("static")
+            && toks[i + 1].kind.is_ident(field)
+            && toks[i + 2].kind.is_punct(b':')
+    })
+}
+
+/// Finds Mutex/RwLock/Condvar declarations and matches them against the
+/// manifest; unmatched ones become `unranked`.
+fn discover_decls(world: &mut World, f: &SourceFile, fidx: usize, declared: &mut BTreeSet<usize>) {
+    let toks = f.tokens();
+    for i in 0..toks.len() {
+        let Some(id) = toks[i].kind.ident() else {
+            continue;
+        };
+        let kind = match id {
+            "Mutex" | "RwLock" if i + 1 < toks.len() && toks[i + 1].kind.is_punct(b'<') => id,
+            // A condvar declaration is `name : Condvar` NOT followed by
+            // `::` (which would be the `Condvar::new()` constructor).
+            "Condvar" if i + 1 < toks.len() && !toks[i + 1].kind.is_punct(b':') => id,
+            _ => continue,
+        };
+        if f.is_test_line(toks[i].line) {
+            continue;
+        }
+        let Some(field) = decl_field_name(toks, i) else {
+            continue;
+        };
+        match world
+            .manifest
+            .iter()
+            .position(|e| e.file == f.rel && e.field == field)
+        {
+            Some(eidx) => {
+                declared.insert(eidx);
+            }
+            None => world.unranked.push(Unranked {
+                file: fidx,
+                line: toks[i].line,
+                field,
+                kind: match kind {
+                    "Mutex" => "Mutex",
+                    "RwLock" => "RwLock",
+                    _ => "Condvar",
+                },
+            }),
+        }
+    }
+}
+
+/// Walks back from the lock-type token to the declared field/static name:
+/// `name : [wrapper <]* LockType`. Returns `None` for non-declaration
+/// positions (fn params behind `&`, return types, nested generics).
+fn decl_field_name(toks: &[Token], type_tok: usize) -> Option<String> {
+    let mut j = type_tok;
+    for _ in 0..16 {
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+        match &toks[j].kind {
+            k if k.is_punct(b'<') => continue,
+            k if k.is_punct(b':') => {
+                // `::` path separator — hop over it and its segment.
+                if j > 0 && toks[j - 1].kind.is_punct(b':') {
+                    if j < 2 || toks[j - 2].kind.ident().is_none() {
+                        return None;
+                    }
+                    j -= 2;
+                    continue;
+                }
+                // Single `:` — the declaration colon; the name precedes it.
+                let name = toks.get(j.checked_sub(1)?)?.kind.ident()?;
+                // Require a declaration-shaped context before the name so
+                // generic bounds (`T: Into<Mutex<…>>`) and typed fn params
+                // we cannot track don't register as declarations.
+                let ok = match j.checked_sub(2).map(|b| &toks[b].kind) {
+                    None => true,
+                    Some(k) => {
+                        k.is_punct(b'{')
+                            || k.is_punct(b',')
+                            || k.is_ident("pub")
+                            || k.is_ident("static")
+                            || k.is_ident("mut")
+                            || k.is_punct(b')') // after a `pub(crate)` list
+                    }
+                };
+                return ok.then(|| name.to_string());
+            }
+            k if k.ident().is_some_and(|w| WRAPPERS.contains(&w)) => continue,
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// Registers every fn with its body extent and enclosing impl type.
+fn collect_fns(world: &mut World, f: &SourceFile, fidx: usize) {
+    let toks = f.tokens();
+    // impl extents: (body_open, body_close, type name).
+    let mut impls: Vec<(usize, usize, String)> = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].kind.is_ident("impl") {
+            continue;
+        }
+        let Some(open) = find_body_open(toks, i + 1) else {
+            continue;
+        };
+        if let Some(ty) = impl_type_name(toks, i + 1, open) {
+            impls.push((open, f.match_brace(open), ty));
+        }
+    }
+    for i in 0..toks.len() {
+        if !toks[i].kind.is_ident("fn") {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).and_then(|t| t.kind.ident()) else {
+            continue;
+        };
+        if f.is_test_line(toks[i].line) {
+            continue;
+        }
+        let Some(open) = find_body_open(toks, i + 2) else {
+            continue; // bodyless trait-method declaration
+        };
+        let close = f.match_brace(open);
+        let impl_type = impls
+            .iter()
+            .filter(|(o, c, _)| *o < i && i < *c)
+            .map(|(_, _, t)| t.clone())
+            .next_back();
+        world.fns.push(FnInfo {
+            file: fidx,
+            simple: name.to_string(),
+            impl_type,
+            body_open: open,
+            body_close: close,
+        });
+    }
+}
+
+/// The implemented type of an `impl` header: the last path segment after
+/// `for` when present, else the first path after the generic params.
+fn impl_type_name(toks: &[Token], from: usize, body_open: usize) -> Option<String> {
+    let mut start = from;
+    // Skip `<…>` generic params by angle counting.
+    if toks.get(start)?.kind.is_punct(b'<') {
+        let mut depth = 0i32;
+        while start < body_open {
+            if toks[start].kind.is_punct(b'<') {
+                depth += 1;
+            } else if toks[start].kind.is_punct(b'>') {
+                depth -= 1;
+                if depth == 0 {
+                    start += 1;
+                    break;
+                }
+            }
+            start += 1;
+        }
+    }
+    // If a `for` appears at angle depth 0, the implemented type follows it.
+    let mut depth = 0i32;
+    let mut type_from = start;
+    for (j, t) in toks.iter().enumerate().take(body_open).skip(start) {
+        match &t.kind {
+            k if k.is_punct(b'<') => depth += 1,
+            k if k.is_punct(b'>') => depth -= 1,
+            k if depth == 0 && k.is_ident("for") => type_from = j + 1,
+            _ => {}
+        }
+    }
+    // Read one `a::b::C` path, returning its last segment.
+    let mut j = type_from;
+    let mut last: Option<&str> = None;
+    while j < body_open {
+        match toks[j].kind.ident() {
+            Some(id) => {
+                last = Some(id);
+                if j + 2 < body_open
+                    && toks[j + 1].kind.is_punct(b':')
+                    && toks[j + 2].kind.is_punct(b':')
+                {
+                    j += 3;
+                    continue;
+                }
+                break;
+            }
+            None => break,
+        }
+    }
+    last.map(String::from)
+}
+
+/// First `{` at paren/bracket depth 0 after `from`; `None` when a `;`
+/// ends the item first.
+fn find_body_open(toks: &[Token], from: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(from) {
+        match &t.kind {
+            k if k.is_punct(b'(') || k.is_punct(b'[') => depth += 1,
+            k if k.is_punct(b')') || k.is_punct(b']') => depth -= 1,
+            k if k.is_punct(b'{') && depth == 0 => return Some(j),
+            k if k.is_punct(b';') && depth == 0 => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+const ACQUIRE_METHODS: [(&str, bool); 6] = [
+    ("lock", true),
+    ("read", true),
+    ("write", true),
+    ("try_lock", false),
+    ("try_read", false),
+    ("try_write", false),
+];
+
+/// Finds `recv.lock()` / `recv.read()` / … sites, resolves the receiver
+/// to a manifest entry, and computes the guard's conservative extent.
+fn collect_sites(
+    world: &mut World,
+    f: &SourceFile,
+    fidx: usize,
+    lock_accessors: &BTreeMap<String, usize>,
+) {
+    let toks = f.tokens();
+    for i in 2..toks.len().saturating_sub(1) {
+        let Some(m) = toks[i].kind.ident() else {
+            continue;
+        };
+        let Some(&(_, blocking)) = ACQUIRE_METHODS.iter().find(|(n, _)| *n == m) else {
+            continue;
+        };
+        if !toks[i - 1].kind.is_punct(b'.') || !toks[i + 1].kind.is_punct(b'(') {
+            continue;
+        }
+        if f.is_test_line(toks[i].line) {
+            continue;
+        }
+        // Resolve the receiver just before the `.`.
+        let entry = match &toks[i - 2].kind {
+            k if k.ident().is_some() => resolve_field(world, &f.rel, k.ident().unwrap_or_default()),
+            // `accessor().lock()` — match the call back to its name.
+            k if k.is_punct(b')') => {
+                accessor_before(toks, i - 2).and_then(|name| lock_accessors.get(name).copied())
+            }
+            _ => None,
+        };
+        let Some(entry) = entry else { continue };
+        let Some(fn_idx) = enclosing_fn(world, fidx, i) else {
+            continue;
+        };
+        let range_end = guard_range_end(f, i, world.fns[fn_idx].body_close);
+        world.sites.push(Site {
+            fn_idx,
+            entry,
+            tok: i,
+            line: toks[i].line,
+            range_end,
+            blocking,
+        });
+    }
+}
+
+/// A field receiver resolves to the manifest entry declared in the same
+/// file first, else to a workspace-unique field name.
+fn resolve_field(world: &World, rel: &str, recv: &str) -> Option<usize> {
+    let mut same_file = None;
+    let mut anywhere = Vec::new();
+    for (idx, e) in world.manifest.iter().enumerate() {
+        if e.kind == LockKind::Condvar || e.field != recv {
+            continue;
+        }
+        if e.file == rel {
+            same_file = Some(idx);
+        }
+        anywhere.push(idx);
+    }
+    same_file.or(match anywhere.as_slice() {
+        [one] => Some(*one),
+        _ => None,
+    })
+}
+
+/// For `name ( … ) . lock()`, walks back from the `)` to the accessor
+/// name.
+fn accessor_before(toks: &[Token], close: usize) -> Option<&str> {
+    let mut depth = 0i32;
+    let mut j = close;
+    loop {
+        match &toks[j].kind {
+            k if k.is_punct(b')') => depth += 1,
+            k if k.is_punct(b'(') => {
+                depth -= 1;
+                if depth == 0 {
+                    return toks.get(j.checked_sub(1)?)?.kind.ident();
+                }
+            }
+            _ => {}
+        }
+        j = j.checked_sub(1)?;
+    }
+}
+
+/// The innermost registered fn whose body contains token `tok`.
+fn enclosing_fn(world: &World, fidx: usize, tok: usize) -> Option<usize> {
+    world
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|(_, info)| info.file == fidx && info.body_open < tok && tok < info.body_close)
+        .min_by_key(|(_, info)| info.body_close - info.body_open)
+        .map(|(i, _)| i)
+}
+
+/// Conservative guard extent. The guard is *named* (lives to the end of
+/// its enclosing block, or to an explicit `drop(var)`) only for the
+/// exact shape `let [mut] var = <chain>.lock();` — the acquire as the
+/// complete right-hand side. Anything else (`let x = m.lock().clone()`,
+/// an acquire nested in a call's arguments, a match/if-let scrutinee) is
+/// a temporary whose guard dies at its statement's `;`; the scan to the
+/// next depth-0 `;` over-covers scrutinee tails, which is the safe
+/// direction.
+fn guard_range_end(f: &SourceFile, site: usize, fn_close: usize) -> usize {
+    let toks = f.tokens();
+    // Start of the receiver chain: hop back over `recv . m` links.
+    let mut start = site - 1; // the `.`
+    while start >= 2 && toks[start].kind.is_punct(b'.') && toks[start - 1].kind.ident().is_some() {
+        if start >= 3 && toks[start - 2].kind.is_punct(b'.') {
+            start -= 2;
+        } else {
+            start -= 1;
+            break;
+        }
+    }
+    // The acquire call is `()`; it binds the guard only when the result
+    // is not consumed further (`;` right after) and the statement is a
+    // plain `let var = …`.
+    let after_call = toks
+        .get(site + 2)
+        .is_some_and(|t| t.kind.is_punct(b')'))
+        .then_some(site + 3);
+    let mut let_var: Option<&str> = None;
+    let is_let = after_call.is_some_and(|a| toks.get(a).is_some_and(|t| t.kind.is_punct(b';')))
+        && start >= 3
+        && toks[start - 1].kind.is_punct(b'=')
+        && {
+            let_var = toks[start - 2].kind.ident();
+            let mut l = start - 3;
+            if toks[l].kind.is_ident("mut") && l > 0 {
+                l -= 1;
+            }
+            let_var.is_some() && toks[l].kind.is_ident("let")
+        };
+    if is_let {
+        // Held to the end of the enclosing block, or an explicit drop.
+        let close = enclosing_block_close(f, site).min(fn_close);
+        if let Some(var) = let_var {
+            for k in site..close.saturating_sub(3) {
+                if toks[k].kind.is_ident("drop")
+                    && toks[k + 1].kind.is_punct(b'(')
+                    && toks[k + 2].kind.is_ident(var)
+                    && toks[k + 3].kind.is_punct(b')')
+                {
+                    return k;
+                }
+            }
+        }
+        close
+    } else {
+        // Temporary: to the next `;` at relative brace depth 0, or the
+        // enclosing block's `}` (match tails, if/else expressions).
+        let mut depth = 0i32;
+        for (k, t) in toks.iter().enumerate().skip(site).take(fn_close - site) {
+            match &t.kind {
+                kd if kd.is_punct(b'{') => depth += 1,
+                kd if kd.is_punct(b'}') => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return k;
+                    }
+                }
+                kd if kd.is_punct(b';') && depth == 0 => return k,
+                _ => {}
+            }
+        }
+        fn_close
+    }
+}
+
+/// The `}` closing the innermost block containing token `tok`.
+fn enclosing_block_close(f: &SourceFile, tok: usize) -> usize {
+    let toks = f.tokens();
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(tok) {
+        match &t.kind {
+            kd if kd.is_punct(b'{') => depth += 1,
+            kd if kd.is_punct(b'}') => {
+                depth -= 1;
+                if depth < 0 {
+                    return k;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Collects call sites for later resolution.
+fn collect_calls(world: &World, f: &SourceFile, fidx: usize, raw: &mut Vec<RawCall>) {
+    let toks = f.tokens();
+    for i in 0..toks.len().saturating_sub(1) {
+        let Some(name) = toks[i].kind.ident() else {
+            continue;
+        };
+        if !toks[i + 1].kind.is_punct(b'(') || f.is_test_line(toks[i].line) {
+            continue;
+        }
+        if i > 0 && toks[i - 1].kind.is_ident("fn") {
+            continue; // a declaration, not a call
+        }
+        let (self_call, skip) = if i >= 2 && toks[i - 1].kind.is_punct(b'.') {
+            match &toks[i - 2].kind {
+                k if k.is_ident("self") => (true, false),
+                // `expr().m(…)` chains: the receiver is an untypeable
+                // value — resolving `m` by bare name there would fabricate
+                // edges from every `.get(…)`/`.iter(…)` on it.
+                k if k.ident().is_some() => (false, false),
+                _ => (false, true),
+            }
+        } else {
+            (false, false)
+        };
+        if skip {
+            continue;
+        }
+        let Some(fn_idx) = enclosing_fn(world, fidx, i) else {
+            continue;
+        };
+        raw.push(RawCall {
+            fn_idx,
+            tok: i,
+            name: name.to_string(),
+            self_call,
+        });
+    }
+}
+
+/// Resolves raw calls against the fn table: `self.m()` prefers the
+/// caller's impl type; everything else requires a workspace-unique name.
+fn resolve_call_targets(world: &mut World, raw: &[RawCall]) {
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, info) in world.fns.iter().enumerate() {
+        by_name.entry(info.simple.as_str()).or_default().push(i);
+    }
+    let mut calls = Vec::new();
+    for rc in raw {
+        let Some(candidates) = by_name.get(rc.name.as_str()) else {
+            continue;
+        };
+        let callee = if rc.self_call {
+            let caller_ty = world.fns[rc.fn_idx].impl_type.as_deref();
+            let typed: Vec<usize> = candidates
+                .iter()
+                .copied()
+                .filter(|&i| world.fns[i].impl_type.as_deref() == caller_ty)
+                .collect();
+            match typed.as_slice() {
+                [one] => Some(*one),
+                _ => unique(candidates),
+            }
+        } else {
+            unique(candidates)
+        };
+        if let Some(callee) = callee {
+            if callee != rc.fn_idx {
+                calls.push(Call {
+                    fn_idx: rc.fn_idx,
+                    tok: rc.tok,
+                    callee,
+                });
+            }
+        }
+    }
+    world.calls = calls;
+}
+
+fn unique(c: &[usize]) -> Option<usize> {
+    match c {
+        [one] => Some(*one),
+        _ => None,
+    }
+}
+
+/// Fixpoint: the set of entries each fn blocking-acquires, directly or
+/// through resolved calls, with a representative direct site for each.
+fn compute_closures(world: &mut World) {
+    world.acquired = vec![BTreeSet::new(); world.fns.len()];
+    for (sidx, s) in world.sites.iter().enumerate() {
+        if s.blocking && world.acquired[s.fn_idx].insert(s.entry) {
+            world.acquired_site.insert((s.fn_idx, s.entry), sidx);
+        }
+    }
+    loop {
+        let mut changed = false;
+        for ci in 0..world.calls.len() {
+            let (caller, callee) = (world.calls[ci].fn_idx, world.calls[ci].callee);
+            let add: Vec<usize> = world.acquired[callee]
+                .iter()
+                .copied()
+                .filter(|e| !world.acquired[caller].contains(e))
+                .collect();
+            for e in add {
+                world.acquired[caller].insert(e);
+                if let Some(&site) = world.acquired_site.get(&(callee, e)) {
+                    world.acquired_site.insert((caller, e), site);
+                }
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// Locates a fn by `path/to/file.rs::Type::name` or `path/to/file.rs::name`.
+pub(crate) fn find_fn(world: &World, files: &[SourceFile], spec: &str) -> Option<usize> {
+    let (file, rest) = spec.split_once("::")?;
+    let (ty, name) = match rest.rsplit_once("::") {
+        Some((t, n)) => (Some(t), n),
+        None => (None, rest),
+    };
+    world.fns.iter().position(|info| {
+        files[info.file].rel == file
+            && info.simple == name
+            && (ty.is_none() || info.impl_type.as_deref() == ty)
+    })
+}

@@ -7,9 +7,14 @@ pub mod doc;
 pub mod doc_counters;
 pub mod doc_failpoints;
 pub mod doc_knobs;
+pub mod doc_locks;
 pub mod forbid_unsafe;
 pub mod governor_tick;
+pub mod lock_order;
+pub(crate) mod lockgraph;
+pub mod no_blocking;
 pub mod panic_ratchet;
+pub mod stale_escape;
 
 use crate::source::SourceFile;
 

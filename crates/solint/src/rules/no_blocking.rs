@@ -1,0 +1,251 @@
+//! `no-blocking-in-event-loop`: the readiness-loop thread must never
+//! block. From each configured entry point (e.g. `EventLoop::run`), the
+//! rule walks the resolved call graph and flags, anywhere reachable:
+//!
+//! * a blocking acquire of a lock whose `locks.toml` entry says
+//!   `event_loop = false` — those locks are owned by worker/engine
+//!   threads that can hold them across I/O, so the loop parking on one
+//!   stalls every connection;
+//! * a call to a cataloged blocking identifier (`sleep`, `join`, …).
+//!
+//! `try_*` acquires stay legal (the loop's hand-off pattern), and
+//! deliberate blocking (shutdown drain) escapes with
+//! `// solint: allow(no-blocking-in-event-loop) <reason>`.
+
+use std::collections::BTreeSet;
+
+use crate::report::{Finding, Rule};
+use crate::rules::lockgraph::{self, World};
+use crate::source::SourceFile;
+use crate::Config;
+
+/// Runs the rule for each configured event-loop entry point.
+pub fn check(config: &Config, files: &[SourceFile]) -> Vec<Finding> {
+    if config.event_loop_entries.is_empty() {
+        return Vec::new();
+    }
+    let world = match lockgraph::build(config, files) {
+        Ok(w) => w,
+        // Manifest problems are lock-order's to report.
+        Err(_) => return Vec::new(),
+    };
+    let mut out = Vec::new();
+    for spec in &config.event_loop_entries {
+        let Some(entry_fn) = lockgraph::find_fn(&world, files, spec) else {
+            let file = spec.split("::").next().unwrap_or(spec);
+            out.push(Finding::new(
+                Rule::NoBlockingInEventLoop,
+                file,
+                0,
+                format!("cataloged event-loop entry `{spec}` not found"),
+            ));
+            continue;
+        };
+        check_from(config, files, &world, entry_fn, &mut out);
+    }
+    // Two entries reaching the same fn would double-report; dedupe.
+    out.sort_by(|a, b| {
+        (&a.file, a.line)
+            .cmp(&(&b.file, b.line))
+            .then(a.message.cmp(&b.message))
+    });
+    out.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.message == b.message);
+    out
+}
+
+fn check_from(
+    config: &Config,
+    files: &[SourceFile],
+    world: &World,
+    entry_fn: usize,
+    out: &mut Vec<Finding>,
+) {
+    // Reachable fns over resolved call edges.
+    let mut reach: BTreeSet<usize> = BTreeSet::new();
+    let mut stack = vec![entry_fn];
+    while let Some(fni) = stack.pop() {
+        if !reach.insert(fni) {
+            continue;
+        }
+        for c in &world.calls {
+            if c.fn_idx == fni {
+                stack.push(c.callee);
+            }
+        }
+    }
+
+    for s in &world.sites {
+        if !s.blocking || !reach.contains(&s.fn_idx) {
+            continue;
+        }
+        let e = &world.manifest[s.entry];
+        if e.event_loop {
+            continue;
+        }
+        let f = &files[world.fns[s.fn_idx].file];
+        let finding = Finding::new(
+            Rule::NoBlockingInEventLoop,
+            &f.rel,
+            s.line,
+            format!(
+                "event-loop thread may park on `{}` (rank {}, event_loop = \
+                 false in locks.toml) — use try_* or hand the work to the \
+                 pool",
+                e.name, e.rank
+            ),
+        );
+        out.push(if f.allowed(Rule::NoBlockingInEventLoop.id(), s.line) {
+            finding.suppress()
+        } else {
+            finding
+        });
+    }
+
+    // Cataloged blocking calls (`sleep`, `join`, …) anywhere reachable.
+    for &fni in &reach {
+        let info = &world.fns[fni];
+        let f = &files[info.file];
+        let toks = f.tokens();
+        for i in info.body_open..info.body_close {
+            let Some(id) = toks[i].kind.ident() else {
+                continue;
+            };
+            if !config.event_loop_blocking.iter().any(|b| b == id) {
+                continue;
+            }
+            if i + 1 >= toks.len() || !toks[i + 1].kind.is_punct(b'(') {
+                continue;
+            }
+            let line = toks[i].line;
+            let finding = Finding::new(
+                Rule::NoBlockingInEventLoop,
+                &f.rel,
+                line,
+                format!(
+                    "`{id}(…)` blocks the event-loop thread — move it off \
+                     the loop or escape with `// solint: \
+                     allow(no-blocking-in-event-loop) <reason>`"
+                ),
+            );
+            out.push(if f.allowed(Rule::NoBlockingInEventLoop.id(), line) {
+                finding.suppress()
+            } else {
+                finding
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run_mem(manifest: &str, src: &str) -> Vec<Finding> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!(
+            "../../target/solint-no-blocking-tests/{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(dir.join("src")).unwrap();
+        std::fs::write(dir.join("locks.toml"), manifest).unwrap();
+        std::fs::write(dir.join("src/a.rs"), src).unwrap();
+        let mut config = Config::bare(dir.clone());
+        config.locks_manifest = Some("locks.toml".into());
+        config.lock_dirs = vec!["src/".into()];
+        config.event_loop_entries = vec!["src/a.rs::Loop::run".into()];
+        config.event_loop_blocking = vec!["sleep".into(), "join".into()];
+        let files = vec![SourceFile::from_text("src/a.rs", dir.join("src/a.rs"), src)];
+        let out = check(&config, &files);
+        let _ = std::fs::remove_dir_all(&dir);
+        out
+    }
+
+    const MANIFEST: &str = r#"
+[[lock]]
+name = "a.queue"
+rank = 10
+kind = "mutex"
+file = "src/a.rs"
+field = "queue"
+event_loop = true
+doc = "loop-safe"
+
+[[lock]]
+name = "a.engine"
+rank = 20
+kind = "mutex"
+file = "src/a.rs"
+field = "engine"
+event_loop = false
+doc = "worker-held"
+"#;
+
+    const DECLS: &str = "use parking_lot::Mutex;\n\
+                         pub struct Loop {\n    queue: Mutex<u32>,\n    engine: Mutex<u32>,\n}\n";
+
+    #[test]
+    fn engine_lock_on_loop_thread_fires() {
+        let src = format!(
+            "{DECLS}impl Loop {{\n    fn run(&self) {{\n        let g = self.engine.lock();\n    }}\n}}\n"
+        );
+        let out = run_mem(MANIFEST, &src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 8);
+        assert!(out[0].message.contains("a.engine"));
+    }
+
+    #[test]
+    fn loop_safe_lock_passes() {
+        let src = format!(
+            "{DECLS}impl Loop {{\n    fn run(&self) {{\n        let g = self.queue.lock();\n    }}\n}}\n"
+        );
+        assert!(run_mem(MANIFEST, &src).is_empty());
+    }
+
+    #[test]
+    fn try_acquire_of_engine_lock_passes() {
+        let src = format!(
+            "{DECLS}impl Loop {{\n    fn run(&self) {{\n        if let Some(g) = self.engine.try_lock() {{\n            drop(g);\n        }}\n    }}\n}}\n"
+        );
+        assert!(run_mem(MANIFEST, &src).is_empty());
+    }
+
+    #[test]
+    fn blocking_call_through_helper_fires() {
+        let src = format!(
+            "{DECLS}impl Loop {{\n    fn run(&self) {{\n        self.drain();\n    }}\n    fn drain(&self) {{\n        worker.join();\n    }}\n}}\n"
+        );
+        let out = run_mem(MANIFEST, &src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].line, 11);
+        assert!(out[0].message.contains("join"));
+    }
+
+    #[test]
+    fn unreachable_blocking_is_ignored() {
+        let src = format!(
+            "{DECLS}impl Loop {{\n    fn run(&self) {{}}\n}}\nfn elsewhere() {{\n    thread::sleep(d);\n}}\n"
+        );
+        assert!(run_mem(MANIFEST, &src).is_empty());
+    }
+
+    #[test]
+    fn escape_suppresses() {
+        let src = format!(
+            "{DECLS}impl Loop {{\n    fn run(&self) {{\n        // solint: allow(no-blocking-in-event-loop) shutdown drain\n        worker.join();\n    }}\n}}\n"
+        );
+        let out = run_mem(MANIFEST, &src);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].suppressed);
+    }
+
+    #[test]
+    fn missing_entry_reported() {
+        let out = run_mem(MANIFEST, "fn nothing() {}\n");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("not found"));
+    }
+}

@@ -1,0 +1,159 @@
+//! `stale-escape`: every `// solint: allow(rule) reason` comment must
+//! still cover a live finding.
+//!
+//! Escapes are point-in-time waivers; when the code they excused is
+//! rewritten, the comment lingers and silently licenses future
+//! violations at that site. This rule runs after every other rule, sees
+//! the *suppressed* findings too, and flags:
+//!
+//! * an escape whose rule would no longer fire on the lines it covers
+//!   (the escape line and the two below — the mirror of
+//!   [`SourceFile::allowed`]);
+//! * an escape naming a rule solint doesn't have (typo'd escapes
+//!   suppress nothing, silently);
+//! * an escape with no justification after the closing paren (it
+//!   suppresses nothing either — [`SourceFile::allowed`] requires one).
+//!
+//! Only comments that *lead* with `solint: allow(` count as escapes;
+//! prose that quotes the syntax mid-comment (like this module doc) is
+//! ignored.
+
+use crate::report::{Finding, Rule};
+use crate::source::SourceFile;
+use crate::Config;
+
+/// Runs after all other rules, over their complete (unsuppressed +
+/// suppressed) finding set.
+pub fn check(_config: &Config, files: &[SourceFile], findings: &[Finding]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in files {
+        if f.is_test_file() {
+            continue;
+        }
+        for (line, text) in &f.lexed.comments {
+            let Some((rule_id, rest)) = parse_escape(text) else {
+                continue;
+            };
+            if f.is_test_line(*line) {
+                continue; // rules skip test code; escapes there are inert
+            }
+            if !Rule::ALL.iter().any(|r| r.id() == rule_id) {
+                out.push(Finding::new(
+                    Rule::StaleEscape,
+                    &f.rel,
+                    *line,
+                    format!(
+                        "escape names unknown rule `{rule_id}` — it \
+                         suppresses nothing"
+                    ),
+                ));
+                continue;
+            }
+            if rest.trim().is_empty() {
+                out.push(Finding::new(
+                    Rule::StaleEscape,
+                    &f.rel,
+                    *line,
+                    format!(
+                        "escape for `{rule_id}` has no justification — a \
+                         reason after the closing paren is required for it \
+                         to take effect"
+                    ),
+                ));
+                continue;
+            }
+            let covered = findings.iter().any(|fd| {
+                fd.rule.id() == rule_id && fd.file == f.rel && (*line..=line + 2).contains(&fd.line)
+            });
+            if !covered {
+                out.push(Finding::new(
+                    Rule::StaleEscape,
+                    &f.rel,
+                    *line,
+                    format!(
+                        "`solint: allow({rule_id})` escape is stale — the \
+                         rule no longer fires on the lines it covers; \
+                         delete the comment"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Parses a comment as an escape: after the comment markers it must
+/// *start* with `solint: allow(<rule>)`. Returns the rule id and the
+/// trailing justification text.
+fn parse_escape(comment: &str) -> Option<(&str, &str)> {
+    let body = comment.trim_start_matches(['/', '!']).trim_start();
+    let rest = body.strip_prefix("solint: allow(")?;
+    let close = rest.find(')')?;
+    Some((&rest[..close], &rest[close + 1..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn run_on(src: &str, findings: &[Finding]) -> Vec<Finding> {
+        let f = SourceFile::from_text("src/x.rs", PathBuf::from("src/x.rs"), src);
+        let config = Config::bare(PathBuf::from("."));
+        check(&config, &[f], findings)
+    }
+
+    #[test]
+    fn live_escape_passes() {
+        let src = "// solint: allow(governor-tick) bounded by charged cells\nfor seq in seqs {}\n";
+        let covered = vec![Finding::new(Rule::GovernorTick, "src/x.rs", 2, "x").suppress()];
+        assert!(run_on(src, &covered).is_empty());
+    }
+
+    #[test]
+    fn stale_escape_fires() {
+        let src = "// solint: allow(governor-tick) the loop below was removed\nfn f() {}\n";
+        let out = run_on(src, &[]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 1);
+        assert!(out[0].message.contains("stale"));
+    }
+
+    #[test]
+    fn finding_outside_coverage_window_does_not_count() {
+        let src = "// solint: allow(governor-tick) reason\n\n\n\nfor seq in seqs {}\n";
+        let covered = vec![Finding::new(Rule::GovernorTick, "src/x.rs", 5, "x")];
+        let out = run_on(src, &covered);
+        assert_eq!(out.len(), 1, "line 5 is beyond the 3-line window");
+    }
+
+    #[test]
+    fn unknown_rule_fires() {
+        let out = run_on("// solint: allow(no-such-rule) whatever\n", &[]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn reasonless_escape_fires() {
+        let out = run_on("// solint: allow(governor-tick)\n", &[]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("justification"));
+    }
+
+    #[test]
+    fn prose_mentioning_escapes_ignored() {
+        let src =
+            "//! escape with `// solint: allow(governor-tick) <reason>` comments\nfn f() {}\n";
+        assert!(run_on(src, &[]).is_empty());
+    }
+
+    #[test]
+    fn doc_comment_leading_with_escape_counts() {
+        let out = run_on(
+            "/// solint: allow(governor-tick) docs do count\nfn f() {}\n",
+            &[],
+        );
+        assert_eq!(out.len(), 1, "leading escape in a doc comment is parsed");
+    }
+}

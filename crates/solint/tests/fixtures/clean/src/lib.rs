@@ -32,3 +32,13 @@ pub fn risky() -> Result<(), ()> {
 pub enum Counter {
     EventsScanned,
 }
+
+pub struct Gate {
+    gate: parking_lot::Mutex<u32>,
+}
+
+impl Gate {
+    pub fn run(&self) -> u32 {
+        *self.gate.lock()
+    }
+}

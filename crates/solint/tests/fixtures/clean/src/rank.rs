@@ -1,0 +1,3 @@
+//! Clean fixture rank module: mirrors locks.toml exactly.
+
+pub const CLEAN_GATE: u16 = 10;

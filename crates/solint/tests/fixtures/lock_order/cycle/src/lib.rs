@@ -1,0 +1,32 @@
+//! Seeded lock-order cycle: `fwd` nests low → high (rank order, legal)
+//! and `rev` nests high → low through a helper call. The inversion edge
+//! is escaped, but together the edges close a cycle — and cycles can
+//! never be escaped.
+
+use parking_lot::Mutex;
+
+pub struct Engine {
+    low: Mutex<u32>,
+    high: Mutex<u32>,
+}
+
+impl Engine {
+    pub fn fwd(&self) {
+        let a = self.low.lock();
+        let b = self.high.lock();
+        drop(b);
+        drop(a);
+    }
+
+    pub fn rev(&self) {
+        let b = self.high.lock();
+        // solint: allow(lock-order) seeded escape: the cycle must still fire
+        self.grab_low();
+        drop(b);
+    }
+
+    fn grab_low(&self) {
+        let a = self.low.lock();
+        drop(a);
+    }
+}

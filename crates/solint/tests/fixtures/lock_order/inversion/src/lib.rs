@@ -1,0 +1,25 @@
+//! Seeded rank inversion: `bad` blocks on `fx.low` (rank 10) while
+//! holding `fx.high` (rank 20); `good` nests in rank order.
+
+use parking_lot::{Mutex, RwLock};
+
+pub struct Engine {
+    low: Mutex<u32>,
+    high: RwLock<u32>,
+}
+
+impl Engine {
+    pub fn good(&self) {
+        let a = self.low.lock();
+        drop(a);
+        let b = self.high.read();
+        drop(b);
+    }
+
+    pub fn bad(&self) {
+        let b = self.high.write();
+        let a = self.low.lock();
+        drop(a);
+        drop(b);
+    }
+}

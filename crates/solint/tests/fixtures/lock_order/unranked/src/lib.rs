@@ -1,0 +1,8 @@
+//! Seeded unranked lock: `mystery` has no locks.toml entry.
+
+use parking_lot::Mutex;
+
+pub struct Engine {
+    known: Mutex<u32>,
+    mystery: Mutex<u32>,
+}

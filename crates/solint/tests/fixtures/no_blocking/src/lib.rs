@@ -1,0 +1,23 @@
+//! Seeded event-loop blocking: `run` parks on the worker-owned engine
+//! lock and reaches a `sleep` through a helper.
+
+use parking_lot::Mutex;
+
+pub struct Loop {
+    queue: Mutex<u32>,
+    engine: Mutex<u32>,
+}
+
+impl Loop {
+    pub fn run(&self) {
+        let q = self.queue.lock();
+        drop(q);
+        let g = self.engine.lock();
+        drop(g);
+        self.backoff();
+    }
+
+    fn backoff(&self) {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,5 @@
+//! Seeded stale escape: `calm` stopped being a hot loop long ago, so the
+//! waiver above it no longer covers anything and is itself the finding.
+
+// solint: allow(governor-tick) this loop was hot once
+pub fn calm() {}

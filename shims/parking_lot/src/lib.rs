@@ -1,28 +1,281 @@
-//! Offline stand-in for the `parking_lot` crate.
+//! Offline stand-in for the `parking_lot` crate, extended with the
+//! engine's **lock-witness** mode.
 //!
 //! The build environment has no access to crates.io, so the workspace
 //! vendors the small API slice it actually uses: [`Mutex`] with a
 //! `lock()` that returns the guard directly (no `Result`, no poisoning —
 //! a poisoned std mutex is recovered with `into_inner`, matching
 //! parking_lot's semantics of simply not having poisoning).
+//!
+//! # Lock witness (deadlock-freedom proof at runtime)
+//!
+//! Every production lock in the workspace is declared in the repo-root
+//! `locks.toml` manifest with a **rank** (DESIGN.md §14) and constructed
+//! through [`Mutex::ranked`] / [`RwLock::ranked`] with the matching
+//! [`rank`] constant. The discipline: a thread may only *block* on a
+//! lock whose rank is **strictly greater** than every lock it already
+//! holds. Any execution obeying that discipline is deadlock-free (a wait
+//! cycle needs at least one rank inversion).
+//!
+//! With `SOLAP_LOCK_WITNESS=1` (read once, seeded at the first `ranked`
+//! construction — the same pattern as the failpoint registry), each
+//! thread keeps a stack of held ranked locks and every blocking acquire
+//! checks rank monotonicity, panicking with **both** acquisition sites on
+//! violation. `try_*` acquires never block, so they skip the check, but
+//! a successfully try-acquired lock still joins the held stack and
+//! constrains later blocking acquires. When the witness is off (the
+//! default) a ranked acquire costs one relaxed atomic load, and unranked
+//! locks (`new`) cost nothing — hot paths carry the instrumentation
+//! permanently, like failpoints.
 
 #![forbid(unsafe_code)]
 
+use std::ops::{Deref, DerefMut};
+use std::panic::Location;
 use std::sync::{self, TryLockError};
+
+/// Declared lock ranks, kept byte-for-byte consistent with the repo-root
+/// `locks.toml` manifest and the DESIGN.md §14 rank table by solint's
+/// `doc-locks` drift rule. Lower ranks are acquired first (outermost);
+/// every acquisition edge must go strictly upward.
+pub mod rank {
+    /// Worker job queue; held across the pool condvar wait.
+    pub const SERVER_POOL_QUEUE: u16 = 10;
+    /// The durable event log / ingest lock; appends hold it end to end.
+    pub const ENGINE_LOG: u16 = 20;
+    /// The event database `RwLock`; queries hold the read side end to end.
+    pub const ENGINE_DB: u16 = 30;
+    /// Recently executed specs (incremental-maintenance candidates).
+    pub const ENGINE_LIVE: u16 = 40;
+    /// The sequence-group LRU cache's inner lock.
+    pub const EVENTDB_SEQ_CACHE: u16 = 50;
+    /// The inverted-index store's inner lock.
+    pub const INDEX_STORE: u16 = 55;
+    /// The cuboid repository's inner lock.
+    pub const CORE_CUBOID_REPO: u16 = 60;
+    /// Worker completion queue; leaf on the worker's report-home path.
+    pub const SERVER_POOL_COMPLETIONS: u16 = 70;
+    /// The event-loop waker's latched flag.
+    pub const SERVER_WAKER: u16 = 80;
+    /// The failpoint registry; `fail_point!` can fire under any engine
+    /// lock, so it outranks the whole engine band.
+    pub const FAILPOINT_REGISTRY: u16 = 90;
+}
+
+/// The witness machinery: arming flag, per-thread held stack, checks.
+mod witness {
+    use std::cell::RefCell;
+    use std::panic::Location;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::OnceLock;
+
+    /// Fast path: true only while the witness is armed. Mirrors the
+    /// failpoint `ACTIVE` flag — one relaxed load per ranked acquire.
+    static ARMED: AtomicBool = AtomicBool::new(false);
+
+    /// Seeds `ARMED` from `SOLAP_LOCK_WITNESS` exactly once. Called from
+    /// every `ranked` constructor (cold: locks are built once at engine /
+    /// server construction, before any acquire of a ranked lock).
+    pub(crate) fn init() {
+        static SEEDED: OnceLock<bool> = OnceLock::new();
+        let on = *SEEDED.get_or_init(|| {
+            std::env::var("SOLAP_LOCK_WITNESS").is_ok_and(|v| !v.is_empty() && v != "0")
+        });
+        if on {
+            // ord: advisory arming flag seeded before any ranked acquire can
+            // happen; witness state is all thread-local afterwards
+            ARMED.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether acquires are being checked.
+    #[inline]
+    pub(crate) fn armed() -> bool {
+        // ord: advisory fast-path flag; a stale read only skips/adds one
+        // thread-local bookkeeping step, never corrupts shared state
+        ARMED.load(Ordering::Relaxed)
+    }
+
+    /// Arms or disarms the witness in-process, for unit tests that cannot
+    /// set the environment before the `OnceLock` seeds. Toggling can only
+    /// *under*-track (locks acquired while disarmed are absent from the
+    /// stack), never fabricate a held entry, so concurrent tests stay
+    /// sound.
+    #[doc(hidden)]
+    pub fn force_arm(on: bool) {
+        // ord: test-only toggle; same advisory semantics as the env seed
+        ARMED.store(on, Ordering::Relaxed);
+    }
+
+    /// One held ranked lock.
+    struct Held {
+        rank: u16,
+        name: &'static str,
+        site: &'static Location<'static>,
+        id: u64,
+    }
+
+    thread_local! {
+        /// (next acquire id, stack of held ranked locks). Ranks are
+        /// strictly increasing bottom-to-top whenever the discipline
+        /// holds, so the top entry is the maximum.
+        static HELD: RefCell<(u64, Vec<Held>)> = const { RefCell::new((0, Vec::new())) };
+    }
+
+    /// Records a ranked acquire. `blocking` acquires are checked for rank
+    /// monotonicity first (panicking on violation, before the caller
+    /// would block); `try_*` acquires only join the stack. Returns the
+    /// token to pass to [`release`], `None` while disarmed.
+    pub(crate) fn acquire(
+        rank: u16,
+        name: &'static str,
+        site: &'static Location<'static>,
+        blocking: bool,
+    ) -> Option<u64> {
+        if !armed() {
+            return None;
+        }
+        HELD.with(|held| {
+            let (counter, stack) = &mut *held.borrow_mut();
+            if blocking {
+                // try_* acquires can push below the top, so the stack is
+                // not always sorted: compare against the maximum held
+                // rank (stacks are 1–4 deep in practice).
+                if let Some(top) = stack.iter().max_by_key(|e| e.rank) {
+                    if rank <= top.rank {
+                        panic!(
+                            "lock-order violation: acquiring `{name}` (rank {rank}) at {site} \
+                             while holding `{held_name}` (rank {held_rank}) acquired at \
+                             {held_site}; ranks must strictly increase along every \
+                             acquisition chain (locks.toml / DESIGN.md \u{a7}14)",
+                            held_name = top.name,
+                            held_rank = top.rank,
+                            held_site = top.site,
+                        );
+                    }
+                }
+            }
+            *counter += 1;
+            let id = *counter;
+            stack.push(Held {
+                rank,
+                name,
+                site,
+                id,
+            });
+            Some(id)
+        })
+    }
+
+    /// Drops the held-stack entry for `id` (guard drop). Entries released
+    /// out of acquisition order are removed in place; a token the stack
+    /// no longer knows (witness toggled mid-hold) is ignored.
+    pub(crate) fn release(id: u64) {
+        let _ = HELD.try_with(|held| {
+            let stack = &mut held.borrow_mut().1;
+            if let Some(pos) = stack.iter().rposition(|e| e.id == id) {
+                stack.remove(pos);
+            }
+        });
+    }
+
+    /// The ranks currently held by this thread, bottom-of-stack first
+    /// (diagnostics and tests).
+    pub fn held_ranks() -> Vec<u16> {
+        HELD.with(|held| held.borrow().1.iter().map(|e| e.rank).collect())
+    }
+}
+
+pub use witness::{force_arm, held_ranks};
+
+/// Forces the one-time `SOLAP_LOCK_WITNESS` environment seeding to happen
+/// now. `ranked` constructors seed implicitly; long-lived entry points
+/// (engine construction) call this for symmetry with
+/// `failpoint::init`.
+pub fn witness_init() {
+    witness::init();
+}
+
+/// The declared (rank, name) of a ranked lock.
+#[derive(Debug, Clone, Copy)]
+struct LockMeta {
+    rank: u16,
+    name: &'static str,
+}
 
 /// A mutual-exclusion lock with parking_lot's panic-free `lock()` API.
 #[derive(Debug, Default)]
 pub struct Mutex<T: ?Sized> {
+    meta: Option<LockMeta>,
     inner: sync::Mutex<T>,
 }
 
-/// Guard type returned by [`Mutex::lock`].
-pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+/// Guard returned by [`Mutex::lock`]; releases the witness entry (for
+/// ranked locks under an armed witness) and the lock on drop.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<sync::MutexGuard<'a, T>>,
+    token: Option<u64>,
+}
+
+impl<'a, T: ?Sized> MutexGuard<'a, T> {
+    /// Splits the guard for a condvar wait: the raw std guard travels
+    /// through `Condvar::wait`, the witness token survives alongside (the
+    /// waiting thread cannot acquire anything while parked, so its
+    /// held-stack entry stays put).
+    fn into_raw_parts(mut self) -> (sync::MutexGuard<'a, T>, Option<u64>) {
+        let inner = self.inner.take().unwrap_or_else(|| {
+            unreachable!("guard invariant: inner is Some until drop/into_raw_parts")
+        });
+        (inner, self.token.take())
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match &self.inner {
+            Some(g) => g,
+            None => unreachable!("guard invariant: inner is Some until drop"),
+        }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match &mut self.inner {
+            Some(g) => g,
+            None => unreachable!("guard invariant: inner is Some until drop"),
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(id) = self.token.take() {
+            witness::release(id);
+        }
+    }
+}
 
 impl<T> Mutex<T> {
-    /// Creates a new mutex.
+    /// Creates an unranked mutex (tests, scratch state). Production locks
+    /// use [`Mutex::ranked`] — solint's `lock-order` rule enforces it.
     pub const fn new(value: T) -> Self {
         Mutex {
+            meta: None,
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Creates a mutex with a declared hierarchy rank (see [`rank`] and
+    /// the repo-root `locks.toml`). Construction also seeds the
+    /// `SOLAP_LOCK_WITNESS` arming flag, so any process that builds a
+    /// ranked lock before acquiring one (all of them) honors the env.
+    pub fn ranked(rank: u16, name: &'static str, value: T) -> Self {
+        witness::init();
+        Mutex {
+            meta: Some(LockMeta { rank, name }),
             inner: sync::Mutex::new(value),
         }
     }
@@ -36,17 +289,40 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, returning the guard directly. A mutex poisoned
     /// by a panicking holder is recovered rather than propagated.
+    ///
+    /// # Panics
+    ///
+    /// Under an armed witness, panics if this lock is ranked and its rank
+    /// does not strictly exceed every ranked lock the thread holds.
+    #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        let token = match self.meta {
+            Some(m) => witness::acquire(m.rank, m.name, Location::caller(), true),
+            None => None,
+        };
+        MutexGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
+            token,
+        }
     }
 
-    /// Attempts to acquire the lock without blocking.
+    /// Attempts to acquire the lock without blocking. A try-acquire can
+    /// never deadlock, so the witness records but does not rank-check it.
+    #[track_caller]
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(g) => Some(g),
-            Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
-            Err(TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(TryLockError::WouldBlock) => return None,
+        };
+        let token = match self.meta {
+            Some(m) => witness::acquire(m.rank, m.name, Location::caller(), false),
+            None => None,
+        };
+        Some(MutexGuard {
+            inner: Some(inner),
+            token,
+        })
     }
 
     /// Mutable access without locking (requires exclusive ownership).
@@ -67,23 +343,88 @@ impl<T> From<T> for Mutex<T> {
 /// [`Mutex`]. Unlike real parking_lot (which is writer-preferring and
 /// deadlocks on recursive reads when a writer is queued), the std lock on
 /// Linux allows a thread that already holds a read guard to re-acquire the
-/// lock for reading; callers should still avoid holding a guard across a
-/// second acquisition.
+/// lock for reading; the witness treats a recursive read as a rank
+/// violation (equal rank), which is exactly the writer-preferring hazard.
 #[derive(Debug, Default)]
 pub struct RwLock<T: ?Sized> {
+    meta: Option<LockMeta>,
     inner: sync::RwLock<T>,
 }
 
-/// Guard type returned by [`RwLock::read`].
-pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+/// Guard returned by [`RwLock::read`].
+#[derive(Debug)]
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: Option<sync::RwLockReadGuard<'a, T>>,
+    token: Option<u64>,
+}
 
-/// Guard type returned by [`RwLock::write`].
-pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+/// Guard returned by [`RwLock::write`].
+#[derive(Debug)]
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: Option<sync::RwLockWriteGuard<'a, T>>,
+    token: Option<u64>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match &self.inner {
+            Some(g) => g,
+            None => unreachable!("guard invariant: inner is Some until drop"),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        match &self.inner {
+            Some(g) => g,
+            None => unreachable!("guard invariant: inner is Some until drop"),
+        }
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match &mut self.inner {
+            Some(g) => g,
+            None => unreachable!("guard invariant: inner is Some until drop"),
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(id) = self.token.take() {
+            witness::release(id);
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(id) = self.token.take() {
+            witness::release(id);
+        }
+    }
+}
 
 impl<T> RwLock<T> {
-    /// Creates a new reader-writer lock.
+    /// Creates an unranked reader-writer lock (tests, scratch state).
     pub const fn new(value: T) -> Self {
         RwLock {
+            meta: None,
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Creates a reader-writer lock with a declared hierarchy rank — see
+    /// [`Mutex::ranked`].
+    pub fn ranked(rank: u16, name: &'static str, value: T) -> Self {
+        witness::init();
+        RwLock {
+            meta: Some(LockMeta { rank, name }),
             inner: sync::RwLock::new(value),
         }
     }
@@ -97,31 +438,76 @@ impl<T> RwLock<T> {
 impl<T: ?Sized> RwLock<T> {
     /// Acquires shared read access, returning the guard directly. A lock
     /// poisoned by a panicking writer is recovered rather than propagated.
+    ///
+    /// # Panics
+    ///
+    /// Under an armed witness, same rank-monotonicity contract as
+    /// [`Mutex::lock`] — including recursive reads of the same lock.
+    #[track_caller]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.inner.read().unwrap_or_else(|e| e.into_inner())
+        let token = match self.meta {
+            Some(m) => witness::acquire(m.rank, m.name, Location::caller(), true),
+            None => None,
+        };
+        RwLockReadGuard {
+            inner: Some(self.inner.read().unwrap_or_else(|e| e.into_inner())),
+            token,
+        }
     }
 
     /// Acquires exclusive write access, returning the guard directly.
+    ///
+    /// # Panics
+    ///
+    /// Under an armed witness, same contract as [`Mutex::lock`].
+    #[track_caller]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.inner.write().unwrap_or_else(|e| e.into_inner())
+        let token = match self.meta {
+            Some(m) => witness::acquire(m.rank, m.name, Location::caller(), true),
+            None => None,
+        };
+        RwLockWriteGuard {
+            inner: Some(self.inner.write().unwrap_or_else(|e| e.into_inner())),
+            token,
+        }
     }
 
-    /// Attempts to acquire read access without blocking.
+    /// Attempts to acquire read access without blocking (recorded but not
+    /// rank-checked, like [`Mutex::try_lock`]).
+    #[track_caller]
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
-        match self.inner.try_read() {
-            Ok(g) => Some(g),
-            Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
-            Err(TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_read() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(TryLockError::WouldBlock) => return None,
+        };
+        let token = match self.meta {
+            Some(m) => witness::acquire(m.rank, m.name, Location::caller(), false),
+            None => None,
+        };
+        Some(RwLockReadGuard {
+            inner: Some(inner),
+            token,
+        })
     }
 
-    /// Attempts to acquire write access without blocking.
+    /// Attempts to acquire write access without blocking (recorded but
+    /// not rank-checked).
+    #[track_caller]
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
-        match self.inner.try_write() {
-            Ok(g) => Some(g),
-            Err(TryLockError::Poisoned(e)) => Some(e.into_inner()),
-            Err(TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_write() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(TryLockError::WouldBlock) => return None,
+        };
+        let token = match self.meta {
+            Some(m) => witness::acquire(m.rank, m.name, Location::caller(), false),
+            None => None,
+        };
+        Some(RwLockWriteGuard {
+            inner: Some(inner),
+            token,
+        })
     }
 
     /// Mutable access without locking (requires exclusive ownership).
@@ -150,9 +536,11 @@ impl WaitTimeoutResult {
 /// A condition variable paired with the shim [`Mutex`].
 ///
 /// The guard-consuming `wait_timeout(guard, dur) -> (guard, result)` shape
-/// follows `std` (whose guard type the shim `Mutex` reuses); like the
-/// shim's `lock()`, a wait on a mutex poisoned by a panicking holder is
-/// recovered rather than propagated.
+/// follows `std`; like the shim's `lock()`, a wait on a mutex poisoned by
+/// a panicking holder is recovered rather than propagated. The witness
+/// token rides across the wait: a parked thread cannot acquire anything,
+/// so its held-stack entry for the waited mutex stays in place and the
+/// re-acquired guard keeps the original acquisition site.
 #[derive(Debug, Default)]
 pub struct Condvar {
     inner: sync::Condvar,
@@ -168,7 +556,12 @@ impl Condvar {
 
     /// Blocks until notified, releasing the lock while waiting.
     pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
-        self.inner.wait(guard).unwrap_or_else(|e| e.into_inner())
+        let (inner, token) = guard.into_raw_parts();
+        let inner = self.inner.wait(inner).unwrap_or_else(|e| e.into_inner());
+        MutexGuard {
+            inner: Some(inner),
+            token,
+        }
     }
 
     /// Blocks until notified or `timeout` elapses.
@@ -177,11 +570,18 @@ impl Condvar {
         guard: MutexGuard<'a, T>,
         timeout: std::time::Duration,
     ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
-        let (g, r) = self
+        let (inner, token) = guard.into_raw_parts();
+        let (inner, r) = self
             .inner
-            .wait_timeout(guard, timeout)
+            .wait_timeout(inner, timeout)
             .unwrap_or_else(|e| e.into_inner());
-        (g, WaitTimeoutResult(r.timed_out()))
+        (
+            MutexGuard {
+                inner: Some(inner),
+                token,
+            },
+            WaitTimeoutResult(r.timed_out()),
+        )
     }
 
     /// Wakes one waiter.
@@ -198,6 +598,26 @@ impl Condvar {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Witness state is per-thread but the arming flag is process-global;
+    /// tests that arm it serialize here so unrelated shim tests can run
+    /// in parallel threads (unranked locks are never tracked, and a
+    /// disarmed thread records nothing, so they are unaffected either
+    /// way).
+    static WITNESS_TESTS: sync::Mutex<()> = sync::Mutex::new(());
+
+    fn armed() -> impl Drop {
+        struct Disarm(Option<sync::MutexGuard<'static, ()>>);
+        impl Drop for Disarm {
+            fn drop(&mut self) {
+                force_arm(false);
+                self.0.take();
+            }
+        }
+        let g = WITNESS_TESTS.lock().unwrap_or_else(|e| e.into_inner());
+        force_arm(true);
+        Disarm(Some(g))
+    }
 
     #[test]
     fn lock_roundtrip() {
@@ -280,5 +700,130 @@ mod tests {
         assert!(m.try_lock().is_none());
         drop(g);
         assert_eq!(*m.try_lock().unwrap(), 5);
+    }
+
+    #[test]
+    fn witness_allows_upward_chains_and_tracks_the_stack() {
+        let _arm = armed();
+        let a = Mutex::ranked(10, "test.a", ());
+        let b = RwLock::ranked(20, "test.b", ());
+        let c = Mutex::ranked(30, "test.c", ());
+        let ga = a.lock();
+        let gb = b.read();
+        let gc = c.lock();
+        assert_eq!(held_ranks(), vec![10, 20, 30]);
+        // Out-of-order release is legal; only acquisition order is ranked.
+        drop(gb);
+        assert_eq!(held_ranks(), vec![10, 30]);
+        drop(gc);
+        drop(ga);
+        assert!(held_ranks().is_empty());
+        // Re-acquiring after release is fine, including lower ranks.
+        let _gc = c.lock();
+        drop(_gc);
+        let _ga = a.lock();
+    }
+
+    #[test]
+    fn witness_panics_on_rank_inversion_with_both_sites() {
+        let _arm = armed();
+        let low = Mutex::ranked(10, "test.low", ());
+        let high = Mutex::ranked(20, "test.high", ());
+        let _gh = high.lock();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _gl = low.lock();
+        }))
+        .unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string panic".into());
+        assert!(msg.contains("lock-order violation"), "{msg}");
+        assert!(msg.contains("`test.low` (rank 10)"), "{msg}");
+        assert!(msg.contains("`test.high` (rank 20)"), "{msg}");
+        // Both acquisition sites name this file.
+        assert!(msg.matches("lib.rs").count() >= 2, "{msg}");
+        // The failed acquire left no stack entry behind.
+        assert_eq!(held_ranks(), vec![20]);
+    }
+
+    #[test]
+    fn witness_panics_on_equal_rank_and_recursive_read() {
+        let _arm = armed();
+        let l = RwLock::ranked(30, "test.recursive", ());
+        let _g = l.read();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _again = l.read();
+        }));
+        assert!(err.is_err(), "recursive read must trip the witness");
+    }
+
+    #[test]
+    fn witness_skips_try_acquires_but_tracks_their_holds() {
+        let _arm = armed();
+        let low = Mutex::ranked(10, "test.try_low", ());
+        let high = Mutex::ranked(20, "test.try_high", ());
+        let _gh = high.lock();
+        // Downward try: never blocks, so never checked — and succeeds.
+        let gl = low.try_lock().expect("uncontended");
+        assert_eq!(held_ranks(), vec![20, 10]);
+        // But the try-held low lock constrains later blocking acquires.
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let again = Mutex::ranked(15, "test.try_mid", ());
+            let _g = again.lock();
+        }));
+        assert!(err.is_err(), "blocking acquire below a try-held rank");
+        drop(gl);
+    }
+
+    #[test]
+    fn witness_token_rides_across_condvar_waits() {
+        use std::time::Duration;
+        let _arm = armed();
+        let m = Mutex::ranked(10, "test.cv", false);
+        let cv = Condvar::new();
+        let g = m.lock();
+        assert_eq!(held_ranks(), vec![10]);
+        let (g, r) = cv.wait_timeout(g, Duration::from_millis(5));
+        assert!(r.timed_out());
+        assert_eq!(held_ranks(), vec![10], "entry survived the wait");
+        drop(g);
+        assert!(held_ranks().is_empty());
+    }
+
+    #[test]
+    fn witness_off_matches_witness_on_results() {
+        // The same workload, witness disarmed vs armed, must produce
+        // identical data results (the fast path changes bookkeeping only).
+        fn workload(m: &Mutex<Vec<u32>>, l: &RwLock<u32>) -> (Vec<u32>, u32) {
+            for i in 0..8 {
+                m.lock().push(i);
+                *l.write() += i;
+            }
+            (m.lock().clone(), *l.read())
+        }
+        let _serial = WITNESS_TESTS.lock().unwrap_or_else(|e| e.into_inner());
+        force_arm(false);
+        let off = workload(
+            &Mutex::ranked(10, "test.off_m", Vec::new()),
+            &RwLock::ranked(20, "test.off_l", 0),
+        );
+        force_arm(true);
+        let on = workload(
+            &Mutex::ranked(10, "test.on_m", Vec::new()),
+            &RwLock::ranked(20, "test.on_l", 0),
+        );
+        force_arm(false);
+        assert_eq!(off, on);
+    }
+
+    #[test]
+    fn unranked_locks_are_never_tracked() {
+        let _arm = armed();
+        let m = Mutex::new(0);
+        let l = RwLock::new(0);
+        let _g = m.lock();
+        let _r = l.read();
+        assert!(held_ranks().is_empty());
     }
 }

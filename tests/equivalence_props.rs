@@ -188,11 +188,17 @@ proptest! {
         case.agg = 0;
         let engine = Engine::new(build_db(&case.seqs));
         case.restriction = CellRestriction::LeftMaximalityMatchedGo;
-        let lm = engine.execute(&spec_for(&engine.db(), &case)).unwrap();
+        let spec = spec_for(&engine.db(), &case);
+
+        let lm = engine.execute(&spec).unwrap();
         case.restriction = CellRestriction::AllMatchedGo;
-        let all = engine.execute(&spec_for(&engine.db(), &case)).unwrap();
+        let spec = spec_for(&engine.db(), &case);
+
+        let all = engine.execute(&spec).unwrap();
         case.restriction = CellRestriction::LeftMaximalityDataGo;
-        let dg = engine.execute(&spec_for(&engine.db(), &case)).unwrap();
+        let spec = spec_for(&engine.db(), &case);
+
+        let dg = engine.execute(&spec).unwrap();
         prop_assert_eq!(lm.cuboid.len(), all.cuboid.len(), "same non-empty cells");
         for (k, v) in lm.cuboid.iter_sorted() {
             let a = all.cuboid.cells.get(k).and_then(|x| x.as_count()).unwrap_or(0);
@@ -212,9 +218,13 @@ proptest! {
         case.symbols.truncate(3);
         let engine = Engine::new(build_db(&case.seqs));
         case.kind = PatternKind::Substring;
-        let sub = engine.execute(&spec_for(&engine.db(), &case)).unwrap();
+        let spec = spec_for(&engine.db(), &case);
+
+        let sub = engine.execute(&spec).unwrap();
         case.kind = PatternKind::Subsequence;
-        let sseq = engine.execute(&spec_for(&engine.db(), &case)).unwrap();
+        let spec = spec_for(&engine.db(), &case);
+
+        let sseq = engine.execute(&spec).unwrap();
         for (k, v) in sub.cuboid.iter_sorted() {
             let s = sseq.cuboid.cells.get(k).and_then(|x| x.as_count()).unwrap_or(0);
             prop_assert!(
@@ -252,7 +262,9 @@ proptest! {
             EngineConfig { strategy: EngineStrategy::CounterBased, ..Default::default() },
         );
         case.level = 1;
-        let direct = direct_engine.execute(&spec_for(&direct_engine.db(), &case)).unwrap();
+        let spec = spec_for(&direct_engine.db(), &case);
+
+        let direct = direct_engine.execute(&spec).unwrap();
         prop_assert_eq!(&via_ops.cuboid.cells, &direct.cuboid.cells);
     }
 

@@ -196,13 +196,15 @@ fn bitmap_backend_agrees_on_synthetic_workload() {
             ..Default::default()
         },
     );
-    let a = list.execute(&spec_text(&list.db())).unwrap();
-    let b = bitmap.execute(&spec_text(&bitmap.db())).unwrap();
+    let list_spec = spec_text(&list.db());
+    let bitmap_spec = spec_text(&bitmap.db());
+    let a = list.execute(&list_spec).unwrap();
+    let b = bitmap.execute(&bitmap_spec).unwrap();
     assert_eq!(a.cuboid.cells, b.cuboid.cells);
     // Both then APPEND and still agree (exercises joins on both backends).
     let (_, a2) = list
         .execute_op(
-            &spec_text(&list.db()),
+            &list_spec,
             &Op::Append {
                 symbol: "Z".into(),
                 attr: 2,
@@ -212,7 +214,7 @@ fn bitmap_backend_agrees_on_synthetic_workload() {
         .unwrap();
     let (_, b2) = bitmap
         .execute_op(
-            &spec_text(&bitmap.db()),
+            &bitmap_spec,
             &Op::Append {
                 symbol: "Z".into(),
                 attr: 2,

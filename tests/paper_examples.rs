@@ -145,17 +145,17 @@ fn non_summarizability_s3() {
           WITH X AS location AT station, Y AS location AT station, Z AS location AT station
           LEFT-MAXIMALITY (x1, y1, z1)
     "#;
-    let fine = engine.execute(&parse(&engine.db(), q_xyz)).unwrap();
+    let spec_xyz = parse(&engine.db(), q_xyz);
+    let fine = engine.execute(&spec_xyz).unwrap();
+    // DE-TAIL via the engine's operation path (before taking the long
+    // read guard below — queries re-acquire the db lock themselves).
+    let (coarse_spec, coarse) = engine.execute_op(&spec_xyz, &Op::DeTail).unwrap();
+    assert_eq!(coarse_spec.template.render_head(), "SUBSTRING (X, Y)");
     let db = engine.db();
     let c1 = count_of(&db, &fine.cuboid, &["Pentagon", "Wheaton", "Pentagon"]);
     let c2 = count_of(&db, &fine.cuboid, &["Wheaton", "Pentagon", "Wheaton"]);
     let c3 = count_of(&db, &fine.cuboid, &["Pentagon", "Wheaton", "Glenmont"]);
     assert_eq!((c1, c2, c3), (1, 1, 1), "s3 contributes to all three cells");
-
-    // DE-TAIL via the engine's operation path.
-    let spec = parse(&engine.db(), q_xyz);
-    let (coarse_spec, coarse) = engine.execute_op(&spec, &Op::DeTail).unwrap();
-    assert_eq!(coarse_spec.template.render_head(), "SUBSTRING (X, Y)");
     let c4 = count_of(&db, &coarse.cuboid, &["Pentagon", "Wheaton"]);
     assert_eq!(c4, 1, "left-maximality assigns s3 once");
     assert_ne!(c4, c1 + c3, "summing finer aggregates would be wrong");
@@ -259,9 +259,9 @@ fn q1_full_pipeline_on_transit_data() {
             ..Default::default()
         },
     );
-    let cb_out = cb
-        .execute(&parse(&cb.db(), &q1.render(&engine.db())))
-        .unwrap();
+    let q1_text = q1.render(&engine.db());
+    let cb_spec = parse(&cb.db(), &q1_text);
+    let cb_out = cb.execute(&cb_spec).unwrap();
     assert_eq!(cb_out.cuboid.cells, out.cuboid.cells);
 }
 
@@ -285,15 +285,10 @@ fn sum_semantics_on_transit() {
           LEFT-MAXIMALITY (x1, y1)
           WITH x1.action = "in" AND y1.action = "out"
     "#;
-    let sum_all = engine
-        .execute(&parse(&engine.db(), &base.replace("{AGG}", "SUM(amount)")))
-        .unwrap();
-    let sum_first = engine
-        .execute(&parse(
-            &engine.db(),
-            &base.replace("{AGG}", "SUM-FIRST(amount)"),
-        ))
-        .unwrap();
+    let sum_all_spec = parse(&engine.db(), &base.replace("{AGG}", "SUM(amount)"));
+    let sum_all = engine.execute(&sum_all_spec).unwrap();
+    let sum_first_spec = parse(&engine.db(), &base.replace("{AGG}", "SUM-FIRST(amount)"));
+    let sum_first = engine.execute(&sum_first_spec).unwrap();
     // "in" events have amount 0, "out" events are negative: the all-events
     // sum is strictly negative wherever cells exist; first-event sums are 0.
     assert!(!sum_all.cuboid.is_empty());

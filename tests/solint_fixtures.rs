@@ -142,6 +142,85 @@ fn doc_knobs_reports_drift_in_both_directions() {
     assert!(findings.iter().any(|f| f.message.contains("SOLAP_OTHER")));
 }
 
+/// Arms the lock rules (`lock-order` / `no-blocking-in-event-loop`) on a
+/// fixture tree with its own `locks.toml`.
+fn lock_config(name: &str) -> Config {
+    let mut config = Config::bare(fixture(name));
+    config.locks_manifest = Some("locks.toml".into());
+    config.lock_dirs = vec!["src/".into()];
+    config
+}
+
+#[test]
+fn lock_order_flags_the_seeded_inversion() {
+    let findings = expect_only(&lock_config("lock_order/inversion"), Rule::LockOrder, 1);
+    assert_eq!(findings[0].file, "src/lib.rs");
+    assert_eq!(findings[0].line, 21, "the inner `low.lock()` in `bad`");
+    assert!(
+        findings[0].message.contains("inverts the lock hierarchy"),
+        "{}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn lock_order_flags_the_unranked_lock() {
+    let findings = expect_only(&lock_config("lock_order/unranked"), Rule::LockOrder, 1);
+    assert_eq!(findings[0].file, "src/lib.rs");
+    assert_eq!(findings[0].line, 7, "the `mystery` declaration");
+    assert!(
+        findings[0].message.contains("no rank"),
+        "{}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn lock_order_flags_the_cycle_closed_by_escaped_edges() {
+    let findings = expect_only(&lock_config("lock_order/cycle"), Rule::LockOrder, 1);
+    assert_eq!(findings[0].file, "src/lib.rs");
+    assert_eq!(
+        findings[0].line, 24,
+        "the escaped `grab_low()` call in `rev`"
+    );
+    assert!(
+        findings[0].message.contains("cycle") && findings[0].message.contains("cannot be escaped"),
+        "the escape silences the inversion but never the cycle: {}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn no_blocking_flags_the_engine_park_and_the_reachable_sleep() {
+    let mut config = lock_config("no_blocking");
+    config.event_loop_entries = vec!["src/lib.rs::Loop::run".into()];
+    config.event_loop_blocking = vec!["sleep".into(), "join".into()];
+    let findings = expect_only(&config, Rule::NoBlockingInEventLoop, 2);
+    let park = findings
+        .iter()
+        .find(|f| f.message.contains("fx.engine"))
+        .expect("the event_loop = false lock acquire");
+    assert_eq!((park.file.as_str(), park.line), ("src/lib.rs", 15));
+    let sleep = findings
+        .iter()
+        .find(|f| f.message.contains("sleep"))
+        .expect("the sleep reached through `backoff`");
+    assert_eq!((sleep.file.as_str(), sleep.line), ("src/lib.rs", 21));
+}
+
+#[test]
+fn stale_escape_flags_the_orphaned_waiver() {
+    let config = Config::bare(fixture("stale_escape"));
+    let findings = expect_only(&config, Rule::StaleEscape, 1);
+    assert_eq!(findings[0].file, "src/lib.rs");
+    assert_eq!(findings[0].line, 4, "the escape comment itself");
+    assert!(
+        findings[0].message.contains("stale"),
+        "{}",
+        findings[0].message
+    );
+}
+
 /// The clean fixture arms every rule at once and must produce nothing.
 #[test]
 fn clean_fixture_passes_with_all_rules_armed() {
@@ -156,6 +235,11 @@ fn clean_fixture_passes_with_all_rules_armed() {
     config.design_md = Some("DESIGN.md".into());
     config.readme_md = Some("README.md".into());
     config.metrics_file = Some("src/lib.rs".into());
+    config.locks_manifest = Some("locks.toml".into());
+    config.lock_rank_module = Some("src/rank.rs".into());
+    config.lock_dirs = vec!["src/".into()];
+    config.event_loop_entries = vec!["src/lib.rs::Gate::run".into()];
+    config.event_loop_blocking = vec!["sleep".into(), "join".into()];
     let analysis = run(&config);
     assert!(
         analysis.findings.is_empty(),
