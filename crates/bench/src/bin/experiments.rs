@@ -9,7 +9,8 @@
 //! timings dumped to `BENCH_profile.json`), `serve` (concurrent wire
 //! clients against the TCP server, dumped to `BENCH_serve.json`), `index`
 //! (list vs bitmap vs compressed posting-list backends, dumped to
-//! `BENCH_index.json`), or `all`. `--scale s` multiplies
+//! `BENCH_index.json`), `plan` (cost-based planner vs fixed strategies,
+//! dumped to `BENCH_plan.json`), or `all`. `--scale s` multiplies
 //! the paper's sequence counts `D` (1.0 = the paper's 100K–1M sizes;
 //! default 0.05 finishes in a few minutes).
 
@@ -588,6 +589,133 @@ fn index_bench(scale: f64) {
     println!("wrote BENCH_index.json");
 }
 
+/// Cost-based planner vs fixed strategies (DESIGN.md §15): runs the
+/// QuerySet A and B workloads under the planner (`Auto` + `plan`) and
+/// under fixed CB / fixed II with planning off, best-of-3 on fresh
+/// engines. Results must be identical cell-for-cell; the planner's total
+/// runtime must be within 10% of the best fixed strategy on every
+/// workload (the PR 10 acceptance bar — asserted, not just recorded).
+/// Writes `BENCH_plan.json`.
+fn plan_bench(scale: f64) {
+    println!("=== Plan: cost-based planner vs fixed strategies (QuerySet A/B) ===");
+    const REPS: usize = 3;
+    let d = ((200_000.0 * scale) as usize).max(100);
+    let workloads: Vec<(EventDb, solap_bench::plans::Plan)> = {
+        let db_a = synthetic(100, 20.0, 0.9, d, false);
+        let plan_a = query_set_a(&db_a, PatternKind::Substring, 5).expect("plan");
+        let db_b = synthetic(100, 20.0, 0.9, d, true);
+        let plan_b = query_set_b(&db_b).expect("plan");
+        vec![(db_a, plan_a), (db_b, plan_b)]
+    };
+    let configs: [(&str, Strategy, bool); 3] = [
+        ("planner", Strategy::Auto, true),
+        ("CB", Strategy::CounterBased, false),
+        ("II", Strategy::InvertedIndex, false),
+    ];
+    let mut json = String::from("{\"runs\":[");
+    let mut summary = String::from("\"summary\":[");
+    let mut first = true;
+    for (db, plan) in &workloads {
+        println!("--- {} ---", plan.name);
+        println!(
+            "  {:<8} {:>12} {:>10}   strategies taken",
+            "config", "runtime ms", "cells"
+        );
+        let mut runs: Vec<RunReport> = Vec::new();
+        for (label, strategy, use_planner) in configs {
+            // Best of REPS on fresh engines: the cost model re-seeds each
+            // time, so every rep measures the same plan, not a warm cache.
+            let best = (0..REPS)
+                .map(|_| {
+                    let config = EngineConfig {
+                        strategy,
+                        plan: use_planner,
+                        ..Default::default()
+                    };
+                    run_plan(db.clone(), plan, config, label).expect("run")
+                })
+                .min_by(|a, b| a.total_runtime().cmp(&b.total_runtime()))
+                .expect("REPS > 0");
+            let taken: Vec<String> = best
+                .steps
+                .iter()
+                .map(|s| format!("{}:{:.1}ms", s.strategy, s.runtime.as_secs_f64() * 1000.0))
+                .collect();
+            println!(
+                "  {:<8} {:>12.1} {:>10}   {}",
+                label,
+                best.total_runtime().as_secs_f64() * 1000.0,
+                best.steps.iter().map(|s| s.cells).sum::<usize>(),
+                taken.join(" ")
+            );
+            runs.push(best);
+        }
+        // The planner is a pure optimizer: identical cells per step.
+        for fixed in &runs[1..] {
+            for (p, f) in runs[0].steps.iter().zip(&fixed.steps) {
+                assert_eq!(
+                    p.cells, f.cells,
+                    "planner changed the answer on {} step {}",
+                    plan.name, p.label
+                );
+            }
+        }
+        let planner_ms = runs[0].total_runtime().as_secs_f64() * 1000.0;
+        let fixed_ms: Vec<f64> = runs[1..]
+            .iter()
+            .map(|r| r.total_runtime().as_secs_f64() * 1000.0)
+            .collect();
+        let best_fixed_ms = fixed_ms.iter().copied().fold(f64::INFINITY, f64::min);
+        let ratio = planner_ms / best_fixed_ms;
+        println!("  planner / best fixed = {ratio:.3}");
+        assert!(
+            ratio <= 1.10,
+            "planner lost more than 10% to a fixed strategy on {}: {planner_ms:.1} ms vs {best_fixed_ms:.1} ms",
+            plan.name
+        );
+        for r in &runs {
+            if !first {
+                json.push(',');
+            }
+            first = false;
+            json.push_str(&format!(
+                "{{\"plan\":\"{}\",\"config\":\"{}\",\"total_runtime_ms\":{:.3},\"steps\":[",
+                r.name,
+                r.config,
+                r.total_runtime().as_secs_f64() * 1000.0
+            ));
+            for (j, s) in r.steps.iter().enumerate() {
+                if j > 0 {
+                    json.push(',');
+                }
+                json.push_str(&format!(
+                    "{{\"label\":\"{}\",\"strategy\":\"{}\",\"runtime_ms\":{:.3},\"scanned\":{},\"cells\":{}}}",
+                    s.label,
+                    s.strategy,
+                    s.runtime.as_secs_f64() * 1000.0,
+                    s.scanned,
+                    s.cells
+                ));
+            }
+            json.push_str("]}");
+        }
+        if summary.len() > "\"summary\":[".len() {
+            summary.push(',');
+        }
+        summary.push_str(&format!(
+            "{{\"plan\":\"{}\",\"planner_ms\":{planner_ms:.3},\"cb_ms\":{:.3},\"ii_ms\":{:.3},\
+             \"best_fixed_ms\":{best_fixed_ms:.3},\"planner_over_best_fixed\":{ratio:.4}}}",
+            plan.name, fixed_ms[0], fixed_ms[1]
+        ));
+    }
+    summary.push(']');
+    json.push_str("],");
+    json.push_str(&summary);
+    json.push_str("}\n");
+    std::fs::write("BENCH_plan.json", &json).expect("write BENCH_plan.json");
+    println!("wrote BENCH_plan.json");
+}
+
 /// Streaming-ingestion throughput: events/second through the engine's
 /// store path at each durability level — pure in-memory, and write-ahead
 /// logged with `off`/`batch`/`always` fsync — with a live cuboid
@@ -742,6 +870,7 @@ fn main() {
             "profile" => profile_dump(scale),
             "serve" => serve_bench(scale),
             "index" => index_bench(scale),
+            "plan" => plan_bench(scale),
             "ingest" => ingest_bench(scale),
             "all" => {
                 table1(scale);
@@ -756,7 +885,7 @@ fn main() {
             }
             other => {
                 eprintln!(
-                    "unknown experiment `{other}` — table1|fig16|qa-vary-l|qb|qc|vary-theta|vary-i|subsequence|ablation|threads|profile|serve|index|ingest|all"
+                    "unknown experiment `{other}` — table1|fig16|qa-vary-l|qb|qc|vary-theta|vary-i|subsequence|ablation|threads|profile|serve|index|plan|ingest|all"
                 );
                 std::process::exit(2);
             }

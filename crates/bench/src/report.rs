@@ -137,6 +137,7 @@ mod tests {
                     index_bytes: 1000,
                     strategy: "II",
                     profile: Some(solap_eventdb::QueryProfile::default()),
+                    cuboid: None,
                 },
                 StepReport {
                     label: "Q2".into(),
@@ -146,6 +147,7 @@ mod tests {
                     index_bytes: 0,
                     strategy: "II",
                     profile: None,
+                    cuboid: None,
                 },
             ],
             precompute: Some((Duration::from_millis(2), 5000)),

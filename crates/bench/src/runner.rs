@@ -30,6 +30,9 @@ pub struct StepReport {
     /// The step's per-stage profile (`None` for synthetic reports built
     /// without executing a query).
     pub profile: Option<QueryProfile>,
+    /// The resulting cuboid (`None` for synthetic reports) — equivalence
+    /// tests compare runs cell-for-cell, not just by count.
+    pub cuboid: Option<Arc<SCuboid>>,
 }
 
 /// Metrics of a whole plan run.
@@ -183,6 +186,7 @@ pub fn run_plan(db: EventDb, plan: &Plan, config: EngineConfig, label: &str) -> 
                     index_bytes: out.stats.index_bytes_built,
                     strategy: out.stats.strategy,
                     profile: Some(out.profile.clone()),
+                    cuboid: Some(Arc::clone(&out.cuboid)),
                 });
                 current = Some((spec.clone(), Arc::clone(&out.cuboid)));
             }
@@ -200,6 +204,7 @@ pub fn run_plan(db: EventDb, plan: &Plan, config: EngineConfig, label: &str) -> 
                     index_bytes: out.stats.index_bytes_built,
                     strategy: out.stats.strategy,
                     profile: Some(out.profile.clone()),
+                    cuboid: Some(Arc::clone(&out.cuboid)),
                 });
                 current = Some((new_spec, Arc::clone(&out.cuboid)));
             }

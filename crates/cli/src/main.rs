@@ -94,6 +94,7 @@ impl Repl {
                     code: wire.code,
                     body: wire.body,
                     profile_json: wire.profile.map(|p| p.render()),
+                    plan_json: wire.plan.map(|p| p.render()),
                     quit: wire.quit,
                 };
                 (Some(raw), response)

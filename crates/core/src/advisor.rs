@@ -1,131 +1,22 @@
-//! The index-materialization advisor — the §4.2.2 open problem:
+//! Deprecated façade over the index-materialization advisor, which now
+//! lives in [`crate::plan`] (the §4.2.2 "which indices to materialize"
+//! open problem is a planning question, and the planner owns the cost
+//! model it should share).
 //!
-//! "Another interesting question concerns *which* inverted indices should
-//! be materialized offline. A related problem is thus about how to
-//! determine the lists to be built given a set of frequently asked
-//! queries."
-//!
-//! Given a representative workload (a set of S-cuboid specifications with
-//! frequencies) and a byte budget, the advisor chooses which **generic**
-//! indices (`L_m` over an `(attribute, level)` pair) to precompute. The
-//! cost model is the one the engine actually exhibits:
-//!
-//! * a query whose template signature has a cached prefix of length `k`
-//!   skips the base-build scan and joins up from `k` — the benefit of a
-//!   candidate `L_k` is the base-build work it saves, weighted by query
-//!   frequency;
-//! * a longer prefix saves more join rungs, but generic `L_m` size grows
-//!   steeply with `m` (measured by building on a sample);
-//! * benefit is claimed once per `(attr, level)` lane — a cached `L_3`
-//!   subsumes the `L_2` benefit for the same queries (the ladder joins
-//!   from the *largest* prefix).
-//!
-//! The selection is the classic greedy benefit-per-byte loop, which is the
-//! standard first-order answer for view/index selection problems.
+//! The old free-function pair multiplied arity with every new input
+//! (`advise`, then `advise_with_backend`, next `advise_with_stats`, …);
+//! the replacement is one entry point, [`Planner::advise`], taking a
+//! [`PlanContext`] that future inputs extend instead. These shims are kept
+//! for one release so downstream code migrates on its own schedule.
 
-use std::collections::HashMap;
+use solap_eventdb::{EventDb, Result, SequenceGroups};
+use solap_index::SetBackend;
 
-use solap_eventdb::{AttrId, EventDb, Result, SequenceGroups};
-use solap_index::{build_index, SetBackend};
-use solap_pattern::{PatternKind, PatternTemplate};
-
-use crate::spec::SCuboidSpec;
-
-/// A candidate generic index.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Candidate {
-    /// The attribute the index keys on.
-    pub attr: AttrId,
-    /// The abstraction level.
-    pub level: usize,
-    /// Pattern length `m`.
-    pub m: usize,
-    /// Substring or subsequence.
-    pub kind: PatternKind,
-    /// Estimated bytes (from the sample build, scaled).
-    pub estimated_bytes: usize,
-    /// Estimated benefit (frequency-weighted sequences-scanned saved).
-    pub benefit: f64,
-}
-
-/// The advisor's output: chosen candidates, in pick order.
-#[derive(Debug, Clone, Default)]
-pub struct Advice {
-    /// The picks, highest benefit-per-byte first.
-    pub chosen: Vec<Candidate>,
-    /// Candidates considered but not chosen.
-    pub rejected: Vec<Candidate>,
-    /// Total estimated bytes of the chosen set.
-    pub total_bytes: usize,
-}
-
-/// Workload entry: a query and how often it is expected to run.
-#[derive(Debug, Clone)]
-pub struct WorkloadQuery {
-    /// The query.
-    pub spec: SCuboidSpec,
-    /// Relative frequency (weight).
-    pub frequency: f64,
-}
-
-/// Builds candidate generic indices for a workload: for every `(attr,
-/// level, kind)` lane used by some query template, lengths `2..=max_m`
-/// (capped by the longest template on that lane).
-fn candidates_for(
-    workload: &[WorkloadQuery],
-    max_m: usize,
-) -> Vec<(AttrId, usize, PatternKind, usize)> {
-    let mut lanes: HashMap<(AttrId, usize, PatternKind), usize> = HashMap::new();
-    for q in workload {
-        let t = &q.spec.template;
-        for d in &t.dims {
-            let e = lanes.entry((d.attr, d.level, t.kind)).or_insert(0);
-            *e = (*e).max(t.m());
-        }
-    }
-    let mut out = Vec::new();
-    for ((attr, level, kind), longest) in lanes {
-        for m in 2..=longest.min(max_m) {
-            out.push((attr, level, kind, m));
-        }
-    }
-    out.sort_by_key(|&(a, l, k, m)| (a, l, k == PatternKind::Subsequence, m));
-    out
-}
-
-/// Estimates a candidate's size by building it over a sample of sequences
-/// and scaling linearly (list entries grow linearly with sequence count;
-/// the key space saturates, so linear scaling is a safe over-estimate).
-#[allow(clippy::too_many_arguments)]
-fn estimate_bytes(
-    db: &EventDb,
-    groups: &SequenceGroups,
-    attr: AttrId,
-    level: usize,
-    kind: PatternKind,
-    m: usize,
-    sample: usize,
-    backend: SetBackend,
-) -> Result<usize> {
-    let names: Vec<String> = (0..m).map(|i| format!("P{i}")).collect();
-    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
-    let bindings: Vec<(&str, AttrId, usize)> =
-        name_refs.iter().map(|&n| (n, attr, level)).collect();
-    let template = PatternTemplate::new(kind, &name_refs, &bindings)?;
-    let total = groups.total_sequences.max(1);
-    let take = sample.min(total);
-    let seqs = groups.iter_sequences().take(take);
-    let (index, _) = build_index(db, seqs, &template, backend)?;
-    Ok(index.heap_bytes() * total / take.max(1))
-}
+use crate::plan::Planner;
+pub use crate::plan::{apply_advice, Advice, Candidate, PlanContext, WorkloadQuery};
 
 /// Recommends which generic indices to precompute within `byte_budget`.
-///
-/// `sample` controls how many sequences the size estimation builds over
-/// (small samples are fast and adequate — sizes only gate the greedy
-/// ordering). Sizes are estimated under the engine's configured
-/// [`SetBackend`], so compressed deployments budget against compressed
-/// bytes, not list bytes — see [`advise_with_backend`].
+#[deprecated(since = "0.10.0", note = "use `plan::Planner::advise(&PlanContext)`")]
 pub fn advise(
     db: &EventDb,
     groups: &SequenceGroups,
@@ -133,17 +24,18 @@ pub fn advise(
     byte_budget: usize,
     sample: usize,
 ) -> Result<Advice> {
-    advise_with_backend(
+    Planner::advise(&PlanContext {
         db,
         groups,
         workload,
         byte_budget,
         sample,
-        SetBackend::default(),
-    )
+        backend: SetBackend::default(),
+    })
 }
 
 /// [`advise`] with an explicit sid-set encoding for the size estimates.
+#[deprecated(since = "0.10.0", note = "use `plan::Planner::advise(&PlanContext)`")]
 pub fn advise_with_backend(
     db: &EventDb,
     groups: &SequenceGroups,
@@ -152,98 +44,24 @@ pub fn advise_with_backend(
     sample: usize,
     backend: SetBackend,
 ) -> Result<Advice> {
-    let total_seqs = groups.total_sequences as f64;
-    let mut candidates = Vec::new();
-    for (attr, level, kind, m) in candidates_for(workload, 6) {
-        let estimated_bytes = estimate_bytes(db, groups, attr, level, kind, m, sample, backend)?;
-        // Benefit: every query on this lane with template length ≥ m avoids
-        // the full base-build scan (D sequences) on its first run, and
-        // deeper prefixes save join/verify rungs — approximated as one
-        // D-scan per rung covered.
-        let mut benefit = 0.0;
-        for q in workload {
-            let t = &q.spec.template;
-            let on_lane =
-                t.dims.iter().any(|d| d.attr == attr && d.level == level) && t.kind == kind;
-            if on_lane && t.m() >= m {
-                benefit += q.frequency * total_seqs * (m - 1) as f64;
-            }
-        }
-        candidates.push(Candidate {
-            attr,
-            level,
-            m,
-            kind,
-            estimated_bytes,
-            benefit,
-        });
-    }
-    // Greedy by marginal benefit per byte. A longer index on the same lane
-    // subsumes the shorter ones' benefit, so after picking one, re-derive
-    // marginal benefits: shorter prefixes on the lane become redundant for
-    // the queries the pick covers; longer ones only add their extra rungs.
-    let mut advice = Advice::default();
-    let mut remaining = candidates;
-    let mut picked_per_lane: HashMap<(AttrId, usize, PatternKind), usize> = HashMap::new();
-    loop {
-        let mut best: Option<(usize, f64)> = None;
-        for (i, c) in remaining.iter().enumerate() {
-            let lane = (c.attr, c.level, c.kind);
-            let covered = picked_per_lane.get(&lane).copied().unwrap_or(1);
-            if c.m <= covered {
-                continue; // subsumed
-            }
-            let marginal = c.benefit * ((c.m - covered) as f64 / (c.m - 1) as f64);
-            if c.estimated_bytes + advice.total_bytes > byte_budget {
-                continue;
-            }
-            let score = marginal / (c.estimated_bytes.max(1) as f64);
-            if best.is_none_or(|(_, s)| score > s) {
-                best = Some((i, score));
-            }
-        }
-        let Some((i, _)) = best else { break };
-        let c = remaining.remove(i);
-        picked_per_lane.insert((c.attr, c.level, c.kind), c.m);
-        advice.total_bytes += c.estimated_bytes;
-        advice.chosen.push(c);
-    }
-    advice.rejected = remaining;
-    Ok(advice)
-}
-
-/// Materializes the advice into an engine's index store; returns the bytes
-/// actually built.
-pub fn apply_advice(
-    engine: &crate::engine::Engine,
-    workload: &[WorkloadQuery],
-    advice: &Advice,
-) -> Result<usize> {
-    let mut built = 0;
-    for c in &advice.chosen {
-        // Precompute against every distinct sequence-group spec in the
-        // workload that uses this lane.
-        let mut done = std::collections::HashSet::new();
-        for q in workload {
-            let uses = q
-                .spec
-                .template
-                .dims
-                .iter()
-                .any(|d| d.attr == c.attr && d.level == c.level);
-            if uses && done.insert(q.spec.seq.fingerprint()) {
-                built += engine.precompute_index(&q.spec, c.attr, c.level, c.m)?;
-            }
-        }
-    }
-    Ok(built)
+    Planner::advise(&PlanContext {
+        db,
+        groups,
+        workload,
+        byte_budget,
+        sample,
+        backend,
+    })
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::engine::Engine;
+    use crate::spec::SCuboidSpec;
     use solap_eventdb::{AttrLevel, SortKey};
+    use solap_pattern::{PatternKind, PatternTemplate};
 
     fn db() -> EventDb {
         solap_datagen_shim::synthetic(40, 10.0, 400)
@@ -377,6 +195,29 @@ mod tests {
         let advice = advise(&db, &g, &workload, 0, 50).unwrap();
         assert!(advice.chosen.is_empty());
         assert!(!advice.rejected.is_empty());
+    }
+
+    #[test]
+    fn shim_and_plan_context_agree() {
+        let db = db();
+        let workload = vec![WorkloadQuery {
+            spec: spec(&db, &["X", "Y"], 0),
+            frequency: 1.0,
+        }];
+        let g = groups(&db, &workload[0].spec);
+        let via_shim =
+            advise_with_backend(&db, &g, &workload, 64 << 20, 50, SetBackend::default()).unwrap();
+        let via_ctx = crate::plan::Planner::advise(&PlanContext {
+            db: &db,
+            groups: &g,
+            workload: &workload,
+            byte_budget: 64 << 20,
+            sample: 50,
+            backend: SetBackend::default(),
+        })
+        .unwrap();
+        assert_eq!(via_shim.chosen, via_ctx.chosen);
+        assert_eq!(via_shim.total_bytes, via_ctx.total_bytes);
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -26,7 +26,10 @@ use crate::cuboid::SCuboid;
 use crate::iceberg::apply_min_support;
 use crate::ii::IiExecutor;
 use crate::ops::{self, Op};
-use crate::repo::CuboidRepo;
+use crate::plan::{
+    self, CostModel, PlanAlternative, PlanChoice, PlanInputs, PlanReport, Planner, QueryPlan,
+};
+use crate::repo::{CuboidRepo, RetentionPolicy};
 use crate::spec::SCuboidSpec;
 use crate::stats::{ExecStats, ScanMeter};
 
@@ -71,6 +74,12 @@ pub struct EngineConfig {
     /// thread to abort in-flight and future queries until
     /// [`CancelToken::reset`].
     pub cancel: CancelToken,
+    /// Whether [`Strategy::Auto`] uses the cost-based planner (CB vs II vs
+    /// ancestor reuse, costed by the engine's calibrated [`CostModel`]).
+    /// When `false`, `Auto` falls back to the legacy fixed heuristic
+    /// (subsequences with `m > 3` → CB, everything else → II). Defaults to
+    /// the `SOLAP_PLAN` environment variable (`off`/`0`/`false` disable).
+    pub plan: bool,
 }
 
 impl Default for EngineConfig {
@@ -84,6 +93,7 @@ impl Default for EngineConfig {
             timeout: timeout_from_env(),
             budget_cells: budget_from_env(),
             cancel: CancelToken::new(),
+            plan: plan_from_env(),
         }
     }
 }
@@ -124,6 +134,18 @@ fn budget_from_env() -> Option<u64> {
         .ok()
         .and_then(|v| v.trim().parse::<u64>().ok())
         .filter(|&c| c > 0)
+}
+
+/// Default planner switch: on unless the `SOLAP_PLAN` environment variable
+/// is `off`, `0` or `false`.
+fn plan_from_env() -> bool {
+    !matches!(
+        std::env::var("SOLAP_PLAN")
+            .ok()
+            .map(|v| v.trim().to_ascii_lowercase())
+            .as_deref(),
+        Some("off" | "0" | "false")
+    )
 }
 
 /// The result of one query: the cuboid plus execution statistics and the
@@ -180,6 +202,8 @@ pub struct EngineBuilder {
     seq_cache: (usize, usize),
     index_store: (usize, usize),
     cuboid_repo: (usize, usize),
+    retention_policy: RetentionPolicy,
+    model_path: Option<PathBuf>,
     log: Option<EventLog>,
     recovery: Option<RecoveryReport>,
 }
@@ -192,6 +216,8 @@ impl EngineBuilder {
             seq_cache: (64, 256 << 20),
             index_store: (256, 512 << 20),
             cuboid_repo: (128, 256 << 20),
+            retention_policy: RetentionPolicy::from_env(),
+            model_path: None,
             log: None,
             recovery: None,
         }
@@ -210,7 +236,12 @@ impl EngineBuilder {
     }
 
     /// [`EngineBuilder::durable`] with an explicit [`FsyncPolicy`].
-    pub fn durable_with_policy(self, dir: impl AsRef<Path>, policy: FsyncPolicy) -> Result<Self> {
+    pub fn durable_with_policy(
+        mut self,
+        dir: impl AsRef<Path>,
+        policy: FsyncPolicy,
+    ) -> Result<Self> {
+        self.model_path = Some(dir.as_ref().join("cost_model.tsv"));
         let (log, rows, report) = EventLog::open(dir.as_ref(), policy)?;
         self.adopt_log(log, rows, report)
     }
@@ -219,11 +250,12 @@ impl EngineBuilder {
     /// threshold (tests and benches use small segments to exercise
     /// rotation through the engine path).
     pub fn durable_with_options(
-        self,
+        mut self,
         dir: impl AsRef<Path>,
         policy: FsyncPolicy,
         segment_bytes: u64,
     ) -> Result<Self> {
+        self.model_path = Some(dir.as_ref().join("cost_model.tsv"));
         let (log, rows, report) =
             EventLog::open_with_segment_bytes(dir.as_ref(), policy, segment_bytes)?;
         self.adopt_log(log, rows, report)
@@ -320,6 +352,19 @@ impl EngineBuilder {
         self
     }
 
+    /// Which cuboids the repository sacrifices when over budget (defaults
+    /// to `SOLAP_REPO_POLICY`, falling back to benefit-per-byte).
+    pub fn retention_policy(mut self, policy: RetentionPolicy) -> Self {
+        self.retention_policy = policy;
+        self
+    }
+
+    /// Whether [`Strategy::Auto`] uses the cost-based planner.
+    pub fn plan(mut self, on: bool) -> Self {
+        self.config.plan = on;
+        self
+    }
+
     /// Replaces the whole configuration at once (the builder's setters
     /// then refine it). Bench matrices that already hold an
     /// [`EngineConfig`] use this instead of poking fields.
@@ -336,6 +381,13 @@ impl EngineBuilder {
         // the one every surface goes through.
         solap_eventdb::failpoint::init();
         parking_lot::witness_init();
+        // Durable engines resume their calibrated unit costs; everything
+        // else starts at the seeds.
+        let cost_model = self
+            .model_path
+            .as_deref()
+            .map(CostModel::load_from)
+            .unwrap_or_default();
         Engine {
             db: RwLock::ranked(parking_lot::rank::ENGINE_DB, "engine.db", self.db),
             log: Mutex::ranked(parking_lot::rank::ENGINE_LOG, "engine.log", self.log),
@@ -343,8 +395,14 @@ impl EngineBuilder {
             config: self.config,
             seq_cache: SequenceCache::new(self.seq_cache.0, self.seq_cache.1),
             index_store: IndexStore::new(self.index_store.0, self.index_store.1),
-            cuboid_repo: CuboidRepo::new(self.cuboid_repo.0, self.cuboid_repo.1),
+            cuboid_repo: CuboidRepo::new(
+                self.cuboid_repo.0,
+                self.cuboid_repo.1,
+                self.retention_policy,
+            ),
             live: Mutex::ranked(parking_lot::rank::ENGINE_LIVE, "engine.live", Vec::new()),
+            cost_model,
+            model_path: self.model_path,
         }
     }
 }
@@ -393,6 +451,10 @@ pub struct Engine {
     /// Recently executed specs (MRU last), the candidates for incremental
     /// cache maintenance when events are appended.
     live: Mutex<Vec<SCuboidSpec>>,
+    /// Calibrated unit costs driving [`Strategy::Auto`] planning.
+    cost_model: CostModel,
+    /// Where [`Engine::sync`] persists the cost model (durable engines).
+    model_path: Option<PathBuf>,
 }
 
 impl Engine {
@@ -442,7 +504,12 @@ impl Engine {
 
     /// Forces an fsync of the active WAL regardless of policy (no-op on
     /// non-durable engines). Orderly-shutdown hook for `SOLAP_FSYNC=off`.
+    /// Also persists the calibrated cost model (best-effort — planning
+    /// falls back to the seed constants on the next open if it is lost).
     pub fn sync(&self) -> Result<()> {
+        if let Some(path) = &self.model_path {
+            let _ = self.cost_model.save_to(path);
+        }
         match self.log.lock().as_mut() {
             Some(log) => log.sync(),
             None => Ok(()),
@@ -702,6 +769,11 @@ impl Engine {
         &self.seq_cache
     }
 
+    /// The calibrated cost model driving [`Strategy::Auto`] planning.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
+    }
+
     /// The sequence groups for a spec (cached).
     pub fn sequence_groups(&self, spec: &SCuboidSpec) -> Result<Arc<SequenceGroups>> {
         let db = self.db.read();
@@ -718,6 +790,108 @@ impl Engine {
                 }
             }
             s => s,
+        }
+    }
+
+    /// Whether the cost-based planner decides `Strategy::Auto` queries
+    /// under this configuration (vs the legacy fixed heuristic).
+    fn planner_active(config: &EngineConfig) -> bool {
+        config.plan && config.strategy == Strategy::Auto
+    }
+
+    /// Whether a base inverted index usable for `spec` is already stored —
+    /// the full template signature or any cached prefix of length ≥ 2, at
+    /// `slice 0` of the first sequence group. Non-touching probes only.
+    fn base_index_cached(&self, db: &EventDb, spec: &SCuboidSpec) -> bool {
+        let gfp = groups_fp(spec, db.version());
+        let sig = spec.template.signature();
+        (2..=spec.template.m()).rev().any(|k| {
+            self.index_store.contains(&IndexKey {
+                groups_fp: gfp,
+                group_idx: 0,
+                sig: sig.prefix(k),
+                slice_fp: 0,
+            })
+        })
+    }
+
+    /// Assembles [`PlanInputs`] from the engine's caches and runs the
+    /// planner. Every cache probe is non-touching (`peek`/`contains`), so
+    /// EXPLAIN shares this path without perturbing recency or hit rates;
+    /// `execute` re-fetches the chosen ancestor through [`CuboidRepo::get`]
+    /// so actual reuse does count as repository demand.
+    ///
+    /// Reuse candidates come from the recently-executed spec list (MRU
+    /// first) plus, for lattice-coarsening operations, the pre-operation
+    /// spec — the ideal one-step-finer roll-up source.
+    fn plan_query(
+        &self,
+        db: &EventDb,
+        spec: &SCuboidSpec,
+        sequences: Option<u64>,
+        hint: Option<(&SCuboidSpec, &Op)>,
+        config: &EngineConfig,
+    ) -> (usize, Vec<QueryPlan>) {
+        let mut candidates: Vec<SCuboidSpec> = Vec::new();
+        if let Some((prev, op)) = hint {
+            if op.coarsens() {
+                candidates.push((*prev).clone());
+            }
+        }
+        {
+            let live = self.live.lock();
+            candidates.extend(live.iter().rev().cloned());
+        }
+        let version = db.version();
+        let ancestors = if Engine::planner_active(config) && config.use_cuboid_repo {
+            Planner::reuse_candidates(spec, candidates.into_iter(), |c| {
+                self.cuboid_repo
+                    .peek(c.fingerprint(), version)
+                    .map(|cuboid| cuboid.len())
+            })
+        } else {
+            Vec::new()
+        };
+        let inputs = PlanInputs {
+            spec,
+            events: db.len() as u64,
+            sequences,
+            base_index_cached: self.base_index_cached(db, spec),
+            ancestors,
+        };
+        Planner::new(&self.cost_model).plan(&inputs)
+    }
+
+    /// Feeds one executed query's actuals back into the cost model —
+    /// the EWMA calibration loop. Only planner-decided executions
+    /// calibrate: fixed-strategy runs measure a strategy the model was
+    /// not allowed to avoid, which would skew it.
+    fn observe_execution(
+        &self,
+        spec: &SCuboidSpec,
+        stats: &ExecStats,
+        events: u64,
+        sequences: u64,
+    ) {
+        let elapsed_ns = stats.elapsed.as_nanos() as u64;
+        match stats.strategy {
+            "CB" => self.cost_model.observe_cb(elapsed_ns, events),
+            "II" => {
+                // Attribute the elapsed time to whichever phase dominated.
+                // `indices_built` alone cannot discriminate: the ladder
+                // builds (and caches) a derived index per rung, so it is
+                // non-zero for join-dominated queries too. A *base* build
+                // is the one that scans (nearly) every sequence.
+                let base_build_dominated = stats.indices_built > 0
+                    && stats.sequences_scanned.saturating_mul(2) >= sequences;
+                if base_build_dominated {
+                    self.cost_model.observe_ii_build(elapsed_ns, events);
+                } else {
+                    self.cost_model
+                        .observe_ii_join(elapsed_ns, CostModel::predicted_joins(spec, sequences));
+                }
+            }
+            _ => {}
         }
     }
 
@@ -801,77 +975,98 @@ impl Engine {
         )
     }
 
-    /// Renders the execution plan for `spec` without running it — the
-    /// query-language `EXPLAIN` surface. The output is deterministic for a
-    /// given engine configuration and database, which the golden tests pin.
-    pub fn explain(&self, spec: &SCuboidSpec) -> Result<String> {
+    /// Builds the execution plan for `spec` without running it — the
+    /// query-language `EXPLAIN` surface. Returns a structured
+    /// [`PlanReport`] (the dispatch layer owns text/JSON rendering). The
+    /// report is deterministic for a given engine state, which the golden
+    /// tests pin, and building it never executes, populates caches or
+    /// touches recency — only non-touching probes.
+    pub fn explain(&self, spec: &SCuboidSpec) -> Result<PlanReport> {
         self.explain_configured(spec, &self.config)
     }
 
     /// [`Engine::explain`] under a caller-supplied configuration — see
     /// [`Engine::execute_configured`].
-    pub fn explain_configured(&self, spec: &SCuboidSpec, config: &EngineConfig) -> Result<String> {
+    pub fn explain_configured(
+        &self,
+        spec: &SCuboidSpec,
+        config: &EngineConfig,
+    ) -> Result<PlanReport> {
         let db = self.db.read();
         spec.validate(&db)?;
-        let strategy = Engine::effective_strategy(config, spec);
-        let (name, why) = match (config.strategy, strategy) {
-            (Strategy::Auto, Strategy::CounterBased) => {
-                ("CB", "auto: subsequence template with m > 3")
+        let planner_on = Engine::planner_active(config);
+        // Never build sequence groups for EXPLAIN — use them only if a
+        // prior execution already cached them.
+        let sequences = self
+            .seq_cache
+            .cached(&spec.seq, db.version())
+            .map(|g| g.total_sequences as u64);
+        let (cost_idx, plans) = self.plan_query(&db, spec, sequences, None, config);
+        let chosen_idx = if planner_on {
+            cost_idx
+        } else {
+            // Alternatives are still enumerated and costed for visibility,
+            // but the choice is forced: CB is plan 0, II is plan 1.
+            match Engine::effective_strategy(config, spec) {
+                Strategy::CounterBased => 0,
+                _ => 1,
             }
-            (Strategy::Auto, _) => ("II", "auto: indexable template"),
-            (_, Strategy::CounterBased) => ("CB", "configured"),
-            (_, _) => ("II", "configured"),
         };
-        let mut out = String::new();
-        out.push_str("query:\n");
-        for line in spec.render(&db).lines() {
-            out.push_str("  ");
-            out.push_str(line);
-            out.push('\n');
-        }
-        out.push_str("plan:\n");
-        out.push_str(&format!("  strategy: {name} ({why})\n"));
-        out.push_str(&format!(
-            "  backend: {:?}, threads: {}\n",
-            config.backend, config.threads
-        ));
-        out.push_str(&format!(
-            "  step 1-2 (select + cluster): scan {} events, filter {}\n",
-            db.len(),
-            if spec.seq.filter == Pred::True {
+        let strategy = plans
+            .get(chosen_idx)
+            .map(|p| p.label().to_string())
+            .unwrap_or_else(|| "II".to_string());
+        let (mode, why) = if planner_on {
+            (
+                "cost",
+                format!(
+                    "cost model: {strategy} predicted cheapest of {} alternatives",
+                    plans.len()
+                ),
+            )
+        } else if config.strategy == Strategy::Auto {
+            (
+                "heuristic",
+                if strategy == "CB" {
+                    "auto: subsequence template with m > 3".to_string()
+                } else {
+                    "auto: indexable template".to_string()
+                },
+            )
+        } else {
+            ("configured", "configured".to_string())
+        };
+        let alternatives = plans
+            .iter()
+            .enumerate()
+            .map(|(i, p)| PlanAlternative {
+                label: p.label().to_string(),
+                detail: p.why.clone(),
+                cost: p.cost,
+                chosen: i == chosen_idx,
+            })
+            .collect();
+        Ok(PlanReport {
+            query: spec.render(&db),
+            mode,
+            strategy,
+            why,
+            backend: format!("{:?}", config.backend),
+            threads: config.threads,
+            events: db.len() as u64,
+            filter: if spec.seq.filter == Pred::True {
                 "TRUE".to_string()
             } else {
                 spec.seq.filter.render(&db)
-            }
-        ));
-        out.push_str(&format!(
-            "  step 3-4 (order + form groups): {} sort key(s), {} group attr(s)\n",
-            spec.seq.sequence_by.len(),
-            spec.seq.group_by.len()
-        ));
-        out.push_str(&format!(
-            "  pattern: {:?} template, m = {}\n",
-            spec.template.kind,
-            spec.template.m()
-        ));
-        match strategy {
-            Strategy::CounterBased => {
-                out.push_str("  aggregate: counter-based scan of every group (§4.2.1)\n");
-            }
-            _ => {
-                out.push_str(
-                    "  aggregate: QUERYINDICES join ladder over inverted lists (§4.2.2)\n",
-                );
-            }
-        }
-        if let Some(ms) = spec.min_support {
-            out.push_str(&format!("  iceberg: drop cells with COUNT < {ms}\n"));
-        }
-        out.push_str(&format!(
-            "  caches: cuboid repo {}, sequence cache shared per (filter, cluster, order, group)\n",
-            if config.use_cuboid_repo { "on" } else { "off" }
-        ));
-        Ok(out)
+            },
+            sort_keys: spec.seq.sequence_by.len(),
+            group_attrs: spec.seq.group_by.len(),
+            template_kind: format!("{:?}", spec.template.kind),
+            m: spec.template.m(),
+            min_support: spec.min_support,
+            use_cuboid_repo: config.use_cuboid_repo,
+            alternatives,
+        })
     }
 
     /// Governed + instrumented query execution: wraps [`Engine::execute_inner`]
@@ -983,70 +1178,131 @@ impl Engine {
         let groups = self.seq_cache.get_or_build_governed(&db, &spec.seq, &gov)?;
         let mut meter = ScanMeter::new();
         let mut stats = ExecStats::default();
-        let strategy = Engine::effective_strategy(config, spec);
-        let mut cuboid = match strategy {
-            Strategy::CounterBased => {
-                stats.strategy = "CB";
-                if config.threads > 1 {
-                    counter_based_parallel_governed(
-                        &db,
-                        &groups,
-                        spec,
-                        config.threads,
-                        &mut meter,
-                        &gov,
-                    )?
-                } else {
-                    counter_based_governed(
-                        &db,
-                        &groups,
-                        spec,
-                        config.counter_mode,
-                        &mut meter,
-                        &gov,
-                    )?
+        // Cost-based planning: enumerate and cost the alternatives, then
+        // execute the predicted-cheapest one. When the planner is off
+        // (fixed strategy, or `plan: false`) the legacy heuristic decides
+        // and no costing happens.
+        let planner_on = Engine::planner_active(config);
+        let planned = planner_on
+            .then(|| self.plan_query(&db, spec, Some(groups.total_sequences as u64), hint, config));
+        if let (Some(rec), Some((_, plans))) = (&recorder, &planned) {
+            rec.add(Counter::PlanAlternativesConsidered, plans.len() as u64);
+        }
+        let choice = planned
+            .as_ref()
+            .and_then(|(idx, plans)| plans.get(*idx))
+            .map(|p| p.choice.clone())
+            .unwrap_or_else(|| match Engine::effective_strategy(config, spec) {
+                Strategy::CounterBased => PlanChoice::CounterBased,
+                _ => PlanChoice::InvertedIndex,
+            });
+        // Ancestor reuse executes first: on any soundness refusal (source
+        // evicted between costing and now, mapping failure) fall back to the
+        // cheaper of the two always-available scan strategies. Governor
+        // exhaustion and cancellation propagate — they are not refusals.
+        let mut reuse_cells = 0u64;
+        let mut rolled: Option<SCuboid> = None;
+        if let PlanChoice::AncestorRollUp { source } = &choice {
+            if let Some(src) = self.cuboid_repo.get(source.fingerprint(), db.version()) {
+                match plan::roll_up_cuboid(&db, source, &src, spec, &gov) {
+                    Ok((cuboid, merged)) => {
+                        stats.strategy = "reuse";
+                        reuse_cells = merged;
+                        if let Some(rec) = &recorder {
+                            rec.add(Counter::PlanAncestorReuses, 1);
+                            rec.add(Counter::PlanCellsMerged, merged);
+                        }
+                        rolled = Some(cuboid);
+                    }
+                    Err(e) if matches!(e.code(), "resource_exhausted" | "cancelled") => {
+                        return Err(e);
+                    }
+                    Err(_) => {}
                 }
             }
-            Strategy::InvertedIndex | Strategy::Auto => {
-                stats.strategy = "II";
-                let ex = IiExecutor::new(
+        }
+        let use_cb = match (&rolled, &choice) {
+            (Some(_), _) => false,
+            (None, PlanChoice::CounterBased) => true,
+            (None, PlanChoice::InvertedIndex) => false,
+            (None, PlanChoice::AncestorRollUp { .. }) => {
+                // Fallback after a reuse refusal: cheaper of CB (plan 0)
+                // and II (plan 1) under the same cost model.
+                planned
+                    .as_ref()
+                    .map(|(_, plans)| match (plans.first(), plans.get(1)) {
+                        (Some(cb), Some(ii)) => cb.cost.total_nanos <= ii.cost.total_nanos,
+                        _ => false,
+                    })
+                    .unwrap_or(false)
+            }
+        };
+        let mut cuboid = if let Some(cuboid) = rolled {
+            cuboid
+        } else if use_cb {
+            stats.strategy = "CB";
+            if config.threads > 1 {
+                counter_based_parallel_governed(
                     &db,
                     &groups,
-                    groups_fp(spec, db.version()),
-                    &self.index_store,
-                    config.backend,
-                )
-                .with_threads(config.threads)
-                .with_governor(&gov);
-                if let Some((prev, op)) = hint {
-                    // Preparation only touches the index store; on any
-                    // refusal the generic QUERYINDICES path takes over.
-                    match op {
-                        Op::PRollUp { .. } => {
-                            ex.prepare_p_roll_up(&prev.template, &spec.template, &mut stats)?;
-                        }
-                        Op::PDrillDown { .. } => {
-                            ex.prepare_p_drill_down(&prev.template, spec, &mut meter, &mut stats)?;
-                        }
-                        Op::Prepend { .. } => {
-                            ex.prepare_prepend(
-                                &prev.template,
-                                &spec.template,
-                                &mut meter,
-                                &mut stats,
-                            )?;
-                        }
-                        _ => {}
-                    }
-                }
-                ex.execute(spec, &mut meter, &mut stats)?
+                    spec,
+                    config.threads,
+                    &mut meter,
+                    &gov,
+                )?
+            } else {
+                counter_based_governed(&db, &groups, spec, config.counter_mode, &mut meter, &gov)?
             }
+        } else {
+            stats.strategy = "II";
+            let ex = IiExecutor::new(
+                &db,
+                &groups,
+                groups_fp(spec, db.version()),
+                &self.index_store,
+                config.backend,
+            )
+            .with_threads(config.threads)
+            .with_governor(&gov);
+            if let Some((prev, op)) = hint {
+                // Preparation only touches the index store; on any
+                // refusal the generic QUERYINDICES path takes over.
+                match op {
+                    Op::PRollUp { .. } => {
+                        ex.prepare_p_roll_up(&prev.template, &spec.template, &mut stats)?;
+                    }
+                    Op::PDrillDown { .. } => {
+                        ex.prepare_p_drill_down(&prev.template, spec, &mut meter, &mut stats)?;
+                    }
+                    Op::Prepend { .. } => {
+                        ex.prepare_prepend(&prev.template, &spec.template, &mut meter, &mut stats)?;
+                    }
+                    _ => {}
+                }
+            }
+            ex.execute(spec, &mut meter, &mut stats)?
         };
         if let Some(ms) = spec.min_support {
             apply_min_support(&mut cuboid, ms);
         }
         stats.sequences_scanned = meter.count();
         stats.elapsed = start.elapsed();
+        if planner_on {
+            // Calibrate the cost model from what actually ran — only for
+            // planner-decided executions, so fixed-strategy runs don't teach
+            // the model about a strategy it was not allowed to avoid.
+            if stats.strategy == "reuse" {
+                self.cost_model
+                    .observe_reuse(stats.elapsed.as_nanos() as u64, reuse_cells);
+            } else {
+                self.observe_execution(
+                    spec,
+                    &stats,
+                    db.len() as u64,
+                    groups.total_sequences as u64,
+                );
+            }
+        }
         let mut profile = if let Some(rec) = &recorder {
             rec.add(Counter::SequencesScanned, meter.count());
             rec.add(Counter::CellsMaterialized, cuboid.len() as u64);
@@ -1064,8 +1320,12 @@ impl Engine {
         let cuboid = Arc::new(cuboid);
         if config.use_cuboid_repo {
             fail_point!("engine.insert");
-            self.cuboid_repo
-                .insert(fp, db.version(), Arc::clone(&cuboid));
+            self.cuboid_repo.insert(
+                fp,
+                db.version(),
+                Arc::clone(&cuboid),
+                stats.elapsed.as_nanos() as u64,
+            );
         }
         Ok(QueryOutput {
             cuboid,
@@ -1114,7 +1374,7 @@ fn groups_fp(spec: &SCuboidSpec, db_version: u64) -> u64 {
 mod tests {
     use super::*;
     use solap_eventdb::{AttrLevel, CmpOp, ColumnType, EventDbBuilder, SortKey, Value};
-    use solap_pattern::{MatchPred, PatternTemplate};
+    use solap_pattern::{CellRestriction, MatchPred, PatternTemplate};
 
     fn fig8_engine(config: EngineConfig) -> Engine {
         let mut db = EventDbBuilder::new()
@@ -1359,8 +1619,18 @@ mod tests {
         let a = e.explain(&spec).unwrap();
         let b = e.explain(&spec).unwrap();
         assert_eq!(a, b);
-        assert!(a.contains("strategy: II"));
-        assert!(a.contains("SELECT"));
+        assert_eq!(a.strategy, "II");
+        assert_eq!(a.mode, "cost");
+        assert!(a.query.contains("SELECT"));
+        assert!(a.alternatives.len() >= 2, "{:?}", a.alternatives);
+        assert_eq!(a.chosen().unwrap().label, "II");
+        // The chosen alternative is the predicted-cheapest one.
+        let min = a
+            .alternatives
+            .iter()
+            .map(|alt| alt.cost.total_nanos)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(a.chosen().unwrap().cost.total_nanos, min);
         // EXPLAIN must not populate the cuboid repository.
         let out = e.execute(&spec).unwrap();
         assert!(!out.stats.cuboid_cache_hit);
@@ -1378,7 +1648,196 @@ mod tests {
         .unwrap();
         spec.mpred = MatchPred::True;
         let plan = e.explain(&spec).unwrap();
-        assert!(plan.contains("strategy: CB (auto: subsequence template with m > 3)"));
+        assert_eq!(plan.strategy, "CB");
+        assert_eq!(plan.mode, "cost");
+        assert!(plan.alternatives.len() >= 2);
+        // With the planner disabled, the legacy heuristic reaches the same
+        // answer and says why in its own words.
+        let legacy = e
+            .explain_configured(
+                &spec,
+                &EngineConfig {
+                    plan: false,
+                    ..EngineConfig::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(legacy.strategy, "CB");
+        assert_eq!(legacy.mode, "heuristic");
+        assert_eq!(legacy.why, "auto: subsequence template with m > 3");
+    }
+
+    /// The Figure-8 sequences replicated `reps` times under fresh sids:
+    /// big enough that per-unit work dominates the cost estimates, small
+    /// enough to stay fast. Distinct attribute values don't grow, so
+    /// cuboids stay tiny and ancestor reuse is the predicted-cheapest plan.
+    fn big_engine(reps: i64, config: EngineConfig) -> Engine {
+        let mut db = EventDbBuilder::new()
+            .dimension("sid", ColumnType::Int)
+            .dimension("pos", ColumnType::Int)
+            .dimension("location", ColumnType::Str)
+            .dimension("action", ColumnType::Str)
+            .build()
+            .unwrap();
+        let seqs: [&[&str]; 4] = [
+            &[
+                "Glenmont", "Pentagon", "Pentagon", "Wheaton", "Wheaton", "Pentagon",
+            ],
+            &["Pentagon", "Wheaton", "Wheaton", "Pentagon"],
+            &["Clarendon", "Pentagon"],
+            &["Wheaton", "Clarendon", "Deanwood", "Wheaton"],
+        ];
+        for rep in 0..reps {
+            for (sid, stations) in seqs.iter().enumerate() {
+                for (i, st) in stations.iter().enumerate() {
+                    let action = if i % 2 == 0 { "in" } else { "out" };
+                    db.push_row(&[
+                        Value::Int(rep * 4 + sid as i64),
+                        Value::Int(i as i64),
+                        Value::from(*st),
+                        Value::from(action),
+                    ])
+                    .unwrap();
+                }
+            }
+        }
+        db.set_base_level_name(2, "station");
+        db.attach_str_level(2, "district", |s| {
+            if s == "Pentagon" || s == "Clarendon" {
+                "D10".into()
+            } else {
+                "D20".into()
+            }
+        })
+        .unwrap();
+        Engine::with_config(db, config)
+    }
+
+    #[test]
+    fn planner_rolls_up_materialized_ancestor() {
+        let e = big_engine(50, EngineConfig::default());
+        let mut qa = q3(&e.db());
+        qa.mpred = MatchPred::True;
+        qa.seq.group_by = vec![AttrLevel::new(2, 0)];
+        e.execute(&qa).unwrap();
+        // Global ROLL-UP (station → district): the materialized Qa cuboid
+        // is a finer ancestor the planner can merge instead of re-scanning
+        // 800 events or re-building indices.
+        let (coarse, out) = e.execute_op(&qa, &Op::RollUp { attr: 2 }).unwrap();
+        assert_eq!(out.stats.strategy, "reuse", "{:?}", out.stats);
+        assert_eq!(out.stats.sequences_scanned, 0);
+        if out.profile.detailed {
+            assert_eq!(
+                out.profile
+                    .counter(solap_eventdb::Counter::PlanAncestorReuses),
+                1
+            );
+            assert!(out.profile.counter(solap_eventdb::Counter::PlanCellsMerged) > 0);
+        }
+        // Bit-identical to computing the coarse cuboid from scratch.
+        let cb = big_engine(
+            50,
+            EngineConfig {
+                strategy: Strategy::CounterBased,
+                ..Default::default()
+            },
+        );
+        let expect = cb.execute(&coarse).unwrap();
+        assert_eq!(out.cuboid.cells, expect.cuboid.cells);
+    }
+
+    #[test]
+    fn explain_lists_ancestor_reuse_for_p_roll_up() {
+        let e = big_engine(50, EngineConfig::default());
+        let mut qa = q3(&e.db());
+        qa.mpred = MatchPred::True;
+        qa = qa.with_restriction(CellRestriction::AllMatchedGo);
+        e.execute(&qa).unwrap();
+        let coarse = {
+            let db = e.db();
+            ops::apply(&db, &qa, &Op::PRollUp { dim: "Y".into() }).unwrap()
+        };
+        let report = e.explain(&coarse).unwrap();
+        assert_eq!(report.mode, "cost");
+        assert!(
+            report.alternatives.len() >= 3,
+            "CB, II and ancestor reuse must all be costed: {:?}",
+            report.alternatives
+        );
+        assert_eq!(report.chosen().unwrap().label, "reuse");
+        // EXPLAIN costed a repository candidate but must not have touched
+        // its recency or produced a cuboid.
+        let out = e.execute(&coarse).unwrap();
+        assert!(!out.stats.cuboid_cache_hit);
+        assert_eq!(out.stats.strategy, "reuse");
+    }
+
+    #[test]
+    fn cost_model_survives_restart() {
+        let dir = std::env::temp_dir().join(format!("solap-engine-model-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let schema = || {
+            EventDbBuilder::new()
+                .dimension("sid", ColumnType::Int)
+                .dimension("pos", ColumnType::Int)
+                .dimension("location", ColumnType::Str)
+                .dimension("action", ColumnType::Str)
+                .build()
+                .unwrap()
+        };
+        {
+            let e = Engine::builder(schema())
+                .durable_with_policy(&dir, solap_eventdb::FsyncPolicy::Always)
+                .unwrap()
+                .build();
+            // A 1µs-per-event CB sample: seed 120 blends to 296.
+            e.cost_model().observe_cb(10_000_000, 10_000);
+            e.sync().unwrap();
+        }
+        let e = Engine::builder(schema())
+            .durable_with_policy(&dir, solap_eventdb::FsyncPolicy::Always)
+            .unwrap()
+            .build();
+        let (name, unit) = e.cost_model().units()[0];
+        assert_eq!(name, "cb_scan_ns");
+        assert!((unit - 296.0).abs() < 1e-9, "{unit}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn planner_off_keeps_legacy_heuristic() {
+        let e = fig8_engine(EngineConfig {
+            plan: false,
+            ..Default::default()
+        });
+        let mut spec = q3(&e.db());
+        spec.template = PatternTemplate::new(
+            PatternKind::Subsequence,
+            &["A", "B", "C", "D"],
+            &[("A", 2, 0), ("B", 2, 0), ("C", 2, 0), ("D", 2, 0)],
+        )
+        .unwrap();
+        spec.mpred = MatchPred::True;
+        let out = e.execute(&spec).unwrap();
+        assert_eq!(out.stats.strategy, "CB");
+        if out.profile.detailed {
+            assert_eq!(
+                out.profile
+                    .counter(solap_eventdb::Counter::PlanAlternativesConsidered),
+                0,
+                "no costing when the planner is off"
+            );
+        }
+        let on = fig8_engine(EngineConfig::default());
+        let q = q3(&on.db());
+        let out = on.execute(&q).unwrap();
+        if out.profile.detailed {
+            assert!(
+                out.profile
+                    .counter(solap_eventdb::Counter::PlanAlternativesConsidered)
+                    >= 2
+            );
+        }
     }
 
     #[test]

@@ -112,6 +112,17 @@ pub fn parents(db: &solap_eventdb::EventDb, spec: &SCuboidSpec) -> Vec<SCuboidSp
     out
 }
 
+/// The parents of `spec` that keep the template length — exactly the
+/// ancestors the planner's roll-up reuse can merge from (shorter windows
+/// change which pattern occurrences exist, so DE-HEAD/DE-TAIL parents must
+/// re-match instead of merging; see `plan::reuse_safe`).
+pub fn parents_same_length(db: &solap_eventdb::EventDb, spec: &SCuboidSpec) -> Vec<SCuboidSpec> {
+    parents(db, spec)
+        .into_iter()
+        .filter(|p| p.template.m() == spec.template.m())
+        .collect()
+}
+
 /// Enumerates direct children (one step finer) reachable with symbols drawn
 /// from the template's existing dimensions, up to `max_len` symbols: every
 /// single APPEND/PREPEND of an existing dimension and every legal single

@@ -30,9 +30,13 @@
 //! * §6 extensions: [`iceberg`] (minimum-support cells), [`online`]
 //!   (online aggregation with periodic approximate refreshes) and
 //!   [`incremental`] (appending a new day of events without full rebuild).
+//! * [`plan`] — cost-based planning over the S-cube lattice: a calibrated
+//!   [`plan::CostModel`], a [`plan::Planner`] that enumerates CB / II /
+//!   ancestor-reuse alternatives, and the index-materialization advisor
+//!   (§4.2.2's open problem; the deprecated [`advisor`] façade remains for
+//!   one release).
 //! * Future-work prototypes the paper calls out: [`regexq`]
-//!   (regular-expression pattern templates, §3.2) and [`advisor`]
-//!   (offline index-materialization selection, §4.2.2).
+//!   (regular-expression pattern templates, §3.2).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -48,6 +52,7 @@ pub mod incremental;
 pub mod lattice;
 pub mod online;
 pub mod ops;
+pub mod plan;
 pub mod regexq;
 pub mod repo;
 pub mod session;
@@ -59,6 +64,11 @@ pub use engine::{
     DbGuard, Engine, EngineBuilder, EngineConfig, QueryOutput, StoreReport, Strategy,
 };
 pub use ops::Op;
+pub use plan::{
+    CostEstimate, CostModel, PlanAlternative, PlanChoice, PlanContext, PlanReport, Planner,
+    QueryPlan,
+};
+pub use repo::{RepoStats, RetentionPolicy};
 pub use session::{HistoryEntry, Session};
 pub use spec::SCuboidSpec;
 pub use stats::ExecStats;

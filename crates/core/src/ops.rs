@@ -103,6 +103,17 @@ impl Op {
             Op::SetMinSupport(_) => "MIN-SUPPORT",
         }
     }
+
+    /// Whether the operation moves *up* the lattice (toward coarser
+    /// cuboids). The planner prioritizes the pre-operation spec as a
+    /// reuse candidate for such ops: its materialized cuboid is one step
+    /// finer than the target, the ideal roll-up source.
+    pub fn coarsens(&self) -> bool {
+        matches!(
+            self,
+            Op::DeTail | Op::DeHead | Op::PRollUp { .. } | Op::RollUp { .. }
+        )
+    }
 }
 
 fn dim_index(spec: &SCuboidSpec, name: &str) -> Result<usize> {

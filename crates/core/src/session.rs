@@ -158,9 +158,10 @@ impl Session {
         Ok(out)
     }
 
-    /// Renders the execution plan for `spec` under this session's
-    /// configuration, without executing it.
-    pub fn explain(&self, spec: &SCuboidSpec) -> Result<String> {
+    /// Builds the structured execution plan for `spec` under this
+    /// session's configuration, without executing it. Rendering (text or
+    /// JSON) is the dispatch layer's job.
+    pub fn explain(&self, spec: &SCuboidSpec) -> Result<crate::plan::PlanReport> {
         self.engine.explain_configured(spec, &self.config)
     }
 

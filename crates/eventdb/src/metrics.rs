@@ -87,11 +87,19 @@ pub enum Counter {
     /// touched an existing cluster — [`crate::Error::ClusterInvalidated`]
     /// — or the extension failed); the next query rebuilds from scratch.
     IngestRebuildFallbacks,
+    /// Execution alternatives the cost-based planner enumerated and costed
+    /// for this query (0 when the planner is off).
+    PlanAlternativesConsidered,
+    /// Whether the planner answered by rolling up a materialized finer
+    /// ancestor cuboid instead of scanning or joining (0/1).
+    PlanAncestorReuses,
+    /// Source-cuboid cells merged during an ancestor roll-up.
+    PlanCellsMerged,
 }
 
 impl Counter {
     /// Number of counters (array sizing).
-    pub const COUNT: usize = 24;
+    pub const COUNT: usize = 27;
 
     /// Every counter, in render order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -119,6 +127,9 @@ impl Counter {
         Counter::IngestGroupsExtended,
         Counter::IngestIndexesExtended,
         Counter::IngestRebuildFallbacks,
+        Counter::PlanAlternativesConsidered,
+        Counter::PlanAncestorReuses,
+        Counter::PlanCellsMerged,
     ];
 
     /// The stable snake_case name used by the text and JSON renderers.
@@ -148,6 +159,9 @@ impl Counter {
             Counter::IngestGroupsExtended => "ingest_groups_extended",
             Counter::IngestIndexesExtended => "ingest_indexes_extended",
             Counter::IngestRebuildFallbacks => "ingest_rebuild_fallbacks",
+            Counter::PlanAlternativesConsidered => "plan_alternatives_considered",
+            Counter::PlanAncestorReuses => "plan_ancestor_reuses",
+            Counter::PlanCellsMerged => "plan_cells_merged",
         }
     }
 }

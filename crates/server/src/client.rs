@@ -24,6 +24,8 @@ pub struct WireResponse {
     pub body: String,
     /// The query's profile, when the session has profiling on.
     pub profile: Option<Json>,
+    /// The structured plan, on EXPLAIN responses.
+    pub plan: Option<Json>,
     /// Whether the server is closing this session (`.quit`).
     pub quit: bool,
 }
@@ -48,6 +50,7 @@ impl WireResponse {
                 .unwrap_or_default()
                 .to_owned(),
             profile: v.get("profile").cloned(),
+            plan: v.get("plan").cloned(),
             quit: v.get("quit").and_then(Json::as_bool).unwrap_or(false),
         })
     }

@@ -258,6 +258,7 @@ pub fn help_text() -> &'static str {
   .show [n]        re-tabulate the current cuboid
   .spec            print the current query text
   .stats           cache statistics
+  .repo            cuboid-repository statistics and retention policy
   .index           index-store statistics and the session's list encoding
   .profile on|off  print each query's per-stage profile (on enables detailed counters)
   .metrics         process-wide cumulative engine metrics

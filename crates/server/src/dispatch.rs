@@ -17,7 +17,7 @@
 
 use std::sync::Arc;
 
-use solap_core::{Engine, Session};
+use solap_core::{Engine, PlanReport, Session};
 use solap_eventdb::CancelToken;
 
 use crate::command::{self, ArgError};
@@ -78,6 +78,8 @@ pub struct Response {
     pub body: String,
     /// The query's profile as a JSON object, when profiling was on.
     pub profile_json: Option<String>,
+    /// The structured plan as a JSON object (`EXPLAIN` statements).
+    pub plan_json: Option<String>,
     /// Whether the surface should close (`.quit` / `.exit`).
     pub quit: bool,
 }
@@ -90,6 +92,7 @@ impl Response {
             code: None,
             body: body.into(),
             profile_json: None,
+            plan_json: None,
             quit: false,
         }
     }
@@ -101,6 +104,7 @@ impl Response {
             code: Some(code.into()),
             body: message.into(),
             profile_json: None,
+            plan_json: None,
             quit: false,
         }
     }
@@ -136,12 +140,107 @@ impl Response {
             out.push_str(",\"profile\":");
             out.push_str(p);
         }
+        if let Some(p) = &self.plan_json {
+            out.push_str(",\"plan\":");
+            out.push_str(p);
+        }
         if self.quit {
             out.push_str(",\"quit\":true");
         }
         out.push('}');
         out
     }
+}
+
+/// Renders a structured [`PlanReport`] as the human EXPLAIN text. The
+/// engine builds reports; the statement surfaces own presentation — this
+/// renderer is the text one, [`plan_to_json`] the wire one.
+pub fn render_plan_text(report: &PlanReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("query:\n");
+    for line in report.query.lines() {
+        out.push_str("  ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push_str("plan:\n");
+    let _ = writeln!(out, "  strategy: {} ({})", report.strategy, report.why);
+    let _ = writeln!(
+        out,
+        "  backend: {}, threads: {}",
+        report.backend, report.threads
+    );
+    let _ = writeln!(
+        out,
+        "  step 1-2 (select + cluster): scan {} events, filter {}",
+        report.events, report.filter
+    );
+    let _ = writeln!(
+        out,
+        "  step 3-4 (order + form groups): {} sort key(s), {} group attr(s)",
+        report.sort_keys, report.group_attrs
+    );
+    let _ = writeln!(
+        out,
+        "  pattern: {} template, m = {}",
+        report.template_kind, report.m
+    );
+    if let Some(ms) = report.min_support {
+        let _ = writeln!(out, "  iceberg: drop cells with COUNT < {ms}");
+    }
+    let _ = writeln!(
+        out,
+        "  caches: cuboid repo {}, sequence cache shared per (filter, cluster, order, group)",
+        if report.use_cuboid_repo { "on" } else { "off" }
+    );
+    let _ = writeln!(out, "  alternatives ({}):", report.mode);
+    for alt in &report.alternatives {
+        let _ = writeln!(
+            out,
+            "    {} {:<5} ~{:<10} {}",
+            if alt.chosen { "->" } else { "  " },
+            alt.label,
+            solap_eventdb::metrics::format_nanos(alt.cost.total_nanos as u64),
+            alt.detail
+        );
+    }
+    out
+}
+
+/// Serializes a [`PlanReport`] as one JSON object — the wire protocol's
+/// `"plan"` field on EXPLAIN responses.
+pub fn plan_to_json(report: &PlanReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"mode\":\"{}\",\"strategy\":\"{}\",\"why\":\"{}\",\"backend\":\"{}\",\
+         \"threads\":{},\"events\":{},\"template\":\"{}\",\"m\":{},\"alternatives\":[",
+        escape(report.mode),
+        escape(&report.strategy),
+        escape(&report.why),
+        escape(&report.backend),
+        report.threads,
+        report.events,
+        escape(&report.template_kind),
+        report.m
+    );
+    for (i, alt) in report.alternatives.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"label\":\"{}\",\"detail\":\"{}\",\"cost_ns\":{},\"chosen\":{}}}",
+            escape(&alt.label),
+            escape(&alt.detail),
+            alt.cost.total_nanos as u64,
+            alt.chosen
+        );
+    }
+    out.push_str("]}");
+    out
 }
 
 /// An in-flight dispatch failure, before it is rendered as a [`Response`].
@@ -378,16 +477,35 @@ fn dispatch_command(ctx: &mut SessionCtx, rest: &str) -> Result<Response, Fail> 
             let engine = ctx.session.engine();
             let (sh, sm) = engine.sequence_cache().stats();
             let (ih, im) = engine.index_store().stats();
-            let (ch, cm) = engine.cuboid_repo().stats();
+            let cr = engine.cuboid_repo().stats();
             Ok(Response::ok(format!(
                 "sequence cache: {} entries, {sh} hits / {sm} misses\n\
                  index store:    {} indices, {:.1} KiB, {ih} hits / {im} misses\n\
-                 cuboid repo:    {} cuboids, {:.1} KiB, {ch} hits / {cm} misses\n",
+                 cuboid repo:    {} cuboids, {:.1} KiB, {} hits / {} misses\n",
                 engine.sequence_cache().len(),
                 engine.index_store().len(),
                 engine.index_store().total_bytes() as f64 / 1024.0,
-                engine.cuboid_repo().len(),
-                engine.cuboid_repo().total_bytes() as f64 / 1024.0,
+                cr.entries,
+                cr.bytes as f64 / 1024.0,
+                cr.hits,
+                cr.misses,
+            )))
+        }
+        "repo" => {
+            let s = ctx.session.engine().cuboid_repo().stats();
+            Ok(Response::ok(format!(
+                "policy:    {}\n\
+                 entries:   {}\n\
+                 bytes:     {:.1} KiB\n\
+                 hit rate:  {:.1}% ({} hits / {} misses)\n\
+                 evictions: {}\n",
+                s.policy.name(),
+                s.entries,
+                s.bytes as f64 / 1024.0,
+                s.hit_rate() * 100.0,
+                s.hits,
+                s.misses,
+                s.evictions,
             )))
         }
         "history" => {
@@ -469,8 +587,12 @@ fn dispatch_query(ctx: &mut SessionCtx, text: &str) -> Result<Response, Fail> {
     let engine = ctx.session.engine_arc();
     let stmt = solap_query::parse_statement(&engine.db(), text)?;
     if stmt.mode == solap_query::ExplainMode::Explain {
-        // EXPLAIN renders the plan without executing anything.
-        return Ok(Response::ok(ctx.session.explain(&stmt.spec)?));
+        // EXPLAIN builds the structured plan without executing anything;
+        // this layer renders it for humans and the wire alike.
+        let report = ctx.session.explain(&stmt.spec)?;
+        let mut response = Response::ok(render_plan_text(&report));
+        response.plan_json = Some(plan_to_json(&report));
+        return Ok(response);
     }
     let spec = stmt.spec;
     let result = ctx.session.query(spec)?;
@@ -676,7 +798,15 @@ mod tests {
         let r = dispatch(&mut c, &format!("EXPLAIN {QUERY}"));
         assert!(r.ok, "{}", r.body);
         assert!(r.body.contains("plan:") && !r.body.contains("cells via"));
+        assert!(r.body.contains("alternatives"), "{}", r.body);
         assert!(c.session().spec().is_none(), "EXPLAIN leaves no current");
+        // The structured plan rides the wire as a "plan" JSON object.
+        let plan = r.plan_json.as_deref().expect("EXPLAIN carries plan JSON");
+        let v = crate::json::Json::parse(plan).unwrap();
+        assert!(v.get("strategy").unwrap().as_str().is_some());
+        let wire = r.to_wire();
+        let v = crate::json::Json::parse(&wire).unwrap();
+        assert!(v.get("plan").is_some(), "{wire}");
         let r = dispatch(&mut c, &format!("PROFILE {QUERY}"));
         assert!(r.ok, "{}", r.body);
         assert!(r.body.contains("profile:"), "{}", r.body);
@@ -698,6 +828,21 @@ mod tests {
         let v = crate::json::Json::parse(&e).unwrap();
         assert_eq!(v.get("code").unwrap().as_str(), Some("usage"));
         assert_eq!(v.get("error").unwrap().as_str(), Some("try .help\n"));
+    }
+
+    #[test]
+    fn repo_command_reports_policy_and_hit_rate() {
+        let mut c = ctx();
+        let r = dispatch(&mut c, ".repo");
+        assert!(r.ok, "{}", r.body);
+        assert!(r.body.contains("policy:"), "{}", r.body);
+        assert!(r.body.contains("benefit-per-byte"), "{}", r.body);
+        dispatch(&mut c, QUERY);
+        dispatch(&mut c, QUERY);
+        let r = dispatch(&mut c, ".repo");
+        assert!(r.body.contains("entries:   1"), "{}", r.body);
+        assert!(r.body.contains("1 hits"), "{}", r.body);
+        assert!(r.body.contains("evictions: 0"), "{}", r.body);
     }
 
     #[test]

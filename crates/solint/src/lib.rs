@@ -23,7 +23,9 @@
 //!   [`Rule::DocKnobs`], [`Rule::DocLocks`] (the `locks.toml` manifest,
 //!   the shim rank constants, and the DESIGN.md §14 rank table must agree
 //!   three ways), each comparing a code-side catalog against the
-//!   committed documentation and reporting file:line on both sides.
+//!   committed documentation and reporting file:line on both sides, and
+//!   [`Rule::DocSections`] (required DESIGN.md chapters keep their
+//!   headings).
 //!
 //! Run it with `cargo run -p solint -- --ci`; see DESIGN.md §7 for the
 //! contract each rule guards and README for baseline/escape workflow.
@@ -72,6 +74,9 @@ pub struct Config {
     pub crate_roots: Vec<String>,
     /// DESIGN.md (relative), for the failpoint §5 / counter §6 catalogs.
     pub design_md: Option<String>,
+    /// Section titles that must keep a `## …` heading in DESIGN.md
+    /// (`doc-sections`; empty = rule off).
+    pub design_sections: Vec<String>,
     /// README.md (relative), for the knob table.
     pub readme_md: Option<String>,
     /// The file holding the `Counter` enum (relative).
@@ -137,6 +142,12 @@ impl Config {
             mutex_dirs: vec!["crates/".into(), "src/".into()],
             crate_roots,
             design_md: Some("DESIGN.md".into()),
+            design_sections: vec![
+                "Observability".into(),
+                "Static analysis & invariants".into(),
+                "Lock hierarchy & deadlock freedom".into(),
+                "Cost-based planning".into(),
+            ],
             readme_md: Some("README.md".into()),
             metrics_file: Some("crates/eventdb/src/metrics.rs".into()),
             locks_manifest: Some("locks.toml".into()),
@@ -163,6 +174,7 @@ impl Config {
             mutex_dirs: vec![],
             crate_roots: vec![],
             design_md: None,
+            design_sections: vec![],
             readme_md: None,
             metrics_file: None,
             locks_manifest: None,
@@ -273,6 +285,7 @@ pub fn run(config: &Config) -> Analysis {
     findings.extend(rules::doc_counters::check(config, &files));
     findings.extend(rules::doc_knobs::check(config, &files));
     findings.extend(rules::doc_locks::check(config, &files));
+    findings.extend(rules::doc_sections::check(config, &files));
 
     // Escaped findings stay in the stream as `suppressed` until here so
     // stale-escape can prove each escape still covers something; only the

@@ -40,6 +40,10 @@ pub enum Rule {
     /// `locks.toml` ≡ the shim's `rank` constants ≡ the DESIGN.md §14
     /// rank table.
     DocLocks,
+    /// Every required architecture section (the config's
+    /// `design_sections`) has a `## …` heading in DESIGN.md — a
+    /// subsystem cannot ship with its design chapter deleted.
+    DocSections,
 }
 
 impl Rule {
@@ -58,11 +62,12 @@ impl Rule {
             Rule::DocCounters => "doc-counters",
             Rule::DocKnobs => "doc-knobs",
             Rule::DocLocks => "doc-locks",
+            Rule::DocSections => "doc-sections",
         }
     }
 
     /// All rules, in report order.
-    pub const ALL: [Rule; 12] = [
+    pub const ALL: [Rule; 13] = [
         Rule::GovernorTick,
         Rule::NoPanicRatchet,
         Rule::AtomicOrdering,
@@ -75,6 +80,7 @@ impl Rule {
         Rule::DocCounters,
         Rule::DocKnobs,
         Rule::DocLocks,
+        Rule::DocSections,
     ];
 }
 

@@ -1,0 +1,65 @@
+//! `doc-sections`: every required architecture section must keep its
+//! `## …` heading in DESIGN.md.
+//!
+//! The other doc-drift rules pin *tables* (failpoints, counters, knobs,
+//! locks); this one pins whole chapters. A subsystem the config names in
+//! `design_sections` — seeded with §15 "Cost-based planning" — cannot
+//! ship with its design chapter renamed away or deleted: the heading
+//! match is on the section *title*, so renumbering is fine but dropping
+//! the chapter is a finding.
+
+use crate::report::{Finding, Rule};
+use crate::rules::doc::load_doc;
+use crate::source::SourceFile;
+use crate::Config;
+
+/// Checks that each configured section title has a markdown `##` heading
+/// ending in that title (numbering prefixes like `## 15.` are ignored).
+pub fn check(config: &Config, _files: &[SourceFile]) -> Vec<Finding> {
+    let Some(design_rel) = &config.design_md else {
+        return Vec::new();
+    };
+    if config.design_sections.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let Some(lines) = load_doc(config, design_rel, Rule::DocSections, &mut out) else {
+        return out;
+    };
+    for required in &config.design_sections {
+        let found = lines.iter().any(|l| {
+            let t = l.trim();
+            t.starts_with("## ") && t.ends_with(required.as_str())
+        });
+        if !found {
+            out.push(Finding::new(
+                Rule::DocSections,
+                design_rel,
+                0,
+                format!(
+                    "required section `{required}` has no `## … {required}` heading — \
+                     restore the design chapter (or update the solint config if it moved)"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    #[test]
+    fn off_when_unconfigured() {
+        let config = Config::bare(PathBuf::from("/nonexistent"));
+        assert!(check(&config, &[]).is_empty(), "no design_md → rule off");
+        let mut config = Config::bare(PathBuf::from("/nonexistent"));
+        config.design_md = Some("DESIGN.md".into());
+        assert!(
+            check(&config, &[]).is_empty(),
+            "no required sections → rule off (doc not even read)"
+        );
+    }
+}

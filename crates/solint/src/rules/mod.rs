@@ -8,6 +8,7 @@ pub mod doc_counters;
 pub mod doc_failpoints;
 pub mod doc_knobs;
 pub mod doc_locks;
+pub mod doc_sections;
 pub mod forbid_unsafe;
 pub mod governor_tick;
 pub mod lock_order;

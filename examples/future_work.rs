@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example future_work`
 
-use s_olap::core::advisor::{advise, apply_advice, WorkloadQuery};
+use s_olap::core::plan::{apply_advice, PlanContext, Planner, WorkloadQuery};
 use s_olap::core::regexq::regex_cuboid;
 use s_olap::core::stats::ScanMeter;
 use s_olap::pattern::{RegexElem, RegexTemplate};
@@ -92,7 +92,17 @@ fn main() {
             frequency: 3.0,
         },
     ];
-    let advice = advise(&engine.db(), &groups, &workload, 8 << 20, 200).expect("advice");
+    let guard = engine.db();
+    let advice = Planner::advise(&PlanContext {
+        db: &guard,
+        groups: &groups,
+        workload: &workload,
+        byte_budget: 8 << 20,
+        sample: 200,
+        backend: SetBackend::default(),
+    })
+    .expect("advice");
+    drop(guard);
     println!("advisor picks (budget 8 MiB):");
     for c in &advice.chosen {
         println!(

@@ -134,6 +134,26 @@ fn doc_counters_reports_drift_in_both_directions() {
 }
 
 #[test]
+fn doc_sections_flags_only_the_missing_chapter() {
+    let mut config = Config::bare(fixture("doc_drift"));
+    config.design_md = Some("DESIGN.md".into());
+    config.design_sections = vec!["Failpoints".into(), "Cost-based planning".into()];
+    let analysis = run(&config);
+    let sections: Vec<_> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::DocSections)
+        .collect();
+    assert_eq!(sections.len(), 1, "{sections:#?}");
+    assert_eq!(sections[0].file, "DESIGN.md");
+    assert!(
+        sections[0].message.contains("Cost-based planning"),
+        "`## 5. Failpoints` satisfies its requirement; only the absent chapter fires: {}",
+        sections[0].message
+    );
+}
+
+#[test]
 fn doc_knobs_reports_drift_in_both_directions() {
     let mut config = Config::bare(fixture("doc_drift"));
     config.readme_md = Some("README.md".into());
@@ -233,6 +253,7 @@ fn clean_fixture_passes_with_all_rules_armed() {
     config.mutex_dirs = vec!["src/".into()];
     config.crate_roots = vec!["src/lib.rs".into()];
     config.design_md = Some("DESIGN.md".into());
+    config.design_sections = vec!["Failpoints".into(), "Counters".into()];
     config.readme_md = Some("README.md".into());
     config.metrics_file = Some("src/lib.rs".into());
     config.locks_manifest = Some("locks.toml".into());
